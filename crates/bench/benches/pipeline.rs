@@ -1,0 +1,62 @@
+//! Criterion end-to-end benchmarks: cycle-simulator throughput under each
+//! scheduler, and the full CRISP pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use crisp_core::{run_crisp_pipeline, PipelineConfig};
+use crisp_emu::Emulator;
+use crisp_sim::{SchedulerKind, SimConfig, Simulator};
+use crisp_workloads::{build, Input};
+
+fn bench_simulator(c: &mut Criterion) {
+    let w = build("pointer_chase", Input::Train).expect("registered");
+    let trace = Emulator::new(&w.program, w.memory.clone()).run(30_000);
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    for sched in [SchedulerKind::OldestReadyFirst, SchedulerKind::Crisp] {
+        let critical = vec![true; w.program.len()];
+        g.bench_function(format!("{sched:?}"), |b| {
+            b.iter(|| {
+                let sim = Simulator::new(SimConfig::skylake().with_scheduler(sched));
+                let map = (sched == SchedulerKind::Crisp).then_some(critical.as_slice());
+                black_box(sim.run(&w.program, &trace, map).cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    let cfg = PipelineConfig {
+        train_instructions: 30_000,
+        eval_instructions: 30_000,
+        ..PipelineConfig::paper()
+    };
+    g.bench_function("crisp_end_to_end_mcf_30k", |b| {
+        b.iter(|| black_box(run_crisp_pipeline("mcf", &cfg).expect("pipeline").speedup_pct()))
+    });
+    g.finish();
+}
+
+fn bench_window_sweep(c: &mut Criterion) {
+    // The Figure 9 inner operation: the same trace on different RS/ROB
+    // windows (measures simulator scaling with structure sizes).
+    let w = build("xhpcg", Input::Train).expect("registered");
+    let trace = Emulator::new(&w.program, w.memory.clone()).run(20_000);
+    let mut g = c.benchmark_group("window");
+    g.sample_size(10);
+    for (rs, rob) in [(64usize, 180usize), (192, 448)] {
+        g.bench_function(format!("rs{rs}_rob{rob}"), |b| {
+            b.iter(|| {
+                let sim = Simulator::new(SimConfig::with_window(rs, rob));
+                black_box(sim.run(&w.program, &trace, None).cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_pipeline, bench_window_sweep);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Internal tuning tool: prints per-workload pipeline diagnostics.
+use crisp_bench::ExperimentScale;
+use crisp_core::{run_crisp_pipeline, PipelineConfig, SliceMode};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<&str> = if args.is_empty() {
+        crisp_core::all_names().to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let _ = ExperimentScale::Fast;
+    let mut cfg = PipelineConfig {
+        train_instructions: 150_000,
+        eval_instructions: 250_000,
+        ..PipelineConfig::paper()
+    };
+    if let Ok(f) = std::env::var("CP_FRAC") {
+        cfg.critical_path_fraction = f.parse().expect("CP_FRAC");
+    }
+    if let Ok(b) = std::env::var("BUDGET") {
+        cfg.annotator.max_dynamic_ratio = b.parse().expect("BUDGET");
+    }
+    for name in names {
+        match run_crisp_pipeline(name, &cfg) {
+            Ok(r) => {
+                println!(
+                    "{:12} base={:.3} crisp={:.3} gain={:+.2}% | del={} br={} tagged={} ({:.0}%stat) | bmpki={:.1} llcmpki={:.1} robstall={:.0}%",
+                    r.name,
+                    r.baseline.ipc(),
+                    r.crisp.ipc(),
+                    r.speedup_pct(),
+                    r.delinquent.len(),
+                    r.hard_branches.len(),
+                    r.map.count(),
+                    r.map.static_ratio() * 100.0,
+                    r.baseline.branch_mpki(),
+                    r.baseline.llc_load_mpki(),
+                    r.baseline.rob_head_stall_cycles as f64 / r.baseline.cycles as f64 * 100.0,
+                );
+                for d in r.delinquent.iter().take(4) {
+                    println!("    load pc={} miss_ratio={:.2} amat={:.0} mlp={:.1} contrib={:.2}", d.pc, d.llc_miss_ratio, d.amat, d.mlp, d.miss_contribution);
+                }
+                if std::env::var("ABLATE").is_ok() {
+                    for mode in [SliceMode::LoadsOnly, SliceMode::BranchesOnly] {
+                        let c2 = PipelineConfig { mode, ..cfg.clone() };
+                        let r2 = run_crisp_pipeline(name, &c2).expect("ablate");
+                        println!("    mode {:?}: {:+.2}%", mode, r2.speedup_pct());
+                    }
+                }
+            }
+            Err(e) => println!("{name}: ERROR {e}"),
+        }
+    }
+}

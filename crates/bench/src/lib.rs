@@ -1,0 +1,23 @@
+//! # crisp-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (Section 5). Each `fig*` function runs the relevant
+//! workloads/configurations through the `crisp-core` pipeline and returns
+//! a printable report; the `figures` binary exposes them on the command
+//! line, and Criterion benchmarks (in `benches/`) cover component and
+//! end-to-end throughput.
+//!
+//! Absolute numbers differ from the paper (this substrate is a from-
+//! scratch simulator, not the authors' Scarab checkout and trace set);
+//! the reproduction target is the *shape* of each result — who wins, by
+//! roughly what factor, and where the crossovers fall. EXPERIMENTS.md
+//! records paper-vs-measured for every experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{
+    ablations, fig1, fig10, fig11, fig12, fig4, fig7, fig8, fig9, table1, ExperimentScale,
+};

@@ -1,0 +1,261 @@
+//! `crisp` — the command-line front end to the CRISP reproduction.
+//!
+//! ```text
+//! crisp list
+//! crisp trace <workload> [--ref] [-n INSTRS] [-o FILE]
+//! crisp profile <workload> [-n INSTRS]
+//! crisp simulate <workload> [--ref] [--scheduler crisp|oldest|random] [-n INSTRS]
+//! crisp pipeline <workload> [--fast] [--loads-only|--branches-only]
+//! crisp pipeview <workload> [--crisp] [-n INSTRS] [--from SEQ] [--len COUNT]
+//! ```
+
+use crisp_core::{
+    build, run_crisp_pipeline, ClassifierConfig, Input, PipelineConfig, SchedulerKind, SimConfig,
+    SliceMode, Table,
+};
+use crisp_emu::Emulator;
+use crisp_profile::{classify_branches, classify_loads, ProfileSummary};
+use crisp_sim::Simulator;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  crisp list\n  crisp trace <workload> [--ref] [-n INSTRS] [-o FILE]\n  \
+         crisp profile <workload> [-n INSTRS]\n  \
+         crisp simulate <workload> [--ref] [--scheduler crisp|oldest|random] [-n INSTRS]\n  \
+         crisp pipeline <workload> [--fast] [--loads-only|--branches-only]\n  \
+         crisp pipeview <workload> [--crisp] [-n INSTRS] [--from SEQ] [--len COUNT]"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<String>,
+    n: u64,
+    from: Option<u64>,
+    len: Option<u64>,
+    out: Option<String>,
+    scheduler: SchedulerKind,
+}
+
+fn parse(args: &[String]) -> Option<Args> {
+    let mut out = Args {
+        positional: Vec::new(),
+        flags: Vec::new(),
+        n: 200_000,
+        from: None,
+        len: None,
+        out: None,
+        scheduler: SchedulerKind::OldestReadyFirst,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-n" => out.n = it.next()?.parse().ok()?,
+            "--from" => out.from = Some(it.next()?.parse().ok()?),
+            "--len" => out.len = Some(it.next()?.parse().ok()?),
+            "-o" => out.out = Some(it.next()?.clone()),
+            "--scheduler" => {
+                out.scheduler = match it.next()?.as_str() {
+                    "crisp" => SchedulerKind::Crisp,
+                    "oldest" => SchedulerKind::OldestReadyFirst,
+                    "random" => SchedulerKind::RandomReady,
+                    _ => return None,
+                }
+            }
+            f if f.starts_with("--") => out.flags.push(f.to_string()),
+            p => out.positional.push(p.to_string()),
+        }
+    }
+    Some(out)
+}
+
+fn input_of(args: &Args) -> Input {
+    if args.flags.iter().any(|f| f == "--ref") {
+        Input::Ref
+    } else {
+        Input::Train
+    }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        return usage();
+    };
+    let Some(args) = parse(rest) else {
+        return usage();
+    };
+
+    match cmd.as_str() {
+        "list" => {
+            let mut t = Table::new(vec!["workload", "reproduces"]);
+            for name in crisp_core::all_names() {
+                let w = build(name, Input::Train).expect("registered");
+                t.row(vec![name.to_string(), w.description.to_string()]);
+            }
+            println!("{t}");
+            ExitCode::SUCCESS
+        }
+        "trace" => {
+            let Some(name) = args.positional.first() else {
+                return usage();
+            };
+            let Some(w) = build(name, input_of(&args)) else {
+                eprintln!("unknown workload: {name}");
+                return ExitCode::FAILURE;
+            };
+            let trace = Emulator::new(&w.program, w.memory.clone()).run(args.n);
+            let stats = trace.stats(&w.program);
+            println!("{name}: {stats}");
+            if let Some(path) = &args.out {
+                if let Err(e) = trace.save(path) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {path} ({} records)", trace.len());
+            }
+            ExitCode::SUCCESS
+        }
+        "profile" => {
+            let Some(name) = args.positional.first() else {
+                return usage();
+            };
+            let Some(w) = build(name, Input::Train) else {
+                eprintln!("unknown workload: {name}");
+                return ExitCode::FAILURE;
+            };
+            let trace = Emulator::new(&w.program, w.memory.clone()).run(args.n);
+            let mut cfg = SimConfig::skylake();
+            cfg.collect_pc_stats = true;
+            let res = Simulator::new(cfg).run(&w.program, &trace, None);
+            let summary = ProfileSummary::from_result(&res);
+            println!(
+                "{name}: IPC {:.3}, load fraction {:.2}, LLC load MPKI {:.2}, branch MPKI {:.2}",
+                summary.ipc,
+                summary.load_fraction,
+                res.llc_load_mpki(),
+                res.branch_mpki()
+            );
+            let classifier = ClassifierConfig::default();
+            let mut t = Table::new(vec!["load pc", "miss ratio", "AMAT", "MLP", "miss share"]);
+            for d in classify_loads(&res, &classifier) {
+                t.row(vec![
+                    format!("{}", d.pc),
+                    format!("{:.2}", d.llc_miss_ratio),
+                    format!("{:.0}", d.amat),
+                    format!("{:.1}", d.mlp),
+                    format!("{:.2}", d.miss_contribution),
+                ]);
+            }
+            println!("\ndelinquent loads:\n{t}");
+            let mut t = Table::new(vec!["branch pc", "mispredict ratio", "execs"]);
+            for b in classify_branches(&res, &classifier) {
+                t.row(vec![
+                    format!("{}", b.pc),
+                    format!("{:.2}", b.mispredict_ratio),
+                    format!("{}", b.execs),
+                ]);
+            }
+            println!("hard branches:\n{t}");
+            ExitCode::SUCCESS
+        }
+        "simulate" => {
+            let Some(name) = args.positional.first() else {
+                return usage();
+            };
+            let Some(w) = build(name, input_of(&args)) else {
+                eprintln!("unknown workload: {name}");
+                return ExitCode::FAILURE;
+            };
+            let trace = Emulator::new(&w.program, w.memory.clone()).run(args.n);
+            let cfg = SimConfig::skylake().with_scheduler(args.scheduler);
+            // A bare scheduler swap without annotation: criticality comes
+            // from the pipeline; here everything-critical approximates it.
+            let critical = vec![true; w.program.len()];
+            let map = (args.scheduler == SchedulerKind::Crisp).then_some(critical.as_slice());
+            let res = Simulator::new(cfg).run(&w.program, &trace, map);
+            println!(
+                "{name} [{:?}]: IPC {:.3} over {} cycles; ROB-head stalls {:.1}%, \
+                 branch MPKI {:.2}, LLC load MPKI {:.2}",
+                args.scheduler,
+                res.ipc(),
+                res.cycles,
+                res.rob_head_stall_cycles as f64 / res.cycles.max(1) as f64 * 100.0,
+                res.branch_mpki(),
+                res.llc_load_mpki()
+            );
+            ExitCode::SUCCESS
+        }
+        "pipeview" => {
+            let Some(name) = args.positional.first() else {
+                return usage();
+            };
+            let Some(w) = build(name, Input::Train) else {
+                eprintln!("unknown workload: {name}");
+                return ExitCode::FAILURE;
+            };
+            let n = args.n.min(20_000);
+            let trace = Emulator::new(&w.program, w.memory.clone()).run(n);
+            let mut cfg = SimConfig::skylake();
+            cfg.record_pipeview = true;
+            cfg.collect_pc_stats = false;
+            let use_crisp = args.flags.iter().any(|f| f == "--crisp");
+            if use_crisp {
+                cfg.scheduler = SchedulerKind::Crisp;
+            }
+            let critical = vec![true; w.program.len()];
+            let map = use_crisp.then_some(critical.as_slice());
+            let res = Simulator::new(cfg).run(&w.program, &trace, map);
+            let from = args.from.unwrap_or(n / 2);
+            let len = args.len.unwrap_or(40);
+            println!(
+                "{name} [{}] seq {from}..{} (f=fetch d=dispatch-wait i=issue ==execute .=await-retire r=retire)\n",
+                if use_crisp { "CRISP" } else { "OOO" },
+                from + len
+            );
+            print!("{}", res.pipeview.render(from, from + len));
+            ExitCode::SUCCESS
+        }
+        "pipeline" => {
+            let Some(name) = args.positional.first() else {
+                return usage();
+            };
+            let mut cfg = if args.flags.iter().any(|f| f == "--fast") {
+                PipelineConfig::quick()
+            } else {
+                PipelineConfig::paper()
+            };
+            if args.flags.iter().any(|f| f == "--loads-only") {
+                cfg.mode = SliceMode::LoadsOnly;
+            }
+            if args.flags.iter().any(|f| f == "--branches-only") {
+                cfg.mode = SliceMode::BranchesOnly;
+            }
+            match run_crisp_pipeline(name, &cfg) {
+                Ok(r) => {
+                    println!(
+                        "{name}: baseline IPC {:.3} -> CRISP IPC {:.3} ({:+.2}%); \
+                         {} delinquent loads, {} hard branches, {} tagged instructions \
+                         ({:.1}% static, {:.2}% dynamic footprint overhead)",
+                        r.baseline.ipc(),
+                        r.crisp.ipc(),
+                        r.speedup_pct(),
+                        r.delinquent.len(),
+                        r.hard_branches.len(),
+                        r.map.count(),
+                        r.map.static_ratio() * 100.0,
+                        r.footprint.dynamic_overhead_pct()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,418 @@
+use crisp_emu::Emulator;
+use crisp_ibda::{Ibda, IbdaConfig};
+use crisp_isa::{Pc, Trace};
+use crisp_profile::{
+    amat_map, classify_branches, classify_loads, classify_slow_ops, ClassifierConfig,
+    DelinquentLoad, HardBranch,
+};
+use crisp_sim::{SchedulerKind, SimConfig, SimResult, Simulator};
+use crisp_slicer::{
+    critical_path_filter, extract_slices, Annotator, CriticalityMap, DepGraph, FootprintReport,
+    LatencyModel, Slice, SliceConfig,
+};
+use crisp_workloads::{build, Input, Workload};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Which slice families the pipeline tags (the Figure 8 ablation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SliceMode {
+    /// Load slices only.
+    LoadsOnly,
+    /// Branch slices only.
+    BranchesOnly,
+    /// Both (the full CRISP configuration).
+    #[default]
+    Both,
+}
+
+/// Configuration of one pipeline run.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Instructions emulated for the profiling (train) window.
+    pub train_instructions: u64,
+    /// Instructions emulated for the evaluation (ref) window.
+    pub eval_instructions: u64,
+    /// Classifier thresholds (Section 3.2; Figure 10 sweeps
+    /// `miss_contribution_threshold`).
+    pub classifier: ClassifierConfig,
+    /// Slice-extraction parameters.
+    pub slice: SliceConfig,
+    /// Critical-path keep fraction (Section 3.5).
+    pub critical_path_fraction: f64,
+    /// Annotation budget.
+    pub annotator: Annotator,
+    /// Which slice families to tag.
+    pub mode: SliceMode,
+    /// Also tag high-latency arithmetic (divides) and their slices — the
+    /// paper's Section 6.1 extension (off by default, as in the paper).
+    pub include_slow_ops: bool,
+    /// Machine configuration (Table 1 unless sweeping).
+    pub sim: SimConfig,
+}
+
+impl PipelineConfig {
+    /// The paper's evaluation setup at full (multi-million-instruction)
+    /// window sizes.
+    pub fn paper() -> PipelineConfig {
+        PipelineConfig {
+            train_instructions: 1_000_000,
+            eval_instructions: 2_000_000,
+            classifier: ClassifierConfig::default(),
+            slice: SliceConfig::default(),
+            critical_path_fraction: 0.5,
+            annotator: Annotator::default(),
+            mode: SliceMode::Both,
+            include_slow_ops: false,
+            sim: SimConfig::skylake(),
+        }
+    }
+
+    /// A fast configuration for tests and examples (hundreds of thousands
+    /// of instructions).
+    pub fn quick() -> PipelineConfig {
+        PipelineConfig {
+            train_instructions: 150_000,
+            eval_instructions: 250_000,
+            ..PipelineConfig::paper()
+        }
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig::paper()
+    }
+}
+
+/// Errors from the pipeline runner.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The workload name is not registered.
+    UnknownWorkload(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::UnknownWorkload(n) => write!(f, "unknown workload: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Everything one pipeline run produces.
+#[derive(Clone, Debug)]
+pub struct PipelineResult {
+    /// Workload name.
+    pub name: &'static str,
+    /// Profiling (train-input) run on the baseline core.
+    pub profile: SimResult,
+    /// Evaluation (ref-input) run, baseline scheduler, untagged binary.
+    pub baseline: SimResult,
+    /// Evaluation run, CRISP scheduler, tagged binary.
+    pub crisp: SimResult,
+    /// The classified delinquent loads (sorted by miss contribution).
+    pub delinquent: Vec<DelinquentLoad>,
+    /// The classified hard branches.
+    pub hard_branches: Vec<HardBranch>,
+    /// Raw (unfiltered) load slices — Figure 4's input.
+    pub load_slices: Vec<Slice>,
+    /// The final annotation.
+    pub map: CriticalityMap,
+    /// Static/dynamic footprint impact — Figure 12's input.
+    pub footprint: FootprintReport,
+}
+
+impl PipelineResult {
+    /// CRISP's IPC speedup over the baseline, in percent.
+    pub fn speedup_pct(&self) -> f64 {
+        self.crisp.speedup_over(&self.baseline)
+    }
+
+    /// Mean unfiltered dynamic load-slice length (Figure 4).
+    pub fn mean_load_slice_len(&self) -> f64 {
+        let with_instances: Vec<&Slice> = self
+            .load_slices
+            .iter()
+            .filter(|s| s.instances > 0)
+            .collect();
+        if with_instances.is_empty() {
+            return 0.0;
+        }
+        with_instances.iter().map(|s| s.mean_dynamic_len).sum::<f64>()
+            / with_instances.len() as f64
+    }
+}
+
+/// Traces a workload for `budget` instructions.
+fn trace_workload(w: &Workload, budget: u64) -> Trace {
+    Emulator::new(&w.program, w.memory.clone()).run(budget)
+}
+
+/// Per-PC dynamic execution counts of a trace (annotation budget input).
+fn exec_counts(trace: &Trace) -> HashMap<Pc, u64> {
+    let mut counts = HashMap::new();
+    for rec in trace {
+        *counts.entry(rec.pc).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Runs the full CRISP pipeline (profile → classify → slice → filter →
+/// annotate → evaluate) for one workload.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::UnknownWorkload`] for unregistered names.
+pub fn run_crisp_pipeline(
+    name: &str,
+    cfg: &PipelineConfig,
+) -> Result<PipelineResult, PipelineError> {
+    let train = build(name, Input::Train)
+        .ok_or_else(|| PipelineError::UnknownWorkload(name.to_string()))?;
+    let eval = build(name, Input::Ref).expect("same registry");
+
+    // (1) Profile on the train input with the baseline scheduler.
+    let train_trace = trace_workload(&train, cfg.train_instructions);
+    let mut profile_sim = cfg.sim.clone();
+    profile_sim.scheduler = SchedulerKind::OldestReadyFirst;
+    profile_sim.collect_pc_stats = true;
+    let profile = Simulator::new(profile_sim).run(&train.program, &train_trace, None);
+
+    // (2) Classify.
+    let delinquent = classify_loads(&profile, &cfg.classifier);
+    let hard_branches = classify_branches(&profile, &cfg.classifier);
+
+    // (3) Slice.
+    let graph = DepGraph::build(&train.program, &train_trace);
+    let load_roots: Vec<Pc> = delinquent.iter().map(|d| d.pc).collect();
+    let branch_roots: Vec<Pc> = hard_branches.iter().map(|b| b.pc).collect();
+    let load_slices = extract_slices(&train.program, &train_trace, &graph, &load_roots, &cfg.slice);
+    let branch_slices =
+        extract_slices(&train.program, &train_trace, &graph, &branch_roots, &cfg.slice);
+
+    // (4) Critical-path filter, (5) annotate under the budget. Slices are
+    // already importance-ordered by the classifier.
+    let model = LatencyModel::new(amat_map(&profile), f64::from(cfg.sim.memory.l1d_latency as u32));
+    let mut ordered: Vec<HashSet<Pc>> = Vec::new();
+    if cfg.mode != SliceMode::BranchesOnly {
+        for s in &load_slices {
+            ordered.push(critical_path_filter(
+                &train.program,
+                s,
+                &model,
+                cfg.critical_path_fraction,
+            ));
+        }
+    }
+    if cfg.mode != SliceMode::LoadsOnly {
+        for s in &branch_slices {
+            ordered.push(critical_path_filter(
+                &train.program,
+                s,
+                &model,
+                cfg.critical_path_fraction,
+            ));
+        }
+    }
+    if cfg.include_slow_ops {
+        // Section 6.1 extension: divides and their input slices.
+        let slow_roots: Vec<Pc> = classify_slow_ops(&train.program, &train_trace, 0.002)
+            .into_iter()
+            .map(|s| s.pc)
+            .collect();
+        for s in extract_slices(&train.program, &train_trace, &graph, &slow_roots, &cfg.slice) {
+            ordered.push(critical_path_filter(
+                &train.program,
+                &s,
+                &model,
+                cfg.critical_path_fraction,
+            ));
+        }
+    }
+    let counts = exec_counts(&train_trace);
+    let map = cfg.annotator.annotate(&train.program, &ordered, &counts);
+    let footprint = Annotator::footprint(&train.program, &map, &counts);
+
+    // (6) Evaluate on the ref input.
+    let eval_trace = trace_workload(&eval, cfg.eval_instructions);
+    let mut eval_sim = cfg.sim.clone();
+    eval_sim.collect_pc_stats = false;
+    let baseline = Simulator::new(eval_sim.clone().with_scheduler(SchedulerKind::OldestReadyFirst))
+        .run(&eval.program, &eval_trace, None);
+    let crisp = Simulator::new(eval_sim.with_scheduler(SchedulerKind::Crisp)).run(
+        &eval.program,
+        &eval_trace,
+        Some(map.as_slice()),
+    );
+
+    Ok(PipelineResult {
+        name: train.name,
+        profile,
+        baseline,
+        crisp,
+        delinquent,
+        hard_branches,
+        load_slices,
+        map,
+        footprint,
+    })
+}
+
+/// Result of an IBDA baseline run.
+#[derive(Clone, Debug)]
+pub struct IbdaResult {
+    /// Workload name.
+    pub name: &'static str,
+    /// Evaluation run with the IBDA-learned criticality.
+    pub result: SimResult,
+    /// Number of instructions IBDA tagged.
+    pub tagged: usize,
+}
+
+/// Trains IBDA on the train window (hardware-style online learning) and
+/// evaluates on the ref input with the priority scheduler — the Figure 7
+/// comparison baseline.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::UnknownWorkload`] for unregistered names.
+pub fn run_ibda(
+    name: &str,
+    ibda_config: IbdaConfig,
+    cfg: &PipelineConfig,
+) -> Result<IbdaResult, PipelineError> {
+    run_ibda_many(name, &[ibda_config], cfg).map(|mut v| v.remove(0))
+}
+
+/// Like [`run_ibda`] for several IST configurations at once, sharing the
+/// profiling run and the train/eval traces — the whole Figure 7 IBDA
+/// column set in one pass.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::UnknownWorkload`] for unregistered names.
+pub fn run_ibda_many(
+    name: &str,
+    ibda_configs: &[IbdaConfig],
+    cfg: &PipelineConfig,
+) -> Result<Vec<IbdaResult>, PipelineError> {
+    let train = build(name, Input::Train)
+        .ok_or_else(|| PipelineError::UnknownWorkload(name.to_string()))?;
+    let eval = build(name, Input::Ref).expect("same registry");
+
+    // The hardware observes its own cache misses: profile once to learn
+    // which loads miss at all (instance-level behaviour is frequency-
+    // approximated inside the DLT).
+    let train_trace = trace_workload(&train, cfg.train_instructions);
+    let mut profile_sim = cfg.sim.clone();
+    profile_sim.scheduler = SchedulerKind::OldestReadyFirst;
+    profile_sim.collect_pc_stats = true;
+    let profile = Simulator::new(profile_sim).run(&train.program, &train_trace, None);
+    let missing: Vec<Pc> = profile
+        .load_pc_stats
+        .iter()
+        .filter(|(_, s)| s.llc_misses > 0)
+        .map(|(&pc, _)| pc)
+        .collect();
+
+    let eval_trace = trace_workload(&eval, cfg.eval_instructions);
+    let mut eval_sim = cfg.sim.clone();
+    eval_sim.collect_pc_stats = false;
+    let sim = Simulator::new(eval_sim.with_scheduler(SchedulerKind::Crisp));
+
+    Ok(ibda_configs
+        .iter()
+        .map(|&ibda_config| {
+            let mut ibda = Ibda::new(ibda_config, &missing);
+            ibda.train(&train.program, &train_trace);
+            let map = ibda.criticality_map(eval.program.len());
+            let tagged = map.iter().filter(|&&b| b).count();
+            let result = sim.run(&eval.program, &eval_trace, Some(&map));
+            IbdaResult {
+                name: eval.name,
+                result,
+                tagged,
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> PipelineConfig {
+        PipelineConfig {
+            train_instructions: 60_000,
+            eval_instructions: 80_000,
+            ..PipelineConfig::paper()
+        }
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error() {
+        assert_eq!(
+            run_crisp_pipeline("no_such_app", &tiny()).unwrap_err(),
+            PipelineError::UnknownWorkload("no_such_app".into())
+        );
+        assert!(run_ibda("no_such_app", IbdaConfig::ist_1k(), &tiny()).is_err());
+    }
+
+    #[test]
+    fn pointer_chase_pipeline_finds_and_exploits_the_chase() {
+        let r = run_crisp_pipeline("pointer_chase", &tiny()).expect("runs");
+        assert!(
+            !r.delinquent.is_empty(),
+            "the node loads must classify as delinquent"
+        );
+        assert!(r.map.count() >= 1, "something must be tagged");
+        assert!(
+            r.footprint.dynamic_overhead_pct() >= 0.0
+                && r.footprint.static_overhead_pct() >= 0.0
+        );
+        assert!(
+            r.speedup_pct() > 1.0,
+            "CRISP should speed up pointer_chase: {:+.2}% (base {:.3}, crisp {:.3})",
+            r.speedup_pct(),
+            r.baseline.ipc(),
+            r.crisp.ipc()
+        );
+        assert!(r.mean_load_slice_len() >= 1.0);
+    }
+
+    #[test]
+    fn slice_mode_ablation_runs_all_modes() {
+        for mode in [SliceMode::LoadsOnly, SliceMode::BranchesOnly, SliceMode::Both] {
+            let cfg = PipelineConfig {
+                mode,
+                ..tiny()
+            };
+            let r = run_crisp_pipeline("memcached", &cfg).expect("runs");
+            assert!(r.baseline.retired > 0 && r.crisp.retired > 0);
+        }
+    }
+
+    #[test]
+    fn ibda_runs_and_tags_something_on_mcf() {
+        let r = run_ibda("mcf", IbdaConfig::ist_1k(), &tiny()).expect("runs");
+        assert!(r.tagged > 0, "IBDA should tag the chase slice");
+        assert!(r.result.retired > 0);
+    }
+
+    #[test]
+    fn slow_op_extension_tags_divides_on_nab() {
+        // nab's force block divides; the Section 6.1 extension should tag
+        // at least as many instructions as the base configuration.
+        let base = run_crisp_pipeline("nab", &tiny()).expect("runs");
+        let cfg = PipelineConfig {
+            include_slow_ops: true,
+            ..tiny()
+        };
+        let ext = run_crisp_pipeline("nab", &cfg).expect("runs");
+        assert!(ext.map.count() >= base.map.count());
+        assert!(ext.baseline.retired > 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # crisp-emu
+//!
+//! Functional (architectural) emulator for the CRISP mini-ISA. It executes a
+//! [`crisp_isa::Program`] against a sparse [`Memory`] image and yields the
+//! retired dynamic instruction stream — the trace that drives the
+//! cycle-level simulator, the profiler and the slice extractor.
+//!
+//! This plays the role DynamoRIO's Memtrace (or Intel PT with `PTWRITE`)
+//! plays in the paper: every record carries the effective memory address, so
+//! downstream analyses can observe *dependencies through memory*.
+//!
+//! ## Example
+//!
+//! ```
+//! use crisp_isa::{ProgramBuilder, Reg, AluOp};
+//! use crisp_emu::{Emulator, Memory};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.li(Reg::new(1), 0x1000);
+//! b.load(Reg::new(2), Reg::new(1), 0, 8);
+//! b.alu_ri(AluOp::Add, Reg::new(2), Reg::new(2), 1);
+//! b.store(Reg::new(1), 0, Reg::new(2), 8);
+//! b.halt();
+//! let program = b.build();
+//!
+//! let mut mem = Memory::new();
+//! mem.write_u64(0x1000, 41);
+//! let mut emu = Emulator::new(&program, mem);
+//! let trace = emu.run(1_000);
+//! assert_eq!(trace.len(), 5);
+//! assert_eq!(emu.memory().read_u64(0x1000), 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod emulator;
+mod memory;
+
+pub use emulator::{EmuError, Emulator, StopReason};
+pub use memory::Memory;

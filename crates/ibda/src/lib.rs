@@ -1,0 +1,497 @@
+//! # crisp-ibda
+//!
+//! The hardware-only baseline CRISP is compared against in Figure 7:
+//! **iterative backwards dependency analysis** (IBDA) from the Load Slice
+//! Architecture (Carlson et al., ISCA 2015), with the paper's evaluation
+//! configuration — a 32-entry delinquent load table (DLT) capturing the
+//! most frequently LLC-missing loads, and a set-associative instruction
+//! slice table (IST) of 1K/8K/64K/∞ entries.
+//!
+//! IBDA's defining limitations, reproduced here deliberately:
+//!
+//! * it observes dependencies **through registers only** — a value passed
+//!   through memory (register spill) breaks the backward walk;
+//! * slices grow **one producer level per execution** of an IST-resident
+//!   instruction (that is the "iterative" in IBDA), so cold slices take
+//!   many loop iterations to capture;
+//! * the IST has finite capacity — large slices thrash it (the `moses`
+//!   failure mode in Section 5.2);
+//! * there is **no critical-path filtering** — every address-generating
+//!   instruction found becomes critical, flooding the scheduler's priority
+//!   (the `fotonik`/`perlbench` regression in Section 5.2);
+//! * there is no notion of MLP, so high-MPKI-but-well-overlapped loads are
+//!   still captured (the `bwaves` failure mode).
+//!
+//! ## Example
+//!
+//! ```
+//! use crisp_ibda::{Ibda, IbdaConfig};
+//! use crisp_isa::{ProgramBuilder, Reg, AluOp};
+//! use crisp_emu::{Emulator, Memory};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.li(Reg::new(1), 0x1000);
+//! let load = b.load(Reg::new(2), Reg::new(1), 0, 8);
+//! b.halt();
+//! let program = b.build();
+//! let trace = Emulator::new(&program, Memory::new()).run(100);
+//!
+//! let mut ibda = Ibda::new(IbdaConfig::ist_1k(), &[load]);
+//! ibda.train(&program, &trace);
+//! let map = ibda.criticality_map(program.len());
+//! assert!(map[load as usize]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use crisp_isa::{Pc, Program, Trace};
+use std::collections::HashSet;
+
+/// Geometry of the IBDA hardware structures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IbdaConfig {
+    /// Instruction-slice-table entries (`usize::MAX` = infinite).
+    pub ist_entries: usize,
+    /// IST associativity (ignored for the infinite IST).
+    pub ist_ways: usize,
+    /// Delinquent-load-table entries (the paper uses 32).
+    pub dlt_entries: usize,
+}
+
+impl IbdaConfig {
+    /// The paper's primary configuration: 1024-entry, 4-way IST.
+    pub fn ist_1k() -> IbdaConfig {
+        IbdaConfig {
+            ist_entries: 1024,
+            ist_ways: 4,
+            dlt_entries: 32,
+        }
+    }
+
+    /// 8K-entry, 8-way IST.
+    pub fn ist_8k() -> IbdaConfig {
+        IbdaConfig {
+            ist_entries: 8192,
+            ist_ways: 8,
+            dlt_entries: 32,
+        }
+    }
+
+    /// 64K-entry, 16-way IST.
+    pub fn ist_64k() -> IbdaConfig {
+        IbdaConfig {
+            ist_entries: 65536,
+            ist_ways: 16,
+            dlt_entries: 32,
+        }
+    }
+
+    /// Infinitely sized IST (isolates the capacity limitation).
+    pub fn ist_infinite() -> IbdaConfig {
+        IbdaConfig {
+            ist_entries: usize::MAX,
+            ist_ways: 1,
+            dlt_entries: 32,
+        }
+    }
+}
+
+/// A set-associative table of PCs with LRU replacement (the IST).
+#[derive(Clone, Debug)]
+struct PcTable {
+    sets: Vec<Vec<(u64, Pc)>>,
+    ways: usize,
+    stamp: u64,
+    infinite: Option<HashSet<Pc>>,
+}
+
+impl PcTable {
+    fn new(entries: usize, ways: usize) -> PcTable {
+        if entries == usize::MAX {
+            return PcTable {
+                sets: Vec::new(),
+                ways: 0,
+                stamp: 0,
+                infinite: Some(HashSet::new()),
+            };
+        }
+        assert!(entries.is_multiple_of(ways), "entries must divide into ways");
+        let num_sets = (entries / ways).max(1);
+        assert!(num_sets.is_power_of_two(), "sets must be a power of two");
+        PcTable {
+            sets: vec![Vec::with_capacity(ways); num_sets],
+            ways,
+            stamp: 0,
+            infinite: None,
+        }
+    }
+
+    fn set_of(&self, pc: Pc) -> usize {
+        (pc as usize) & (self.sets.len() - 1)
+    }
+
+    fn contains(&mut self, pc: Pc) -> bool {
+        if let Some(set) = &self.infinite {
+            return set.contains(&pc);
+        }
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = self.set_of(pc);
+        for slot in &mut self.sets[set] {
+            if slot.1 == pc {
+                slot.0 = stamp;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn insert(&mut self, pc: Pc) {
+        if let Some(set) = &mut self.infinite {
+            set.insert(pc);
+            return;
+        }
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let ways = self.ways;
+        let set_idx = self.set_of(pc);
+        let set = &mut self.sets[set_idx];
+        if let Some(slot) = set.iter_mut().find(|s| s.1 == pc) {
+            slot.0 = stamp;
+            return;
+        }
+        if set.len() < ways {
+            set.push((stamp, pc));
+        } else {
+            *set.iter_mut().min_by_key(|s| s.0).expect("full") = (stamp, pc);
+        }
+    }
+
+    fn pcs(&self) -> Vec<Pc> {
+        match &self.infinite {
+            Some(set) => set.iter().copied().collect(),
+            None => self
+                .sets
+                .iter()
+                .flat_map(|s| s.iter().map(|&(_, pc)| pc))
+                .collect(),
+        }
+    }
+}
+
+/// The 32-entry delinquent load table: frequency-of-miss admission with
+/// clock-style decay, approximating the hardware's miss counters.
+#[derive(Clone, Debug)]
+struct Dlt {
+    entries: Vec<(Pc, u32)>,
+    capacity: usize,
+}
+
+impl Dlt {
+    fn new(capacity: usize) -> Dlt {
+        Dlt {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Records an LLC miss of `pc`; returns whether the pc is (now)
+    /// resident.
+    fn observe_miss(&mut self, pc: Pc) -> bool {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == pc) {
+            e.1 = e.1.saturating_add(1);
+            return true;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push((pc, 1));
+            return true;
+        }
+        // Decay all counters; replace a zero-count victim if one exists.
+        for e in &mut self.entries {
+            e.1 = e.1.saturating_sub(1);
+        }
+        if let Some(victim) = self.entries.iter_mut().find(|e| e.1 == 0) {
+            *victim = (pc, 1);
+            return true;
+        }
+        false
+    }
+
+    fn contains(&self, pc: Pc) -> bool {
+        self.entries.iter().any(|e| e.0 == pc)
+    }
+}
+
+/// The IBDA engine: streams a trace the way the hardware would observe a
+/// running program, learning the DLT and growing the IST one backward
+/// dependency level per execution.
+#[derive(Clone, Debug)]
+pub struct Ibda {
+    ist: PcTable,
+    dlt: Dlt,
+    /// Set of load PCs that miss the LLC (what the hardware observes from
+    /// its own cache-miss signal). Instance-level miss behaviour is
+    /// approximated by a per-PC miss period.
+    missing_loads: HashSet<Pc>,
+    reg_writer_pc: [Option<Pc>; crisp_isa::Reg::COUNT],
+}
+
+impl Ibda {
+    /// Creates the engine. `missing_loads` is the set of load PCs that
+    /// experience LLC misses (the hardware's runtime miss signal); a more
+    /// refined per-instance signal is unnecessary because the DLT only
+    /// counts frequency.
+    pub fn new(config: IbdaConfig, missing_loads: &[Pc]) -> Ibda {
+        Ibda {
+            ist: PcTable::new(config.ist_entries, config.ist_ways),
+            dlt: Dlt::new(config.dlt_entries),
+            missing_loads: missing_loads.iter().copied().collect(),
+            reg_writer_pc: [None; crisp_isa::Reg::COUNT],
+        }
+    }
+
+    /// Streams `trace`, updating the DLT and IST exactly one backward
+    /// level per instruction execution.
+    pub fn train(&mut self, program: &Program, trace: &Trace) {
+        for rec in trace {
+            let inst = program.inst(rec.pc);
+            // Delinquent loads enter via the DLT.
+            if inst.is_load()
+                && self.missing_loads.contains(&rec.pc)
+                && self.dlt.observe_miss(rec.pc)
+            {
+                self.ist.insert(rec.pc);
+            }
+            // IST-resident instructions pull their register producers in —
+            // the iterative backward step. Memory producers are invisible.
+            if self.ist.contains(rec.pc) {
+                for src in inst.dep_srcs() {
+                    if let Some(producer) = self.reg_writer_pc[src.index()] {
+                        self.ist.insert(producer);
+                    }
+                }
+            }
+            if let Some(d) = inst.dep_dst() {
+                self.reg_writer_pc[d.index()] = Some(rec.pc);
+            }
+        }
+    }
+
+    /// The learned criticality map: IST contents plus DLT residents.
+    pub fn criticality_map(&self, program_len: usize) -> Vec<bool> {
+        let mut map = vec![false; program_len];
+        for pc in self.ist.pcs() {
+            if (pc as usize) < program_len {
+                map[pc as usize] = true;
+            }
+        }
+        for &(pc, _) in &self.dlt.entries {
+            if (pc as usize) < program_len {
+                map[pc as usize] = true;
+            }
+        }
+        map
+    }
+
+    /// Number of distinct PCs currently held by the IST.
+    pub fn ist_occupancy(&self) -> usize {
+        self.ist.pcs().len()
+    }
+
+    /// Number of loads currently resident in the DLT.
+    pub fn dlt_occupancy(&self) -> usize {
+        self.dlt.entries.len()
+    }
+
+    /// Whether a load is currently resident in the DLT.
+    pub fn dlt_contains(&self, pc: Pc) -> bool {
+        self.dlt.contains(pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crisp_emu::{Emulator, Memory};
+    use crisp_isa::{AluOp, Cond, ProgramBuilder, Reg};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    /// A loop recomputing a load address each iteration so IBDA can grow
+    /// the slice iteratively: add -> shl -> load.
+    fn loop_with_address_chain() -> (Program, Trace, Pc) {
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 0); // 0: i
+        b.li(r(5), 64); // 1: count
+        let top = b.label();
+        b.bind(top);
+        b.alu_ri(AluOp::Add, r(2), r(1), 3); // 2
+        b.alu_ri(AluOp::Shl, r(3), r(2), 6); // 3
+        let load = b.load(r(4), r(3), 0x10000, 8); // 4
+        b.alu_ri(AluOp::Add, r(1), r(1), 1); // 5
+        b.branch(Cond::Ne, r(1), r(5), top); // 6
+        b.halt();
+        let p = b.build();
+        let t = Emulator::new(&p, Memory::new()).run(10_000);
+        (p, t, load)
+    }
+
+    #[test]
+    fn iterative_growth_captures_register_slice() {
+        let (p, t, load) = loop_with_address_chain();
+        let mut ibda = Ibda::new(IbdaConfig::ist_1k(), &[load]);
+        ibda.train(&p, &t);
+        let map = ibda.criticality_map(p.len());
+        assert!(map[load as usize], "delinquent load tagged");
+        assert!(map[3], "first-level producer (shl) captured");
+        assert!(map[2], "second-level producer (add) captured");
+    }
+
+    #[test]
+    fn growth_is_one_level_per_execution() {
+        let (p, t, load) = loop_with_address_chain();
+        // After one loop iteration the load and its direct producer are in
+        // the IST (the DLT admission marks the load before its own lookup,
+        // so level one lands in the same iteration); the second backward
+        // level (the add) needs a second execution of the shl.
+        let one_iter: Trace = t.iter().take(2 + 5).copied().collect();
+        let mut ibda = Ibda::new(IbdaConfig::ist_1k(), &[load]);
+        ibda.train(&p, &one_iter);
+        let map = ibda.criticality_map(p.len());
+        assert!(map[load as usize]);
+        assert!(map[3], "first backward level after one iteration");
+        assert!(!map[2], "second level needs another execution");
+
+        let two_iters: Trace = t.iter().take(2 + 2 * 5).copied().collect();
+        let mut ibda2 = Ibda::new(IbdaConfig::ist_1k(), &[load]);
+        ibda2.train(&p, &two_iters);
+        let map2 = ibda2.criticality_map(p.len());
+        assert!(map2[2], "second level after the second iteration");
+        assert!(!map2[0], "loop-invariant li of i needs a third iteration");
+    }
+
+    #[test]
+    fn memory_dependencies_are_invisible() {
+        // Spill/reload: IBDA finds the reload's address producer but not
+        // the spilled value's producer.
+        let mut b = ProgramBuilder::new();
+        b.li(r(30), 0x8000); // 0
+        b.li(r(2), 0x4000); // 1: true origin
+        b.store(r(30), 0, r(2), 8); // 2: spill
+        b.li(r(2), 0); // 3
+        b.load(r(4), r(30), 0, 8); // 4: reload
+        let load = b.load(r(5), r(4), 0, 8); // 5: delinquent
+        b.halt();
+        let p = b.build();
+        // Execute the block repeatedly so IBDA has iterations to grow.
+        // (a single block is enough: all producers are in-block)
+        let t = Emulator::new(&p, Memory::new()).run(100);
+        let mut ibda = Ibda::new(IbdaConfig::ist_infinite(), &[load]);
+        // Train multiple times to let the slice grow fully.
+        for _ in 0..4 {
+            ibda.train(&p, &t);
+        }
+        let map = ibda.criticality_map(p.len());
+        assert!(map[5]);
+        assert!(map[4], "address producer (reload) captured");
+        assert!(
+            !map[1],
+            "value passed through memory must stay invisible to IBDA"
+        );
+        assert!(!map[2], "the spill store is not a register producer");
+    }
+
+    #[test]
+    fn dlt_is_capacity_bounded_and_retains_hot_loads() {
+        // One hot missing load inside a loop plus many cold missing loads:
+        // the frequency-counting DLT keeps the hot load resident while the
+        // cold ones churn through, and never exceeds its capacity.
+        let mut b = ProgramBuilder::new();
+        let mut load_pcs = Vec::new();
+        b.li(r(1), 0x100000); // 0
+        b.li(r(5), 50); // 1
+        let top = b.label();
+        b.bind(top);
+        let hot = b.load(r(2), r(1), 0, 8);
+        load_pcs.push(hot);
+        b.alu_ri(AluOp::Sub, r(5), r(5), 1);
+        b.branch(Cond::Ne, r(5), Reg::ZERO, top);
+        for i in 0..40 {
+            load_pcs.push(b.load(r(2), r(1), 64 * (i + 1), 8));
+        }
+        b.halt();
+        let p = b.build();
+        let t = Emulator::new(&p, Memory::new()).run(10_000);
+        let cfg = IbdaConfig {
+            dlt_entries: 4,
+            ..IbdaConfig::ist_infinite()
+        };
+        let mut ibda = Ibda::new(cfg, &load_pcs);
+        ibda.train(&p, &t);
+        assert!(ibda.dlt_occupancy() <= 4);
+        assert!(
+            ibda.dlt_contains(hot),
+            "hot load must survive the cold-load churn"
+        );
+    }
+
+    #[test]
+    fn small_ist_thrashes_on_large_slices() {
+        // A program with many address-generating instructions: the 8-entry
+        // IST retains only a fraction, the infinite IST keeps them all.
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 0); // 0
+        b.li(r(5), 32); // 1
+        let top = b.label();
+        b.bind(top);
+        // 16-deep address chain.
+        for k in 0..16 {
+            b.alu_ri(AluOp::Add, r(2), if k == 0 { r(1) } else { r(2) }, 1);
+        }
+        let load = b.load(r(4), r(2), 0x20000, 8); // 18
+        b.alu_ri(AluOp::Add, r(1), r(1), 1);
+        b.branch(Cond::Ne, r(1), r(5), top);
+        b.halt();
+        let p = b.build();
+        let t = Emulator::new(&p, Memory::new()).run(10_000);
+
+        let mut tiny = Ibda::new(
+            IbdaConfig {
+                ist_entries: 8,
+                ist_ways: 2,
+                dlt_entries: 32,
+            },
+            &[load],
+        );
+        tiny.train(&p, &t);
+        let mut infinite = Ibda::new(IbdaConfig::ist_infinite(), &[load]);
+        infinite.train(&p, &t);
+        assert!(infinite.ist_occupancy() >= 17, "full slice captured");
+        assert!(
+            tiny.ist_occupancy() <= 8,
+            "tiny IST bounded: {}",
+            tiny.ist_occupancy()
+        );
+    }
+
+    #[test]
+    fn non_missing_loads_never_enter() {
+        let (p, t, load) = loop_with_address_chain();
+        let mut ibda = Ibda::new(IbdaConfig::ist_1k(), &[]);
+        ibda.train(&p, &t);
+        let map = ibda.criticality_map(p.len());
+        assert!(!map[load as usize]);
+        assert_eq!(ibda.ist_occupancy(), 0);
+    }
+
+    #[test]
+    fn config_presets() {
+        assert_eq!(IbdaConfig::ist_1k().ist_entries, 1024);
+        assert_eq!(IbdaConfig::ist_8k().ist_ways, 8);
+        assert_eq!(IbdaConfig::ist_64k().ist_entries, 65536);
+        assert_eq!(IbdaConfig::ist_infinite().ist_entries, usize::MAX);
+    }
+}

@@ -1,0 +1,60 @@
+use crate::Pc;
+
+/// Dynamic sequence number: the position of a dynamic instruction in the
+/// retired instruction stream.
+pub type Seq = u64;
+
+/// One retired dynamic instruction: the compact trace record produced by the
+/// functional emulator and consumed by the cycle-level simulator, the
+/// profiler and the slicer.
+///
+/// The static operands (opcode, registers, immediate) are looked up through
+/// the owning [`crate::Program`] via [`DynInst::pc`]; the record carries only
+/// the execution-dependent facts: the effective memory address, the branch
+/// outcome and the next pc.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DynInst {
+    /// Static instruction index.
+    pub pc: Pc,
+    /// The pc of the next dynamic instruction (fall-through or branch
+    /// target).
+    pub next_pc: Pc,
+    /// Effective memory address (valid only for loads and stores; zero
+    /// otherwise).
+    pub addr: u64,
+    /// Whether a conditional branch was taken (false for everything else).
+    pub taken: bool,
+}
+
+impl DynInst {
+    /// A non-memory, non-branch record.
+    pub fn simple(pc: Pc, next_pc: Pc) -> DynInst {
+        DynInst {
+            pc,
+            next_pc,
+            addr: 0,
+            taken: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_constructor_zeroes_execution_facts() {
+        let d = DynInst::simple(3, 4);
+        assert_eq!(d.pc, 3);
+        assert_eq!(d.next_pc, 4);
+        assert_eq!(d.addr, 0);
+        assert!(!d.taken);
+    }
+
+    #[test]
+    fn record_is_compact() {
+        // The trace format must stay small: multi-million-instruction
+        // windows are held in memory during slicing.
+        assert!(std::mem::size_of::<DynInst>() <= 24);
+    }
+}

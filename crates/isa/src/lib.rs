@@ -1,0 +1,54 @@
+//! # crisp-isa
+//!
+//! The mini-ISA underpinning the CRISP reproduction: architectural
+//! registers, opcodes with functional-unit classes and latencies, static
+//! [`Program`]s, and the compact dynamic-instruction records
+//! ([`DynInst`]) that form execution traces.
+//!
+//! The ISA is a load/store RISC machine with x86-flavoured *variable
+//! instruction byte sizes* so that the one-byte CRISP `critical` prefix has a
+//! measurable effect on code footprint and instruction-cache behaviour
+//! (paper Section 5.7 / Figure 12).
+//!
+//! ## Example
+//!
+//! ```
+//! use crisp_isa::{ProgramBuilder, Reg, Cond};
+//!
+//! // A loop that sums a 16-element array.
+//! let mut b = ProgramBuilder::new();
+//! let ptr = Reg::new(1);
+//! let acc = Reg::new(2);
+//! let cnt = Reg::new(3);
+//! let tmp = Reg::new(4);
+//! b.li(ptr, 0x1000);
+//! b.li(acc, 0);
+//! b.li(cnt, 16);
+//! let top = b.label();
+//! b.bind(top);
+//! b.load(tmp, ptr, 0, 8);
+//! b.alu_rr(crisp_isa::AluOp::Add, acc, acc, tmp);
+//! b.alu_ri(crisp_isa::AluOp::Add, ptr, ptr, 8);
+//! b.alu_ri(crisp_isa::AluOp::Sub, cnt, cnt, 1);
+//! b.branch(Cond::Ne, cnt, Reg::ZERO, top);
+//! b.halt();
+//! let program = b.build();
+//! assert_eq!(program.len(), 9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dyninst;
+mod inst;
+mod op;
+mod program;
+mod reg;
+mod trace;
+
+pub use dyninst::{DynInst, Seq};
+pub use inst::{CtrlKind, MemWidth, StaticInst};
+pub use op::{AluOp, Cond, FuClass, Opcode};
+pub use program::{Layout, Pc, Program, ProgramBuilder, ProgramError};
+pub use reg::Reg;
+pub use trace::{Trace, TraceStats};

@@ -1,0 +1,128 @@
+use std::fmt;
+
+/// An architectural general-purpose register, `r0`..`r31`.
+///
+/// `r0` ([`Reg::ZERO`]) is hard-wired to zero, RISC-style: writes to it are
+/// discarded by the functional emulator and it never creates a data
+/// dependency (the slicer treats it as a constant source, matching the
+/// paper's slice-termination rule for constant operands).
+///
+/// # Example
+///
+/// ```
+/// use crisp_isa::Reg;
+/// let r = Reg::new(7);
+/// assert_eq!(r.index(), 7);
+/// assert_eq!(r.to_string(), "r7");
+/// assert!(Reg::ZERO.is_zero());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// The hard-wired zero register, `r0`.
+    pub const ZERO: Reg = Reg(0);
+
+    /// The stack pointer by convention, `r30`. Workloads use it for
+    /// register spills so that slices exercise dependencies through memory.
+    pub const SP: Reg = Reg(30);
+
+    /// The link register by convention, `r31`, written by `call`.
+    pub const LINK: Reg = Reg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= Reg::COUNT`.
+    #[inline]
+    pub fn new(index: u8) -> Reg {
+        assert!(
+            (index as usize) < Reg::COUNT,
+            "register index {index} out of range"
+        );
+        Reg(index)
+    }
+
+    /// Creates a register in const context.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at compile time when const-evaluated) if `index >= 32`.
+    pub const fn new_const(index: u8) -> Reg {
+        assert!(index < Reg::COUNT as u8, "register index out of range");
+        Reg(index)
+    }
+
+    /// The register's index in `0..Reg::COUNT`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hard-wired zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over every architectural register.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..Reg::COUNT as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_index_round_trip() {
+        for i in 0..Reg::COUNT as u8 {
+            assert_eq!(Reg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn zero_register_identity() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::new(1).is_zero());
+        assert_eq!(Reg::ZERO, Reg::new(0));
+    }
+
+    #[test]
+    fn all_yields_each_register_once() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), Reg::COUNT);
+        for (i, r) in regs.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Reg::new(13).to_string(), "r13");
+        assert_eq!(format!("{:?}", Reg::ZERO), "r0");
+    }
+}

@@ -1,0 +1,279 @@
+/// Geometry of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+}
+
+impl CacheConfig {
+    /// A convenience constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not produce a power-of-two set count.
+    pub fn new(capacity: u64, ways: usize, line_bytes: u64) -> CacheConfig {
+        let c = CacheConfig {
+            capacity,
+            ways,
+            line_bytes,
+        };
+        assert!(c.sets().is_power_of_two(), "set count must be a power of two");
+        c
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        (self.capacity / (self.ways as u64 * self.line_bytes)) as usize
+    }
+}
+
+/// Hit/miss counters of one cache level.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookup count.
+    pub accesses: u64,
+    /// Misses (including prefetch misses if prefetches probe this level).
+    pub misses: u64,
+    /// Lines filled by prefetches.
+    pub prefetch_fills: u64,
+    /// Demand hits on lines brought in by prefetch (prefetch usefulness).
+    pub prefetch_hits: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]`.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Way {
+    tag: u64,
+    stamp: u64,
+    valid: bool,
+    prefetched: bool,
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// The cache tracks *presence* only — data lives in the functional
+/// emulator; timing lives in [`crate::MemoryHierarchy`]. Lines brought in
+/// by prefetch are flagged so usefulness can be measured.
+///
+/// # Example
+///
+/// ```
+/// use crisp_mem::{Cache, CacheConfig};
+/// let mut c = Cache::new(CacheConfig::new(32 * 1024, 8, 64));
+/// let line = 0x40;
+/// assert!(!c.access(line));
+/// c.fill(line, false);
+/// assert!(c.access(line));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    sets: Vec<Vec<Way>>,
+    ways: usize,
+    set_mask: u64,
+    stamp: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache from its geometry.
+    pub fn new(config: CacheConfig) -> Cache {
+        let sets = config.sets();
+        Cache {
+            sets: vec![Vec::with_capacity(config.ways); sets],
+            ways: config.ways,
+            set_mask: sets as u64 - 1,
+            stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    #[inline]
+    fn set_index(&self, line: u64) -> usize {
+        (line & self.set_mask) as usize
+    }
+
+    /// Looks up `line` (a *line* address, not a byte address), updating LRU
+    /// and counters. Returns whether it hit.
+    pub fn access(&mut self, line: u64) -> bool {
+        self.stamp += 1;
+        self.stats.accesses += 1;
+        let set = self.set_index(line);
+        for w in &mut self.sets[set] {
+            if w.valid && w.tag == line {
+                w.stamp = self.stamp;
+                if w.prefetched {
+                    w.prefetched = false;
+                    self.stats.prefetch_hits += 1;
+                }
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Probes for `line` without updating LRU or counters.
+    pub fn probe(&self, line: u64) -> bool {
+        let set = self.set_index(line);
+        self.sets[set].iter().any(|w| w.valid && w.tag == line)
+    }
+
+    /// Fills `line`, evicting the LRU way if the set is full. Returns the
+    /// evicted line, if any. `prefetched` marks prefetch fills.
+    pub fn fill(&mut self, line: u64, prefetched: bool) -> Option<u64> {
+        self.stamp += 1;
+        if prefetched {
+            self.stats.prefetch_fills += 1;
+        }
+        let stamp = self.stamp;
+        let ways = self.ways;
+        let set_idx = self.set_index(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == line) {
+            w.stamp = stamp;
+            return None;
+        }
+        let new_way = Way {
+            tag: line,
+            stamp,
+            valid: true,
+            prefetched,
+        };
+        if set.len() < ways {
+            set.push(new_way);
+            None
+        } else {
+            let victim = set.iter_mut().min_by_key(|w| w.stamp).expect("full set");
+            let evicted = victim.tag;
+            *victim = new_way;
+            Some(evicted)
+        }
+    }
+
+    /// Invalidates `line` if present; returns whether it was present.
+    pub fn invalidate(&mut self, line: u64) -> bool {
+        let set = self.set_index(line);
+        for w in &mut self.sets[set] {
+            if w.valid && w.tag == line {
+                w.valid = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The level's counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways.
+        Cache::new(CacheConfig::new(8 * 64, 2, 64))
+    }
+
+    #[test]
+    fn cold_miss_then_hit_after_fill() {
+        let mut c = small();
+        assert!(!c.access(5));
+        c.fill(5, false);
+        assert!(c.access(5));
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small();
+        // Lines 0, 4, 8 all map to set 0 (4 sets).
+        c.fill(0, false);
+        c.fill(4, false);
+        assert!(c.access(0)); // 4 becomes LRU
+        assert_eq!(c.fill(8, false), Some(4));
+        assert!(c.probe(0));
+        assert!(!c.probe(4));
+        assert!(c.probe(8));
+    }
+
+    #[test]
+    fn refill_of_present_line_evicts_nothing() {
+        let mut c = small();
+        c.fill(1, false);
+        assert_eq!(c.fill(1, false), None);
+    }
+
+    #[test]
+    fn probe_does_not_touch_stats_or_lru() {
+        let mut c = small();
+        c.fill(0, false);
+        c.fill(4, false);
+        let before = c.stats();
+        assert!(c.probe(0));
+        assert_eq!(c.stats(), before);
+        // LRU untouched by probe: 0 is still older, so it gets evicted.
+        assert_eq!(c.fill(8, false), Some(0));
+    }
+
+    #[test]
+    fn prefetch_usefulness_counted_once() {
+        let mut c = small();
+        c.fill(3, true);
+        assert!(c.access(3));
+        assert!(c.access(3));
+        let s = c.stats();
+        assert_eq!(s.prefetch_fills, 1);
+        assert_eq!(s.prefetch_hits, 1);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small();
+        c.fill(7, false);
+        assert!(c.invalidate(7));
+        assert!(!c.probe(7));
+        assert!(!c.invalidate(7));
+    }
+
+    #[test]
+    fn miss_ratio_computation() {
+        let mut c = small();
+        c.access(1); // miss
+        c.fill(1, false);
+        c.access(1); // hit
+        assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn geometry_sets() {
+        let cfg = CacheConfig::new(32 * 1024, 8, 64);
+        assert_eq!(cfg.sets(), 64);
+        let llc = CacheConfig::new(1024 * 1024, 16, 64);
+        assert_eq!(llc.sets(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        let _ = CacheConfig::new(3 * 64, 1, 64);
+    }
+}

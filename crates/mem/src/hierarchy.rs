@@ -1,0 +1,595 @@
+use crate::{
+    line_of, Bop, Cache, CacheConfig, CacheStats, Dram, DramConfig, DramStats, Ghb, Prefetcher,
+    StreamPrefetcher, StridePrefetcher, LINE_BYTES,
+};
+use std::collections::HashMap;
+
+/// Which level served an access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HitLevel {
+    /// Served by the first-level cache.
+    L1,
+    /// Served by the last-level cache.
+    Llc,
+    /// Served by DRAM (an LLC miss).
+    Dram,
+}
+
+/// The outcome of one memory access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Access latency in core cycles.
+    pub latency: u64,
+    /// The level that served the access (in-flight merges report the level
+    /// the original miss went to).
+    pub level: HitLevel,
+}
+
+impl AccessResult {
+    /// The cycle at which the data is available, given the access started
+    /// at `now`.
+    pub fn ready_at(&self, now: u64) -> u64 {
+        now + self.latency
+    }
+}
+
+/// Data-prefetcher selection (Table 1 uses BOP + Stream).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PrefetcherKind {
+    /// No data prefetching.
+    None,
+    /// Stream prefetcher only.
+    Stream,
+    /// Best-offset prefetcher only.
+    Bop,
+    /// Both BOP and Stream (the paper's baseline).
+    #[default]
+    BopAndStream,
+    /// Per-PC stride prefetcher only.
+    Stride,
+    /// Global-history-buffer delta-correlation prefetcher only.
+    Ghb,
+}
+
+/// Full configuration of the memory hierarchy.
+#[derive(Clone, Copy, Debug)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache geometry.
+    pub l1i: CacheConfig,
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Last-level cache geometry.
+    pub llc: CacheConfig,
+    /// L1I hit latency (cycles).
+    pub l1i_latency: u64,
+    /// L1D hit latency (cycles).
+    pub l1d_latency: u64,
+    /// LLC hit latency (cycles).
+    pub llc_latency: u64,
+    /// DRAM model parameters.
+    pub dram: DramConfig,
+    /// Data-prefetcher selection.
+    pub prefetcher: PrefetcherKind,
+    /// Maximum prefetches issued per demand access.
+    pub max_prefetches_per_access: usize,
+}
+
+impl HierarchyConfig {
+    /// The paper's Table 1 uncore: 32 KiB 8-way L1I (3 cycles), 32 KiB
+    /// 8-way L1D (4 cycles), 1 MiB LLC (36 cycles; 16-way here so set
+    /// counts stay powers of two vs. the paper's 20-way), DDR4-2400 with
+    /// one channel, BOP + Stream prefetching.
+    pub fn skylake_like() -> HierarchyConfig {
+        HierarchyConfig {
+            l1i: CacheConfig::new(32 * 1024, 8, LINE_BYTES),
+            l1d: CacheConfig::new(32 * 1024, 8, LINE_BYTES),
+            llc: CacheConfig::new(1024 * 1024, 16, LINE_BYTES),
+            l1i_latency: 3,
+            l1d_latency: 4,
+            llc_latency: 36,
+            dram: DramConfig::default(),
+            prefetcher: PrefetcherKind::BopAndStream,
+            max_prefetches_per_access: 4,
+        }
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> HierarchyConfig {
+        HierarchyConfig::skylake_like()
+    }
+}
+
+/// Aggregated counters of the hierarchy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemStats {
+    /// Demand loads observed.
+    pub loads: u64,
+    /// Demand stores observed.
+    pub stores: u64,
+    /// Instruction fetch accesses observed.
+    pub fetches: u64,
+    /// Demand loads that missed the LLC (went to DRAM).
+    pub load_llc_misses: u64,
+    /// Demand loads that merged into an in-flight fill.
+    pub load_merges: u64,
+    /// Prefetch fills issued to DRAM.
+    pub prefetches_issued: u64,
+    /// L1I stats snapshot.
+    pub l1i: CacheStats,
+    /// L1D stats snapshot.
+    pub l1d: CacheStats,
+    /// LLC stats snapshot.
+    pub llc: CacheStats,
+    /// DRAM stats snapshot.
+    pub dram: DramStats,
+}
+
+/// The three-level memory hierarchy plus DRAM and prefetchers.
+///
+/// See the crate-level example. All `now` arguments are core-cycle times;
+/// the hierarchy is a passive timing oracle — it never advances time
+/// itself, so it composes with any core model.
+pub struct MemoryHierarchy {
+    config: HierarchyConfig,
+    l1i: Cache,
+    l1d: Cache,
+    llc: Cache,
+    dram: Dram,
+    bop: Option<Bop>,
+    stream: Option<StreamPrefetcher>,
+    stride: Option<StridePrefetcher>,
+    ghb: Option<Ghb>,
+    /// MSHR-style in-flight fills: line -> (ready cycle, original level).
+    inflight: HashMap<u64, (u64, HitLevel)>,
+    scratch: Vec<u64>,
+    loads: u64,
+    stores: u64,
+    fetches: u64,
+    load_llc_misses: u64,
+    load_merges: u64,
+    prefetches_issued: u64,
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy from a configuration.
+    pub fn new(config: HierarchyConfig) -> MemoryHierarchy {
+        let (bop, stream, stride, ghb) = match config.prefetcher {
+            PrefetcherKind::None => (None, None, None, None),
+            PrefetcherKind::Stream => (None, Some(StreamPrefetcher::new(16, 4, 2)), None, None),
+            PrefetcherKind::Bop => (Some(Bop::new()), None, None, None),
+            PrefetcherKind::BopAndStream => (
+                Some(Bop::new()),
+                Some(StreamPrefetcher::new(16, 4, 2)),
+                None,
+                None,
+            ),
+            PrefetcherKind::Stride => (None, None, Some(StridePrefetcher::new(256, 2)), None),
+            PrefetcherKind::Ghb => (None, None, None, Some(Ghb::new(512, 256, 4))),
+        };
+        MemoryHierarchy {
+            l1i: Cache::new(config.l1i),
+            l1d: Cache::new(config.l1d),
+            llc: Cache::new(config.llc),
+            dram: Dram::new(config.dram),
+            bop,
+            stream,
+            stride,
+            ghb,
+            inflight: HashMap::new(),
+            scratch: Vec::new(),
+            loads: 0,
+            stores: 0,
+            fetches: 0,
+            load_llc_misses: 0,
+            load_merges: 0,
+            prefetches_issued: 0,
+            config,
+        }
+    }
+
+    /// The hierarchy's configuration.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// A demand load of the 64-byte line containing `addr` by the
+    /// instruction at `pc`, starting at cycle `now`.
+    pub fn load(&mut self, addr: u64, pc: u64, now: u64) -> AccessResult {
+        self.loads += 1;
+        let line = line_of(addr);
+        if self.l1d.access(line) {
+            // The line may be present (filled at request time) but still in
+            // flight from DRAM: merge into the outstanding fill.
+            if let Some(res) = self.check_inflight(line, now, self.config.l1d_latency) {
+                return res;
+            }
+            return AccessResult {
+                latency: self.config.l1d_latency,
+                level: HitLevel::L1,
+            };
+        }
+        // Train prefetchers on the L1-miss stream.
+        self.train_prefetchers(line, pc);
+        let result = self.miss_path(line, addr, now, true);
+        self.issue_prefetches(now);
+        result
+    }
+
+    /// A demand store to the line containing `addr`.
+    ///
+    /// Stores are write-allocate but their latency is absorbed by the
+    /// store buffer: the returned latency is always the L1 latency, while
+    /// any required fill proceeds in the background (and occupies DRAM
+    /// banks).
+    pub fn store(&mut self, addr: u64, pc: u64, now: u64) -> AccessResult {
+        self.stores += 1;
+        let line = line_of(addr);
+        if !self.l1d.access(line) {
+            self.train_prefetchers(line, pc);
+            let _ = self.miss_path(line, addr, now, false);
+            self.issue_prefetches(now);
+        }
+        AccessResult {
+            latency: self.config.l1d_latency,
+            level: HitLevel::L1,
+        }
+    }
+
+    /// An instruction fetch of the line containing byte address `addr`.
+    pub fn fetch(&mut self, addr: u64, now: u64) -> AccessResult {
+        self.fetches += 1;
+        let line = line_of(addr);
+        if self.l1i.access(line) {
+            if let Some(res) = self.check_inflight(line, now, self.config.l1i_latency) {
+                return res;
+            }
+            return AccessResult {
+                latency: self.config.l1i_latency,
+                level: HitLevel::L1,
+            };
+        }
+        if let Some(res) = self.check_inflight(line, now, self.config.l1i_latency) {
+            self.l1i.fill(line, false);
+            return res;
+        }
+        if self.llc.access(line) {
+            self.l1i.fill(line, false);
+            return AccessResult {
+                latency: self.config.l1i_latency + self.config.llc_latency,
+                level: HitLevel::Llc,
+            };
+        }
+        let done = self.dram.request(addr, now + self.config.llc_latency);
+        self.llc.fill(line, false);
+        self.l1i.fill(line, false);
+        self.inflight.insert(line, (done, HitLevel::Dram));
+        AccessResult {
+            latency: done - now,
+            level: HitLevel::Dram,
+        }
+    }
+
+    /// Prefetches the instruction line containing `addr` into L1I (used by
+    /// the FDIP frontend). No demand counters are touched.
+    pub fn prefetch_inst(&mut self, addr: u64, now: u64) {
+        let line = line_of(addr);
+        if self.l1i.probe(line) || self.inflight.contains_key(&line) {
+            return;
+        }
+        if self.llc.access(line) {
+            self.l1i.fill(line, true);
+            let ready = now + self.config.l1i_latency + self.config.llc_latency;
+            self.inflight.insert(line, (ready, HitLevel::Llc));
+            return;
+        }
+        let done = self.dram.request(addr, now + self.config.llc_latency);
+        self.llc.fill(line, true);
+        self.l1i.fill(line, true);
+        self.inflight.insert(line, (done, HitLevel::Dram));
+        self.prefetches_issued += 1;
+    }
+
+    /// Prefetches the data line containing `addr` into the LLC (software
+    /// or experiment-driven prefetch injection).
+    pub fn prefetch_data(&mut self, addr: u64, now: u64) {
+        let line = line_of(addr);
+        if self.llc.probe(line) || self.inflight.contains_key(&line) {
+            return;
+        }
+        let done = self.dram.request(addr, now + self.config.llc_latency);
+        self.llc.fill(line, true);
+        self.inflight.insert(line, (done, HitLevel::Dram));
+        self.prefetches_issued += 1;
+    }
+
+    fn check_inflight(&mut self, line: u64, now: u64, l1_lat: u64) -> Option<AccessResult> {
+        if let Some(&(ready, level)) = self.inflight.get(&line) {
+            if ready > now {
+                self.load_merges += 1;
+                return Some(AccessResult {
+                    latency: (ready - now).max(l1_lat),
+                    level,
+                });
+            }
+            self.inflight.remove(&line);
+        }
+        None
+    }
+
+    fn miss_path(&mut self, line: u64, addr: u64, now: u64, is_load: bool) -> AccessResult {
+        if let Some(res) = self.check_inflight(line, now, self.config.l1d_latency) {
+            self.l1d.fill(line, false);
+            return res;
+        }
+        if self.llc.access(line) {
+            self.l1d.fill(line, false);
+            return AccessResult {
+                latency: self.config.l1d_latency + self.config.llc_latency,
+                level: HitLevel::Llc,
+            };
+        }
+        if is_load {
+            self.load_llc_misses += 1;
+        }
+        let done = self.dram.request(addr, now + self.config.llc_latency);
+        self.llc.fill(line, false);
+        self.l1d.fill(line, false);
+        self.inflight.insert(line, (done, HitLevel::Dram));
+        if let Some(bop) = &mut self.bop {
+            bop.on_fill(line);
+        }
+        AccessResult {
+            latency: done - now,
+            level: HitLevel::Dram,
+        }
+    }
+
+    fn train_prefetchers(&mut self, line: u64, pc: u64) {
+        self.scratch.clear();
+        if let Some(p) = &mut self.bop {
+            p.on_access(line, pc, false, &mut self.scratch);
+        }
+        if let Some(p) = &mut self.stream {
+            p.on_access(line, pc, false, &mut self.scratch);
+        }
+        if let Some(p) = &mut self.stride {
+            p.on_access(line, pc, false, &mut self.scratch);
+        }
+        if let Some(p) = &mut self.ghb {
+            p.on_access(line, pc, false, &mut self.scratch);
+        }
+        self.scratch.truncate(self.config.max_prefetches_per_access);
+    }
+
+    fn issue_prefetches(&mut self, now: u64) {
+        // The candidates were collected by `train_prefetchers`.
+        let candidates = std::mem::take(&mut self.scratch);
+        for &line in &candidates {
+            if self.llc.probe(line) || self.inflight.contains_key(&line) {
+                continue;
+            }
+            let addr = line * LINE_BYTES;
+            let done = self.dram.request(addr, now + self.config.llc_latency);
+            self.llc.fill(line, true);
+            self.inflight.insert(line, (done, HitLevel::Dram));
+            self.prefetches_issued += 1;
+        }
+        self.scratch = candidates;
+        // Bound the MSHR map: drop long-completed fills occasionally.
+        if self.inflight.len() > 4096 {
+            self.inflight.retain(|_, (ready, _)| *ready > now);
+        }
+    }
+
+    /// A snapshot of all counters.
+    pub fn stats(&self) -> MemStats {
+        MemStats {
+            loads: self.loads,
+            stores: self.stores,
+            fetches: self.fetches,
+            load_llc_misses: self.load_llc_misses,
+            load_merges: self.load_merges,
+            prefetches_issued: self.prefetches_issued,
+            l1i: self.l1i.stats(),
+            l1d: self.l1d.stats(),
+            llc: self.llc.stats(),
+            dram: self.dram.stats(),
+        }
+    }
+}
+
+impl std::fmt::Debug for MemoryHierarchy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryHierarchy")
+            .field("config", &self.config)
+            .field("inflight", &self.inflight.len())
+            .field("loads", &self.loads)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_prefetch() -> MemoryHierarchy {
+        MemoryHierarchy::new(HierarchyConfig {
+            prefetcher: PrefetcherKind::None,
+            ..HierarchyConfig::skylake_like()
+        })
+    }
+
+    #[test]
+    fn cold_load_goes_to_dram_then_hits_l1() {
+        let mut m = no_prefetch();
+        let r1 = m.load(0x100000, 1, 0);
+        assert_eq!(r1.level, HitLevel::Dram);
+        assert!(r1.latency > m.config().llc_latency);
+        let r2 = m.load(0x100000, 1, r1.ready_at(0));
+        assert_eq!(r2.level, HitLevel::L1);
+        assert_eq!(r2.latency, m.config().l1d_latency);
+    }
+
+    #[test]
+    fn llc_hit_after_l1_eviction() {
+        let mut m = no_prefetch();
+        // Fill L1D (32 KiB / 64 B = 512 lines) beyond capacity with one set.
+        // Lines that alias to set 0 in L1 (64 sets): stride 64 lines.
+        let base = 0x40_0000u64;
+        let mut t = 0;
+        for i in 0..16u64 {
+            let r = m.load(base + i * 64 * 64 * 64, 1, t);
+            t = r.ready_at(t) + 1;
+        }
+        // First line evicted from L1 (8 ways) but still in LLC.
+        let r = m.load(base, 1, t);
+        assert_eq!(r.level, HitLevel::Llc);
+        assert_eq!(
+            r.latency,
+            m.config().l1d_latency + m.config().llc_latency
+        );
+    }
+
+    #[test]
+    fn inflight_merge_returns_partial_latency() {
+        let mut m = no_prefetch();
+        let r1 = m.load(0x200000, 1, 0);
+        assert_eq!(r1.level, HitLevel::Dram);
+        // A second load to the same line 10 cycles later must not pay the
+        // full DRAM latency again, and must not hit L1 instantly: the line
+        // is physically filled only at r1.ready_at(0).
+        let merge = m.load(0x200000 + 8, 3, 10);
+        assert_eq!(merge.level, HitLevel::Dram);
+        assert_eq!(merge.latency, r1.latency - 10);
+        assert_eq!(m.stats().load_merges, 1);
+        assert_eq!(m.stats().load_llc_misses, 1);
+        // After the fill lands, it is a plain L1 hit.
+        let after = m.load(0x200000, 4, r1.ready_at(0));
+        assert_eq!(after.level, HitLevel::L1);
+    }
+
+    #[test]
+    fn store_latency_hidden_by_store_buffer() {
+        let mut m = no_prefetch();
+        let r = m.store(0x500000, 9, 0);
+        assert_eq!(r.latency, m.config().l1d_latency);
+        // But the line was allocated: next load hits.
+        let r2 = m.load(0x500000, 9, 500);
+        assert_eq!(r2.level, HitLevel::L1);
+        assert_eq!(m.stats().stores, 1);
+    }
+
+    #[test]
+    fn fetch_uses_l1i_latency() {
+        let mut m = no_prefetch();
+        let r1 = m.fetch(0x1000, 0);
+        assert_eq!(r1.level, HitLevel::Dram);
+        let r2 = m.fetch(0x1000, r1.ready_at(0));
+        assert_eq!(r2.level, HitLevel::L1);
+        assert_eq!(r2.latency, m.config().l1i_latency);
+        assert_eq!(m.stats().fetches, 2);
+    }
+
+    #[test]
+    fn inst_prefetch_hides_fetch_latency() {
+        let mut m = no_prefetch();
+        m.prefetch_inst(0x2000, 0);
+        // After the prefetch completes, the demand fetch is an L1 hit.
+        let r = m.fetch(0x2000, 1000);
+        assert_eq!(r.level, HitLevel::L1);
+    }
+
+    #[test]
+    fn data_prefetch_turns_miss_into_llc_hit() {
+        let mut m = no_prefetch();
+        m.prefetch_data(0x700000, 0);
+        let r = m.load(0x700000, 4, 1000);
+        assert_eq!(r.level, HitLevel::Llc);
+        assert_eq!(m.stats().prefetches_issued, 1);
+    }
+
+    #[test]
+    fn stream_prefetcher_covers_sequential_misses() {
+        let mut with_pf = MemoryHierarchy::new(HierarchyConfig {
+            prefetcher: PrefetcherKind::Stream,
+            ..HierarchyConfig::skylake_like()
+        });
+        let mut without = no_prefetch();
+        let mut lat_pf = 0u64;
+        let mut lat_no = 0u64;
+        let mut t = 0u64;
+        for i in 0..256u64 {
+            let addr = 0x100_0000 + i * 64;
+            lat_pf += with_pf.load(addr, 7, t).latency;
+            lat_no += without.load(addr, 7, t).latency;
+            t += 400; // enough time for prefetches to land
+        }
+        assert!(
+            lat_pf < lat_no / 2,
+            "stream prefetching should slash sequential miss latency: {lat_pf} vs {lat_no}"
+        );
+    }
+
+    #[test]
+    fn pointer_chase_defeats_prefetchers() {
+        // Irregular (hashed) addresses: prefetching should not help, which
+        // is exactly the gap CRISP targets.
+        let mut with_pf = MemoryHierarchy::new(HierarchyConfig::skylake_like());
+        let mut t = 0u64;
+        let mut x = 987654321u64;
+        let mut dram_hits = 0;
+        for _ in 0..200 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let addr = (x >> 20) & 0x3FFF_FFC0;
+            let r = with_pf.load(addr, 11, t);
+            if r.level == HitLevel::Dram {
+                dram_hits += 1;
+            }
+            t = r.ready_at(t);
+        }
+        assert!(
+            dram_hits > 150,
+            "irregular stream must stay DRAM-bound: {dram_hits}/200"
+        );
+    }
+
+    #[test]
+    fn stats_snapshot_consistency() {
+        let mut m = no_prefetch();
+        m.load(0x1000, 1, 0);
+        m.store(0x2000, 2, 10);
+        m.fetch(0x3000, 20);
+        let s = m.stats();
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.fetches, 1);
+        assert_eq!(s.l1d.accesses, 2);
+        assert_eq!(s.l1i.accesses, 1);
+        assert!(s.dram.requests >= 3);
+    }
+
+    #[test]
+    fn ghb_prefetcher_covers_strided_misses() {
+        let mut with_pf = MemoryHierarchy::new(HierarchyConfig {
+            prefetcher: PrefetcherKind::Ghb,
+            ..HierarchyConfig::skylake_like()
+        });
+        let mut without = no_prefetch();
+        let mut lat_pf = 0u64;
+        let mut lat_no = 0u64;
+        let mut t = 0u64;
+        // Stride of 3 lines: too wide for L1 spatial locality, easy for
+        // delta correlation.
+        for i in 0..256u64 {
+            let addr = 0x200_0000 + i * 192;
+            lat_pf += with_pf.load(addr, 9, t).latency;
+            lat_no += without.load(addr, 9, t).latency;
+            t += 400;
+        }
+        assert!(
+            lat_pf < lat_no * 3 / 4,
+            "GHB should cover a strided miss stream: {lat_pf} vs {lat_no}"
+        );
+    }
+}

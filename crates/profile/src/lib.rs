@@ -1,0 +1,550 @@
+//! # crisp-profile
+//!
+//! The profiling / classification stage of the CRISP pipeline (paper
+//! Section 3.2): consumes the per-PC statistics a profiling simulation
+//! collects (the simulated analogue of Intel PEBS / PMU counters / LBR)
+//! and decides which loads are *delinquent* and which branches are
+//! *hard to predict*.
+//!
+//! The classifier implements the paper's heuristic:
+//!
+//! * a load is critical if it represents a sufficient share of executed
+//!   loads, its LLC miss ratio exceeds a threshold (20 % by default), the
+//!   observed memory-level parallelism around its misses is low (< 5), and
+//!   it contributes at least `T` of all LLC misses (the Figure 10 knob);
+//! * thresholds scale linearly with the program's instruction mix and
+//!   baseline IPC ("application-specific behaviour", Section 3.2);
+//! * a branch is hard if its misprediction ratio exceeds 15 %.
+//!
+//! ## Example
+//!
+//! ```
+//! use crisp_profile::{ClassifierConfig, ProfileSummary};
+//! let cfg = ClassifierConfig::default();
+//! assert!((cfg.llc_miss_ratio_threshold - 0.20).abs() < 1e-12);
+//! assert!((cfg.branch_mispredict_threshold - 0.15).abs() < 1e-12);
+//! let _ = ProfileSummary::default();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use crisp_isa::Pc;
+use crisp_sim::SimResult;
+use std::collections::HashMap;
+
+/// Thresholds of the Section 3.2 criticality heuristic.
+///
+/// The paper quotes a 5 % execution-share bar for x86 binaries; the
+/// mini-ISA workloads here have unrolled loop bodies (and gcc-like apps
+/// spread probes over dozens of handler PCs), so the default share bar is
+/// 0.01 % — the miss-ratio and miss-contribution thresholds (`T`,
+/// Figure 10) remain the primary filters exactly as in the paper.
+#[derive(Clone, Copy, Debug)]
+pub struct ClassifierConfig {
+    /// Minimum share of all executed loads (default 0.01 %).
+    pub exec_ratio_threshold: f64,
+    /// Minimum per-load LLC miss ratio (default 20 %).
+    pub llc_miss_ratio_threshold: f64,
+    /// Maximum average MLP observed at the load's misses (default 5).
+    pub mlp_threshold: f64,
+    /// Minimum share of the application's total LLC misses this load must
+    /// contribute — the Figure 10 sensitivity knob `T` (default 1 %).
+    pub miss_contribution_threshold: f64,
+    /// Minimum branch misprediction ratio (default 15 %).
+    pub branch_mispredict_threshold: f64,
+    /// Minimum share of all conditional-branch executions for a branch to
+    /// qualify (filters cold branches; default 0.5 %).
+    pub branch_exec_ratio_threshold: f64,
+    /// Scale load thresholds linearly with instruction mix and baseline
+    /// IPC, per Section 3.2 (default on).
+    pub scale_with_application: bool,
+}
+
+impl Default for ClassifierConfig {
+    fn default() -> ClassifierConfig {
+        ClassifierConfig {
+            exec_ratio_threshold: 0.0001,
+            llc_miss_ratio_threshold: 0.20,
+            mlp_threshold: 5.0,
+            miss_contribution_threshold: 0.01,
+            branch_mispredict_threshold: 0.15,
+            branch_exec_ratio_threshold: 0.005,
+            scale_with_application: true,
+        }
+    }
+}
+
+impl ClassifierConfig {
+    /// Returns a copy with the miss-contribution threshold `T` replaced
+    /// (the Figure 10 sweep: 5 %, 1 %, 0.2 %).
+    pub fn with_miss_threshold(mut self, t: f64) -> ClassifierConfig {
+        self.miss_contribution_threshold = t;
+        self
+    }
+}
+
+/// One classified delinquent load, with the evidence that qualified it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DelinquentLoad {
+    /// The load's static PC.
+    pub pc: Pc,
+    /// Dynamic executions.
+    pub execs: u64,
+    /// LLC miss ratio of this load.
+    pub llc_miss_ratio: f64,
+    /// Average memory access time in cycles.
+    pub amat: f64,
+    /// Average MLP at this load's misses.
+    pub mlp: f64,
+    /// Share of the application's LLC misses this load causes.
+    pub miss_contribution: f64,
+}
+
+/// One classified hard-to-predict branch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HardBranch {
+    /// The branch's static PC.
+    pub pc: Pc,
+    /// Dynamic executions.
+    pub execs: u64,
+    /// Misprediction ratio.
+    pub mispredict_ratio: f64,
+}
+
+/// Application-level summary derived from a profiling run, used for the
+/// Section 3.2 threshold scaling and for reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ProfileSummary {
+    /// Baseline IPC of the profiling run.
+    pub ipc: f64,
+    /// Fraction of retired instructions that are loads.
+    pub load_fraction: f64,
+    /// Total dynamic loads.
+    pub total_loads: u64,
+    /// Total LLC misses from demand loads.
+    pub total_llc_misses: u64,
+    /// Total conditional branches.
+    pub total_branches: u64,
+    /// Conditional-branch MPKI.
+    pub branch_mpki: f64,
+}
+
+impl ProfileSummary {
+    /// Builds the summary from a simulation result.
+    pub fn from_result(result: &SimResult) -> ProfileSummary {
+        let retired = result.retired.max(1);
+        ProfileSummary {
+            ipc: result.ipc(),
+            load_fraction: result.mem.loads as f64 / retired as f64,
+            total_loads: result.mem.loads,
+            total_llc_misses: result.mem.load_llc_misses,
+            total_branches: result.cond_branches,
+            branch_mpki: result.branch_mpki(),
+        }
+    }
+}
+
+/// Classifies delinquent loads from a profiling run, **sorted by LLC-miss
+/// contribution descending** (the order the annotator's greedy budget
+/// consumes them in).
+pub fn classify_loads(result: &SimResult, cfg: &ClassifierConfig) -> Vec<DelinquentLoad> {
+    let summary = ProfileSummary::from_result(result);
+    let total_loads: u64 = result
+        .load_pc_stats
+        .values()
+        .map(|s| s.execs)
+        .sum::<u64>()
+        .max(1);
+    let total_misses: u64 = result
+        .load_pc_stats
+        .values()
+        .map(|s| s.llc_misses)
+        .sum::<u64>()
+        .max(1);
+
+    // Section 3.2 scaling: load-heavy programs (many loads competing) raise
+    // the execution-share bar; low-IPC (memory-bound) programs lower the
+    // miss-contribution bar so more of the problem loads qualify.
+    let (exec_scale, miss_scale) = if cfg.scale_with_application {
+        (
+            (summary.load_fraction / 0.25).clamp(0.5, 2.0),
+            (summary.ipc / 2.0).clamp(0.5, 2.0),
+        )
+    } else {
+        (1.0, 1.0)
+    };
+    let exec_thresh = cfg.exec_ratio_threshold * exec_scale;
+    let miss_thresh = cfg.miss_contribution_threshold * miss_scale;
+
+    let mut out: Vec<DelinquentLoad> = result
+        .load_pc_stats
+        .iter()
+        .filter_map(|(&pc, s)| {
+            let exec_ratio = s.execs as f64 / total_loads as f64;
+            let contribution = s.llc_misses as f64 / total_misses as f64;
+            let qualifies = exec_ratio >= exec_thresh.min(0.5)
+                && s.llc_miss_ratio() >= cfg.llc_miss_ratio_threshold
+                && (s.llc_misses == 0 || s.avg_mlp() < cfg.mlp_threshold)
+                && contribution >= miss_thresh
+                && s.llc_misses > 0;
+            qualifies.then(|| DelinquentLoad {
+                pc,
+                execs: s.execs,
+                llc_miss_ratio: s.llc_miss_ratio(),
+                amat: s.amat(),
+                mlp: s.avg_mlp(),
+                miss_contribution: contribution,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.miss_contribution
+            .partial_cmp(&a.miss_contribution)
+            .expect("finite")
+            .then(a.pc.cmp(&b.pc))
+    });
+    out
+}
+
+/// Classifies hard-to-predict branches (Section 3.4), sorted by
+/// misprediction volume descending.
+pub fn classify_branches(result: &SimResult, cfg: &ClassifierConfig) -> Vec<HardBranch> {
+    let total: u64 = result
+        .branch_pc_stats
+        .values()
+        .map(|s| s.execs)
+        .sum::<u64>()
+        .max(1);
+    let mut out: Vec<HardBranch> = result
+        .branch_pc_stats
+        .iter()
+        .filter_map(|(&pc, s)| {
+            let exec_ratio = s.execs as f64 / total as f64;
+            let qualifies = s.mispredict_ratio() >= cfg.branch_mispredict_threshold
+                && exec_ratio >= cfg.branch_exec_ratio_threshold;
+            qualifies.then(|| HardBranch {
+                pc,
+                execs: s.execs,
+                mispredict_ratio: s.mispredict_ratio(),
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        let va = a.mispredict_ratio * a.execs as f64;
+        let vb = b.mispredict_ratio * b.execs as f64;
+        vb.partial_cmp(&va).expect("finite").then(a.pc.cmp(&b.pc))
+    });
+    out
+}
+
+/// Extracts the per-load AMAT table the slicer's latency model needs
+/// (Section 3.5: "for loads we utilize the AMAT in cycles as determined in
+/// Section 3.2").
+pub fn amat_map(result: &SimResult) -> HashMap<Pc, f64> {
+    result
+        .load_pc_stats
+        .iter()
+        .map(|(&pc, s)| (pc, s.amat()))
+        .collect()
+}
+
+/// A classified high-latency arithmetic instruction (the Section 6.1
+/// extension: "other high-latency instructions such as division can be
+/// accelerated with CRISP").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlowOp {
+    /// The instruction's static PC.
+    pub pc: Pc,
+    /// Dynamic executions in the profiled trace.
+    pub execs: u64,
+    /// The opcode's fixed latency in cycles.
+    pub latency: u32,
+}
+
+/// Finds unpipelined/high-latency arithmetic instructions (divides) whose
+/// dynamic execution share makes them worth prioritising — the paper's
+/// Section 6.1 first extension. Results are sorted by total stall
+/// contribution (`execs × latency`) descending.
+///
+/// Unlike loads, the evidence here comes straight from the trace: the
+/// latency is architectural, so no timing run is needed (the paper instead
+/// proposes new PMU events for this).
+pub fn classify_slow_ops(
+    program: &crisp_isa::Program,
+    trace: &crisp_isa::Trace,
+    min_exec_share: f64,
+) -> Vec<SlowOp> {
+    let mut counts: HashMap<Pc, u64> = HashMap::new();
+    let mut total = 0u64;
+    for rec in trace {
+        total += 1;
+        let inst = program.inst(rec.pc);
+        if inst.op.unpipelined() {
+            *counts.entry(rec.pc).or_insert(0) += 1;
+        }
+    }
+    let mut out: Vec<SlowOp> = counts
+        .into_iter()
+        .filter(|&(_, execs)| total > 0 && execs as f64 / total as f64 >= min_exec_share)
+        .map(|(pc, execs)| SlowOp {
+            pc,
+            execs,
+            latency: program.inst(pc).op.latency(),
+        })
+        .collect();
+    out.sort_by_key(|s| std::cmp::Reverse(s.execs * u64::from(s.latency)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crisp_sim::{BranchPcStats, LoadPcStats};
+
+    /// Builds a SimResult with two loads: one hot-and-missing (delinquent),
+    /// one hot-but-hitting.
+    fn synthetic_result() -> SimResult {
+        let mut r = SimResult {
+            cycles: 100_000,
+            retired: 120_000,
+            cond_branches: 10_000,
+            ..SimResult::default()
+        };
+        r.mem.loads = 30_000;
+        r.mem.load_llc_misses = 5_000;
+        r.load_pc_stats.insert(
+            10,
+            LoadPcStats {
+                execs: 10_000,
+                l1_hits: 4_000,
+                llc_hits: 1_000,
+                llc_misses: 5_000,
+                total_latency: 1_100_000,
+                mlp_sum: 10_000,
+            },
+        );
+        r.load_pc_stats.insert(
+            11,
+            LoadPcStats {
+                execs: 20_000,
+                l1_hits: 20_000,
+                llc_hits: 0,
+                llc_misses: 0,
+                total_latency: 80_000,
+                mlp_sum: 0,
+            },
+        );
+        r.branch_pc_stats.insert(
+            20,
+            BranchPcStats {
+                execs: 5_000,
+                mispredicts: 1_500,
+            },
+        );
+        r.branch_pc_stats.insert(
+            21,
+            BranchPcStats {
+                execs: 5_000,
+                mispredicts: 50,
+            },
+        );
+        r
+    }
+
+    #[test]
+    fn delinquent_load_is_found_and_hitting_load_is_not() {
+        let r = synthetic_result();
+        let loads = classify_loads(&r, &ClassifierConfig::default());
+        assert_eq!(loads.len(), 1);
+        let d = &loads[0];
+        assert_eq!(d.pc, 10);
+        assert!((d.llc_miss_ratio - 0.5).abs() < 1e-12);
+        assert!((d.mlp - 2.0).abs() < 1e-12);
+        assert!((d.miss_contribution - 1.0).abs() < 1e-12);
+        assert!(d.amat > 100.0);
+    }
+
+    #[test]
+    fn high_mlp_load_is_excluded() {
+        // The bwaves case from Section 5.2: high MPKI but executed in
+        // phases of high MLP => not performance-critical.
+        let mut r = synthetic_result();
+        r.load_pc_stats.get_mut(&10).unwrap().mlp_sum = 50_000; // MLP 10
+        let loads = classify_loads(&r, &ClassifierConfig::default());
+        assert!(loads.is_empty());
+    }
+
+    #[test]
+    fn low_miss_ratio_load_is_excluded() {
+        let mut r = synthetic_result();
+        let s = r.load_pc_stats.get_mut(&10).unwrap();
+        s.llc_misses = 1_500; // 15% < 20%
+        s.l1_hits = 7_500;
+        let loads = classify_loads(&r, &ClassifierConfig::default());
+        assert!(loads.is_empty());
+    }
+
+    #[test]
+    fn miss_contribution_threshold_filters_small_contributors() {
+        let mut r = synthetic_result();
+        // Add a second delinquent load with tiny miss volume.
+        r.load_pc_stats.insert(
+            12,
+            LoadPcStats {
+                execs: 2_000,
+                l1_hits: 1_000,
+                llc_hits: 0,
+                llc_misses: 1_000,
+                total_latency: 250_000,
+                mlp_sum: 2_000,
+            },
+        );
+        // T = 0.2%: both qualify; T = 50%: only the big one.
+        let loose = ClassifierConfig::default().with_miss_threshold(0.002);
+        let strict = ClassifierConfig::default().with_miss_threshold(0.50);
+        assert_eq!(classify_loads(&r, &loose).len(), 2);
+        let strict_loads = classify_loads(&r, &strict);
+        assert_eq!(strict_loads.len(), 1);
+        assert_eq!(strict_loads[0].pc, 10);
+    }
+
+    #[test]
+    fn loads_sorted_by_miss_contribution() {
+        let mut r = synthetic_result();
+        r.load_pc_stats.insert(
+            12,
+            LoadPcStats {
+                execs: 8_000,
+                l1_hits: 6_000,
+                llc_hits: 0,
+                llc_misses: 2_000,
+                total_latency: 600_000,
+                mlp_sum: 4_000,
+            },
+        );
+        let cfg = ClassifierConfig::default().with_miss_threshold(0.001);
+        let loads = classify_loads(&r, &cfg);
+        assert_eq!(loads.len(), 2);
+        assert_eq!(loads[0].pc, 10, "bigger miss contributor first");
+        assert_eq!(loads[1].pc, 12);
+    }
+
+    #[test]
+    fn hard_branch_classified_cold_and_predictable_excluded() {
+        let r = synthetic_result();
+        let branches = classify_branches(&r, &ClassifierConfig::default());
+        assert_eq!(branches.len(), 1);
+        assert_eq!(branches[0].pc, 20);
+        assert!((branches[0].mispredict_ratio - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cold_branch_excluded_by_exec_ratio() {
+        let mut r = synthetic_result();
+        r.branch_pc_stats.insert(
+            22,
+            BranchPcStats {
+                execs: 10, // 0.1% of branches
+                mispredicts: 9,
+            },
+        );
+        let branches = classify_branches(&r, &ClassifierConfig::default());
+        assert!(branches.iter().all(|b| b.pc != 22));
+    }
+
+    #[test]
+    fn amat_map_matches_stats() {
+        let r = synthetic_result();
+        let m = amat_map(&r);
+        assert!((m[&10] - 110.0).abs() < 1e-9);
+        assert!((m[&11] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_reflects_run() {
+        let r = synthetic_result();
+        let s = ProfileSummary::from_result(&r);
+        assert!((s.ipc - 1.2).abs() < 1e-12);
+        assert!((s.load_fraction - 0.25).abs() < 1e-12);
+        assert_eq!(s.total_llc_misses, 5_000);
+    }
+
+    #[test]
+    fn scaling_can_change_the_verdict() {
+        // A memory-bound (low IPC), load-heavy run: scaling lowers the
+        // miss-contribution bar.
+        let mut r = synthetic_result();
+        r.cycles = 1_000_000; // IPC 0.12 -> miss_scale 0.5
+        r.load_pc_stats.insert(
+            12,
+            LoadPcStats {
+                execs: 3_000,
+                l1_hits: 2_100,
+                llc_hits: 0,
+                llc_misses: 900,
+                total_latency: 500_000,
+                mlp_sum: 1_800,
+            },
+        );
+        let t = 0.02; // 2%: load 12 contributes 900/5900 = 15% (passes both)
+        let no_scale = ClassifierConfig {
+            scale_with_application: false,
+            ..ClassifierConfig::default().with_miss_threshold(t)
+        };
+        let with_scale = ClassifierConfig::default().with_miss_threshold(t);
+        // Both find it here; the exec-ratio scaling differs though:
+        // exec_ratio(12) = 3000/33000 = 9.1%; unscaled bar 5%;
+        // scaled bar: load_fraction = 30000/120000=0.25 -> scale 1.0.
+        assert_eq!(classify_loads(&no_scale_result(&r), &no_scale).len(), 2);
+        assert_eq!(classify_loads(&r, &with_scale).len(), 2);
+    }
+
+    fn no_scale_result(r: &SimResult) -> SimResult {
+        r.clone()
+    }
+
+    #[test]
+    fn slow_ops_classifier_finds_hot_divides() {
+        use crisp_isa::{AluOp, Cond, ProgramBuilder, Reg};
+        let r = Reg::new;
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 64);
+        b.li(r(2), 7);
+        let top = b.label();
+        b.bind(top);
+        b.div(r(3), r(2), r(2)); // hot divide
+        b.alu_ri(AluOp::Add, r(4), r(4), 1);
+        b.alu_ri(AluOp::Sub, r(1), r(1), 1);
+        b.branch(Cond::Ne, r(1), Reg::ZERO, top);
+        b.halt();
+        let p = b.build();
+        let t = crisp_emu::Emulator::new(&p, crisp_emu::Memory::new()).run(10_000);
+        let slow = classify_slow_ops(&p, &t, 0.05);
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].pc, 2);
+        assert_eq!(slow[0].latency, 20);
+        // A higher share bar excludes it.
+        assert!(classify_slow_ops(&p, &t, 0.5).is_empty());
+    }
+
+    #[test]
+    fn slow_ops_sorted_by_stall_contribution() {
+        use crisp_isa::{Cond, Opcode, ProgramBuilder, Reg};
+        let r = Reg::new;
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 32);
+        let top = b.label();
+        b.bind(top);
+        b.div(r(3), r(2), r(2)); // int div, 20 cycles
+        b.fp(Opcode::FDiv, r(4), r(2), r(2)); // fdiv, 14 cycles
+        b.alu_ri(crisp_isa::AluOp::Sub, r(1), r(1), 1);
+        b.branch(Cond::Ne, r(1), Reg::ZERO, top);
+        b.halt();
+        let p = b.build();
+        let t = crisp_emu::Emulator::new(&p, crisp_emu::Memory::new()).run(10_000);
+        let slow = classify_slow_ops(&p, &t, 0.01);
+        assert_eq!(slow.len(), 2);
+        assert_eq!(slow[0].latency, 20, "heavier divide first");
+    }
+}

@@ -1,0 +1,187 @@
+use crisp_mem::HierarchyConfig;
+
+/// Which instruction-scheduler policy the reservation station uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Table 1 baseline: issue the N oldest ready instructions each cycle
+    /// (age-matrix pick without priority).
+    #[default]
+    OldestReadyFirst,
+    /// CRISP: oldest ready *critical* instructions first, falling back to
+    /// oldest ready (Figure 6's PRIO extension).
+    Crisp,
+    /// Ablation: a pure RAND scheduler with no age matrix — picks ready
+    /// instructions in slot order (effectively random w.r.t. age).
+    RandomReady,
+}
+
+/// Full configuration of the simulated core (paper Table 1 defaults via
+/// [`SimConfig::skylake`]).
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Frontend fetch/decode width (instructions per cycle).
+    pub fetch_width: usize,
+    /// Retirement width (instructions per cycle).
+    pub retire_width: usize,
+    /// Maximum instructions issued to functional units per cycle.
+    pub issue_width: usize,
+    /// Reorder-buffer entries.
+    pub rob_entries: usize,
+    /// Unified reservation-station entries.
+    pub rs_entries: usize,
+    /// Load-buffer entries (in-flight loads).
+    pub load_buffer: usize,
+    /// Store-buffer entries (in-flight stores).
+    pub store_buffer: usize,
+    /// ALU ports (also execute branches, mul/div, FP).
+    pub alu_ports: usize,
+    /// Load ports.
+    pub load_ports: usize,
+    /// Store ports.
+    pub store_ports: usize,
+    /// Scheduler policy.
+    pub scheduler: SchedulerKind,
+    /// Fetch-to-dispatch pipeline depth in cycles.
+    pub frontend_depth: u64,
+    /// Extra cycles to re-steer fetch after a resolved misprediction.
+    pub redirect_penalty: u64,
+    /// Fetch-bubble cycles when a taken control transfer misses the BTB.
+    pub btb_miss_penalty: u64,
+    /// Store-to-load forwarding latency in cycles.
+    pub forward_latency: u64,
+    /// Fetch-target-queue depth for FDIP instruction prefetching
+    /// (instructions of lookahead; Table 1: 128 entries).
+    pub ftq_entries: usize,
+    /// Decoupled fetch-buffer (instruction queue) entries between fetch
+    /// and dispatch.
+    pub fetch_queue_entries: usize,
+    /// Enable FDIP instruction prefetching.
+    pub fdip: bool,
+    /// Model every conditional branch as correctly predicted (the paper's
+    /// perfect-BP analysis in Section 5.3).
+    pub perfect_branch_prediction: bool,
+    /// Memory-hierarchy configuration.
+    pub memory: HierarchyConfig,
+    /// Record the per-cycle retired-µop timeline (Figure 1). Costs memory
+    /// proportional to cycles; off by default.
+    pub record_upc_timeline: bool,
+    /// Collect per-PC load/branch statistics (profiling runs).
+    pub collect_pc_stats: bool,
+    /// Record per-instruction pipeline timestamps for the pipeline viewer
+    /// (costs memory proportional to instructions; off by default).
+    pub record_pipeview: bool,
+}
+
+impl SimConfig {
+    /// The paper's Table 1 machine: 6-wide Skylake-like core, 224-entry
+    /// ROB, 96-entry unified RS, 4 ALU / 2 load / 1 store ports, TAGE +
+    /// 8K BTB, FDIP with a 128-entry FTQ, BOP + stream prefetching,
+    /// DDR4-2400.
+    pub fn skylake() -> SimConfig {
+        SimConfig {
+            fetch_width: 6,
+            retire_width: 6,
+            issue_width: 6,
+            rob_entries: 224,
+            rs_entries: 96,
+            load_buffer: 64,
+            store_buffer: 128,
+            alu_ports: 4,
+            load_ports: 2,
+            store_ports: 1,
+            scheduler: SchedulerKind::OldestReadyFirst,
+            frontend_depth: 5,
+            redirect_penalty: 10,
+            btb_miss_penalty: 2,
+            forward_latency: 5,
+            ftq_entries: 128,
+            fetch_queue_entries: 64,
+            fdip: true,
+            perfect_branch_prediction: false,
+            memory: HierarchyConfig::skylake_like(),
+            record_upc_timeline: false,
+            collect_pc_stats: true,
+            record_pipeview: false,
+        }
+    }
+
+    /// The Figure 9 sensitivity points: the Skylake core with RS/ROB set
+    /// to `(rs, rob)` — e.g. (64, 180), (96, 224), (144, 336), (192, 448).
+    pub fn with_window(rs: usize, rob: usize) -> SimConfig {
+        SimConfig {
+            rs_entries: rs,
+            rob_entries: rob,
+            ..SimConfig::skylake()
+        }
+    }
+
+    /// Returns a copy with the scheduler replaced.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> SimConfig {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Validates structural invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths or structure sizes are zero, or the RS is larger
+    /// than the ROB.
+    pub fn validate(&self) {
+        assert!(self.fetch_width > 0 && self.retire_width > 0 && self.issue_width > 0);
+        assert!(self.rob_entries > 0 && self.rs_entries > 0);
+        assert!(
+            self.rs_entries <= self.rob_entries,
+            "RS cannot exceed ROB"
+        );
+        assert!(self.alu_ports + self.load_ports + self.store_ports > 0);
+        assert!(self.load_buffer > 0 && self.store_buffer > 0);
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig::skylake()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skylake_matches_table1() {
+        let c = SimConfig::skylake();
+        assert_eq!(c.fetch_width, 6);
+        assert_eq!(c.rob_entries, 224);
+        assert_eq!(c.rs_entries, 96);
+        assert_eq!(c.alu_ports, 4);
+        assert_eq!(c.load_ports, 2);
+        assert_eq!(c.store_ports, 1);
+        assert_eq!(c.load_buffer, 64);
+        assert_eq!(c.store_buffer, 128);
+        assert_eq!(c.ftq_entries, 128);
+        assert_eq!(c.scheduler, SchedulerKind::OldestReadyFirst);
+        c.validate();
+    }
+
+    #[test]
+    fn window_sweep_constructor() {
+        let c = SimConfig::with_window(144, 336);
+        assert_eq!(c.rs_entries, 144);
+        assert_eq!(c.rob_entries, 336);
+        c.validate();
+    }
+
+    #[test]
+    fn with_scheduler_swaps_policy() {
+        let c = SimConfig::skylake().with_scheduler(SchedulerKind::Crisp);
+        assert_eq!(c.scheduler, SchedulerKind::Crisp);
+    }
+
+    #[test]
+    #[should_panic(expected = "RS cannot exceed ROB")]
+    fn rs_larger_than_rob_rejected() {
+        SimConfig::with_window(300, 224).validate();
+    }
+}

@@ -1,0 +1,373 @@
+use crisp_isa::Pc;
+use crisp_mem::MemStats;
+use std::collections::HashMap;
+
+/// Per-static-load statistics collected during a simulation (the simulated
+/// PEBS/PMU stream the profiler consumes).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LoadPcStats {
+    /// Dynamic executions of this load.
+    pub execs: u64,
+    /// Executions served by L1.
+    pub l1_hits: u64,
+    /// Executions served by the LLC.
+    pub llc_hits: u64,
+    /// Executions that went to DRAM (LLC misses).
+    pub llc_misses: u64,
+    /// Total observed load-to-use latency in cycles.
+    pub total_latency: u64,
+    /// Sum over LLC misses of concurrently outstanding DRAM loads
+    /// (including this one) — MLP at miss time.
+    pub mlp_sum: u64,
+}
+
+impl LoadPcStats {
+    /// The load's LLC miss ratio.
+    pub fn llc_miss_ratio(&self) -> f64 {
+        if self.execs == 0 {
+            0.0
+        } else {
+            self.llc_misses as f64 / self.execs as f64
+        }
+    }
+
+    /// Average memory access time in cycles.
+    pub fn amat(&self) -> f64 {
+        if self.execs == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.execs as f64
+        }
+    }
+
+    /// Average memory-level parallelism observed at this load's misses.
+    pub fn avg_mlp(&self) -> f64 {
+        if self.llc_misses == 0 {
+            0.0
+        } else {
+            self.mlp_sum as f64 / self.llc_misses as f64
+        }
+    }
+}
+
+/// Per-static-branch statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BranchPcStats {
+    /// Dynamic executions.
+    pub execs: u64,
+    /// Mispredictions.
+    pub mispredicts: u64,
+}
+
+impl BranchPcStats {
+    /// The branch's misprediction ratio.
+    pub fn mispredict_ratio(&self) -> f64 {
+        if self.execs == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.execs as f64
+        }
+    }
+}
+
+/// The per-cycle retired-instruction timeline of Figure 1.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UpcTimeline {
+    counts: Vec<u8>,
+}
+
+impl UpcTimeline {
+    pub(crate) fn push(&mut self, retired: usize) {
+        self.counts.push(retired.min(255) as u8);
+    }
+
+    /// Retired instructions at each cycle.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.counts
+    }
+
+    /// Average µops retired per cycle over a window.
+    pub fn average(&self, from: usize, to: usize) -> f64 {
+        let to = to.min(self.counts.len());
+        if from >= to {
+            return 0.0;
+        }
+        let sum: u64 = self.counts[from..to].iter().map(|&c| u64::from(c)).sum();
+        sum as f64 / (to - from) as f64
+    }
+
+    /// Downsamples the timeline into `buckets` averages (for plotting).
+    pub fn bucketed(&self, buckets: usize) -> Vec<f64> {
+        if self.counts.is_empty() || buckets == 0 {
+            return Vec::new();
+        }
+        let per = self.counts.len().div_ceil(buckets);
+        self.counts
+            .chunks(per)
+            .map(|c| c.iter().map(|&x| f64::from(x)).sum::<f64>() / c.len() as f64)
+            .collect()
+    }
+}
+
+/// Per-instruction pipeline timestamps for the pipeline viewer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PipeRecord {
+    /// Dynamic sequence number.
+    pub seq: u64,
+    /// Static pc.
+    pub pc: Pc,
+    /// Cycle fetched into the fetch buffer.
+    pub fetch: u64,
+    /// Cycle dispatched into ROB/RS.
+    pub dispatch: u64,
+    /// Cycle issued to a functional unit.
+    pub issue: u64,
+    /// Cycle the result became available.
+    pub complete: u64,
+    /// Cycle retired.
+    pub retire: u64,
+}
+
+/// A gem5-O3-pipeview-style textual renderer over [`PipeRecord`]s.
+///
+/// Each instruction renders as one lane:
+/// `f` fetch, `d` dispatch wait, `i` issue wait, `=` executing,
+/// `.` completed-waiting-to-retire, `r` retire.
+#[derive(Clone, Debug, Default)]
+pub struct Pipeview {
+    records: Vec<PipeRecord>,
+}
+
+impl Pipeview {
+    pub(crate) fn push(&mut self, rec: PipeRecord) {
+        self.records.push(rec);
+    }
+
+    /// The raw records.
+    pub fn records(&self) -> &[PipeRecord] {
+        &self.records
+    }
+
+    /// Renders the instructions whose sequence numbers fall in
+    /// `[from, to)`, one lane per instruction, time flowing rightward from
+    /// the earliest fetch in the window.
+    pub fn render(&self, from: u64, to: u64) -> String {
+        let window: Vec<&PipeRecord> = self
+            .records
+            .iter()
+            .filter(|r| (from..to).contains(&r.seq))
+            .collect();
+        let Some(origin) = window.iter().map(|r| r.fetch).min() else {
+            return String::new();
+        };
+        let mut out = String::new();
+        for r in window {
+            let col = |c: u64| (c - origin) as usize;
+            let width = col(r.retire) + 1;
+            let mut lane = vec![b' '; width];
+            for (a, b, ch) in [
+                (r.fetch, r.dispatch, b'f'),
+                (r.dispatch, r.issue, b'd'),
+                (r.issue, r.issue, b'i'),
+                (r.issue + 1, r.complete, b'='),
+                (r.complete, r.retire, b'.'),
+            ] {
+                for slot in lane.iter_mut().take(col(b).min(width)).skip(col(a)) {
+                    *slot = ch;
+                }
+            }
+            lane[col(r.issue).min(width - 1)] = b'i';
+            lane[width - 1] = b'r';
+            out.push_str(&format!(
+                "{:>6} pc{:<5} |{}\n",
+                r.seq,
+                r.pc,
+                String::from_utf8(lane).expect("ascii")
+            ));
+        }
+        out
+    }
+}
+
+/// The complete result of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimResult {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub retired: u64,
+    /// Cycles where the ROB was non-empty but its head had not completed
+    /// (the paper's ROB-head stall metric).
+    pub rob_head_stall_cycles: u64,
+    /// Cycles where fetch was blocked waiting for a mispredicted branch to
+    /// resolve (plus redirect).
+    pub fetch_stall_mispredict_cycles: u64,
+    /// Cycles where fetch was blocked on the instruction cache.
+    pub fetch_stall_icache_cycles: u64,
+    /// Conditional branches fetched.
+    pub cond_branches: u64,
+    /// Conditional-branch mispredictions.
+    pub cond_mispredicts: u64,
+    /// Indirect-target mispredictions (jumps + returns).
+    pub indirect_mispredicts: u64,
+    /// Memory hierarchy counters.
+    pub mem: MemStats,
+    /// Per-load-PC statistics (empty unless `collect_pc_stats`).
+    pub load_pc_stats: HashMap<Pc, LoadPcStats>,
+    /// Per-branch-PC statistics (empty unless `collect_pc_stats`).
+    pub branch_pc_stats: HashMap<Pc, BranchPcStats>,
+    /// Per-cycle retired counts (empty unless `record_upc_timeline`).
+    pub upc: UpcTimeline,
+    /// Per-instruction pipeline timestamps (empty unless
+    /// `record_pipeview`).
+    pub pipeview: Pipeview,
+}
+
+impl SimResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Conditional-branch mispredictions per kilo-instruction.
+    pub fn branch_mpki(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            self.cond_mispredicts as f64 * 1000.0 / self.retired as f64
+        }
+    }
+
+    /// Demand-load LLC misses per kilo-instruction.
+    pub fn llc_load_mpki(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            self.mem.load_llc_misses as f64 * 1000.0 / self.retired as f64
+        }
+    }
+
+    /// Instruction-cache misses per kilo-instruction (Figure 12's
+    /// worst-case metric).
+    pub fn icache_mpki(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            self.mem.l1i.misses as f64 * 1000.0 / self.retired as f64
+        }
+    }
+
+    /// Relative IPC speedup of `self` over `baseline`, in percent.
+    pub fn speedup_over(&self, baseline: &SimResult) -> f64 {
+        let base = baseline.ipc();
+        if base == 0.0 {
+            0.0
+        } else {
+            (self.ipc() / base - 1.0) * 100.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_pc_stats_ratios() {
+        let s = LoadPcStats {
+            execs: 10,
+            l1_hits: 5,
+            llc_hits: 2,
+            llc_misses: 3,
+            total_latency: 700,
+            mlp_sum: 9,
+        };
+        assert!((s.llc_miss_ratio() - 0.3).abs() < 1e-12);
+        assert!((s.amat() - 70.0).abs() < 1e-12);
+        assert!((s.avg_mlp() - 3.0).abs() < 1e-12);
+        assert_eq!(LoadPcStats::default().amat(), 0.0);
+        assert_eq!(LoadPcStats::default().avg_mlp(), 0.0);
+    }
+
+    #[test]
+    fn branch_stats_ratio() {
+        let b = BranchPcStats {
+            execs: 8,
+            mispredicts: 2,
+        };
+        assert!((b.mispredict_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(BranchPcStats::default().mispredict_ratio(), 0.0);
+    }
+
+    #[test]
+    fn upc_timeline_average_and_buckets() {
+        let mut t = UpcTimeline::default();
+        for c in [6, 6, 0, 0, 6, 6] {
+            t.push(c);
+        }
+        assert!((t.average(0, 6) - 4.0).abs() < 1e-12);
+        assert!((t.average(2, 4)).abs() < 1e-12);
+        assert_eq!(t.average(4, 4), 0.0);
+        let b = t.bucketed(3);
+        assert_eq!(b, vec![6.0, 0.0, 6.0]);
+        assert!(t.bucketed(0).is_empty());
+    }
+
+    #[test]
+    fn result_derived_metrics() {
+        let mut r = SimResult {
+            cycles: 1000,
+            retired: 2000,
+            cond_mispredicts: 10,
+            ..SimResult::default()
+        };
+        r.mem.load_llc_misses = 20;
+        assert!((r.ipc() - 2.0).abs() < 1e-12);
+        assert!((r.branch_mpki() - 5.0).abs() < 1e-12);
+        assert!((r.llc_load_mpki() - 10.0).abs() < 1e-12);
+
+        let base = SimResult {
+            cycles: 1000,
+            retired: 1000,
+            ..SimResult::default()
+        };
+        assert!((r.speedup_over(&base) - 100.0).abs() < 1e-9);
+        assert_eq!(SimResult::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn pipeview_renders_lanes_in_window() {
+        let mut pv = Pipeview::default();
+        pv.push(PipeRecord {
+            seq: 0,
+            pc: 7,
+            fetch: 10,
+            dispatch: 15,
+            issue: 16,
+            complete: 20,
+            retire: 22,
+        });
+        pv.push(PipeRecord {
+            seq: 1,
+            pc: 8,
+            fetch: 11,
+            dispatch: 15,
+            issue: 17,
+            complete: 18,
+            retire: 22,
+        });
+        let txt = pv.render(0, 2);
+        let lines: Vec<&str> = txt.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('f') && lines[0].contains('i'));
+        assert!(lines[0].trim_end().ends_with('r'));
+        assert!(lines[1].contains("pc8"));
+        // Out-of-window render is empty.
+        assert!(pv.render(5, 9).is_empty());
+        assert_eq!(pv.records().len(), 2);
+    }
+}

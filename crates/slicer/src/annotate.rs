@@ -1,0 +1,291 @@
+use crisp_isa::{Pc, Program};
+use std::collections::{HashMap, HashSet};
+
+/// The final criticality annotation: one bit per static instruction — the
+/// in-memory equivalent of the paper's one-byte `critical` instruction
+/// prefix injected by post-link rewriting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CriticalityMap {
+    bits: Vec<bool>,
+}
+
+impl CriticalityMap {
+    /// An all-non-critical map for a program of `len` instructions.
+    pub fn new(len: usize) -> CriticalityMap {
+        CriticalityMap {
+            bits: vec![false; len],
+        }
+    }
+
+    /// Marks `pc` critical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    pub fn set(&mut self, pc: Pc) {
+        self.bits[pc as usize] = true;
+    }
+
+    /// Whether `pc` is tagged critical.
+    pub fn is_critical(&self, pc: Pc) -> bool {
+        self.bits.get(pc as usize).copied().unwrap_or(false)
+    }
+
+    /// Number of critical static instructions (Figure 11's metric).
+    pub fn count(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Fraction of static instructions tagged critical.
+    pub fn static_ratio(&self) -> f64 {
+        if self.bits.is_empty() {
+            0.0
+        } else {
+            self.count() as f64 / self.bits.len() as f64
+        }
+    }
+
+    /// The raw bit vector, indexable by [`Pc`] — the form the simulator
+    /// consumes.
+    pub fn as_slice(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Iterates over critical PCs in ascending order.
+    pub fn iter_critical(&self) -> impl Iterator<Item = Pc> + '_ {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i as Pc)
+    }
+}
+
+/// Code-footprint impact of the annotation (paper Section 5.7 / Figure 12):
+/// the one-byte prefix grows both the static image and the dynamic fetch
+/// stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FootprintReport {
+    /// Static code bytes without prefixes.
+    pub static_bytes_base: u64,
+    /// Static code bytes with one prefix byte per critical instruction.
+    pub static_bytes_annotated: u64,
+    /// Dynamic (execution-weighted) code bytes without prefixes.
+    pub dynamic_bytes_base: u64,
+    /// Dynamic code bytes with prefixes.
+    pub dynamic_bytes_annotated: u64,
+    /// Unique critical static instructions.
+    pub critical_static: u64,
+    /// Dynamic executions of critical instructions.
+    pub critical_dynamic: u64,
+}
+
+impl FootprintReport {
+    /// Static footprint overhead in percent.
+    pub fn static_overhead_pct(&self) -> f64 {
+        pct(self.static_bytes_base, self.static_bytes_annotated)
+    }
+
+    /// Dynamic footprint overhead in percent.
+    pub fn dynamic_overhead_pct(&self) -> f64 {
+        pct(self.dynamic_bytes_base, self.dynamic_bytes_annotated)
+    }
+}
+
+fn pct(base: u64, new: u64) -> f64 {
+    if base == 0 {
+        0.0
+    } else {
+        (new as f64 / base as f64 - 1.0) * 100.0
+    }
+}
+
+/// Merges per-root slices into one [`CriticalityMap`] under the paper's
+/// critical-instruction budget (Section 3.2: prioritisation works best when
+/// 5–40 % of *dynamic* instructions are critical, so the scheduler has
+/// non-critical work to deprioritise).
+#[derive(Clone, Copy, Debug)]
+pub struct Annotator {
+    /// Maximum fraction of dynamic instructions that may be critical.
+    pub max_dynamic_ratio: f64,
+}
+
+impl Default for Annotator {
+    fn default() -> Annotator {
+        Annotator {
+            max_dynamic_ratio: 0.40,
+        }
+    }
+}
+
+impl Annotator {
+    /// Greedily merges `slices` — **ordered most-important first** (the
+    /// pipeline orders them by LLC-miss contribution) — stopping before a
+    /// slice would push the dynamic critical ratio past the budget. The
+    /// first slice is always admitted.
+    ///
+    /// `exec_counts` maps each PC to its dynamic execution count in the
+    /// profiling trace.
+    pub fn annotate(
+        &self,
+        program: &Program,
+        slices: &[HashSet<Pc>],
+        exec_counts: &HashMap<Pc, u64>,
+    ) -> CriticalityMap {
+        let total: u64 = exec_counts.values().sum();
+        let mut map = CriticalityMap::new(program.len());
+        let mut critical_dyn = 0u64;
+        for (i, slice) in slices.iter().enumerate() {
+            let added: u64 = slice
+                .iter()
+                .filter(|&&pc| !map.is_critical(pc))
+                .map(|pc| exec_counts.get(pc).copied().unwrap_or(0))
+                .sum();
+            let would_be = critical_dyn + added;
+            if i > 0 && total > 0 && (would_be as f64 / total as f64) > self.max_dynamic_ratio
+            {
+                continue; // skip this slice; later (smaller) ones may fit
+            }
+            for &pc in slice {
+                map.set(pc);
+            }
+            critical_dyn = would_be;
+        }
+        map
+    }
+
+    /// Computes the footprint report for an annotation.
+    pub fn footprint(
+        program: &Program,
+        map: &CriticalityMap,
+        exec_counts: &HashMap<Pc, u64>,
+    ) -> FootprintReport {
+        let mut rep = FootprintReport::default();
+        for (pc, inst) in program.iter() {
+            let size = u64::from(inst.size);
+            let execs = exec_counts.get(&pc).copied().unwrap_or(0);
+            rep.static_bytes_base += size;
+            rep.dynamic_bytes_base += size * execs;
+            if map.is_critical(pc) {
+                rep.static_bytes_annotated += size + 1;
+                rep.dynamic_bytes_annotated += (size + 1) * execs;
+                rep.critical_static += 1;
+                rep.critical_dynamic += execs;
+            } else {
+                rep.static_bytes_annotated += size;
+                rep.dynamic_bytes_annotated += size * execs;
+            }
+        }
+        rep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crisp_isa::{AluOp, ProgramBuilder, Reg};
+
+    fn program_of(n: usize) -> Program {
+        let mut b = ProgramBuilder::new();
+        for _ in 0..n - 1 {
+            b.alu_ri(AluOp::Add, Reg::new(1), Reg::new(1), 1);
+        }
+        b.halt();
+        b.build()
+    }
+
+    #[test]
+    fn map_set_and_query() {
+        let mut m = CriticalityMap::new(4);
+        m.set(2);
+        assert!(m.is_critical(2));
+        assert!(!m.is_critical(0));
+        assert!(!m.is_critical(99)); // out of range is non-critical
+        assert_eq!(m.count(), 1);
+        assert!((m.static_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(m.iter_critical().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(m.as_slice(), &[false, false, true, false]);
+    }
+
+    #[test]
+    fn annotate_merges_within_budget() {
+        let p = program_of(10);
+        let counts: HashMap<Pc, u64> = (0..10).map(|pc| (pc as Pc, 10)).collect();
+        let s1: HashSet<Pc> = [0, 1].into_iter().collect();
+        let s2: HashSet<Pc> = [2].into_iter().collect();
+        let ann = Annotator {
+            max_dynamic_ratio: 0.40,
+        };
+        let m = ann.annotate(&p, &[s1, s2], &counts);
+        assert_eq!(m.count(), 3);
+    }
+
+    #[test]
+    fn annotate_skips_over_budget_slice_but_admits_smaller() {
+        let p = program_of(10);
+        let counts: HashMap<Pc, u64> = (0..10).map(|pc| (pc as Pc, 10)).collect();
+        let s1: HashSet<Pc> = [0, 1, 2].into_iter().collect(); // 30%
+        let s2: HashSet<Pc> = [3, 4].into_iter().collect(); // +20% > 40%
+        let s3: HashSet<Pc> = [5].into_iter().collect(); // +10% = 40%
+        let ann = Annotator {
+            max_dynamic_ratio: 0.40,
+        };
+        let m = ann.annotate(&p, &[s1, s2, s3], &counts);
+        assert!(m.is_critical(0) && m.is_critical(2));
+        assert!(!m.is_critical(3) && !m.is_critical(4), "s2 skipped");
+        assert!(m.is_critical(5), "s3 fits after skipping s2");
+    }
+
+    #[test]
+    fn first_slice_always_admitted_even_if_huge() {
+        let p = program_of(10);
+        let counts: HashMap<Pc, u64> = (0..10).map(|pc| (pc as Pc, 1)).collect();
+        let s1: HashSet<Pc> = (0..9).collect();
+        let ann = Annotator {
+            max_dynamic_ratio: 0.10,
+        };
+        let m = ann.annotate(&p, &[s1], &counts);
+        assert_eq!(m.count(), 9);
+    }
+
+    #[test]
+    fn overlapping_slices_counted_once() {
+        let p = program_of(10);
+        let counts: HashMap<Pc, u64> = (0..10).map(|pc| (pc as Pc, 10)).collect();
+        let s1: HashSet<Pc> = [0, 1, 2].into_iter().collect();
+        let s2: HashSet<Pc> = [1, 2, 3].into_iter().collect(); // only +10% new
+        let ann = Annotator {
+            max_dynamic_ratio: 0.40,
+        };
+        let m = ann.annotate(&p, &[s1, s2], &counts);
+        assert_eq!(m.count(), 4);
+    }
+
+    #[test]
+    fn footprint_accounts_prefix_bytes() {
+        let p = program_of(4); // 3 adds (3 B each) + halt (2 B)
+        let mut m = CriticalityMap::new(4);
+        m.set(0);
+        m.set(1);
+        let counts: HashMap<Pc, u64> =
+            [(0u32, 100u64), (1, 50), (2, 10), (3, 1)].into_iter().collect();
+        let rep = Annotator::footprint(&p, &m, &counts);
+        assert_eq!(rep.static_bytes_base, 3 * 3 + 2);
+        assert_eq!(rep.static_bytes_annotated, rep.static_bytes_base + 2);
+        assert_eq!(rep.critical_static, 2);
+        assert_eq!(rep.critical_dynamic, 150);
+        assert_eq!(
+            rep.dynamic_bytes_annotated - rep.dynamic_bytes_base,
+            150 // one extra byte per critical execution
+        );
+        assert!(rep.static_overhead_pct() > 0.0);
+        assert!(rep.dynamic_overhead_pct() > 0.0);
+    }
+
+    #[test]
+    fn empty_program_report_is_zero() {
+        let rep = FootprintReport::default();
+        assert_eq!(rep.static_overhead_pct(), 0.0);
+        assert_eq!(rep.dynamic_overhead_pct(), 0.0);
+    }
+}

@@ -1,0 +1,220 @@
+use crisp_isa::{Program, Seq, Trace};
+use std::collections::HashMap;
+
+/// Producer links for every dynamic instruction of a trace: up to three
+/// register producers plus one memory producer (the youngest older store
+/// overlapping a load's bytes).
+///
+/// Built in a single forward pass; this is the information DynamoRIO's
+/// Memtrace (or Intel PT + `PTWRITE`) provides the paper's offline
+/// analysis, and precisely what hardware IBDA *cannot* see for the memory
+/// edge.
+#[derive(Clone, Debug)]
+pub struct DepGraph {
+    /// `reg_producers[seq]` = producer sequence numbers for each source
+    /// operand slot of the instruction at dynamic position `seq`.
+    reg_producers: Vec<[Option<u32>; 3]>,
+    /// `mem_producers[seq]` = the store instance feeding this load.
+    mem_producers: Vec<Option<u32>>,
+}
+
+impl DepGraph {
+    /// Builds the dependence graph for `trace` over `program`.
+    ///
+    /// Dependencies through memory are tracked at 8-byte granule
+    /// resolution, matching the ISA's widest access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is longer than `u32::MAX` records.
+    pub fn build(program: &Program, trace: &Trace) -> DepGraph {
+        assert!(trace.len() < u32::MAX as usize, "trace too long");
+        let n = trace.len();
+        let mut reg_producers = vec![[None; 3]; n];
+        let mut mem_producers = vec![None; n];
+        let mut reg_writer: [Option<u32>; crisp_isa::Reg::COUNT] =
+            [None; crisp_isa::Reg::COUNT];
+        let mut mem_writer: HashMap<u64, u32> = HashMap::new();
+
+        for (seq, rec) in trace.iter().enumerate() {
+            let inst = program.inst(rec.pc);
+            for (slot, src) in inst.srcs.iter().enumerate() {
+                if let Some(r) = src {
+                    if !r.is_zero() {
+                        reg_producers[seq][slot] = reg_writer[r.index()];
+                    }
+                }
+            }
+            if inst.is_load() {
+                // Youngest older store on any overlapped granule.
+                let mut newest: Option<u32> = None;
+                for g in granules(rec.addr, inst.width.bytes()) {
+                    if let Some(&w) = mem_writer.get(&g) {
+                        newest = Some(newest.map_or(w, |n| n.max(w)));
+                    }
+                }
+                mem_producers[seq] = newest;
+            }
+            if inst.is_store() {
+                for g in granules(rec.addr, inst.width.bytes()) {
+                    mem_writer.insert(g, seq as u32);
+                }
+            }
+            if let Some(d) = inst.dep_dst() {
+                reg_writer[d.index()] = Some(seq as u32);
+            }
+        }
+        DepGraph {
+            reg_producers,
+            mem_producers,
+        }
+    }
+
+    /// Register producers (by operand slot) of the instruction at `seq`.
+    #[inline]
+    pub fn reg_producers(&self, seq: Seq) -> &[Option<u32>; 3] {
+        &self.reg_producers[seq as usize]
+    }
+
+    /// The store instance feeding the load at `seq` (dependence through
+    /// memory), if any.
+    #[inline]
+    pub fn mem_producer(&self, seq: Seq) -> Option<u32> {
+        self.mem_producers[seq as usize]
+    }
+
+    /// Iterates over all producers (register + memory) of `seq`.
+    pub fn producers(&self, seq: Seq) -> impl Iterator<Item = u32> + '_ {
+        self.reg_producers[seq as usize]
+            .iter()
+            .flatten()
+            .copied()
+            .chain(self.mem_producers[seq as usize])
+    }
+
+    /// Number of dynamic instructions covered.
+    pub fn len(&self) -> usize {
+        self.reg_producers.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.reg_producers.is_empty()
+    }
+}
+
+fn granules(addr: u64, bytes: u64) -> impl Iterator<Item = u64> {
+    let first = addr / 8;
+    let last = (addr + bytes - 1) / 8;
+    first..=last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crisp_emu::{Emulator, Memory};
+    use crisp_isa::{AluOp, ProgramBuilder, Reg};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn register_dependencies_link_to_latest_writer() {
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 5); // seq 0
+        b.li(r(1), 7); // seq 1 (overwrites)
+        b.alu_ri(AluOp::Add, r(2), r(1), 1); // seq 2: depends on seq 1
+        b.halt();
+        let p = b.build();
+        let t = Emulator::new(&p, Memory::new()).run(100);
+        let g = DepGraph::build(&p, &t);
+        assert_eq!(g.reg_producers(2)[0], Some(1));
+        assert_eq!(g.reg_producers(0)[0], None); // li reads r0
+    }
+
+    #[test]
+    fn memory_dependence_links_load_to_store() {
+        // The paper's register-spill scenario: a value passes through the
+        // stack, invisible to register-only analysis.
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 0x1000); // 0
+        b.li(r(2), 42); // 1
+        b.store(r(1), 0, r(2), 8); // 2: spill
+        b.load(r(3), r(1), 0, 8); // 3: reload
+        b.halt();
+        let p = b.build();
+        let t = Emulator::new(&p, Memory::new()).run(100);
+        let g = DepGraph::build(&p, &t);
+        assert_eq!(g.mem_producer(3), Some(2));
+        // The load's register producers point at the address source only.
+        assert_eq!(g.reg_producers(3)[0], Some(0));
+        let producers: Vec<u32> = g.producers(3).collect();
+        assert!(producers.contains(&2) && producers.contains(&0));
+    }
+
+    #[test]
+    fn partial_overlap_still_creates_memory_edge() {
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 0x1000); // 0
+        b.li(r(2), 0xFF); // 1
+        b.store(r(1), 4, r(2), 4); // 2: bytes [0x1004, 0x1008)
+        b.load(r(3), r(1), 0, 8); // 3: bytes [0x1000, 0x1008) overlap
+        b.halt();
+        let p = b.build();
+        let t = Emulator::new(&p, Memory::new()).run(100);
+        let g = DepGraph::build(&p, &t);
+        assert_eq!(g.mem_producer(3), Some(2));
+    }
+
+    #[test]
+    fn youngest_store_wins() {
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 0x1000); // 0
+        b.li(r(2), 1); // 1
+        b.store(r(1), 0, r(2), 8); // 2
+        b.store(r(1), 0, r(2), 8); // 3
+        b.load(r(3), r(1), 0, 8); // 4
+        b.halt();
+        let p = b.build();
+        let t = Emulator::new(&p, Memory::new()).run(100);
+        let g = DepGraph::build(&p, &t);
+        assert_eq!(g.mem_producer(4), Some(3));
+    }
+
+    #[test]
+    fn disjoint_store_creates_no_edge() {
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 0x1000); // 0
+        b.li(r(2), 9); // 1
+        b.store(r(1), 64, r(2), 8); // 2: different granule
+        b.load(r(3), r(1), 0, 8); // 3
+        b.halt();
+        let p = b.build();
+        let t = Emulator::new(&p, Memory::new()).run(100);
+        let g = DepGraph::build(&p, &t);
+        assert_eq!(g.mem_producer(3), None);
+    }
+
+    #[test]
+    fn zero_register_never_produces() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::ZERO, 3); // 0: write discarded
+        b.alu_ri(AluOp::Add, r(1), Reg::ZERO, 1); // 1
+        b.halt();
+        let p = b.build();
+        let t = Emulator::new(&p, Memory::new()).run(100);
+        let g = DepGraph::build(&p, &t);
+        assert_eq!(g.reg_producers(1)[0], None);
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn granule_iteration_covers_unaligned_spans() {
+        let gs: Vec<u64> = granules(0x1006, 8).collect();
+        assert_eq!(gs, vec![0x200, 0x201]);
+        let gs1: Vec<u64> = granules(0x1000, 1).collect();
+        assert_eq!(gs1, vec![0x200]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Shared construction helpers for the workload builders.
+
+use crate::Input;
+use crisp_emu::Memory;
+use crisp_isa::{AluOp, ProgramBuilder, Reg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG; train and ref inputs use different streams.
+pub fn rng_for(input: Input, salt: u64) -> SmallRng {
+    let seed = match input {
+        Input::Train => 0x5EED_0000_0000_0001 ^ salt,
+        Input::Ref => 0x5EED_0000_0000_0002 ^ salt.rotate_left(17),
+    };
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Picks a structure size by input set.
+pub fn scaled(input: Input, train: u64, reference: u64) -> u64 {
+    match input {
+        Input::Train => train,
+        Input::Ref => reference,
+    }
+}
+
+/// Initialises a random-permutation ring of `nodes` records of
+/// `node_bytes` each at `base`: `mem[node] = next_node_address`, and a
+/// random payload at `node + 8`. The permutation is a single cycle, so a
+/// pointer chase visits every node — the canonical hard-to-prefetch
+/// pattern.
+pub fn init_ring(mem: &mut Memory, base: u64, nodes: u64, node_bytes: u64, rng: &mut SmallRng) {
+    let mut order: Vec<u64> = (0..nodes).collect();
+    // Fisher-Yates shuffle.
+    for i in (1..nodes as usize).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    for w in 0..nodes as usize {
+        let cur = order[w];
+        let next = order[(w + 1) % nodes as usize];
+        mem.write_u64(base + cur * node_bytes, base + next * node_bytes);
+        mem.write_u64(base + cur * node_bytes + 8, rng.gen::<u64>());
+    }
+}
+
+/// Fills `n` consecutive u64 slots at `base` from a generator.
+pub fn fill_u64(mem: &mut Memory, base: u64, n: u64, mut f: impl FnMut(u64) -> u64) {
+    for i in 0..n {
+        mem.write_u64(base + 8 * i, f(i));
+    }
+}
+
+/// Registers conventionally used by the emit helpers (r10–r17 are left to
+/// the individual workloads).
+pub mod regs {
+    use crisp_isa::Reg;
+    /// Scratch register A.
+    pub const T1: Reg = Reg::new_const(4);
+    /// Scratch register B.
+    pub const T2: Reg = Reg::new_const(5);
+    /// Scratch register C.
+    pub const T3: Reg = Reg::new_const(6);
+    /// Rotating accumulators.
+    pub const ACCS: [Reg; 4] = [
+        Reg::new_const(24),
+        Reg::new_const(25),
+        Reg::new_const(26),
+        Reg::new_const(27),
+    ];
+}
+
+/// Emits an unrolled "dot product" filler block: per element two
+/// always-ready loads, a multiply against `val`, and an accumulate into a
+/// rotating accumulator. This is the dense independent work that keeps the
+/// machine busy (UPC ≈ 6) so that oldest-ready-first scheduling starves
+/// younger critical loads — the Figure 1 setup.
+pub fn emit_filler_dot(
+    b: &mut ProgramBuilder,
+    a_base: i64,
+    b_base: i64,
+    elems: i64,
+    val: Reg,
+) {
+    for e in 0..elems {
+        b.load(regs::T1, Reg::ZERO, a_base + 8 * e, 8);
+        b.load(regs::T2, Reg::ZERO, b_base + 8 * e, 8);
+        b.mul(regs::T1, regs::T1, val);
+        b.alu_rr(AluOp::Xor, regs::T2, regs::T2, regs::T1);
+        let acc = regs::ACCS[(e % 4) as usize];
+        b.alu_rr(AluOp::Add, acc, acc, regs::T2);
+    }
+}
+
+/// Emits a pure-ALU filler block (shifts/xors over the accumulators) —
+/// independent work with no memory traffic, used by branch-bound kernels.
+pub fn emit_filler_alu(b: &mut ProgramBuilder, ops: i64) {
+    for e in 0..ops {
+        let acc = regs::ACCS[(e % 4) as usize];
+        match e % 3 {
+            0 => b.alu_ri(AluOp::Xor, acc, acc, 0x9E37),
+            1 => b.alu_ri(AluOp::Add, acc, acc, 0x79B9),
+            _ => b.alu_ri(AluOp::Shl, acc, acc, 1),
+        };
+    }
+}
+
+/// Emits the address-hash slice `dst = ((key * C) >> shift) & mask` — a
+/// 4-instruction address-generating chain, the typical hash-table probe
+/// slice (deepsjeng / memcached / moses character).
+pub fn emit_hash_slice(
+    b: &mut ProgramBuilder,
+    dst: Reg,
+    key: Reg,
+    mult: Reg,
+    shift: i64,
+    mask: i64,
+) {
+    b.mul(dst, key, mult);
+    b.alu_ri(AluOp::Shr, dst, dst, shift);
+    b.alu_ri(AluOp::And, dst, dst, mask);
+    b.alu_ri(AluOp::Shl, dst, dst, 3);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Input;
+
+    #[test]
+    fn rngs_differ_by_input_and_salt() {
+        let mut a = rng_for(Input::Train, 1);
+        let mut b = rng_for(Input::Ref, 1);
+        let mut c = rng_for(Input::Train, 2);
+        let (x, y, z) = (a.gen::<u64>(), b.gen::<u64>(), c.gen::<u64>());
+        assert_ne!(x, y);
+        assert_ne!(x, z);
+        // And deterministic:
+        assert_eq!(rng_for(Input::Train, 1).gen::<u64>(), x);
+    }
+
+    #[test]
+    fn ring_is_a_single_cycle() {
+        let mut mem = Memory::new();
+        let mut rng = rng_for(Input::Train, 9);
+        let base = 0x10_0000;
+        let nodes = 257;
+        init_ring(&mut mem, base, nodes, 64, &mut rng);
+        let mut cur = base;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..nodes {
+            assert!(seen.insert(cur), "revisited {cur:#x} early");
+            cur = mem.read_u64(cur);
+            assert!(cur >= base && cur < base + nodes * 64);
+            assert_eq!((cur - base) % 64, 0);
+        }
+        assert_eq!(seen.len(), nodes as usize);
+        assert!(seen.contains(&cur), "ring must close");
+    }
+
+    #[test]
+    fn fill_writes_generator_values() {
+        let mut mem = Memory::new();
+        fill_u64(&mut mem, 0x4000, 4, |i| i * i);
+        assert_eq!(mem.read_u64(0x4000 + 16), 4);
+    }
+
+    #[test]
+    fn scaled_selects_by_input() {
+        assert_eq!(scaled(Input::Train, 10, 20), 10);
+        assert_eq!(scaled(Input::Ref, 10, 20), 20);
+    }
+}

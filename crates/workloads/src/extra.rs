@@ -1,0 +1,194 @@
+//! Additional SPEC-like kernels beyond the paper's evaluated set —
+//! useful for robustness testing and for exploring the mechanism on
+//! patterns the paper does not cover. They are registered in the
+//! workload registry but excluded from the figure reproductions.
+
+use crate::common::{emit_filler_dot, fill_u64, init_ring, regs, rng_for, scaled};
+use crate::{Input, Workload};
+use crisp_emu::Memory;
+use crisp_isa::{AluOp, Cond, ProgramBuilder, Reg};
+use rand::Rng;
+
+const R1: Reg = Reg::new_const(1);
+const R2: Reg = Reg::new_const(2);
+const R7: Reg = Reg::new_const(7);
+const R9: Reg = Reg::new_const(9);
+const R10: Reg = Reg::new_const(10);
+const R18: Reg = Reg::new_const(18);
+const R19: Reg = Reg::new_const(19);
+
+const HEAP_BASE: u64 = 0x1000_0000;
+const ARR_A: u64 = 0x10_0000;
+const ARR_B: u64 = 0x12_0000;
+
+/// `omnetpp`-like: discrete-event simulation — a binary-heap event queue
+/// whose sift-down walks data-dependent child pointers (delinquent,
+/// serial) with event handlers providing the dense work.
+pub fn omnetpp(input: Input) -> Workload {
+    let heap_nodes = scaled(input, 1 << 15, 1 << 16);
+    let mut rng = rng_for(input, 0x6F6D_6E00);
+    let mut memory = Memory::new();
+    // Heap nodes: 64-byte records; the child pointers form a random
+    // permutation cycle so the sift walk keeps missing (a random *mapping*
+    // would collapse into a ~sqrt(n) rho-cycle and become cache-resident).
+    init_ring(&mut memory, HEAP_BASE, heap_nodes, 64, &mut rng);
+    fill_u64(&mut memory, ARR_A, 4096, |_| rng.gen::<u64>() >> 32);
+    fill_u64(&mut memory, ARR_B, 4096, |_| rng.gen::<u64>() >> 32);
+
+    let mut b = ProgramBuilder::new();
+    b.li(R1, HEAP_BASE as i64);
+    let top = b.label();
+    b.bind(top);
+    b.load(R2, R1, 8, 8); // event payload (delinquent)
+    // Event handler: dense payload-dependent work.
+    emit_filler_dot(&mut b, ARR_A as i64, ARR_B as i64, 18, R2);
+    // Priority comparison branch on payload bits (moderately hard).
+    b.alu_ri(AluOp::And, R18, R2, 3);
+    let reschedule = b.label();
+    b.branch(Cond::Ne, R18, Reg::ZERO, reschedule);
+    b.alu_rr(AluOp::Add, regs::ACCS[0], regs::ACCS[0], R2);
+    b.bind(reschedule);
+    b.load(R1, R1, 0, 8); // sift to child (delinquent, loop bottom)
+    b.jump(top);
+    b.halt();
+
+    Workload {
+        name: "omnetpp",
+        description: "discrete-event simulation: binary-heap sift-down over pointer-scrambled 64-byte nodes with payload-dependent event handlers; serial delinquent chain like mcf",
+        program: b.build(),
+        memory,
+    }
+}
+
+/// `xalancbmk`-like: XML/DOM processing — a tree walk alternating between
+/// child and sibling pointers selected by loaded node tags, plus a string
+/// (byte-granularity) comparison loop.
+pub fn xalancbmk(input: Input) -> Workload {
+    let nodes = scaled(input, 1 << 16, 1 << 17);
+    let mut rng = rng_for(input, 0x7861_6C00);
+    let mut memory = Memory::new();
+    // DOM nodes: {child, sibling, tag, text[40]} on 64-byte records.
+    // Child pointers form one permutation cycle (so descent never gets
+    // stuck); siblings point into a second shuffled ring shifted by an
+    // odd offset, keeping both arms irregular.
+    init_ring(&mut memory, HEAP_BASE, nodes, 64, &mut rng);
+    for i in 0..nodes {
+        let addr = HEAP_BASE + i * 64;
+        let sib = HEAP_BASE + ((i * 48_271 + 11) % nodes) * 64;
+        memory.write_u64(addr + 8, sib);
+        memory.write_u64(addr + 16, rng.gen::<u64>());
+        memory.write_u64(addr + 24, rng.gen::<u64>());
+    }
+    fill_u64(&mut memory, ARR_A, 4096, |_| rng.gen::<u64>() >> 32);
+    fill_u64(&mut memory, ARR_B, 4096, |_| rng.gen::<u64>() >> 32);
+
+    let mut b = ProgramBuilder::new();
+    b.li(R1, HEAP_BASE as i64);
+    b.li(R10, 0xFF);
+    let top = b.label();
+    b.bind(top);
+    b.load(R2, R1, 16, 8); // node tag (delinquent)
+    // Tag-match "string compare": byte loads from the node text.
+    b.load(R18, R1, 24, 1);
+    b.load(R19, R1, 25, 1);
+    b.alu_rr(AluOp::Xor, R18, R18, R19);
+    // Transform work dependent on the tag.
+    emit_filler_dot(&mut b, ARR_A as i64, ARR_B as i64, 14, R2);
+    // Tag xor visit-counter decides child vs sibling descent: the same
+    // node takes different arms on different visits, so the walk is a
+    // genuine random walk over the whole tree (a fixed per-node choice
+    // would collapse into a short cycle). The branch is data-dependent
+    // and hard.
+    b.alu_ri(AluOp::Add, R7, R7, 1);
+    b.alu_rr(AluOp::Xor, R9, R2, R7);
+    b.alu_ri(AluOp::And, R9, R9, 1);
+    let sibling = b.label();
+    let walked = b.label();
+    b.branch(Cond::Ne, R9, Reg::ZERO, sibling);
+    b.load(R1, R1, 0, 8); // child (delinquent)
+    b.jump(walked);
+    b.bind(sibling);
+    b.load(R1, R1, 8, 8); // sibling (delinquent)
+    b.bind(walked);
+    b.alu_rr(AluOp::Add, regs::ACCS[1], regs::ACCS[1], R18);
+    b.jump(top);
+    b.halt();
+
+    Workload {
+        name: "xalancbmk",
+        description: "DOM tree walk: tag load steers child-vs-sibling descent through a data-dependent branch whose both arms end in delinquent pointer loads; byte-width text compares",
+        program: b.build(),
+        memory,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crisp_emu::Emulator;
+
+    #[test]
+    fn omnetpp_chases_the_heap() {
+        let w = omnetpp(Input::Train);
+        let trace = Emulator::new(&w.program, w.memory.clone()).run(50_000);
+        let distinct: std::collections::HashSet<u64> = trace
+            .iter()
+            .filter(|r| r.addr >= HEAP_BASE && w.program.inst(r.pc).is_load())
+            .map(|r| r.addr & !63)
+            .collect();
+        assert!(distinct.len() > 300, "heap walk visits many nodes: {}", distinct.len());
+    }
+
+    #[test]
+    fn xalancbmk_takes_both_descent_arms() {
+        let w = xalancbmk(Input::Train);
+        let trace = Emulator::new(&w.program, w.memory.clone()).run(50_000);
+        let branch_pc = w
+            .program
+            .iter()
+            .find(|(_, i)| i.op.is_cond_branch())
+            .map(|(pc, _)| pc)
+            .expect("has branch");
+        let (mut taken, mut total) = (0u64, 0u64);
+        for r in &trace {
+            if r.pc == branch_pc {
+                total += 1;
+                taken += u64::from(r.taken);
+            }
+        }
+        let ratio = taken as f64 / total.max(1) as f64;
+        assert!(ratio > 0.3 && ratio < 0.7, "descent split ~50/50: {ratio}");
+    }
+
+    #[test]
+    fn extras_use_byte_width_loads() {
+        let w = xalancbmk(Input::Train);
+        let has_byte_load = w
+            .program
+            .iter()
+            .any(|(_, i)| i.is_load() && i.width.bytes() == 1);
+        assert!(has_byte_load);
+    }
+
+    #[test]
+    fn ring_helper_not_needed_but_available() {
+        let mut mem = Memory::new();
+        let mut rng = rng_for(Input::Train, 1);
+        init_ring(&mut mem, 0x4000, 8, 64, &mut rng);
+        let mut cur = 0x4000u64;
+        for _ in 0..8 {
+            cur = mem.read_u64(cur);
+        }
+        assert_eq!(cur, 0x4000);
+    }
+
+    #[test]
+    fn extras_scale_with_input() {
+        let t = omnetpp(Input::Train);
+        let r = omnetpp(Input::Ref);
+        assert!(r.memory.page_count() > t.memory.page_count());
+        let t2 = xalancbmk(Input::Train);
+        let r2 = xalancbmk(Input::Ref);
+        assert!(r2.memory.page_count() > t2.memory.page_count());
+    }
+}

@@ -1,0 +1,872 @@
+//! SPEC2017-like kernels. Each reproduces the published bottleneck
+//! character of its namesake (see per-function docs), not its semantics.
+
+use crate::common::{
+    emit_filler_alu, emit_filler_dot, emit_hash_slice, fill_u64, init_ring, regs, rng_for, scaled,
+};
+use crate::{Input, Workload};
+use crisp_emu::Memory;
+use crisp_isa::{AluOp, Cond, Opcode, ProgramBuilder, Reg};
+use rand::Rng;
+
+const R1: Reg = Reg::new_const(1);
+const R2: Reg = Reg::new_const(2);
+const R3: Reg = Reg::new_const(3);
+const R7: Reg = Reg::new_const(7);
+const R8: Reg = Reg::new_const(8);
+const R9: Reg = Reg::new_const(9);
+const R10: Reg = Reg::new_const(10);
+const R11: Reg = Reg::new_const(11);
+const R12: Reg = Reg::new_const(12);
+const R13: Reg = Reg::new_const(13);
+const R18: Reg = Reg::new_const(18);
+const R19: Reg = Reg::new_const(19);
+const R20: Reg = Reg::new_const(20);
+
+const RING_BASE: u64 = 0x1000_0000;
+const RING2_BASE: u64 = 0x3000_0000;
+const TABLE_BASE: u64 = 0x5000_0000;
+const ARR_A: u64 = 0x10_0000;
+const ARR_B: u64 = 0x12_0000;
+const STREAM_BASE: u64 = 0x7000_0000;
+
+/// `mcf`-like: network-simplex pointer chasing. Two interleaved
+/// random-permutation rings (arcs and nodes) with the chase loads at the
+/// bottom of the loop behind dense pricing arithmetic — high LLC MPKI,
+/// MLP ≈ 2, deep reorder pressure. The paper's classic
+/// delinquent-load-bound app.
+pub fn mcf(input: Input) -> Workload {
+    let nodes = scaled(input, 1 << 15, 1 << 16);
+    let mut rng = rng_for(input, 0x6D63_6600);
+    let mut memory = Memory::new();
+    init_ring(&mut memory, RING_BASE, nodes, 64, &mut rng);
+    init_ring(&mut memory, RING2_BASE, nodes, 64, &mut rng);
+    fill_u64(&mut memory, ARR_A, 4096, |_| rng.gen::<u64>() >> 32);
+    fill_u64(&mut memory, ARR_B, 4096, |_| rng.gen::<u64>() >> 32);
+
+    let mut b = ProgramBuilder::new();
+    b.li(R1, RING_BASE as i64);
+    b.li(R3, RING2_BASE as i64);
+    let top = b.label();
+    b.bind(top);
+    // Arc pricing: cost from the current arc, dense reduced-cost math.
+    b.load(R2, R1, 8, 8); // val = arc->cost (delinquent)
+    emit_filler_dot(&mut b, ARR_A as i64, ARR_B as i64, 26, R2);
+    // Data-dependent pivot branch (hard, ~25% taken).
+    b.alu_ri(AluOp::And, R18, R2, 3);
+    let skip = b.label();
+    b.branch(Cond::Ne, R18, Reg::ZERO, skip);
+    emit_filler_alu(&mut b, 6);
+    b.bind(skip);
+    // Node potential update on the second structure.
+    b.load(R19, R3, 8, 8); // node->potential (delinquent)
+    b.alu_rr(AluOp::Add, regs::ACCS[0], regs::ACCS[0], R19);
+    // The chases sit at the loop bottom (the Figure 2 pathology).
+    b.load(R1, R1, 0, 8); // arc = arc->next
+    b.load(R3, R3, 0, 8); // node = node->next
+    b.jump(top);
+    b.halt();
+
+    Workload {
+        name: "mcf",
+        description: "network-simplex style dual pointer chase; delinquent loads at loop bottom behind dense pricing arithmetic; low MLP, high LLC MPKI",
+        program: b.build(),
+        memory,
+    }
+}
+
+/// `lbm`-like: a streaming collision–propagation kernel whose loop time is
+/// dominated by a *hard-to-predict collision branch*; load slicing alone
+/// barely helps until branch slices resolve the branch early (the paper's
+/// Section 3.4 motivation).
+pub fn lbm(input: Input) -> Workload {
+    let cells = scaled(input, 1 << 15, 1 << 16);
+    let mut rng = rng_for(input, 0x6C62_6D00);
+    let mut memory = Memory::new();
+    // 64-byte cell records: a sequential field (streamed, prefetched) and a
+    // far "neighbour" field reached with a 97-cell stride that defeats the
+    // prefetchers.
+    fill_u64(&mut memory, STREAM_BASE, cells * 8, |_| rng.gen::<u64>());
+    fill_u64(&mut memory, ARR_A, 4096, |_| rng.gen::<u64>() >> 32);
+    fill_u64(&mut memory, ARR_B, 4096, |_| rng.gen::<u64>() >> 32);
+
+    let mut b = ProgramBuilder::new();
+    b.li(R7, 0); // cell index
+    b.li(R10, STREAM_BASE as i64);
+    b.li(R11, (cells - 1) as i64); // index mask
+    b.li(R12, 0x9E37_79B1u32 as i64);
+    b.li(R13, 3);
+    let top = b.label();
+    b.bind(top);
+    // Streaming cell fetch (BOP-covered).
+    b.alu_ri(AluOp::And, R8, R7, (cells - 1) as i64);
+    b.alu_ri(AluOp::Shl, R8, R8, 6);
+    b.alu_rr(AluOp::Add, R9, R10, R8);
+    b.load(R3, R9, 0, 8); // cell state (prefetched)
+    b.load(R18, R9, 8, 8); // east distribution
+    // Collision decision: resolving the outcome needs a multiply + divide
+    // chain (~25 cycles) and the result is a coin flip, so every second
+    // iteration eats a late-resolving mispredict that stalls fetch — and
+    // with it the *independent* delinquent gathers below. Branch slices
+    // ({load, mul, div, and}) shorten exactly that resolve time
+    // (Section 3.4's lbm motivation).
+    b.mul(R20, R3, R12);
+    b.div(R20, R20, R13);
+    b.mul(R20, R20, R12);
+    b.alu_ri(AluOp::Shr, R20, R20, 11);
+    b.alu_ri(AluOp::And, R20, R20, 1);
+    let bounce = b.label();
+    let join = b.label();
+    b.branch(Cond::Ne, R20, Reg::ZERO, bounce);
+    b.fp(Opcode::FAdd, R18, R18, R3);
+    b.store(R9, 24, R18, 8);
+    b.jump(join);
+    b.bind(bounce);
+    b.fp(Opcode::FMul, R18, R18, R3);
+    b.store(R9, 32, R18, 8);
+    b.bind(join);
+    // Far-neighbour gather: independent across iterations (MLP-limited by
+    // how far the frontend runs ahead), delinquent.
+    b.mul(R19, R7, R13); // pseudo-neighbour index: i * 3 * 97
+    b.mul(R19, R19, R12);
+    b.alu_ri(AluOp::And, R19, R19, (cells * 8 - 8) as i64);
+    b.alu_ri(AluOp::Shl, R19, R19, 3);
+    b.alu_rr(AluOp::Add, R19, R19, R10);
+    b.load(R2, R19, 0, 8); // far distribution (delinquent)
+    // Dense collision update dependent on the gathered value.
+    emit_filler_dot(&mut b, ARR_A as i64, ARR_B as i64, 20, R2);
+    b.alu_ri(AluOp::Add, R7, R7, 1);
+    b.jump(top);
+    b.halt();
+
+    Workload {
+        name: "lbm",
+        description: "streaming collision kernel whose 50/50 branch resolves through a multiply/divide chain, gating independent far-neighbour gathers: branch slices unlock the load-slice benefit (Section 3.4/5.3)",
+        program: b.build(),
+        memory,
+    }
+}
+
+/// `bwaves`-like: blocked solver with batches of *independent* large-stride
+/// loads — high LLC MPKI but executed at high MLP, so the misses overlap
+/// already. The paper's classifier rejects these loads (MLP gate); IBDA
+/// tags them anyway and loses (Section 5.2).
+pub fn bwaves(input: Input) -> Workload {
+    let span = scaled(input, 1 << 17, 1 << 18); // u64 slots, 1-2 MiB per array
+    let mut rng = rng_for(input, 0x6277_6100);
+    let mut memory = Memory::new();
+    fill_u64(&mut memory, STREAM_BASE, 64, |_| {
+        (rng.gen::<u64>() % span) * 8
+    });
+    fill_u64(&mut memory, ARR_A, 4096, |_| rng.gen::<u64>() >> 32);
+    fill_u64(&mut memory, ARR_B, 4096, |_| rng.gen::<u64>() >> 32);
+
+    let mut b = ProgramBuilder::new();
+    b.li(R10, STREAM_BASE as i64); // offset table
+    b.li(R11, 0x9000_0000); // matrix base
+    b.li(R7, 0); // block counter
+    let top = b.label();
+    b.bind(top);
+    // Load 8 precomputed offsets (L1 hits) and issue 8 *independent*
+    // wide-stride loads: MLP 8, misses overlap regardless of scheduling.
+    for k in 0..8 {
+        b.load(R8, R10, 8 * k, 8);
+        b.alu_rr(AluOp::Add, R9, R11, R8);
+        b.load(R18, R9, 0, 8);
+        b.alu_rr(AluOp::Add, regs::ACCS[(k % 4) as usize], regs::ACCS[(k % 4) as usize], R18);
+        // Rotate the offset so each block touches new rows.
+        b.alu_ri(AluOp::Add, R8, R8, 4096 * 8 + 64);
+        b.alu_ri(AluOp::And, R8, R8, (span * 8 - 1) as i64);
+        b.store(R10, 8 * k, R8, 8);
+    }
+    // FP block between miss batches.
+    emit_filler_dot(&mut b, ARR_A as i64, ARR_B as i64, 10, R18);
+    b.alu_ri(AluOp::Add, R7, R7, 1);
+    let wrap = b.label();
+    b.branch(Cond::Ltu, R7, R12, wrap); // R12 = 0 => never taken; fallthrough
+    b.bind(wrap);
+    b.jump(top);
+    b.halt();
+
+    Workload {
+        name: "bwaves",
+        description: "batched independent wide-stride loads at MLP 8: high MPKI that is already overlapped; CRISP's MLP gate rejects them, IBDA tags them and regresses",
+        program: b.build(),
+        memory,
+    }
+}
+
+/// `cactusBSSN`-like: multi-stream stencil sweeps (prefetch-friendly) plus
+/// one indirect gather and a moderately-biased boundary branch per point —
+/// modest load-slice and branch-slice gains that *combine* (Figure 8
+/// synergy group).
+pub fn cactus(input: Input) -> Workload {
+    let span = scaled(input, 1 << 17, 1 << 18);
+    let mut rng = rng_for(input, 0x6361_6300);
+    let mut memory = Memory::new();
+    fill_u64(&mut memory, STREAM_BASE, span, |_| rng.gen::<u64>());
+    let idx_entries = 1 << 12;
+    fill_u64(&mut memory, TABLE_BASE, idx_entries, |_| {
+        (rng.gen::<u64>() % span) * 8
+    });
+    fill_u64(&mut memory, ARR_A, 4096, |_| rng.gen::<u64>() >> 32);
+    fill_u64(&mut memory, ARR_B, 4096, |_| rng.gen::<u64>() >> 32);
+
+    let mut b = ProgramBuilder::new();
+    b.li(R7, 0);
+    b.li(R10, STREAM_BASE as i64);
+    b.li(R11, TABLE_BASE as i64);
+    b.li(R12, 0x9000_0000);
+    let top = b.label();
+    b.bind(top);
+    b.alu_ri(AluOp::And, R8, R7, (span - 4) as i64);
+    b.alu_ri(AluOp::Shl, R8, R8, 3);
+    b.alu_rr(AluOp::Add, R9, R10, R8);
+    // Stencil: three streaming loads + FP chain.
+    b.load(R18, R9, 0, 8);
+    b.load(R19, R9, 8, 8);
+    b.load(R20, R9, 16, 8);
+    b.fp(Opcode::FMa, R18, R18, R19);
+    b.fp(Opcode::FAdd, R18, R18, R20);
+    b.store(R9, 24, R18, 8);
+    // Indirect curvature gather (delinquent): idx -> big array.
+    b.alu_ri(AluOp::And, R2, R7, (idx_entries - 1) as i64);
+    b.alu_ri(AluOp::Shl, R2, R2, 3);
+    b.alu_rr(AluOp::Add, R2, R2, R11);
+    b.load(R3, R2, 0, 8); // offset (L1/LLC)
+    b.alu_rr(AluOp::Add, R3, R3, R12);
+    b.load(R2, R3, 0, 8); // gather (delinquent, loop bottom-ish)
+    // Boundary branch: biased ~75/25 on gathered data.
+    b.alu_ri(AluOp::And, R18, R2, 3);
+    let inner_pt = b.label();
+    b.branch(Cond::Ne, R18, Reg::ZERO, inner_pt);
+    emit_filler_alu(&mut b, 8); // boundary fix-up
+    b.bind(inner_pt);
+    emit_filler_dot(&mut b, ARR_A as i64, ARR_B as i64, 18, R2);
+    b.alu_ri(AluOp::Add, R7, R7, 1);
+    b.jump(top);
+    b.halt();
+
+    Workload {
+        name: "cactus",
+        description: "stencil sweeps plus an indirect curvature gather and a 75/25 boundary branch; modest load and branch slice gains that combine super-additively",
+        program: b.build(),
+        memory,
+    }
+}
+
+/// `deepsjeng`-like: transposition-table probing. A 4-instruction hash
+/// slice feeds a delinquent table load; a data-dependent cutoff branch
+/// (~30 % mispredict) gates the search path — branch slices alone give
+/// >3 % (Figure 8's branch group).
+pub fn deepsjeng(input: Input) -> Workload {
+    let table_slots = scaled(input, 1 << 17, 1 << 18); // 1-2 MiB
+    let mut rng = rng_for(input, 0x646A_7300);
+    let mut memory = Memory::new();
+    fill_u64(&mut memory, TABLE_BASE, table_slots, |_| rng.gen::<u64>());
+    fill_u64(&mut memory, ARR_A, 4096, |_| rng.gen::<u64>() >> 32);
+    fill_u64(&mut memory, ARR_B, 4096, |_| rng.gen::<u64>() >> 32);
+
+    let mut b = ProgramBuilder::new();
+    b.li(R2, 0x1234_5678_9ABC_DEF0u64 as i64); // position key
+    b.li(R10, TABLE_BASE as i64);
+    b.li(R11, 0x9E37_79B9); // hash multiplier
+    let top = b.label();
+    b.bind(top);
+    // Move generation filler (ALU heavy).
+    emit_filler_alu(&mut b, 10);
+    // Position key evolution (xorshift).
+    b.alu_ri(AluOp::Shl, R18, R2, 13);
+    b.alu_rr(AluOp::Xor, R2, R2, R18);
+    b.alu_ri(AluOp::Shr, R18, R2, 7);
+    b.alu_rr(AluOp::Xor, R2, R2, R18);
+    // Hash slice -> transposition-table probe (delinquent).
+    emit_hash_slice(&mut b, R9, R2, R11, 17, (table_slots - 1) as i64);
+    b.alu_rr(AluOp::Add, R9, R9, R10);
+    b.load(R3, R9, 0, 8); // probe
+    // Cutoff branch: compares hashed entry to key bits — ~50/50.
+    b.alu_rr(AluOp::Xor, R18, R3, R2);
+    b.alu_ri(AluOp::And, R18, R18, 1);
+    let cut = b.label();
+    let cont = b.label();
+    b.branch(Cond::Eq, R18, Reg::ZERO, cut);
+    emit_filler_dot(&mut b, ARR_A as i64, ARR_B as i64, 16, R3);
+    b.jump(cont);
+    b.bind(cut);
+    b.store(R9, 0, R2, 8); // table update
+    emit_filler_alu(&mut b, 6);
+    b.bind(cont);
+    b.jump(top);
+    b.halt();
+
+    Workload {
+        name: "deepsjeng",
+        description: "transposition-table probe: hash slice into a delinquent table load plus a ~50/50 cutoff branch; branch slices alone contribute >3%",
+        program: b.build(),
+        memory,
+    }
+}
+
+/// `fotonik3d`-like: FDTD field sweeps that prefetchers mostly cover, with
+/// a *wide* but shallow address-generation web. CRISP's critical-path
+/// filter keeps tagging lean; IBDA floods its priority with the whole web
+/// and regresses (the Section 5.2 fotonik case).
+pub fn fotonik3d(input: Input) -> Workload {
+    let span = scaled(input, 1 << 17, 1 << 18);
+    let mut rng = rng_for(input, 0x666F_7400);
+    let mut memory = Memory::new();
+    fill_u64(&mut memory, STREAM_BASE, span, |_| rng.gen::<u64>());
+    fill_u64(&mut memory, ARR_A, 4096, |_| rng.gen::<u64>() >> 32);
+    fill_u64(&mut memory, ARR_B, 4096, |_| rng.gen::<u64>() >> 32);
+    init_ring(&mut memory, RING_BASE, scaled(input, 1 << 13, 1 << 14), 64, &mut rng);
+
+    let mut b = ProgramBuilder::new();
+    b.li(R7, 0);
+    b.li(R10, STREAM_BASE as i64);
+    b.li(R1, RING_BASE as i64);
+    let top = b.label();
+    b.bind(top);
+    // Wide address web: many cheap index computations feeding streaming
+    // loads (every one is an "address-generating instruction" to IBDA).
+    for k in 0..4i64 {
+        b.alu_ri(AluOp::Add, R8, R7, k * 3);
+        b.alu_ri(AluOp::And, R8, R8, (span - 8) as i64);
+        b.alu_ri(AluOp::Shl, R8, R8, 3);
+        b.alu_rr(AluOp::Add, R9, R10, R8);
+        b.load(R18, R9, 0, 8);
+        b.fp(Opcode::FAdd, regs::ACCS[(k % 4) as usize], regs::ACCS[(k % 4) as usize], R18);
+        b.store(R9, 8, R18, 8);
+    }
+    // Small irregular component with a payload-dependent update.
+    b.load(R2, R1, 8, 8);
+    emit_filler_dot(&mut b, ARR_A as i64, ARR_B as i64, 5, R2);
+    b.alu_rr(AluOp::Add, regs::ACCS[2], regs::ACCS[2], R2);
+    b.load(R1, R1, 0, 8);
+    // Predictable sweep branch.
+    b.alu_ri(AluOp::Add, R7, R7, 1);
+    b.alu_ri(AluOp::And, R19, R7, 1023);
+    let cont = b.label();
+    b.branch(Cond::Ne, R19, Reg::ZERO, cont);
+    emit_filler_alu(&mut b, 4);
+    b.bind(cont);
+    b.jump(top);
+    b.halt();
+
+    Workload {
+        name: "fotonik3d",
+        description: "FDTD field sweeps largely covered by prefetching, plus a wide shallow address web: IBDA over-tags it and regresses, CRISP's critical-path filter stays lean",
+        program: b.build(),
+        memory,
+    }
+}
+
+/// `gcc`-like: a big-footprint pass pipeline — an indirect dispatch over
+/// dozens of distinct handler blocks (instruction-cache pressure, >10K
+/// critical instructions in Figure 11) doing symbol-table hashing and
+/// IR pointer chasing.
+pub fn gcc(input: Input) -> Workload {
+    let handlers = 64i64;
+    let table_slots = scaled(input, 1 << 18, 1 << 19);
+    let mut rng = rng_for(input, 0x6763_6300);
+    let mut memory = Memory::new();
+    fill_u64(&mut memory, TABLE_BASE, table_slots, |_| rng.gen::<u64>());
+    init_ring(&mut memory, RING_BASE, scaled(input, 1 << 14, 1 << 15), 64, &mut rng);
+    fill_u64(&mut memory, ARR_A, 4096, |_| rng.gen::<u64>() >> 32);
+    fill_u64(&mut memory, ARR_B, 4096, |_| rng.gen::<u64>() >> 32);
+
+    const JUMPTAB: u64 = 0x6000_0000;
+    let mut b = ProgramBuilder::new();
+    b.li(R1, RING_BASE as i64); // IR node cursor
+    b.li(R10, TABLE_BASE as i64);
+    b.li(R11, 0x9E37_79B9);
+    b.li(R12, JUMPTAB as i64);
+    b.li(R7, 0); // dispatch counter
+    b.li(R2, 1); // opcode seed
+    let dispatch = b.label();
+    b.bind(dispatch);
+    // Pick the next pass round-robin (the indirect target predictor can
+    // learn the repeating pattern, like real pass pipelines); the node
+    // payload feeds the handler's hashing instead.
+    b.load(R2, R1, 8, 8); // node payload (delinquent)
+    b.alu_ri(AluOp::And, R8, R7, handlers - 1);
+    b.alu_ri(AluOp::Shl, R8, R8, 3);
+    b.alu_rr(AluOp::Add, R8, R8, R12);
+    b.load(R9, R8, 0, 8); // handler pc from jump table
+    b.load(R1, R1, 0, 8); // advance IR cursor (delinquent chase)
+    // Periodic GC-check branch (predictable, taken 1/64).
+    b.alu_ri(AluOp::Add, R7, R7, 1);
+    b.alu_ri(AluOp::And, R18, R7, 63);
+    let no_gc = b.label();
+    b.branch(Cond::Ne, R18, Reg::ZERO, no_gc);
+    emit_filler_alu(&mut b, 4);
+    b.bind(no_gc);
+    b.jump_ind(R9);
+    // Handlers: distinct code blocks (static footprint), each hashing into
+    // the symbol table and accumulating.
+    let mut handler_pcs = Vec::new();
+    for h in 0..handlers {
+        handler_pcs.push(b.here());
+        b.alu_ri(AluOp::Xor, R18, R2, h * 0x55);
+        emit_hash_slice(&mut b, R9, R18, R11, 13, (table_slots - 1) as i64);
+        b.alu_rr(AluOp::Add, R9, R9, R10);
+        b.load(R3, R9, 0, 8); // symbol probe (delinquent)
+        b.alu_rr(AluOp::Add, regs::ACCS[(h % 4) as usize], regs::ACCS[(h % 4) as usize], R3);
+        emit_filler_alu(&mut b, 6 + (h % 5));
+        emit_filler_dot(&mut b, ARR_A as i64, ARR_B as i64, 12 + (h % 3), R3);
+        b.jump(dispatch);
+    }
+    b.halt();
+    let program = b.build();
+    for (i, pc) in handler_pcs.iter().enumerate() {
+        memory.write_u64(JUMPTAB + 8 * i as u64, u64::from(*pc));
+    }
+
+    Workload {
+        name: "gcc",
+        description: "pass pipeline with 48 distinct handler blocks behind an indirect dispatch: large code footprint, symbol-table hash probes and IR pointer chasing; >10K critical instructions",
+        program,
+        memory,
+    }
+}
+
+/// `nab`-like: molecular dynamics neighbour lists — a streaming index load
+/// feeding an indirect position gather, a cutoff branch (~25 %
+/// mispredict), and an FP force block. Load + branch slices both matter.
+pub fn nab(input: Input) -> Workload {
+    let positions = scaled(input, 1 << 17, 1 << 18);
+    let nbr_entries = 1 << 14;
+    let mut rng = rng_for(input, 0x6E61_6200);
+    let mut memory = Memory::new();
+    fill_u64(&mut memory, TABLE_BASE, nbr_entries, |_| {
+        (rng.gen::<u64>() % positions) * 8
+    });
+    fill_u64(&mut memory, STREAM_BASE, positions, |_| rng.gen::<u64>());
+    fill_u64(&mut memory, ARR_A, 4096, |_| rng.gen::<u64>() >> 32);
+    fill_u64(&mut memory, ARR_B, 4096, |_| rng.gen::<u64>() >> 32);
+
+    let mut b = ProgramBuilder::new();
+    b.li(R7, 0);
+    b.li(R10, TABLE_BASE as i64);
+    b.li(R11, STREAM_BASE as i64);
+    let top = b.label();
+    b.bind(top);
+    b.alu_ri(AluOp::And, R8, R7, (nbr_entries - 1) as i64);
+    b.alu_ri(AluOp::Shl, R8, R8, 3);
+    b.alu_rr(AluOp::Add, R8, R8, R10);
+    b.load(R9, R8, 0, 8); // neighbour index (streaming)
+    b.alu_rr(AluOp::Add, R9, R9, R11);
+    b.load(R2, R9, 0, 8); // position gather (delinquent)
+    // Cutoff branch on gathered distance bits (~25% taken).
+    b.alu_ri(AluOp::And, R18, R2, 3);
+    let skip = b.label();
+    b.branch(Cond::Ne, R18, Reg::ZERO, skip);
+    // In-cutoff: expensive force computation.
+    b.fp(Opcode::FMul, R19, R2, R2);
+    b.fp(Opcode::FAdd, R19, R19, R2);
+    b.div(R20, R19, R2);
+    b.alu_rr(AluOp::Add, regs::ACCS[0], regs::ACCS[0], R20);
+    b.bind(skip);
+    emit_filler_dot(&mut b, ARR_A as i64, ARR_B as i64, 20, R2);
+    b.alu_ri(AluOp::Add, R7, R7, 1);
+    b.jump(top);
+    b.halt();
+
+    Workload {
+        name: "nab",
+        description: "neighbour-list position gathers behind streaming index loads, a 75/25 cutoff branch gating a divide-heavy force block; branch slices contribute >3%",
+        program: b.build(),
+        memory,
+    }
+}
+
+/// `namd`-like: pair-list gathers whose address chain passes through a
+/// **register spill on the stack** — the dependence-through-memory case
+/// that register-only IBDA cannot slice (Section 5.2's namd failure).
+pub fn namd(input: Input) -> Workload {
+    let positions = scaled(input, 1 << 17, 1 << 18);
+    let pairs = 1 << 14;
+    let mut rng = rng_for(input, 0x6E61_6D00);
+    let mut memory = Memory::new();
+    fill_u64(&mut memory, TABLE_BASE, pairs, |_| {
+        (rng.gen::<u64>() % positions) * 8
+    });
+    fill_u64(&mut memory, STREAM_BASE, positions, |_| rng.gen::<u64>());
+    fill_u64(&mut memory, ARR_A, 4096, |_| rng.gen::<u64>() >> 32);
+    fill_u64(&mut memory, ARR_B, 4096, |_| rng.gen::<u64>() >> 32);
+
+    const STACK: u64 = 0x20_0000;
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::SP, STACK as i64);
+    b.li(R7, 0);
+    b.li(R10, TABLE_BASE as i64);
+    b.li(R11, STREAM_BASE as i64);
+    let top = b.label();
+    b.bind(top);
+    b.alu_ri(AluOp::And, R8, R7, (pairs - 1) as i64);
+    b.alu_ri(AluOp::Shl, R8, R8, 3);
+    b.alu_rr(AluOp::Add, R8, R8, R10);
+    b.load(R9, R8, 0, 8); // pair index
+    b.alu_rr(AluOp::Add, R9, R9, R11); // gather address
+    // Force-block on the *previous* gather: the dense burst that competes
+    // with this iteration's address chain under oldest-ready-first.
+    emit_filler_dot(&mut b, ARR_A as i64, ARR_B as i64, 20, R2);
+    // Spill the gather address (register pressure), clobber, reload: the
+    // spill store is *younger* than the burst above, so only a slicer that
+    // can follow the dependence through memory will tag and promote it —
+    // register-only IBDA leaves the whole chain waiting (Section 5.2).
+    b.store(Reg::SP, 0, R9, 8);
+    b.li(R9, 0); // clobber
+    b.load(R9, Reg::SP, 0, 8); // reload through memory
+    b.load(R2, R9, 0, 8); // position gather (delinquent)
+    b.fp(Opcode::FMa, regs::ACCS[1], regs::ACCS[1], R2);
+    // Mildly-biased exclusion branch.
+    b.alu_ri(AluOp::And, R18, R2, 7);
+    let cont = b.label();
+    b.branch(Cond::Ne, R18, Reg::ZERO, cont);
+    emit_filler_alu(&mut b, 5);
+    b.bind(cont);
+    b.alu_ri(AluOp::Add, R7, R7, 1);
+    b.jump(top);
+    b.halt();
+
+    Workload {
+        name: "namd",
+        description: "pair-list gathers whose address chain passes through a stack spill: CRISP slices through memory, register-only IBDA misses the slice entirely",
+        program: b.build(),
+        memory,
+    }
+}
+
+/// `perlbench`-like: a bytecode interpreter — indirect dispatch with a
+/// data-dependent target, per-op hash-table lookups, and a very large set
+/// of address-generating instructions. IBDA over-selects and regresses;
+/// CRISP's filtered slices stay profitable (Section 5.2).
+pub fn perlbench(input: Input) -> Workload {
+    let ops = 32i64;
+    let table_slots = scaled(input, 1 << 18, 1 << 19);
+    let bytecode_len = 1 << 12;
+    let mut rng = rng_for(input, 0x7065_7200);
+    let mut memory = Memory::new();
+    fill_u64(&mut memory, TABLE_BASE, table_slots, |_| rng.gen::<u64>());
+    const BYTECODE: u64 = 0x6800_0000;
+    fill_u64(&mut memory, BYTECODE, bytecode_len, |_| {
+        rng.gen::<u64>() % ops as u64
+    });
+    fill_u64(&mut memory, ARR_A, 4096, |_| rng.gen::<u64>() >> 32);
+    fill_u64(&mut memory, ARR_B, 4096, |_| rng.gen::<u64>() >> 32);
+
+    const JUMPTAB: u64 = 0x6000_0000;
+    let mut b = ProgramBuilder::new();
+    b.li(R7, 0); // interpreter pc
+    b.li(R10, TABLE_BASE as i64);
+    b.li(R11, 0x9E37_79B9);
+    b.li(R12, JUMPTAB as i64);
+    b.li(R19, BYTECODE as i64);
+    let dispatch = b.label();
+    b.bind(dispatch);
+    b.alu_ri(AluOp::And, R8, R7, (bytecode_len - 1) as i64);
+    b.alu_ri(AluOp::Shl, R8, R8, 3);
+    b.alu_rr(AluOp::Add, R8, R8, R19);
+    b.load(R2, R8, 0, 8); // opcode fetch
+    b.alu_ri(AluOp::Shl, R9, R2, 3);
+    b.alu_rr(AluOp::Add, R9, R9, R12);
+    b.load(R9, R9, 0, 8); // handler target (data-dependent)
+    b.alu_ri(AluOp::Add, R7, R7, 1);
+    // Signal-check branch (predictable, almost never taken).
+    b.alu_ri(AluOp::And, R18, R7, 255);
+    let no_sig = b.label();
+    b.branch(Cond::Ne, R18, Reg::ZERO, no_sig);
+    emit_filler_alu(&mut b, 3);
+    b.bind(no_sig);
+    b.jump_ind(R9); // hard-to-predict indirect jump
+    let mut handler_pcs = Vec::new();
+    for h in 0..ops {
+        handler_pcs.push(b.here());
+        // Roll entropy into the interpreter state (R20 accumulates a
+        // xorshift of every opcode seen), then hash it (delinquent probe).
+        b.alu_rr(AluOp::Add, R20, R20, R2);
+        b.alu_ri(AluOp::Shl, R18, R20, 13);
+        b.alu_rr(AluOp::Xor, R20, R20, R18);
+        b.alu_ri(AluOp::Shr, R18, R20, 7);
+        b.alu_rr(AluOp::Xor, R20, R20, R18);
+        b.alu_ri(AluOp::Xor, R18, R20, h * 0x101);
+        emit_hash_slice(&mut b, R3, R18, R11, 11, (table_slots - 1) as i64);
+        b.alu_rr(AluOp::Add, R3, R3, R10);
+        b.load(regs::T3, R3, 0, 8);
+        b.alu_rr(
+            AluOp::Add,
+            regs::ACCS[(h % 4) as usize],
+            regs::ACCS[(h % 4) as usize],
+            regs::T3,
+        );
+        emit_filler_alu(&mut b, 4 + (h % 4));
+        emit_filler_dot(&mut b, ARR_A as i64, ARR_B as i64, 12, regs::T3);
+        b.jump(dispatch);
+    }
+    b.halt();
+    let program = b.build();
+    for (i, pc) in handler_pcs.iter().enumerate() {
+        memory.write_u64(JUMPTAB + 8 * i as u64, u64::from(*pc));
+    }
+
+    Workload {
+        name: "perlbench",
+        description: "bytecode interpreter: data-dependent indirect dispatch over 32 handlers plus per-op hash probes; huge address-generating set that IBDA floods itself with",
+        program,
+        memory,
+    }
+}
+
+/// `xz`-like: LZMA match finding — hash-chain walks with a data-dependent
+/// chain-exit branch and byte-granularity loads.
+pub fn xz(input: Input) -> Workload {
+    let window = scaled(input, 1 << 20, 1 << 21); // bytes
+    let hash_slots = 1 << 15;
+    let mut rng = rng_for(input, 0x787A_0000);
+    let mut memory = Memory::new();
+    const WINDOW: u64 = 0x9000_0000;
+    for i in 0..(window / 8) {
+        memory.write_u64(WINDOW + i * 8, rng.gen::<u64>());
+    }
+    fill_u64(&mut memory, TABLE_BASE, hash_slots, |_| {
+        WINDOW + (rng.gen::<u64>() % (window - 64))
+    });
+    fill_u64(&mut memory, ARR_A, 4096, |_| rng.gen::<u64>() >> 32);
+    fill_u64(&mut memory, ARR_B, 4096, |_| rng.gen::<u64>() >> 32);
+
+    let mut b = ProgramBuilder::new();
+    b.li(R7, 0); // window position
+    b.li(R10, WINDOW as i64);
+    b.li(R11, TABLE_BASE as i64);
+    b.li(R12, 0x9E37_79B9);
+    let top = b.label();
+    b.bind(top);
+    b.alu_ri(AluOp::And, R8, R7, (window - 16) as i64);
+    b.alu_rr(AluOp::Add, R8, R8, R10);
+    b.load(R2, R8, 0, 4); // next 4 bytes
+    emit_hash_slice(&mut b, R9, R2, R12, 15, (hash_slots - 1) as i64);
+    b.alu_rr(AluOp::Add, R9, R9, R11);
+    b.load(R3, R9, 0, 8); // hash head -> candidate position (delinquent)
+    b.load(R18, R3, 0, 4); // candidate bytes (delinquent, dependent)
+    // Match test: data-dependent, hard.
+    b.alu_rr(AluOp::Xor, R19, R18, R2);
+    b.alu_ri(AluOp::And, R19, R19, 0xFF);
+    let nomatch = b.label();
+    b.branch(Cond::Ne, R19, Reg::ZERO, nomatch);
+    emit_filler_dot(&mut b, ARR_A as i64, ARR_B as i64, 6, R18); // extend match
+    b.bind(nomatch);
+    b.store(R9, 0, R8, 8); // update hash head
+    emit_filler_dot(&mut b, ARR_A as i64, ARR_B as i64, 12, R18); // range coder
+    emit_filler_alu(&mut b, 5);
+    b.alu_ri(AluOp::Add, R7, R7, 7);
+    b.jump(top);
+    b.halt();
+
+    Workload {
+        name: "xz",
+        description: "LZMA-style match finder: hash-head load feeding a dependent candidate load (two-deep delinquent chain) and a data-dependent match branch",
+        program: b.build(),
+        memory,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Input;
+    use crisp_emu::Emulator;
+    use std::collections::HashSet;
+
+    fn trace_of(w: &Workload, n: u64) -> crisp_isa::Trace {
+        Emulator::new(&w.program, w.memory.clone()).run(n)
+    }
+
+    #[test]
+    fn mcf_walks_two_disjoint_rings() {
+        let w = mcf(Input::Train);
+        let t = trace_of(&w, 60_000);
+        let ring1: HashSet<u64> = t
+            .iter()
+            .filter(|r| (RING_BASE..RING2_BASE).contains(&r.addr))
+            .map(|r| r.addr & !63)
+            .collect();
+        let ring2: HashSet<u64> = t
+            .iter()
+            .filter(|r| r.addr >= RING2_BASE && r.addr < TABLE_BASE)
+            .map(|r| r.addr & !63)
+            .collect();
+        assert!(ring1.len() > 100, "arc ring walked: {}", ring1.len());
+        assert!(ring2.len() > 100, "node ring walked: {}", ring2.len());
+        assert!(ring1.is_disjoint(&ring2));
+    }
+
+    #[test]
+    fn lbm_collision_branch_is_a_coin_flip() {
+        let w = lbm(Input::Train);
+        let t = trace_of(&w, 60_000);
+        // The first conditional branch in the program is the collision
+        // decision; its taken ratio must be near 50%.
+        let branch_pc = w
+            .program
+            .iter()
+            .find(|(_, i)| i.op.is_cond_branch())
+            .map(|(pc, _)| pc)
+            .expect("collision branch");
+        let (mut taken, mut total) = (0u64, 0u64);
+        for r in &t {
+            if r.pc == branch_pc {
+                total += 1;
+                taken += u64::from(r.taken);
+            }
+        }
+        let ratio = taken as f64 / total.max(1) as f64;
+        assert!((0.4..0.6).contains(&ratio), "collision ratio {ratio}");
+    }
+
+    #[test]
+    fn lbm_gathers_are_spread_beyond_prefetch_reach() {
+        let w = lbm(Input::Train);
+        let t = trace_of(&w, 60_000);
+        // Gather loads (to STREAM_BASE region, not 64-byte-sequential).
+        let gathers: Vec<u64> = t
+            .iter()
+            .filter(|r| {
+                w.program.inst(r.pc).is_load() && r.addr >= STREAM_BASE && r.addr != 0
+            })
+            .map(|r| r.addr)
+            .collect();
+        assert!(gathers.len() > 1000);
+    }
+
+    #[test]
+    fn bwaves_issues_batches_of_independent_offsets() {
+        let w = bwaves(Input::Train);
+        let t = trace_of(&w, 30_000);
+        // The 8 wide-stride loads per block target 8 distinct rows.
+        let wide: Vec<u64> = t
+            .iter()
+            .filter(|r| r.addr >= 0x9000_0000)
+            .map(|r| r.addr / 8192)
+            .take(8)
+            .collect();
+        let distinct: HashSet<u64> = wide.iter().copied().collect();
+        assert!(distinct.len() >= 6, "MLP batch rows: {distinct:?}");
+    }
+
+    #[test]
+    fn namd_passes_the_gather_address_through_memory() {
+        let w = namd(Input::Train);
+        let t = trace_of(&w, 30_000);
+        // Spill store and reload to the stack page must both appear.
+        let spills = t
+            .iter()
+            .filter(|r| {
+                w.program.inst(r.pc).is_store() && (0x20_0000..0x20_1000).contains(&r.addr)
+            })
+            .count();
+        let reloads = t
+            .iter()
+            .filter(|r| {
+                w.program.inst(r.pc).is_load() && (0x20_0000..0x20_1000).contains(&r.addr)
+            })
+            .count();
+        assert!(spills > 50, "spill stores: {spills}");
+        assert_eq!(spills, reloads, "every spill is reloaded");
+    }
+
+    #[test]
+    fn gcc_dispatch_reaches_every_handler() {
+        let w = gcc(Input::Train);
+        let t = trace_of(&w, 120_000);
+        // Handlers start right after each jump back to dispatch; count
+        // distinct indirect-jump targets instead.
+        let targets: HashSet<u32> = t
+            .iter()
+            .filter(|r| w.program.inst(r.pc).op == crisp_isa::Opcode::JumpInd)
+            .map(|r| r.next_pc)
+            .collect();
+        assert_eq!(targets.len(), 64, "all 64 passes dispatched");
+    }
+
+    #[test]
+    fn perlbench_touches_a_wide_hash_range() {
+        let w = perlbench(Input::Train);
+        let t = trace_of(&w, 120_000);
+        let lines: HashSet<u64> = t
+            .iter()
+            .filter(|r| (TABLE_BASE..TABLE_BASE + (1 << 24)).contains(&r.addr))
+            .map(|r| r.addr & !63)
+            .collect();
+        assert!(lines.len() > 500, "hash probes spread: {}", lines.len());
+    }
+
+    #[test]
+    fn xz_reads_bytes_and_words() {
+        let w = xz(Input::Train);
+        let widths: HashSet<u64> = w
+            .program
+            .iter()
+            .filter(|(_, i)| i.is_load())
+            .map(|(_, i)| i.width.bytes())
+            .collect();
+        assert!(widths.contains(&4), "4-byte window reads");
+        assert!(widths.contains(&8), "8-byte table reads");
+    }
+
+    #[test]
+    fn deepsjeng_probe_addresses_are_hash_spread() {
+        let w = deepsjeng(Input::Train);
+        let t = trace_of(&w, 60_000);
+        let probes: Vec<u64> = t
+            .iter()
+            .filter(|r| {
+                w.program.inst(r.pc).is_load()
+                    && (TABLE_BASE..TABLE_BASE + (1 << 24)).contains(&r.addr)
+            })
+            .map(|r| r.addr)
+            .collect();
+        assert!(probes.len() > 500);
+        // Consecutive probes should rarely land in the same 4 KiB page.
+        let same_page = probes
+            .windows(2)
+            .filter(|w2| w2[0] >> 12 == w2[1] >> 12)
+            .count();
+        assert!(
+            same_page * 10 < probes.len(),
+            "probes must be spread: {same_page}/{}",
+            probes.len()
+        );
+    }
+
+    #[test]
+    fn fotonik_and_cactus_mix_streams_with_irregular_accesses() {
+        for w in [fotonik3d(Input::Train), cactus(Input::Train)] {
+            let t = trace_of(&w, 40_000);
+            let stats = t.stats(&w.program);
+            assert!(stats.stores > 250, "{}: stencils store", w.name);
+            assert!(stats.loads > 5_000, "{}: stencils load", w.name);
+        }
+    }
+
+    #[test]
+    fn nab_cutoff_branch_is_biased_not_balanced() {
+        let w = nab(Input::Train);
+        let t = trace_of(&w, 60_000);
+        let branch_pc = w
+            .program
+            .iter()
+            .find(|(_, i)| i.op.is_cond_branch())
+            .map(|(pc, _)| pc)
+            .expect("cutoff branch");
+        let (mut taken, mut total) = (0u64, 0u64);
+        for r in &t {
+            if r.pc == branch_pc {
+                total += 1;
+                taken += u64::from(r.taken);
+            }
+        }
+        let ratio = taken as f64 / total.max(1) as f64;
+        // ~75% taken (skip the force block 3 times out of 4).
+        assert!((0.6..0.9).contains(&ratio), "cutoff ratio {ratio}");
+    }
+}

@@ -1,0 +1,33 @@
+//! # crisp-repro
+//!
+//! Umbrella crate for the reproduction of **CRISP: Critical Slice
+//! Prefetching** (Litz, Ayers, Ranganathan — ASPLOS 2022). It hosts the
+//! workspace-level integration tests (`tests/`) and runnable examples
+//! (`examples/`), and re-exports the member crates for one-stop access:
+//!
+//! * [`crisp_isa`] — the mini-ISA, static programs and dynamic traces;
+//! * [`crisp_emu`] — the functional emulator (the DynamoRIO stand-in);
+//! * [`crisp_workloads`] — 16 synthetic SPEC2017/Xhpcg/Tailbench kernels;
+//! * [`crisp_uarch`] — TAGE, BTB, RAS, indirect prediction;
+//! * [`crisp_mem`] — caches, DDR4 DRAM, BOP/stream/stride prefetchers;
+//! * [`crisp_sim`] — the cycle-level OOO core with the CRISP age-matrix
+//!   scheduler;
+//! * [`crisp_profile`] — the simulated-PMU classifier (Section 3.2);
+//! * [`crisp_slicer`] — load/branch slice extraction and annotation
+//!   (Sections 3.3–3.5);
+//! * [`crisp_ibda`] — the hardware IBDA baseline (Figure 7);
+//! * [`crisp_core`] — the end-to-end FDO pipeline (Figure 5).
+//!
+//! See README.md for a guided tour and EXPERIMENTS.md for the
+//! paper-vs-measured record of every reproduced table and figure.
+
+pub use crisp_core;
+pub use crisp_emu;
+pub use crisp_ibda;
+pub use crisp_isa;
+pub use crisp_mem;
+pub use crisp_profile;
+pub use crisp_sim;
+pub use crisp_slicer;
+pub use crisp_uarch;
+pub use crisp_workloads;

@@ -1,0 +1,93 @@
+//! Cross-crate integration: emulator traces drive the simulator
+//! faithfully, and every layer is deterministic.
+
+use crisp_core::{build, Input};
+use crisp_emu::Emulator;
+use crisp_sim::{SchedulerKind, SimConfig, Simulator};
+
+#[test]
+fn simulator_retires_exactly_the_trace() {
+    for name in ["mcf", "xhpcg", "memcached", "gcc"] {
+        let w = build(name, Input::Train).expect("registered");
+        let trace = Emulator::new(&w.program, w.memory.clone()).run(30_000);
+        let res = Simulator::new(SimConfig::skylake()).run(&w.program, &trace, None);
+        assert_eq!(res.retired, trace.len() as u64, "{name}");
+        assert!(res.cycles > 0);
+        assert!(res.ipc() <= SimConfig::skylake().retire_width as f64);
+    }
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let run_once = || {
+        let w = build("deepsjeng", Input::Ref).expect("registered");
+        let trace = Emulator::new(&w.program, w.memory.clone()).run(20_000);
+        let res = Simulator::new(SimConfig::skylake()).run(&w.program, &trace, None);
+        (res.cycles, res.retired, res.cond_mispredicts, res.mem.load_llc_misses)
+    };
+    assert_eq!(run_once(), run_once());
+}
+
+#[test]
+fn schedulers_agree_on_architectural_work() {
+    // Scheduling changes timing, never the retired instruction stream.
+    let w = build("xz", Input::Train).expect("registered");
+    let trace = Emulator::new(&w.program, w.memory.clone()).run(20_000);
+    let critical = vec![true; w.program.len()];
+    for sched in [
+        SchedulerKind::OldestReadyFirst,
+        SchedulerKind::Crisp,
+        SchedulerKind::RandomReady,
+    ] {
+        let res = Simulator::new(SimConfig::skylake().with_scheduler(sched)).run(
+            &w.program,
+            &trace,
+            Some(&critical),
+        );
+        assert_eq!(res.retired, trace.len() as u64, "{sched:?}");
+    }
+}
+
+#[test]
+fn perfect_branch_prediction_never_hurts() {
+    let w = build("memcached", Input::Train).expect("registered");
+    let trace = Emulator::new(&w.program, w.memory.clone()).run(25_000);
+    let noisy = Simulator::new(SimConfig::skylake()).run(&w.program, &trace, None);
+    let mut cfg = SimConfig::skylake();
+    cfg.perfect_branch_prediction = true;
+    let perfect = Simulator::new(cfg).run(&w.program, &trace, None);
+    assert!(perfect.cycles <= noisy.cycles);
+    assert_eq!(perfect.cond_mispredicts, 0);
+}
+
+#[test]
+fn window_size_monotonically_helps_the_baseline() {
+    // Sanity for the Figure 9 sweep: bigger RS/ROB never slows the
+    // baseline core down on a memory-bound workload.
+    let w = build("xhpcg", Input::Train).expect("registered");
+    let trace = Emulator::new(&w.program, w.memory.clone()).run(25_000);
+    let mut last_cycles = u64::MAX;
+    for (rs, rob) in [(64, 180), (96, 224), (192, 448)] {
+        let res = Simulator::new(SimConfig::with_window(rs, rob)).run(&w.program, &trace, None);
+        assert!(
+            res.cycles <= last_cycles.saturating_add(last_cycles / 50),
+            "window ({rs},{rob}) regressed: {} vs {last_cycles}",
+            res.cycles
+        );
+        last_cycles = res.cycles;
+    }
+}
+
+#[test]
+fn all_workloads_simulate_cleanly_under_crisp_with_everything_tagged() {
+    // Robustness: an adversarial all-critical map must not deadlock or
+    // change architectural behaviour anywhere.
+    for name in crisp_core::all_names() {
+        let w = build(name, Input::Train).expect("registered");
+        let trace = Emulator::new(&w.program, w.memory.clone()).run(10_000);
+        let critical = vec![true; w.program.len()];
+        let res = Simulator::new(SimConfig::skylake().with_scheduler(SchedulerKind::Crisp))
+            .run(&w.program, &trace, Some(&critical));
+        assert_eq!(res.retired, trace.len() as u64, "{name}");
+    }
+}
