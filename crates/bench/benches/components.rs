@@ -2,7 +2,6 @@
 //! prediction, caches, DRAM, prefetchers, the age-matrix picker, the
 //! functional emulator and the slicer.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use crisp_emu::Emulator;
 use crisp_mem::{
     Bop, Cache, CacheConfig, Dram, DramConfig, Ghb, HierarchyConfig, MemoryHierarchy, Prefetcher,
@@ -11,6 +10,7 @@ use crisp_sim::{AgeMatrix, BitSet};
 use crisp_slicer::{extract_slices, DepGraph, SliceConfig};
 use crisp_uarch::{Btb, DirectionPredictor, Tage};
 use crisp_workloads::{build, Input};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
 fn bench_tage(c: &mut Criterion) {
     let mut g = c.benchmark_group("tage");

@@ -1,11 +1,11 @@
 //! Criterion end-to-end benchmarks: cycle-simulator throughput under each
 //! scheduler, and the full CRISP pipeline.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use crisp_core::{run_crisp_pipeline, PipelineConfig};
 use crisp_emu::Emulator;
 use crisp_sim::{SchedulerKind, SimConfig, Simulator};
 use crisp_workloads::{build, Input};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
 fn bench_simulator(c: &mut Criterion) {
     let w = build("pointer_chase", Input::Train).expect("registered");
@@ -35,7 +35,13 @@ fn bench_pipeline(c: &mut Criterion) {
         ..PipelineConfig::paper()
     };
     g.bench_function("crisp_end_to_end_mcf_30k", |b| {
-        b.iter(|| black_box(run_crisp_pipeline("mcf", &cfg).expect("pipeline").speedup_pct()))
+        b.iter(|| {
+            black_box(
+                run_crisp_pipeline("mcf", &cfg)
+                    .expect("pipeline")
+                    .speedup_pct(),
+            )
+        })
     });
     g.finish();
 }

@@ -1,12 +1,33 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! Usage: figures [--fast] [fig1|fig4|fig7|fig8|fig9|fig10|fig11|fig12|table1|all]
+//! Usage: figures [--fast] [fig1|fig4|fig7|fig8|fig9|fig10|fig11|fig12|table1|ablations|all]
 //! ```
+//!
+//! Exits 0 on success, 1 if any experiment fails (the error is printed to
+//! stderr), 2 on unknown targets.
 
-use crisp_bench::{ablations, fig1, fig10, fig11, fig12, fig4, fig7, fig8, fig9, table1, ExperimentScale};
+use crisp_bench::{
+    ablations, fig1, fig10, fig11, fig12, fig4, fig7, fig8, fig9, table1, ExperimentScale,
+};
+use crisp_core::CrispError;
+use std::process::ExitCode;
 
-fn main() {
+const KNOWN: [&str; 11] = [
+    "table1",
+    "fig1",
+    "fig4",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "ablations",
+    "all",
+];
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
     let scale = if fast {
@@ -19,50 +40,43 @@ fn main() {
         .filter(|a| *a != "--fast")
         .map(String::as_str)
         .collect();
+    for t in &targets {
+        if !KNOWN.contains(t) {
+            eprintln!("unknown target: {t}");
+            eprintln!("usage: figures [--fast] [{}]", KNOWN.join("|"));
+            return ExitCode::from(2);
+        }
+    }
     let all = targets.is_empty() || targets.contains(&"all");
-
     let run = |name: &str| all || targets.contains(&name);
+
+    type Job = fn(ExperimentScale) -> Result<String, CrispError>;
+    let jobs: [(&str, Job); 9] = [
+        ("fig1", fig1),
+        ("fig4", fig4),
+        ("fig7", fig7),
+        ("fig8", fig8),
+        ("fig9", fig9),
+        ("fig10", fig10),
+        ("fig11", fig11),
+        ("fig12", fig12),
+        ("ablations", ablations),
+    ];
 
     if run("table1") {
         println!("{}\n", table1());
     }
-    if run("fig1") {
-        println!("{}\n", fig1(scale));
-    }
-    if run("fig4") {
-        println!("{}\n", fig4(scale));
-    }
-    if run("fig7") {
-        println!("{}\n", fig7(scale));
-    }
-    if run("fig8") {
-        println!("{}\n", fig8(scale));
-    }
-    if run("fig9") {
-        println!("{}\n", fig9(scale));
-    }
-    if run("fig10") {
-        println!("{}\n", fig10(scale));
-    }
-    if run("fig11") {
-        println!("{}\n", fig11(scale));
-    }
-    if run("fig12") {
-        println!("{}\n", fig12(scale));
-    }
-    if run("ablations") {
-        println!("{}\n", ablations(scale));
-    }
-
-    let known = [
-        "table1", "fig1", "fig4", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-        "ablations", "all",
-    ];
-    for t in &targets {
-        if !known.contains(t) {
-            eprintln!("unknown target: {t}");
-            eprintln!("usage: figures [--fast] [{}]", known.join("|"));
-            std::process::exit(2);
+    for (name, job) in jobs {
+        if !run(name) {
+            continue;
+        }
+        match job(scale) {
+            Ok(report) => println!("{report}\n"),
+            Err(e) => {
+                eprintln!("{name} failed: {e}");
+                return ExitCode::from(1);
+            }
         }
     }
+    ExitCode::SUCCESS
 }

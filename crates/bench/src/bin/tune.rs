@@ -39,11 +39,17 @@ fn main() {
                     r.baseline.rob_head_stall_cycles as f64 / r.baseline.cycles as f64 * 100.0,
                 );
                 for d in r.delinquent.iter().take(4) {
-                    println!("    load pc={} miss_ratio={:.2} amat={:.0} mlp={:.1} contrib={:.2}", d.pc, d.llc_miss_ratio, d.amat, d.mlp, d.miss_contribution);
+                    println!(
+                        "    load pc={} miss_ratio={:.2} amat={:.0} mlp={:.1} contrib={:.2}",
+                        d.pc, d.llc_miss_ratio, d.amat, d.mlp, d.miss_contribution
+                    );
                 }
                 if std::env::var("ABLATE").is_ok() {
                     for mode in [SliceMode::LoadsOnly, SliceMode::BranchesOnly] {
-                        let c2 = PipelineConfig { mode, ..cfg.clone() };
+                        let c2 = PipelineConfig {
+                            mode,
+                            ..cfg.clone()
+                        };
                         let r2 = run_crisp_pipeline(name, &c2).expect("ablate");
                         println!("    mode {:?}: {:+.2}%", mode, r2.speedup_pct());
                     }

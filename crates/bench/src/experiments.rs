@@ -1,12 +1,16 @@
 //! One regeneration function per paper table/figure.
 
 use crisp_core::{
-    all_names, run_crisp_pipeline, run_ibda_many, ClassifierConfig, IbdaConfig, PipelineConfig,
-    SimConfig, Table,
+    all_names, run_crisp_pipeline, run_ibda_many, ClassifierConfig, CrispError, IbdaConfig,
+    PipelineConfig, SimConfig, Table,
 };
 use crisp_core::{Input, SchedulerKind, SliceConfig};
 use crisp_emu::Emulator;
 use crisp_sim::Simulator;
+
+fn workload(name: &str) -> Result<crisp_core::Workload, CrispError> {
+    crisp_core::build(name, Input::Ref).ok_or_else(|| CrispError::UnknownWorkload(name.to_string()))
+}
 
 /// How much simulation to spend per experiment.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,24 +62,28 @@ fn figure_workloads() -> Vec<&'static str> {
 
 /// **Figure 1** — µops retired per cycle over the pointer-chase
 /// microbenchmark, OOO vs CRISP, plus the average-UPC improvement.
-pub fn fig1(scale: ExperimentScale) -> String {
+pub fn fig1(scale: ExperimentScale) -> Result<String, CrispError> {
     let cfg = scale.pipeline();
-    let w = crisp_core::build("pointer_chase", Input::Ref).expect("registered");
+    let w = workload("pointer_chase")?;
     let trace = Emulator::new(&w.program, w.memory.clone()).run(cfg.eval_instructions / 2);
 
     // Profile + annotate via the pipeline on the train input.
-    let pres = run_crisp_pipeline("pointer_chase", &cfg).expect("pipeline");
+    let pres = run_crisp_pipeline("pointer_chase", &cfg)?;
 
     let mut sim_cfg = cfg.sim.clone();
     sim_cfg.record_upc_timeline = true;
     sim_cfg.collect_pc_stats = false;
-    let ooo = Simulator::new(sim_cfg.clone().with_scheduler(SchedulerKind::OldestReadyFirst))
-        .run(&w.program, &trace, None);
-    let crisp = Simulator::new(sim_cfg.with_scheduler(SchedulerKind::Crisp)).run(
+    let ooo = Simulator::try_new(
+        sim_cfg
+            .clone()
+            .with_scheduler(SchedulerKind::OldestReadyFirst),
+    )?
+    .try_run(&w.program, &trace, None)?;
+    let crisp = Simulator::try_new(sim_cfg.with_scheduler(SchedulerKind::Crisp))?.try_run(
         &w.program,
         &trace,
         Some(pres.map.as_slice()),
-    );
+    )?;
 
     let buckets = 60;
     let ooo_series = ooo.upc.bucketed(buckets);
@@ -88,45 +96,50 @@ pub fn fig1(scale: ExperimentScale) -> String {
             format!("{:.2}", crisp_series[i]),
         ]);
     }
-    format!(
+    Ok(format!(
         "Figure 1: UPC timeline, pointer-chase microbenchmark\n\
          (paper: CRISP improves average UPC by >30% over OOO)\n\n{t}\n\
          average UPC: OOO {:.3}, CRISP {:.3}  =>  {:+.1}%\n",
         ooo.ipc(),
         crisp.ipc(),
         crisp.speedup_over(&ooo)
-    )
+    ))
 }
 
 /// **Figure 4** — average (unfiltered) load-slice size per application.
-pub fn fig4(scale: ExperimentScale) -> String {
+pub fn fig4(scale: ExperimentScale) -> Result<String, CrispError> {
     let cfg = scale.pipeline();
     let mut t = Table::new(vec!["workload", "avg load-slice size", "slices"]);
     for name in figure_workloads() {
-        let r = run_crisp_pipeline(name, &cfg).expect("pipeline");
+        let r = run_crisp_pipeline(name, &cfg)?;
         t.row(vec![
             name.to_string(),
             format!("{:.1}", r.mean_load_slice_len()),
             format!("{}", r.load_slices.len()),
         ]);
     }
-    format!(
+    Ok(format!(
         "Figure 4: average dynamic load-slice size (unfiltered backward slices)\n\
          (paper: slices range from a handful to thousands of instructions)\n\n{t}"
-    )
+    ))
 }
 
 /// **Figure 7** — IPC improvement of CRISP and IBDA (1K/8K/64K/∞ IST)
 /// over the OOO baseline.
-pub fn fig7(scale: ExperimentScale) -> String {
+pub fn fig7(scale: ExperimentScale) -> Result<String, CrispError> {
     let cfg = scale.pipeline();
     let mut t = Table::new(vec![
-        "workload", "CRISP %", "IBDA-1K %", "IBDA-8K %", "IBDA-64K %", "IBDA-inf %",
+        "workload",
+        "CRISP %",
+        "IBDA-1K %",
+        "IBDA-8K %",
+        "IBDA-64K %",
+        "IBDA-inf %",
     ]);
     let mut crisp_all = Vec::new();
     let mut ibda1k_all = Vec::new();
     for name in figure_workloads() {
-        let r = run_crisp_pipeline(name, &cfg).expect("pipeline");
+        let r = run_crisp_pipeline(name, &cfg)?;
         let base_ipc = r.baseline.ipc();
         let mut cells = vec![name.to_string(), format!("{:+.1}", r.speedup_pct())];
         crisp_all.push(r.speedup_pct());
@@ -136,11 +149,7 @@ pub fn fig7(scale: ExperimentScale) -> String {
             IbdaConfig::ist_64k(),
             IbdaConfig::ist_infinite(),
         ];
-        for (i, ir) in run_ibda_many(name, &ists, &cfg)
-            .expect("ibda")
-            .into_iter()
-            .enumerate()
-        {
+        for (i, ir) in run_ibda_many(name, &ists, &cfg)?.into_iter().enumerate() {
             let pct = (ir.result.ipc() / base_ipc - 1.0) * 100.0;
             if i == 0 {
                 ibda1k_all.push(pct);
@@ -149,17 +158,17 @@ pub fn fig7(scale: ExperimentScale) -> String {
         }
         t.row(cells);
     }
-    format!(
+    Ok(format!(
         "Figure 7: IPC improvement over the OOO baseline\n\
          (paper: CRISP +8.4% avg / up to +38%; IBDA far behind, sometimes negative)\n\n{t}\n\
          geomean: CRISP {:+.2}%, IBDA-1K {:+.2}%\n",
         geomean_speedup(&crisp_all),
         geomean_speedup(&ibda1k_all)
-    )
+    ))
 }
 
 /// **Figure 8** — load slices vs branch slices vs both.
-pub fn fig8(scale: ExperimentScale) -> String {
+pub fn fig8(scale: ExperimentScale) -> Result<String, CrispError> {
     use crisp_core::SliceMode;
     let base_cfg = scale.pipeline();
     let mut t = Table::new(vec!["workload", "loads %", "branches %", "both %"]);
@@ -167,12 +176,16 @@ pub fn fig8(scale: ExperimentScale) -> String {
     for name in figure_workloads() {
         let mut cells = vec![name.to_string()];
         let mut pcts = Vec::new();
-        for mode in [SliceMode::LoadsOnly, SliceMode::BranchesOnly, SliceMode::Both] {
+        for mode in [
+            SliceMode::LoadsOnly,
+            SliceMode::BranchesOnly,
+            SliceMode::Both,
+        ] {
             let cfg = PipelineConfig {
                 mode,
                 ..base_cfg.clone()
             };
-            let r = run_crisp_pipeline(name, &cfg).expect("pipeline");
+            let r = run_crisp_pipeline(name, &cfg)?;
             pcts.push(r.speedup_pct());
             cells.push(format!("{:+.1}", r.speedup_pct()));
         }
@@ -181,20 +194,24 @@ pub fn fig8(scale: ExperimentScale) -> String {
         }
         t.row(cells);
     }
-    format!(
+    Ok(format!(
         "Figure 8: load slices, branch slices, and their combination\n\
          (paper: several apps benefit from both, combined > either alone)\n\n{t}\n\
          combined beats both individual modes on: {synergy:?}\n"
-    )
+    ))
 }
 
 /// **Figure 9** — RS/ROB size sensitivity: 64/180, 96/224 (Skylake),
 /// 144/336 (+50 %), 192/448 (+100 %).
-pub fn fig9(scale: ExperimentScale) -> String {
+pub fn fig9(scale: ExperimentScale) -> Result<String, CrispError> {
     let base_cfg = scale.pipeline();
     let windows = [(64usize, 180usize), (96, 224), (144, 336), (192, 448)];
     let mut t = Table::new(vec![
-        "workload", "64/180 %", "96/224 %", "144/336 %", "192/448 %",
+        "workload",
+        "64/180 %",
+        "96/224 %",
+        "144/336 %",
+        "192/448 %",
     ]);
     for name in figure_workloads() {
         let mut cells = vec![name.to_string()];
@@ -203,20 +220,20 @@ pub fn fig9(scale: ExperimentScale) -> String {
                 sim: SimConfig::with_window(rs, rob),
                 ..base_cfg.clone()
             };
-            let r = run_crisp_pipeline(name, &cfg).expect("pipeline");
+            let r = run_crisp_pipeline(name, &cfg)?;
             cells.push(format!("{:+.1}", r.speedup_pct()));
         }
         t.row(cells);
     }
-    format!(
+    Ok(format!(
         "Figure 9: CRISP speedup across RS/ROB sizes\n\
          (paper: xhpcg grows with the window, moses peaks at the smallest)\n\n{t}"
-    )
+    ))
 }
 
 /// **Figure 10** — sensitivity to the miss-contribution threshold `T`
 /// (5 %, 1 %, 0.2 %).
-pub fn fig10(scale: ExperimentScale) -> String {
+pub fn fig10(scale: ExperimentScale) -> Result<String, CrispError> {
     let base_cfg = scale.pipeline();
     let mut t = Table::new(vec!["workload", "T=5% %", "T=1% %", "T=0.2% %"]);
     let mut per_threshold = [Vec::new(), Vec::new(), Vec::new()];
@@ -227,43 +244,43 @@ pub fn fig10(scale: ExperimentScale) -> String {
                 classifier: ClassifierConfig::default().with_miss_threshold(thr),
                 ..base_cfg.clone()
             };
-            let r = run_crisp_pipeline(name, &cfg).expect("pipeline");
+            let r = run_crisp_pipeline(name, &cfg)?;
             per_threshold[i].push(r.speedup_pct());
             cells.push(format!("{:+.1}", r.speedup_pct()));
         }
         t.row(cells);
     }
-    format!(
+    Ok(format!(
         "Figure 10: miss-contribution threshold sensitivity\n\
          (paper: T=1% best overall, per-app optima differ)\n\n{t}\n\
          geomeans: T=5% {:+.2}%, T=1% {:+.2}%, T=0.2% {:+.2}%\n",
         geomean_speedup(&per_threshold[0]),
         geomean_speedup(&per_threshold[1]),
         geomean_speedup(&per_threshold[2])
-    )
+    ))
 }
 
 /// **Figure 11** — total number of unique critical instructions.
-pub fn fig11(scale: ExperimentScale) -> String {
+pub fn fig11(scale: ExperimentScale) -> Result<String, CrispError> {
     let cfg = scale.pipeline();
     let mut t = Table::new(vec!["workload", "critical insts", "static ratio %"]);
     for name in figure_workloads() {
-        let r = run_crisp_pipeline(name, &cfg).expect("pipeline");
+        let r = run_crisp_pipeline(name, &cfg)?;
         t.row(vec![
             name.to_string(),
             format!("{}", r.map.count()),
             format!("{:.1}", r.map.static_ratio() * 100.0),
         ]);
     }
-    format!(
+    Ok(format!(
         "Figure 11: unique critical (tagged) instructions per application\n\
          (paper: perlbench/gcc/moses exceed 10,000 — beyond any IST)\n\n{t}"
-    )
+    ))
 }
 
 /// **Figure 12** — static and dynamic code-footprint overhead of the
 /// one-byte prefix, and the worst-case icache MPKI impact.
-pub fn fig12(scale: ExperimentScale) -> String {
+pub fn fig12(scale: ExperimentScale) -> Result<String, CrispError> {
     let cfg = scale.pipeline();
     let mut t = Table::new(vec![
         "workload",
@@ -274,7 +291,7 @@ pub fn fig12(scale: ExperimentScale) -> String {
     ]);
     let mut dyn_all = Vec::new();
     for name in figure_workloads() {
-        let r = run_crisp_pipeline(name, &cfg).expect("pipeline");
+        let r = run_crisp_pipeline(name, &cfg)?;
         dyn_all.push(r.footprint.dynamic_overhead_pct());
         t.row(vec![
             name.to_string(),
@@ -285,18 +302,18 @@ pub fn fig12(scale: ExperimentScale) -> String {
         ]);
     }
     let avg = dyn_all.iter().sum::<f64>() / dyn_all.len().max(1) as f64;
-    format!(
+    Ok(format!(
         "Figure 12: instruction-prefix footprint overhead\n\
          (paper: ~5.2% dynamic average, worst-case icache MPKI +2.6%)\n\n{t}\n\
          average dynamic overhead: {avg:.2}%\n"
-    )
+    ))
 }
 
 /// **Ablations** — the design-choice studies DESIGN.md calls out:
 /// scheduler policy (random / oldest-ready / CRISP), dependencies through
 /// memory on/off in the slicer, the critical-path keep fraction, and the
 /// Section 5.3 perfect-branch-prediction analysis.
-pub fn ablations(scale: ExperimentScale) -> String {
+pub fn ablations(scale: ExperimentScale) -> Result<String, CrispError> {
     let cfg = scale.pipeline();
     let subset = ["pointer_chase", "mcf", "lbm", "xhpcg", "namd", "moses"];
     let mut out = String::new();
@@ -304,16 +321,13 @@ pub fn ablations(scale: ExperimentScale) -> String {
     // (a) Scheduler policy: same annotation, three issue policies.
     let mut t = Table::new(vec!["workload", "random %", "oldest-first", "CRISP %"]);
     for name in subset {
-        let r = run_crisp_pipeline(name, &cfg).expect("pipeline");
-        let eval = crisp_core::build(name, Input::Ref).expect("registered");
-        let trace = Emulator::new(&eval.program, eval.memory.clone())
-            .run(cfg.eval_instructions);
+        let r = run_crisp_pipeline(name, &cfg)?;
+        let eval = workload(name)?;
+        let trace = Emulator::new(&eval.program, eval.memory.clone()).run(cfg.eval_instructions);
         let mut sim_cfg = cfg.sim.clone();
         sim_cfg.collect_pc_stats = false;
-        let rand = Simulator::new(
-            sim_cfg.clone().with_scheduler(SchedulerKind::RandomReady),
-        )
-        .run(&eval.program, &trace, Some(r.map.as_slice()));
+        let rand = Simulator::try_new(sim_cfg.clone().with_scheduler(SchedulerKind::RandomReady))?
+            .try_run(&eval.program, &trace, Some(r.map.as_slice()))?;
         let rand_pct = (rand.ipc() / r.baseline.ipc() - 1.0) * 100.0;
         t.row(vec![
             name.to_string(),
@@ -329,7 +343,7 @@ pub fn ablations(scale: ExperimentScale) -> String {
     // (b) Dependencies through memory in the slicer (the IBDA gap).
     let mut t = Table::new(vec!["workload", "reg-only %", "reg+mem %"]);
     for name in subset {
-        let full = run_crisp_pipeline(name, &cfg).expect("pipeline");
+        let full = run_crisp_pipeline(name, &cfg)?;
         let reg_cfg = PipelineConfig {
             slice: SliceConfig {
                 follow_memory_deps: false,
@@ -337,7 +351,7 @@ pub fn ablations(scale: ExperimentScale) -> String {
             },
             ..cfg.clone()
         };
-        let reg = run_crisp_pipeline(name, &reg_cfg).expect("pipeline");
+        let reg = run_crisp_pipeline(name, &reg_cfg)?;
         t.row(vec![
             name.to_string(),
             format!("{:+.1}", reg.speedup_pct()),
@@ -357,7 +371,7 @@ pub fn ablations(scale: ExperimentScale) -> String {
                 critical_path_fraction: frac,
                 ..cfg.clone()
             };
-            let r = run_crisp_pipeline(name, &c).expect("pipeline");
+            let r = run_crisp_pipeline(name, &c)?;
             cells.push(format!("{:+.1}", r.speedup_pct()));
         }
         t.row(cells);
@@ -367,9 +381,13 @@ pub fn ablations(scale: ExperimentScale) -> String {
     ));
 
     // (d) Perfect branch prediction (the Section 5.3 discovery experiment).
-    let mut t = Table::new(vec!["workload", "CRISP gain %", "CRISP gain @ perfect BP %"]);
+    let mut t = Table::new(vec![
+        "workload",
+        "CRISP gain %",
+        "CRISP gain @ perfect BP %",
+    ]);
     for name in subset {
-        let real = run_crisp_pipeline(name, &cfg).expect("pipeline");
+        let real = run_crisp_pipeline(name, &cfg)?;
         let perfect_cfg = PipelineConfig {
             sim: {
                 let mut s = cfg.sim.clone();
@@ -378,7 +396,7 @@ pub fn ablations(scale: ExperimentScale) -> String {
             },
             ..cfg.clone()
         };
-        let perfect = run_crisp_pipeline(name, &perfect_cfg).expect("pipeline");
+        let perfect = run_crisp_pipeline(name, &perfect_cfg)?;
         t.row(vec![
             name.to_string(),
             format!("{:+.1}", real.speedup_pct()),
@@ -389,7 +407,7 @@ pub fn ablations(scale: ExperimentScale) -> String {
         "Ablation D: perfect branch prediction (Section 5.3: load-slice \
          benefit grows when mispredicts vanish)\n\n{t}"
     ));
-    out
+    Ok(out)
 }
 
 /// **Table 1** — the simulated system.
@@ -399,7 +417,10 @@ pub fn table1() -> String {
     let mut t = Table::new(vec!["parameter", "value"]);
     let rows: Vec<(&str, String)> = vec![
         ("CPU model", "Skylake-like (paper Table 1)".into()),
-        ("Frontend width / retirement", format!("{}-way", sim.fetch_width)),
+        (
+            "Frontend width / retirement",
+            format!("{}-way", sim.fetch_width),
+        ),
         (
             "Functional units",
             format!(
@@ -407,11 +428,20 @@ pub fn table1() -> String {
                 sim.alu_ports, sim.load_ports, sim.store_ports
             ),
         ),
-        ("Branch predictor", "TAGE (6 tagged tables, 640b history)".into()),
+        (
+            "Branch predictor",
+            "TAGE (6 tagged tables, 640b history)".into(),
+        ),
         ("BTB", "8K entries, 4-way".into()),
         ("ROB", format!("{} entries", sim.rob_entries)),
-        ("Reservation station", format!("{} entries (unified)", sim.rs_entries)),
-        ("Baseline scheduler", "6-oldest-ready-instructions-first".into()),
+        (
+            "Reservation station",
+            format!("{} entries (unified)", sim.rs_entries),
+        ),
+        (
+            "Baseline scheduler",
+            "6-oldest-ready-instructions-first".into(),
+        ),
         ("Data prefetcher", "BOP + Stream".into()),
         (
             "Instruction prefetcher",
@@ -419,8 +449,24 @@ pub fn table1() -> String {
         ),
         ("Load buffer", format!("{} entries", sim.load_buffer)),
         ("Store buffer", format!("{} entries", sim.store_buffer)),
-        ("L1 I-cache", format!("{} KiB, {}-way, {} cycles", mem.l1i.capacity / 1024, mem.l1i.ways, mem.l1i_latency)),
-        ("L1 D-cache", format!("{} KiB, {}-way, {} cycles", mem.l1d.capacity / 1024, mem.l1d.ways, mem.l1d_latency)),
+        (
+            "L1 I-cache",
+            format!(
+                "{} KiB, {}-way, {} cycles",
+                mem.l1i.capacity / 1024,
+                mem.l1i.ways,
+                mem.l1i_latency
+            ),
+        ),
+        (
+            "L1 D-cache",
+            format!(
+                "{} KiB, {}-way, {} cycles",
+                mem.l1d.capacity / 1024,
+                mem.l1d.ways,
+                mem.l1d_latency
+            ),
+        ),
         (
             "LLC",
             format!(

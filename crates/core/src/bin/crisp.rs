@@ -3,30 +3,83 @@
 //! ```text
 //! crisp list
 //! crisp trace <workload> [--ref] [-n INSTRS] [-o FILE]
-//! crisp profile <workload> [-n INSTRS]
-//! crisp simulate <workload> [--ref] [--scheduler crisp|oldest|random] [-n INSTRS]
-//! crisp pipeline <workload> [--fast] [--loads-only|--branches-only]
+//! crisp profile <workload> [-n INSTRS] [--check]
+//! crisp simulate <workload> [--ref] [--scheduler crisp|oldest|random] [-n INSTRS] [--check]
+//! crisp pipeline <workload> [--fast] [--loads-only|--branches-only] [--check]
 //! crisp pipeview <workload> [--crisp] [-n INSTRS] [--from SEQ] [--len COUNT]
 //! ```
+//!
+//! Exit codes: `0` success, `2` usage/parse error, `3` unknown workload,
+//! `4` rejected configuration, `5` runtime failure (emulation/simulation,
+//! including watchdog-detected deadlocks and `--check` violations).
 
 use crisp_core::{
-    build, run_crisp_pipeline, ClassifierConfig, Input, PipelineConfig, SchedulerKind, SimConfig,
-    SliceMode, Table,
+    build, run_crisp_pipeline, ClassifierConfig, CrispError, Input, PipelineConfig, SchedulerKind,
+    SimConfig, SimError, SliceMode, Table,
 };
 use crisp_emu::Emulator;
 use crisp_profile::{classify_branches, classify_loads, ProfileSummary};
 use crisp_sim::Simulator;
 use std::process::ExitCode;
 
-fn usage() -> ExitCode {
-    eprintln!(
+const EXIT_USAGE: u8 = 2;
+const EXIT_UNKNOWN_WORKLOAD: u8 = 3;
+const EXIT_BAD_CONFIG: u8 = 4;
+const EXIT_RUNTIME: u8 = 5;
+
+/// A CLI failure: what to print and which exit code to die with.
+struct Failure {
+    code: u8,
+    message: String,
+}
+
+impl Failure {
+    fn usage(message: impl Into<String>) -> Failure {
+        Failure {
+            code: EXIT_USAGE,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<CrispError> for Failure {
+    fn from(e: CrispError) -> Failure {
+        let code = match &e {
+            CrispError::UnknownWorkload(_) => EXIT_UNKNOWN_WORKLOAD,
+            CrispError::Config(_) => EXIT_BAD_CONFIG,
+            _ => EXIT_RUNTIME,
+        };
+        let message = match &e {
+            CrispError::UnknownWorkload(_) => format!("{e}\n{}", workload_listing()),
+            _ => e.to_string(),
+        };
+        Failure { code, message }
+    }
+}
+
+impl From<SimError> for Failure {
+    fn from(e: SimError) -> Failure {
+        Failure::from(CrispError::from(e))
+    }
+}
+
+fn workload_listing() -> String {
+    format!(
+        "registered workloads: {}",
+        crisp_core::all_names().join(", ")
+    )
+}
+
+fn usage_text() -> String {
+    format!(
         "usage:\n  crisp list\n  crisp trace <workload> [--ref] [-n INSTRS] [-o FILE]\n  \
-         crisp profile <workload> [-n INSTRS]\n  \
-         crisp simulate <workload> [--ref] [--scheduler crisp|oldest|random] [-n INSTRS]\n  \
-         crisp pipeline <workload> [--fast] [--loads-only|--branches-only]\n  \
-         crisp pipeview <workload> [--crisp] [-n INSTRS] [--from SEQ] [--len COUNT]"
-    );
-    ExitCode::from(2)
+         crisp profile <workload> [-n INSTRS] [--check]\n  \
+         crisp simulate <workload> [--ref] [--scheduler crisp|oldest|random] [-n INSTRS] [--check]\n  \
+         crisp pipeline <workload> [--fast] [--loads-only|--branches-only] [--check]\n  \
+         crisp pipeview <workload> [--crisp] [-n INSTRS] [--from SEQ] [--len COUNT]\n\
+         exit codes: 0 ok, 2 usage, 3 unknown workload, 4 bad config, 5 runtime failure\n{}",
+        workload_listing()
+    )
 }
 
 struct Args {
@@ -39,7 +92,26 @@ struct Args {
     scheduler: SchedulerKind,
 }
 
-fn parse(args: &[String]) -> Option<Args> {
+impl Args {
+    fn has(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+
+    /// Rejects flags a subcommand does not understand — a typo must not
+    /// silently fall through to default behaviour.
+    fn allow_flags(&self, cmd: &str, allowed: &[&str]) -> Result<(), Failure> {
+        for f in &self.flags {
+            if !allowed.contains(&f.as_str()) {
+                return Err(Failure::usage(format!(
+                    "unknown flag for `crisp {cmd}`: {f}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse(args: &[String]) -> Result<Args, Failure> {
     let mut out = Args {
         positional: Vec::new(),
         flags: Vec::new(),
@@ -51,85 +123,120 @@ fn parse(args: &[String]) -> Option<Args> {
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| Failure::usage(format!("{name} requires a value")))
+        };
         match a.as_str() {
-            "-n" => out.n = it.next()?.parse().ok()?,
-            "--from" => out.from = Some(it.next()?.parse().ok()?),
-            "--len" => out.len = Some(it.next()?.parse().ok()?),
-            "-o" => out.out = Some(it.next()?.clone()),
+            "-n" => {
+                let v = value("-n")?;
+                out.n = v
+                    .parse()
+                    .map_err(|_| Failure::usage(format!("-n expects a count, got `{v}`")))?;
+            }
+            "--from" => {
+                let v = value("--from")?;
+                out.from = Some(v.parse().map_err(|_| {
+                    Failure::usage(format!("--from expects a sequence number, got `{v}`"))
+                })?);
+            }
+            "--len" => {
+                let v = value("--len")?;
+                out.len =
+                    Some(v.parse().map_err(|_| {
+                        Failure::usage(format!("--len expects a count, got `{v}`"))
+                    })?);
+            }
+            "-o" => out.out = Some(value("-o")?.clone()),
             "--scheduler" => {
-                out.scheduler = match it.next()?.as_str() {
+                let v = value("--scheduler")?;
+                out.scheduler = match v.as_str() {
                     "crisp" => SchedulerKind::Crisp,
                     "oldest" => SchedulerKind::OldestReadyFirst,
                     "random" => SchedulerKind::RandomReady,
-                    _ => return None,
-                }
+                    other => {
+                        return Err(Failure::usage(format!(
+                            "--scheduler expects crisp|oldest|random, got `{other}`"
+                        )));
+                    }
+                };
             }
-            f if f.starts_with("--") => out.flags.push(f.to_string()),
+            f if f.starts_with('-') => out.flags.push(f.to_string()),
             p => out.positional.push(p.to_string()),
         }
     }
-    Some(out)
+    Ok(out)
 }
 
 fn input_of(args: &Args) -> Input {
-    if args.flags.iter().any(|f| f == "--ref") {
+    if args.has("--ref") {
         Input::Ref
     } else {
         Input::Train
     }
 }
 
-fn main() -> ExitCode {
-    let raw: Vec<String> = std::env::args().skip(1).collect();
-    let Some((cmd, rest)) = raw.split_first() else {
-        return usage();
-    };
-    let Some(args) = parse(rest) else {
-        return usage();
-    };
+fn workload_arg(args: &Args, cmd: &str) -> Result<String, Failure> {
+    match args.positional.as_slice() {
+        [name] => Ok(name.clone()),
+        [] => Err(Failure::usage(format!(
+            "`crisp {cmd}` needs a workload name\n{}",
+            workload_listing()
+        ))),
+        extra => Err(Failure::usage(format!(
+            "`crisp {cmd}` takes one workload, got: {}",
+            extra.join(" ")
+        ))),
+    }
+}
 
-    match cmd.as_str() {
+fn build_workload(name: &str, input: Input) -> Result<crisp_core::Workload, Failure> {
+    build(name, input).ok_or_else(|| Failure::from(CrispError::UnknownWorkload(name.to_string())))
+}
+
+fn base_sim_config(args: &Args) -> Result<SimConfig, Failure> {
+    let mut cfg = SimConfig::skylake();
+    cfg.check_invariants = args.has("--check");
+    cfg.validate().map_err(CrispError::from)?;
+    Ok(cfg)
+}
+
+fn run(cmd: &str, args: &Args) -> Result<(), Failure> {
+    match cmd {
         "list" => {
+            args.allow_flags(cmd, &[])?;
             let mut t = Table::new(vec!["workload", "reproduces"]);
             for name in crisp_core::all_names() {
                 let w = build(name, Input::Train).expect("registered");
                 t.row(vec![name.to_string(), w.description.to_string()]);
             }
             println!("{t}");
-            ExitCode::SUCCESS
+            Ok(())
         }
         "trace" => {
-            let Some(name) = args.positional.first() else {
-                return usage();
-            };
-            let Some(w) = build(name, input_of(&args)) else {
-                eprintln!("unknown workload: {name}");
-                return ExitCode::FAILURE;
-            };
+            args.allow_flags(cmd, &["--ref"])?;
+            let name = workload_arg(args, cmd)?;
+            let w = build_workload(&name, input_of(args))?;
             let trace = Emulator::new(&w.program, w.memory.clone()).run(args.n);
             let stats = trace.stats(&w.program);
             println!("{name}: {stats}");
             if let Some(path) = &args.out {
-                if let Err(e) = trace.save(path) {
-                    eprintln!("failed to write {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
+                trace.save(path).map_err(|e| Failure {
+                    code: EXIT_RUNTIME,
+                    message: format!("failed to write {path}: {e}"),
+                })?;
                 println!("wrote {path} ({} records)", trace.len());
             }
-            ExitCode::SUCCESS
+            Ok(())
         }
         "profile" => {
-            let Some(name) = args.positional.first() else {
-                return usage();
-            };
-            let Some(w) = build(name, Input::Train) else {
-                eprintln!("unknown workload: {name}");
-                return ExitCode::FAILURE;
-            };
+            args.allow_flags(cmd, &["--check"])?;
+            let name = workload_arg(args, cmd)?;
+            let w = build_workload(&name, Input::Train)?;
             let trace = Emulator::new(&w.program, w.memory.clone()).run(args.n);
-            let mut cfg = SimConfig::skylake();
+            let mut cfg = base_sim_config(args)?;
             cfg.collect_pc_stats = true;
-            let res = Simulator::new(cfg).run(&w.program, &trace, None);
+            let res = Simulator::try_new(cfg)?.try_run(&w.program, &trace, None)?;
             let summary = ProfileSummary::from_result(&res);
             println!(
                 "{name}: IPC {:.3}, load fraction {:.2}, LLC load MPKI {:.2}, branch MPKI {:.2}",
@@ -159,23 +266,19 @@ fn main() -> ExitCode {
                 ]);
             }
             println!("hard branches:\n{t}");
-            ExitCode::SUCCESS
+            Ok(())
         }
         "simulate" => {
-            let Some(name) = args.positional.first() else {
-                return usage();
-            };
-            let Some(w) = build(name, input_of(&args)) else {
-                eprintln!("unknown workload: {name}");
-                return ExitCode::FAILURE;
-            };
+            args.allow_flags(cmd, &["--ref", "--check"])?;
+            let name = workload_arg(args, cmd)?;
+            let w = build_workload(&name, input_of(args))?;
             let trace = Emulator::new(&w.program, w.memory.clone()).run(args.n);
-            let cfg = SimConfig::skylake().with_scheduler(args.scheduler);
+            let cfg = base_sim_config(args)?.with_scheduler(args.scheduler);
             // A bare scheduler swap without annotation: criticality comes
             // from the pipeline; here everything-critical approximates it.
             let critical = vec![true; w.program.len()];
             let map = (args.scheduler == SchedulerKind::Crisp).then_some(critical.as_slice());
-            let res = Simulator::new(cfg).run(&w.program, &trace, map);
+            let res = Simulator::try_new(cfg)?.try_run(&w.program, &trace, map)?;
             println!(
                 "{name} [{:?}]: IPC {:.3} over {} cycles; ROB-head stalls {:.1}%, \
                  branch MPKI {:.2}, LLC load MPKI {:.2}",
@@ -186,28 +289,24 @@ fn main() -> ExitCode {
                 res.branch_mpki(),
                 res.llc_load_mpki()
             );
-            ExitCode::SUCCESS
+            Ok(())
         }
         "pipeview" => {
-            let Some(name) = args.positional.first() else {
-                return usage();
-            };
-            let Some(w) = build(name, Input::Train) else {
-                eprintln!("unknown workload: {name}");
-                return ExitCode::FAILURE;
-            };
+            args.allow_flags(cmd, &["--crisp"])?;
+            let name = workload_arg(args, cmd)?;
+            let w = build_workload(&name, Input::Train)?;
             let n = args.n.min(20_000);
             let trace = Emulator::new(&w.program, w.memory.clone()).run(n);
             let mut cfg = SimConfig::skylake();
             cfg.record_pipeview = true;
             cfg.collect_pc_stats = false;
-            let use_crisp = args.flags.iter().any(|f| f == "--crisp");
+            let use_crisp = args.has("--crisp");
             if use_crisp {
                 cfg.scheduler = SchedulerKind::Crisp;
             }
             let critical = vec![true; w.program.len()];
             let map = use_crisp.then_some(critical.as_slice());
-            let res = Simulator::new(cfg).run(&w.program, &trace, map);
+            let res = Simulator::try_new(cfg)?.try_run(&w.program, &trace, map)?;
             let from = args.from.unwrap_or(n / 2);
             let len = args.len.unwrap_or(40);
             println!(
@@ -216,46 +315,72 @@ fn main() -> ExitCode {
                 from + len
             );
             print!("{}", res.pipeview.render(from, from + len));
-            ExitCode::SUCCESS
+            Ok(())
         }
         "pipeline" => {
-            let Some(name) = args.positional.first() else {
-                return usage();
-            };
-            let mut cfg = if args.flags.iter().any(|f| f == "--fast") {
+            args.allow_flags(
+                cmd,
+                &["--fast", "--loads-only", "--branches-only", "--check"],
+            )?;
+            if args.has("--loads-only") && args.has("--branches-only") {
+                return Err(Failure::usage(
+                    "--loads-only and --branches-only are mutually exclusive",
+                ));
+            }
+            let name = workload_arg(args, cmd)?;
+            let mut cfg = if args.has("--fast") {
                 PipelineConfig::quick()
             } else {
                 PipelineConfig::paper()
             };
-            if args.flags.iter().any(|f| f == "--loads-only") {
+            if args.has("--loads-only") {
                 cfg.mode = SliceMode::LoadsOnly;
             }
-            if args.flags.iter().any(|f| f == "--branches-only") {
+            if args.has("--branches-only") {
                 cfg.mode = SliceMode::BranchesOnly;
             }
-            match run_crisp_pipeline(name, &cfg) {
-                Ok(r) => {
-                    println!(
-                        "{name}: baseline IPC {:.3} -> CRISP IPC {:.3} ({:+.2}%); \
-                         {} delinquent loads, {} hard branches, {} tagged instructions \
-                         ({:.1}% static, {:.2}% dynamic footprint overhead)",
-                        r.baseline.ipc(),
-                        r.crisp.ipc(),
-                        r.speedup_pct(),
-                        r.delinquent.len(),
-                        r.hard_branches.len(),
-                        r.map.count(),
-                        r.map.static_ratio() * 100.0,
-                        r.footprint.dynamic_overhead_pct()
-                    );
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("{e}");
-                    ExitCode::FAILURE
-                }
-            }
+            cfg.sim.check_invariants = args.has("--check");
+            let r = run_crisp_pipeline(&name, &cfg)?;
+            println!(
+                "{name}: baseline IPC {:.3} -> CRISP IPC {:.3} ({:+.2}%); \
+                 {} delinquent loads, {} hard branches, {} tagged instructions \
+                 ({:.1}% static, {:.2}% dynamic footprint overhead)",
+                r.baseline.ipc(),
+                r.crisp.ipc(),
+                r.speedup_pct(),
+                r.delinquent.len(),
+                r.hard_branches.len(),
+                r.map.count(),
+                r.map.static_ratio() * 100.0,
+                r.footprint.dynamic_overhead_pct()
+            );
+            Ok(())
         }
-        _ => usage(),
+        other => Err(Failure::usage(format!(
+            "unknown subcommand: {other}\n{}",
+            usage_text()
+        ))),
+    }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        eprintln!("{}", usage_text());
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let args = match parse(rest) {
+        Ok(a) => a,
+        Err(f) => {
+            eprintln!("{}", f.message);
+            return ExitCode::from(f.code);
+        }
+    };
+    match run(cmd, &args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(f) => {
+            eprintln!("{}", f.message);
+            ExitCode::from(f.code)
+        }
     }
 }

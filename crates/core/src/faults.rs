@@ -1,0 +1,153 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! CRISP's contract is that criticality hints are *advisory*: a corrupted,
+//! stale or truncated annotation may cost performance but must never
+//! affect correctness (the scheduler still only reorders ready
+//! instructions). This module manufactures exactly those damaged inputs —
+//! bit-flipped maps, tags remapped to random PCs, maps from a different
+//! binary, traces cut off mid-flight — so the integration suite
+//! (`tests/faults.rs`) can assert graceful degradation.
+//!
+//! All corruption is seeded and reproducible: a failing seed can be
+//! replayed in a debugger.
+
+use crisp_isa::Trace;
+use crisp_slicer::CriticalityMap;
+
+/// SplitMix64: a tiny deterministic generator for fault placement. Kept
+/// local so corruption patterns cannot drift when the workspace RNG
+/// changes.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Returns a copy of `map` with `flips` random bit positions toggled
+/// (positions may repeat — exactly like independent upsets). An empty map
+/// is returned unchanged.
+pub fn flip_bits(map: &CriticalityMap, flips: usize, seed: u64) -> CriticalityMap {
+    let mut out = map.clone();
+    if map.is_empty() {
+        return out;
+    }
+    let mut rng = SplitMix64(seed);
+    for _ in 0..flips {
+        out.toggle(rng.below(map.len()) as u32);
+    }
+    out
+}
+
+/// Returns a copy of `map` whose bits have been shuffled to random PCs
+/// (a Fisher–Yates permutation): the same *number* of tags, all pointing
+/// at the wrong instructions — the worst-case mis-annotation.
+pub fn remap_pcs(map: &CriticalityMap, seed: u64) -> CriticalityMap {
+    let mut bits = map.as_slice().to_vec();
+    let mut rng = SplitMix64(seed);
+    for i in (1..bits.len()).rev() {
+        bits.swap(i, rng.below(i + 1));
+    }
+    CriticalityMap::from_bits(bits)
+}
+
+/// Returns `map` cut to its first `len` bits — a partially written
+/// annotation file.
+pub fn truncate_map(map: &CriticalityMap, len: usize) -> CriticalityMap {
+    map.resized(len.min(map.len()))
+}
+
+/// Forces a map built for one binary onto another of `target_len`
+/// instructions — the stale-profile scenario (the binary was recompiled,
+/// the annotation was not). Tags beyond the target are dropped; missing
+/// coverage is non-critical.
+pub fn stale_map(donor: &CriticalityMap, target_len: usize) -> CriticalityMap {
+    donor.resized(target_len)
+}
+
+/// Returns the first `len` records of `trace` — an emulation that died
+/// mid-run (disk full, killed process).
+pub fn truncate_trace(trace: &Trace, len: usize) -> Trace {
+    let mut out = Trace::with_capacity(len.min(trace.len()));
+    for &rec in trace.as_slice().iter().take(len) {
+        out.push(rec);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map_of(bits: &[bool]) -> CriticalityMap {
+        CriticalityMap::from_bits(bits.to_vec())
+    }
+
+    #[test]
+    fn flips_are_deterministic_and_bounded() {
+        let m = map_of(&[false; 64]);
+        let a = flip_bits(&m, 10, 7);
+        let b = flip_bits(&m, 10, 7);
+        assert_eq!(a, b, "same seed, same damage");
+        assert_ne!(a, m, "10 flips on 64 zero bits must change something");
+        assert_eq!(a.len(), m.len());
+        let c = flip_bits(&m, 10, 8);
+        assert_ne!(a, c, "different seed, different damage");
+    }
+
+    #[test]
+    fn empty_map_survives_flips() {
+        let m = CriticalityMap::new(0);
+        assert_eq!(flip_bits(&m, 100, 1).len(), 0);
+    }
+
+    #[test]
+    fn remap_preserves_tag_count() {
+        let mut bits = vec![false; 100];
+        for i in (0..100).step_by(7) {
+            bits[i] = true;
+        }
+        let m = map_of(&bits);
+        let shuffled = remap_pcs(&m, 42);
+        assert_eq!(shuffled.count(), m.count());
+        assert_eq!(shuffled.len(), m.len());
+        assert_ne!(shuffled, m, "a 100-bit shuffle virtually never fixes");
+    }
+
+    #[test]
+    fn truncation_never_grows() {
+        let m = map_of(&[true; 10]);
+        assert_eq!(truncate_map(&m, 3).len(), 3);
+        assert_eq!(truncate_map(&m, 50).len(), 10);
+        assert_eq!(truncate_map(&m, 0).len(), 0);
+    }
+
+    #[test]
+    fn stale_map_matches_target_length() {
+        let donor = map_of(&[true, true, true]);
+        assert_eq!(stale_map(&donor, 5).len(), 5);
+        assert_eq!(stale_map(&donor, 5).count(), 3);
+        assert_eq!(stale_map(&donor, 2).len(), 2);
+        assert_eq!(stale_map(&donor, 2).count(), 2);
+    }
+
+    #[test]
+    fn trace_truncation() {
+        let mut t = Trace::new();
+        for pc in 0..10u32 {
+            t.push(crisp_isa::DynInst::simple(pc, pc + 1));
+        }
+        assert_eq!(truncate_trace(&t, 4).len(), 4);
+        assert_eq!(truncate_trace(&t, 99).len(), 10);
+        assert_eq!(truncate_trace(&t, 0).len(), 0);
+    }
+}

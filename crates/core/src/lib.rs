@@ -38,9 +38,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
+pub mod faults;
 mod pipeline;
 mod report;
 
+pub use error::CrispError;
 pub use pipeline::{
     run_crisp_pipeline, run_ibda, run_ibda_many, IbdaResult, PipelineConfig, PipelineError,
     PipelineResult, SliceMode,
@@ -49,7 +52,8 @@ pub use report::Table;
 
 // Re-export the pieces callers need to parameterise experiments.
 pub use crisp_ibda::IbdaConfig;
+pub use crisp_isa::ConfigError;
 pub use crisp_profile::ClassifierConfig;
-pub use crisp_sim::{SchedulerKind, SimConfig, SimResult};
+pub use crisp_sim::{DeadlockReport, SchedulerKind, SimConfig, SimError, SimResult};
 pub use crisp_slicer::{CriticalityMap, FootprintReport, SliceConfig};
 pub use crisp_workloads::{all_names, build, build_all, Input, Workload};

@@ -1,6 +1,7 @@
+use crate::error::CrispError;
 use crisp_emu::Emulator;
 use crisp_ibda::{Ibda, IbdaConfig};
-use crisp_isa::{Pc, Trace};
+use crisp_isa::{ConfigError, Pc, Trace};
 use crisp_profile::{
     amat_map, classify_branches, classify_loads, classify_slow_ops, ClassifierConfig,
     DelinquentLoad, HardBranch,
@@ -12,7 +13,6 @@ use crisp_slicer::{
 };
 use crisp_workloads::{build, Input, Workload};
 use std::collections::{HashMap, HashSet};
-use std::fmt;
 
 /// Which slice families the pipeline tags (the Figure 8 ablation).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -77,6 +77,46 @@ impl PipelineConfig {
             ..PipelineConfig::paper()
         }
     }
+
+    /// Validates the whole pipeline configuration: its own knobs plus the
+    /// nested classifier, slicer and machine configs. Zero-instruction
+    /// train/eval windows are *valid* (they produce empty traces and
+    /// degenerate-but-well-defined results).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first rejected field, with nested configs reported
+    /// under `classifier`, `slice` and `sim`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.critical_path_fraction.is_finite()
+            || !(0.0..=1.0).contains(&self.critical_path_fraction)
+        {
+            return Err(ConfigError::new(
+                "critical_path_fraction",
+                format!(
+                    "keep fraction must be in [0, 1] (got {})",
+                    self.critical_path_fraction
+                ),
+            ));
+        }
+        if !self.annotator.max_dynamic_ratio.is_finite()
+            || !(0.0..=1.0).contains(&self.annotator.max_dynamic_ratio)
+        {
+            return Err(ConfigError::new(
+                "annotator.max_dynamic_ratio",
+                format!(
+                    "critical-instruction budget must be in [0, 1] (got {})",
+                    self.annotator.max_dynamic_ratio
+                ),
+            ));
+        }
+        self.classifier
+            .validate()
+            .map_err(|e| e.nested("classifier"))?;
+        self.slice.validate().map_err(|e| e.nested("slice"))?;
+        self.sim.validate().map_err(|e| e.nested("sim"))?;
+        Ok(())
+    }
 }
 
 impl Default for PipelineConfig {
@@ -85,22 +125,9 @@ impl Default for PipelineConfig {
     }
 }
 
-/// Errors from the pipeline runner.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum PipelineError {
-    /// The workload name is not registered.
-    UnknownWorkload(String),
-}
-
-impl fmt::Display for PipelineError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PipelineError::UnknownWorkload(n) => write!(f, "unknown workload: {n}"),
-        }
-    }
-}
-
-impl std::error::Error for PipelineError {}
+/// Errors from the pipeline runner — an alias of the workspace-wide
+/// [`CrispError`]; the historical name is kept for callers.
+pub type PipelineError = CrispError;
 
 /// Everything one pipeline run produces.
 #[derive(Clone, Debug)]
@@ -141,7 +168,10 @@ impl PipelineResult {
         if with_instances.is_empty() {
             return 0.0;
         }
-        with_instances.iter().map(|s| s.mean_dynamic_len).sum::<f64>()
+        with_instances
+            .iter()
+            .map(|s| s.mean_dynamic_len)
+            .sum::<f64>()
             / with_instances.len() as f64
     }
 }
@@ -170,16 +200,18 @@ pub fn run_crisp_pipeline(
     name: &str,
     cfg: &PipelineConfig,
 ) -> Result<PipelineResult, PipelineError> {
+    cfg.validate()?;
     let train = build(name, Input::Train)
         .ok_or_else(|| PipelineError::UnknownWorkload(name.to_string()))?;
-    let eval = build(name, Input::Ref).expect("same registry");
+    let eval =
+        build(name, Input::Ref).ok_or_else(|| PipelineError::UnknownWorkload(name.to_string()))?;
 
     // (1) Profile on the train input with the baseline scheduler.
     let train_trace = trace_workload(&train, cfg.train_instructions);
     let mut profile_sim = cfg.sim.clone();
     profile_sim.scheduler = SchedulerKind::OldestReadyFirst;
     profile_sim.collect_pc_stats = true;
-    let profile = Simulator::new(profile_sim).run(&train.program, &train_trace, None);
+    let profile = Simulator::try_new(profile_sim)?.try_run(&train.program, &train_trace, None)?;
 
     // (2) Classify.
     let delinquent = classify_loads(&profile, &cfg.classifier);
@@ -189,13 +221,27 @@ pub fn run_crisp_pipeline(
     let graph = DepGraph::build(&train.program, &train_trace);
     let load_roots: Vec<Pc> = delinquent.iter().map(|d| d.pc).collect();
     let branch_roots: Vec<Pc> = hard_branches.iter().map(|b| b.pc).collect();
-    let load_slices = extract_slices(&train.program, &train_trace, &graph, &load_roots, &cfg.slice);
-    let branch_slices =
-        extract_slices(&train.program, &train_trace, &graph, &branch_roots, &cfg.slice);
+    let load_slices = extract_slices(
+        &train.program,
+        &train_trace,
+        &graph,
+        &load_roots,
+        &cfg.slice,
+    );
+    let branch_slices = extract_slices(
+        &train.program,
+        &train_trace,
+        &graph,
+        &branch_roots,
+        &cfg.slice,
+    );
 
     // (4) Critical-path filter, (5) annotate under the budget. Slices are
     // already importance-ordered by the classifier.
-    let model = LatencyModel::new(amat_map(&profile), f64::from(cfg.sim.memory.l1d_latency as u32));
+    let model = LatencyModel::new(
+        amat_map(&profile),
+        f64::from(cfg.sim.memory.l1d_latency as u32),
+    );
     let mut ordered: Vec<HashSet<Pc>> = Vec::new();
     if cfg.mode != SliceMode::BranchesOnly {
         for s in &load_slices {
@@ -223,7 +269,13 @@ pub fn run_crisp_pipeline(
             .into_iter()
             .map(|s| s.pc)
             .collect();
-        for s in extract_slices(&train.program, &train_trace, &graph, &slow_roots, &cfg.slice) {
+        for s in extract_slices(
+            &train.program,
+            &train_trace,
+            &graph,
+            &slow_roots,
+            &cfg.slice,
+        ) {
             ordered.push(critical_path_filter(
                 &train.program,
                 &s,
@@ -236,17 +288,29 @@ pub fn run_crisp_pipeline(
     let map = cfg.annotator.annotate(&train.program, &ordered, &counts);
     let footprint = Annotator::footprint(&train.program, &map, &counts);
 
-    // (6) Evaluate on the ref input.
+    // (6) Evaluate on the ref input. The annotation was built for this
+    // very binary, so a length mismatch is a pipeline bug worth surfacing.
+    if map.len() != eval.program.len() {
+        return Err(PipelineError::Annotation(format!(
+            "criticality map covers {} instructions but the eval binary has {}",
+            map.len(),
+            eval.program.len()
+        )));
+    }
     let eval_trace = trace_workload(&eval, cfg.eval_instructions);
     let mut eval_sim = cfg.sim.clone();
     eval_sim.collect_pc_stats = false;
-    let baseline = Simulator::new(eval_sim.clone().with_scheduler(SchedulerKind::OldestReadyFirst))
-        .run(&eval.program, &eval_trace, None);
-    let crisp = Simulator::new(eval_sim.with_scheduler(SchedulerKind::Crisp)).run(
+    let baseline = Simulator::try_new(
+        eval_sim
+            .clone()
+            .with_scheduler(SchedulerKind::OldestReadyFirst),
+    )?
+    .try_run(&eval.program, &eval_trace, None)?;
+    let crisp = Simulator::try_new(eval_sim.with_scheduler(SchedulerKind::Crisp))?.try_run(
         &eval.program,
         &eval_trace,
         Some(map.as_slice()),
-    );
+    )?;
 
     Ok(PipelineResult {
         name: train.name,
@@ -299,9 +363,11 @@ pub fn run_ibda_many(
     ibda_configs: &[IbdaConfig],
     cfg: &PipelineConfig,
 ) -> Result<Vec<IbdaResult>, PipelineError> {
+    cfg.validate()?;
     let train = build(name, Input::Train)
         .ok_or_else(|| PipelineError::UnknownWorkload(name.to_string()))?;
-    let eval = build(name, Input::Ref).expect("same registry");
+    let eval =
+        build(name, Input::Ref).ok_or_else(|| PipelineError::UnknownWorkload(name.to_string()))?;
 
     // The hardware observes its own cache misses: profile once to learn
     // which loads miss at all (instance-level behaviour is frequency-
@@ -310,7 +376,7 @@ pub fn run_ibda_many(
     let mut profile_sim = cfg.sim.clone();
     profile_sim.scheduler = SchedulerKind::OldestReadyFirst;
     profile_sim.collect_pc_stats = true;
-    let profile = Simulator::new(profile_sim).run(&train.program, &train_trace, None);
+    let profile = Simulator::try_new(profile_sim)?.try_run(&train.program, &train_trace, None)?;
     let missing: Vec<Pc> = profile
         .load_pc_stats
         .iter()
@@ -321,23 +387,23 @@ pub fn run_ibda_many(
     let eval_trace = trace_workload(&eval, cfg.eval_instructions);
     let mut eval_sim = cfg.sim.clone();
     eval_sim.collect_pc_stats = false;
-    let sim = Simulator::new(eval_sim.with_scheduler(SchedulerKind::Crisp));
+    let sim = Simulator::try_new(eval_sim.with_scheduler(SchedulerKind::Crisp))?;
 
-    Ok(ibda_configs
+    ibda_configs
         .iter()
         .map(|&ibda_config| {
             let mut ibda = Ibda::new(ibda_config, &missing);
             ibda.train(&train.program, &train_trace);
             let map = ibda.criticality_map(eval.program.len());
             let tagged = map.iter().filter(|&&b| b).count();
-            let result = sim.run(&eval.program, &eval_trace, Some(&map));
-            IbdaResult {
+            let result = sim.try_run(&eval.program, &eval_trace, Some(&map))?;
+            Ok(IbdaResult {
                 name: eval.name,
                 result,
                 tagged,
-            }
+            })
         })
-        .collect())
+        .collect()
 }
 
 #[cfg(test)]
@@ -362,6 +428,62 @@ mod tests {
     }
 
     #[test]
+    fn pipeline_config_validation_covers_nested_configs() {
+        tiny().validate().expect("defaults are valid");
+
+        let mut cfg = tiny();
+        cfg.critical_path_fraction = 2.0;
+        assert_eq!(cfg.validate().unwrap_err().field, "critical_path_fraction");
+
+        let mut cfg = tiny();
+        cfg.annotator.max_dynamic_ratio = -1.0;
+        assert_eq!(
+            cfg.validate().unwrap_err().field,
+            "annotator.max_dynamic_ratio"
+        );
+
+        let mut cfg = tiny();
+        cfg.classifier.llc_miss_ratio_threshold = 9.0;
+        assert_eq!(cfg.validate().unwrap_err().field, "classifier");
+
+        let mut cfg = tiny();
+        cfg.slice.instances_per_root = 0;
+        assert_eq!(cfg.validate().unwrap_err().field, "slice");
+
+        let mut cfg = tiny();
+        cfg.sim.rob_entries = 0;
+        assert_eq!(cfg.validate().unwrap_err().field, "sim");
+    }
+
+    #[test]
+    fn invalid_config_rejected_before_any_simulation() {
+        let mut cfg = tiny();
+        cfg.sim.rs_entries = cfg.sim.rob_entries + 1;
+        let err = run_crisp_pipeline("pointer_chase", &cfg).unwrap_err();
+        let PipelineError::Config(c) = err else {
+            panic!("expected config error, got {err}");
+        };
+        assert_eq!(c.field, "sim");
+        assert!(c.message.contains("RS cannot exceed ROB"));
+    }
+
+    #[test]
+    fn zero_instruction_windows_complete_cleanly() {
+        // The degenerate-but-valid edge: empty train and eval traces must
+        // flow through classify/slice/annotate/evaluate without error.
+        let cfg = PipelineConfig {
+            train_instructions: 0,
+            eval_instructions: 0,
+            ..PipelineConfig::paper()
+        };
+        let r = run_crisp_pipeline("pointer_chase", &cfg).expect("empty windows are valid");
+        assert_eq!(r.baseline.retired, 0);
+        assert_eq!(r.crisp.retired, 0);
+        assert_eq!(r.map.count(), 0);
+        assert!(r.delinquent.is_empty());
+    }
+
+    #[test]
     fn pointer_chase_pipeline_finds_and_exploits_the_chase() {
         let r = run_crisp_pipeline("pointer_chase", &tiny()).expect("runs");
         assert!(
@@ -370,8 +492,7 @@ mod tests {
         );
         assert!(r.map.count() >= 1, "something must be tagged");
         assert!(
-            r.footprint.dynamic_overhead_pct() >= 0.0
-                && r.footprint.static_overhead_pct() >= 0.0
+            r.footprint.dynamic_overhead_pct() >= 0.0 && r.footprint.static_overhead_pct() >= 0.0
         );
         assert!(
             r.speedup_pct() > 1.0,
@@ -385,11 +506,12 @@ mod tests {
 
     #[test]
     fn slice_mode_ablation_runs_all_modes() {
-        for mode in [SliceMode::LoadsOnly, SliceMode::BranchesOnly, SliceMode::Both] {
-            let cfg = PipelineConfig {
-                mode,
-                ..tiny()
-            };
+        for mode in [
+            SliceMode::LoadsOnly,
+            SliceMode::BranchesOnly,
+            SliceMode::Both,
+        ] {
+            let cfg = PipelineConfig { mode, ..tiny() };
             let r = run_crisp_pipeline("memcached", &cfg).expect("runs");
             assert!(r.baseline.retired > 0 && r.crisp.retired > 0);
         }

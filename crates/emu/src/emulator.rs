@@ -16,12 +16,27 @@ pub enum StopReason {
 pub enum EmuError {
     /// Control transferred outside the program text.
     PcOutOfRange(Pc),
+    /// A [`Emulator::run_to_halt`] fuel watchdog fired: the program did
+    /// not halt within its fuel, i.e. it hung or looped forever.
+    FuelExhausted {
+        /// The pc where emulation was cut off.
+        pc: Pc,
+        /// Instructions retired before the cutoff.
+        retired: u64,
+        /// The fuel the run was given.
+        fuel: u64,
+    },
 }
 
 impl fmt::Display for EmuError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EmuError::PcOutOfRange(pc) => write!(f, "pc {pc} outside program text"),
+            EmuError::FuelExhausted { pc, retired, fuel } => write!(
+                f,
+                "program did not halt within {fuel} instructions (stopped at pc {pc} after retiring {retired}): \
+                 likely an infinite loop"
+            ),
         }
     }
 }
@@ -117,10 +132,7 @@ impl<'p> Emulator<'p> {
             return Ok(None);
         }
         let pc = self.pc;
-        let inst = *self
-            .program
-            .get(pc)
-            .ok_or(EmuError::PcOutOfRange(pc))?;
+        let inst = *self.program.get(pc).ok_or(EmuError::PcOutOfRange(pc))?;
         let fallthrough = pc + 1;
         let mut rec = DynInst::simple(pc, fallthrough);
 
@@ -263,6 +275,27 @@ impl<'p> Emulator<'p> {
             },
         ))
     }
+
+    /// Runs until `halt` retires, treating fuel exhaustion as an *error*
+    /// rather than a truncated-but-valid trace: the watchdog for workloads
+    /// that are supposed to terminate (hung emulation shows up as a
+    /// diagnostic instead of a silently short trace).
+    ///
+    /// # Errors
+    ///
+    /// [`EmuError::FuelExhausted`] if no `halt` retires within `fuel`
+    /// instructions, or any error from [`Emulator::step`].
+    pub fn run_to_halt(&mut self, fuel: u64) -> Result<Trace, EmuError> {
+        let (trace, stop) = self.try_run(fuel)?;
+        match stop {
+            StopReason::Halted => Ok(trace),
+            StopReason::BudgetExhausted => Err(EmuError::FuelExhausted {
+                pc: self.pc,
+                retired: self.retired,
+                fuel,
+            }),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -397,6 +430,35 @@ mod tests {
         assert_eq!(stop, StopReason::BudgetExhausted);
         assert_eq!(trace.len(), 50);
         assert!(!emu.is_halted());
+    }
+
+    #[test]
+    fn run_to_halt_flags_infinite_loops() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        b.bind(top);
+        b.jump(top);
+        b.halt();
+        let p = b.build();
+        let mut emu = Emulator::new(&p, Memory::new());
+        let err = emu.run_to_halt(1000).unwrap_err();
+        let EmuError::FuelExhausted { retired, fuel, .. } = err else {
+            panic!("expected fuel exhaustion, got {err}");
+        };
+        assert_eq!(retired, 1000);
+        assert_eq!(fuel, 1000);
+    }
+
+    #[test]
+    fn run_to_halt_returns_full_trace_of_terminating_programs() {
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 7);
+        b.halt();
+        let p = b.build();
+        let mut emu = Emulator::new(&p, Memory::new());
+        let trace = emu.run_to_halt(1000).expect("halts");
+        assert_eq!(trace.len(), 2);
+        assert!(emu.is_halted());
     }
 
     #[test]

@@ -116,7 +116,10 @@ impl PcTable {
                 infinite: Some(HashSet::new()),
             };
         }
-        assert!(entries.is_multiple_of(ways), "entries must divide into ways");
+        assert!(
+            entries.is_multiple_of(ways),
+            "entries must divide into ways"
+        );
         let num_sets = (entries / ways).max(1);
         assert!(num_sets.is_power_of_two(), "sets must be a power of two");
         PcTable {

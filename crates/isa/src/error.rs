@@ -1,0 +1,66 @@
+use std::fmt;
+
+/// A rejected configuration value.
+///
+/// Every `validate()` method in the workspace reports failures through
+/// this type so callers (and the `crisp` CLI) can tell the user exactly
+/// which knob is wrong. `field` is the struct-field path of the offending
+/// value (e.g. `"rs_entries"` or `"memory.llc"`), `message` the human
+/// explanation including the rejected value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Dotted path of the offending field.
+    pub field: &'static str,
+    /// What is wrong with it, including the rejected value.
+    pub message: String,
+}
+
+impl ConfigError {
+    /// Builds an error for `field`.
+    pub fn new(field: &'static str, message: impl Into<String>) -> ConfigError {
+        ConfigError {
+            field,
+            message: message.into(),
+        }
+    }
+
+    /// Prefixes the field path with a parent struct name (used when a
+    /// nested config's error bubbles up, e.g. `memory.llc`).
+    pub fn nested(self, parent: &'static str) -> ConfigError {
+        // The child's own path is kept in the message so no information is
+        // lost; `field` stays a static path for programmatic matching.
+        ConfigError {
+            field: parent,
+            message: format!("{}: {}", self.field, self.message),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_field() {
+        let e = ConfigError::new("rob_entries", "must be nonzero (got 0)");
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration: rob_entries: must be nonzero (got 0)"
+        );
+    }
+
+    #[test]
+    fn nesting_prefixes_the_path() {
+        let e = ConfigError::new("llc", "set count 3 is not a power of two").nested("memory");
+        assert_eq!(e.field, "memory");
+        assert!(e.message.contains("llc"));
+    }
+}

@@ -250,6 +250,8 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!add_inst().to_string().is_empty());
-        assert!(StaticInst::nullary(Opcode::Halt).to_string().contains("halt"));
+        assert!(StaticInst::nullary(Opcode::Halt)
+            .to_string()
+            .contains("halt"));
     }
 }

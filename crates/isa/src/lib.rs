@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod dyninst;
+mod error;
 mod inst;
 mod op;
 mod program;
@@ -47,6 +48,7 @@ mod reg;
 mod trace;
 
 pub use dyninst::{DynInst, Seq};
+pub use error::ConfigError;
 pub use inst::{CtrlKind, MemWidth, StaticInst};
 pub use op::{AluOp, Cond, FuClass, Opcode};
 pub use program::{Layout, Pc, Program, ProgramBuilder, ProgramError};

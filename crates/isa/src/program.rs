@@ -503,10 +503,7 @@ mod tests {
         let l = b.label();
         b.jump(l);
         b.halt();
-        assert!(matches!(
-            b.try_build(),
-            Err(ProgramError::UnboundLabel(_))
-        ));
+        assert!(matches!(b.try_build(), Err(ProgramError::UnboundLabel(_))));
     }
 
     #[test]

@@ -16,13 +16,61 @@ impl CacheConfig {
     ///
     /// Panics if the geometry does not produce a power-of-two set count.
     pub fn new(capacity: u64, ways: usize, line_bytes: u64) -> CacheConfig {
+        CacheConfig::try_new(capacity, ways, line_bytes)
+            .unwrap_or_else(|e| panic!("set count must be a power of two: {e}"))
+    }
+
+    /// A validating constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first rejected geometry parameter.
+    pub fn try_new(capacity: u64, ways: usize, line_bytes: u64) -> Result<CacheConfig, String> {
         let c = CacheConfig {
             capacity,
             ways,
             line_bytes,
         };
-        assert!(c.sets().is_power_of_two(), "set count must be a power of two");
-        c
+        c.validate()?;
+        Ok(c)
+    }
+
+    /// Validates the geometry: nonzero parameters, a line-aligned capacity
+    /// and a power-of-two set count (the index function is a mask).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first rejected parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.capacity == 0 {
+            return Err("capacity must be nonzero".into());
+        }
+        if self.ways == 0 {
+            return Err("associativity (ways) must be nonzero".into());
+        }
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return Err(format!(
+                "line size must be a nonzero power of two (got {})",
+                self.line_bytes
+            ));
+        }
+        let way_bytes = self.ways as u64 * self.line_bytes;
+        if !self.capacity.is_multiple_of(way_bytes) {
+            return Err(format!(
+                "capacity {} is not a multiple of ways x line bytes ({way_bytes})",
+                self.capacity
+            ));
+        }
+        if !self.sets().is_power_of_two() {
+            return Err(format!(
+                "set count {} (capacity {} / ways {} / line {}) is not a power of two",
+                self.sets(),
+                self.capacity,
+                self.ways,
+                self.line_bytes
+            ));
+        }
+        Ok(())
     }
 
     /// Number of sets implied by the geometry.

@@ -110,7 +110,10 @@ impl Dram {
     ///
     /// Panics if `banks` is not a power of two.
     pub fn new(config: DramConfig) -> Dram {
-        assert!(config.banks.is_power_of_two(), "banks must be a power of two");
+        assert!(
+            config.banks.is_power_of_two(),
+            "banks must be a power of two"
+        );
         Dram {
             banks: vec![Bank::default(); config.banks],
             bus_free: 0,
@@ -218,7 +221,10 @@ mod tests {
         let s1 = serial.request(0, 0);
         let row_span = cfg.row_bytes * cfg.banks as u64;
         let s2 = serial.request(row_span, 0); // same bank, other row
-        assert!(s2 > done_b, "same-bank requests must serialise: {s2} vs {done_b}");
+        assert!(
+            s2 > done_b,
+            "same-bank requests must serialise: {s2} vs {done_b}"
+        );
         let _ = s1;
     }
 

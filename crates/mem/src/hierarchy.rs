@@ -92,6 +92,30 @@ impl HierarchyConfig {
             max_prefetches_per_access: 4,
         }
     }
+
+    /// Validates every cache geometry and the latency ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending level or latency.
+    pub fn validate(&self) -> Result<(), String> {
+        self.l1i.validate().map_err(|e| format!("l1i: {e}"))?;
+        self.l1d.validate().map_err(|e| format!("l1d: {e}"))?;
+        self.llc.validate().map_err(|e| format!("llc: {e}"))?;
+        if self.l1i_latency == 0 || self.l1d_latency == 0 || self.llc_latency == 0 {
+            return Err(format!(
+                "cache latencies must be nonzero (l1i {}, l1d {}, llc {})",
+                self.l1i_latency, self.l1d_latency, self.llc_latency
+            ));
+        }
+        if self.llc_latency < self.l1d_latency || self.llc_latency < self.l1i_latency {
+            return Err(format!(
+                "llc_latency ({}) must not be lower than the L1 latencies ({}, {})",
+                self.llc_latency, self.l1i_latency, self.l1d_latency
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl Default for HierarchyConfig {
@@ -382,6 +406,23 @@ impl MemoryHierarchy {
         }
     }
 
+    /// Number of in-flight (MSHR-style) fills currently tracked. The map
+    /// self-bounds at 4096 entries; the simulator's invariant checker uses
+    /// this to assert leak-freedom at drain.
+    pub fn inflight_fills(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Number of tracked fills whose data was already ready at `now` —
+    /// stale entries awaiting lazy cleanup. Anything beyond the lazy-sweep
+    /// bound indicates a leak.
+    pub fn stale_inflight_fills(&self, now: u64) -> usize {
+        self.inflight
+            .values()
+            .filter(|&&(ready, _)| ready <= now)
+            .count()
+    }
+
     /// A snapshot of all counters.
     pub fn stats(&self) -> MemStats {
         MemStats {
@@ -445,10 +486,7 @@ mod tests {
         // First line evicted from L1 (8 ways) but still in LLC.
         let r = m.load(base, 1, t);
         assert_eq!(r.level, HitLevel::Llc);
-        assert_eq!(
-            r.latency,
-            m.config().l1d_latency + m.config().llc_latency
-        );
+        assert_eq!(r.latency, m.config().l1d_latency + m.config().llc_latency);
     }
 
     #[test]

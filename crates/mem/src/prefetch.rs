@@ -624,7 +624,10 @@ mod ghb_tests {
             g.on_access(x >> 33, 0x10, false, &mut out);
             out_total += out.len();
         }
-        assert!(out_total < 60, "random stream should rarely match: {out_total}");
+        assert!(
+            out_total < 60,
+            "random stream should rarely match: {out_total}"
+        );
     }
 
     #[test]
@@ -647,6 +650,9 @@ mod ghb_tests {
         }
         out.clear();
         g.on_access(1000 + 4 * 10, 0x1, false, &mut out);
-        assert!(out.iter().all(|&l| l < 5000), "chains must not mix: {out:?}");
+        assert!(
+            out.iter().all(|&l| l < 5000),
+            "chains must not mix: {out:?}"
+        );
     }
 }

@@ -29,7 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use crisp_isa::Pc;
+use crisp_isa::{ConfigError, Pc};
 use crisp_sim::SimResult;
 use std::collections::HashMap;
 
@@ -81,6 +81,46 @@ impl ClassifierConfig {
     pub fn with_miss_threshold(mut self, t: f64) -> ClassifierConfig {
         self.miss_contribution_threshold = t;
         self
+    }
+
+    /// Validates the thresholds: every ratio must be a finite value in
+    /// `[0, 1]` and the MLP bar must be finite and positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first offending threshold.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let ratios = [
+            ("exec_ratio_threshold", self.exec_ratio_threshold),
+            ("llc_miss_ratio_threshold", self.llc_miss_ratio_threshold),
+            (
+                "miss_contribution_threshold",
+                self.miss_contribution_threshold,
+            ),
+            (
+                "branch_mispredict_threshold",
+                self.branch_mispredict_threshold,
+            ),
+            (
+                "branch_exec_ratio_threshold",
+                self.branch_exec_ratio_threshold,
+            ),
+        ];
+        for (field, v) in ratios {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(ConfigError::new(
+                    field,
+                    format!("must be a ratio in [0, 1] (got {v})"),
+                ));
+            }
+        }
+        if !self.mlp_threshold.is_finite() || self.mlp_threshold <= 0.0 {
+            return Err(ConfigError::new(
+                "mlp_threshold",
+                format!("must be finite and positive (got {})", self.mlp_threshold),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -301,6 +341,36 @@ pub fn classify_slow_ops(
 mod tests {
     use super::*;
     use crisp_sim::{BranchPcStats, LoadPcStats};
+
+    #[test]
+    fn classifier_defaults_validate() {
+        ClassifierConfig::default().validate().expect("defaults ok");
+    }
+
+    #[test]
+    fn classifier_rejects_out_of_range_ratios() {
+        let c = ClassifierConfig {
+            llc_miss_ratio_threshold: 1.5,
+            ..ClassifierConfig::default()
+        };
+        let err = c.validate().unwrap_err();
+        assert_eq!(err.field, "llc_miss_ratio_threshold");
+
+        let c = ClassifierConfig {
+            miss_contribution_threshold: f64::NAN,
+            ..ClassifierConfig::default()
+        };
+        assert_eq!(
+            c.validate().unwrap_err().field,
+            "miss_contribution_threshold"
+        );
+
+        let c = ClassifierConfig {
+            mlp_threshold: 0.0,
+            ..ClassifierConfig::default()
+        };
+        assert_eq!(c.validate().unwrap_err().field, "mlp_threshold");
+    }
 
     /// Builds a SimResult with two loads: one hot-and-missing (delinquent),
     /// one hot-but-hitting.

@@ -71,10 +71,7 @@ impl BitSet {
     /// Figure 6).
     #[inline]
     pub fn disjoint(&self, other: &BitSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & b == 0)
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
     }
 
     /// Iterates over set bit indices in ascending order.
@@ -136,6 +133,13 @@ impl AgeMatrix {
     /// Number of occupied slots.
     pub fn occupancy(&self) -> usize {
         self.valid.count()
+    }
+
+    /// Whether `slot` currently holds a valid (tracked) instruction. Used
+    /// by the opt-in invariant checker to cross-check the matrix against
+    /// the reservation-station slot array.
+    pub fn is_valid(&self, slot: usize) -> bool {
+        self.valid.get(slot)
     }
 
     /// Registers a newly-enqueued instruction in slot `slot`. All currently

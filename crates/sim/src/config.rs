@@ -1,3 +1,4 @@
+use crisp_isa::ConfigError;
 use crisp_mem::HierarchyConfig;
 
 /// Which instruction-scheduler policy the reservation station uses.
@@ -70,6 +71,19 @@ pub struct SimConfig {
     /// Record per-instruction pipeline timestamps for the pipeline viewer
     /// (costs memory proportional to instructions; off by default).
     pub record_pipeview: bool,
+    /// No-retire-progress watchdog: abort the run with a
+    /// [`crate::DeadlockReport`] if no instruction retires for this many
+    /// cycles. Must be nonzero.
+    pub watchdog_cycles: u64,
+    /// Opt-in invariant checker (`crisp --check`): verify per-instruction
+    /// stage ordering, ROB/RS/LSQ occupancy bounds, age-matrix/RS
+    /// consistency every cycle and MSHR leak-freedom at drain. Costs
+    /// roughly one extra window scan per cycle; off by default.
+    pub check_invariants: bool,
+    /// Fault-injection hook for testing the watchdog: the scheduler stops
+    /// issuing once this many instructions have retired, freezing the
+    /// machine. `None` (the default) disables the hook.
+    pub freeze_scheduler_after: Option<u64>,
 }
 
 impl SimConfig {
@@ -102,6 +116,9 @@ impl SimConfig {
             record_upc_timeline: false,
             collect_pc_stats: true,
             record_pipeview: false,
+            watchdog_cycles: 2_000_000,
+            check_invariants: false,
+            freeze_scheduler_after: None,
         }
     }
 
@@ -121,21 +138,89 @@ impl SimConfig {
         self
     }
 
-    /// Validates structural invariants.
+    /// Validates structural invariants: nonzero widths and window
+    /// structures, a RS no larger than the ROB, an issue width the RS can
+    /// feed, at least one port of every execution class (a machine with no
+    /// load ports deadlocks on its first load), and a coherent memory
+    /// hierarchy.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if widths or structure sizes are zero, or the RS is larger
-    /// than the ROB.
-    pub fn validate(&self) {
-        assert!(self.fetch_width > 0 && self.retire_width > 0 && self.issue_width > 0);
-        assert!(self.rob_entries > 0 && self.rs_entries > 0);
-        assert!(
-            self.rs_entries <= self.rob_entries,
-            "RS cannot exceed ROB"
-        );
-        assert!(self.alu_ports + self.load_ports + self.store_ports > 0);
-        assert!(self.load_buffer > 0 && self.store_buffer > 0);
+    /// Returns a [`ConfigError`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.fetch_width == 0 {
+            return Err(ConfigError::new("fetch_width", "must be nonzero (got 0)"));
+        }
+        if self.retire_width == 0 {
+            return Err(ConfigError::new("retire_width", "must be nonzero (got 0)"));
+        }
+        if self.issue_width == 0 {
+            return Err(ConfigError::new("issue_width", "must be nonzero (got 0)"));
+        }
+        if self.rob_entries == 0 {
+            return Err(ConfigError::new("rob_entries", "must be nonzero (got 0)"));
+        }
+        if self.rs_entries == 0 {
+            return Err(ConfigError::new("rs_entries", "must be nonzero (got 0)"));
+        }
+        if self.rs_entries > self.rob_entries {
+            return Err(ConfigError::new(
+                "rs_entries",
+                format!(
+                    "RS cannot exceed ROB ({} > {})",
+                    self.rs_entries, self.rob_entries
+                ),
+            ));
+        }
+        if self.issue_width > self.rs_entries {
+            return Err(ConfigError::new(
+                "issue_width",
+                format!(
+                    "cannot exceed rs_entries ({} > {}): the scheduler picks from the RS",
+                    self.issue_width, self.rs_entries
+                ),
+            ));
+        }
+        if self.alu_ports == 0 {
+            return Err(ConfigError::new(
+                "alu_ports",
+                "must be nonzero: ALU/branch instructions could never issue",
+            ));
+        }
+        if self.load_ports == 0 {
+            return Err(ConfigError::new(
+                "load_ports",
+                "must be nonzero: loads could never issue",
+            ));
+        }
+        if self.store_ports == 0 {
+            return Err(ConfigError::new(
+                "store_ports",
+                "must be nonzero: stores could never issue",
+            ));
+        }
+        if self.load_buffer == 0 {
+            return Err(ConfigError::new("load_buffer", "must be nonzero (got 0)"));
+        }
+        if self.store_buffer == 0 {
+            return Err(ConfigError::new("store_buffer", "must be nonzero (got 0)"));
+        }
+        if self.fetch_queue_entries == 0 {
+            return Err(ConfigError::new(
+                "fetch_queue_entries",
+                "must be nonzero (got 0)",
+            ));
+        }
+        if self.watchdog_cycles == 0 {
+            return Err(ConfigError::new(
+                "watchdog_cycles",
+                "must be nonzero (got 0): a zero watchdog aborts every run",
+            ));
+        }
+        self.memory
+            .validate()
+            .map_err(|m| ConfigError::new("memory", m))?;
+        Ok(())
     }
 }
 
@@ -162,7 +247,7 @@ mod tests {
         assert_eq!(c.store_buffer, 128);
         assert_eq!(c.ftq_entries, 128);
         assert_eq!(c.scheduler, SchedulerKind::OldestReadyFirst);
-        c.validate();
+        c.validate().expect("Table 1 machine is valid");
     }
 
     #[test]
@@ -170,7 +255,7 @@ mod tests {
         let c = SimConfig::with_window(144, 336);
         assert_eq!(c.rs_entries, 144);
         assert_eq!(c.rob_entries, 336);
-        c.validate();
+        c.validate().expect("sweep point is valid");
     }
 
     #[test]
@@ -180,8 +265,48 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "RS cannot exceed ROB")]
     fn rs_larger_than_rob_rejected() {
-        SimConfig::with_window(300, 224).validate();
+        let err = SimConfig::with_window(300, 224).validate().unwrap_err();
+        assert_eq!(err.field, "rs_entries");
+        assert!(err.message.contains("RS cannot exceed ROB"));
+    }
+
+    #[test]
+    fn degenerate_machines_name_the_offending_field() {
+        type Mutate = fn(&mut SimConfig);
+        let cases: [(&str, Mutate); 10] = [
+            ("fetch_width", |c| c.fetch_width = 0),
+            ("issue_width", |c| c.issue_width = 0),
+            ("rob_entries", |c| c.rob_entries = 0),
+            ("rs_entries", |c| c.rs_entries = 0),
+            ("alu_ports", |c| c.alu_ports = 0),
+            ("load_ports", |c| c.load_ports = 0),
+            ("store_ports", |c| c.store_ports = 0),
+            ("load_buffer", |c| c.load_buffer = 0),
+            ("store_buffer", |c| c.store_buffer = 0),
+            ("watchdog_cycles", |c| c.watchdog_cycles = 0),
+        ];
+        for (field, mutate) in cases {
+            let mut c = SimConfig::skylake();
+            mutate(&mut c);
+            let err = c.validate().unwrap_err();
+            assert_eq!(err.field, field, "wrong field for {field}: {err}");
+        }
+    }
+
+    #[test]
+    fn issue_width_cannot_exceed_rs() {
+        let mut c = SimConfig::skylake();
+        c.issue_width = c.rs_entries + 1;
+        let err = c.validate().unwrap_err();
+        assert_eq!(err.field, "issue_width");
+    }
+
+    #[test]
+    fn bad_memory_geometry_surfaces_as_memory_field() {
+        let mut c = SimConfig::skylake();
+        c.memory.l1d_latency = 0;
+        let err = c.validate().unwrap_err();
+        assert_eq!(err.field, "memory");
     }
 }

@@ -1,6 +1,7 @@
 use crate::age_matrix::{AgeMatrix, BitSet};
 use crate::bpu::{BpuConfig, BranchPredictionUnit};
 use crate::config::{SchedulerKind, SimConfig};
+use crate::error::{DeadlockReport, HeadState, SimError};
 use crate::stats::{PipeRecord, SimResult, UpcTimeline};
 use crisp_isa::{FuClass, Layout, Pc, Program, Trace};
 use crisp_mem::{HitLevel, MemoryHierarchy};
@@ -50,10 +51,20 @@ impl Simulator {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is structurally invalid.
+    /// Panics if the configuration is structurally invalid; use
+    /// [`Simulator::try_new`] to handle rejection gracefully.
     pub fn new(config: SimConfig) -> Simulator {
-        config.validate();
-        Simulator { config }
+        Simulator::try_new(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a simulator, rejecting invalid configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation failure, naming the offending field.
+    pub fn try_new(config: SimConfig) -> Result<Simulator, SimError> {
+        config.validate()?;
+        Ok(Simulator { config })
     }
 
     /// The simulator's configuration.
@@ -72,13 +83,64 @@ impl Simulator {
     /// # Panics
     ///
     /// Panics if `critical` is provided with a length different from
-    /// `program.len()`, or on internal invariant violations (bugs).
+    /// `program.len()`, if the deadlock watchdog fires, or on internal
+    /// invariant violations (bugs). Use [`Simulator::try_run`] to handle
+    /// these as errors.
     pub fn run(&self, program: &Program, trace: &Trace, critical: Option<&[bool]>) -> SimResult {
+        // Keep the historical panic message: tests and callers grep for it.
         if let Some(c) = critical {
             assert_eq!(c.len(), program.len(), "criticality map length mismatch");
         }
+        self.try_run(program, trace, critical)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Simulator::run`], but reporting failures as [`SimError`] instead
+    /// of panicking: a wrong-length criticality map, a watchdog-detected
+    /// deadlock (with a [`DeadlockReport`] dump), or — under
+    /// [`SimConfig::check_invariants`] — a machine-state inconsistency.
+    ///
+    /// # Errors
+    ///
+    /// See above; the simulation is abandoned at the failing cycle.
+    pub fn try_run(
+        &self,
+        program: &Program,
+        trace: &Trace,
+        critical: Option<&[bool]>,
+    ) -> Result<SimResult, SimError> {
+        if let Some(c) = critical {
+            if c.len() != program.len() {
+                return Err(SimError::CriticalityMapLength {
+                    expected: program.len(),
+                    actual: c.len(),
+                });
+            }
+        }
         let layout = program.layout(|pc| critical.is_some_and(|c| c[pc as usize]));
         Engine::new(&self.config, program, &layout, trace, critical).run()
+    }
+
+    /// Fault-tolerant variant of [`Simulator::try_run`] for running with
+    /// criticality maps of *unknown provenance* (stale profiles, corrupted
+    /// annotation files): `critical` may have any length. Bits beyond the
+    /// program are ignored; PCs beyond the map are treated as non-critical.
+    /// This is the graceful-degradation contract of the paper's hint bits —
+    /// a wrong hint can only mis-prioritise, never break execution.
+    ///
+    /// # Errors
+    ///
+    /// Same runtime failures as [`Simulator::try_run`]; a length mismatch
+    /// is no longer one of them.
+    pub fn run_tolerant(
+        &self,
+        program: &Program,
+        trace: &Trace,
+        critical: &[bool],
+    ) -> Result<SimResult, SimError> {
+        let mut normalized = critical.to_vec();
+        normalized.resize(program.len(), false);
+        self.try_run(program, trace, Some(&normalized))
     }
 }
 
@@ -171,7 +233,7 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn run(mut self) -> SimResult {
+    fn run(mut self) -> Result<SimResult, SimError> {
         let total = self.trace.len() as u64;
         let mut last_progress = (0u64, 0u64); // (retired, cycle)
         while self.res.retired < total {
@@ -191,19 +253,21 @@ impl<'a> Engine<'a> {
             if self.cfg.record_upc_timeline {
                 self.res.upc.push(retired_now);
             }
+            if self.cfg.check_invariants {
+                self.check_invariants()?;
+            }
             self.now += 1;
             // Watchdog against deadlock bugs.
             if self.res.retired > last_progress.0 {
                 last_progress = (self.res.retired, self.now);
-            } else {
-                assert!(
-                    self.now - last_progress.1 < 2_000_000,
-                    "simulator deadlock at cycle {} (retired {}/{})",
-                    self.now,
-                    self.res.retired,
-                    total
-                );
+            } else if self.now - last_progress.1 >= self.cfg.watchdog_cycles {
+                return Err(SimError::Deadlock(Box::new(
+                    self.deadlock_report(self.now - last_progress.1, total),
+                )));
             }
+        }
+        if self.cfg.check_invariants {
+            self.check_drained()?;
         }
         self.res.cycles = self.now;
         let (cb, cm, im, rm) = self.bpu.stats();
@@ -211,7 +275,170 @@ impl<'a> Engine<'a> {
         self.res.cond_mispredicts = cm;
         self.res.indirect_mispredicts = im + rm;
         self.res.mem = self.mem.stats();
-        self.res
+        Ok(self.res)
+    }
+
+    /// Snapshots the stuck machine for the watchdog's diagnostic dump.
+    fn deadlock_report(&self, stalled_for: u64, total: u64) -> DeadlockReport {
+        let rob_head = self.rob.front().map(|h| {
+            let state = match (h.issued_at, h.complete_at) {
+                (None, _) => HeadState::WaitingToIssue,
+                (Some(_), Some(c)) if c <= self.now => HeadState::ReadyToRetire,
+                _ => HeadState::Executing,
+            };
+            (h.pc, state)
+        });
+        let oldest_unissued = self
+            .rob
+            .iter()
+            .enumerate()
+            .find(|(_, e)| e.issued_at.is_none())
+            .map(|(i, e)| (self.rob_base + i as u64, e.pc));
+        DeadlockReport {
+            cycle: self.now,
+            stalled_for,
+            retired: self.res.retired,
+            total,
+            rob_head,
+            rob: (self.rob.len(), self.cfg.rob_entries),
+            rs: (self.age.occupancy(), self.cfg.rs_entries),
+            loads: (self.loads_in_flight, self.cfg.load_buffer),
+            stores: (self.stores_in_flight, self.cfg.store_buffer),
+            oldest_unissued,
+        }
+    }
+
+    /// The opt-in per-cycle invariant checker (`--check`): stage ordering,
+    /// occupancy bounds and RS/age-matrix cross-consistency.
+    fn check_invariants(&self) -> Result<(), SimError> {
+        let fail = |message: String| {
+            Err(SimError::InvariantViolation {
+                cycle: self.now,
+                message,
+            })
+        };
+        // Occupancy bounds.
+        if self.rob.len() > self.cfg.rob_entries {
+            return fail(format!(
+                "ROB over capacity: {} > {}",
+                self.rob.len(),
+                self.cfg.rob_entries
+            ));
+        }
+        if self.loads_in_flight > self.cfg.load_buffer {
+            return fail(format!(
+                "load buffer over capacity: {} > {}",
+                self.loads_in_flight, self.cfg.load_buffer
+            ));
+        }
+        if self.stores_in_flight > self.cfg.store_buffer {
+            return fail(format!(
+                "store buffer over capacity: {} > {}",
+                self.stores_in_flight, self.cfg.store_buffer
+            ));
+        }
+        // RS slots, free list and age matrix must agree.
+        let occupied = self.rs.iter().filter(|s| s.is_some()).count();
+        if occupied + self.rs_free.len() != self.cfg.rs_entries {
+            return fail(format!(
+                "RS slot leak: {} occupied + {} free != {} entries",
+                occupied,
+                self.rs_free.len(),
+                self.cfg.rs_entries
+            ));
+        }
+        if self.age.occupancy() != occupied {
+            return fail(format!(
+                "age matrix tracks {} slots but RS holds {occupied}",
+                self.age.occupancy()
+            ));
+        }
+        for (slot, occ) in self.rs.iter().enumerate() {
+            if self.age.is_valid(slot) != occ.is_some() {
+                return fail(format!(
+                    "age matrix and RS disagree on slot {slot}: matrix {}, RS {}",
+                    self.age.is_valid(slot),
+                    occ.is_some()
+                ));
+            }
+            if let Some(seq) = *occ {
+                match self.entry(seq) {
+                    None => return fail(format!("RS slot {slot} references retired seq {seq}")),
+                    Some(e) if e.rs_slot != Some(slot) => {
+                        return fail(format!(
+                            "seq {seq} thinks it is in slot {:?} but RS slot {slot} holds it",
+                            e.rs_slot
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        // Per-instruction stage ordering: fetch <= dispatch <= issue <=
+        // complete (retire is checked implicitly: commit only pops
+        // completed heads in order).
+        for (i, e) in self.rob.iter().enumerate() {
+            let seq = self.rob_base + i as u64;
+            if e.fetched_at > e.visible_at {
+                return fail(format!(
+                    "seq {seq} (pc {}): fetched at {} after dispatch-visible at {}",
+                    e.pc, e.fetched_at, e.visible_at
+                ));
+            }
+            if let Some(iss) = e.issued_at {
+                if iss < e.visible_at {
+                    return fail(format!(
+                        "seq {seq} (pc {}): issued at {iss} before dispatch-visible at {}",
+                        e.pc, e.visible_at
+                    ));
+                }
+                if let Some(c) = e.complete_at {
+                    if c < iss {
+                        return fail(format!(
+                            "seq {seq} (pc {}): complete at {c} before issue at {iss}",
+                            e.pc
+                        ));
+                    }
+                }
+            } else if e.complete_at.is_some() {
+                return fail(format!("seq {seq} (pc {}): complete without issue", e.pc));
+            }
+        }
+        Ok(())
+    }
+
+    /// Drain-time checks: once every instruction has retired, the window
+    /// must be empty and the memory system must not have leaked MSHRs
+    /// (in-flight fill tracking grows without bound only if cleanup broke).
+    fn check_drained(&self) -> Result<(), SimError> {
+        let fail = |message: String| {
+            Err(SimError::InvariantViolation {
+                cycle: self.now,
+                message,
+            })
+        };
+        if !self.rob.is_empty() {
+            return fail(format!("{} ROB entries alive after drain", self.rob.len()));
+        }
+        if self.loads_in_flight != 0 || self.stores_in_flight != 0 {
+            return fail(format!(
+                "{} loads / {} stores in flight after drain",
+                self.loads_in_flight, self.stores_in_flight
+            ));
+        }
+        if self.age.occupancy() != 0 {
+            return fail(format!(
+                "{} scheduler slots alive after drain",
+                self.age.occupancy()
+            ));
+        }
+        // The hierarchy bounds its lazy in-flight table at 4096 entries;
+        // more than that after drain means the cleanup path leaked.
+        let mshrs = self.mem.inflight_fills();
+        if mshrs > 4096 {
+            return fail(format!("memory system leaked MSHRs: {mshrs} > 4096"));
+        }
+        Ok(())
     }
 
     // ---- commit ----------------------------------------------------------
@@ -290,6 +517,13 @@ impl<'a> Engine<'a> {
     }
 
     fn issue(&mut self) {
+        // Fault-injection hook: freeze the scheduler so watchdog tests can
+        // manufacture a deadlock on demand.
+        if let Some(after) = self.cfg.freeze_scheduler_after {
+            if self.res.retired >= after {
+                return;
+            }
+        }
         // Unified "N-oldest-ready-first" selection (Table 1 baseline): the
         // scheduler picks up to `issue_width` ready instructions by age
         // (CRISP: ready-and-critical by age first — the PRIO pick of
@@ -455,7 +689,9 @@ impl<'a> Engine<'a> {
 
     fn dispatch(&mut self) {
         for _ in 0..self.cfg.fetch_width {
-            let Some(&f) = self.fetch_buffer.front() else { break };
+            let Some(&f) = self.fetch_buffer.front() else {
+                break;
+            };
             if f.visible_at > self.now
                 || self.rob.len() >= self.cfg.rob_entries
                 || self.rs_free.is_empty()
@@ -507,9 +743,7 @@ impl<'a> Engine<'a> {
                 self.reg_producer[d.index()] = Some(seq);
             }
 
-            let critical = self
-                .critical
-                .is_some_and(|c| c[rec.pc as usize]);
+            let critical = self.critical.is_some_and(|c| c[rec.pc as usize]);
             let entry = Entry {
                 pc: rec.pc,
                 fu: inst.fu_class(),
@@ -779,7 +1013,11 @@ mod tests {
         assert_eq!(res.retired, t.len() as u64);
         // 5 insts / iteration; iteration >= forward(5) + add(1) + store(1)
         // cycles => IPC well under 1.5.
-        assert!(res.ipc() < 1.5, "memory ordering violated? ipc = {}", res.ipc());
+        assert!(
+            res.ipc() < 1.5,
+            "memory ordering violated? ipc = {}",
+            res.ipc()
+        );
         assert!(res.ipc() > 0.3, "unreasonably slow: ipc = {}", res.ipc());
     }
 
@@ -926,9 +1164,8 @@ mod tests {
         let (p, t) = alu_loop();
         let sim = Simulator::new(SimConfig::skylake());
         let bad = vec![false; p.len() + 1];
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            sim.run(&p, &t, Some(&bad))
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run(&p, &t, Some(&bad))));
         assert!(result.is_err());
     }
 
@@ -1063,5 +1300,97 @@ mod tests {
         let res = Simulator::new(SimConfig::skylake()).run(&p, &t, None);
         assert_eq!(res.retired, 0);
         assert_eq!(res.cycles, 0);
+    }
+
+    #[test]
+    fn try_run_reports_map_length_mismatch_without_panicking() {
+        let (p, t) = alu_loop();
+        let sim = Simulator::new(SimConfig::skylake());
+        let bad = vec![false; p.len() + 1];
+        let err = sim.try_run(&p, &t, Some(&bad)).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::CriticalityMapLength {
+                expected: p.len(),
+                actual: p.len() + 1,
+            }
+        );
+    }
+
+    #[test]
+    fn run_tolerant_accepts_any_map_length() {
+        let (p, t) = alu_loop();
+        let sim = Simulator::new(SimConfig::skylake());
+        let baseline = sim.run(&p, &t, None);
+        // Too short, too long, empty: all must complete with full retire.
+        for map in [vec![], vec![true; 2], vec![true; p.len() + 500]] {
+            let res = sim.run_tolerant(&p, &t, &map).expect("degrades gracefully");
+            assert_eq!(res.retired, baseline.retired);
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_degenerate_config() {
+        let mut cfg = SimConfig::skylake();
+        cfg.rob_entries = 0;
+        let err = Simulator::try_new(cfg).unwrap_err();
+        assert!(matches!(err, SimError::Config(ref c) if c.field == "rob_entries"));
+    }
+
+    #[test]
+    fn watchdog_catches_frozen_scheduler_with_diagnostics() {
+        let (p, t) = alu_loop();
+        let mut cfg = SimConfig::skylake();
+        cfg.freeze_scheduler_after = Some(100);
+        cfg.watchdog_cycles = 10_000; // keep the test fast
+        let err = Simulator::new(cfg).try_run(&p, &t, None).unwrap_err();
+        let SimError::Deadlock(report) = err else {
+            panic!("expected deadlock, got {err}");
+        };
+        assert!(report.retired >= 100);
+        assert!(report.stalled_for >= 10_000);
+        assert_eq!(report.rob.1, 224);
+        let (_, state) = report.rob_head.expect("ROB head is stuck");
+        assert_eq!(state, HeadState::WaitingToIssue);
+        assert!(report.oldest_unissued.is_some());
+        // The dump names the stall site.
+        let dump = report.to_string();
+        assert!(dump.contains("ROB head"), "dump: {dump}");
+        assert!(dump.contains("oldest unissued"), "dump: {dump}");
+    }
+
+    #[test]
+    fn invariant_checker_passes_on_healthy_runs() {
+        let (p, t) = alu_loop();
+        let mut cfg = SimConfig::skylake();
+        cfg.check_invariants = true;
+        let checked = Simulator::new(cfg).try_run(&p, &t, None).expect("clean");
+        let plain = Simulator::new(SimConfig::skylake()).run(&p, &t, None);
+        // Checking must not change behaviour.
+        assert_eq!(checked.cycles, plain.cycles);
+        assert_eq!(checked.retired, plain.retired);
+    }
+
+    #[test]
+    fn invariant_checker_covers_memory_and_branch_workloads() {
+        // Exercise loads, stores, forwarding and mispredictions under the
+        // checker, not just the ALU path.
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 0x8000);
+        b.li(r(3), 500);
+        let top = b.label();
+        b.bind(top);
+        b.load(r(4), r(1), 0, 8);
+        b.alu_ri(AluOp::Add, r(4), r(4), 5);
+        b.store(r(1), 0, r(4), 8);
+        b.alu_ri(AluOp::Sub, r(3), r(3), 1);
+        b.branch(Cond::Ne, r(3), Reg::ZERO, top);
+        b.halt();
+        let p = b.build();
+        let t = Emulator::new(&p, Memory::new()).run(100_000);
+        let mut cfg = SimConfig::skylake();
+        cfg.check_invariants = true;
+        let res = Simulator::new(cfg).try_run(&p, &t, None).expect("clean");
+        assert_eq!(res.retired, t.len() as u64);
     }
 }

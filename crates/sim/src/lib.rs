@@ -59,12 +59,14 @@ mod age_matrix;
 mod bpu;
 mod config;
 mod engine;
+mod error;
 mod stats;
 
 pub use age_matrix::{AgeMatrix, BitSet};
-pub use bpu::{BranchOutcome, BranchPredictionUnit, BpuConfig};
+pub use bpu::{BpuConfig, BranchOutcome, BranchPredictionUnit};
 pub use config::{SchedulerKind, SimConfig};
 pub use engine::Simulator;
+pub use error::{ConfigError, DeadlockReport, HeadState, SimError};
 pub use stats::{BranchPcStats, LoadPcStats, PipeRecord, Pipeview, SimResult, UpcTimeline};
 
 // Re-exported for convenience: the memory config lives in crisp-mem.

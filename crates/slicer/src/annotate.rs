@@ -45,6 +45,45 @@ impl CriticalityMap {
         }
     }
 
+    /// Builds a map directly from a bit vector (one bit per static
+    /// instruction). Used by the fault-injection harness and by loaders of
+    /// externally produced annotations.
+    pub fn from_bits(bits: Vec<bool>) -> CriticalityMap {
+        CriticalityMap { bits }
+    }
+
+    /// Number of bits in the map (== the annotated program's length).
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the map covers zero instructions.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Flips the bit at `pc` if it is in range (out-of-range is a no-op —
+    /// fault injectors may aim anywhere).
+    pub fn toggle(&mut self, pc: Pc) {
+        if let Some(b) = self.bits.get_mut(pc as usize) {
+            *b = !*b;
+        }
+    }
+
+    /// Clears every bit, keeping the length.
+    pub fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|b| *b = false);
+    }
+
+    /// Returns a copy truncated or zero-extended to `len` bits — how a map
+    /// built for one binary is forced onto another (the stale-profile
+    /// scenario).
+    pub fn resized(&self, len: usize) -> CriticalityMap {
+        let mut bits = self.bits.clone();
+        bits.resize(len, false);
+        CriticalityMap { bits }
+    }
+
     /// The raw bit vector, indexable by [`Pc`] — the form the simulator
     /// consumes.
     pub fn as_slice(&self) -> &[bool] {
@@ -142,8 +181,7 @@ impl Annotator {
                 .map(|pc| exec_counts.get(pc).copied().unwrap_or(0))
                 .sum();
             let would_be = critical_dyn + added;
-            if i > 0 && total > 0 && (would_be as f64 / total as f64) > self.max_dynamic_ratio
-            {
+            if i > 0 && total > 0 && (would_be as f64 / total as f64) > self.max_dynamic_ratio {
                 continue; // skip this slice; later (smaller) ones may fit
             }
             for &pc in slice {
@@ -208,6 +246,26 @@ mod tests {
     }
 
     #[test]
+    fn map_fault_helpers() {
+        let mut m = CriticalityMap::from_bits(vec![false, true, false]);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        m.toggle(0);
+        m.toggle(1);
+        m.toggle(999); // out of range: no-op
+        assert_eq!(m.as_slice(), &[true, false, false]);
+        let grown = m.resized(5);
+        assert_eq!(grown.len(), 5);
+        assert!(grown.is_critical(0) && !grown.is_critical(4));
+        let shrunk = m.resized(1);
+        assert_eq!(shrunk.as_slice(), &[true]);
+        m.clear();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.len(), 3);
+        assert!(CriticalityMap::new(0).is_empty());
+    }
+
+    #[test]
     fn annotate_merges_within_budget() {
         let p = program_of(10);
         let counts: HashMap<Pc, u64> = (0..10).map(|pc| (pc as Pc, 10)).collect();
@@ -267,8 +325,9 @@ mod tests {
         let mut m = CriticalityMap::new(4);
         m.set(0);
         m.set(1);
-        let counts: HashMap<Pc, u64> =
-            [(0u32, 100u64), (1, 50), (2, 10), (3, 1)].into_iter().collect();
+        let counts: HashMap<Pc, u64> = [(0u32, 100u64), (1, 50), (2, 10), (3, 1)]
+            .into_iter()
+            .collect();
         let rep = Annotator::footprint(&p, &m, &counts);
         assert_eq!(rep.static_bytes_base, 3 * 3 + 2);
         assert_eq!(rep.static_bytes_annotated, rep.static_bytes_base + 2);

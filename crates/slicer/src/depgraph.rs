@@ -32,8 +32,7 @@ impl DepGraph {
         let n = trace.len();
         let mut reg_producers = vec![[None; 3]; n];
         let mut mem_producers = vec![None; n];
-        let mut reg_writer: [Option<u32>; crisp_isa::Reg::COUNT] =
-            [None; crisp_isa::Reg::COUNT];
+        let mut reg_writer: [Option<u32>; crisp_isa::Reg::COUNT] = [None; crisp_isa::Reg::COUNT];
         let mut mem_writer: HashMap<u64, u32> = HashMap::new();
 
         for (seq, rec) in trace.iter().enumerate() {

@@ -1,5 +1,5 @@
 use crate::DepGraph;
-use crisp_isa::{Pc, Program, Trace};
+use crisp_isa::{ConfigError, Pc, Program, Trace};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Configuration of the slice extractor.
@@ -20,6 +20,41 @@ pub struct SliceConfig {
     /// the sampled instances — the paper's "filtering out uncommon code
     /// paths" step (Section 4.1). The root is always kept.
     pub min_instance_fraction: f64,
+}
+
+impl SliceConfig {
+    /// Validates the extraction knobs: nonzero sampling/walk bounds and an
+    /// instance-fraction filter in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.instances_per_root == 0 {
+            return Err(ConfigError::new(
+                "instances_per_root",
+                "must be nonzero (got 0): no instances means no slices",
+            ));
+        }
+        if self.max_nodes_per_instance == 0 {
+            return Err(ConfigError::new(
+                "max_nodes_per_instance",
+                "must be nonzero (got 0): the walk could never leave the root",
+            ));
+        }
+        if !self.min_instance_fraction.is_finite()
+            || !(0.0..=1.0).contains(&self.min_instance_fraction)
+        {
+            return Err(ConfigError::new(
+                "min_instance_fraction",
+                format!(
+                    "must be a fraction in [0, 1] (got {})",
+                    self.min_instance_fraction
+                ),
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl Default for SliceConfig {
@@ -102,8 +137,7 @@ pub fn extract_slices(
             }
             // Section 4.1: drop uncommon code paths — instructions seen in
             // only a small fraction of the sampled instances.
-            let min_count =
-                ((config.min_instance_fraction * take as f64).ceil() as usize).max(1);
+            let min_count = ((config.min_instance_fraction * take as f64).ceil() as usize).max(1);
             let mut pcs: HashSet<Pc> = appearances
                 .into_iter()
                 .filter(|&(_, n)| n >= min_count)
@@ -182,16 +216,31 @@ mod tests {
     use crisp_emu::{Emulator, Memory};
     use crisp_isa::{AluOp, Cond, ProgramBuilder, Reg};
 
+    #[test]
+    fn slice_config_validation() {
+        SliceConfig::default().validate().expect("defaults ok");
+        let c = SliceConfig {
+            instances_per_root: 0,
+            ..SliceConfig::default()
+        };
+        assert_eq!(c.validate().unwrap_err().field, "instances_per_root");
+        let c = SliceConfig {
+            max_nodes_per_instance: 0,
+            ..SliceConfig::default()
+        };
+        assert_eq!(c.validate().unwrap_err().field, "max_nodes_per_instance");
+        let c = SliceConfig {
+            min_instance_fraction: -0.5,
+            ..SliceConfig::default()
+        };
+        assert_eq!(c.validate().unwrap_err().field, "min_instance_fraction");
+    }
+
     fn r(i: u8) -> Reg {
         Reg::new(i)
     }
 
-    fn slices_for(
-        p: &Program,
-        t: &Trace,
-        roots: &[Pc],
-        config: &SliceConfig,
-    ) -> Vec<Slice> {
+    fn slices_for(p: &Program, t: &Trace, roots: &[Pc], config: &SliceConfig) -> Vec<Slice> {
         let g = DepGraph::build(p, t);
         extract_slices(p, t, &g, roots, config)
     }

@@ -98,10 +98,7 @@ impl Btb {
             set.push((stamp, entry));
         } else {
             // Evict true-LRU.
-            let victim = set
-                .iter_mut()
-                .min_by_key(|s| s.0)
-                .expect("non-empty set");
+            let victim = set.iter_mut().min_by_key(|s| s.0).expect("non-empty set");
             *victim = (stamp, entry);
         }
     }

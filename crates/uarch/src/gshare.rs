@@ -87,7 +87,10 @@ mod tests {
             }
             p.update(0x33, taken, pred);
         }
-        assert!(wrong_late < 5, "gshare failed to learn alternation: {wrong_late}");
+        assert!(
+            wrong_late < 5,
+            "gshare failed to learn alternation: {wrong_late}"
+        );
     }
 
     #[test]

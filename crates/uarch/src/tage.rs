@@ -159,10 +159,7 @@ impl Tage {
             .collect();
         Tage {
             base: vec![SatCounter::new(2, 0); config.base_entries],
-            tables: vec![
-                vec![TageEntry::default(); config.table_entries];
-                config.num_tables
-            ],
+            tables: vec![vec![TageEntry::default(); config.table_entries]; config.num_tables],
             history: vec![false; config.max_hist as usize + 1],
             hist_pos: 0,
             hist_lens,
@@ -218,8 +215,7 @@ impl Tage {
         for i in 0..self.config.num_tables {
             let len = self.hist_lens[i] as usize;
             // The bit that just left table i's history window.
-            let old_pos =
-                (self.hist_pos + self.history.len() - len) % self.history.len();
+            let old_pos = (self.hist_pos + self.history.len() - len) % self.history.len();
             let old_bit = self.history[old_pos];
             self.index_fold[i].update(taken, old_bit);
             self.tag_fold0[i].update(taken, old_bit);
@@ -431,7 +427,9 @@ mod tests {
         let mut wrong = 0;
         let n = 4000;
         for _ in 0..n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (x >> 63) == 1;
             let pred = t.predict(0xAAA);
             if pred != taken {

@@ -74,13 +74,7 @@ pub mod regs {
 /// rotating accumulator. This is the dense independent work that keeps the
 /// machine busy (UPC ≈ 6) so that oldest-ready-first scheduling starves
 /// younger critical loads — the Figure 1 setup.
-pub fn emit_filler_dot(
-    b: &mut ProgramBuilder,
-    a_base: i64,
-    b_base: i64,
-    elems: i64,
-    val: Reg,
-) {
+pub fn emit_filler_dot(b: &mut ProgramBuilder, a_base: i64, b_base: i64, elems: i64, val: Reg) {
     for e in 0..elems {
         b.load(regs::T1, Reg::ZERO, a_base + 8 * e, 8);
         b.load(regs::T2, Reg::ZERO, b_base + 8 * e, 8);

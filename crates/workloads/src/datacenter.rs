@@ -56,7 +56,7 @@ pub fn moses(input: Input) -> Workload {
     emit_hash_slice(&mut b, R9, R2, R11, 19, (table_slots - 1) as i64);
     b.alu_rr(AluOp::Add, R9, R9, R10);
     b.load(R3, R9, 0, 8); // first probe (delinquent)
-    // Second-stage hash on the probe *result* -> dependent second probe.
+                          // Second-stage hash on the probe *result* -> dependent second probe.
     b.alu_rr(AluOp::Xor, R19, R3, R2);
     emit_hash_slice(&mut b, R9, R19, R11, 13, (table_slots - 1) as i64);
     b.alu_rr(AluOp::Add, R9, R9, R12);
@@ -123,12 +123,12 @@ pub fn memcached(input: Input) -> Workload {
     b.alu_ri(AluOp::Shl, R8, R8, 3);
     b.alu_rr(AluOp::Add, R8, R8, R10);
     b.load(R2, R8, 0, 8); // request key (streaming)
-    // Bucket selection: hash slice -> bucket head (delinquent).
+                          // Bucket selection: hash slice -> bucket head (delinquent).
     emit_hash_slice(&mut b, R9, R2, R12, 16, (buckets - 1) as i64);
     b.alu_rr(AluOp::Add, R9, R9, R11);
     b.load(R1, R9, 0, 8); // bucket head pointer
     b.load(R3, R1, 8, 8); // item key (delinquent, dependent)
-    // Key compare: data-dependent branch (hard).
+                          // Key compare: data-dependent branch (hard).
     b.alu_rr(AluOp::Xor, R18, R3, R2);
     b.alu_ri(AluOp::And, R18, R18, 1);
     let hit = b.label();
@@ -190,15 +190,10 @@ pub fn img_dnn(input: Input) -> Workload {
     b.load(R9, R8, 0, 8); // row offset (streaming)
     b.alu_rr(AluOp::Add, R9, R9, R11);
     b.load(R2, R9, 0, 8); // activation gather (delinquent)
-    // Dense GEMM tile: the ILP that hides most, but not all, latency.
+                          // Dense GEMM tile: the ILP that hides most, but not all, latency.
     emit_filler_dot(&mut b, ARR_A as i64, ARR_B as i64, 22, R2);
     for k in 0..4 {
-        b.fp(
-            Opcode::FMa,
-            regs::ACCS[k],
-            regs::ACCS[k],
-            R2,
-        );
+        b.fp(Opcode::FMa, regs::ACCS[k], regs::ACCS[k], R2);
     }
     // ReLU-ish predictable branch.
     b.alu_ri(AluOp::And, R18, R2, 15);
@@ -268,7 +263,10 @@ mod tests {
         // Every bucket head lies inside the item arena.
         for i in 0..16u64 {
             let head = w.memory.read_u64(TABLE_BASE + 8 * i);
-            assert!((0x9000_0000..0xA000_0000).contains(&head), "bucket {i}: {head:#x}");
+            assert!(
+                (0x9000_0000..0xA000_0000).contains(&head),
+                "bucket {i}: {head:#x}"
+            );
         }
     }
 }

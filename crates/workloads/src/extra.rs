@@ -40,7 +40,7 @@ pub fn omnetpp(input: Input) -> Workload {
     let top = b.label();
     b.bind(top);
     b.load(R2, R1, 8, 8); // event payload (delinquent)
-    // Event handler: dense payload-dependent work.
+                          // Event handler: dense payload-dependent work.
     emit_filler_dot(&mut b, ARR_A as i64, ARR_B as i64, 18, R2);
     // Priority comparison branch on payload bits (moderately hard).
     b.alu_ri(AluOp::And, R18, R2, 3);
@@ -88,7 +88,7 @@ pub fn xalancbmk(input: Input) -> Workload {
     let top = b.label();
     b.bind(top);
     b.load(R2, R1, 16, 8); // node tag (delinquent)
-    // Tag-match "string compare": byte loads from the node text.
+                           // Tag-match "string compare": byte loads from the node text.
     b.load(R18, R1, 24, 1);
     b.load(R19, R1, 25, 1);
     b.alu_rr(AluOp::Xor, R18, R18, R19);
@@ -136,7 +136,11 @@ mod tests {
             .filter(|r| r.addr >= HEAP_BASE && w.program.inst(r.pc).is_load())
             .map(|r| r.addr & !63)
             .collect();
-        assert!(distinct.len() > 300, "heap walk visits many nodes: {}", distinct.len());
+        assert!(
+            distinct.len() > 300,
+            "heap walk visits many nodes: {}",
+            distinct.len()
+        );
     }
 
     #[test]

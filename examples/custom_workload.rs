@@ -10,7 +10,9 @@ use crisp_emu::{Emulator, Memory};
 use crisp_isa::{AluOp, Cond, ProgramBuilder, Reg};
 use crisp_profile::{amat_map, classify_loads, ClassifierConfig};
 use crisp_sim::{SchedulerKind, SimConfig, Simulator};
-use crisp_slicer::{critical_path_filter, extract_slices, Annotator, DepGraph, LatencyModel, SliceConfig};
+use crisp_slicer::{
+    critical_path_filter, extract_slices, Annotator, DepGraph, LatencyModel, SliceConfig,
+};
 use std::collections::HashMap;
 
 fn main() {
@@ -50,7 +52,12 @@ fn main() {
         b.load(t1, Reg::ZERO, 0x10_000 + 8 * e, 8);
         b.mul(t1, t1, key);
         b.alu_rr(AluOp::Xor, t2, t2, t1);
-        b.alu_rr(AluOp::Add, accs[(e % 4) as usize], accs[(e % 4) as usize], t2);
+        b.alu_rr(
+            AluOp::Add,
+            accs[(e % 4) as usize],
+            accs[(e % 4) as usize],
+            t2,
+        );
     }
     b.alu_rr(AluOp::Xor, t1, key, probe);
     b.alu_ri(AluOp::And, t1, t1, 1);
@@ -79,7 +86,10 @@ fn main() {
     );
 
     let delinquent = classify_loads(&profile, &ClassifierConfig::default());
-    println!("delinquent loads: {:?}", delinquent.iter().map(|d| d.pc).collect::<Vec<_>>());
+    println!(
+        "delinquent loads: {:?}",
+        delinquent.iter().map(|d| d.pc).collect::<Vec<_>>()
+    );
 
     let graph = DepGraph::build(&program, &trace);
     let roots: Vec<u32> = delinquent.iter().map(|d| d.pc).collect();

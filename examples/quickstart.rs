@@ -12,7 +12,10 @@ fn main() {
     println!("== CRISP pipeline on `pointer_chase` (Figure 1/2 microbenchmark) ==\n");
     let r = run_crisp_pipeline("pointer_chase", &cfg).expect("registered workload");
 
-    println!("-- profiling (train input, {} instructions) --", cfg.train_instructions);
+    println!(
+        "-- profiling (train input, {} instructions) --",
+        cfg.train_instructions
+    );
     println!(
         "baseline IPC {:.3}, load LLC MPKI {:.1}, branch MPKI {:.2}\n",
         r.profile.ipc(),
@@ -42,7 +45,10 @@ fn main() {
         r.footprint.dynamic_overhead_pct()
     );
 
-    println!("-- evaluation (ref input, {} instructions) --", cfg.eval_instructions);
+    println!(
+        "-- evaluation (ref input, {} instructions) --",
+        cfg.eval_instructions
+    );
     println!(
         "OOO baseline IPC: {:.3}\nCRISP IPC:        {:.3}\nspeedup:          {:+.2}%",
         r.baseline.ipc(),

@@ -55,7 +55,10 @@ fn main() {
     println!("\n== backward slice of the delinquent load (pc {chase}) ==");
     println!("slice pcs: {pcs:?}");
     println!("mean dynamic slice length: {:.1}", slice.mean_dynamic_len);
-    assert!(!slice.pcs.contains(&3), "the accumulate is a forward consumer");
+    assert!(
+        !slice.pcs.contains(&3),
+        "the accumulate is a forward consumer"
+    );
     assert!(
         slice.pcs.contains(&4) && slice.pcs.contains(&6),
         "spill and reload are reached through the memory dependence"

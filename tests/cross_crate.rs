@@ -23,7 +23,12 @@ fn whole_stack_is_deterministic() {
         let w = build("deepsjeng", Input::Ref).expect("registered");
         let trace = Emulator::new(&w.program, w.memory.clone()).run(20_000);
         let res = Simulator::new(SimConfig::skylake()).run(&w.program, &trace, None);
-        (res.cycles, res.retired, res.cond_mispredicts, res.mem.load_llc_misses)
+        (
+            res.cycles,
+            res.retired,
+            res.cond_mispredicts,
+            res.mem.load_llc_misses,
+        )
     };
     assert_eq!(run_once(), run_once());
 }
@@ -86,8 +91,11 @@ fn all_workloads_simulate_cleanly_under_crisp_with_everything_tagged() {
         let w = build(name, Input::Train).expect("registered");
         let trace = Emulator::new(&w.program, w.memory.clone()).run(10_000);
         let critical = vec![true; w.program.len()];
-        let res = Simulator::new(SimConfig::skylake().with_scheduler(SchedulerKind::Crisp))
-            .run(&w.program, &trace, Some(&critical));
+        let res = Simulator::new(SimConfig::skylake().with_scheduler(SchedulerKind::Crisp)).run(
+            &w.program,
+            &trace,
+            Some(&critical),
+        );
         assert_eq!(res.retired, trace.len() as u64, "{name}");
     }
 }

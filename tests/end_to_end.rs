@@ -1,9 +1,7 @@
 //! End-to-end integration tests: the full CRISP FDO pipeline against the
 //! paper's headline claims, on small simulation windows.
 
-use crisp_core::{
-    run_crisp_pipeline, run_ibda, ClassifierConfig, IbdaConfig, PipelineConfig,
-};
+use crisp_core::{run_crisp_pipeline, run_ibda, ClassifierConfig, IbdaConfig, PipelineConfig};
 
 fn small() -> PipelineConfig {
     PipelineConfig {
@@ -90,8 +88,7 @@ fn critical_budget_is_respected() {
     // Dynamic critical share stays under the 40% budget (Section 3.2).
     let total: u64 = r.footprint.dynamic_bytes_base; // proxy via bytes
     assert!(total > 0);
-    let share = r.footprint.critical_dynamic as f64
-        / r.profile.retired.max(1) as f64;
+    let share = r.footprint.critical_dynamic as f64 / r.profile.retired.max(1) as f64;
     assert!(
         share <= 0.45,
         "dynamic critical share {share:.2} exceeds the budget"

@@ -1,0 +1,184 @@
+//! Fault-injection integration suite: corrupted, stale and truncated
+//! inputs must degrade gracefully — complete without panicking, retire
+//! every instruction, and (for advisory-hint damage) stay close to the
+//! clean baseline's IPC. The criticality bit is a *hint*; no damage to it
+//! may become a correctness problem.
+
+use crisp_core::faults;
+use crisp_core::{build, run_crisp_pipeline, Input, PipelineConfig, SchedulerKind, SimConfig};
+use crisp_emu::Emulator;
+use crisp_sim::{SimError, Simulator};
+use crisp_slicer::CriticalityMap;
+
+fn quick_cfg() -> PipelineConfig {
+    PipelineConfig {
+        train_instructions: 60_000,
+        eval_instructions: 80_000,
+        ..PipelineConfig::paper()
+    }
+}
+
+/// A workload's eval binary, trace and clean-baseline result, shared by
+/// the corruption scenarios.
+struct Bench {
+    program: crisp_isa::Program,
+    trace: crisp_isa::Trace,
+    clean_ipc: f64,
+    retired: u64,
+}
+
+fn bench(name: &str) -> Bench {
+    let w = build(name, Input::Ref).expect("registered workload");
+    let trace = Emulator::new(&w.program, w.memory.clone()).run(80_000);
+    let sim = Simulator::new(SimConfig::skylake().with_scheduler(SchedulerKind::Crisp));
+    let clean = sim
+        .run_tolerant(&w.program, &trace, &vec![false; w.program.len()])
+        .expect("clean run");
+    Bench {
+        program: w.program,
+        trace,
+        clean_ipc: clean.ipc(),
+        retired: clean.retired,
+    }
+}
+
+fn crisp_sim_for(b: &Bench) -> Simulator {
+    let _ = b;
+    Simulator::new(SimConfig::skylake().with_scheduler(SchedulerKind::Crisp))
+}
+
+/// A plausible "real" annotation to corrupt: the actual pipeline output.
+fn genuine_map(name: &str) -> CriticalityMap {
+    run_crisp_pipeline(name, &quick_cfg())
+        .expect("pipeline runs")
+        .map
+}
+
+#[test]
+fn bit_flipped_maps_never_crash_and_retire_everything() {
+    let b = bench("pointer_chase");
+    let map = genuine_map("pointer_chase");
+    let sim = crisp_sim_for(&b);
+    for seed in 0..16 {
+        let damaged = faults::flip_bits(&map, map.len() / 4 + 1, seed);
+        let res = sim
+            .run_tolerant(&b.program, &b.trace, damaged.as_slice())
+            .unwrap_or_else(|e| panic!("seed {seed}: corrupted map broke the run: {e}"));
+        assert_eq!(res.retired, b.retired, "seed {seed}: lost instructions");
+    }
+}
+
+#[test]
+fn randomly_remapped_tags_never_crash() {
+    let b = bench("mcf");
+    let map = genuine_map("mcf");
+    let sim = crisp_sim_for(&b);
+    for seed in 0..8 {
+        let damaged = faults::remap_pcs(&map, seed);
+        let res = sim
+            .run_tolerant(&b.program, &b.trace, damaged.as_slice())
+            .unwrap_or_else(|e| panic!("seed {seed}: remapped tags broke the run: {e}"));
+        assert_eq!(res.retired, b.retired);
+    }
+}
+
+#[test]
+fn truncated_maps_never_crash() {
+    let b = bench("pointer_chase");
+    let map = genuine_map("pointer_chase");
+    let sim = crisp_sim_for(&b);
+    for len in [0, 1, map.len() / 2, map.len().saturating_sub(1)] {
+        let cut = faults::truncate_map(&map, len);
+        let res = sim
+            .run_tolerant(&b.program, &b.trace, cut.as_slice())
+            .unwrap_or_else(|e| panic!("len {len}: truncated map broke the run: {e}"));
+        assert_eq!(res.retired, b.retired);
+    }
+}
+
+#[test]
+fn stale_profile_stays_within_five_percent_of_baseline() {
+    // Tags computed for one binary forced onto a different one: wrong
+    // hints may cost (or accidentally gain) a little performance but must
+    // stay within the paper's noise band.
+    let b = bench("mcf");
+    let donor = genuine_map("pointer_chase"); // annotation of another binary
+    let stale = faults::stale_map(&donor, b.program.len());
+    let sim = crisp_sim_for(&b);
+    let res = sim
+        .run_tolerant(&b.program, &b.trace, stale.as_slice())
+        .expect("stale map must not break the run");
+    assert_eq!(res.retired, b.retired);
+    let delta = (res.ipc() - b.clean_ipc).abs() / b.clean_ipc;
+    assert!(
+        delta < 0.05,
+        "stale tags moved IPC by {:.2}% (clean {:.3}, stale {:.3})",
+        delta * 100.0,
+        b.clean_ipc,
+        res.ipc()
+    );
+}
+
+#[test]
+fn stale_bits_beyond_the_program_are_ignored() {
+    // A map longer than the binary: the excess bits must have zero effect,
+    // cycle for cycle.
+    let b = bench("pointer_chase");
+    let map = genuine_map("pointer_chase");
+    let sim = crisp_sim_for(&b);
+    let mut long_bits = map.as_slice().to_vec();
+    long_bits.extend(std::iter::repeat_n(true, 1000));
+    let with_excess = sim
+        .run_tolerant(&b.program, &b.trace, &long_bits)
+        .expect("oversized map runs");
+    let exact = sim
+        .run_tolerant(&b.program, &b.trace, map.as_slice())
+        .expect("exact map runs");
+    assert_eq!(with_excess.cycles, exact.cycles);
+    assert_eq!(with_excess.retired, exact.retired);
+}
+
+#[test]
+fn empty_map_runs_cleanly() {
+    let b = bench("pointer_chase");
+    let sim = crisp_sim_for(&b);
+    let res = sim
+        .run_tolerant(&b.program, &b.trace, CriticalityMap::new(0).as_slice())
+        .expect("empty map is the all-non-critical map");
+    assert_eq!(res.retired, b.retired);
+}
+
+#[test]
+fn truncated_traces_simulate_cleanly_at_any_cut() {
+    let b = bench("pointer_chase");
+    let sim = crisp_sim_for(&b);
+    let map = vec![true; b.program.len()];
+    for len in [0, 1, 7, b.trace.len() / 3, b.trace.len() - 1] {
+        let cut = faults::truncate_trace(&b.trace, len);
+        let res = sim
+            .run_tolerant(&b.program, &cut, &map)
+            .unwrap_or_else(|e| panic!("cut at {len}: truncated trace broke the run: {e}"));
+        assert_eq!(res.retired, cut.len() as u64);
+    }
+}
+
+#[test]
+fn injected_scheduler_deadlock_is_caught_with_a_dump() {
+    let b = bench("pointer_chase");
+    let mut cfg = SimConfig::skylake();
+    cfg.freeze_scheduler_after = Some(50);
+    cfg.watchdog_cycles = 20_000;
+    let err = Simulator::new(cfg)
+        .try_run(&b.program, &b.trace, None)
+        .expect_err("a frozen scheduler must trip the watchdog");
+    let SimError::Deadlock(report) = err else {
+        panic!("expected a deadlock report, got: {err}");
+    };
+    assert!(report.retired >= 50 && report.retired < b.retired);
+    // The dump carries the forensic details the issue demands.
+    let dump = report.to_string();
+    assert!(dump.contains("simulator deadlock at cycle"));
+    assert!(dump.contains("ROB head"));
+    assert!(dump.contains("occupancy"));
+    assert!(dump.contains("oldest unissued"));
+}

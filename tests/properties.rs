@@ -1,7 +1,7 @@
 //! Property-based tests of cross-crate invariants (proptest).
 
 use crisp_emu::{Emulator, Memory};
-use crisp_isa::{AluOp, Cond, DynInst, ProgramBuilder, Program, Reg, Trace};
+use crisp_isa::{AluOp, Cond, DynInst, Program, ProgramBuilder, Reg, Trace};
 use crisp_sim::{AgeMatrix, BitSet, SchedulerKind, SimConfig, Simulator};
 use crisp_slicer::{critical_path_filter, extract_slices, DepGraph, LatencyModel, SliceConfig};
 use proptest::prelude::*;
@@ -43,8 +43,56 @@ fn arb_program() -> impl Strategy<Value = Program> {
     })
 }
 
+/// Random machine geometries spanning both valid and degenerate shapes
+/// (zero widths, RS larger than ROB, missing ports, ...).
+fn arb_sim_config() -> impl Strategy<Value = SimConfig> {
+    (
+        (0usize..8, 0usize..8, 0usize..12),
+        (0usize..48, 0usize..48, 0usize..12, 0usize..12),
+        (0usize..5, 0usize..4, 0usize..4, 0usize..16),
+    )
+        .prop_map(
+            |((fetch, retire, issue), (rob, rs, lb, sb), (alu, lp, sp, fq))| {
+                let mut c = SimConfig::skylake();
+                c.fetch_width = fetch;
+                c.retire_width = retire;
+                c.issue_width = issue;
+                c.rob_entries = rob;
+                c.rs_entries = rs;
+                c.load_buffer = lb;
+                c.store_buffer = sb;
+                c.alu_ports = alu;
+                c.load_ports = lp;
+                c.store_ports = sp;
+                c.fetch_queue_entries = fq;
+                c
+            },
+        )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The validator's contract: any `SimConfig` it accepts completes a
+    /// 10k-instruction run without panicking (and retires everything); any
+    /// config it rejects names the offending field with a message.
+    #[test]
+    fn validated_configs_always_complete(cfg in arb_sim_config(), p in arb_program()) {
+        match cfg.validate() {
+            Ok(()) => {
+                let trace = Emulator::new(&p, Memory::new()).run(10_000);
+                let res = Simulator::try_new(cfg)
+                    .expect("validate() passed, try_new must agree")
+                    .try_run(&p, &trace, None)
+                    .expect("validated machine must complete the run");
+                prop_assert_eq!(res.retired, trace.len() as u64);
+            }
+            Err(e) => {
+                prop_assert!(!e.field.is_empty(), "rejection must name a field");
+                prop_assert!(!e.message.is_empty(), "rejection must explain: {}", e);
+            }
+        }
+    }
 
     /// The emulator is deterministic and traces have coherent control flow
     /// (each record's next_pc matches the following record's pc).

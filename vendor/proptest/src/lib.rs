@@ -1,0 +1,416 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate, vendored
+//! so the workspace builds without network access. It keeps the same
+//! surface the tests use — [`Strategy`], `prop_map`, range/tuple/vec
+//! strategies, [`arbitrary::any`], [`sample::subsequence`], the
+//! [`proptest!`] macro and `prop_assert*` — but samples deterministically:
+//! each test function derives its RNG stream from its own name, so runs
+//! are reproducible without a persisted regression file.
+//!
+//! There is no shrinking. On failure the standard assert message plus the
+//! deterministic case index is enough to replay: the same binary re-runs
+//! the identical sequence.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    /// Runner configuration (only the knobs the tests set).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test function.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` generated inputs per test.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 32 }
+        }
+    }
+
+    /// SplitMix64 stream used to drive all strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Derives a reproducible stream from a test name.
+        pub fn deterministic(name: &str) -> TestRng {
+            // FNV-1a over the name keeps distinct tests on distinct streams.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            let zone = u64::MAX - (u64::MAX % n);
+            loop {
+                let v = self.next_u64();
+                if v < zone {
+                    return v % n;
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A recipe for generating values of an associated type.
+    ///
+    /// Unlike the real crate there is no value tree: `generate` yields a
+    /// plain value and failures do not shrink.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = self.end.wrapping_sub(self.start) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// Strategy for `any::<T>()` (full-range uniform values).
+    pub struct Any<T> {
+        pub(crate) _marker: PhantomData<T>,
+    }
+
+    macro_rules! impl_any {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_any!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Any;
+    use std::marker::PhantomData;
+
+    /// Uniform strategy over the whole domain of `T`.
+    pub fn any<T>() -> Any<T> {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for vectors with element strategy `S` and a length range.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec`s whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "cannot sample empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy yielding order-preserving subsequences of a base vector.
+    #[derive(Clone, Debug)]
+    pub struct Subsequence<T: Clone> {
+        base: Vec<T>,
+        size: Range<usize>,
+    }
+
+    /// Picks a subsequence of `base` (original order preserved) whose
+    /// length falls in `size`, clamped to the base length.
+    pub fn subsequence<T: Clone>(base: Vec<T>, size: Range<usize>) -> Subsequence<T> {
+        assert!(size.start < size.end, "cannot sample empty size range");
+        assert!(
+            size.start <= base.len(),
+            "minimum subsequence length exceeds base vector length"
+        );
+        Subsequence { base, size }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let hi = self.size.end.min(self.base.len() + 1);
+            let span = (hi - self.size.start) as u64;
+            let len = self.size.start + rng.below(span.max(1)) as usize;
+            // Floyd-style sample of `len` distinct indices, then sort to
+            // preserve the base order.
+            let mut picked: Vec<usize> = Vec::with_capacity(len);
+            let n = self.base.len();
+            for j in (n - len)..n {
+                let t = rng.below((j + 1) as u64) as usize;
+                if picked.contains(&t) {
+                    picked.push(j);
+                } else {
+                    picked.push(t);
+                }
+            }
+            picked.sort_unstable();
+            picked.into_iter().map(|i| self.base[i].clone()).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that repeats `body` for `config.cases` generated
+/// inputs, on a stream derived deterministically from the test name.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr);) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng =
+                $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for case in 0..config.cases {
+                let ($($arg,)+) = (
+                    $($crate::strategy::Strategy::generate(&($strategy), &mut rng),)+
+                );
+                let run = || -> () { $body };
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(run),
+                );
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed (deterministic stream)",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        let strat = (0u8..5, 1u8..28, 0i64..64);
+        for _ in 0..500 {
+            let (a, b, c) = strat.generate(&mut rng);
+            assert!(a < 5);
+            assert!((1..28).contains(&b));
+            assert!((0..64).contains(&c));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_size_range() {
+        let mut rng = TestRng::deterministic("vec");
+        let strat = crate::collection::vec(0u8..10, 5..60);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((5..60).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn subsequence_preserves_order_and_distinctness() {
+        let mut rng = TestRng::deterministic("subseq");
+        let base: Vec<usize> = (0..32).collect();
+        let strat = crate::sample::subsequence(base, 1..20);
+        for _ in 0..300 {
+            let v = strat.generate(&mut rng);
+            assert!((1..20).contains(&v.len()));
+            for w in v.windows(2) {
+                assert!(w[0] < w[1], "order not preserved: {v:?}");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro itself compiles, loops, and binds multiple args.
+        #[test]
+        fn macro_smoke(x in 0u32..100, y in any::<u64>()) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(y, y);
+        }
+    }
+}
