@@ -1,0 +1,206 @@
+//! The supervised experiment runner: `crisp bench` with crash isolation,
+//! deadlines, retries and resumable manifests.
+//!
+//! ```text
+//! Usage: crisp-bench [OPTIONS] [TARGETS...]
+//!
+//! Targets: table1 fig1 fig4 fig7 fig8 fig9 fig10 fig11 fig12 ablations all
+//!          (default: all)
+//!
+//! Options:
+//!   --fast               Fast scale (smaller sim windows)
+//!   --tiny               Tiny scale (smoke runs only)
+//!   --jobs N             Worker threads (default 1)
+//!   --deadline SECS      Per-attempt wall-clock deadline (fractional ok)
+//!   --max-retries K      Retries per job for transient failures (default 3)
+//!   --manifest PATH      Journal every attempt to a JSONL run manifest
+//!   --resume PATH        Resume an interrupted sweep from its manifest
+//!                        (implies --manifest PATH; flags must match)
+//!   --workloads A,B,C    Only run these workloads
+//!   --inject-panic SUB   Chaos: panic on attempt 1 of jobs whose id
+//!                        contains SUB (repeatable)
+//!   --inject-stall SUB   Chaos: freeze the scheduler in jobs whose id
+//!                        contains SUB so the watchdog fires (repeatable)
+//!   --quiet              Suppress per-job progress lines
+//! ```
+//!
+//! Exit codes: 0 = every cell completed; 2 = usage error; 5 = supervisor
+//! failure (bad manifest, injected crash fired); 6 = completed **degraded**
+//! (some cells failed permanently; reports carry `[DEGRADED]` annotations
+//! and a failure taxonomy — partial results were salvaged).
+
+use crisp_bench::sweep::{run_supervised_sweep, sweep_spec, SweepConfig};
+use crisp_bench::{all_targets, ExperimentScale};
+use crisp_harness::RetryPolicy;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const EXIT_USAGE: u8 = 2;
+const EXIT_SUPERVISOR: u8 = 5;
+const EXIT_DEGRADED: u8 = 6;
+
+const KNOWN_TARGETS: [&str; 11] = [
+    "table1",
+    "fig1",
+    "fig4",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "ablations",
+    "all",
+];
+
+fn usage() {
+    eprintln!(
+        "usage: crisp-bench [--fast|--tiny] [--jobs N] [--deadline SECS] [--max-retries K]\n\
+         \x20                  [--manifest PATH] [--resume PATH] [--workloads A,B,C]\n\
+         \x20                  [--inject-panic SUB] [--inject-stall SUB] [--quiet] [{}]",
+        KNOWN_TARGETS.join("|")
+    );
+}
+
+struct UsageError(String);
+
+fn parse_args(args: &[String]) -> Result<SweepConfig, UsageError> {
+    let mut cfg = SweepConfig {
+        scale: ExperimentScale::Full,
+        targets: Vec::new(),
+        ..SweepConfig::default()
+    };
+    cfg.progress = true;
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.iter().peekable();
+    let value = |it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
+                 flag: &str|
+     -> Result<String, UsageError> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| UsageError(format!("{flag} requires a value")))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fast" => cfg.scale = ExperimentScale::Fast,
+            "--tiny" => cfg.scale = ExperimentScale::Tiny,
+            "--quiet" => cfg.progress = false,
+            "--jobs" => {
+                let v = value(&mut it, "--jobs")?;
+                cfg.workers = v.parse::<usize>().ok().filter(|n| *n > 0).ok_or_else(|| {
+                    UsageError(format!("--jobs expects a positive integer, got `{v}`"))
+                })?;
+            }
+            "--deadline" => {
+                let v = value(&mut it, "--deadline")?;
+                let secs = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|s| s.is_finite() && *s > 0.0)
+                    .ok_or_else(|| {
+                        UsageError(format!("--deadline expects positive seconds, got `{v}`"))
+                    })?;
+                cfg.deadline = Some(Duration::from_secs_f64(secs));
+            }
+            "--max-retries" => {
+                let v = value(&mut it, "--max-retries")?;
+                cfg.retry = RetryPolicy {
+                    max_retries: v.parse::<u32>().map_err(|_| {
+                        UsageError(format!("--max-retries expects an integer, got `{v}`"))
+                    })?,
+                    ..RetryPolicy::default()
+                };
+            }
+            "--manifest" => cfg.manifest = Some(PathBuf::from(value(&mut it, "--manifest")?)),
+            "--resume" => {
+                cfg.manifest = Some(PathBuf::from(value(&mut it, "--resume")?));
+                cfg.resume = true;
+            }
+            "--workloads" => {
+                let v = value(&mut it, "--workloads")?;
+                cfg.workloads = Some(
+                    v.split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                );
+            }
+            "--inject-panic" => cfg.chaos.panic_once.push(value(&mut it, "--inject-panic")?),
+            "--inject-stall" => cfg.chaos.stall.push(value(&mut it, "--inject-stall")?),
+            other if other.starts_with('-') => {
+                return Err(UsageError(format!("unknown flag: {other}")));
+            }
+            target => {
+                if !KNOWN_TARGETS.contains(&target) {
+                    return Err(UsageError(format!("unknown target: {target}")));
+                }
+                targets.push(target.to_string());
+            }
+        }
+    }
+    cfg.targets = if targets.is_empty() || targets.iter().any(|t| t == "all") {
+        all_targets()
+    } else {
+        // Keep canonical render order regardless of argument order.
+        all_targets()
+            .into_iter()
+            .filter(|t| targets.contains(t))
+            .collect()
+    };
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(UsageError(msg)) => {
+            eprintln!("crisp-bench: {msg}");
+            usage();
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+
+    if cfg.progress {
+        eprintln!("[crisp-bench] sweep: {}", sweep_spec(&cfg));
+    }
+    let out = match run_supervised_sweep(&cfg) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("crisp-bench: {e}");
+            return ExitCode::from(EXIT_SUPERVISOR);
+        }
+    };
+
+    if out.report.crashed {
+        eprintln!(
+            "crisp-bench: sweep crashed mid-manifest; resume with --resume {}",
+            cfg.manifest
+                .as_ref()
+                .map_or_else(|| "<manifest>".to_string(), |p| p.display().to_string())
+        );
+        return ExitCode::from(EXIT_SUPERVISOR);
+    }
+
+    print!("{}", out.rendered);
+
+    let report = &out.report;
+    eprintln!(
+        "[crisp-bench] {} of {} jobs completed ({} restored from manifest)",
+        report.completed(),
+        report.outcomes.len(),
+        report.resumed
+    );
+    if out.degraded() {
+        eprintln!(
+            "[crisp-bench] DEGRADED: {} job(s) failed permanently:",
+            report.failed()
+        );
+        for (class, ids) in report.taxonomy() {
+            eprintln!("[crisp-bench]   {class}: {}", ids.join(", "));
+        }
+        return ExitCode::from(EXIT_DEGRADED);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,4 +1,8 @@
-//! Regenerates the paper's tables and figures.
+//! Regenerates the paper's tables and figures — the legacy *serial,
+//! fail-fast* entry point. For long sweeps prefer the `crisp-bench`
+//! binary, which runs the same cells under the crisp-harness supervisor
+//! (parallel workers, deadlines, retries, resumable manifests, degraded
+//! salvage).
 //!
 //! ```text
 //! Usage: figures [--fast] [fig1|fig4|fig7|fig8|fig9|fig10|fig11|fig12|table1|ablations|all]

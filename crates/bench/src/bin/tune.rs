@@ -1,26 +1,77 @@
 //! Internal tuning tool: prints per-workload pipeline diagnostics.
-use crisp_bench::ExperimentScale;
-use crisp_core::{run_crisp_pipeline, PipelineConfig, SliceMode};
+//!
+//! Environment knobs: `CP_FRAC` (critical-path keep fraction), `BUDGET`
+//! (annotator dynamic-ratio budget), `ABLATE` (set to also run the
+//! loads-only / branches-only slice modes).
+//!
+//! Exit codes follow the `crisp` CLI convention: 0 = every workload
+//! succeeded, 3 = unknown workload, 4 = bad configuration (including a
+//! malformed environment variable), 5 = runtime failure. Per-workload
+//! errors are printed and the run continues; the exit code reflects the
+//! first error encountered.
 
-fn main() {
+use crisp_core::{run_crisp_pipeline, ConfigError, CrispError, PipelineConfig, SliceMode};
+use std::process::ExitCode;
+
+const EXIT_UNKNOWN_WORKLOAD: u8 = 3;
+const EXIT_BAD_CONFIG: u8 = 4;
+const EXIT_RUNTIME: u8 = 5;
+
+fn exit_code_for(e: &CrispError) -> u8 {
+    match e {
+        CrispError::UnknownWorkload(_) => EXIT_UNKNOWN_WORKLOAD,
+        CrispError::Config(_) => EXIT_BAD_CONFIG,
+        _ => EXIT_RUNTIME,
+    }
+}
+
+/// Parses an `f64` environment override, naming the variable on failure.
+fn env_f64(var: &'static str) -> Result<Option<f64>, CrispError> {
+    match std::env::var(var) {
+        Ok(raw) => raw.trim().parse::<f64>().map(Some).map_err(|_| {
+            CrispError::Config(ConfigError::new(
+                var,
+                format!("expects a number, got `{raw}`"),
+            ))
+        }),
+        Err(_) => Ok(None),
+    }
+}
+
+fn build_config() -> Result<PipelineConfig, CrispError> {
+    let mut cfg = PipelineConfig {
+        train_instructions: 150_000,
+        eval_instructions: 250_000,
+        ..PipelineConfig::paper()
+    };
+    if let Some(f) = env_f64("CP_FRAC")? {
+        cfg.critical_path_fraction = f;
+    }
+    if let Some(b) = env_f64("BUDGET")? {
+        cfg.annotator.max_dynamic_ratio = b;
+    }
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let names: Vec<&str> = if args.is_empty() {
         crisp_core::all_names().to_vec()
     } else {
         args.iter().map(String::as_str).collect()
     };
-    let _ = ExperimentScale::Fast;
-    let mut cfg = PipelineConfig {
-        train_instructions: 150_000,
-        eval_instructions: 250_000,
-        ..PipelineConfig::paper()
+    let cfg = match build_config() {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("tune: {e}");
+            return ExitCode::from(exit_code_for(&e));
+        }
     };
-    if let Ok(f) = std::env::var("CP_FRAC") {
-        cfg.critical_path_fraction = f.parse().expect("CP_FRAC");
-    }
-    if let Ok(b) = std::env::var("BUDGET") {
-        cfg.annotator.max_dynamic_ratio = b.parse().expect("BUDGET");
-    }
+    let mut first_error: Option<u8> = None;
+    let mut record = |e: &CrispError| {
+        first_error.get_or_insert(exit_code_for(e));
+    };
     for name in names {
         match run_crisp_pipeline(name, &cfg) {
             Ok(r) => {
@@ -50,12 +101,24 @@ fn main() {
                             mode,
                             ..cfg.clone()
                         };
-                        let r2 = run_crisp_pipeline(name, &c2).expect("ablate");
-                        println!("    mode {:?}: {:+.2}%", mode, r2.speedup_pct());
+                        match run_crisp_pipeline(name, &c2) {
+                            Ok(r2) => println!("    mode {:?}: {:+.2}%", mode, r2.speedup_pct()),
+                            Err(e) => {
+                                println!("    mode {mode:?}: ERROR {e}");
+                                record(&e);
+                            }
+                        }
                     }
                 }
             }
-            Err(e) => println!("{name}: ERROR {e}"),
+            Err(e) => {
+                println!("{name}: ERROR {e}");
+                record(&e);
+            }
         }
+    }
+    match first_error {
+        None => ExitCode::SUCCESS,
+        Some(code) => ExitCode::from(code),
     }
 }

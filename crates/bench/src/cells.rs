@@ -1,0 +1,379 @@
+//! Sweep cells: the unit of supervised execution.
+//!
+//! Every paper figure decomposes into independent (workload, config)
+//! *cells*; each cell is one [`JobSpec`] (`<figure>/<workload>`) whose
+//! runner returns a flat `Vec<f64>` payload. The payload layouts are
+//! documented on the per-figure cell functions below and are versioned by
+//! [`CELL_FORMAT`] — bump it when a layout changes, so `--resume` refuses
+//! stale manifests via the spec fingerprint instead of rendering garbage.
+
+use crate::experiments::{figure_workloads, ExperimentScale};
+use crisp_core::SchedulerKind;
+use crisp_core::{
+    build, run_crisp_pipeline, run_ibda_many, ClassifierConfig, ConfigError, CrispError,
+    IbdaConfig, Input, PipelineConfig, SimConfig, SliceConfig, SliceMode,
+};
+use crisp_emu::Emulator;
+use crisp_harness::{JobSpec, RunContext};
+use crisp_sim::Simulator;
+
+/// Cell payload-format version, embedded in every job spec.
+pub const CELL_FORMAT: &str = "cells-v1";
+
+/// Figure targets that decompose into cells, in report order.
+pub const FIGURES: [&str; 9] = [
+    "fig1",
+    "fig4",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "ablations",
+];
+
+/// The workload subset the ablation studies use (DESIGN.md).
+pub(crate) const ABLATION_SUBSET: [&str; 6] =
+    ["pointer_chase", "mcf", "lbm", "xhpcg", "namd", "moses"];
+
+/// Workloads a figure sweeps over, in render order.
+pub fn cell_workloads(figure: &str) -> Vec<&'static str> {
+    match figure {
+        "fig1" => vec!["pointer_chase"],
+        "ablations" => ABLATION_SUBSET.to_vec(),
+        _ => figure_workloads(),
+    }
+}
+
+/// Builds the job list for one figure, optionally filtered to a workload
+/// subset (unknown filter names simply match nothing).
+pub fn catalog(figure: &str, scale: ExperimentScale, workloads: Option<&[String]>) -> Vec<JobSpec> {
+    cell_workloads(figure)
+        .into_iter()
+        .filter(|w| workloads.is_none_or(|f| f.iter().any(|x| x == w)))
+        .map(|w| cell_spec(figure, w, scale))
+        .collect()
+}
+
+/// The [`JobSpec`] for one cell.
+pub fn cell_spec(figure: &str, workload: &str, scale: ExperimentScale) -> JobSpec {
+    let id = format!("{figure}/{workload}");
+    let spec = format!("{id} scale={scale:?} {CELL_FORMAT}");
+    JobSpec::new(id, spec)
+}
+
+/// Splits `<figure>/<workload>` back into its parts.
+pub fn split_id(id: &str) -> Option<(&str, &str)> {
+    id.split_once('/')
+}
+
+/// Threads the attempt's cancellation token (and, under chaos injection,
+/// a scheduler freeze that forces a watchdog deadlock) into a simulator
+/// config. Every `SimConfig` a cell builds must pass through here, or the
+/// deadline would not reach that simulation.
+fn arm(sim: &mut SimConfig, ctx: &RunContext, stall: bool) {
+    sim.cancel = Some(ctx.cancel.clone());
+    if stall {
+        sim.freeze_scheduler_after = Some(500);
+        sim.watchdog_cycles = 20_000;
+    }
+}
+
+/// Runs one cell to its payload.
+///
+/// `stall` is the chaos-injection hook (`--inject-stall`): it freezes the
+/// scheduler early so the watchdog fires, exercising the deadlock-retry
+/// path end to end.
+///
+/// # Errors
+///
+/// Any pipeline error; a malformed job id is a [`CrispError::Config`]
+/// (deterministic, so the supervisor fails it fast).
+pub fn run_cell(
+    job: &JobSpec,
+    ctx: &RunContext,
+    scale: ExperimentScale,
+    stall: bool,
+) -> Result<Vec<f64>, CrispError> {
+    let (figure, workload) = split_id(&job.id).ok_or_else(|| {
+        CrispError::Config(ConfigError::new(
+            "cell",
+            format!("malformed job id `{}`", job.id),
+        ))
+    })?;
+    let mut cfg = scale.pipeline();
+    arm(&mut cfg.sim, ctx, stall);
+    match figure {
+        "fig1" => cell_fig1(workload, &cfg),
+        "fig4" => cell_fig4(workload, &cfg),
+        "fig7" => cell_fig7(workload, &cfg),
+        "fig8" => cell_fig8(workload, &cfg),
+        "fig9" => cell_fig9(workload, &cfg, ctx, stall),
+        "fig10" => cell_fig10(workload, &cfg),
+        "fig11" => cell_fig11(workload, &cfg),
+        "fig12" => cell_fig12(workload, &cfg),
+        "ablations" => cell_ablations(workload, &cfg),
+        other => Err(CrispError::Config(ConfigError::new(
+            "cell",
+            format!("unknown figure `{other}` in job id `{}`", job.id),
+        ))),
+    }
+}
+
+/// Figure 1 payload: `[ooo_ipc, crisp_ipc, speedup_pct, k,
+/// ooo_upc[0..k], crisp_upc[0..k]]` (UPC timeline, k buckets).
+fn cell_fig1(name: &str, cfg: &PipelineConfig) -> Result<Vec<f64>, CrispError> {
+    let w = build(name, Input::Ref)?;
+    let trace = Emulator::new(&w.program, w.memory.clone()).run(cfg.eval_instructions / 2);
+
+    // Profile + annotate via the pipeline on the train input.
+    let pres = run_crisp_pipeline(name, cfg)?;
+
+    let mut sim_cfg = cfg.sim.clone();
+    sim_cfg.record_upc_timeline = true;
+    sim_cfg.collect_pc_stats = false;
+    let ooo = Simulator::try_new(
+        sim_cfg
+            .clone()
+            .with_scheduler(SchedulerKind::OldestReadyFirst),
+    )?
+    .try_run(&w.program, &trace, None)?;
+    let crisp = Simulator::try_new(sim_cfg.with_scheduler(SchedulerKind::Crisp))?.try_run(
+        &w.program,
+        &trace,
+        Some(pres.map.as_slice()),
+    )?;
+
+    let buckets = 60;
+    let ooo_series = ooo.upc.bucketed(buckets);
+    let crisp_series = crisp.upc.bucketed(buckets);
+    let k = buckets.min(ooo_series.len()).min(crisp_series.len());
+    let mut payload = vec![ooo.ipc(), crisp.ipc(), crisp.speedup_over(&ooo), k as f64];
+    payload.extend_from_slice(&ooo_series[..k]);
+    payload.extend_from_slice(&crisp_series[..k]);
+    Ok(payload)
+}
+
+/// Figure 4 payload: `[mean_load_slice_len, n_load_slices]`.
+fn cell_fig4(name: &str, cfg: &PipelineConfig) -> Result<Vec<f64>, CrispError> {
+    let r = run_crisp_pipeline(name, cfg)?;
+    Ok(vec![r.mean_load_slice_len(), r.load_slices.len() as f64])
+}
+
+/// Figure 7 payload: `[crisp_pct, ibda_1k_pct, ibda_8k_pct, ibda_64k_pct,
+/// ibda_inf_pct]` (IPC improvement over the OOO baseline).
+fn cell_fig7(name: &str, cfg: &PipelineConfig) -> Result<Vec<f64>, CrispError> {
+    let r = run_crisp_pipeline(name, cfg)?;
+    let base_ipc = r.baseline.ipc();
+    let mut payload = vec![r.speedup_pct()];
+    let ists = [
+        IbdaConfig::ist_1k(),
+        IbdaConfig::ist_8k(),
+        IbdaConfig::ist_64k(),
+        IbdaConfig::ist_infinite(),
+    ];
+    for ir in run_ibda_many(name, &ists, cfg)? {
+        payload.push((ir.result.ipc() / base_ipc - 1.0) * 100.0);
+    }
+    Ok(payload)
+}
+
+/// Figure 8 payload: `[loads_pct, branches_pct, both_pct]`.
+fn cell_fig8(name: &str, cfg: &PipelineConfig) -> Result<Vec<f64>, CrispError> {
+    let mut payload = Vec::with_capacity(3);
+    for mode in [
+        SliceMode::LoadsOnly,
+        SliceMode::BranchesOnly,
+        SliceMode::Both,
+    ] {
+        let c = PipelineConfig {
+            mode,
+            ..cfg.clone()
+        };
+        let r = run_crisp_pipeline(name, &c)?;
+        payload.push(r.speedup_pct());
+    }
+    Ok(payload)
+}
+
+/// Figure 9 payload: `[pct_64_180, pct_96_224, pct_144_336, pct_192_448]`
+/// (speedup per RS/ROB window).
+fn cell_fig9(
+    name: &str,
+    cfg: &PipelineConfig,
+    ctx: &RunContext,
+    stall: bool,
+) -> Result<Vec<f64>, CrispError> {
+    let windows = [(64usize, 180usize), (96, 224), (144, 336), (192, 448)];
+    let mut payload = Vec::with_capacity(windows.len());
+    for (rs, rob) in windows {
+        // `with_window` builds a fresh SimConfig, so re-arm it.
+        let mut sim = SimConfig::with_window(rs, rob);
+        arm(&mut sim, ctx, stall);
+        let c = PipelineConfig { sim, ..cfg.clone() };
+        let r = run_crisp_pipeline(name, &c)?;
+        payload.push(r.speedup_pct());
+    }
+    Ok(payload)
+}
+
+/// Figure 10 payload: `[pct_t5, pct_t1, pct_t02]` (miss-contribution
+/// threshold sensitivity).
+fn cell_fig10(name: &str, cfg: &PipelineConfig) -> Result<Vec<f64>, CrispError> {
+    let mut payload = Vec::with_capacity(3);
+    for thr in [0.05, 0.01, 0.002] {
+        let c = PipelineConfig {
+            classifier: ClassifierConfig::default().with_miss_threshold(thr),
+            ..cfg.clone()
+        };
+        let r = run_crisp_pipeline(name, &c)?;
+        payload.push(r.speedup_pct());
+    }
+    Ok(payload)
+}
+
+/// Figure 11 payload: `[critical_inst_count, static_ratio]`.
+fn cell_fig11(name: &str, cfg: &PipelineConfig) -> Result<Vec<f64>, CrispError> {
+    let r = run_crisp_pipeline(name, cfg)?;
+    Ok(vec![r.map.count() as f64, r.map.static_ratio()])
+}
+
+/// Figure 12 payload: `[static_ovh_pct, dynamic_ovh_pct, icache_mpki_base,
+/// icache_mpki_crisp]`.
+fn cell_fig12(name: &str, cfg: &PipelineConfig) -> Result<Vec<f64>, CrispError> {
+    let r = run_crisp_pipeline(name, cfg)?;
+    Ok(vec![
+        r.footprint.static_overhead_pct(),
+        r.footprint.dynamic_overhead_pct(),
+        r.baseline.icache_mpki(),
+        r.crisp.icache_mpki(),
+    ])
+}
+
+/// Ablations payload: `[rand_pct, crisp_pct, reg_only_pct, reg_mem_pct,
+/// keep_all_pct, keep_05_pct, keep_09_pct, real_pct, perfect_pct]` —
+/// studies A (scheduler policy), B (memory deps), C (keep fraction) and
+/// D (perfect branch prediction) for one workload. The reference pipeline
+/// run is shared where the legacy code repeated it (identical by
+/// determinism).
+fn cell_ablations(name: &str, cfg: &PipelineConfig) -> Result<Vec<f64>, CrispError> {
+    let r = run_crisp_pipeline(name, cfg)?;
+
+    // (a) Scheduler policy: same annotation, random-ready issue policy.
+    let eval = build(name, Input::Ref)?;
+    let trace = Emulator::new(&eval.program, eval.memory.clone()).run(cfg.eval_instructions);
+    let mut sim_cfg = cfg.sim.clone();
+    sim_cfg.collect_pc_stats = false;
+    let rand = Simulator::try_new(sim_cfg.with_scheduler(SchedulerKind::RandomReady))?.try_run(
+        &eval.program,
+        &trace,
+        Some(r.map.as_slice()),
+    )?;
+    let rand_pct = (rand.ipc() / r.baseline.ipc() - 1.0) * 100.0;
+
+    // (b) Dependencies through memory in the slicer (the IBDA gap).
+    let reg_cfg = PipelineConfig {
+        slice: SliceConfig {
+            follow_memory_deps: false,
+            ..cfg.slice
+        },
+        ..cfg.clone()
+    };
+    let reg = run_crisp_pipeline(name, &reg_cfg)?;
+
+    // (c) Critical-path keep fraction (Section 3.5).
+    let mut keep = Vec::with_capacity(3);
+    for frac in [0.0, 0.5, 0.9] {
+        let c = PipelineConfig {
+            critical_path_fraction: frac,
+            ..cfg.clone()
+        };
+        keep.push(run_crisp_pipeline(name, &c)?.speedup_pct());
+    }
+
+    // (d) Perfect branch prediction (the Section 5.3 discovery experiment).
+    let perfect_cfg = PipelineConfig {
+        sim: {
+            let mut s = cfg.sim.clone();
+            s.perfect_branch_prediction = true;
+            s
+        },
+        ..cfg.clone()
+    };
+    let perfect = run_crisp_pipeline(name, &perfect_cfg)?;
+
+    Ok(vec![
+        rand_pct,
+        r.speedup_pct(),
+        reg.speedup_pct(),
+        r.speedup_pct(),
+        keep[0],
+        keep[1],
+        keep[2],
+        r.speedup_pct(),
+        perfect.speedup_pct(),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crisp_sim::CancelToken;
+
+    #[test]
+    fn catalog_covers_the_expected_grid() {
+        assert_eq!(catalog("fig1", ExperimentScale::Fast, None).len(), 1);
+        assert_eq!(catalog("fig7", ExperimentScale::Fast, None).len(), 15);
+        assert_eq!(catalog("ablations", ExperimentScale::Fast, None).len(), 6);
+        let filtered = catalog(
+            "fig7",
+            ExperimentScale::Fast,
+            Some(&["mcf".to_string(), "lbm".to_string(), "nope".to_string()]),
+        );
+        let ids: Vec<&str> = filtered.iter().map(|j| j.id.as_str()).collect();
+        assert_eq!(ids.len(), 2, "unknown filter names match nothing: {ids:?}");
+        assert!(ids.contains(&"fig7/mcf") && ids.contains(&"fig7/lbm"));
+    }
+
+    #[test]
+    fn specs_fingerprint_scale_and_format() {
+        let fast = cell_spec("fig7", "mcf", ExperimentScale::Fast);
+        let full = cell_spec("fig7", "mcf", ExperimentScale::Full);
+        assert_eq!(fast.id, full.id);
+        assert_ne!(fast.fingerprint(), full.fingerprint());
+        assert!(fast.spec.contains(CELL_FORMAT));
+        assert_eq!(split_id(&fast.id), Some(("fig7", "mcf")));
+    }
+
+    #[test]
+    fn malformed_ids_are_config_errors() {
+        let ctx = RunContext {
+            attempt: 1,
+            cancel: CancelToken::new(),
+        };
+        let bad = JobSpec::new("no-slash", "no-slash spec");
+        match run_cell(&bad, &ctx, ExperimentScale::Tiny, false) {
+            Err(CrispError::Config(_)) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        let unknown = JobSpec::new("fig99/mcf", "fig99/mcf spec");
+        match run_cell(&unknown, &ctx, ExperimentScale::Tiny, false) {
+            Err(CrispError::Config(_)) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stalled_cell_reports_a_deadlock() {
+        let ctx = RunContext {
+            attempt: 1,
+            cancel: CancelToken::new(),
+        };
+        let job = cell_spec("fig11", "mcf", ExperimentScale::Tiny);
+        match run_cell(&job, &ctx, ExperimentScale::Tiny, true) {
+            Err(CrispError::Simulation(crisp_sim::SimError::Deadlock(_))) => {}
+            other => panic!("expected deadlock, got: {other:?}"),
+        }
+    }
+}

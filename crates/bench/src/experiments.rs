@@ -1,20 +1,24 @@
 //! One regeneration function per paper table/figure.
+//!
+//! Each figure decomposes into independent (workload, config) cells (see
+//! [`crate::cells`]); the functions here run those cells *serially and
+//! fail-fast* — the legacy path the `figures` binary uses — and render
+//! through the same [`crate::render`] code as the supervised `crisp-bench`
+//! sweep, so both entry points produce identical reports.
 
-use crisp_core::{
-    all_names, run_crisp_pipeline, run_ibda_many, ClassifierConfig, CrispError, IbdaConfig,
-    PipelineConfig, SimConfig, Table,
-};
-use crisp_core::{Input, SchedulerKind, SliceConfig};
-use crisp_emu::Emulator;
-use crisp_sim::Simulator;
-
-fn workload(name: &str) -> Result<crisp_core::Workload, CrispError> {
-    crisp_core::build(name, Input::Ref).ok_or_else(|| CrispError::UnknownWorkload(name.to_string()))
-}
+use crate::cells;
+use crate::render::render_figure;
+use crisp_core::{CrispError, PipelineConfig, SimConfig, Table};
+use crisp_harness::{JobOutcome, RunContext};
+use crisp_sim::CancelToken;
+use std::collections::BTreeMap;
 
 /// How much simulation to spend per experiment.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ExperimentScale {
+    /// Minimal windows — seconds per figure (integration tests, chaos
+    /// smoke runs; too small for meaningful numbers).
+    Tiny,
     /// Small windows — minutes for the whole suite (CI / smoke runs).
     Fast,
     /// The default windows used for EXPERIMENTS.md.
@@ -22,8 +26,13 @@ pub enum ExperimentScale {
 }
 
 impl ExperimentScale {
-    fn pipeline(self) -> PipelineConfig {
+    pub(crate) fn pipeline(self) -> PipelineConfig {
         match self {
+            ExperimentScale::Tiny => PipelineConfig {
+                train_instructions: 40_000,
+                eval_instructions: 60_000,
+                ..PipelineConfig::paper()
+            },
             ExperimentScale::Fast => PipelineConfig {
                 train_instructions: 120_000,
                 eval_instructions: 200_000,
@@ -38,7 +47,7 @@ impl ExperimentScale {
     }
 }
 
-fn geomean_speedup(speedups_pct: &[f64]) -> f64 {
+pub(crate) fn geomean_speedup(speedups_pct: &[f64]) -> f64 {
     if speedups_pct.is_empty() {
         return 0.0;
     }
@@ -52,261 +61,79 @@ fn geomean_speedup(speedups_pct: &[f64]) -> f64 {
 /// Workloads used for the headline figures: the paper's evaluated set
 /// (the microbenchmark belongs to Figure 1; `omnetpp`/`xalancbmk` are
 /// extra kernels outside the paper's evaluation).
-fn figure_workloads() -> Vec<&'static str> {
-    all_names()
+pub(crate) fn figure_workloads() -> Vec<&'static str> {
+    crisp_core::all_names()
         .iter()
         .copied()
         .filter(|n| !matches!(*n, "pointer_chase" | "omnetpp" | "xalancbmk"))
         .collect()
 }
 
+/// Runs one figure's cells serially (fail-fast) and renders the report.
+fn figure_report(figure: &str, scale: ExperimentScale) -> Result<String, CrispError> {
+    let cell_list = cells::catalog(figure, scale, None);
+    let mut outcomes = BTreeMap::new();
+    for job in &cell_list {
+        let ctx = RunContext {
+            attempt: 1,
+            cancel: CancelToken::new(),
+        };
+        let payload = cells::run_cell(job, &ctx, scale, false)?;
+        outcomes.insert(
+            job.id.clone(),
+            JobOutcome::Completed {
+                payload,
+                attempts: 1,
+                resumed: false,
+            },
+        );
+    }
+    Ok(render_figure(figure, &cell_list, &outcomes))
+}
+
 /// **Figure 1** — µops retired per cycle over the pointer-chase
 /// microbenchmark, OOO vs CRISP, plus the average-UPC improvement.
 pub fn fig1(scale: ExperimentScale) -> Result<String, CrispError> {
-    let cfg = scale.pipeline();
-    let w = workload("pointer_chase")?;
-    let trace = Emulator::new(&w.program, w.memory.clone()).run(cfg.eval_instructions / 2);
-
-    // Profile + annotate via the pipeline on the train input.
-    let pres = run_crisp_pipeline("pointer_chase", &cfg)?;
-
-    let mut sim_cfg = cfg.sim.clone();
-    sim_cfg.record_upc_timeline = true;
-    sim_cfg.collect_pc_stats = false;
-    let ooo = Simulator::try_new(
-        sim_cfg
-            .clone()
-            .with_scheduler(SchedulerKind::OldestReadyFirst),
-    )?
-    .try_run(&w.program, &trace, None)?;
-    let crisp = Simulator::try_new(sim_cfg.with_scheduler(SchedulerKind::Crisp))?.try_run(
-        &w.program,
-        &trace,
-        Some(pres.map.as_slice()),
-    )?;
-
-    let buckets = 60;
-    let ooo_series = ooo.upc.bucketed(buckets);
-    let crisp_series = crisp.upc.bucketed(buckets);
-    let mut t = Table::new(vec!["bucket", "OOO UPC", "CRISP UPC"]);
-    for i in 0..buckets.min(ooo_series.len()).min(crisp_series.len()) {
-        t.row(vec![
-            format!("{i}"),
-            format!("{:.2}", ooo_series[i]),
-            format!("{:.2}", crisp_series[i]),
-        ]);
-    }
-    Ok(format!(
-        "Figure 1: UPC timeline, pointer-chase microbenchmark\n\
-         (paper: CRISP improves average UPC by >30% over OOO)\n\n{t}\n\
-         average UPC: OOO {:.3}, CRISP {:.3}  =>  {:+.1}%\n",
-        ooo.ipc(),
-        crisp.ipc(),
-        crisp.speedup_over(&ooo)
-    ))
+    figure_report("fig1", scale)
 }
 
 /// **Figure 4** — average (unfiltered) load-slice size per application.
 pub fn fig4(scale: ExperimentScale) -> Result<String, CrispError> {
-    let cfg = scale.pipeline();
-    let mut t = Table::new(vec!["workload", "avg load-slice size", "slices"]);
-    for name in figure_workloads() {
-        let r = run_crisp_pipeline(name, &cfg)?;
-        t.row(vec![
-            name.to_string(),
-            format!("{:.1}", r.mean_load_slice_len()),
-            format!("{}", r.load_slices.len()),
-        ]);
-    }
-    Ok(format!(
-        "Figure 4: average dynamic load-slice size (unfiltered backward slices)\n\
-         (paper: slices range from a handful to thousands of instructions)\n\n{t}"
-    ))
+    figure_report("fig4", scale)
 }
 
 /// **Figure 7** — IPC improvement of CRISP and IBDA (1K/8K/64K/∞ IST)
 /// over the OOO baseline.
 pub fn fig7(scale: ExperimentScale) -> Result<String, CrispError> {
-    let cfg = scale.pipeline();
-    let mut t = Table::new(vec![
-        "workload",
-        "CRISP %",
-        "IBDA-1K %",
-        "IBDA-8K %",
-        "IBDA-64K %",
-        "IBDA-inf %",
-    ]);
-    let mut crisp_all = Vec::new();
-    let mut ibda1k_all = Vec::new();
-    for name in figure_workloads() {
-        let r = run_crisp_pipeline(name, &cfg)?;
-        let base_ipc = r.baseline.ipc();
-        let mut cells = vec![name.to_string(), format!("{:+.1}", r.speedup_pct())];
-        crisp_all.push(r.speedup_pct());
-        let ists = [
-            IbdaConfig::ist_1k(),
-            IbdaConfig::ist_8k(),
-            IbdaConfig::ist_64k(),
-            IbdaConfig::ist_infinite(),
-        ];
-        for (i, ir) in run_ibda_many(name, &ists, &cfg)?.into_iter().enumerate() {
-            let pct = (ir.result.ipc() / base_ipc - 1.0) * 100.0;
-            if i == 0 {
-                ibda1k_all.push(pct);
-            }
-            cells.push(format!("{pct:+.1}"));
-        }
-        t.row(cells);
-    }
-    Ok(format!(
-        "Figure 7: IPC improvement over the OOO baseline\n\
-         (paper: CRISP +8.4% avg / up to +38%; IBDA far behind, sometimes negative)\n\n{t}\n\
-         geomean: CRISP {:+.2}%, IBDA-1K {:+.2}%\n",
-        geomean_speedup(&crisp_all),
-        geomean_speedup(&ibda1k_all)
-    ))
+    figure_report("fig7", scale)
 }
 
 /// **Figure 8** — load slices vs branch slices vs both.
 pub fn fig8(scale: ExperimentScale) -> Result<String, CrispError> {
-    use crisp_core::SliceMode;
-    let base_cfg = scale.pipeline();
-    let mut t = Table::new(vec!["workload", "loads %", "branches %", "both %"]);
-    let mut synergy = Vec::new();
-    for name in figure_workloads() {
-        let mut cells = vec![name.to_string()];
-        let mut pcts = Vec::new();
-        for mode in [
-            SliceMode::LoadsOnly,
-            SliceMode::BranchesOnly,
-            SliceMode::Both,
-        ] {
-            let cfg = PipelineConfig {
-                mode,
-                ..base_cfg.clone()
-            };
-            let r = run_crisp_pipeline(name, &cfg)?;
-            pcts.push(r.speedup_pct());
-            cells.push(format!("{:+.1}", r.speedup_pct()));
-        }
-        if pcts[2] > pcts[0].max(pcts[1]) + 0.05 {
-            synergy.push(name);
-        }
-        t.row(cells);
-    }
-    Ok(format!(
-        "Figure 8: load slices, branch slices, and their combination\n\
-         (paper: several apps benefit from both, combined > either alone)\n\n{t}\n\
-         combined beats both individual modes on: {synergy:?}\n"
-    ))
+    figure_report("fig8", scale)
 }
 
 /// **Figure 9** — RS/ROB size sensitivity: 64/180, 96/224 (Skylake),
 /// 144/336 (+50 %), 192/448 (+100 %).
 pub fn fig9(scale: ExperimentScale) -> Result<String, CrispError> {
-    let base_cfg = scale.pipeline();
-    let windows = [(64usize, 180usize), (96, 224), (144, 336), (192, 448)];
-    let mut t = Table::new(vec![
-        "workload",
-        "64/180 %",
-        "96/224 %",
-        "144/336 %",
-        "192/448 %",
-    ]);
-    for name in figure_workloads() {
-        let mut cells = vec![name.to_string()];
-        for (rs, rob) in windows {
-            let cfg = PipelineConfig {
-                sim: SimConfig::with_window(rs, rob),
-                ..base_cfg.clone()
-            };
-            let r = run_crisp_pipeline(name, &cfg)?;
-            cells.push(format!("{:+.1}", r.speedup_pct()));
-        }
-        t.row(cells);
-    }
-    Ok(format!(
-        "Figure 9: CRISP speedup across RS/ROB sizes\n\
-         (paper: xhpcg grows with the window, moses peaks at the smallest)\n\n{t}"
-    ))
+    figure_report("fig9", scale)
 }
 
 /// **Figure 10** — sensitivity to the miss-contribution threshold `T`
 /// (5 %, 1 %, 0.2 %).
 pub fn fig10(scale: ExperimentScale) -> Result<String, CrispError> {
-    let base_cfg = scale.pipeline();
-    let mut t = Table::new(vec!["workload", "T=5% %", "T=1% %", "T=0.2% %"]);
-    let mut per_threshold = [Vec::new(), Vec::new(), Vec::new()];
-    for name in figure_workloads() {
-        let mut cells = vec![name.to_string()];
-        for (i, thr) in [0.05, 0.01, 0.002].into_iter().enumerate() {
-            let cfg = PipelineConfig {
-                classifier: ClassifierConfig::default().with_miss_threshold(thr),
-                ..base_cfg.clone()
-            };
-            let r = run_crisp_pipeline(name, &cfg)?;
-            per_threshold[i].push(r.speedup_pct());
-            cells.push(format!("{:+.1}", r.speedup_pct()));
-        }
-        t.row(cells);
-    }
-    Ok(format!(
-        "Figure 10: miss-contribution threshold sensitivity\n\
-         (paper: T=1% best overall, per-app optima differ)\n\n{t}\n\
-         geomeans: T=5% {:+.2}%, T=1% {:+.2}%, T=0.2% {:+.2}%\n",
-        geomean_speedup(&per_threshold[0]),
-        geomean_speedup(&per_threshold[1]),
-        geomean_speedup(&per_threshold[2])
-    ))
+    figure_report("fig10", scale)
 }
 
 /// **Figure 11** — total number of unique critical instructions.
 pub fn fig11(scale: ExperimentScale) -> Result<String, CrispError> {
-    let cfg = scale.pipeline();
-    let mut t = Table::new(vec!["workload", "critical insts", "static ratio %"]);
-    for name in figure_workloads() {
-        let r = run_crisp_pipeline(name, &cfg)?;
-        t.row(vec![
-            name.to_string(),
-            format!("{}", r.map.count()),
-            format!("{:.1}", r.map.static_ratio() * 100.0),
-        ]);
-    }
-    Ok(format!(
-        "Figure 11: unique critical (tagged) instructions per application\n\
-         (paper: perlbench/gcc/moses exceed 10,000 — beyond any IST)\n\n{t}"
-    ))
+    figure_report("fig11", scale)
 }
 
 /// **Figure 12** — static and dynamic code-footprint overhead of the
 /// one-byte prefix, and the worst-case icache MPKI impact.
 pub fn fig12(scale: ExperimentScale) -> Result<String, CrispError> {
-    let cfg = scale.pipeline();
-    let mut t = Table::new(vec![
-        "workload",
-        "static ovh %",
-        "dynamic ovh %",
-        "icache MPKI base",
-        "icache MPKI CRISP",
-    ]);
-    let mut dyn_all = Vec::new();
-    for name in figure_workloads() {
-        let r = run_crisp_pipeline(name, &cfg)?;
-        dyn_all.push(r.footprint.dynamic_overhead_pct());
-        t.row(vec![
-            name.to_string(),
-            format!("{:.2}", r.footprint.static_overhead_pct()),
-            format!("{:.2}", r.footprint.dynamic_overhead_pct()),
-            format!("{:.3}", r.baseline.icache_mpki()),
-            format!("{:.3}", r.crisp.icache_mpki()),
-        ]);
-    }
-    let avg = dyn_all.iter().sum::<f64>() / dyn_all.len().max(1) as f64;
-    Ok(format!(
-        "Figure 12: instruction-prefix footprint overhead\n\
-         (paper: ~5.2% dynamic average, worst-case icache MPKI +2.6%)\n\n{t}\n\
-         average dynamic overhead: {avg:.2}%\n"
-    ))
+    figure_report("fig12", scale)
 }
 
 /// **Ablations** — the design-choice studies DESIGN.md calls out:
@@ -314,100 +141,7 @@ pub fn fig12(scale: ExperimentScale) -> Result<String, CrispError> {
 /// memory on/off in the slicer, the critical-path keep fraction, and the
 /// Section 5.3 perfect-branch-prediction analysis.
 pub fn ablations(scale: ExperimentScale) -> Result<String, CrispError> {
-    let cfg = scale.pipeline();
-    let subset = ["pointer_chase", "mcf", "lbm", "xhpcg", "namd", "moses"];
-    let mut out = String::new();
-
-    // (a) Scheduler policy: same annotation, three issue policies.
-    let mut t = Table::new(vec!["workload", "random %", "oldest-first", "CRISP %"]);
-    for name in subset {
-        let r = run_crisp_pipeline(name, &cfg)?;
-        let eval = workload(name)?;
-        let trace = Emulator::new(&eval.program, eval.memory.clone()).run(cfg.eval_instructions);
-        let mut sim_cfg = cfg.sim.clone();
-        sim_cfg.collect_pc_stats = false;
-        let rand = Simulator::try_new(sim_cfg.clone().with_scheduler(SchedulerKind::RandomReady))?
-            .try_run(&eval.program, &trace, Some(r.map.as_slice()))?;
-        let rand_pct = (rand.ipc() / r.baseline.ipc() - 1.0) * 100.0;
-        t.row(vec![
-            name.to_string(),
-            format!("{rand_pct:+.1}"),
-            "+0.0 (ref)".to_string(),
-            format!("{:+.1}", r.speedup_pct()),
-        ]);
-    }
-    out.push_str(&format!(
-        "Ablation A: scheduler policy (speedup vs oldest-ready-first)\n\n{t}\n"
-    ));
-
-    // (b) Dependencies through memory in the slicer (the IBDA gap).
-    let mut t = Table::new(vec!["workload", "reg-only %", "reg+mem %"]);
-    for name in subset {
-        let full = run_crisp_pipeline(name, &cfg)?;
-        let reg_cfg = PipelineConfig {
-            slice: SliceConfig {
-                follow_memory_deps: false,
-                ..cfg.slice
-            },
-            ..cfg.clone()
-        };
-        let reg = run_crisp_pipeline(name, &reg_cfg)?;
-        t.row(vec![
-            name.to_string(),
-            format!("{:+.1}", reg.speedup_pct()),
-            format!("{:+.1}", full.speedup_pct()),
-        ]);
-    }
-    out.push_str(&format!(
-        "Ablation B: slicing through memory (Section 3.3; namd is the showcase)\n\n{t}\n"
-    ));
-
-    // (c) Critical-path keep fraction (Section 3.5).
-    let mut t = Table::new(vec!["workload", "keep all %", "keep 0.5 %", "keep 0.9 %"]);
-    for name in subset {
-        let mut cells = vec![name.to_string()];
-        for frac in [0.0, 0.5, 0.9] {
-            let c = PipelineConfig {
-                critical_path_fraction: frac,
-                ..cfg.clone()
-            };
-            let r = run_crisp_pipeline(name, &c)?;
-            cells.push(format!("{:+.1}", r.speedup_pct()));
-        }
-        t.row(cells);
-    }
-    out.push_str(&format!(
-        "Ablation C: critical-path filtering fraction (Section 3.5)\n\n{t}\n"
-    ));
-
-    // (d) Perfect branch prediction (the Section 5.3 discovery experiment).
-    let mut t = Table::new(vec![
-        "workload",
-        "CRISP gain %",
-        "CRISP gain @ perfect BP %",
-    ]);
-    for name in subset {
-        let real = run_crisp_pipeline(name, &cfg)?;
-        let perfect_cfg = PipelineConfig {
-            sim: {
-                let mut s = cfg.sim.clone();
-                s.perfect_branch_prediction = true;
-                s
-            },
-            ..cfg.clone()
-        };
-        let perfect = run_crisp_pipeline(name, &perfect_cfg)?;
-        t.row(vec![
-            name.to_string(),
-            format!("{:+.1}", real.speedup_pct()),
-            format!("{:+.1}", perfect.speedup_pct()),
-        ]);
-    }
-    out.push_str(&format!(
-        "Ablation D: perfect branch prediction (Section 5.3: load-slice \
-         benefit grows when mispredicts vanish)\n\n{t}"
-    ));
-    Ok(out)
+    figure_report("ablations", scale)
 }
 
 /// **Table 1** — the simulated system.
@@ -516,5 +250,14 @@ mod tests {
         let l = figure_workloads();
         assert!(!l.contains(&"pointer_chase"));
         assert_eq!(l.len(), 15);
+    }
+
+    #[test]
+    fn tiny_scale_is_smaller_than_fast() {
+        let t = ExperimentScale::Tiny.pipeline();
+        let f = ExperimentScale::Fast.pipeline();
+        assert!(t.train_instructions < f.train_instructions);
+        assert!(t.eval_instructions < f.eval_instructions);
+        assert!(t.validate().is_ok());
     }
 }

@@ -1,11 +1,15 @@
 //! # crisp-bench
 //!
 //! The experiment harness that regenerates every table and figure of the
-//! paper's evaluation (Section 5). Each `fig*` function runs the relevant
-//! workloads/configurations through the `crisp-core` pipeline and returns
-//! a printable report; the `figures` binary exposes them on the command
-//! line, and Criterion benchmarks (in `benches/`) cover component and
-//! end-to-end throughput.
+//! paper's evaluation (Section 5). Each figure decomposes into
+//! (workload, config) *cells* ([`cells`]); the `fig*` functions run them
+//! serially (fail-fast), while the `crisp-bench` binary runs the full
+//! sweep under the `crisp-harness` supervisor — worker pool, panic
+//! isolation, per-job deadlines, retries with backoff, and a resumable
+//! JSONL run manifest — salvaging partial results into `DEGRADED`
+//! reports when cells fail permanently. The legacy `figures` binary
+//! remains the serial entry point, and Criterion benchmarks (in
+//! `benches/`) cover component and end-to-end throughput.
 //!
 //! Absolute numbers differ from the paper (this substrate is a from-
 //! scratch simulator, not the authors' Scarab checkout and trace set);
@@ -16,8 +20,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cells;
 pub mod experiments;
+pub mod render;
+pub mod sweep;
 
 pub use experiments::{
     ablations, fig1, fig10, fig11, fig12, fig4, fig7, fig8, fig9, table1, ExperimentScale,
 };
+pub use sweep::{all_targets, run_supervised_sweep, Chaos, SweepConfig, SweepOutput};

@@ -1,0 +1,239 @@
+//! The supervised sweep: figures × workloads on the crisp-harness
+//! worker pool, with chaos injection for testing the robustness paths.
+
+use crate::cells::{self, CELL_FORMAT, FIGURES};
+use crate::experiments::{table1, ExperimentScale};
+use crate::render::render_figure;
+use crisp_harness::{
+    run_sweep, HarnessError, JobSpec, RetryPolicy, RunContext, SupervisorOptions, SweepReport,
+};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Fault injection applied by the sweep runner (CI smoke + tests).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Chaos {
+    /// Job-id substrings whose first attempt panics (`--inject-panic`);
+    /// retries succeed, exercising the backoff path.
+    pub panic_once: Vec<String>,
+    /// Job-id substrings whose every attempt freezes the scheduler so the
+    /// watchdog fires (`--inject-stall`); retries keep failing, exercising
+    /// retry exhaustion and degraded salvage.
+    pub stall: Vec<String>,
+}
+
+impl Chaos {
+    /// Whether any injection is configured.
+    pub fn is_active(&self) -> bool {
+        !self.panic_once.is_empty() || !self.stall.is_empty()
+    }
+}
+
+/// Everything one `crisp-bench` invocation needs.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Simulation scale.
+    pub scale: ExperimentScale,
+    /// Report targets, in render order (figure names and/or `table1`).
+    pub targets: Vec<String>,
+    /// Optional workload filter applied to every figure.
+    pub workloads: Option<Vec<String>>,
+    /// Worker threads.
+    pub workers: usize,
+    /// Per-attempt wall-clock deadline.
+    pub deadline: Option<Duration>,
+    /// Retry schedule.
+    pub retry: RetryPolicy,
+    /// JSONL manifest path.
+    pub manifest: Option<PathBuf>,
+    /// Resume from the manifest instead of starting fresh.
+    pub resume: bool,
+    /// Fault injection.
+    pub chaos: Chaos,
+    /// Emit per-job progress lines on stderr.
+    pub progress: bool,
+    /// Test hook: simulate a SIGKILL after this many journal records.
+    pub crash_after_records: Option<usize>,
+}
+
+impl Default for SweepConfig {
+    fn default() -> SweepConfig {
+        SweepConfig {
+            scale: ExperimentScale::Full,
+            targets: all_targets(),
+            workloads: None,
+            workers: 1,
+            deadline: None,
+            retry: RetryPolicy::default(),
+            manifest: None,
+            resume: false,
+            chaos: Chaos::default(),
+            progress: false,
+            crash_after_records: None,
+        }
+    }
+}
+
+/// Every target, in canonical render order (`table1` first).
+pub fn all_targets() -> Vec<String> {
+    std::iter::once("table1")
+        .chain(FIGURES)
+        .map(str::to_string)
+        .collect()
+}
+
+/// The sweep-level spec recorded in the manifest header. Anything that
+/// changes cell payloads (scale, cell format) or the job set (targets,
+/// workload filter) is part of it, so `--resume` under different flags is
+/// rejected instead of silently mixing sweeps.
+pub fn sweep_spec(cfg: &SweepConfig) -> String {
+    format!(
+        "crisp-bench scale={:?} targets=[{}] workloads=[{}] {CELL_FORMAT}",
+        cfg.scale,
+        cfg.targets.join(","),
+        cfg.workloads
+            .as_ref()
+            .map_or_else(|| "all".to_string(), |w| w.join(",")),
+    )
+}
+
+/// What a supervised sweep produced.
+#[derive(Clone, Debug)]
+pub struct SweepOutput {
+    /// The supervisor's report (outcomes, crash flag, resume stats).
+    pub report: SweepReport,
+    /// The rendered reports, in target order — empty if the sweep crashed.
+    pub rendered: String,
+}
+
+impl SweepOutput {
+    /// Whether the sweep completed but with failed cells (exit code 6).
+    pub fn degraded(&self) -> bool {
+        !self.report.crashed && self.report.degraded()
+    }
+}
+
+/// Builds the full job list for a sweep config.
+pub fn build_jobs(cfg: &SweepConfig) -> Vec<JobSpec> {
+    cfg.targets
+        .iter()
+        .filter(|t| t.as_str() != "table1")
+        .flat_map(|t| cells::catalog(t, cfg.scale, cfg.workloads.as_deref()))
+        .collect()
+}
+
+/// Runs the sweep under the supervisor and renders every target.
+///
+/// # Errors
+///
+/// Supervisor-level failures only ([`HarnessError`]); failed cells are
+/// salvaged into degraded reports, not errors.
+pub fn run_supervised_sweep(cfg: &SweepConfig) -> Result<SweepOutput, HarnessError> {
+    let jobs = build_jobs(cfg);
+    let opts = SupervisorOptions {
+        workers: cfg.workers,
+        deadline: cfg.deadline,
+        retry: cfg.retry,
+        manifest: cfg.manifest.clone(),
+        resume: cfg.resume,
+        sweep_spec: sweep_spec(cfg),
+        crash_after_records: cfg.crash_after_records,
+        progress: cfg.progress,
+    };
+    let chaos = cfg.chaos.clone();
+    let scale = cfg.scale;
+    let runner = move |job: &JobSpec, ctx: &RunContext| {
+        if ctx.attempt == 1 && chaos.panic_once.iter().any(|s| job.id.contains(s.as_str())) {
+            panic!("injected fault: chaos panic for {}", job.id);
+        }
+        let stall = chaos.stall.iter().any(|s| job.id.contains(s.as_str()));
+        cells::run_cell(job, ctx, scale, stall)
+    };
+    let report = run_sweep(&jobs, &opts, &runner)?;
+
+    let mut rendered = String::new();
+    if !report.crashed {
+        for target in &cfg.targets {
+            let body = if target == "table1" {
+                table1()
+            } else {
+                let cell_list = cells::catalog(target, cfg.scale, cfg.workloads.as_deref());
+                render_figure(target, &cell_list, &report.outcomes)
+            };
+            // Matches the legacy binary's `println!("{report}\n")` spacing.
+            rendered.push_str(&body);
+            rendered.push_str("\n\n");
+        }
+    }
+    Ok(SweepOutput { report, rendered })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> SweepConfig {
+        SweepConfig {
+            scale: ExperimentScale::Tiny,
+            targets: vec!["fig11".to_string()],
+            workloads: Some(vec!["mcf".to_string(), "lbm".to_string()]),
+            workers: 2,
+            ..SweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn sweep_spec_pins_scale_targets_and_filter() {
+        let a = sweep_spec(&tiny_cfg());
+        assert!(
+            a.contains("Tiny") && a.contains("fig11") && a.contains("mcf,lbm"),
+            "{a}"
+        );
+        let mut full = tiny_cfg();
+        full.scale = ExperimentScale::Fast;
+        assert_ne!(a, sweep_spec(&full));
+    }
+
+    #[test]
+    fn build_jobs_skips_table1_and_applies_the_filter() {
+        let mut cfg = tiny_cfg();
+        cfg.targets = vec![
+            "table1".to_string(),
+            "fig11".to_string(),
+            "fig4".to_string(),
+        ];
+        let jobs = build_jobs(&cfg);
+        assert_eq!(jobs.len(), 4, "2 figures x 2 workloads: {jobs:?}");
+        assert!(jobs.iter().all(|j| !j.id.starts_with("table1")));
+    }
+
+    #[test]
+    fn tiny_supervised_sweep_completes_and_renders() {
+        let out = run_supervised_sweep(&tiny_cfg()).expect("no supervisor error");
+        assert!(!out.report.crashed);
+        assert!(!out.degraded(), "outcomes: {:?}", out.report.outcomes);
+        assert_eq!(out.report.completed(), 2);
+        assert!(out.rendered.contains("Figure 11"));
+        assert!(!out.rendered.contains("DEGRADED"));
+    }
+
+    #[test]
+    fn injected_stall_degrades_without_killing_the_sweep() {
+        let mut cfg = tiny_cfg();
+        cfg.chaos.stall = vec!["fig11/lbm".to_string()];
+        cfg.retry = RetryPolicy {
+            max_retries: 1,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+        };
+        let out = run_supervised_sweep(&cfg).expect("no supervisor error");
+        assert!(out.degraded());
+        assert_eq!(out.report.completed(), 1);
+        assert!(
+            out.rendered.contains("[DEGRADED (1/2 workloads)]"),
+            "{}",
+            out.rendered
+        );
+        assert!(out.rendered.contains("deadlock"), "{}", out.rendered);
+    }
+}

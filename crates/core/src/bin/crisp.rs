@@ -191,7 +191,7 @@ fn workload_arg(args: &Args, cmd: &str) -> Result<String, Failure> {
 }
 
 fn build_workload(name: &str, input: Input) -> Result<crisp_core::Workload, Failure> {
-    build(name, input).ok_or_else(|| Failure::from(CrispError::UnknownWorkload(name.to_string())))
+    build(name, input).map_err(|e| Failure::from(CrispError::from(e)))
 }
 
 fn base_sim_config(args: &Args) -> Result<SimConfig, Failure> {
@@ -206,9 +206,8 @@ fn run(cmd: &str, args: &Args) -> Result<(), Failure> {
         "list" => {
             args.allow_flags(cmd, &[])?;
             let mut t = Table::new(vec!["workload", "reproduces"]);
-            for name in crisp_core::all_names() {
-                let w = build(name, Input::Train).expect("registered");
-                t.row(vec![name.to_string(), w.description.to_string()]);
+            for w in crisp_core::build_all(Input::Train) {
+                t.row(vec![w.name.to_string(), w.description.to_string()]);
             }
             println!("{t}");
             Ok(())

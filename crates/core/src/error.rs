@@ -5,6 +5,7 @@
 use crisp_emu::EmuError;
 use crisp_isa::ConfigError;
 use crisp_sim::SimError;
+use crisp_workloads::UnknownWorkload;
 use std::fmt;
 
 /// Any failure of the end-to-end pipeline.
@@ -42,6 +43,12 @@ impl From<ConfigError> for CrispError {
     }
 }
 
+impl From<UnknownWorkload> for CrispError {
+    fn from(e: UnknownWorkload) -> CrispError {
+        CrispError::UnknownWorkload(e.name)
+    }
+}
+
 impl From<EmuError> for CrispError {
     fn from(e: EmuError) -> CrispError {
         CrispError::Emulation(e)
@@ -73,6 +80,12 @@ mod tests {
         }
         .into();
         assert!(matches!(e, CrispError::Simulation(_)));
+    }
+
+    #[test]
+    fn registry_errors_fold_into_unknown_workload() {
+        let e: CrispError = UnknownWorkload { name: "foo".into() }.into();
+        assert_eq!(e, CrispError::UnknownWorkload("foo".into()));
     }
 
     #[test]

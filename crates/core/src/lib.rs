@@ -48,7 +48,7 @@ pub use pipeline::{
     run_crisp_pipeline, run_ibda, run_ibda_many, IbdaResult, PipelineConfig, PipelineError,
     PipelineResult, SliceMode,
 };
-pub use report::Table;
+pub use report::{Coverage, Table};
 
 // Re-export the pieces callers need to parameterise experiments.
 pub use crisp_ibda::IbdaConfig;
@@ -56,4 +56,4 @@ pub use crisp_isa::ConfigError;
 pub use crisp_profile::ClassifierConfig;
 pub use crisp_sim::{DeadlockReport, SchedulerKind, SimConfig, SimError, SimResult};
 pub use crisp_slicer::{CriticalityMap, FootprintReport, SliceConfig};
-pub use crisp_workloads::{all_names, build, build_all, Input, Workload};
+pub use crisp_workloads::{all_names, build, build_all, Input, UnknownWorkload, Workload};

@@ -201,10 +201,8 @@ pub fn run_crisp_pipeline(
     cfg: &PipelineConfig,
 ) -> Result<PipelineResult, PipelineError> {
     cfg.validate()?;
-    let train = build(name, Input::Train)
-        .ok_or_else(|| PipelineError::UnknownWorkload(name.to_string()))?;
-    let eval =
-        build(name, Input::Ref).ok_or_else(|| PipelineError::UnknownWorkload(name.to_string()))?;
+    let train = build(name, Input::Train)?;
+    let eval = build(name, Input::Ref)?;
 
     // (1) Profile on the train input with the baseline scheduler.
     let train_trace = trace_workload(&train, cfg.train_instructions);
@@ -364,10 +362,8 @@ pub fn run_ibda_many(
     cfg: &PipelineConfig,
 ) -> Result<Vec<IbdaResult>, PipelineError> {
     cfg.validate()?;
-    let train = build(name, Input::Train)
-        .ok_or_else(|| PipelineError::UnknownWorkload(name.to_string()))?;
-    let eval =
-        build(name, Input::Ref).ok_or_else(|| PipelineError::UnknownWorkload(name.to_string()))?;
+    let train = build(name, Input::Train)?;
+    let eval = build(name, Input::Ref)?;
 
     // The hardware observes its own cache misses: profile once to learn
     // which loads miss at all (instance-level behaviour is frequency-

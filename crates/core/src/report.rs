@@ -1,5 +1,54 @@
 use std::fmt;
 
+/// How much of a sweep's cells actually completed — the salvage annotation
+/// every figure carries when some workloads failed permanently. Renders as
+/// an empty string when coverage is full, so complete reports stay
+/// byte-identical to the pre-supervisor output.
+///
+/// # Example
+///
+/// ```
+/// use crisp_core::Coverage;
+/// assert_eq!(Coverage::new(15, 15).to_string(), "");
+/// assert_eq!(
+///     Coverage::new(13, 15).to_string(),
+///     " [DEGRADED (13/15 workloads)]"
+/// );
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Coverage {
+    /// Cells that completed and contributed real numbers.
+    pub completed: usize,
+    /// Cells the sweep attempted.
+    pub total: usize,
+}
+
+impl Coverage {
+    /// Creates a coverage annotation for `completed` of `total` cells.
+    pub fn new(completed: usize, total: usize) -> Coverage {
+        Coverage { completed, total }
+    }
+
+    /// Whether every cell completed.
+    pub fn is_full(&self) -> bool {
+        self.completed >= self.total
+    }
+}
+
+impl fmt::Display for Coverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_full() {
+            Ok(())
+        } else {
+            write!(
+                f,
+                " [DEGRADED ({}/{} workloads)]",
+                self.completed, self.total
+            )
+        }
+    }
+}
+
 /// A minimal aligned-text table for experiment reports (the figures binary
 /// prints every reproduced table/figure through this).
 ///
@@ -110,5 +159,14 @@ mod tests {
     fn row_width_is_checked() {
         let mut t = Table::new(vec!["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn coverage_annotates_only_partial_sweeps() {
+        assert!(Coverage::new(3, 3).is_full());
+        assert_eq!(Coverage::new(3, 3).to_string(), "");
+        let partial = Coverage::new(1, 4);
+        assert!(!partial.is_full());
+        assert_eq!(partial.to_string(), " [DEGRADED (1/4 workloads)]");
     }
 }

@@ -1,0 +1,484 @@
+//! The append-only JSONL run manifest.
+//!
+//! One line per event, flushed *and fsync'd* per record so the manifest
+//! survives a SIGKILL with at most one torn trailing line. The first line
+//! is a sweep header carrying the sweep's spec string (scale, targets);
+//! every later line is a job-attempt record. Loading tolerates a torn
+//! tail — any line that does not parse is counted and skipped, never
+//! fatal — which is exactly what `--resume` needs after a crash.
+
+use crate::class::FailureClass;
+use crate::json::{parse, Value};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Journal format version, bumped on incompatible record changes.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// FNV-1a 64-bit hash — the job-spec fingerprint stored with every record
+/// so a resume detects when a manifest was produced by a different sweep
+/// configuration.
+pub fn fnv1a64(data: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in data.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The first line of every manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepHeader {
+    /// Human-readable sweep spec (scale, targets, workload filter).
+    pub spec: String,
+    /// Number of jobs in the sweep.
+    pub jobs: usize,
+}
+
+/// One job attempt's outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttemptOutcome {
+    /// The attempt completed; `payload` is the cell's result vector.
+    Ok {
+        /// Figure-specific result values (layout documented per cell).
+        payload: Vec<f64>,
+    },
+    /// The attempt failed.
+    Fail {
+        /// Failure classification (drives retry-vs-fatal).
+        class: FailureClass,
+        /// The error message, single line.
+        error: String,
+    },
+}
+
+/// One journal line: job identity plus one attempt's outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttemptRecord {
+    /// Job id, e.g. `fig7/mcf`.
+    pub job: String,
+    /// FNV-1a hash of the job's spec string.
+    pub hash: u64,
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// What happened.
+    pub outcome: AttemptOutcome,
+}
+
+impl AttemptRecord {
+    /// Encodes the record as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut pairs = vec![
+            ("v".to_string(), Value::Num(JOURNAL_VERSION as f64)),
+            ("kind".to_string(), Value::Str("attempt".into())),
+            ("job".to_string(), Value::Str(self.job.clone())),
+            (
+                "hash".to_string(),
+                Value::Str(format!("{:016x}", self.hash)),
+            ),
+            ("attempt".to_string(), Value::Num(f64::from(self.attempt))),
+        ];
+        match &self.outcome {
+            AttemptOutcome::Ok { payload } => {
+                pairs.push(("outcome".into(), Value::Str("ok".into())));
+                pairs.push((
+                    "payload".into(),
+                    Value::Arr(payload.iter().map(|&x| Value::Num(x)).collect()),
+                ));
+            }
+            AttemptOutcome::Fail { class, error } => {
+                pairs.push(("outcome".into(), Value::Str("fail".into())));
+                pairs.push(("class".into(), Value::Str(class.name().into())));
+                pairs.push(("error".into(), Value::Str(error.clone())));
+            }
+        }
+        Value::Obj(pairs).encode()
+    }
+
+    /// Decodes one JSON line; `None` for anything malformed or from a
+    /// different journal version (the tolerant-load contract).
+    pub fn decode(line: &str) -> Option<AttemptRecord> {
+        let v = parse(line).ok()?;
+        if v.get("v")?.as_u64()? != JOURNAL_VERSION || v.get("kind")?.as_str()? != "attempt" {
+            return None;
+        }
+        let job = v.get("job")?.as_str()?.to_string();
+        let hash = u64::from_str_radix(v.get("hash")?.as_str()?, 16).ok()?;
+        let attempt = u32::try_from(v.get("attempt")?.as_u64()?).ok()?;
+        let outcome = match v.get("outcome")?.as_str()? {
+            "ok" => AttemptOutcome::Ok {
+                payload: v
+                    .get("payload")?
+                    .as_arr()?
+                    .iter()
+                    .map(|x| x.as_f64())
+                    .collect::<Option<Vec<f64>>>()?,
+            },
+            "fail" => AttemptOutcome::Fail {
+                class: FailureClass::from_name(v.get("class")?.as_str()?)?,
+                error: v.get("error")?.as_str()?.to_string(),
+            },
+            _ => return None,
+        };
+        Some(AttemptRecord {
+            job,
+            hash,
+            attempt,
+            outcome,
+        })
+    }
+}
+
+fn encode_header(h: &SweepHeader) -> String {
+    Value::Obj(vec![
+        ("v".into(), Value::Num(JOURNAL_VERSION as f64)),
+        ("kind".into(), Value::Str("sweep".into())),
+        ("spec".into(), Value::Str(h.spec.clone())),
+        ("jobs".into(), Value::Num(h.jobs as f64)),
+    ])
+    .encode()
+}
+
+fn decode_header(line: &str) -> Option<SweepHeader> {
+    let v = parse(line).ok()?;
+    if v.get("v")?.as_u64()? != JOURNAL_VERSION || v.get("kind")?.as_str()? != "sweep" {
+        return None;
+    }
+    Some(SweepHeader {
+        spec: v.get("spec")?.as_str()?.to_string(),
+        jobs: v.get("jobs")?.as_u64()? as usize,
+    })
+}
+
+/// I/O or consistency failure of the journal itself (not of a job).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalError {
+    /// The manifest path involved.
+    pub path: PathBuf,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "manifest {}: {}", self.path.display(), self.message)
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Result of appending one record (see [`Journal::append`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AppendStatus {
+    /// The record is durably on disk.
+    Written,
+    /// The configured crash point fired: a torn fragment of the record was
+    /// written instead, and the journal accepts no further records — the
+    /// process behaves as if SIGKILLed mid-write.
+    Crashed,
+}
+
+/// Append-only, fsync-per-record journal writer.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    records: usize,
+    crash_after: Option<usize>,
+    crashed: bool,
+}
+
+impl Journal {
+    /// Creates (truncating) a manifest and writes the sweep header.
+    pub fn create(path: &Path, header: &SweepHeader) -> Result<Journal, JournalError> {
+        let file = File::create(path).map_err(|e| JournalError {
+            path: path.to_path_buf(),
+            message: format!("create failed: {e}"),
+        })?;
+        let mut j = Journal {
+            file,
+            path: path.to_path_buf(),
+            records: 0,
+            crash_after: None,
+            crashed: false,
+        };
+        j.write_line(&encode_header(header))?;
+        Ok(j)
+    }
+
+    /// Opens an existing manifest for appending (resume).
+    pub fn open_append(path: &Path) -> Result<Journal, JournalError> {
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| JournalError {
+                path: path.to_path_buf(),
+                message: format!("open for append failed: {e}"),
+            })?;
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+            records: 0,
+            crash_after: None,
+            crashed: false,
+        })
+    }
+
+    /// Arms the deterministic crash point: the `n`-th appended attempt
+    /// record is torn mid-line and the journal then refuses all writes.
+    /// Test hook standing in for a SIGKILL.
+    pub fn crash_after_records(&mut self, n: usize) {
+        self.crash_after = Some(n);
+    }
+
+    /// Whether the crash point has fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Appends one attempt record, fsync'd before returning.
+    pub fn append(&mut self, rec: &AttemptRecord) -> Result<AppendStatus, JournalError> {
+        if self.crashed {
+            return Ok(AppendStatus::Crashed);
+        }
+        let line = rec.encode();
+        self.records += 1;
+        if self.crash_after.is_some_and(|n| self.records > n) {
+            // Tear the record: write roughly half the line, no newline.
+            let torn = &line[..line.len() / 2];
+            let _ = self.file.write_all(torn.as_bytes());
+            let _ = self.file.sync_data();
+            self.crashed = true;
+            return Ok(AppendStatus::Crashed);
+        }
+        self.write_line(&line)?;
+        Ok(AppendStatus::Written)
+    }
+
+    fn write_line(&mut self, line: &str) -> Result<(), JournalError> {
+        let io = |e: std::io::Error, what: &str| JournalError {
+            path: self.path.clone(),
+            message: format!("{what} failed: {e}"),
+        };
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.write_all(b"\n"))
+            .map_err(|e| io(e, "write"))?;
+        self.file.sync_data().map_err(|e| io(e, "fsync"))
+    }
+}
+
+/// Everything a resume needs from an existing manifest.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ManifestSummary {
+    /// The sweep header, if the first line parsed as one.
+    pub header: Option<SweepHeader>,
+    /// Final `Ok` record per job id: `(spec hash, payload, attempt)`.
+    /// Completed jobs are final — resume never re-runs them.
+    pub completed: BTreeMap<String, (u64, Vec<f64>, u32)>,
+    /// Highest failed attempt seen per job id (jobs with a later `Ok` are
+    /// removed). Failed jobs get a *fresh* retry budget on resume.
+    pub failed_attempts: BTreeMap<String, u32>,
+    /// Attempt records parsed.
+    pub records: usize,
+    /// Malformed lines skipped (a crash leaves at most one torn tail).
+    pub skipped_lines: usize,
+}
+
+/// Loads a manifest, tolerating a torn tail.
+///
+/// # Errors
+///
+/// Fails only if the file cannot be read at all — parse problems are
+/// per-line and reported via [`ManifestSummary::skipped_lines`].
+pub fn load_manifest(path: &Path) -> Result<ManifestSummary, JournalError> {
+    let text = std::fs::read_to_string(path).map_err(|e| JournalError {
+        path: path.to_path_buf(),
+        message: format!("read failed: {e}"),
+    })?;
+    let mut summary = ManifestSummary::default();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if i == 0 {
+            if let Some(h) = decode_header(line) {
+                summary.header = Some(h);
+                continue;
+            }
+        }
+        match AttemptRecord::decode(line) {
+            Some(rec) => {
+                summary.records += 1;
+                match rec.outcome {
+                    AttemptOutcome::Ok { payload } => {
+                        summary.failed_attempts.remove(&rec.job);
+                        summary
+                            .completed
+                            .insert(rec.job, (rec.hash, payload, rec.attempt));
+                    }
+                    AttemptOutcome::Fail { .. } => {
+                        if !summary.completed.contains_key(&rec.job) {
+                            let e = summary.failed_attempts.entry(rec.job).or_insert(0);
+                            *e = (*e).max(rec.attempt);
+                        }
+                    }
+                }
+            }
+            None => summary.skipped_lines += 1,
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_rec(job: &str, attempt: u32, payload: Vec<f64>) -> AttemptRecord {
+        AttemptRecord {
+            job: job.into(),
+            hash: fnv1a64(job),
+            attempt,
+            outcome: AttemptOutcome::Ok { payload },
+        }
+    }
+
+    fn fail_rec(job: &str, attempt: u32, class: FailureClass) -> AttemptRecord {
+        AttemptRecord {
+            job: job.into(),
+            hash: fnv1a64(job),
+            attempt,
+            outcome: AttemptOutcome::Fail {
+                class,
+                error: "boom".into(),
+            },
+        }
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64("foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn records_round_trip_through_the_serializer() {
+        let recs = [
+            ok_rec("fig7/mcf", 2, vec![8.4, -0.5, 1.0 / 3.0]),
+            fail_rec("fig9/lbm", 1, FailureClass::Deadlock),
+            ok_rec("ablations/namd", 1, vec![]),
+        ];
+        for r in recs {
+            assert_eq!(AttemptRecord::decode(&r.encode()), Some(r.clone()), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn journal_writes_and_manifest_loads() {
+        let dir = std::env::temp_dir().join("crisp-harness-journal-basic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let header = SweepHeader {
+            spec: "test sweep".into(),
+            jobs: 2,
+        };
+        let mut j = Journal::create(&path, &header).unwrap();
+        assert_eq!(
+            j.append(&fail_rec("a", 1, FailureClass::Timeout)).unwrap(),
+            AppendStatus::Written
+        );
+        assert_eq!(
+            j.append(&ok_rec("a", 2, vec![1.5])).unwrap(),
+            AppendStatus::Written
+        );
+        assert_eq!(
+            j.append(&fail_rec("b", 1, FailureClass::Panic)).unwrap(),
+            AppendStatus::Written
+        );
+        drop(j);
+
+        let m = load_manifest(&path).unwrap();
+        assert_eq!(m.header, Some(header));
+        assert_eq!(m.records, 3);
+        assert_eq!(m.skipped_lines, 0);
+        assert_eq!(m.completed.get("a"), Some(&(fnv1a64("a"), vec![1.5], 2)));
+        assert_eq!(m.failed_attempts.get("b"), Some(&1));
+        assert!(!m.failed_attempts.contains_key("a"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_point_tears_the_tail_and_load_tolerates_it() {
+        let dir = std::env::temp_dir().join("crisp-harness-journal-crash");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let header = SweepHeader {
+            spec: "crash sweep".into(),
+            jobs: 3,
+        };
+        let mut j = Journal::create(&path, &header).unwrap();
+        j.crash_after_records(1);
+        assert_eq!(
+            j.append(&ok_rec("a", 1, vec![2.0])).unwrap(),
+            AppendStatus::Written
+        );
+        assert_eq!(
+            j.append(&ok_rec("b", 1, vec![3.0])).unwrap(),
+            AppendStatus::Crashed
+        );
+        assert!(j.crashed());
+        // Post-crash appends are silently dropped, like a dead process.
+        assert_eq!(
+            j.append(&ok_rec("c", 1, vec![4.0])).unwrap(),
+            AppendStatus::Crashed
+        );
+        drop(j);
+
+        let m = load_manifest(&path).unwrap();
+        assert_eq!(m.records, 1);
+        assert_eq!(m.skipped_lines, 1, "torn tail is skipped, not fatal");
+        assert!(m.completed.contains_key("a"));
+        assert!(!m.completed.contains_key("b"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_append_extends_an_existing_manifest() {
+        let dir = std::env::temp_dir().join("crisp-harness-journal-append");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let header = SweepHeader {
+            spec: "s".into(),
+            jobs: 2,
+        };
+        let mut j = Journal::create(&path, &header).unwrap();
+        j.append(&ok_rec("a", 1, vec![1.0])).unwrap();
+        drop(j);
+        let mut j = Journal::open_append(&path).unwrap();
+        j.append(&ok_rec("b", 1, vec![2.0])).unwrap();
+        drop(j);
+        let m = load_manifest(&path).unwrap();
+        assert_eq!(m.completed.len(), 2);
+        assert_eq!(m.header.unwrap().spec, "s");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn alien_and_versioned_lines_are_skipped() {
+        assert_eq!(AttemptRecord::decode("not json"), None);
+        assert_eq!(
+            AttemptRecord::decode("{\"v\":99,\"kind\":\"attempt\"}"),
+            None
+        );
+        assert_eq!(
+            AttemptRecord::decode("{\"v\":1,\"kind\":\"sweep\",\"spec\":\"s\",\"jobs\":1}"),
+            None
+        );
+    }
+}

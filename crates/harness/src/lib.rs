@@ -1,0 +1,53 @@
+//! # crisp-harness
+//!
+//! The supervised experiment harness behind `crisp-bench`: every
+//! (workload, config) cell of a sweep becomes a *job* run on a worker
+//! pool with panic isolation, a per-job wall-clock deadline (enforced
+//! cooperatively inside the simulator via [`crisp_sim::CancelToken`]),
+//! and bounded retries with exponential backoff for transient failures.
+//! Progress is journaled to an append-only JSONL run manifest — one
+//! fsync'd record per attempt — so a sweep killed mid-flight resumes
+//! with `--resume <manifest>`, re-executing only incomplete jobs and
+//! reproducing byte-identical tables.
+//!
+//! Module map:
+//!
+//! - [`supervisor`] — job specs, the worker pool, retry/resume logic;
+//! - [`journal`] — the JSONL manifest format and tolerant loader;
+//! - [`retry`] — the backoff schedule;
+//! - [`class`] — the failure taxonomy (retryable vs fatal);
+//! - [`json`] — the dependency-free JSON subset the journal uses.
+//!
+//! ## Example
+//!
+//! ```
+//! use crisp_harness::{run_sweep, JobSpec, SupervisorOptions};
+//!
+//! let jobs = vec![JobSpec::new("demo/a", "demo/a v1"), JobSpec::new("demo/b", "demo/b v1")];
+//! let report = run_sweep(&jobs, &SupervisorOptions::default(), &|job, _ctx| {
+//!     Ok(vec![job.id.len() as f64])
+//! })
+//! .expect("no journal, no supervisor errors");
+//! assert_eq!(report.completed(), 2);
+//! assert!(!report.degraded());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod class;
+pub mod journal;
+pub mod json;
+pub mod retry;
+pub mod supervisor;
+
+pub use class::FailureClass;
+pub use journal::{
+    fnv1a64, load_manifest, AttemptOutcome, AttemptRecord, JournalError, ManifestSummary,
+    SweepHeader,
+};
+pub use retry::RetryPolicy;
+pub use supervisor::{
+    run_sweep, HarnessError, JobOutcome, JobRunner, JobSpec, RunContext, SupervisorOptions,
+    SweepReport,
+};

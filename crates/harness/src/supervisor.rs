@@ -1,0 +1,851 @@
+//! The experiment supervisor: a worker pool that runs every (workload,
+//! config) cell of a sweep as an isolated job.
+//!
+//! Per job, the supervisor provides:
+//!
+//! - **panic isolation** — each attempt runs under
+//!   [`std::panic::catch_unwind`], so one poisoned cell cannot take down
+//!   the sweep;
+//! - **a wall-clock deadline** — each attempt gets a fresh
+//!   [`CancelToken`] with the configured deadline; the simulator polls it
+//!   cooperatively and aborts into [`crisp_sim::SimError::DeadlineExceeded`];
+//! - **bounded retries with backoff** — transient failure classes
+//!   ([`FailureClass::retryable`]) are re-queued per [`RetryPolicy`];
+//!   deterministic ones fail fast;
+//! - **journaling** — every attempt is appended (fsync'd) to the JSONL
+//!   manifest, so a crashed sweep resumes from where it stopped;
+//! - **salvage** — jobs whose retries are exhausted stay in the report as
+//!   [`JobOutcome::Failed`]; the sweep still completes and renders
+//!   degraded figures instead of dying.
+
+use crate::class::FailureClass;
+use crate::journal::{
+    fnv1a64, load_manifest, AppendStatus, AttemptOutcome, AttemptRecord, Journal, JournalError,
+    SweepHeader,
+};
+use crate::retry::RetryPolicy;
+use crisp_core::CrispError;
+use crisp_sim::CancelToken;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One schedulable cell of a sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Stable id, e.g. `fig7/mcf` — the journal key.
+    pub id: String,
+    /// Full spec string (figure, workload, scale, cell-format version);
+    /// hashed into the job fingerprint so a resume detects spec drift.
+    pub spec: String,
+}
+
+impl JobSpec {
+    /// Creates a job spec.
+    pub fn new(id: impl Into<String>, spec: impl Into<String>) -> JobSpec {
+        JobSpec {
+            id: id.into(),
+            spec: spec.into(),
+        }
+    }
+
+    /// FNV-1a fingerprint of the spec string.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a64(&self.spec)
+    }
+}
+
+/// Per-attempt context handed to the job runner.
+#[derive(Clone, Debug)]
+pub struct RunContext {
+    /// 1-based attempt number (first run is 1).
+    pub attempt: u32,
+    /// Cancellation token carrying this attempt's wall-clock deadline;
+    /// thread it into every `SimConfig` the job builds.
+    pub cancel: CancelToken,
+}
+
+/// The function the supervisor runs per attempt. Returns the cell's
+/// payload vector; errors are classified via [`FailureClass::classify`].
+pub type JobRunner<'a> = dyn Fn(&JobSpec, &RunContext) -> Result<Vec<f64>, CrispError> + Sync + 'a;
+
+/// Supervisor configuration.
+#[derive(Clone, Debug)]
+pub struct SupervisorOptions {
+    /// Worker threads (clamped to at least 1 and at most the job count).
+    pub workers: usize,
+    /// Per-attempt wall-clock deadline (`None` = no deadline).
+    pub deadline: Option<Duration>,
+    /// Retry schedule for retryable failure classes.
+    pub retry: RetryPolicy,
+    /// JSONL manifest path (`None` = no journaling, no resume).
+    pub manifest: Option<PathBuf>,
+    /// Resume from the manifest instead of truncating it. Requires
+    /// `manifest` and an existing file.
+    pub resume: bool,
+    /// Sweep-level spec recorded in (and, on resume, checked against) the
+    /// manifest header.
+    pub sweep_spec: String,
+    /// Test hook: tear the n-th appended record and drop all later writes,
+    /// simulating a SIGKILL mid-manifest.
+    pub crash_after_records: Option<usize>,
+    /// Emit per-job progress lines on stderr.
+    pub progress: bool,
+}
+
+impl Default for SupervisorOptions {
+    fn default() -> SupervisorOptions {
+        SupervisorOptions {
+            workers: 1,
+            deadline: None,
+            retry: RetryPolicy::default(),
+            manifest: None,
+            resume: false,
+            sweep_spec: String::new(),
+            crash_after_records: None,
+            progress: false,
+        }
+    }
+}
+
+/// Final state of one job after the sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobOutcome {
+    /// The job produced a payload.
+    Completed {
+        /// The cell's result vector.
+        payload: Vec<f64>,
+        /// Attempts consumed (1 = first try; resumed jobs keep the
+        /// attempt count recorded in the manifest).
+        attempts: u32,
+        /// Whether the payload was restored from the manifest rather than
+        /// recomputed.
+        resumed: bool,
+    },
+    /// The job failed permanently (fatal class, or retries exhausted).
+    Failed {
+        /// The final attempt's failure class.
+        class: FailureClass,
+        /// The final attempt's error message.
+        error: String,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+}
+
+/// What a sweep produced.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SweepReport {
+    /// Final outcome per job id. Jobs in flight when the (injected) crash
+    /// fired have no entry.
+    pub outcomes: BTreeMap<String, JobOutcome>,
+    /// Whether the injected crash point fired (the sweep is incomplete and
+    /// must be resumed).
+    pub crashed: bool,
+    /// Jobs restored from the manifest without re-running.
+    pub resumed: usize,
+    /// Malformed manifest lines skipped during resume (torn tail).
+    pub skipped_manifest_lines: usize,
+}
+
+impl SweepReport {
+    /// Jobs that completed (fresh or resumed).
+    pub fn completed(&self) -> usize {
+        self.outcomes
+            .values()
+            .filter(|o| matches!(o, JobOutcome::Completed { .. }))
+            .count()
+    }
+
+    /// Jobs that failed permanently.
+    pub fn failed(&self) -> usize {
+        self.outcomes.len() - self.completed()
+    }
+
+    /// Whether any job failed permanently (the sweep result is usable but
+    /// partial — exit code 6 territory).
+    pub fn degraded(&self) -> bool {
+        self.failed() > 0
+    }
+
+    /// A job's payload, if it completed.
+    pub fn payload(&self, id: &str) -> Option<&[f64]> {
+        match self.outcomes.get(id) {
+            Some(JobOutcome::Completed { payload, .. }) => Some(payload),
+            _ => None,
+        }
+    }
+
+    /// Permanent failures grouped by class, each with its job ids.
+    pub fn taxonomy(&self) -> Vec<(FailureClass, Vec<&str>)> {
+        let mut by_class: BTreeMap<FailureClass, Vec<&str>> = BTreeMap::new();
+        for (id, o) in &self.outcomes {
+            if let JobOutcome::Failed { class, .. } = o {
+                by_class.entry(*class).or_default().push(id);
+            }
+        }
+        by_class.into_iter().collect()
+    }
+}
+
+/// Failure of the supervisor itself (not of a job — job failures live in
+/// the [`SweepReport`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HarnessError {
+    /// The journal could not be created, opened, read or written.
+    Journal(JournalError),
+    /// Two jobs share an id — the journal key would be ambiguous.
+    DuplicateJob(String),
+    /// `--resume` pointed at a manifest written by a different sweep.
+    ManifestHeaderMismatch {
+        /// The running sweep's spec.
+        expected: String,
+        /// The manifest header's spec.
+        found: String,
+    },
+    /// `resume` was requested without a manifest path.
+    ResumeWithoutManifest,
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::Journal(e) => write!(f, "{e}"),
+            HarnessError::DuplicateJob(id) => write!(f, "duplicate job id: {id}"),
+            HarnessError::ManifestHeaderMismatch { expected, found } => write!(
+                f,
+                "manifest belongs to a different sweep (manifest: `{found}`, current: `{expected}`); \
+                 start a fresh manifest instead of resuming"
+            ),
+            HarnessError::ResumeWithoutManifest => {
+                write!(f, "resume requested but no manifest path given")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+impl From<JournalError> for HarnessError {
+    fn from(e: JournalError) -> HarnessError {
+        HarnessError::Journal(e)
+    }
+}
+
+struct Pending {
+    idx: usize,
+    attempt: u32,
+    ready_at: Instant,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn first_line(s: &str) -> &str {
+    s.lines().next().unwrap_or("")
+}
+
+/// Runs every job to a final outcome (or until the injected crash point
+/// fires) and returns the report.
+///
+/// # Errors
+///
+/// Only supervisor-level failures ([`HarnessError`]) — a failing *job*
+/// never fails the sweep; it becomes a [`JobOutcome::Failed`] entry.
+pub fn run_sweep(
+    jobs: &[JobSpec],
+    opts: &SupervisorOptions,
+    runner: &JobRunner<'_>,
+) -> Result<SweepReport, HarnessError> {
+    let mut seen = BTreeSet::new();
+    for job in jobs {
+        if !seen.insert(job.id.as_str()) {
+            return Err(HarnessError::DuplicateJob(job.id.clone()));
+        }
+    }
+    if opts.resume && opts.manifest.is_none() {
+        return Err(HarnessError::ResumeWithoutManifest);
+    }
+
+    let mut outcomes: BTreeMap<String, JobOutcome> = BTreeMap::new();
+    let mut resumed = 0usize;
+    let mut skipped_manifest_lines = 0usize;
+
+    // Resume: restore completed jobs from the manifest (spec hash must
+    // match — a changed cell spec invalidates the stored payload).
+    if opts.resume {
+        let path = opts.manifest.as_ref().expect("checked above");
+        let summary = load_manifest(path)?;
+        skipped_manifest_lines = summary.skipped_lines;
+        if let Some(header) = &summary.header {
+            if !opts.sweep_spec.is_empty() && header.spec != opts.sweep_spec {
+                return Err(HarnessError::ManifestHeaderMismatch {
+                    expected: opts.sweep_spec.clone(),
+                    found: header.spec.clone(),
+                });
+            }
+        }
+        for job in jobs {
+            if let Some((hash, payload, attempts)) = summary.completed.get(&job.id) {
+                if *hash == job.fingerprint() {
+                    outcomes.insert(
+                        job.id.clone(),
+                        JobOutcome::Completed {
+                            payload: payload.clone(),
+                            attempts: *attempts,
+                            resumed: true,
+                        },
+                    );
+                    resumed += 1;
+                    if opts.progress {
+                        eprintln!("[supervisor] {}: restored from manifest", job.id);
+                    }
+                } else if opts.progress {
+                    eprintln!(
+                        "[supervisor] {}: manifest entry has a different spec, re-running",
+                        job.id
+                    );
+                }
+            }
+        }
+    }
+
+    let journal = match &opts.manifest {
+        Some(path) => {
+            let mut j = if opts.resume {
+                Journal::open_append(path)?
+            } else {
+                Journal::create(
+                    path,
+                    &SweepHeader {
+                        spec: opts.sweep_spec.clone(),
+                        jobs: jobs.len(),
+                    },
+                )?
+            };
+            if let Some(n) = opts.crash_after_records {
+                j.crash_after_records(n);
+            }
+            Some(Mutex::new(j))
+        }
+        None => None,
+    };
+
+    let queue: Mutex<VecDeque<Pending>> = Mutex::new(
+        jobs.iter()
+            .enumerate()
+            .filter(|(_, job)| !outcomes.contains_key(&job.id))
+            .map(|(idx, _)| Pending {
+                idx,
+                attempt: 1,
+                ready_at: Instant::now(),
+            })
+            .collect(),
+    );
+    let remaining = AtomicUsize::new(queue.lock().expect("fresh queue").len());
+    let crashed = AtomicBool::new(false);
+    let outcomes = Mutex::new(outcomes);
+
+    let workers = opts
+        .workers
+        .clamp(1, remaining.load(Ordering::SeqCst).max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                worker_loop(
+                    jobs, opts, runner, &queue, &remaining, &crashed, &journal, &outcomes,
+                );
+            });
+        }
+    });
+
+    let outcomes = outcomes.into_inner().expect("workers exited cleanly");
+    Ok(SweepReport {
+        outcomes,
+        crashed: crashed.load(Ordering::SeqCst),
+        resumed,
+        skipped_manifest_lines,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    jobs: &[JobSpec],
+    opts: &SupervisorOptions,
+    runner: &JobRunner<'_>,
+    queue: &Mutex<VecDeque<Pending>>,
+    remaining: &AtomicUsize,
+    crashed: &AtomicBool,
+    journal: &Option<Mutex<Journal>>,
+    outcomes: &Mutex<BTreeMap<String, JobOutcome>>,
+) {
+    loop {
+        if crashed.load(Ordering::SeqCst) {
+            return;
+        }
+        // Pick the first pending job whose backoff delay has elapsed.
+        let next = {
+            let mut q = queue.lock().expect("queue lock");
+            let now = Instant::now();
+            match q.iter().position(|p| p.ready_at <= now) {
+                Some(pos) => Ok(q.remove(pos).expect("position is in range")),
+                None => Err(q.iter().map(|p| p.ready_at).min()),
+            }
+        };
+        let pending = match next {
+            Ok(p) => p,
+            Err(soonest) => {
+                if remaining.load(Ordering::SeqCst) == 0 {
+                    return;
+                }
+                // Idle: jobs are running on other workers or backing off.
+                let nap = soonest
+                    .map(|t| t.saturating_duration_since(Instant::now()))
+                    .unwrap_or(Duration::from_millis(2))
+                    .min(Duration::from_millis(2));
+                std::thread::sleep(nap.max(Duration::from_micros(100)));
+                continue;
+            }
+        };
+
+        let job = &jobs[pending.idx];
+        let attempt = pending.attempt;
+        let cancel = match opts.deadline {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::new(),
+        };
+        let ctx = RunContext { attempt, cancel };
+        let result = catch_unwind(AssertUnwindSafe(|| runner(job, &ctx)));
+        let attempt_result: Result<Vec<f64>, (FailureClass, String)> = match result {
+            Ok(Ok(payload)) => Ok(payload),
+            Ok(Err(e)) => Err((FailureClass::classify(&e), e.to_string())),
+            Err(panic) => Err((FailureClass::Panic, panic_message(panic))),
+        };
+
+        // Journal the attempt before acting on it: the manifest must know
+        // about a failure before the retry is scheduled, or a crash in the
+        // gap would lose the attempt count.
+        let record = AttemptRecord {
+            job: job.id.clone(),
+            hash: job.fingerprint(),
+            attempt,
+            outcome: match &attempt_result {
+                Ok(payload) => AttemptOutcome::Ok {
+                    payload: payload.clone(),
+                },
+                Err((class, error)) => AttemptOutcome::Fail {
+                    class: *class,
+                    error: error.clone(),
+                },
+            },
+        };
+        if let Some(j) = journal {
+            let status = j.lock().expect("journal lock").append(&record);
+            match status {
+                Ok(AppendStatus::Written) => {}
+                Ok(AppendStatus::Crashed) => {
+                    // The simulated SIGKILL: drop the in-memory outcome too
+                    // (a dead process records nothing) and stop the pool.
+                    crashed.store(true, Ordering::SeqCst);
+                    return;
+                }
+                Err(e) => {
+                    // Real I/O failure: keep computing, lose durability.
+                    eprintln!("[supervisor] journal write failed: {e}");
+                }
+            }
+        }
+
+        match attempt_result {
+            Ok(payload) => {
+                if opts.progress {
+                    eprintln!(
+                        "[supervisor] {}: ok (attempt {attempt}/{})",
+                        job.id,
+                        opts.retry.max_attempts()
+                    );
+                }
+                outcomes.lock().expect("outcomes lock").insert(
+                    job.id.clone(),
+                    JobOutcome::Completed {
+                        payload,
+                        attempts: attempt,
+                        resumed: false,
+                    },
+                );
+                remaining.fetch_sub(1, Ordering::SeqCst);
+            }
+            Err((class, error)) => {
+                if class.retryable() && attempt < opts.retry.max_attempts() {
+                    let delay = opts.retry.delay(attempt, job.fingerprint());
+                    if opts.progress {
+                        eprintln!(
+                            "[supervisor] {}: {class} on attempt {attempt}/{}, retrying in {} ms",
+                            job.id,
+                            opts.retry.max_attempts(),
+                            delay.as_millis()
+                        );
+                    }
+                    queue.lock().expect("queue lock").push_back(Pending {
+                        idx: pending.idx,
+                        attempt: attempt + 1,
+                        ready_at: Instant::now() + delay,
+                    });
+                } else {
+                    if opts.progress {
+                        eprintln!(
+                            "[supervisor] {}: FAILED ({class}) after {attempt} attempt(s): {}",
+                            job.id,
+                            first_line(&error)
+                        );
+                    }
+                    outcomes.lock().expect("outcomes lock").insert(
+                        job.id.clone(),
+                        JobOutcome::Failed {
+                            class,
+                            error,
+                            attempts: attempt,
+                        },
+                    );
+                    remaining.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crisp_core::ConfigError;
+    use std::sync::atomic::AtomicU32;
+
+    fn jobs(ids: &[&str]) -> Vec<JobSpec> {
+        ids.iter()
+            .map(|id| JobSpec::new(*id, format!("{id} test-spec")))
+            .collect()
+    }
+
+    fn fast_retry(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(4),
+        }
+    }
+
+    #[test]
+    fn all_jobs_complete_across_workers() {
+        let js = jobs(&["a", "b", "c", "d", "e", "f"]);
+        let opts = SupervisorOptions {
+            workers: 4,
+            ..SupervisorOptions::default()
+        };
+        let report = run_sweep(&js, &opts, &|job, _ctx| Ok(vec![job.id.len() as f64])).unwrap();
+        assert_eq!(report.completed(), 6);
+        assert!(!report.degraded());
+        assert!(!report.crashed);
+        assert_eq!(report.payload("c"), Some(&[1.0][..]));
+    }
+
+    #[test]
+    fn panics_are_isolated_and_retried() {
+        let js = jobs(&["flaky", "solid"]);
+        let opts = SupervisorOptions {
+            retry: fast_retry(2),
+            ..SupervisorOptions::default()
+        };
+        let calls = AtomicU32::new(0);
+        let report = run_sweep(&js, &opts, &|job, ctx| {
+            if job.id == "flaky" {
+                calls.fetch_add(1, Ordering::SeqCst);
+                if ctx.attempt < 3 {
+                    panic!("injected panic on attempt {}", ctx.attempt);
+                }
+            }
+            Ok(vec![1.0])
+        })
+        .unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        assert_eq!(report.completed(), 2);
+        assert_eq!(
+            report.outcomes.get("flaky"),
+            Some(&JobOutcome::Completed {
+                payload: vec![1.0],
+                attempts: 3,
+                resumed: false
+            })
+        );
+    }
+
+    #[test]
+    fn fatal_classes_fail_fast_without_retry() {
+        let js = jobs(&["bad-config"]);
+        let opts = SupervisorOptions {
+            retry: fast_retry(5),
+            ..SupervisorOptions::default()
+        };
+        let calls = AtomicU32::new(0);
+        let report = run_sweep(&js, &opts, &|_job, _ctx| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(CrispError::Config(ConfigError::new(
+                "rob",
+                "must be nonzero",
+            )))
+        })
+        .unwrap();
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            1,
+            "no retries for config errors"
+        );
+        assert!(report.degraded());
+        match report.outcomes.get("bad-config") {
+            Some(JobOutcome::Failed {
+                class: FailureClass::Config,
+                attempts: 1,
+                ..
+            }) => {}
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_salvage_a_failed_outcome() {
+        let js = jobs(&["always-panics", "fine"]);
+        let opts = SupervisorOptions {
+            retry: fast_retry(2),
+            ..SupervisorOptions::default()
+        };
+        let report = run_sweep(&js, &opts, &|job, _ctx| {
+            if job.id == "always-panics" {
+                panic!("hopeless");
+            }
+            Ok(vec![42.0])
+        })
+        .unwrap();
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.failed(), 1);
+        match report.outcomes.get("always-panics") {
+            Some(JobOutcome::Failed {
+                class: FailureClass::Panic,
+                attempts: 3,
+                error,
+            }) => assert!(error.contains("hopeless")),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        let tax = report.taxonomy();
+        assert_eq!(tax.len(), 1);
+        assert_eq!(tax[0].0, FailureClass::Panic);
+        assert_eq!(tax[0].1, vec!["always-panics"]);
+    }
+
+    #[test]
+    fn deadline_token_reaches_the_runner_and_timeouts_classify() {
+        let js = jobs(&["slow"]);
+        let opts = SupervisorOptions {
+            deadline: Some(Duration::from_millis(1)),
+            retry: fast_retry(0),
+            ..SupervisorOptions::default()
+        };
+        let report = run_sweep(&js, &opts, &|_job, ctx| {
+            // Cooperative loop, like the engine's poll point.
+            loop {
+                if let Some(reason) = ctx.cancel.should_abort() {
+                    assert_eq!(reason, crisp_sim::AbortReason::DeadlineExceeded);
+                    return Err(CrispError::Simulation(
+                        crisp_sim::SimError::DeadlineExceeded {
+                            cycle: 7,
+                            retired: 0,
+                            total: 10,
+                        },
+                    ));
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        })
+        .unwrap();
+        match report.outcomes.get("slow") {
+            Some(JobOutcome::Failed {
+                class: FailureClass::Timeout,
+                ..
+            }) => {}
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_ids_and_bare_resume_are_rejected() {
+        let dup = jobs(&["x", "x"]);
+        assert_eq!(
+            run_sweep(&dup, &SupervisorOptions::default(), &|_, _| Ok(vec![])),
+            Err(HarnessError::DuplicateJob("x".into()))
+        );
+        let opts = SupervisorOptions {
+            resume: true,
+            ..SupervisorOptions::default()
+        };
+        assert_eq!(
+            run_sweep(&jobs(&["x"]), &opts, &|_, _| Ok(vec![])),
+            Err(HarnessError::ResumeWithoutManifest)
+        );
+    }
+
+    #[test]
+    fn crash_point_stops_the_sweep_and_resume_finishes_it() {
+        let dir = std::env::temp_dir().join("crisp-harness-supervisor-crash");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let js = jobs(&["a", "b", "c"]);
+        let runner = |job: &JobSpec, _ctx: &RunContext| Ok(vec![job.id.len() as f64, 0.25]);
+
+        // First run: the journal tears after 1 record; the sweep reports
+        // the crash and records nothing past it.
+        let opts = SupervisorOptions {
+            manifest: Some(path.clone()),
+            sweep_spec: "crash-sweep".into(),
+            crash_after_records: Some(1),
+            ..SupervisorOptions::default()
+        };
+        let report = run_sweep(&js, &opts, &runner).unwrap();
+        assert!(report.crashed);
+        assert!(report.outcomes.len() < 3);
+
+        // Resume: completes the remainder, restores the survivor, and the
+        // merged outcome set equals the uninterrupted run's.
+        let opts = SupervisorOptions {
+            manifest: Some(path.clone()),
+            sweep_spec: "crash-sweep".into(),
+            resume: true,
+            ..SupervisorOptions::default()
+        };
+        let resumed = run_sweep(&js, &opts, &runner).unwrap();
+        assert!(!resumed.crashed);
+        assert_eq!(resumed.completed(), 3);
+        assert_eq!(resumed.resumed, 1);
+        assert_eq!(resumed.skipped_manifest_lines, 1, "torn tail tolerated");
+        for job in &js {
+            assert_eq!(
+                resumed.payload(&job.id),
+                Some(&[job.id.len() as f64, 0.25][..])
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_skips_completed_jobs_and_reruns_failed_ones() {
+        let dir = std::env::temp_dir().join("crisp-harness-supervisor-resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let js = jobs(&["done", "broken"]);
+
+        let opts = SupervisorOptions {
+            manifest: Some(path.clone()),
+            sweep_spec: "resume-sweep".into(),
+            retry: fast_retry(0),
+            ..SupervisorOptions::default()
+        };
+        let first = run_sweep(&js, &opts, &|job, _ctx| {
+            if job.id == "broken" {
+                panic!("transient");
+            }
+            Ok(vec![3.5])
+        })
+        .unwrap();
+        assert_eq!(first.completed(), 1);
+        assert_eq!(first.failed(), 1);
+
+        // Resume with a healthy runner: `done` must NOT re-run; `broken`
+        // gets a fresh attempt budget and succeeds.
+        let opts = SupervisorOptions {
+            manifest: Some(path.clone()),
+            sweep_spec: "resume-sweep".into(),
+            resume: true,
+            retry: fast_retry(0),
+            ..SupervisorOptions::default()
+        };
+        let second = run_sweep(&js, &opts, &|job, _ctx| {
+            assert_ne!(job.id, "done", "completed job re-ran on resume");
+            Ok(vec![9.0])
+        })
+        .unwrap();
+        assert_eq!(second.completed(), 2);
+        assert_eq!(second.resumed, 1);
+        assert_eq!(
+            second.outcomes.get("done"),
+            Some(&JobOutcome::Completed {
+                payload: vec![3.5],
+                attempts: 1,
+                resumed: true
+            })
+        );
+        assert_eq!(second.payload("broken"), Some(&[9.0][..]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_foreign_manifest() {
+        let dir = std::env::temp_dir().join("crisp-harness-supervisor-foreign");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let js = jobs(&["a"]);
+        let opts = SupervisorOptions {
+            manifest: Some(path.clone()),
+            sweep_spec: "sweep-v1".into(),
+            ..SupervisorOptions::default()
+        };
+        run_sweep(&js, &opts, &|_, _| Ok(vec![])).unwrap();
+
+        let opts = SupervisorOptions {
+            manifest: Some(path.clone()),
+            sweep_spec: "sweep-v2".into(),
+            resume: true,
+            ..SupervisorOptions::default()
+        };
+        assert_eq!(
+            run_sweep(&js, &opts, &|_, _| Ok(vec![])),
+            Err(HarnessError::ManifestHeaderMismatch {
+                expected: "sweep-v2".into(),
+                found: "sweep-v1".into(),
+            })
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn changed_spec_hash_invalidates_a_restored_payload() {
+        let dir = std::env::temp_dir().join("crisp-harness-supervisor-hash");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let old = vec![JobSpec::new("a", "a spec-v1")];
+        let opts = SupervisorOptions {
+            manifest: Some(path.clone()),
+            ..SupervisorOptions::default()
+        };
+        run_sweep(&old, &opts, &|_, _| Ok(vec![1.0])).unwrap();
+
+        let new = vec![JobSpec::new("a", "a spec-v2")];
+        let opts = SupervisorOptions {
+            manifest: Some(path.clone()),
+            resume: true,
+            ..SupervisorOptions::default()
+        };
+        let report = run_sweep(&new, &opts, &|_, _| Ok(vec![2.0])).unwrap();
+        assert_eq!(report.resumed, 0, "stale payload must not be restored");
+        assert_eq!(report.payload("a"), Some(&[2.0][..]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,3 +1,4 @@
+use crate::cancel::CancelToken;
 use crisp_isa::ConfigError;
 use crisp_mem::HierarchyConfig;
 
@@ -84,6 +85,23 @@ pub struct SimConfig {
     /// issuing once this many instructions have retired, freezing the
     /// machine. `None` (the default) disables the hook.
     pub freeze_scheduler_after: Option<u64>,
+    /// Cooperative cancellation: when set, the engine polls the token
+    /// every [`SimConfig::cancel_check_interval`] cycles and aborts with
+    /// [`crate::SimError::Cancelled`] / [`crate::SimError::DeadlineExceeded`]
+    /// instead of being killed from outside. `None` (the default) never
+    /// aborts.
+    pub cancel: Option<CancelToken>,
+    /// How often (in cycles) the cancellation token is polled. Polling
+    /// costs one `Instant::now()` per check; the default (8192) keeps that
+    /// overhead unmeasurable while bounding cancellation latency to a few
+    /// microseconds of simulated work. Must be nonzero.
+    pub cancel_check_interval: u64,
+    /// Hard cap on simulated cycles: the run aborts with
+    /// [`crate::SimError::CycleBudgetExhausted`] when `now` reaches the
+    /// budget. Unlike the no-progress watchdog this also bounds *slow but
+    /// live* runs. `None` (the default) is unlimited; `Some(0)` is
+    /// rejected by validation.
+    pub cycle_budget: Option<u64>,
 }
 
 impl SimConfig {
@@ -119,6 +137,9 @@ impl SimConfig {
             watchdog_cycles: 2_000_000,
             check_invariants: false,
             freeze_scheduler_after: None,
+            cancel: None,
+            cancel_check_interval: 8192,
+            cycle_budget: None,
         }
     }
 
@@ -217,6 +238,18 @@ impl SimConfig {
                 "must be nonzero (got 0): a zero watchdog aborts every run",
             ));
         }
+        if self.cancel_check_interval == 0 {
+            return Err(ConfigError::new(
+                "cancel_check_interval",
+                "must be nonzero (got 0): the poll cadence divides the cycle count",
+            ));
+        }
+        if self.cycle_budget == Some(0) {
+            return Err(ConfigError::new(
+                "cycle_budget",
+                "must be nonzero when set: a zero budget aborts every run at cycle 0",
+            ));
+        }
         self.memory
             .validate()
             .map_err(|m| ConfigError::new("memory", m))?;
@@ -274,7 +307,7 @@ mod tests {
     #[test]
     fn degenerate_machines_name_the_offending_field() {
         type Mutate = fn(&mut SimConfig);
-        let cases: [(&str, Mutate); 10] = [
+        let cases: [(&str, Mutate); 12] = [
             ("fetch_width", |c| c.fetch_width = 0),
             ("issue_width", |c| c.issue_width = 0),
             ("rob_entries", |c| c.rob_entries = 0),
@@ -285,6 +318,8 @@ mod tests {
             ("load_buffer", |c| c.load_buffer = 0),
             ("store_buffer", |c| c.store_buffer = 0),
             ("watchdog_cycles", |c| c.watchdog_cycles = 0),
+            ("cancel_check_interval", |c| c.cancel_check_interval = 0),
+            ("cycle_budget", |c| c.cycle_budget = Some(0)),
         ];
         for (field, mutate) in cases {
             let mut c = SimConfig::skylake();
@@ -300,6 +335,15 @@ mod tests {
         c.issue_width = c.rs_entries + 1;
         let err = c.validate().unwrap_err();
         assert_eq!(err.field, "issue_width");
+    }
+
+    #[test]
+    fn nonzero_cycle_budget_and_cancel_token_are_valid() {
+        let mut c = SimConfig::skylake();
+        c.cycle_budget = Some(1_000_000);
+        c.cancel = Some(CancelToken::new());
+        c.validate()
+            .expect("budgeted, cancellable machine is valid");
     }
 
     #[test]

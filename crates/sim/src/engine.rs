@@ -1,5 +1,6 @@
 use crate::age_matrix::{AgeMatrix, BitSet};
 use crate::bpu::{BpuConfig, BranchPredictionUnit};
+use crate::cancel::AbortReason;
 use crate::config::{SchedulerKind, SimConfig};
 use crate::error::{DeadlockReport, HeadState, SimError};
 use crate::stats::{PipeRecord, SimResult, UpcTimeline};
@@ -237,6 +238,33 @@ impl<'a> Engine<'a> {
         let total = self.trace.len() as u64;
         let mut last_progress = (0u64, 0u64); // (retired, cycle)
         while self.res.retired < total {
+            // Cooperative abort points, checked before the cycle's work so
+            // a cancelled run stops without touching machine state again.
+            if let Some(budget) = self.cfg.cycle_budget {
+                if self.now >= budget {
+                    return Err(SimError::CycleBudgetExhausted {
+                        budget,
+                        retired: self.res.retired,
+                        total,
+                    });
+                }
+            }
+            if self.now.is_multiple_of(self.cfg.cancel_check_interval) {
+                if let Some(reason) = self.cfg.cancel.as_ref().and_then(|t| t.should_abort()) {
+                    return Err(match reason {
+                        AbortReason::Cancelled => SimError::Cancelled {
+                            cycle: self.now,
+                            retired: self.res.retired,
+                            total,
+                        },
+                        AbortReason::DeadlineExceeded => SimError::DeadlineExceeded {
+                            cycle: self.now,
+                            retired: self.res.retired,
+                            total,
+                        },
+                    });
+                }
+            }
             let retired_now = self.commit();
             self.issue();
             self.dispatch();
@@ -903,6 +931,7 @@ impl<'a> Engine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cancel::CancelToken;
     use crate::config::SchedulerKind;
     use crisp_emu::{Emulator, Memory};
     use crisp_isa::{AluOp, Cond, ProgramBuilder, Reg};
@@ -1357,6 +1386,81 @@ mod tests {
         let dump = report.to_string();
         assert!(dump.contains("ROB head"), "dump: {dump}");
         assert!(dump.contains("oldest unissued"), "dump: {dump}");
+    }
+
+    #[test]
+    fn cycle_budget_aborts_deterministically_with_progress_report() {
+        let (p, t) = alu_loop();
+        let mut cfg = SimConfig::skylake();
+        cfg.cycle_budget = Some(50);
+        let err = Simulator::new(cfg.clone())
+            .try_run(&p, &t, None)
+            .unwrap_err();
+        let SimError::CycleBudgetExhausted {
+            budget,
+            retired,
+            total,
+        } = err
+        else {
+            panic!("expected budget exhaustion, got {err}");
+        };
+        assert_eq!(budget, 50);
+        assert!(retired < total);
+        // Deterministic: the same budget aborts at the same point.
+        let err2 = Simulator::new(cfg).try_run(&p, &t, None).unwrap_err();
+        assert_eq!(
+            err2,
+            SimError::CycleBudgetExhausted {
+                budget,
+                retired,
+                total
+            }
+        );
+        // A budget generous enough for the whole trace never fires.
+        let mut roomy = SimConfig::skylake();
+        roomy.cycle_budget = Some(u64::MAX);
+        let res = Simulator::new(roomy).try_run(&p, &t, None).expect("fits");
+        assert_eq!(res.retired, t.len() as u64);
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_at_cycle_zero() {
+        let (p, t) = alu_loop();
+        let token = CancelToken::new();
+        token.cancel();
+        let mut cfg = SimConfig::skylake();
+        cfg.cancel = Some(token);
+        let err = Simulator::new(cfg).try_run(&p, &t, None).unwrap_err();
+        let SimError::Cancelled { cycle, retired, .. } = err else {
+            panic!("expected cancellation, got {err}");
+        };
+        assert_eq!(cycle, 0);
+        assert_eq!(retired, 0);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_as_deadline_exceeded() {
+        let (p, t) = alu_loop();
+        let mut cfg = SimConfig::skylake();
+        cfg.cancel = Some(CancelToken::with_deadline(std::time::Duration::ZERO));
+        let err = Simulator::new(cfg).try_run(&p, &t, None).unwrap_err();
+        assert!(
+            matches!(err, SimError::DeadlineExceeded { .. }),
+            "expected deadline abort, got {err}"
+        );
+    }
+
+    #[test]
+    fn unexpired_token_does_not_perturb_the_run() {
+        let (p, t) = alu_loop();
+        let mut cfg = SimConfig::skylake();
+        cfg.cancel = Some(CancelToken::with_deadline(std::time::Duration::from_secs(
+            3600,
+        )));
+        let with_token = Simulator::new(cfg).try_run(&p, &t, None).expect("clean");
+        let plain = Simulator::new(SimConfig::skylake()).run(&p, &t, None);
+        assert_eq!(with_token.cycles, plain.cycles);
+        assert_eq!(with_token.retired, plain.retired);
     }
 
     #[test]

@@ -106,6 +106,37 @@ pub enum SimError {
         /// Which invariant failed.
         message: String,
     },
+    /// The run's [`crate::CancelToken`] was cancelled (cooperative abort
+    /// at the next poll point; the machine state is abandoned cleanly).
+    Cancelled {
+        /// Cycle at which the poll observed the cancellation.
+        cycle: u64,
+        /// Instructions retired before the abort.
+        retired: u64,
+        /// Total instructions in the trace.
+        total: u64,
+    },
+    /// The run's [`crate::CancelToken`] wall-clock deadline passed — the
+    /// supervisor-facing timeout, distinct from [`SimError::Deadlock`]:
+    /// the machine may still be making (slow) progress.
+    DeadlineExceeded {
+        /// Cycle at which the poll observed the expired deadline.
+        cycle: u64,
+        /// Instructions retired before the abort.
+        retired: u64,
+        /// Total instructions in the trace.
+        total: u64,
+    },
+    /// The run hit [`crate::SimConfig::cycle_budget`] before retiring the
+    /// whole trace — a deterministic overrun, unlike a wall-clock timeout.
+    CycleBudgetExhausted {
+        /// The configured budget.
+        budget: u64,
+        /// Instructions retired within the budget.
+        retired: u64,
+        /// Total instructions in the trace.
+        total: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -120,6 +151,30 @@ impl fmt::Display for SimError {
             SimError::InvariantViolation { cycle, message } => {
                 write!(f, "invariant violation at cycle {cycle}: {message}")
             }
+            SimError::Cancelled {
+                cycle,
+                retired,
+                total,
+            } => write!(
+                f,
+                "simulation cancelled at cycle {cycle} (retired {retired}/{total})"
+            ),
+            SimError::DeadlineExceeded {
+                cycle,
+                retired,
+                total,
+            } => write!(
+                f,
+                "wall-clock deadline exceeded at cycle {cycle} (retired {retired}/{total})"
+            ),
+            SimError::CycleBudgetExhausted {
+                budget,
+                retired,
+                total,
+            } => write!(
+                f,
+                "cycle budget of {budget} exhausted (retired {retired}/{total})"
+            ),
         }
     }
 }
@@ -155,6 +210,29 @@ mod tests {
         assert!(s.contains("pc 42, waiting to issue"));
         assert!(s.contains("ROB 224/224"));
         assert!(s.contains("oldest unissued: seq 1234"));
+    }
+
+    #[test]
+    fn abort_variants_report_progress() {
+        let c = SimError::Cancelled {
+            cycle: 10,
+            retired: 3,
+            total: 9,
+        };
+        assert!(c.to_string().contains("cancelled at cycle 10"));
+        assert!(c.to_string().contains("3/9"));
+        let d = SimError::DeadlineExceeded {
+            cycle: 20,
+            retired: 4,
+            total: 9,
+        };
+        assert!(d.to_string().contains("deadline exceeded"));
+        let b = SimError::CycleBudgetExhausted {
+            budget: 1000,
+            retired: 5,
+            total: 9,
+        };
+        assert!(b.to_string().contains("budget of 1000"));
     }
 
     #[test]

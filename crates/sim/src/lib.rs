@@ -57,6 +57,7 @@
 
 mod age_matrix;
 mod bpu;
+mod cancel;
 mod config;
 mod engine;
 mod error;
@@ -64,6 +65,7 @@ mod stats;
 
 pub use age_matrix::{AgeMatrix, BitSet};
 pub use bpu::{BpuConfig, BranchOutcome, BranchPredictionUnit};
+pub use cancel::{AbortReason, CancelToken};
 pub use config::{SchedulerKind, SimConfig};
 pub use engine::Simulator;
 pub use error::{ConfigError, DeadlockReport, HeadState, SimError};

@@ -71,6 +71,14 @@ pub fn critical_path_filter(
         .iter()
         .map(|&pc| (pc, model.latency(program, pc)))
         .collect();
+    // Relaxation is bounded, so on cyclic (loop-carried) edge sets the
+    // saturated values depend on edge visit order. Sort so the result is a
+    // pure function of the slice, not of `HashSet` iteration order.
+    let edges: Vec<(Pc, Pc)> = {
+        let mut v: Vec<(Pc, Pc)> = slice.edges.iter().copied().collect();
+        v.sort_unstable();
+        v
+    };
 
     // `up[n]`: longest path latency from n (inclusive) up to the root,
     // following producer→consumer direction. `down[n]`: longest chain
@@ -83,7 +91,7 @@ pub fn critical_path_filter(
     let rounds = nodes.len().min(64) + 1;
     for _ in 0..rounds {
         let mut changed = false;
-        for &(consumer, producer) in &slice.edges {
+        for &(consumer, producer) in &edges {
             let (Some(&upc), Some(&lp)) = (up.get(&consumer), lat.get(&producer)) else {
                 continue;
             };

@@ -51,6 +51,22 @@ pub enum Input {
     Ref,
 }
 
+/// The only failure of the workload registry: a name nobody registered.
+/// `crisp-core` folds this into its `CrispError::UnknownWorkload` variant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownWorkload {
+    /// The name that was requested.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown workload: {}", self.name)
+    }
+}
+
+impl std::error::Error for UnknownWorkload {}
+
 /// A runnable workload: program text plus initial memory image.
 #[derive(Clone, Debug)]
 pub struct Workload {
@@ -88,9 +104,13 @@ pub fn all_names() -> &'static [&'static str] {
     ]
 }
 
-/// Builds a workload by name, or `None` for an unknown name.
-pub fn build(name: &str, input: Input) -> Option<Workload> {
-    Some(match name {
+/// Builds a workload by name.
+///
+/// # Errors
+///
+/// Returns [`UnknownWorkload`] for a name not in [`all_names`].
+pub fn build(name: &str, input: Input) -> Result<Workload, UnknownWorkload> {
+    Ok(match name {
         "pointer_chase" => hpc::pointer_chase(input),
         "xhpcg" => hpc::xhpcg(input),
         "bwaves" => spec::bwaves(input),
@@ -109,15 +129,21 @@ pub fn build(name: &str, input: Input) -> Option<Workload> {
         "img_dnn" => datacenter::img_dnn(input),
         "omnetpp" => extra::omnetpp(input),
         "xalancbmk" => extra::xalancbmk(input),
-        _ => return None,
+        _ => {
+            return Err(UnknownWorkload {
+                name: name.to_string(),
+            })
+        }
     })
 }
 
-/// Builds every workload for one input set.
+/// Builds every workload for one input set. Infallible by construction:
+/// [`all_names`] and [`build`] cover exactly the same set (asserted by the
+/// registry tests), so the per-name results are flattened here.
 pub fn build_all(input: Input) -> Vec<Workload> {
     all_names()
         .iter()
-        .map(|n| build(n, input).expect("registered name"))
+        .filter_map(|n| build(n, input).ok())
         .collect()
 }
 
@@ -129,10 +155,13 @@ mod tests {
     #[test]
     fn registry_is_complete_and_closed() {
         for name in all_names() {
-            assert!(build(name, Input::Train).is_some(), "{name} missing");
+            assert!(build(name, Input::Train).is_ok(), "{name} missing");
         }
-        assert!(build("nonexistent", Input::Train).is_none());
+        let err = build("nonexistent", Input::Train).unwrap_err();
+        assert_eq!(err.name, "nonexistent");
+        assert_eq!(err.to_string(), "unknown workload: nonexistent");
         assert_eq!(all_names().len(), 18);
+        assert_eq!(build_all(Input::Train).len(), all_names().len());
     }
 
     #[test]
