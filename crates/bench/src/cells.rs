@@ -14,8 +14,11 @@ use crisp_core::{
     IbdaConfig, Input, PipelineConfig, SimConfig, SliceConfig, SliceMode,
 };
 use crisp_emu::Emulator;
+use crisp_harness::{checkpoint_file_name, newest_valid_checkpoint, write_checkpoint};
 use crisp_harness::{JobSpec, RunContext};
-use crisp_sim::Simulator;
+use crisp_sim::{CheckpointSink, Simulator};
+use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Cell payload-format version, embedded in every job spec.
 pub const CELL_FORMAT: &str = "cells-v1";
@@ -80,11 +83,65 @@ fn arm(sim: &mut SimConfig, ctx: &RunContext, stall: bool) {
     }
 }
 
+/// Mid-run checkpointing policy for a cell, derived from
+/// `--checkpoint-interval` and the manifest path.
+#[derive(Clone, Debug)]
+pub struct CheckpointPolicy {
+    /// Directory holding the sweep's checkpoint files.
+    pub dir: PathBuf,
+    /// Approximate cycles between checkpoints (rounded up to the engine's
+    /// cancellation-poll cadence).
+    pub interval: u64,
+    /// Under `--resume`, restore each sub-run from its newest valid
+    /// checkpoint instead of starting at cycle 0.
+    pub resume: bool,
+}
+
+/// Arms one of a cell's simulations with checkpoint emission (and, on
+/// resume, mid-run restore). `label` distinguishes the cell's sub-runs —
+/// their machine states are not interchangeable, so each gets its own
+/// file-name key and spec fingerprint.
+///
+/// Checkpoint writes are best-effort: a full disk must not kill a healthy
+/// simulation, and `newest_valid_checkpoint` already tolerates gaps. The
+/// *restore* path is strict — a directory that cannot be scanned is a
+/// typed [`CrispError::Checkpoint`].
+fn arm_checkpoints(
+    sim: &mut SimConfig,
+    job: &JobSpec,
+    policy: Option<&CheckpointPolicy>,
+    label: &str,
+) -> Result<(), CrispError> {
+    let Some(policy) = policy else {
+        return Ok(());
+    };
+    let key = format!("{}@{label}", job.id);
+    let spec = format!("{} {label}", job.spec);
+    if policy.resume {
+        let found = newest_valid_checkpoint(&policy.dir, &key, &spec)
+            .map_err(|e| CrispError::Checkpoint(e.to_string()))?;
+        if let Some((_, snapshot)) = found {
+            sim.restore = Some(Arc::new(snapshot));
+        }
+    }
+    sim.checkpoint_interval = Some(policy.interval);
+    let dir = policy.dir.clone();
+    sim.checkpoint_sink = Some(CheckpointSink::new(move |snapshot| {
+        let path = dir.join(checkpoint_file_name(&key, snapshot.cycle));
+        let _ = std::fs::create_dir_all(&dir);
+        let _ = write_checkpoint(&path, &spec, snapshot);
+    }));
+    Ok(())
+}
+
 /// Runs one cell to its payload.
 ///
 /// `stall` is the chaos-injection hook (`--inject-stall`): it freezes the
 /// scheduler early so the watchdog fires, exercising the deadlock-retry
-/// path end to end.
+/// path end to end. `ckpt` enables mid-run checkpoint/restore for the
+/// cells that drive their simulations directly (Figure 1); cells whose
+/// simulations run inside the shared pipeline stages resume at the cell
+/// boundary via the manifest instead.
 ///
 /// # Errors
 ///
@@ -95,6 +152,7 @@ pub fn run_cell(
     ctx: &RunContext,
     scale: ExperimentScale,
     stall: bool,
+    ckpt: Option<&CheckpointPolicy>,
 ) -> Result<Vec<f64>, CrispError> {
     let (figure, workload) = split_id(&job.id).ok_or_else(|| {
         CrispError::Config(ConfigError::new(
@@ -105,7 +163,7 @@ pub fn run_cell(
     let mut cfg = scale.pipeline();
     arm(&mut cfg.sim, ctx, stall);
     match figure {
-        "fig1" => cell_fig1(workload, &cfg),
+        "fig1" => cell_fig1(job, workload, &cfg, ckpt),
         "fig4" => cell_fig4(workload, &cfg),
         "fig7" => cell_fig7(workload, &cfg),
         "fig8" => cell_fig8(workload, &cfg),
@@ -123,7 +181,18 @@ pub fn run_cell(
 
 /// Figure 1 payload: `[ooo_ipc, crisp_ipc, speedup_pct, k,
 /// ooo_upc[0..k], crisp_upc[0..k]]` (UPC timeline, k buckets).
-fn cell_fig1(name: &str, cfg: &PipelineConfig) -> Result<Vec<f64>, CrispError> {
+///
+/// The two evaluation simulations are driven directly (not via the shared
+/// pipeline), so this is the cell that exercises *mid-run* checkpoint/
+/// restore: under a [`CheckpointPolicy`] each sim emits checkpoints keyed
+/// by its sub-run label (`ooo` / `crisp`) and, on resume, continues its
+/// workload from the newest valid one.
+fn cell_fig1(
+    job: &JobSpec,
+    name: &str,
+    cfg: &PipelineConfig,
+    ckpt: Option<&CheckpointPolicy>,
+) -> Result<Vec<f64>, CrispError> {
     let w = build(name, Input::Ref)?;
     let trace = Emulator::new(&w.program, w.memory.clone()).run(cfg.eval_instructions / 2);
 
@@ -133,17 +202,15 @@ fn cell_fig1(name: &str, cfg: &PipelineConfig) -> Result<Vec<f64>, CrispError> {
     let mut sim_cfg = cfg.sim.clone();
     sim_cfg.record_upc_timeline = true;
     sim_cfg.collect_pc_stats = false;
-    let ooo = Simulator::try_new(
-        sim_cfg
-            .clone()
-            .with_scheduler(SchedulerKind::OldestReadyFirst),
-    )?
-    .try_run(&w.program, &trace, None)?;
-    let crisp = Simulator::try_new(sim_cfg.with_scheduler(SchedulerKind::Crisp))?.try_run(
-        &w.program,
-        &trace,
-        Some(pres.map.as_slice()),
-    )?;
+    let mut ooo_cfg = sim_cfg
+        .clone()
+        .with_scheduler(SchedulerKind::OldestReadyFirst);
+    arm_checkpoints(&mut ooo_cfg, job, ckpt, "ooo")?;
+    let ooo = Simulator::try_new(ooo_cfg)?.try_run(&w.program, &trace, None)?;
+    let mut crisp_cfg = sim_cfg.with_scheduler(SchedulerKind::Crisp);
+    arm_checkpoints(&mut crisp_cfg, job, ckpt, "crisp")?;
+    let crisp =
+        Simulator::try_new(crisp_cfg)?.try_run(&w.program, &trace, Some(pres.map.as_slice()))?;
 
     let buckets = 60;
     let ooo_series = ooo.upc.bucketed(buckets);
@@ -353,12 +420,12 @@ mod tests {
             cancel: CancelToken::new(),
         };
         let bad = JobSpec::new("no-slash", "no-slash spec");
-        match run_cell(&bad, &ctx, ExperimentScale::Tiny, false) {
+        match run_cell(&bad, &ctx, ExperimentScale::Tiny, false, None) {
             Err(CrispError::Config(_)) => {}
             other => panic!("unexpected: {other:?}"),
         }
         let unknown = JobSpec::new("fig99/mcf", "fig99/mcf spec");
-        match run_cell(&unknown, &ctx, ExperimentScale::Tiny, false) {
+        match run_cell(&unknown, &ctx, ExperimentScale::Tiny, false, None) {
             Err(CrispError::Config(_)) => {}
             other => panic!("unexpected: {other:?}"),
         }
@@ -371,9 +438,49 @@ mod tests {
             cancel: CancelToken::new(),
         };
         let job = cell_spec("fig11", "mcf", ExperimentScale::Tiny);
-        match run_cell(&job, &ctx, ExperimentScale::Tiny, true) {
+        match run_cell(&job, &ctx, ExperimentScale::Tiny, true, None) {
             Err(CrispError::Simulation(crisp_sim::SimError::Deadlock(_))) => {}
             other => panic!("expected deadlock, got: {other:?}"),
         }
+    }
+
+    #[test]
+    fn fig1_checkpoints_and_resumes_to_identical_payloads() {
+        let dir = std::env::temp_dir().join("crisp-bench-cells-ckpt");
+        std::fs::remove_dir_all(&dir).ok();
+        let ctx = RunContext {
+            attempt: 1,
+            cancel: CancelToken::new(),
+        };
+        let job = cell_spec("fig1", "pointer_chase", ExperimentScale::Tiny);
+        let policy = CheckpointPolicy {
+            dir: dir.clone(),
+            interval: 1,
+            resume: false,
+        };
+        let reference =
+            run_cell(&job, &ctx, ExperimentScale::Tiny, false, Some(&policy)).expect("first run");
+        let written: Vec<String> = std::fs::read_dir(&dir)
+            .expect("checkpoint dir exists")
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            written
+                .iter()
+                .any(|n| n.contains("_ooo") && n.ends_with(".ckpt"))
+                && written.iter().any(|n| n.contains("_crisp")),
+            "both sub-runs checkpoint: {written:?}"
+        );
+
+        // Resuming restores each sim mid-workload from its newest valid
+        // checkpoint; the payload must be byte-identical regardless.
+        let resume = CheckpointPolicy {
+            resume: true,
+            ..policy
+        };
+        let resumed =
+            run_cell(&job, &ctx, ExperimentScale::Tiny, false, Some(&resume)).expect("resumed run");
+        assert_eq!(resumed, reference);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -78,7 +78,7 @@ fn figure_report(figure: &str, scale: ExperimentScale) -> Result<String, CrispEr
             attempt: 1,
             cancel: CancelToken::new(),
         };
-        let payload = cells::run_cell(job, &ctx, scale, false)?;
+        let payload = cells::run_cell(job, &ctx, scale, false, None)?;
         outcomes.insert(
             job.id.clone(),
             JobOutcome::Completed {

@@ -20,12 +20,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod cells;
 pub mod experiments;
 pub mod render;
 pub mod sweep;
 
+pub use audit::{run_restore_audit, AuditLine};
 pub use experiments::{
     ablations, fig1, fig10, fig11, fig12, fig4, fig7, fig8, fig9, table1, ExperimentScale,
 };
-pub use sweep::{all_targets, run_supervised_sweep, Chaos, SweepConfig, SweepOutput};
+pub use sweep::{
+    all_targets, checkpoint_dir, run_supervised_sweep, Chaos, SweepConfig, SweepOutput,
+};

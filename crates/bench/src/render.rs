@@ -10,6 +10,7 @@
 use crate::cells;
 use crate::experiments::geomean_speedup;
 use crisp_core::{Coverage, Table};
+use crisp_harness::json::Value;
 use crisp_harness::{JobOutcome, JobSpec};
 use std::collections::BTreeMap;
 
@@ -21,6 +22,9 @@ struct CellView<'a> {
     /// `(class, attempts, error)` for permanent failures; also synthesized
     /// for cells with no outcome at all (sweep crashed before they ran).
     failure: Option<(String, u32, String)>,
+    /// Structured failure record (deadlock report, panic payload,
+    /// checkpoint diagnostics) persisted in the manifest, if any.
+    detail: Option<&'a Value>,
 }
 
 fn views<'a>(
@@ -36,15 +40,18 @@ fn views<'a>(
                     workload,
                     payload: Some(payload),
                     failure: None,
+                    detail: None,
                 },
                 Some(JobOutcome::Failed {
                     class,
                     error,
                     attempts,
+                    detail,
                 }) => CellView {
                     workload,
                     payload: None,
                     failure: Some((class.to_string(), *attempts, error.clone())),
+                    detail: detail.as_ref(),
                 },
                 None => CellView {
                     workload,
@@ -54,10 +61,29 @@ fn views<'a>(
                         0,
                         "sweep stopped before this cell ran".to_string(),
                     )),
+                    detail: None,
                 },
             }
         })
         .collect()
+}
+
+/// Flattens a structured failure record to `key=value` pairs for the
+/// taxonomy block — the manifest's evidence, cited next to the summary
+/// line so a DEGRADED table explains itself without the JSONL in hand.
+fn detail_citation(detail: &Value) -> String {
+    match detail {
+        Value::Obj(pairs) => pairs
+            .iter()
+            .filter(|(k, _)| k != "kind")
+            .map(|(k, v)| match v {
+                Value::Str(s) => format!("{k}={s}"),
+                other => format!("{k}={}", other.encode()),
+            })
+            .collect::<Vec<String>>()
+            .join(" "),
+        other => other.encode(),
+    }
 }
 
 fn coverage(views: &[CellView<'_>]) -> Coverage {
@@ -86,6 +112,12 @@ fn failure_block(views: &[CellView<'_>]) -> String {
             "  {}: {class} after {attempts} attempt(s) — {first_line}\n",
             v.workload
         ));
+        if let Some(detail) = v.detail {
+            let citation = detail_citation(detail);
+            if !citation.is_empty() {
+                out.push_str(&format!("      detail: {citation}\n"));
+            }
+        }
     }
     out
 }
@@ -434,6 +466,12 @@ mod tests {
                 class: FailureClass::Deadlock,
                 error: "simulator deadlock at cycle 7\n  ROB head: pc 3".to_string(),
                 attempts: 4,
+                detail: Some(Value::Obj(vec![
+                    ("kind".to_string(), Value::Str("deadlock".into())),
+                    ("cycle".to_string(), Value::Num(7.0)),
+                    ("rob".to_string(), Value::Str("12/224".into())),
+                    ("rs".to_string(), Value::Str("4/96".into())),
+                ])),
             },
         );
         let s = render_figure("fig11", &cells, &outcomes);
@@ -442,6 +480,10 @@ mod tests {
         assert!(
             s.contains("lbm: deadlock after 4 attempt(s) — simulator deadlock at cycle 7"),
             "{s}"
+        );
+        assert!(
+            s.contains("detail: cycle=7 rob=12/224 rs=4/96"),
+            "the manifest's structured record is cited: {s}"
         );
         assert!(
             s.contains("lbm  "),
@@ -472,6 +514,7 @@ mod tests {
                 class: FailureClass::Timeout,
                 error: "wall-clock deadline exceeded".to_string(),
                 attempts: 2,
+                detail: None,
             },
         );
         let s = render_figure("fig7", &cells, &outcomes);

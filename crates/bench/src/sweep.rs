@@ -1,13 +1,14 @@
 //! The supervised sweep: figures × workloads on the crisp-harness
 //! worker pool, with chaos injection for testing the robustness paths.
 
-use crate::cells::{self, CELL_FORMAT, FIGURES};
+use crate::cells::{self, CheckpointPolicy, CELL_FORMAT, FIGURES};
 use crate::experiments::{table1, ExperimentScale};
 use crate::render::render_figure;
 use crisp_harness::{
-    run_sweep, HarnessError, JobSpec, RetryPolicy, RunContext, SupervisorOptions, SweepReport,
+    run_sweep, FailureClass, HarnessError, JobSpec, RetryPolicy, RunContext, SupervisorOptions,
+    SweepReport,
 };
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// Fault injection applied by the sweep runner (CI smoke + tests).
@@ -52,6 +53,14 @@ pub struct SweepConfig {
     pub chaos: Chaos,
     /// Emit per-job progress lines on stderr.
     pub progress: bool,
+    /// Mid-run checkpointing: cells that drive simulations directly emit
+    /// an integrity-checked machine snapshot roughly every this many
+    /// cycles into [`checkpoint_dir`] next to the manifest, and `--resume`
+    /// continues them mid-workload. Requires a manifest path.
+    pub checkpoint_interval: Option<u64>,
+    /// Run the checkpoint/restore determinism audit instead of the sweep
+    /// (`--audit-restore`; see [`crate::audit`]).
+    pub audit_restore: bool,
     /// Test hook: simulate a SIGKILL after this many journal records.
     pub crash_after_records: Option<usize>,
 }
@@ -69,9 +78,20 @@ impl Default for SweepConfig {
             resume: false,
             chaos: Chaos::default(),
             progress: false,
+            checkpoint_interval: None,
+            audit_restore: false,
             crash_after_records: None,
         }
     }
+}
+
+/// Where a sweep journaling to `manifest` keeps its checkpoint files: a
+/// sibling directory, so `--resume <manifest>` finds both halves of the
+/// crash state without extra flags.
+pub fn checkpoint_dir(manifest: &Path) -> PathBuf {
+    let mut name = manifest.file_name().unwrap_or_default().to_os_string();
+    name.push(".ckpt.d");
+    manifest.with_file_name(name)
 }
 
 /// Every target, in canonical render order (`table1` first).
@@ -111,6 +131,15 @@ impl SweepOutput {
     pub fn degraded(&self) -> bool {
         !self.report.crashed && self.report.degraded()
     }
+
+    /// Whether any permanent failure was checkpoint-class — torn/
+    /// mismatched checkpoint state that no retry can fix (exit code 7).
+    pub fn checkpoint_failures(&self) -> bool {
+        self.report
+            .taxonomy()
+            .iter()
+            .any(|(class, _)| *class == FailureClass::Checkpoint)
+    }
 }
 
 /// Builds the full job list for a sweep config.
@@ -142,12 +171,19 @@ pub fn run_supervised_sweep(cfg: &SweepConfig) -> Result<SweepOutput, HarnessErr
     };
     let chaos = cfg.chaos.clone();
     let scale = cfg.scale;
+    let ckpt = cfg.checkpoint_interval.and_then(|interval| {
+        cfg.manifest.as_ref().map(|m| CheckpointPolicy {
+            dir: checkpoint_dir(m),
+            interval,
+            resume: cfg.resume,
+        })
+    });
     let runner = move |job: &JobSpec, ctx: &RunContext| {
         if ctx.attempt == 1 && chaos.panic_once.iter().any(|s| job.id.contains(s.as_str())) {
             panic!("injected fault: chaos panic for {}", job.id);
         }
         let stall = chaos.stall.iter().any(|s| job.id.contains(s.as_str()));
-        cells::run_cell(job, ctx, scale, stall)
+        cells::run_cell(job, ctx, scale, stall, ckpt.as_ref())
     };
     let report = run_sweep(&jobs, &opts, &runner)?;
 
@@ -180,6 +216,14 @@ mod tests {
             workers: 2,
             ..SweepConfig::default()
         }
+    }
+
+    #[test]
+    fn checkpoint_dir_is_a_manifest_sibling() {
+        assert_eq!(
+            checkpoint_dir(Path::new("/runs/sweep.jsonl")),
+            PathBuf::from("/runs/sweep.jsonl.ckpt.d")
+        );
     }
 
     #[test]

@@ -26,6 +26,17 @@ pub enum EmuError {
         /// The fuel the run was given.
         fuel: u64,
     },
+    /// A store pushed the sparse memory image past the configured
+    /// page budget ([`Emulator::with_page_budget`]): the workload is
+    /// touching more memory than the harness is willing to host.
+    PageBudgetExceeded {
+        /// The pc of the offending store.
+        pc: Pc,
+        /// Pages allocated after the store.
+        pages: usize,
+        /// The configured budget.
+        budget: usize,
+    },
 }
 
 impl fmt::Display for EmuError {
@@ -36,6 +47,10 @@ impl fmt::Display for EmuError {
                 f,
                 "program did not halt within {fuel} instructions (stopped at pc {pc} after retiring {retired}): \
                  likely an infinite loop"
+            ),
+            EmuError::PageBudgetExceeded { pc, pages, budget } => write!(
+                f,
+                "store at pc {pc} grew the memory image to {pages} pages, over the {budget}-page budget"
             ),
         }
     }
@@ -55,6 +70,7 @@ pub struct Emulator<'p> {
     pc: Pc,
     halted: bool,
     retired: u64,
+    page_budget: Option<usize>,
 }
 
 impl<'p> Emulator<'p> {
@@ -68,7 +84,25 @@ impl<'p> Emulator<'p> {
             pc: program.entry(),
             halted: false,
             retired: 0,
+            page_budget: None,
         }
+    }
+
+    /// Caps the sparse memory image at `pages` 4 KiB pages. A store that
+    /// allocates past the cap fails with [`EmuError::PageBudgetExceeded`]
+    /// instead of growing without bound — a runaway workload then degrades
+    /// into a typed per-cell failure rather than taking down the whole
+    /// worker pool. The initial image may already exceed the budget; only
+    /// growth during emulation is policed.
+    #[must_use]
+    pub fn with_page_budget(mut self, pages: usize) -> Emulator<'p> {
+        self.page_budget = Some(pages);
+        self
+    }
+
+    /// The configured page budget, if any.
+    pub fn page_budget(&self) -> Option<usize> {
+        self.page_budget
     }
 
     /// The current architectural register file.
@@ -201,6 +235,12 @@ impl<'p> Emulator<'p> {
                 rec.addr = addr;
                 let data = src(2, self);
                 self.mem.write(addr, data, inst.width.bytes());
+                if let Some(budget) = self.page_budget {
+                    let pages = self.mem.page_count();
+                    if pages > budget {
+                        return Err(EmuError::PageBudgetExceeded { pc, pages, budget });
+                    }
+                }
             }
             Opcode::Branch(cond) => {
                 let taken = cond.eval(src(0, self), src(1, self));
@@ -295,6 +335,43 @@ impl<'p> Emulator<'p> {
                 fuel,
             }),
         }
+    }
+
+    /// Serialises the architectural state — pc, halt flag, retirement
+    /// count, register file and the sparse memory image — as a flat word
+    /// vector. The program text is *not* captured; a restore target must
+    /// be constructed over the same program.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        let mut words = Vec::with_capacity(3 + Reg::COUNT);
+        words.push(u64::from(self.pc));
+        words.push(u64::from(self.halted));
+        words.push(self.retired);
+        words.extend_from_slice(&self.regs);
+        words.extend(self.mem.snapshot_words());
+        words
+    }
+
+    /// Restores state captured by [`Emulator::snapshot_words`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem; the
+    /// emulator should be discarded on error (state may be partial).
+    pub fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+        if words.len() < 3 + Reg::COUNT {
+            return Err("emulator snapshot: truncated header".to_string());
+        }
+        let pc =
+            Pc::try_from(words[0]).map_err(|_| "emulator snapshot: pc overflow".to_string())?;
+        self.halted = match words[1] {
+            0 => false,
+            1 => true,
+            v => return Err(format!("emulator snapshot: bad halt flag {v}")),
+        };
+        self.pc = pc;
+        self.retired = words[2];
+        self.regs.copy_from_slice(&words[3..3 + Reg::COUNT]);
+        self.mem.restore_words(&words[3 + Reg::COUNT..])
     }
 }
 
@@ -496,6 +573,87 @@ mod tests {
         let mut emu = Emulator::new(&p, Memory::new());
         emu.run(10);
         assert_eq!(emu.reg(Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn page_budget_stops_runaway_stores() {
+        // A loop storing to a new page every iteration.
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 0x1_0000); // ptr
+        let top = b.label();
+        b.bind(top);
+        b.store(r(1), 0, r(1), 8);
+        b.alu_ri(AluOp::Add, r(1), r(1), 4096);
+        b.jump(top);
+        b.halt();
+        let p = b.build();
+        let mut emu = Emulator::new(&p, Memory::new()).with_page_budget(4);
+        let err = emu.try_run(1_000_000).unwrap_err();
+        let EmuError::PageBudgetExceeded { pages, budget, .. } = err else {
+            panic!("expected page-budget error, got {err}");
+        };
+        assert_eq!(budget, 4);
+        assert_eq!(pages, 5);
+        assert_eq!(emu.memory().page_count(), 5);
+    }
+
+    #[test]
+    fn page_budget_allows_bounded_workloads() {
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 0x1000);
+        b.store(r(1), 0, r(1), 8);
+        b.store(r(1), 8, r(1), 8); // same page: no growth
+        b.halt();
+        let p = b.build();
+        let mut emu = Emulator::new(&p, Memory::new()).with_page_budget(1);
+        let (_, stop) = emu.try_run(100).unwrap();
+        assert_eq!(stop, StopReason::Halted);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_mid_run() {
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 0x1000);
+        b.li(r(2), 0);
+        b.li(r(3), 8);
+        let top = b.label();
+        b.bind(top);
+        b.load(r(4), r(1), 0, 8);
+        b.alu_rr(AluOp::Add, r(2), r(2), r(4));
+        b.alu_ri(AluOp::Add, r(1), r(1), 8);
+        b.alu_ri(AluOp::Sub, r(3), r(3), 1);
+        b.branch(Cond::Ne, r(3), Reg::ZERO, top);
+        b.halt();
+        let p = b.build();
+        let mut mem = Memory::new();
+        mem.write_u64_slice(0x1000, &[1, 2, 3, 4, 5, 6, 7, 8]);
+
+        // Straight-through reference.
+        let mut reference = Emulator::new(&p, mem.clone());
+        reference.run(10_000);
+
+        // Run half-way, snapshot, restore into a fresh emulator, finish.
+        let mut first = Emulator::new(&p, mem);
+        first.run(20);
+        let words = first.snapshot_words();
+        let mut second = Emulator::new(&p, Memory::new());
+        second.restore_words(&words).unwrap();
+        assert_eq!(second.retired(), 20);
+        second.run(10_000);
+
+        assert_eq!(second.reg(r(2)), reference.reg(r(2)));
+        assert_eq!(second.retired(), reference.retired());
+        assert_eq!(second.snapshot_words(), reference.snapshot_words());
+    }
+
+    #[test]
+    fn snapshot_rejects_garbage() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let p = b.build();
+        let mut emu = Emulator::new(&p, Memory::new());
+        assert!(emu.restore_words(&[]).is_err());
+        assert!(emu.restore_words(&[u64::MAX; 40]).is_err());
     }
 
     #[test]

@@ -116,6 +116,63 @@ impl Memory {
             self.write_u64(addr + 8 * i as u64, *v);
         }
     }
+
+    /// Serialises the allocated pages as a flat word vector:
+    /// `[page_count, (page_index, 512 data words)...]`.
+    ///
+    /// Pages are emitted in ascending index order so the encoding is
+    /// deterministic regardless of hash-map iteration order — a
+    /// requirement for byte-identical checkpoint round-trips.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.pages.keys().copied().collect();
+        keys.sort_unstable();
+        let mut words = Vec::with_capacity(1 + keys.len() * (1 + PAGE_SIZE / 8));
+        words.push(keys.len() as u64);
+        for k in keys {
+            words.push(k);
+            let page = &self.pages[&k];
+            for chunk in page.chunks_exact(8) {
+                words.push(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+            }
+        }
+        words
+    }
+
+    /// Rebuilds the image from [`Memory::snapshot_words`] output,
+    /// replacing all current contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem (truncated
+    /// data, duplicate page, trailing words) without modifying guarantees
+    /// about partial state — callers should discard the image on error.
+    pub fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+        let (&count, mut rest) = words
+            .split_first()
+            .ok_or_else(|| "memory snapshot: empty".to_string())?;
+        self.pages.clear();
+        for _ in 0..count {
+            let (&idx, after) = rest
+                .split_first()
+                .ok_or_else(|| "memory snapshot: truncated page header".to_string())?;
+            if after.len() < PAGE_SIZE / 8 {
+                return Err("memory snapshot: truncated page data".to_string());
+            }
+            let (data, tail) = after.split_at(PAGE_SIZE / 8);
+            let mut page = Box::new([0u8; PAGE_SIZE]);
+            for (i, w) in data.iter().enumerate() {
+                page[8 * i..8 * i + 8].copy_from_slice(&w.to_le_bytes());
+            }
+            if self.pages.insert(idx, page).is_some() {
+                return Err(format!("memory snapshot: duplicate page {idx:#x}"));
+            }
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            return Err("memory snapshot: trailing words".to_string());
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -182,5 +239,43 @@ mod tests {
     #[should_panic(expected = "bad write width")]
     fn oversized_write_panics() {
         Memory::new().write(0, 0, 9);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_byte_identical() {
+        let mut m = Memory::new();
+        m.write_u64(0x1000, 0xDEAD);
+        m.write_u64(0x9_F000, 0xBEEF);
+        m.write_u8(0x42, 7);
+        let words = m.snapshot_words();
+        let mut n = Memory::new();
+        n.restore_words(&words).unwrap();
+        assert_eq!(n.read_u64(0x1000), 0xDEAD);
+        assert_eq!(n.read_u64(0x9_F000), 0xBEEF);
+        assert_eq!(n.read_u8(0x42), 7);
+        assert_eq!(n.snapshot_words(), words);
+    }
+
+    #[test]
+    fn restore_replaces_existing_contents() {
+        let mut src = Memory::new();
+        src.write_u64(0x2000, 11);
+        let words = src.snapshot_words();
+        let mut dst = Memory::new();
+        dst.write_u64(0x7000, 99);
+        dst.restore_words(&words).unwrap();
+        assert_eq!(dst.read_u64(0x7000), 0, "stale page must be dropped");
+        assert_eq!(dst.read_u64(0x2000), 11);
+        assert_eq!(dst.page_count(), 1);
+    }
+
+    #[test]
+    fn truncated_snapshot_is_rejected() {
+        let mut m = Memory::new();
+        m.write_u64(0x1000, 1);
+        let mut words = m.snapshot_words();
+        words.truncate(words.len() - 1);
+        assert!(Memory::new().restore_words(&words).is_err());
+        assert!(Memory::new().restore_words(&[]).is_err());
     }
 }

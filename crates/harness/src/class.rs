@@ -31,6 +31,10 @@ pub enum FailureClass {
     Config,
     /// The workload name is not registered.
     UnknownWorkload,
+    /// A checkpoint failed integrity or compatibility checks (torn file,
+    /// fingerprint/version mismatch, restore rejection). Deterministic:
+    /// retrying would re-read the same bytes, so it fails fast.
+    Checkpoint,
     /// Any other pipeline error (emulation, annotation, invariant
     /// violation, map mismatch).
     Runtime,
@@ -56,6 +60,7 @@ impl FailureClass {
             FailureClass::CycleBudget => "cycle-budget",
             FailureClass::Config => "config",
             FailureClass::UnknownWorkload => "unknown-workload",
+            FailureClass::Checkpoint => "checkpoint",
             FailureClass::Runtime => "runtime",
         }
     }
@@ -70,6 +75,7 @@ impl FailureClass {
             "cycle-budget" => FailureClass::CycleBudget,
             "config" => FailureClass::Config,
             "unknown-workload" => FailureClass::UnknownWorkload,
+            "checkpoint" => FailureClass::Checkpoint,
             "runtime" => FailureClass::Runtime,
             _ => return None,
         })
@@ -79,9 +85,11 @@ impl FailureClass {
     pub fn classify(e: &CrispError) -> FailureClass {
         match e {
             CrispError::UnknownWorkload(_) => FailureClass::UnknownWorkload,
+            CrispError::Checkpoint(_) => FailureClass::Checkpoint,
             CrispError::Config(_) => FailureClass::Config,
             CrispError::Simulation(sim) => match sim {
                 SimError::Deadlock(_) => FailureClass::Deadlock,
+                SimError::SnapshotRestore { .. } => FailureClass::Checkpoint,
                 SimError::DeadlineExceeded { .. } => FailureClass::Timeout,
                 SimError::Cancelled { .. } => FailureClass::Cancelled,
                 SimError::CycleBudgetExhausted { .. } => FailureClass::CycleBudget,
@@ -116,6 +124,7 @@ mod tests {
             FailureClass::CycleBudget,
             FailureClass::Config,
             FailureClass::UnknownWorkload,
+            FailureClass::Checkpoint,
             FailureClass::Runtime,
         ];
         for c in retryable {
@@ -136,6 +145,7 @@ mod tests {
             FailureClass::CycleBudget,
             FailureClass::Config,
             FailureClass::UnknownWorkload,
+            FailureClass::Checkpoint,
             FailureClass::Runtime,
         ] {
             assert_eq!(FailureClass::from_name(c.name()), Some(c));
@@ -172,6 +182,17 @@ mod tests {
         assert_eq!(
             FailureClass::classify(&CrispError::Annotation("empty map".into())),
             FailureClass::Runtime
+        );
+        assert_eq!(
+            FailureClass::classify(&CrispError::Checkpoint("torn file".into())),
+            FailureClass::Checkpoint
+        );
+        assert_eq!(
+            FailureClass::classify(&CrispError::Simulation(SimError::SnapshotRestore {
+                section: "engine".into(),
+                message: "truncated".into()
+            })),
+            FailureClass::Checkpoint
         );
     }
 }

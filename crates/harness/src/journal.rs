@@ -52,6 +52,11 @@ pub enum AttemptOutcome {
         class: FailureClass,
         /// The error message, single line.
         error: String,
+        /// Structured failure payload — deadlock-report fields, the panic
+        /// message, checkpoint diagnostics — so DEGRADED tables can cite
+        /// *why* a cell is missing. `None` when the failure carries no
+        /// structure beyond `error`.
+        detail: Option<Value>,
     },
 }
 
@@ -89,10 +94,17 @@ impl AttemptRecord {
                     Value::Arr(payload.iter().map(|&x| Value::Num(x)).collect()),
                 ));
             }
-            AttemptOutcome::Fail { class, error } => {
+            AttemptOutcome::Fail {
+                class,
+                error,
+                detail,
+            } => {
                 pairs.push(("outcome".into(), Value::Str("fail".into())));
                 pairs.push(("class".into(), Value::Str(class.name().into())));
                 pairs.push(("error".into(), Value::Str(error.clone())));
+                if let Some(d) = detail {
+                    pairs.push(("detail".into(), d.clone()));
+                }
             }
         }
         Value::Obj(pairs).encode()
@@ -120,6 +132,7 @@ impl AttemptRecord {
             "fail" => AttemptOutcome::Fail {
                 class: FailureClass::from_name(v.get("class")?.as_str()?)?,
                 error: v.get("error")?.as_str()?.to_string(),
+                detail: v.get("detail").cloned(),
             },
             _ => return None,
         };
@@ -355,6 +368,7 @@ mod tests {
             outcome: AttemptOutcome::Fail {
                 class,
                 error: "boom".into(),
+                detail: None,
             },
         }
     }
@@ -377,6 +391,35 @@ mod tests {
         for r in recs {
             assert_eq!(AttemptRecord::decode(&r.encode()), Some(r.clone()), "{r:?}");
         }
+    }
+
+    #[test]
+    fn structured_failure_detail_round_trips() {
+        let detail = Value::Obj(vec![
+            ("kind".into(), Value::Str("deadlock".into())),
+            ("cycle".into(), Value::Num(5e6)),
+            ("stalled_for".into(), Value::Num(2e6)),
+        ]);
+        let rec = AttemptRecord {
+            job: "fig7/lbm".into(),
+            hash: fnv1a64("fig7/lbm"),
+            attempt: 1,
+            outcome: AttemptOutcome::Fail {
+                class: FailureClass::Deadlock,
+                error: "simulator deadlock at cycle 5000000".into(),
+                detail: Some(detail.clone()),
+            },
+        };
+        let decoded = AttemptRecord::decode(&rec.encode()).expect("round trip");
+        assert_eq!(decoded, rec);
+        let AttemptOutcome::Fail {
+            detail: Some(d), ..
+        } = decoded.outcome
+        else {
+            panic!("detail lost");
+        };
+        assert_eq!(d.get("kind").unwrap().as_str(), Some("deadlock"));
+        assert_eq!(d.get("cycle").unwrap().as_u64(), Some(5_000_000));
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!
 //! - [`supervisor`] — job specs, the worker pool, retry/resume logic;
 //! - [`journal`] — the JSONL manifest format and tolerant loader;
+//! - [`checkpoint`] — the versioned, CRC-checked binary container for
+//!   mid-run simulator snapshots (atomic write-rename, torn-file
+//!   detection, config fingerprinting);
 //! - [`retry`] — the backoff schedule;
 //! - [`class`] — the failure taxonomy (retryable vs fatal);
 //! - [`json`] — the dependency-free JSON subset the journal uses.
@@ -35,12 +38,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod class;
 pub mod journal;
 pub mod json;
 pub mod retry;
 pub mod supervisor;
 
+pub use checkpoint::{
+    checkpoint_file_name, newest_valid_checkpoint, read_checkpoint, write_checkpoint,
+    CheckpointError, CHECKPOINT_VERSION,
+};
 pub use class::FailureClass;
 pub use journal::{
     fnv1a64, load_manifest, AttemptOutcome, AttemptRecord, JournalError, ManifestSummary,
@@ -48,6 +56,6 @@ pub use journal::{
 };
 pub use retry::RetryPolicy;
 pub use supervisor::{
-    run_sweep, HarnessError, JobOutcome, JobRunner, JobSpec, RunContext, SupervisorOptions,
-    SweepReport,
+    failure_detail, run_sweep, HarnessError, JobOutcome, JobRunner, JobSpec, RunContext,
+    SupervisorOptions, SweepReport,
 };

@@ -23,6 +23,7 @@ use crate::journal::{
     fnv1a64, load_manifest, AppendStatus, AttemptOutcome, AttemptRecord, Journal, JournalError,
     SweepHeader,
 };
+use crate::json::Value;
 use crate::retry::RetryPolicy;
 use crisp_core::CrispError;
 use crisp_sim::CancelToken;
@@ -134,6 +135,9 @@ pub enum JobOutcome {
         error: String,
         /// Attempts consumed.
         attempts: u32,
+        /// Structured failure payload (see
+        /// [`crate::journal::AttemptOutcome::Fail`]) for DEGRADED tables.
+        detail: Option<Value>,
     },
 }
 
@@ -240,6 +244,57 @@ struct Pending {
     idx: usize,
     attempt: u32,
     ready_at: Instant,
+}
+
+/// Structured detail for a failed attempt: deadlock reports and
+/// checkpoint failures carry machine-readable fields into the manifest so
+/// a DEGRADED table can cite the failure, not just name it.
+pub fn failure_detail(e: &CrispError) -> Option<Value> {
+    match e {
+        CrispError::Simulation(crisp_sim::SimError::Deadlock(r)) => {
+            let mut pairs = vec![
+                ("kind".to_string(), Value::Str("deadlock".into())),
+                ("cycle".to_string(), Value::Num(r.cycle as f64)),
+                ("stalled_for".to_string(), Value::Num(r.stalled_for as f64)),
+                ("retired".to_string(), Value::Num(r.retired as f64)),
+                ("total".to_string(), Value::Num(r.total as f64)),
+                (
+                    "rob".to_string(),
+                    Value::Str(format!("{}/{}", r.rob.0, r.rob.1)),
+                ),
+                (
+                    "rs".to_string(),
+                    Value::Str(format!("{}/{}", r.rs.0, r.rs.1)),
+                ),
+            ];
+            if let Some((pc, state)) = &r.rob_head {
+                pairs.push(("rob_head_pc".to_string(), Value::Num(f64::from(*pc))));
+                pairs.push(("rob_head_state".to_string(), Value::Str(state.to_string())));
+            }
+            Some(Value::Obj(pairs))
+        }
+        CrispError::Simulation(crisp_sim::SimError::SnapshotRestore { section, message }) => {
+            Some(Value::Obj(vec![
+                ("kind".to_string(), Value::Str("checkpoint".into())),
+                ("section".to_string(), Value::Str(section.clone())),
+                ("message".to_string(), Value::Str(message.clone())),
+            ]))
+        }
+        CrispError::Checkpoint(m) => Some(Value::Obj(vec![
+            ("kind".to_string(), Value::Str("checkpoint".into())),
+            ("message".to_string(), Value::Str(m.clone())),
+        ])),
+        _ => None,
+    }
+}
+
+/// Structured detail for a caught panic: the payload survives into the
+/// manifest verbatim, not just its first line.
+fn panic_detail(message: &str) -> Value {
+    Value::Obj(vec![
+        ("kind".to_string(), Value::Str("panic".into())),
+        ("message".to_string(), Value::Str(message.to_string())),
+    ])
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -428,10 +483,19 @@ fn worker_loop(
         };
         let ctx = RunContext { attempt, cancel };
         let result = catch_unwind(AssertUnwindSafe(|| runner(job, &ctx)));
-        let attempt_result: Result<Vec<f64>, (FailureClass, String)> = match result {
+        type Failure = (FailureClass, String, Option<Value>);
+        let attempt_result: Result<Vec<f64>, Failure> = match result {
             Ok(Ok(payload)) => Ok(payload),
-            Ok(Err(e)) => Err((FailureClass::classify(&e), e.to_string())),
-            Err(panic) => Err((FailureClass::Panic, panic_message(panic))),
+            Ok(Err(e)) => Err((
+                FailureClass::classify(&e),
+                e.to_string(),
+                failure_detail(&e),
+            )),
+            Err(panic) => {
+                let msg = panic_message(panic);
+                let detail = panic_detail(&msg);
+                Err((FailureClass::Panic, msg, Some(detail)))
+            }
         };
 
         // Journal the attempt before acting on it: the manifest must know
@@ -445,9 +509,10 @@ fn worker_loop(
                 Ok(payload) => AttemptOutcome::Ok {
                     payload: payload.clone(),
                 },
-                Err((class, error)) => AttemptOutcome::Fail {
+                Err((class, error, detail)) => AttemptOutcome::Fail {
                     class: *class,
                     error: error.clone(),
+                    detail: detail.clone(),
                 },
             },
         };
@@ -487,7 +552,7 @@ fn worker_loop(
                 );
                 remaining.fetch_sub(1, Ordering::SeqCst);
             }
-            Err((class, error)) => {
+            Err((class, error, detail)) => {
                 if class.retryable() && attempt < opts.retry.max_attempts() {
                     let delay = opts.retry.delay(attempt, job.fingerprint());
                     if opts.progress {
@@ -517,6 +582,7 @@ fn worker_loop(
                             class,
                             error,
                             attempts: attempt,
+                            detail,
                         },
                     );
                     remaining.fetch_sub(1, Ordering::SeqCst);
@@ -643,7 +709,13 @@ mod tests {
                 class: FailureClass::Panic,
                 attempts: 3,
                 error,
-            }) => assert!(error.contains("hopeless")),
+                detail,
+            }) => {
+                assert!(error.contains("hopeless"));
+                let d = detail.as_ref().expect("panic carries detail");
+                assert_eq!(d.get("kind").unwrap().as_str(), Some("panic"));
+                assert_eq!(d.get("message").unwrap().as_str(), Some("hopeless"));
+            }
             other => panic!("unexpected outcome: {other:?}"),
         }
         let tax = report.taxonomy();
@@ -794,6 +866,54 @@ mod tests {
         );
         assert_eq!(second.payload("broken"), Some(&[9.0][..]));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deadlock_reports_map_to_structured_detail() {
+        let report = crisp_sim::DeadlockReport {
+            cycle: 5_000_000,
+            stalled_for: 2_000_000,
+            retired: 1234,
+            total: 9999,
+            rob_head: Some((42, crisp_sim::HeadState::WaitingToIssue)),
+            rob: (224, 224),
+            rs: (96, 96),
+            loads: (10, 64),
+            stores: (0, 128),
+            oldest_unissued: Some((1234, 42)),
+        };
+        let e = CrispError::Simulation(crisp_sim::SimError::Deadlock(Box::new(report)));
+        let d = failure_detail(&e).expect("deadlocks carry detail");
+        assert_eq!(d.get("kind").unwrap().as_str(), Some("deadlock"));
+        assert_eq!(d.get("cycle").unwrap().as_u64(), Some(5_000_000));
+        assert_eq!(d.get("rob").unwrap().as_str(), Some("224/224"));
+        assert_eq!(
+            d.get("rob_head_state").unwrap().as_str(),
+            Some("waiting to issue")
+        );
+        // The detail survives a journal round-trip intact.
+        let rec = AttemptRecord {
+            job: "fig7/lbm".into(),
+            hash: 1,
+            attempt: 2,
+            outcome: AttemptOutcome::Fail {
+                class: FailureClass::Deadlock,
+                error: e.to_string(),
+                detail: Some(d.clone()),
+            },
+        };
+        let decoded = AttemptRecord::decode(&rec.encode()).unwrap();
+        assert_eq!(decoded, rec);
+
+        assert_eq!(
+            failure_detail(&CrispError::Checkpoint("torn".into()))
+                .unwrap()
+                .get("kind")
+                .unwrap()
+                .as_str(),
+            Some("checkpoint")
+        );
+        assert_eq!(failure_detail(&CrispError::Annotation("x".into())), None);
     }
 
     #[test]

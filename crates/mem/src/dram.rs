@@ -175,6 +175,68 @@ impl Dram {
     pub fn stats(&self) -> DramStats {
         self.stats
     }
+
+    /// Serialises bank states, bus occupancy and counters as a flat word
+    /// vector. The configuration is not captured.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        let mut w = vec![
+            self.bus_free,
+            self.stats.requests,
+            self.stats.row_hits,
+            self.stats.row_misses,
+            self.stats.row_conflicts,
+            self.stats.total_latency,
+            self.banks.len() as u64,
+        ];
+        for b in &self.banks {
+            match b.open_row {
+                Some(row) => {
+                    w.push(1);
+                    w.push(row);
+                }
+                None => {
+                    w.push(0);
+                    w.push(0);
+                }
+            }
+            w.push(b.next_free);
+        }
+        w
+    }
+
+    /// Restores state captured by [`Dram::snapshot_words`] into a model
+    /// with the same bank count.
+    ///
+    /// # Errors
+    ///
+    /// Rejects bank-count mismatches and malformed input.
+    pub fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+        let mut r = crate::wcodec::Reader::new(words, "dram");
+        let bus_free = r.u64()?;
+        let stats = DramStats {
+            requests: r.u64()?,
+            row_hits: r.u64()?,
+            row_misses: r.u64()?,
+            row_conflicts: r.u64()?,
+            total_latency: r.u64()?,
+        };
+        let n_banks = r.usize()?;
+        if n_banks != self.banks.len() {
+            return Err(format!(
+                "dram snapshot: {n_banks} banks, expected {}",
+                self.banks.len()
+            ));
+        }
+        self.bus_free = bus_free;
+        self.stats = stats;
+        for b in &mut self.banks {
+            let open = r.bool()?;
+            let row = r.u64()?;
+            b.open_row = open.then_some(row);
+            b.next_free = r.u64()?;
+        }
+        r.finish()
+    }
 }
 
 #[cfg(test)]
@@ -270,5 +332,30 @@ mod tests {
             banks: 12,
             ..DramConfig::default()
         });
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_timing() {
+        let mut d = Dram::new(DramConfig::default());
+        d.request(0, 0);
+        d.request(8192, 5);
+        let words = d.snapshot_words();
+        let mut e = Dram::new(DramConfig::default());
+        e.restore_words(&words).unwrap();
+        assert_eq!(e.snapshot_words(), words);
+        // Future requests see identical bank/bus state.
+        assert_eq!(d.request(64, 100), e.request(64, 100));
+        assert_eq!(d.stats(), e.stats());
+    }
+
+    #[test]
+    fn snapshot_bank_mismatch_rejected() {
+        let d = Dram::new(DramConfig::default());
+        let words = d.snapshot_words();
+        let mut other = Dram::new(DramConfig {
+            banks: 8,
+            ..DramConfig::default()
+        });
+        assert!(other.restore_words(&words).is_err());
     }
 }

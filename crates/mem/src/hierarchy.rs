@@ -423,6 +423,125 @@ impl MemoryHierarchy {
             .count()
     }
 
+    /// Serialises the full dynamic state — every cache level, DRAM, the
+    /// configured prefetchers, the MSHR map and all counters — as a flat
+    /// word vector. The MSHR map is emitted sorted by line address so the
+    /// encoding is deterministic regardless of hash-map iteration order.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        use crate::wcodec::push_section;
+        let mut w = vec![
+            self.loads,
+            self.stores,
+            self.fetches,
+            self.load_llc_misses,
+            self.load_merges,
+            self.prefetches_issued,
+        ];
+        push_section(&mut w, self.l1i.snapshot_words());
+        push_section(&mut w, self.l1d.snapshot_words());
+        push_section(&mut w, self.llc.snapshot_words());
+        push_section(&mut w, self.dram.snapshot_words());
+        let opt = |w: &mut Vec<u64>, body: Option<Vec<u64>>| match body {
+            Some(body) => {
+                w.push(1);
+                push_section(w, body);
+            }
+            None => w.push(0),
+        };
+        opt(&mut w, self.bop.as_ref().map(Bop::snapshot_words));
+        opt(
+            &mut w,
+            self.stream.as_ref().map(StreamPrefetcher::snapshot_words),
+        );
+        opt(
+            &mut w,
+            self.stride.as_ref().map(StridePrefetcher::snapshot_words),
+        );
+        opt(&mut w, self.ghb.as_ref().map(Ghb::snapshot_words));
+        let mut fills: Vec<(u64, u64, HitLevel)> = self
+            .inflight
+            .iter()
+            .map(|(&line, &(ready, level))| (line, ready, level))
+            .collect();
+        fills.sort_unstable_by_key(|&(line, _, _)| line);
+        w.push(fills.len() as u64);
+        for (line, ready, level) in fills {
+            w.push(line);
+            w.push(ready);
+            w.push(match level {
+                HitLevel::L1 => 0,
+                HitLevel::Llc => 1,
+                HitLevel::Dram => 2,
+            });
+        }
+        w
+    }
+
+    /// Restores state captured by [`MemoryHierarchy::snapshot_words`] into
+    /// a hierarchy built from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Rejects geometry or prefetcher-configuration mismatches and
+    /// malformed input; the hierarchy should be discarded on error (state
+    /// may be partial).
+    pub fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+        let mut r = crate::wcodec::Reader::new(words, "hierarchy");
+        self.loads = r.u64()?;
+        self.stores = r.u64()?;
+        self.fetches = r.u64()?;
+        self.load_llc_misses = r.u64()?;
+        self.load_merges = r.u64()?;
+        self.prefetches_issued = r.u64()?;
+        self.l1i.restore_words(r.section()?)?;
+        self.l1d.restore_words(r.section()?)?;
+        self.llc.restore_words(r.section()?)?;
+        self.dram.restore_words(r.section()?)?;
+        fn opt<'a>(
+            r: &mut crate::wcodec::Reader<'a>,
+            have: bool,
+            what: &str,
+        ) -> Result<Option<&'a [u64]>, String> {
+            let present = r.bool()?;
+            if present != have {
+                return Err(format!(
+                    "hierarchy snapshot: {what} prefetcher presence mismatch \
+                     (snapshot {present}, config {have})"
+                ));
+            }
+            Ok(if present { Some(r.section()?) } else { None })
+        }
+        if let Some(s) = opt(&mut r, self.bop.is_some(), "bop")? {
+            self.bop.as_mut().expect("checked").restore_words(s)?;
+        }
+        if let Some(s) = opt(&mut r, self.stream.is_some(), "stream")? {
+            self.stream.as_mut().expect("checked").restore_words(s)?;
+        }
+        if let Some(s) = opt(&mut r, self.stride.is_some(), "stride")? {
+            self.stride.as_mut().expect("checked").restore_words(s)?;
+        }
+        if let Some(s) = opt(&mut r, self.ghb.is_some(), "ghb")? {
+            self.ghb.as_mut().expect("checked").restore_words(s)?;
+        }
+        let n_fills = r.usize()?;
+        self.inflight.clear();
+        for _ in 0..n_fills {
+            let line = r.u64()?;
+            let ready = r.u64()?;
+            let level = match r.u64()? {
+                0 => HitLevel::L1,
+                1 => HitLevel::Llc,
+                2 => HitLevel::Dram,
+                v => return Err(format!("hierarchy snapshot: bad hit level {v}")),
+            };
+            if self.inflight.insert(line, (ready, level)).is_some() {
+                return Err(format!("hierarchy snapshot: duplicate fill line {line:#x}"));
+            }
+        }
+        self.scratch.clear();
+        r.finish()
+    }
+
     /// A snapshot of all counters.
     pub fn stats(&self) -> MemStats {
         MemStats {
@@ -605,6 +724,36 @@ mod tests {
         assert_eq!(s.l1d.accesses, 2);
         assert_eq!(s.l1i.accesses, 1);
         assert!(s.dram.requests >= 3);
+    }
+
+    #[test]
+    fn hierarchy_snapshot_round_trip_mid_burst() {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::skylake_like());
+        let mut t = 0u64;
+        for i in 0..64u64 {
+            let r = m.load(0x100_0000 + i * 64, 7, t);
+            t += r.latency / 2; // leave fills in flight
+        }
+        m.fetch(0x4000, t);
+        m.store(0x9_0000, 3, t);
+        let words = m.snapshot_words();
+        let mut n = MemoryHierarchy::new(HierarchyConfig::skylake_like());
+        n.restore_words(&words).unwrap();
+        assert_eq!(n.snapshot_words(), words, "snapshot must round-trip");
+        // Both copies now behave identically, merges included.
+        let a = m.load(0x100_0000 + 63 * 64, 7, t + 1);
+        let b = n.load(0x100_0000 + 63 * 64, 7, t + 1);
+        assert_eq!(a, b);
+        assert_eq!(m.snapshot_words(), n.snapshot_words());
+    }
+
+    #[test]
+    fn hierarchy_snapshot_rejects_prefetcher_mismatch() {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::skylake_like());
+        m.load(0x1000, 1, 0);
+        let words = m.snapshot_words();
+        let mut other = no_prefetch();
+        assert!(other.restore_words(&words).is_err());
     }
 
     #[test]

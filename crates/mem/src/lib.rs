@@ -31,6 +31,7 @@ mod cache;
 mod dram;
 mod hierarchy;
 mod prefetch;
+mod wcodec;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use dram::{Dram, DramConfig, DramStats};

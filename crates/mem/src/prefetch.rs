@@ -47,6 +47,48 @@ impl StreamPrefetcher {
             stamp: 0,
         }
     }
+
+    /// Serialises the tracked streams and LRU stamp as a word vector.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        let mut w = vec![self.stamp, self.streams.len() as u64];
+        for s in &self.streams {
+            w.push(s.head);
+            w.push(s.dir as u64);
+            w.push(u64::from(s.confidence));
+            w.push(s.stamp);
+        }
+        w
+    }
+
+    /// Restores state captured by [`StreamPrefetcher::snapshot_words`]
+    /// into an identically-parameterised prefetcher.
+    ///
+    /// # Errors
+    ///
+    /// Rejects more streams than this instance can track and malformed
+    /// input.
+    pub fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+        let mut r = crate::wcodec::Reader::new(words, "stream-prefetcher");
+        let stamp = r.u64()?;
+        let n = r.usize()?;
+        if n > self.max_streams {
+            return Err(format!(
+                "stream-prefetcher snapshot: {n} streams, capacity {}",
+                self.max_streams
+            ));
+        }
+        self.stamp = stamp;
+        self.streams.clear();
+        for _ in 0..n {
+            self.streams.push(StreamEntry {
+                head: r.u64()?,
+                dir: r.i64()?,
+                confidence: r.u8()?,
+                stamp: r.u64()?,
+            });
+        }
+        r.finish()
+    }
 }
 
 impl Prefetcher for StreamPrefetcher {
@@ -127,6 +169,44 @@ impl StridePrefetcher {
             mask: entries as u64 - 1,
             degree,
         }
+    }
+
+    /// Serialises the reference-prediction table as a word vector.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        let mut w = vec![self.table.len() as u64];
+        for e in &self.table {
+            w.push(e.pc_tag);
+            w.push(e.last);
+            w.push(e.stride as u64);
+            w.push(u64::from(e.confidence));
+        }
+        w
+    }
+
+    /// Restores state captured by [`StridePrefetcher::snapshot_words`]
+    /// into an identically-sized table.
+    ///
+    /// # Errors
+    ///
+    /// Rejects table-size mismatches and malformed input.
+    pub fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+        let mut r = crate::wcodec::Reader::new(words, "stride-prefetcher");
+        let n = r.usize()?;
+        if n != self.table.len() {
+            return Err(format!(
+                "stride-prefetcher snapshot: {n} entries, expected {}",
+                self.table.len()
+            ));
+        }
+        for e in &mut self.table {
+            *e = StrideEntry {
+                pc_tag: r.u64()?,
+                last: r.u64()?,
+                stride: r.i64()?,
+                confidence: r.u8()?,
+            };
+        }
+        r.finish()
     }
 }
 
@@ -265,6 +345,62 @@ impl Bop {
     fn rr_contains(&self, line: u64) -> bool {
         let idx = (line ^ (line >> 8)) & self.rr_mask;
         self.rr[idx as usize] == line
+    }
+
+    /// Serialises the learner state (scores, round position, selected
+    /// offset, RR table) as a word vector. The candidate-offset list is a
+    /// construction parameter and is captured only as a consistency check.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        let mut w = vec![
+            self.test_idx as u64,
+            u64::from(self.round),
+            self.best_offset as u64,
+            u64::from(self.active),
+            self.scores.len() as u64,
+        ];
+        w.extend(self.scores.iter().map(|&s| u64::from(s)));
+        w.push(self.rr.len() as u64);
+        w.extend_from_slice(&self.rr);
+        w
+    }
+
+    /// Restores state captured by [`Bop::snapshot_words`] into an
+    /// identically-parameterised learner.
+    ///
+    /// # Errors
+    ///
+    /// Rejects score/RR-table size mismatches and malformed input.
+    pub fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+        let mut r = crate::wcodec::Reader::new(words, "bop");
+        let test_idx = r.usize()?;
+        let round = u32::try_from(r.u64()?).map_err(|_| "bop snapshot: round overflow")?;
+        let best_offset = r.i64()?;
+        let active = r.bool()?;
+        let n_scores = r.usize()?;
+        if n_scores != self.scores.len() || test_idx >= n_scores {
+            return Err(format!(
+                "bop snapshot: {n_scores} scores / test_idx {test_idx}, expected {} candidates",
+                self.scores.len()
+            ));
+        }
+        for s in &mut self.scores {
+            *s = u32::try_from(r.u64()?).map_err(|_| "bop snapshot: score overflow")?;
+        }
+        let n_rr = r.usize()?;
+        if n_rr != self.rr.len() {
+            return Err(format!(
+                "bop snapshot: {n_rr} RR entries, expected {}",
+                self.rr.len()
+            ));
+        }
+        for e in &mut self.rr {
+            *e = r.u64()?;
+        }
+        self.test_idx = test_idx;
+        self.round = round;
+        self.best_offset = best_offset;
+        self.active = active;
+        r.finish()
     }
 
     fn finish_round(&mut self) {
@@ -463,6 +599,67 @@ mod tests {
         // Initial best offset is 1 and active.
         assert_eq!(out, vec![101]);
     }
+
+    #[test]
+    fn stream_snapshot_round_trip() {
+        let mut p = StreamPrefetcher::new(4, 4, 2);
+        let mut out = Vec::new();
+        for line in 100..110u64 {
+            p.on_access(line, 0, false, &mut out);
+        }
+        let words = p.snapshot_words();
+        let mut q = StreamPrefetcher::new(4, 4, 2);
+        q.restore_words(&words).unwrap();
+        assert_eq!(q.snapshot_words(), words);
+        // Future behaviour is identical.
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        p.on_access(110, 0, false, &mut a);
+        q.on_access(110, 0, false, &mut b);
+        assert_eq!(a, b);
+        // Too many streams for a smaller instance is rejected.
+        let mut tiny = StreamPrefetcher::new(1, 4, 2);
+        let mut big = StreamPrefetcher::new(4, 4, 2);
+        for base in [0u64, 1000, 2000] {
+            big.on_access(base, 0, false, &mut out);
+        }
+        assert!(tiny.restore_words(&big.snapshot_words()).is_err());
+    }
+
+    #[test]
+    fn stride_snapshot_round_trip() {
+        let mut p = StridePrefetcher::new(64, 2);
+        let mut out = Vec::new();
+        for i in 0..6u64 {
+            p.on_access(10 + 3 * i, 0x40, false, &mut out);
+        }
+        let words = p.snapshot_words();
+        let mut q = StridePrefetcher::new(64, 2);
+        q.restore_words(&words).unwrap();
+        assert_eq!(q.snapshot_words(), words);
+        let mut wrong = StridePrefetcher::new(32, 2);
+        assert!(wrong.restore_words(&words).is_err());
+    }
+
+    #[test]
+    fn bop_snapshot_round_trip() {
+        let mut p = Bop::new();
+        let mut out = Vec::new();
+        let mut line = 1000u64;
+        for _ in 0..500 {
+            out.clear();
+            p.on_access(line, 0, false, &mut out);
+            p.on_fill(line);
+            line += 4;
+        }
+        let words = p.snapshot_words();
+        let mut q = Bop::new();
+        q.restore_words(&words).unwrap();
+        assert_eq!(q.snapshot_words(), words);
+        assert_eq!(q.best_offset(), p.best_offset());
+        assert_eq!(q.is_active(), p.is_active());
+        let mut wrong = Bop::with_params(vec![1, 2], 256, 31, 100, 1);
+        assert!(wrong.restore_words(&words).is_err());
+    }
 }
 
 /// A Global History Buffer (GHB) delta-correlation prefetcher
@@ -502,6 +699,97 @@ impl Ghb {
             index_mask: index_entries as u64 - 1,
             degree,
         }
+    }
+
+    /// Serialises the history ring, link pointers and PC index table as a
+    /// word vector.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        let mut w = vec![
+            self.head as u64,
+            u64::from(self.filled),
+            self.buffer.len() as u64,
+        ];
+        for &(line, prev) in &self.buffer {
+            w.push(line);
+            match prev {
+                Some(i) => {
+                    w.push(1);
+                    w.push(i as u64);
+                }
+                None => {
+                    w.push(0);
+                    w.push(0);
+                }
+            }
+        }
+        w.push(self.index.len() as u64);
+        for e in &self.index {
+            match e {
+                Some((tag, at)) => {
+                    w.push(1);
+                    w.push(*tag);
+                    w.push(*at as u64);
+                }
+                None => {
+                    w.push(0);
+                    w.push(0);
+                    w.push(0);
+                }
+            }
+        }
+        w
+    }
+
+    /// Restores state captured by [`Ghb::snapshot_words`] into an
+    /// identically-sized GHB.
+    ///
+    /// # Errors
+    ///
+    /// Rejects size mismatches, out-of-range links and malformed input.
+    pub fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+        let mut r = crate::wcodec::Reader::new(words, "ghb");
+        let head = r.usize()?;
+        let filled = r.bool()?;
+        let n_buf = r.usize()?;
+        if n_buf != self.buffer.len() || head >= n_buf {
+            return Err(format!(
+                "ghb snapshot: {n_buf} buffer slots / head {head}, expected {}",
+                self.buffer.len()
+            ));
+        }
+        let mut buffer = Vec::with_capacity(n_buf);
+        for _ in 0..n_buf {
+            let line = r.u64()?;
+            let present = r.bool()?;
+            let at = r.usize()?;
+            if present && at >= n_buf {
+                return Err(format!("ghb snapshot: link {at} out of range"));
+            }
+            buffer.push((line, present.then_some(at)));
+        }
+        let n_idx = r.usize()?;
+        if n_idx != self.index.len() {
+            return Err(format!(
+                "ghb snapshot: {n_idx} index slots, expected {}",
+                self.index.len()
+            ));
+        }
+        let mut index = Vec::with_capacity(n_idx);
+        for _ in 0..n_idx {
+            let present = r.bool()?;
+            let tag = r.u64()?;
+            let at = r.usize()?;
+            if present && at >= n_buf {
+                return Err(format!("ghb snapshot: index link {at} out of range"));
+            }
+            index.push(present.then_some((tag, at)));
+        }
+        r.finish()?;
+        self.head = head;
+        self.filled = filled;
+        self.buffer = buffer;
+        self.index = index;
+        Ok(())
     }
 
     /// Walks the per-PC chain from `start`, newest first, yielding line
@@ -638,6 +926,26 @@ mod ghb_tests {
             g.on_access(i, 0, true, &mut out);
         }
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn ghb_snapshot_round_trip() {
+        let mut g = Ghb::new(128, 64, 4);
+        let mut out = Vec::new();
+        for i in 0..40u64 {
+            g.on_access(100 + 7 * i, 0x40, false, &mut out);
+            g.on_access(9000 + 3 * i, 0x88, false, &mut out);
+        }
+        let words = g.snapshot_words();
+        let mut h = Ghb::new(128, 64, 4);
+        h.restore_words(&words).unwrap();
+        assert_eq!(h.snapshot_words(), words);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        g.on_access(100 + 7 * 40, 0x40, false, &mut a);
+        h.on_access(100 + 7 * 40, 0x40, false, &mut b);
+        assert_eq!(a, b);
+        let mut wrong = Ghb::new(64, 64, 4);
+        assert!(wrong.restore_words(&words).is_err());
     }
 
     #[test]

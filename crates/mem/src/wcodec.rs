@@ -1,0 +1,126 @@
+//! Minimal word-vector decode helper shared by the snapshot codecs.
+//!
+//! Snapshots across the workspace are flat `Vec<u64>` encodings (the
+//! binary container, CRCs and fingerprints live in `crisp-harness`); this
+//! cursor centralises bounds checking and context-tagged error messages.
+
+/// A checked cursor over a `&[u64]` snapshot.
+pub(crate) struct Reader<'a> {
+    words: &'a [u64],
+    pos: usize,
+    ctx: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(words: &'a [u64], ctx: &'static str) -> Reader<'a> {
+        Reader { words, pos: 0, ctx }
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
+        let v = self
+            .words
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| format!("{} snapshot: truncated at word {}", self.ctx, self.pos))?;
+        self.pos += 1;
+        Ok(v)
+    }
+
+    pub(crate) fn usize(&mut self) -> Result<usize, String> {
+        usize::try_from(self.u64()?).map_err(|_| format!("{} snapshot: length overflow", self.ctx))
+    }
+
+    pub(crate) fn bool(&mut self) -> Result<bool, String> {
+        match self.u64()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(format!("{} snapshot: bad flag {v}", self.ctx)),
+        }
+    }
+
+    pub(crate) fn i64(&mut self) -> Result<i64, String> {
+        Ok(self.u64()? as i64)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, String> {
+        u8::try_from(self.u64()?).map_err(|_| format!("{} snapshot: byte out of range", self.ctx))
+    }
+
+    /// Reads a length-prefixed sub-slice.
+    pub(crate) fn section(&mut self) -> Result<&'a [u64], String> {
+        let n = self.usize()?;
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.words.len())
+            .ok_or_else(|| format!("{} snapshot: truncated section", self.ctx))?;
+        let s = &self.words[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Asserts the whole input was consumed.
+    pub(crate) fn finish(self) -> Result<(), String> {
+        if self.pos == self.words.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} snapshot: {} trailing words",
+                self.ctx,
+                self.words.len() - self.pos
+            ))
+        }
+    }
+}
+
+/// Appends `body` to `out` as a length-prefixed section (the encode-side
+/// dual of [`Reader::section`]).
+pub(crate) fn push_section(out: &mut Vec<u64>, body: Vec<u64>) {
+    out.push(body.len() as u64);
+    out.extend(body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_walks_and_checks() {
+        let words = [7u64, 1, 2, 10, 20];
+        let mut r = Reader::new(&words, "test");
+        assert_eq!(r.u64().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.section().unwrap(), &[10, 20]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_trailing_are_errors() {
+        let mut r = Reader::new(&[], "t");
+        assert!(r.u64().is_err());
+        let words = [5u64, 1];
+        let mut r = Reader::new(&words, "t");
+        assert!(r.section().is_err(), "section longer than input");
+        let words = [1u64, 2];
+        let mut r = Reader::new(&words, "t");
+        r.u64().unwrap();
+        assert!(r.finish().is_err(), "trailing word must be rejected");
+    }
+
+    #[test]
+    fn bad_flag_rejected() {
+        let words = [3u64];
+        let mut r = Reader::new(&words, "t");
+        assert!(r.bool().is_err());
+    }
+
+    #[test]
+    fn push_section_round_trips() {
+        let mut out = vec![9u64];
+        push_section(&mut out, vec![4, 5]);
+        let mut r = Reader::new(&out, "t");
+        assert_eq!(r.u64().unwrap(), 9);
+        assert_eq!(r.section().unwrap(), &[4, 5]);
+        r.finish().unwrap();
+    }
+}

@@ -74,6 +74,39 @@ impl BitSet {
         self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
     }
 
+    /// Serialises the capacity echo and bit words as a word vector.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        let mut w = vec![self.capacity as u64];
+        w.extend_from_slice(&self.words);
+        w
+    }
+
+    /// Restores state captured by [`BitSet::snapshot_words`] into a bitset
+    /// of the same capacity.
+    ///
+    /// # Errors
+    ///
+    /// Rejects capacity mismatches, stray bits beyond the capacity, and
+    /// malformed input.
+    pub fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+        let mut r = crate::wcodec::Reader::new(words, "bitset");
+        let cap = r.usize()?;
+        if cap != self.capacity {
+            return Err(format!(
+                "bitset snapshot: capacity {cap}, expected {}",
+                self.capacity
+            ));
+        }
+        for w in &mut self.words {
+            *w = r.u64()?;
+        }
+        let tail = self.capacity % 64;
+        if tail != 0 && self.words.last().copied().unwrap_or(0) >> tail != 0 {
+            return Err("bitset snapshot: bits set beyond capacity".to_string());
+        }
+        r.finish()
+    }
+
     /// Iterates over set bit indices in ascending order.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
@@ -183,6 +216,38 @@ impl AgeMatrix {
             Some(slot) => Some(slot),
             None => self.pick_oldest(ready),
         }
+    }
+
+    /// Serialises the valid vector and every slot's age vector.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        let mut w = vec![self.capacity as u64];
+        crate::wcodec::push_section(&mut w, self.valid.snapshot_words());
+        for a in &self.age {
+            crate::wcodec::push_section(&mut w, a.snapshot_words());
+        }
+        w
+    }
+
+    /// Restores state captured by [`AgeMatrix::snapshot_words`] into a
+    /// matrix of the same capacity.
+    ///
+    /// # Errors
+    ///
+    /// Rejects capacity mismatches and malformed input.
+    pub fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+        let mut r = crate::wcodec::Reader::new(words, "age-matrix");
+        let cap = r.usize()?;
+        if cap != self.capacity {
+            return Err(format!(
+                "age-matrix snapshot: capacity {cap}, expected {}",
+                self.capacity
+            ));
+        }
+        self.valid.restore_words(r.section()?)?;
+        for a in &mut self.age {
+            a.restore_words(r.section()?)?;
+        }
+        r.finish()
     }
 }
 

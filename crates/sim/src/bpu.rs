@@ -141,6 +141,42 @@ impl BranchPredictionUnit {
         out
     }
 
+    /// Serialises all four predictors and the misprediction counters as a
+    /// word vector.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        let mut w = vec![
+            self.cond_branches,
+            self.cond_mispredicts,
+            self.indirect_mispredicts,
+            self.ras_mispredicts,
+        ];
+        crate::wcodec::push_section(&mut w, self.tage.snapshot_words());
+        crate::wcodec::push_section(&mut w, self.btb.snapshot_words());
+        crate::wcodec::push_section(&mut w, self.ras.snapshot_words());
+        crate::wcodec::push_section(&mut w, self.indirect.snapshot_words());
+        w
+    }
+
+    /// Restores state captured by
+    /// [`BranchPredictionUnit::snapshot_words`] into an identically
+    /// configured unit. On error the unit's state is unspecified.
+    ///
+    /// # Errors
+    ///
+    /// Rejects predictor-geometry mismatches and malformed input.
+    pub fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+        let mut r = crate::wcodec::Reader::new(words, "bpu");
+        self.cond_branches = r.u64()?;
+        self.cond_mispredicts = r.u64()?;
+        self.indirect_mispredicts = r.u64()?;
+        self.ras_mispredicts = r.u64()?;
+        self.tage.restore_words(r.section()?)?;
+        self.btb.restore_words(r.section()?)?;
+        self.ras.restore_words(r.section()?)?;
+        self.indirect.restore_words(r.section()?)?;
+        r.finish()
+    }
+
     /// `(conditional branches, conditional mispredicts, indirect
     /// mispredicts, return mispredicts)`.
     pub fn stats(&self) -> (u64, u64, u64, u64) {
@@ -252,6 +288,34 @@ mod tests {
         let out = bpu.observe(&nop, 0x1, false, 0, 0x2);
         assert_eq!(out, BranchOutcome::default());
         assert_eq!(bpu.stats().0, 0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_predictors_and_counters() {
+        let mut bpu = BranchPredictionUnit::new(BpuConfig::default());
+        let inst = branch_inst();
+        for i in 0..50 {
+            bpu.observe(&inst, 0x100, i % 3 == 0, 0x40, 0x103);
+        }
+        bpu.observe(&call_inst(), 0x10, true, 0x100, 0x15);
+        let words = bpu.snapshot_words();
+        let mut other = BranchPredictionUnit::new(BpuConfig::default());
+        other.restore_words(&words).unwrap();
+        assert_eq!(other.snapshot_words(), words);
+        assert_eq!(other.stats(), bpu.stats());
+        // The restored unit continues in lockstep with the original.
+        for i in 0..30 {
+            let a = bpu.observe(&inst, 0x100, i % 3 == 0, 0x40, 0x103);
+            let b = other.observe(&inst, 0x100, i % 3 == 0, 0x40, 0x103);
+            assert_eq!(a, b);
+        }
+        assert_eq!(other.snapshot_words(), bpu.snapshot_words());
+        // A differently shaped BPU rejects the snapshot.
+        let mut wrong = BranchPredictionUnit::new(BpuConfig {
+            btb_entries: 4096,
+            ..BpuConfig::default()
+        });
+        assert!(wrong.restore_words(&words).is_err());
     }
 
     #[test]

@@ -102,6 +102,24 @@ pub struct SimConfig {
     /// live* runs. `None` (the default) is unlimited; `Some(0)` is
     /// rejected by validation.
     pub cycle_budget: Option<u64>,
+    /// Cooperative checkpointing: when set (together with
+    /// [`SimConfig::checkpoint_sink`]), the engine emits a full-machine
+    /// [`crate::SimSnapshot`] roughly every this many cycles. Emission
+    /// happens on the cancellation poll path, so the actual cadence is
+    /// rounded up to the next multiple of
+    /// [`SimConfig::cancel_check_interval`]. Must be nonzero when set;
+    /// `None` (the default) never checkpoints.
+    pub checkpoint_interval: Option<u64>,
+    /// Receives the checkpoints emitted under
+    /// [`SimConfig::checkpoint_interval`]. Without a sink, the interval is
+    /// inert.
+    pub checkpoint_sink: Option<crate::snapshot::CheckpointSink>,
+    /// Resume state: a snapshot previously emitted by a checkpointing run
+    /// of the *same* program, trace, criticality map and configuration.
+    /// The engine restores it before executing any cycle and continues the
+    /// workload to completion; restoring into a mismatched machine fails
+    /// with [`crate::SimError::SnapshotRestore`].
+    pub restore: Option<std::sync::Arc<crate::snapshot::SimSnapshot>>,
 }
 
 impl SimConfig {
@@ -140,6 +158,9 @@ impl SimConfig {
             cancel: None,
             cancel_check_interval: 8192,
             cycle_budget: None,
+            checkpoint_interval: None,
+            checkpoint_sink: None,
+            restore: None,
         }
     }
 
@@ -250,6 +271,12 @@ impl SimConfig {
                 "must be nonzero when set: a zero budget aborts every run at cycle 0",
             ));
         }
+        if self.checkpoint_interval == Some(0) {
+            return Err(ConfigError::new(
+                "checkpoint_interval",
+                "must be nonzero when set: a zero interval checkpoints every poll",
+            ));
+        }
         self.memory
             .validate()
             .map_err(|m| ConfigError::new("memory", m))?;
@@ -307,7 +334,7 @@ mod tests {
     #[test]
     fn degenerate_machines_name_the_offending_field() {
         type Mutate = fn(&mut SimConfig);
-        let cases: [(&str, Mutate); 12] = [
+        let cases: [(&str, Mutate); 13] = [
             ("fetch_width", |c| c.fetch_width = 0),
             ("issue_width", |c| c.issue_width = 0),
             ("rob_entries", |c| c.rob_entries = 0),
@@ -320,6 +347,7 @@ mod tests {
             ("watchdog_cycles", |c| c.watchdog_cycles = 0),
             ("cancel_check_interval", |c| c.cancel_check_interval = 0),
             ("cycle_budget", |c| c.cycle_budget = Some(0)),
+            ("checkpoint_interval", |c| c.checkpoint_interval = Some(0)),
         ];
         for (field, mutate) in cases {
             let mut c = SimConfig::skylake();

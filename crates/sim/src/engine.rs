@@ -3,10 +3,13 @@ use crate::bpu::{BpuConfig, BranchPredictionUnit};
 use crate::cancel::AbortReason;
 use crate::config::{SchedulerKind, SimConfig};
 use crate::error::{DeadlockReport, HeadState, SimError};
+use crate::snapshot::{CheckpointSink, RestoreAudit, SimSnapshot};
 use crate::stats::{PipeRecord, SimResult, UpcTimeline};
+use crate::wcodec::{push_opt_u64, push_opt_usize, push_section, Reader};
 use crisp_isa::{FuClass, Layout, Pc, Program, Trace};
 use crisp_mem::{HitLevel, MemoryHierarchy};
 use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
 
 /// One in-flight instruction (a ROB entry).
 #[derive(Clone, Debug)]
@@ -119,7 +122,11 @@ impl Simulator {
             }
         }
         let layout = program.layout(|pc| critical.is_some_and(|c| c[pc as usize]));
-        Engine::new(&self.config, program, &layout, trace, critical).run()
+        let mut engine = Engine::new(&self.config, program, &layout, trace, critical);
+        if let Some(snapshot) = &self.config.restore {
+            engine.restore(snapshot)?;
+        }
+        engine.run()
     }
 
     /// Fault-tolerant variant of [`Simulator::try_run`] for running with
@@ -142,6 +149,60 @@ impl Simulator {
         let mut normalized = critical.to_vec();
         normalized.resize(program.len(), false);
         self.try_run(program, trace, Some(&normalized))
+    }
+
+    /// The determinism audit behind `--audit-restore`: runs the trace
+    /// straight through while capturing a checkpoint roughly every
+    /// `checkpoint_interval` cycles, then resumes a fresh machine from
+    /// *every* captured checkpoint and verifies each resumed run finishes
+    /// with byte-identical statistics (the full [`SimResult`] encoding,
+    /// including per-PC maps and any recorded timelines).
+    ///
+    /// Checkpoints are emitted on the cancellation poll path, so a run
+    /// shorter than [`SimConfig::cancel_check_interval`] cycles captures
+    /// none and the audit trivially passes with zero verified checkpoints
+    /// — callers that require coverage should check
+    /// [`RestoreAudit::checkpoints_verified`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates ordinary run failures, and reports
+    /// [`SimError::RestoreAuditDivergence`] naming the first checkpoint
+    /// whose resumed run diverged.
+    pub fn audit_restore(
+        &self,
+        program: &Program,
+        trace: &Trace,
+        critical: Option<&[bool]>,
+        checkpoint_interval: u64,
+    ) -> Result<RestoreAudit, SimError> {
+        let captured: Arc<Mutex<Vec<SimSnapshot>>> = Arc::new(Mutex::new(Vec::new()));
+        let store = Arc::clone(&captured);
+        let mut cfg = self.config.clone();
+        cfg.checkpoint_interval = Some(checkpoint_interval);
+        cfg.checkpoint_sink = Some(CheckpointSink::new(move |s| {
+            store.lock().expect("audit sink lock").push(s.clone());
+        }));
+        cfg.restore = None;
+        let result = Simulator::try_new(cfg)?.try_run(program, trace, critical)?;
+        let reference = result.snapshot_words();
+        let snapshots = std::mem::take(&mut *captured.lock().expect("audit sink lock"));
+        let mut checkpoints_verified = 0;
+        for snapshot in snapshots {
+            let checkpoint_cycle = snapshot.cycle;
+            let mut cfg = self.config.clone();
+            cfg.restore = Some(Arc::new(snapshot));
+            let resumed = Simulator::try_new(cfg)?.try_run(program, trace, critical)?;
+            if resumed.snapshot_words() != reference {
+                return Err(SimError::RestoreAuditDivergence { checkpoint_cycle });
+            }
+            checkpoints_verified += 1;
+        }
+        Ok(RestoreAudit {
+            cycles: result.cycles,
+            checkpoints_verified,
+            result,
+        })
     }
 }
 
@@ -236,7 +297,13 @@ impl<'a> Engine<'a> {
 
     fn run(mut self) -> Result<SimResult, SimError> {
         let total = self.trace.len() as u64;
-        let mut last_progress = (0u64, 0u64); // (retired, cycle)
+        // (retired, cycle) — seeded from the current state so a restored
+        // run gives the watchdog a full grace period, not a stale epoch.
+        let mut last_progress = (self.res.retired, self.now);
+        let mut next_checkpoint = match self.cfg.checkpoint_interval {
+            Some(interval) => self.now.saturating_add(interval),
+            None => u64::MAX,
+        };
         while self.res.retired < total {
             // Cooperative abort points, checked before the cycle's work so
             // a cancelled run stops without touching machine state again.
@@ -263,6 +330,17 @@ impl<'a> Engine<'a> {
                             total,
                         },
                     });
+                }
+                // Checkpoints ride the same cooperative poll: emission is
+                // quantised to the poll cadence, and the state captured
+                // here is exactly the state a restored run resumes from.
+                if self.now >= next_checkpoint {
+                    next_checkpoint = self
+                        .now
+                        .saturating_add(self.cfg.checkpoint_interval.unwrap_or(u64::MAX));
+                    if let Some(sink) = &self.cfg.checkpoint_sink {
+                        sink.emit(&self.snapshot());
+                    }
                 }
             }
             let retired_now = self.commit();
@@ -304,6 +382,303 @@ impl<'a> Engine<'a> {
         self.res.indirect_mispredicts = im + rm;
         self.res.mem = self.mem.stats();
         Ok(self.res)
+    }
+
+    // ---- checkpoint/restore ----------------------------------------------
+
+    /// Captures the complete mutable machine state. Taken between cycles
+    /// (on the poll path, before any of the cycle's stages run), so the
+    /// snapshot is a consistent cut: restoring it and finishing the run
+    /// retraces the straight-through execution cycle for cycle.
+    fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            cycle: self.now,
+            sections: vec![
+                ("engine".to_string(), self.engine_words()),
+                ("mem".to_string(), self.mem.snapshot_words()),
+                ("bpu".to_string(), self.bpu.snapshot_words()),
+                ("stats".to_string(), self.res.snapshot_words()),
+            ],
+        }
+    }
+
+    /// Applies a snapshot to a freshly constructed engine. On error the
+    /// engine must be discarded.
+    fn restore(&mut self, snapshot: &SimSnapshot) -> Result<(), SimError> {
+        fn wrap(section: &str) -> impl Fn(String) -> SimError + '_ {
+            move |message| SimError::SnapshotRestore {
+                section: section.to_string(),
+                message,
+            }
+        }
+        let section = |name: &str| {
+            snapshot
+                .section(name)
+                .ok_or_else(|| SimError::SnapshotRestore {
+                    section: name.to_string(),
+                    message: "section missing from snapshot".to_string(),
+                })
+        };
+        self.restore_engine_words(section("engine")?)
+            .map_err(wrap("engine"))?;
+        self.mem
+            .restore_words(section("mem")?)
+            .map_err(wrap("mem"))?;
+        self.bpu
+            .restore_words(section("bpu")?)
+            .map_err(wrap("bpu"))?;
+        self.res
+            .restore_words(section("stats")?)
+            .map_err(wrap("stats"))?;
+        if self.now != snapshot.cycle {
+            return Err(SimError::SnapshotRestore {
+                section: "engine".to_string(),
+                message: format!(
+                    "engine cycle {} disagrees with snapshot header cycle {}",
+                    self.now, snapshot.cycle
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Serialises the engine-local state (frontend, window, scheduler,
+    /// execution resources) as the snapshot's `engine` section.
+    fn engine_words(&self) -> Vec<u64> {
+        let mut w = vec![self.now, self.trace.len() as u64, self.fetch_idx as u64];
+        w.push(self.fetch_buffer.len() as u64);
+        for f in &self.fetch_buffer {
+            w.extend_from_slice(&[
+                f.trace_idx as u64,
+                f.fetched_at,
+                f.visible_at,
+                u64::from(f.mispredicted),
+            ]);
+        }
+        push_opt_u64(&mut w, self.fetch_blocked_by);
+        w.push(self.fetch_blocked_until);
+        match self.icache_wait {
+            Some((line, ready)) => w.extend_from_slice(&[1, line, ready]),
+            None => w.extend_from_slice(&[0, 0, 0]),
+        }
+        push_opt_u64(&mut w, self.current_line);
+        w.push(self.ftq_cursor as u64);
+        push_opt_u64(&mut w, self.last_prefetched_line);
+        w.push(self.rob_base);
+        w.push(self.next_seq);
+        w.push(self.rob.len() as u64);
+        for e in &self.rob {
+            w.push(u64::from(e.pc));
+            w.push(match e.fu {
+                FuClass::Alu => 0,
+                FuClass::Load => 1,
+                FuClass::Store => 2,
+            });
+            w.push(e.latency);
+            w.push(
+                u64::from(e.unpipelined)
+                    | u64::from(e.critical) << 1
+                    | u64::from(e.is_load) << 2
+                    | u64::from(e.is_store) << 3
+                    | u64::from(e.mispredicted) << 4,
+            );
+            for d in e.deps {
+                push_opt_u64(&mut w, d);
+            }
+            push_opt_u64(&mut w, e.mem_dep);
+            w.extend_from_slice(&[e.addr, e.fetched_at, e.visible_at]);
+            push_opt_u64(&mut w, e.issued_at);
+            push_opt_u64(&mut w, e.complete_at);
+            push_opt_usize(&mut w, e.rs_slot);
+        }
+        for p in self.reg_producer {
+            push_opt_u64(&mut w, p);
+        }
+        w.push(self.store_queue.len() as u64);
+        for &(seq, addr, width) in &self.store_queue {
+            w.extend_from_slice(&[seq, addr, width]);
+        }
+        w.push(self.loads_in_flight as u64);
+        w.push(self.stores_in_flight as u64);
+        w.push(self.rs.len() as u64);
+        for s in &self.rs {
+            push_opt_u64(&mut w, *s);
+        }
+        w.push(self.rs_free.len() as u64);
+        w.extend(self.rs_free.iter().map(|&s| s as u64));
+        push_section(&mut w, self.age.snapshot_words());
+        w.push(self.rr_cursor as u64);
+        w.push(self.alu_busy.len() as u64);
+        w.extend_from_slice(&self.alu_busy);
+        w.push(self.outstanding_dram.len() as u64);
+        w.extend_from_slice(&self.outstanding_dram);
+        w
+    }
+
+    /// Restores the `engine` section, validating the structural echoes
+    /// (trace length, window/port geometry) against the live inputs so a
+    /// snapshot from a different workload or machine shape is rejected.
+    fn restore_engine_words(&mut self, words: &[u64]) -> Result<(), String> {
+        let mut r = Reader::new(words, "engine");
+        self.now = r.u64()?;
+        let trace_len = r.usize()?;
+        if trace_len != self.trace.len() {
+            return Err(format!(
+                "engine snapshot: trace of {trace_len} instructions, expected {} — \
+                 snapshot was taken on a different workload",
+                self.trace.len()
+            ));
+        }
+        self.fetch_idx = r.usize()?;
+        if self.fetch_idx > self.trace.len() {
+            return Err(format!(
+                "engine snapshot: fetch index {} beyond trace end",
+                self.fetch_idx
+            ));
+        }
+        let n = r.count()?;
+        if n > self.cfg.fetch_queue_entries {
+            return Err(format!("engine snapshot: fetch buffer over capacity ({n})"));
+        }
+        self.fetch_buffer.clear();
+        for _ in 0..n {
+            let trace_idx = r.usize()?;
+            if trace_idx >= self.trace.len() {
+                return Err(format!(
+                    "engine snapshot: fetched trace index {trace_idx} OOB"
+                ));
+            }
+            self.fetch_buffer.push_back(Fetched {
+                trace_idx,
+                fetched_at: r.u64()?,
+                visible_at: r.u64()?,
+                mispredicted: r.bool()?,
+            });
+        }
+        self.fetch_blocked_by = r.opt_u64()?;
+        self.fetch_blocked_until = r.u64()?;
+        let waiting = r.bool()?;
+        let line = r.u64()?;
+        let ready = r.u64()?;
+        self.icache_wait = waiting.then_some((line, ready));
+        self.current_line = r.opt_u64()?;
+        self.ftq_cursor = r.usize()?;
+        self.last_prefetched_line = r.opt_u64()?;
+        self.rob_base = r.u64()?;
+        self.next_seq = r.u64()?;
+        let n = r.count()?;
+        if n > self.cfg.rob_entries {
+            return Err(format!("engine snapshot: ROB over capacity ({n})"));
+        }
+        if self.next_seq != self.rob_base + n as u64 {
+            return Err(format!(
+                "engine snapshot: next_seq {} inconsistent with rob_base {} + {n} entries",
+                self.next_seq, self.rob_base
+            ));
+        }
+        self.rob.clear();
+        for _ in 0..n {
+            let pc = r.u64()?;
+            let pc = Pc::try_from(pc).map_err(|_| format!("engine snapshot: bad pc {pc}"))?;
+            let fu = match r.u64()? {
+                0 => FuClass::Alu,
+                1 => FuClass::Load,
+                2 => FuClass::Store,
+                v => return Err(format!("engine snapshot: bad FU class {v}")),
+            };
+            let latency = r.u64()?;
+            let flags = r.u64()?;
+            if flags >> 5 != 0 {
+                return Err(format!("engine snapshot: bad entry flags {flags:#x}"));
+            }
+            let mut deps = [None; 3];
+            for d in &mut deps {
+                *d = r.opt_u64()?;
+            }
+            let mem_dep = r.opt_u64()?;
+            let addr = r.u64()?;
+            let fetched_at = r.u64()?;
+            let visible_at = r.u64()?;
+            let issued_at = r.opt_u64()?;
+            let complete_at = r.opt_u64()?;
+            let rs_slot = r.opt_usize()?;
+            if let Some(slot) = rs_slot {
+                if slot >= self.cfg.rs_entries {
+                    return Err(format!("engine snapshot: RS slot {slot} OOB"));
+                }
+            }
+            self.rob.push_back(Entry {
+                pc,
+                fu,
+                latency,
+                unpipelined: flags & 1 != 0,
+                critical: flags >> 1 & 1 != 0,
+                is_load: flags >> 2 & 1 != 0,
+                is_store: flags >> 3 & 1 != 0,
+                mispredicted: flags >> 4 & 1 != 0,
+                deps,
+                mem_dep,
+                addr,
+                fetched_at,
+                visible_at,
+                issued_at,
+                complete_at,
+                rs_slot,
+            });
+        }
+        for p in &mut self.reg_producer {
+            *p = r.opt_u64()?;
+        }
+        let n = r.count()?;
+        self.store_queue.clear();
+        for _ in 0..n {
+            let seq = r.u64()?;
+            let addr = r.u64()?;
+            let width = r.u64()?;
+            self.store_queue.push_back((seq, addr, width));
+        }
+        self.loads_in_flight = r.usize()?;
+        self.stores_in_flight = r.usize()?;
+        let n = r.usize()?;
+        if n != self.cfg.rs_entries {
+            return Err(format!(
+                "engine snapshot: {n} RS slots, expected {}",
+                self.cfg.rs_entries
+            ));
+        }
+        for s in &mut self.rs {
+            *s = r.opt_u64()?;
+        }
+        let n = r.count()?;
+        if n > self.cfg.rs_entries {
+            return Err(format!("engine snapshot: free list over capacity ({n})"));
+        }
+        self.rs_free.clear();
+        for _ in 0..n {
+            let slot = r.usize()?;
+            if slot >= self.cfg.rs_entries {
+                return Err(format!("engine snapshot: free slot {slot} OOB"));
+            }
+            self.rs_free.push(slot);
+        }
+        self.age.restore_words(r.section()?)?;
+        self.rr_cursor = r.usize()?;
+        let n = r.usize()?;
+        if n != self.cfg.alu_ports {
+            return Err(format!(
+                "engine snapshot: {n} ALU ports, expected {}",
+                self.cfg.alu_ports
+            ));
+        }
+        for b in &mut self.alu_busy {
+            *b = r.u64()?;
+        }
+        let n = r.count()?;
+        self.outstanding_dram.clear();
+        for _ in 0..n {
+            self.outstanding_dram.push(r.u64()?);
+        }
+        r.finish()
     }
 
     /// Snapshots the stuck machine for the watchdog's diagnostic dump.
@@ -1496,5 +1871,226 @@ mod tests {
         cfg.check_invariants = true;
         let res = Simulator::new(cfg).try_run(&p, &t, None).expect("clean");
         assert_eq!(res.retired, t.len() as u64);
+    }
+
+    /// Store-forwarding loop: exercises the LSQ, caches and forwarding.
+    fn memory_loop() -> (crisp_isa::Program, Trace) {
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 0x8000);
+        b.li(r(3), 500);
+        let top = b.label();
+        b.bind(top);
+        b.load(r(4), r(1), 0, 8);
+        b.alu_ri(AluOp::Add, r(4), r(4), 5);
+        b.store(r(1), 0, r(4), 8);
+        b.alu_ri(AluOp::Sub, r(3), r(3), 1);
+        b.branch(Cond::Ne, r(3), Reg::ZERO, top);
+        b.halt();
+        let p = b.build();
+        let t = Emulator::new(&p, Memory::new()).run(100_000);
+        (p, t)
+    }
+
+    /// Data-dependent branches over xorshift parity: heavy mispredicts,
+    /// so the BPU state actually matters to the resumed run.
+    fn branchy_loop() -> (crisp_isa::Program, Trace) {
+        let mut mem = Memory::new();
+        let base = 0x4000u64;
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for i in 0..1024 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            mem.write_u64(base + i * 8, x & 1);
+        }
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), base as i64);
+        b.li(r(2), 1024);
+        let top = b.label();
+        let skip = b.label();
+        b.bind(top);
+        b.load(r(3), r(1), 0, 8);
+        b.branch(Cond::Eq, r(3), Reg::ZERO, skip);
+        b.alu_ri(AluOp::Add, r(4), r(4), 1);
+        b.bind(skip);
+        b.alu_ri(AluOp::Add, r(1), r(1), 8);
+        b.alu_ri(AluOp::Sub, r(2), r(2), 1);
+        b.branch(Cond::Ne, r(2), Reg::ZERO, top);
+        b.halt();
+        let p = b.build();
+        let t = Emulator::new(&p, mem).run(100_000);
+        (p, t)
+    }
+
+    /// Runs to completion while capturing every emitted checkpoint.
+    fn run_capturing(
+        cfg: SimConfig,
+        p: &crisp_isa::Program,
+        t: &Trace,
+    ) -> (SimResult, Vec<SimSnapshot>) {
+        let captured: Arc<Mutex<Vec<SimSnapshot>>> = Arc::new(Mutex::new(Vec::new()));
+        let store = Arc::clone(&captured);
+        let mut cfg = cfg;
+        cfg.checkpoint_sink = Some(CheckpointSink::new(move |s| {
+            store.lock().expect("sink lock").push(s.clone());
+        }));
+        let res = Simulator::new(cfg).run(p, t, None);
+        let snaps = std::mem::take(&mut *captured.lock().expect("sink lock"));
+        (res, snaps)
+    }
+
+    /// A config that polls often enough for short tests to checkpoint.
+    fn checkpointing_config(interval: u64) -> SimConfig {
+        let mut cfg = SimConfig::skylake();
+        cfg.cancel_check_interval = 64;
+        cfg.checkpoint_interval = Some(interval);
+        cfg
+    }
+
+    #[test]
+    fn restored_run_finishes_with_identical_stats() {
+        let (p, t) = memory_loop();
+        let mut cfg = checkpointing_config(500);
+        cfg.record_upc_timeline = true;
+        cfg.record_pipeview = true;
+        let (baseline, snapshots) = run_capturing(cfg.clone(), &p, &t);
+        assert!(
+            snapshots.len() >= 2,
+            "expected several checkpoints, got {}",
+            snapshots.len()
+        );
+        // Resume from the middle checkpoint and finish: every statistic —
+        // counters, per-PC maps, the UPC timeline and the full pipeview —
+        // must land byte-identical to the straight-through run.
+        let snapshot = snapshots[snapshots.len() / 2].clone();
+        assert!(snapshot.cycle > 0 && snapshot.cycle < baseline.cycles);
+        let mut resume_cfg = cfg;
+        resume_cfg.checkpoint_interval = None;
+        resume_cfg.restore = Some(Arc::new(snapshot));
+        let resumed = Simulator::new(resume_cfg).run(&p, &t, None);
+        assert_eq!(resumed.snapshot_words(), baseline.snapshot_words());
+        assert_eq!(resumed.cycles, baseline.cycles);
+        assert_eq!(resumed.retired, t.len() as u64);
+    }
+
+    #[test]
+    fn audit_restore_proves_determinism_across_workloads() {
+        for (name, (p, t)) in [
+            ("alu", alu_loop()),
+            ("memory", memory_loop()),
+            ("branchy", branchy_loop()),
+        ] {
+            let mut cfg = SimConfig::skylake();
+            cfg.cancel_check_interval = 250;
+            let audit = Simulator::new(cfg)
+                .audit_restore(&p, &t, None, 1000)
+                .unwrap_or_else(|e| panic!("{name}: audit failed: {e}"));
+            assert!(
+                audit.checkpoints_verified >= 1,
+                "{name}: no checkpoints were captured"
+            );
+            assert_eq!(audit.result.retired, t.len() as u64, "{name}");
+        }
+    }
+
+    #[test]
+    fn audit_restore_verifies_the_crisp_scheduler_path() {
+        // The age-matrix PRIO path and criticality map must survive
+        // restore too, not just the baseline scheduler.
+        let (p, t) = memory_loop();
+        let critical = vec![true; p.len()];
+        let mut cfg = SimConfig::skylake().with_scheduler(SchedulerKind::Crisp);
+        cfg.cancel_check_interval = 250;
+        let audit = Simulator::new(cfg)
+            .audit_restore(&p, &t, Some(&critical), 1000)
+            .expect("crisp audit");
+        assert!(audit.checkpoints_verified >= 1);
+    }
+
+    #[test]
+    fn restore_rejects_snapshot_from_a_different_trace() {
+        let (p, t) = alu_loop();
+        let (_, snapshots) = run_capturing(checkpointing_config(500), &p, &t);
+        let snapshot = snapshots.first().expect("checkpoint").clone();
+        let (p2, t2) = memory_loop();
+        let mut cfg = SimConfig::skylake();
+        cfg.restore = Some(Arc::new(snapshot));
+        let err = Simulator::new(cfg).try_run(&p2, &t2, None).unwrap_err();
+        let SimError::SnapshotRestore { section, message } = err else {
+            panic!("expected restore rejection, got {err}");
+        };
+        assert_eq!(section, "engine");
+        assert!(message.contains("different workload"), "message: {message}");
+    }
+
+    #[test]
+    fn restore_rejects_tampered_and_truncated_snapshots() {
+        let (p, t) = memory_loop();
+        let (_, snapshots) = run_capturing(checkpointing_config(500), &p, &t);
+        let good = snapshots.first().expect("checkpoint").clone();
+
+        // Truncating a section must be detected, not mis-decoded.
+        let mut truncated = good.clone();
+        truncated.sections[0].1.pop();
+        let mut cfg = SimConfig::skylake();
+        cfg.restore = Some(Arc::new(truncated));
+        let err = Simulator::new(cfg).try_run(&p, &t, None).unwrap_err();
+        assert!(
+            matches!(err, SimError::SnapshotRestore { ref section, .. } if section == "engine"),
+            "got {err}"
+        );
+
+        // A missing section is named in the error.
+        let mut missing = good.clone();
+        missing.sections.retain(|(name, _)| name != "bpu");
+        let mut cfg = SimConfig::skylake();
+        cfg.restore = Some(Arc::new(missing));
+        let err = Simulator::new(cfg).try_run(&p, &t, None).unwrap_err();
+        assert!(
+            matches!(err, SimError::SnapshotRestore { ref section, .. } if section == "bpu"),
+            "got {err}"
+        );
+
+        // Corrupting the header cycle trips the final consistency check.
+        let mut skewed = good;
+        skewed.cycle += 1;
+        let mut cfg = SimConfig::skylake();
+        cfg.restore = Some(Arc::new(skewed));
+        let err = Simulator::new(cfg).try_run(&p, &t, None).unwrap_err();
+        assert!(
+            matches!(err, SimError::SnapshotRestore { ref section, .. } if section == "engine"),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn checkpoints_ride_the_cancel_poll_cadence() {
+        let (p, t) = alu_loop();
+        // Poll every 64 cycles, checkpoint every 100: emission quantises
+        // up to the next poll, so consecutive checkpoints are >= 100
+        // cycles apart and always on a poll boundary.
+        let (res, snapshots) = run_capturing(checkpointing_config(100), &p, &t);
+        assert!(snapshots.len() >= 2);
+        for s in &snapshots {
+            assert!(
+                s.cycle > 0 && s.cycle.is_multiple_of(64),
+                "cycle {}",
+                s.cycle
+            );
+            assert!(s.cycle <= res.cycles);
+        }
+        for w in snapshots.windows(2) {
+            assert!(w[1].cycle - w[0].cycle >= 100);
+        }
+    }
+
+    #[test]
+    fn unconfigured_runs_never_emit_checkpoints() {
+        let (p, t) = alu_loop();
+        let mut cfg = SimConfig::skylake();
+        cfg.cancel_check_interval = 64;
+        // Sink present but no interval: the hook must stay dormant.
+        let (_, snapshots) = run_capturing(cfg, &p, &t);
+        assert!(snapshots.is_empty());
     }
 }

@@ -61,7 +61,9 @@ mod cancel;
 mod config;
 mod engine;
 mod error;
+mod snapshot;
 mod stats;
+mod wcodec;
 
 pub use age_matrix::{AgeMatrix, BitSet};
 pub use bpu::{BpuConfig, BranchOutcome, BranchPredictionUnit};
@@ -69,6 +71,7 @@ pub use cancel::{AbortReason, CancelToken};
 pub use config::{SchedulerKind, SimConfig};
 pub use engine::Simulator;
 pub use error::{ConfigError, DeadlockReport, HeadState, SimError};
+pub use snapshot::{CheckpointSink, RestoreAudit, SimSnapshot, Snapshot};
 pub use stats::{BranchPcStats, LoadPcStats, PipeRecord, Pipeview, SimResult, UpcTimeline};
 
 // Re-exported for convenience: the memory config lives in crisp-mem.

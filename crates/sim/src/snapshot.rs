@@ -1,0 +1,200 @@
+//! Mid-run checkpoint/restore: the [`Snapshot`] trait, the in-memory
+//! [`SimSnapshot`] container the engine emits, and the [`CheckpointSink`]
+//! callback that delivers checkpoints while a simulation is running.
+//!
+//! Every stateful simulator structure — schedulers, predictors, caches,
+//! DRAM, the emulator, statistics — serialises its complete mutable state
+//! as a flat `Vec<u64>` and restores it into an identically-configured
+//! instance. Configuration-derived values (table geometries, capacities)
+//! are never serialised; restore validates them against the live instance
+//! and rejects mismatches, so a snapshot can only land in a machine shaped
+//! exactly like the one that produced it. Durable on-disk framing
+//! (versioning, checksums, fingerprints) lives in `crisp-harness`.
+
+use crate::stats::SimResult;
+use std::fmt;
+use std::sync::Arc;
+
+/// Uniform word-vector serialisation for stateful simulator structures.
+///
+/// `restore_words(snapshot_words())` into an identically-configured
+/// instance is an exact state transfer: a subsequent `snapshot_words` is
+/// byte-identical, and all future behaviour matches the original. On
+/// error the target's state is unspecified (callers restore into fresh
+/// instances and discard on failure).
+pub trait Snapshot {
+    /// Serialises the structure's complete mutable state.
+    fn snapshot_words(&self) -> Vec<u64>;
+
+    /// Restores state captured by [`Snapshot::snapshot_words`] into a
+    /// structure of identical configuration.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed input and snapshots taken from a differently
+    /// configured instance, naming the offending structure.
+    fn restore_words(&mut self, words: &[u64]) -> Result<(), String>;
+}
+
+/// Wires a type's inherent `snapshot_words`/`restore_words` pair into the
+/// [`Snapshot`] trait (inherent methods win name resolution, so the
+/// delegation below is not self-recursive).
+macro_rules! delegate_snapshot {
+    ($($t:ty),* $(,)?) => {$(
+        impl Snapshot for $t {
+            fn snapshot_words(&self) -> Vec<u64> {
+                <$t>::snapshot_words(self)
+            }
+            fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+                <$t>::restore_words(self, words)
+            }
+        }
+    )*};
+}
+
+delegate_snapshot!(
+    crate::age_matrix::BitSet,
+    crate::age_matrix::AgeMatrix,
+    crate::bpu::BranchPredictionUnit,
+    crate::stats::UpcTimeline,
+    crate::stats::Pipeview,
+    crate::stats::SimResult,
+    crisp_uarch::Bimodal,
+    crisp_uarch::Gshare,
+    crisp_uarch::Tage,
+    crisp_uarch::Btb,
+    crisp_uarch::Ras,
+    crisp_uarch::IndirectPredictor,
+    crisp_mem::Cache,
+    crisp_mem::Dram,
+    crisp_mem::StreamPrefetcher,
+    crisp_mem::StridePrefetcher,
+    crisp_mem::Bop,
+    crisp_mem::Ghb,
+    crisp_mem::MemoryHierarchy,
+    crisp_emu::Memory,
+    crisp_emu::Emulator<'_>,
+);
+
+/// One full-machine checkpoint, taken at a cycle boundary on the engine's
+/// cooperative poll path.
+///
+/// The snapshot covers everything the engine mutates — frontend, window,
+/// scheduler, memory hierarchy, branch predictors and statistics — but not
+/// the immutable inputs (program, trace, criticality map, configuration):
+/// a resumed run must be given the same inputs, and restore validates the
+/// structural echoes it carries (trace length, table geometries) against
+/// them. On-disk integrity (format version, CRCs, config fingerprint) is
+/// the harness checkpoint container's job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimSnapshot {
+    /// Cycle at which the snapshot was taken.
+    pub cycle: u64,
+    /// Named state sections: `engine`, `mem`, `bpu`, `stats`.
+    pub sections: Vec<(String, Vec<u64>)>,
+}
+
+impl SimSnapshot {
+    /// The words of the named section, if present.
+    pub fn section(&self, name: &str) -> Option<&[u64]> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, w)| w.as_slice())
+    }
+
+    /// Total payload size in words across all sections.
+    pub fn words(&self) -> usize {
+        self.sections.iter().map(|(_, w)| w.len()).sum()
+    }
+}
+
+/// A checkpoint consumer invoked synchronously from the engine's poll
+/// path; clones share the underlying callback.
+///
+/// The callback must only observe the snapshot (write it out, clone it
+/// into a buffer) — it runs on the simulation thread and its latency adds
+/// directly to the run.
+#[derive(Clone)]
+pub struct CheckpointSink {
+    f: Arc<dyn Fn(&SimSnapshot) + Send + Sync>,
+}
+
+impl CheckpointSink {
+    /// Wraps a callback.
+    pub fn new(f: impl Fn(&SimSnapshot) + Send + Sync + 'static) -> CheckpointSink {
+        CheckpointSink { f: Arc::new(f) }
+    }
+
+    /// Delivers one checkpoint.
+    pub fn emit(&self, snapshot: &SimSnapshot) {
+        (self.f)(snapshot)
+    }
+}
+
+impl fmt::Debug for CheckpointSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("CheckpointSink(..)")
+    }
+}
+
+/// Outcome of a successful [`crate::Simulator::audit_restore`] run.
+#[derive(Clone, Debug)]
+pub struct RestoreAudit {
+    /// Straight-through run length in cycles.
+    pub cycles: u64,
+    /// Checkpoints captured and re-verified by resumption.
+    pub checkpoints_verified: usize,
+    /// The straight-through result (byte-identical to every resumed run's
+    /// result — that is what the audit proved).
+    pub result: SimResult,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_lookup_and_size() {
+        let s = SimSnapshot {
+            cycle: 42,
+            sections: vec![
+                ("engine".to_string(), vec![1, 2, 3]),
+                ("mem".to_string(), vec![4]),
+            ],
+        };
+        assert_eq!(s.section("engine"), Some(&[1u64, 2, 3][..]));
+        assert_eq!(s.section("bpu"), None);
+        assert_eq!(s.words(), 4);
+    }
+
+    #[test]
+    fn sink_delivers_and_debug_is_opaque() {
+        use std::sync::Mutex;
+        let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let store = Arc::clone(&seen);
+        let sink = CheckpointSink::new(move |s| store.lock().expect("lock").push(s.cycle));
+        let snap = SimSnapshot {
+            cycle: 7,
+            sections: Vec::new(),
+        };
+        sink.clone().emit(&snap);
+        sink.emit(&snap);
+        assert_eq!(*seen.lock().expect("lock"), vec![7, 7]);
+        assert_eq!(format!("{sink:?}"), "CheckpointSink(..)");
+    }
+
+    #[test]
+    fn trait_objects_round_trip_through_dyn() {
+        // The trait is object-safe and the delegation reaches the inherent
+        // implementations.
+        let mut ras = crisp_uarch::Ras::new(4);
+        ras.push(0x10);
+        let dyn_ras: &dyn Snapshot = &ras;
+        let words = dyn_ras.snapshot_words();
+        let mut fresh = crisp_uarch::Ras::new(4);
+        let dyn_fresh: &mut dyn Snapshot = &mut fresh;
+        dyn_fresh.restore_words(&words).unwrap();
+        assert_eq!(fresh.pop(), Some(0x10));
+    }
+}

@@ -96,6 +96,34 @@ impl UpcTimeline {
         sum as f64 / (to - from) as f64
     }
 
+    /// Serialises the per-cycle counts as a word vector.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        let mut w = vec![self.counts.len() as u64];
+        w.extend(self.counts.iter().map(|&c| u64::from(c)));
+        w
+    }
+
+    /// Restores state captured by [`UpcTimeline::snapshot_words`],
+    /// replacing the current timeline.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed input.
+    pub fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+        let mut r = crate::wcodec::Reader::new(words, "upc-timeline");
+        let n = r.count()?;
+        let mut counts = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = r.u64()?;
+            counts.push(
+                u8::try_from(v).map_err(|_| format!("upc-timeline snapshot: count {v} > 255"))?,
+            );
+        }
+        r.finish()?;
+        self.counts = counts;
+        Ok(())
+    }
+
     /// Downsamples the timeline into `buckets` averages (for plotting).
     pub fn bucketed(&self, buckets: usize) -> Vec<f64> {
         if self.counts.is_empty() || buckets == 0 {
@@ -146,6 +174,52 @@ impl Pipeview {
     /// The raw records.
     pub fn records(&self) -> &[PipeRecord] {
         &self.records
+    }
+
+    /// Serialises the records as a word vector.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        let mut w = vec![self.records.len() as u64];
+        for r in &self.records {
+            w.extend_from_slice(&[
+                r.seq,
+                u64::from(r.pc),
+                r.fetch,
+                r.dispatch,
+                r.issue,
+                r.complete,
+                r.retire,
+            ]);
+        }
+        w
+    }
+
+    /// Restores state captured by [`Pipeview::snapshot_words`], replacing
+    /// the current records.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed input.
+    pub fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+        let mut r = crate::wcodec::Reader::new(words, "pipeview");
+        let n = r.count()?;
+        let mut records = Vec::with_capacity(n);
+        for _ in 0..n {
+            let seq = r.u64()?;
+            let pc = r.u64()?;
+            let pc = Pc::try_from(pc).map_err(|_| format!("pipeview snapshot: bad pc {pc}"))?;
+            records.push(PipeRecord {
+                seq,
+                pc,
+                fetch: r.u64()?,
+                dispatch: r.u64()?,
+                issue: r.u64()?,
+                complete: r.u64()?,
+                retire: r.u64()?,
+            });
+        }
+        r.finish()?;
+        self.records = records;
+        Ok(())
     }
 
     /// Renders the instructions whose sequence numbers fall in
@@ -270,6 +344,132 @@ impl SimResult {
             (self.ipc() / base - 1.0) * 100.0
         }
     }
+
+    /// Serialises every counter, the per-PC maps (sorted by PC so the
+    /// encoding is deterministic), the UPC timeline and the pipeview
+    /// records as a word vector.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        let mut w = vec![
+            self.cycles,
+            self.retired,
+            self.rob_head_stall_cycles,
+            self.fetch_stall_mispredict_cycles,
+            self.fetch_stall_icache_cycles,
+            self.cond_branches,
+            self.cond_mispredicts,
+            self.indirect_mispredicts,
+        ];
+        w.extend_from_slice(&[
+            self.mem.loads,
+            self.mem.stores,
+            self.mem.fetches,
+            self.mem.load_llc_misses,
+            self.mem.load_merges,
+            self.mem.prefetches_issued,
+        ]);
+        for c in [&self.mem.l1i, &self.mem.l1d, &self.mem.llc] {
+            w.extend_from_slice(&[c.accesses, c.misses, c.prefetch_fills, c.prefetch_hits]);
+        }
+        w.extend_from_slice(&[
+            self.mem.dram.requests,
+            self.mem.dram.row_hits,
+            self.mem.dram.row_misses,
+            self.mem.dram.row_conflicts,
+            self.mem.dram.total_latency,
+        ]);
+        let mut loads: Vec<(&Pc, &LoadPcStats)> = self.load_pc_stats.iter().collect();
+        loads.sort_by_key(|(pc, _)| **pc);
+        w.push(loads.len() as u64);
+        for (pc, s) in loads {
+            w.extend_from_slice(&[
+                u64::from(*pc),
+                s.execs,
+                s.l1_hits,
+                s.llc_hits,
+                s.llc_misses,
+                s.total_latency,
+                s.mlp_sum,
+            ]);
+        }
+        let mut branches: Vec<(&Pc, &BranchPcStats)> = self.branch_pc_stats.iter().collect();
+        branches.sort_by_key(|(pc, _)| **pc);
+        w.push(branches.len() as u64);
+        for (pc, s) in branches {
+            w.extend_from_slice(&[u64::from(*pc), s.execs, s.mispredicts]);
+        }
+        crate::wcodec::push_section(&mut w, self.upc.snapshot_words());
+        crate::wcodec::push_section(&mut w, self.pipeview.snapshot_words());
+        w
+    }
+
+    /// Restores state captured by [`SimResult::snapshot_words`]. On error
+    /// the result's state is unspecified.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed input, including duplicate per-PC entries.
+    pub fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+        let mut r = crate::wcodec::Reader::new(words, "sim-result");
+        self.cycles = r.u64()?;
+        self.retired = r.u64()?;
+        self.rob_head_stall_cycles = r.u64()?;
+        self.fetch_stall_mispredict_cycles = r.u64()?;
+        self.fetch_stall_icache_cycles = r.u64()?;
+        self.cond_branches = r.u64()?;
+        self.cond_mispredicts = r.u64()?;
+        self.indirect_mispredicts = r.u64()?;
+        self.mem.loads = r.u64()?;
+        self.mem.stores = r.u64()?;
+        self.mem.fetches = r.u64()?;
+        self.mem.load_llc_misses = r.u64()?;
+        self.mem.load_merges = r.u64()?;
+        self.mem.prefetches_issued = r.u64()?;
+        for c in [&mut self.mem.l1i, &mut self.mem.l1d, &mut self.mem.llc] {
+            c.accesses = r.u64()?;
+            c.misses = r.u64()?;
+            c.prefetch_fills = r.u64()?;
+            c.prefetch_hits = r.u64()?;
+        }
+        self.mem.dram.requests = r.u64()?;
+        self.mem.dram.row_hits = r.u64()?;
+        self.mem.dram.row_misses = r.u64()?;
+        self.mem.dram.row_conflicts = r.u64()?;
+        self.mem.dram.total_latency = r.u64()?;
+        let bad_pc = |pc: u64| format!("sim-result snapshot: bad pc {pc}");
+        let n = r.count()?;
+        self.load_pc_stats = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let pc = r.u64()?;
+            let pc = Pc::try_from(pc).map_err(|_| bad_pc(pc))?;
+            let s = LoadPcStats {
+                execs: r.u64()?,
+                l1_hits: r.u64()?,
+                llc_hits: r.u64()?,
+                llc_misses: r.u64()?,
+                total_latency: r.u64()?,
+                mlp_sum: r.u64()?,
+            };
+            if self.load_pc_stats.insert(pc, s).is_some() {
+                return Err(format!("sim-result snapshot: duplicate load pc {pc}"));
+            }
+        }
+        let n = r.count()?;
+        self.branch_pc_stats = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let pc = r.u64()?;
+            let pc = Pc::try_from(pc).map_err(|_| bad_pc(pc))?;
+            let s = BranchPcStats {
+                execs: r.u64()?,
+                mispredicts: r.u64()?,
+            };
+            if self.branch_pc_stats.insert(pc, s).is_some() {
+                return Err(format!("sim-result snapshot: duplicate branch pc {pc}"));
+            }
+        }
+        self.upc.restore_words(r.section()?)?;
+        self.pipeview.restore_words(r.section()?)?;
+        r.finish()
+    }
 }
 
 #[cfg(test)]
@@ -337,6 +537,68 @@ mod tests {
         };
         assert!((r.speedup_over(&base) - 100.0).abs() < 1e-9);
         assert_eq!(SimResult::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn sim_result_snapshot_round_trips_every_field() {
+        let mut r = SimResult {
+            cycles: 1000,
+            retired: 2000,
+            rob_head_stall_cycles: 5,
+            fetch_stall_mispredict_cycles: 6,
+            fetch_stall_icache_cycles: 7,
+            cond_branches: 8,
+            cond_mispredicts: 9,
+            indirect_mispredicts: 10,
+            ..SimResult::default()
+        };
+        r.mem.loads = 11;
+        r.mem.l1d.accesses = 12;
+        r.mem.dram.row_hits = 13;
+        r.load_pc_stats.insert(
+            42,
+            LoadPcStats {
+                execs: 3,
+                llc_misses: 1,
+                ..LoadPcStats::default()
+            },
+        );
+        r.load_pc_stats.insert(7, LoadPcStats::default());
+        r.branch_pc_stats.insert(
+            9,
+            BranchPcStats {
+                execs: 4,
+                mispredicts: 2,
+            },
+        );
+        r.upc.push(6);
+        r.upc.push(0);
+        r.pipeview.push(PipeRecord {
+            seq: 0,
+            pc: 1,
+            fetch: 2,
+            dispatch: 3,
+            issue: 4,
+            complete: 5,
+            retire: 6,
+        });
+        let words = r.snapshot_words();
+        let mut s = SimResult::default();
+        s.restore_words(&words).unwrap();
+        assert_eq!(s.snapshot_words(), words);
+        assert_eq!(s.retired, 2000);
+        assert_eq!(s.mem.dram.row_hits, 13);
+        assert_eq!(s.load_pc_stats, r.load_pc_stats);
+        assert_eq!(s.branch_pc_stats, r.branch_pc_stats);
+        assert_eq!(s.upc, r.upc);
+        assert_eq!(s.pipeview.records(), r.pipeview.records());
+        // Truncated and trailing inputs are rejected.
+        assert!(SimResult::default()
+            .restore_words(&words[..words.len() - 1])
+            .is_err());
+        let mut trailing = words.clone();
+        trailing.push(0);
+        assert!(SimResult::default().restore_words(&trailing).is_err());
     }
 
     #[test]

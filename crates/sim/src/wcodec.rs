@@ -1,0 +1,151 @@
+//! A tiny checked cursor over `&[u64]` snapshot words.
+//!
+//! Shared by every snapshot/restore implementation in this crate; the
+//! encode side is plain `Vec<u64>` pushes plus the helpers below. The
+//! same pattern (deliberately duplicated to avoid a cross-crate
+//! dependency) appears in `crisp-mem` and `crisp-uarch`.
+
+/// A bounds-checked reader over snapshot words with a context label for
+/// error messages.
+pub(crate) struct Reader<'a> {
+    words: &'a [u64],
+    pos: usize,
+    ctx: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(words: &'a [u64], ctx: &'static str) -> Reader<'a> {
+        Reader { words, pos: 0, ctx }
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
+        let w = self
+            .words
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| format!("{} snapshot: truncated at word {}", self.ctx, self.pos))?;
+        self.pos += 1;
+        Ok(w)
+    }
+
+    pub(crate) fn usize(&mut self) -> Result<usize, String> {
+        let w = self.u64()?;
+        usize::try_from(w).map_err(|_| format!("{} snapshot: {w} overflows usize", self.ctx))
+    }
+
+    pub(crate) fn bool(&mut self) -> Result<bool, String> {
+        match self.u64()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(format!("{} snapshot: bad flag {v}", self.ctx)),
+        }
+    }
+
+    /// A count that prefixes per-item payloads: bounding it by the words
+    /// remaining rejects forged lengths before any allocation.
+    pub(crate) fn count(&mut self) -> Result<usize, String> {
+        let n = self.usize()?;
+        if n > self.words.len() - self.pos {
+            return Err(format!(
+                "{} snapshot: count {n} exceeds remaining input",
+                self.ctx
+            ));
+        }
+        Ok(n)
+    }
+
+    pub(crate) fn opt_u64(&mut self) -> Result<Option<u64>, String> {
+        let present = self.bool()?;
+        let v = self.u64()?;
+        Ok(present.then_some(v))
+    }
+
+    pub(crate) fn opt_usize(&mut self) -> Result<Option<usize>, String> {
+        let v = self.opt_u64()?;
+        match v {
+            None => Ok(None),
+            Some(x) => usize::try_from(x)
+                .map(Some)
+                .map_err(|_| format!("{} snapshot: {x} overflows usize", self.ctx)),
+        }
+    }
+
+    pub(crate) fn section(&mut self) -> Result<&'a [u64], String> {
+        let len = self.usize()?;
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.words.len())
+            .ok_or_else(|| format!("{} snapshot: section overruns input", self.ctx))?;
+        let s = &self.words[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub(crate) fn finish(self) -> Result<(), String> {
+        if self.pos != self.words.len() {
+            return Err(format!(
+                "{} snapshot: {} trailing words",
+                self.ctx,
+                self.words.len() - self.pos
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Appends a length-prefixed sub-vector (the dual of [`Reader::section`]).
+pub(crate) fn push_section(out: &mut Vec<u64>, body: Vec<u64>) {
+    out.push(body.len() as u64);
+    out.extend(body);
+}
+
+/// Appends `(present, value)` (the dual of [`Reader::opt_u64`]).
+pub(crate) fn push_opt_u64(out: &mut Vec<u64>, v: Option<u64>) {
+    out.push(u64::from(v.is_some()));
+    out.push(v.unwrap_or(0));
+}
+
+/// Appends `(present, value)` (the dual of [`Reader::opt_usize`]).
+pub(crate) fn push_opt_usize(out: &mut Vec<u64>, v: Option<usize>) {
+    push_opt_u64(out, v.map(|x| x as u64));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_back_in_order() {
+        let mut w = vec![7u64, 3, 1];
+        push_opt_u64(&mut w, Some(9));
+        push_opt_usize(&mut w, None);
+        push_section(&mut w, vec![5, 6]);
+        let mut r = Reader::new(&w, "test");
+        assert_eq!(r.u64().unwrap(), 7);
+        assert_eq!(r.usize().unwrap(), 3);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.opt_u64().unwrap(), Some(9));
+        assert_eq!(r.opt_usize().unwrap(), None);
+        assert_eq!(r.section().unwrap(), &[5, 6]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_flags_and_counts_are_rejected() {
+        let mut r = Reader::new(&[], "test");
+        assert!(r.u64().unwrap_err().contains("truncated"));
+        let mut r = Reader::new(&[2], "test");
+        assert!(r.bool().unwrap_err().contains("bad flag"));
+        let mut r = Reader::new(&[100, 0], "test");
+        assert!(r.count().unwrap_err().contains("exceeds remaining"));
+        let mut r = Reader::new(&[9, 1], "test");
+        assert!(r.section().unwrap_err().contains("overruns"));
+    }
+
+    #[test]
+    fn trailing_words_are_rejected() {
+        let r = Reader::new(&[1], "test");
+        assert!(r.finish().unwrap_err().contains("trailing"));
+    }
+}

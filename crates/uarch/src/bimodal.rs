@@ -46,6 +46,34 @@ impl Bimodal {
     pub fn counter(&self, pc: u64) -> i8 {
         self.table[self.index(pc)].get()
     }
+
+    /// Serialises the counter table as a flat word vector.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        let mut w = vec![self.table.len() as u64];
+        w.extend(self.table.iter().map(|c| c.to_word()));
+        w
+    }
+
+    /// Restores state captured by [`Bimodal::snapshot_words`] into an
+    /// identically-sized predictor.
+    ///
+    /// # Errors
+    ///
+    /// Rejects table-size mismatches and malformed input.
+    pub fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+        let mut r = crate::wcodec::Reader::new(words, "bimodal");
+        let n = r.usize()?;
+        if n != self.table.len() {
+            return Err(format!(
+                "bimodal snapshot: {n} counters, expected {}",
+                self.table.len()
+            ));
+        }
+        for c in &mut self.table {
+            *c = SatCounter::from_word(r.u64()?)?;
+        }
+        r.finish()
+    }
 }
 
 impl DirectionPredictor for Bimodal {

@@ -107,6 +107,80 @@ impl Btb {
     pub fn stats(&self) -> (u64, u64) {
         (self.lookups, self.misses)
     }
+
+    /// Serialises tags, targets, LRU stamps and counters as a word vector.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        let mut w = vec![
+            self.stamp,
+            self.lookups,
+            self.misses,
+            self.sets.len() as u64,
+        ];
+        for set in &self.sets {
+            w.push(set.len() as u64);
+            for (stamp, e) in set {
+                w.push(*stamp);
+                w.push(e.pc);
+                w.push(e.target);
+                w.push(match e.kind {
+                    CtrlKind::CondBranch => 0,
+                    CtrlKind::Jump => 1,
+                    CtrlKind::IndirectJump => 2,
+                    CtrlKind::Call => 3,
+                    CtrlKind::Ret => 4,
+                });
+            }
+        }
+        w
+    }
+
+    /// Restores state captured by [`Btb::snapshot_words`] into a BTB of
+    /// the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// Rejects geometry mismatches and malformed input.
+    pub fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+        let mut r = crate::wcodec::Reader::new(words, "btb");
+        let stamp = r.u64()?;
+        let lookups = r.u64()?;
+        let misses = r.u64()?;
+        let n_sets = r.usize()?;
+        if n_sets != self.sets.len() {
+            return Err(format!(
+                "btb snapshot: {n_sets} sets, expected {}",
+                self.sets.len()
+            ));
+        }
+        self.stamp = stamp;
+        self.lookups = lookups;
+        self.misses = misses;
+        for set in &mut self.sets {
+            let n = r.usize()?;
+            if n > self.ways {
+                return Err(format!(
+                    "btb snapshot: {n} ways in a set, expected at most {}",
+                    self.ways
+                ));
+            }
+            set.clear();
+            for _ in 0..n {
+                let stamp = r.u64()?;
+                let pc = r.u64()?;
+                let target = r.u64()?;
+                let kind = match r.u64()? {
+                    0 => CtrlKind::CondBranch,
+                    1 => CtrlKind::Jump,
+                    2 => CtrlKind::IndirectJump,
+                    3 => CtrlKind::Call,
+                    4 => CtrlKind::Ret,
+                    v => return Err(format!("btb snapshot: bad control kind {v}")),
+                };
+                set.push((stamp, BtbEntry { pc, target, kind }));
+            }
+        }
+        r.finish()
+    }
 }
 
 #[cfg(test)]
@@ -162,5 +236,23 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bad_geometry_rejected() {
         let _ = Btb::new(12, 4);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_lru_and_counters() {
+        let mut btb = Btb::new(64, 4);
+        btb.insert(0x100, 0x200, CtrlKind::CondBranch);
+        btb.insert(0x104, 0x300, CtrlKind::Call);
+        btb.lookup(0x100);
+        btb.lookup(0x999); // miss
+        let words = btb.snapshot_words();
+        let mut other = Btb::new(64, 4);
+        other.restore_words(&words).unwrap();
+        assert_eq!(other.snapshot_words(), words);
+        assert_eq!(other.stats(), btb.stats());
+        assert_eq!(other.lookup(0x104).unwrap().kind, CtrlKind::Call);
+        // Geometry mismatch is rejected.
+        let mut wrong = Btb::new(32, 4);
+        assert!(wrong.restore_words(&words).is_err());
     }
 }

@@ -56,6 +56,39 @@ impl Gshare {
     pub fn history(&self) -> u64 {
         self.history
     }
+
+    /// Serialises the history register and counter table as a word vector.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        let mut w = vec![self.history, self.table.len() as u64];
+        w.extend(self.table.iter().map(|c| c.to_word()));
+        w
+    }
+
+    /// Restores state captured by [`Gshare::snapshot_words`] into an
+    /// identically-sized predictor.
+    ///
+    /// # Errors
+    ///
+    /// Rejects table-size or history-width mismatches and malformed input.
+    pub fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+        let mut r = crate::wcodec::Reader::new(words, "gshare");
+        let history = r.u64()?;
+        if history & !self.hist_mask != 0 {
+            return Err("gshare snapshot: history wider than configured".to_string());
+        }
+        let n = r.usize()?;
+        if n != self.table.len() {
+            return Err(format!(
+                "gshare snapshot: {n} counters, expected {}",
+                self.table.len()
+            ));
+        }
+        self.history = history;
+        for c in &mut self.table {
+            *c = SatCounter::from_word(r.u64()?)?;
+        }
+        r.finish()
+    }
 }
 
 impl DirectionPredictor for Gshare {
@@ -109,5 +142,23 @@ mod tests {
             p.update(0, true, true);
         }
         assert!(p.history() <= 0xF);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_learning() {
+        let mut p = Gshare::new(1 << 10, 10);
+        let mut taken = false;
+        for _ in 0..300 {
+            taken = !taken;
+            let pred = p.predict(0x33);
+            p.update(0x33, taken, pred);
+        }
+        let words = p.snapshot_words();
+        let mut q = Gshare::new(1 << 10, 10);
+        q.restore_words(&words).unwrap();
+        assert_eq!(q.snapshot_words(), words);
+        assert_eq!(q.predict(0x33), p.predict(0x33));
+        let mut wrong = Gshare::new(1 << 9, 10);
+        assert!(wrong.restore_words(&words).is_err());
     }
 }

@@ -62,6 +62,57 @@ impl IndirectPredictor {
         let mask = (1u64 << self.hist_bits) - 1;
         self.history = ((self.history << 2) ^ (target >> 2)) & mask;
     }
+
+    /// Serialises the path history and target table as a word vector.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        let mut w = vec![self.history, self.table.len() as u64];
+        for e in &self.table {
+            match e {
+                Some((tag, target)) => {
+                    w.push(1);
+                    w.push(*tag);
+                    w.push(*target);
+                }
+                None => {
+                    w.push(0);
+                    w.push(0);
+                    w.push(0);
+                }
+            }
+        }
+        w
+    }
+
+    /// Restores state captured by
+    /// [`IndirectPredictor::snapshot_words`] into an identically-sized
+    /// predictor.
+    ///
+    /// # Errors
+    ///
+    /// Rejects table-size mismatches and malformed input.
+    pub fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+        let mut r = crate::wcodec::Reader::new(words, "indirect-predictor");
+        let history = r.u64()?;
+        let n = r.usize()?;
+        if n != self.table.len() {
+            return Err(format!(
+                "indirect-predictor snapshot: {n} entries, expected {}",
+                self.table.len()
+            ));
+        }
+        self.history = history;
+        for e in &mut self.table {
+            let present = match r.u64()? {
+                0 => false,
+                1 => true,
+                v => return Err(format!("indirect-predictor snapshot: bad flag {v}")),
+            };
+            let tag = r.u64()?;
+            let target = r.u64()?;
+            *e = present.then_some((tag, target));
+        }
+        r.finish()
+    }
 }
 
 #[cfg(test)]
@@ -116,5 +167,20 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bad_size_rejected() {
         let _ = IndirectPredictor::new(3, 4);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_history() {
+        let mut p = IndirectPredictor::new(256, 8);
+        for t in [0x100u64, 0x200, 0x100, 0x300] {
+            p.update(0x40, t);
+        }
+        let words = p.snapshot_words();
+        let mut q = IndirectPredictor::new(256, 8);
+        q.restore_words(&words).unwrap();
+        assert_eq!(q.snapshot_words(), words);
+        assert_eq!(q.predict(0x40), p.predict(0x40));
+        let mut wrong = IndirectPredictor::new(128, 8);
+        assert!(wrong.restore_words(&words).is_err());
     }
 }

@@ -33,6 +33,7 @@ mod gshare;
 mod indirect;
 mod ras;
 mod tage;
+mod wcodec;
 
 pub use bimodal::Bimodal;
 pub use btb::{Btb, BtbEntry};
@@ -121,6 +122,28 @@ impl SatCounter {
     #[inline]
     pub(crate) fn is_weak(self) -> bool {
         self.value == 0 || self.value == -1
+    }
+
+    /// Packs the counter (value and saturation bound) into one snapshot
+    /// word.
+    pub(crate) fn to_word(self) -> u64 {
+        u64::from(self.value as u8) | (u64::from(self.max as u8) << 8)
+    }
+
+    /// Rebuilds a counter from [`SatCounter::to_word`] output, validating
+    /// that the value sits inside the saturation range.
+    pub(crate) fn from_word(w: u64) -> Result<SatCounter, String> {
+        if w >> 16 != 0 {
+            return Err(format!("sat-counter snapshot: bad word {w:#x}"));
+        }
+        let value = (w & 0xFF) as u8 as i8;
+        let max = ((w >> 8) & 0xFF) as u8 as i8;
+        if max < 0 || !(-max - 1..=max).contains(&value) {
+            return Err(format!(
+                "sat-counter snapshot: value {value} outside range of max {max}"
+            ));
+        }
+        Ok(SatCounter { value, max })
     }
 }
 

@@ -66,6 +66,39 @@ impl Ras {
     pub fn clear(&mut self) {
         self.depth = 0;
     }
+
+    /// Serialises the stack contents and cursor as a word vector.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        let mut w = vec![self.top as u64, self.depth as u64, self.stack.len() as u64];
+        w.extend_from_slice(&self.stack);
+        w
+    }
+
+    /// Restores state captured by [`Ras::snapshot_words`] into a RAS of
+    /// the same capacity.
+    ///
+    /// # Errors
+    ///
+    /// Rejects capacity mismatches, out-of-range cursors and malformed
+    /// input.
+    pub fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+        let mut r = crate::wcodec::Reader::new(words, "ras");
+        let top = r.usize()?;
+        let depth = r.usize()?;
+        let n = r.usize()?;
+        if n != self.capacity || top >= self.capacity || depth > self.capacity {
+            return Err(format!(
+                "ras snapshot: capacity {n} / top {top} / depth {depth}, expected capacity {}",
+                self.capacity
+            ));
+        }
+        self.top = top;
+        self.depth = depth;
+        for slot in &mut self.stack {
+            *slot = r.u64()?;
+        }
+        r.finish()
+    }
 }
 
 #[cfg(test)]
@@ -123,5 +156,22 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
         let _ = Ras::new(0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_stack() {
+        let mut r = Ras::new(4);
+        r.push(10);
+        r.push(20);
+        r.push(30);
+        r.pop();
+        let words = r.snapshot_words();
+        let mut s = Ras::new(4);
+        s.restore_words(&words).unwrap();
+        assert_eq!(s.snapshot_words(), words);
+        assert_eq!(s.pop(), Some(20));
+        assert_eq!(s.pop(), Some(10));
+        let mut wrong = Ras::new(8);
+        assert!(wrong.restore_words(&words).is_err());
     }
 }

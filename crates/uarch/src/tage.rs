@@ -184,6 +184,132 @@ impl Tage {
         &self.config
     }
 
+    /// Serialises the full learned state — base counters, tagged tables,
+    /// the raw outcome history ring, the folded-history registers, the
+    /// use-alt policy counter, the allocation LFSR and the update count —
+    /// as a flat word vector.
+    ///
+    /// The per-prediction scratch (provider/alternate bookkeeping between
+    /// `predict` and `update`) is *not* captured: snapshots are taken at
+    /// instruction boundaries, never between a predict and its update.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        let mut w = vec![self.base.len() as u64];
+        w.extend(self.base.iter().map(|c| c.to_word()));
+        w.push(self.tables.len() as u64);
+        for table in &self.tables {
+            w.push(table.len() as u64);
+            for e in table {
+                w.push(u64::from(e.tag));
+                w.push(e.ctr.to_word());
+                w.push(u64::from(e.useful));
+            }
+        }
+        w.push(self.history.len() as u64);
+        w.extend(self.history.iter().map(|&b| u64::from(b)));
+        w.push(self.hist_pos as u64);
+        for folds in [&self.index_fold, &self.tag_fold0, &self.tag_fold1] {
+            w.push(folds.len() as u64);
+            w.extend(folds.iter().map(|f| u64::from(f.comp)));
+        }
+        w.push(self.use_alt_on_na.to_word());
+        w.push(u64::from(self.lfsr));
+        w.push(self.updates);
+        w
+    }
+
+    /// Restores state captured by [`Tage::snapshot_words`] into a
+    /// predictor built from the same configuration. Resets the
+    /// per-prediction scratch.
+    ///
+    /// # Errors
+    ///
+    /// Rejects geometry mismatches, out-of-range folded histories and
+    /// malformed input; the predictor should be discarded on error.
+    pub fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+        let mut r = crate::wcodec::Reader::new(words, "tage");
+        let n_base = r.usize()?;
+        if n_base != self.base.len() {
+            return Err(format!(
+                "tage snapshot: {n_base} base counters, expected {}",
+                self.base.len()
+            ));
+        }
+        for c in &mut self.base {
+            *c = SatCounter::from_word(r.u64()?)?;
+        }
+        let n_tables = r.usize()?;
+        if n_tables != self.tables.len() {
+            return Err(format!(
+                "tage snapshot: {n_tables} tagged tables, expected {}",
+                self.tables.len()
+            ));
+        }
+        let tag_mask = !((1u64 << self.config.tag_bits) - 1);
+        for table in &mut self.tables {
+            let n = r.usize()?;
+            if n != table.len() {
+                return Err(format!(
+                    "tage snapshot: {n} entries in a table, expected {}",
+                    table.len()
+                ));
+            }
+            for e in table.iter_mut() {
+                let tag = r.u64()?;
+                if tag & tag_mask != 0 {
+                    return Err(format!("tage snapshot: tag {tag:#x} wider than configured"));
+                }
+                e.tag = tag as u16;
+                e.ctr = SatCounter::from_word(r.u64()?)?;
+                e.useful = r.u8()?;
+            }
+        }
+        let n_hist = r.usize()?;
+        if n_hist != self.history.len() {
+            return Err(format!(
+                "tage snapshot: {n_hist} history bits, expected {}",
+                self.history.len()
+            ));
+        }
+        for b in &mut self.history {
+            *b = r.bool()?;
+        }
+        let hist_pos = r.usize()?;
+        if hist_pos >= self.history.len() {
+            return Err(format!(
+                "tage snapshot: history cursor {hist_pos} out of range"
+            ));
+        }
+        self.hist_pos = hist_pos;
+        for folds in [
+            &mut self.index_fold,
+            &mut self.tag_fold0,
+            &mut self.tag_fold1,
+        ] {
+            let n = r.usize()?;
+            if n != folds.len() {
+                return Err(format!(
+                    "tage snapshot: {n} folded histories, expected {}",
+                    folds.len()
+                ));
+            }
+            for f in folds.iter_mut() {
+                let comp = r.u64()?;
+                if comp >> f.comp_len != 0 {
+                    return Err(format!(
+                        "tage snapshot: folded history {comp:#x} wider than {} bits",
+                        f.comp_len
+                    ));
+                }
+                f.comp = comp as u32;
+            }
+        }
+        self.use_alt_on_na = SatCounter::from_word(r.u64()?)?;
+        self.lfsr = u32::try_from(r.u64()?).map_err(|_| "tage snapshot: lfsr overflow")?;
+        self.updates = r.u64()?;
+        self.last = PredState::default();
+        r.finish()
+    }
+
     fn index(&self, pc: u64, table: usize) -> usize {
         let mask = self.config.table_entries - 1;
         let fold = self.index_fold[table].comp as u64;
@@ -490,6 +616,55 @@ mod tests {
             tage_wrong < bim_wrong / 4,
             "TAGE ({tage_wrong}) should decisively beat bimodal ({bim_wrong})"
         );
+    }
+
+    #[test]
+    fn snapshot_round_trip_continues_in_lockstep() {
+        let mut t = Tage::default_config();
+        // Warm up with a mixed pattern so tables, folds and the LFSR all
+        // carry non-trivial state.
+        let mut x = 0xC0FFEEu64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let pc = 0x40 + (x & 0xF0);
+            let taken = (x >> 62) & 1 == 1;
+            let pred = t.predict(pc);
+            t.update(pc, taken, pred);
+        }
+        let words = t.snapshot_words();
+        let mut u = Tage::default_config();
+        u.restore_words(&words).unwrap();
+        assert_eq!(u.snapshot_words(), words, "snapshot must round-trip");
+        // Both predictors must now agree on every future prediction.
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let pc = 0x40 + (x & 0xF0);
+            let taken = (x >> 62) & 1 == 1;
+            let a = t.predict(pc);
+            let b = u.predict(pc);
+            assert_eq!(a, b, "divergence after restore");
+            t.update(pc, taken, a);
+            u.update(pc, taken, b);
+        }
+        assert_eq!(t.snapshot_words(), u.snapshot_words());
+    }
+
+    #[test]
+    fn snapshot_rejects_mismatched_geometry_and_garbage() {
+        let t = Tage::default_config();
+        let words = t.snapshot_words();
+        let mut small = Tage::new(TageConfig {
+            table_entries: 1 << 8,
+            ..TageConfig::default()
+        });
+        assert!(small.restore_words(&words).is_err());
+        let mut u = Tage::default_config();
+        assert!(u.restore_words(&words[..10]).is_err(), "truncated");
+        let mut corrupt = words.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] = u64::MAX; // updates is unconstrained; add a word instead
+        corrupt.push(0);
+        assert!(u.restore_words(&corrupt).is_err(), "trailing words");
     }
 
     #[test]

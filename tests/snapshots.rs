@@ -1,0 +1,351 @@
+//! Property-based round-trip tests for the checkpoint `Snapshot` trait:
+//! every implementor is driven into a randomized state, serialised,
+//! restored into a freshly constructed instance, and re-serialised — the
+//! two word vectors must be byte-identical, and (where the type is
+//! executable) the restored instance must behave identically afterwards.
+
+use crisp_emu::{Emulator, Memory};
+use crisp_isa::{AluOp, Cond, CtrlKind, ProgramBuilder, Reg};
+use crisp_mem::{
+    Bop, Cache, CacheConfig, Dram, DramConfig, Ghb, HierarchyConfig, MemoryHierarchy, Prefetcher,
+    StreamPrefetcher, StridePrefetcher,
+};
+use crisp_sim::{AgeMatrix, BitSet, CheckpointSink, SimConfig, SimSnapshot, Simulator, Snapshot};
+use crisp_uarch::{Bimodal, Btb, DirectionPredictor, Gshare, IndirectPredictor, Ras, Tage};
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+/// Serialise `driven`, restore into `fresh`, and require the re-serialised
+/// state to be byte-identical. Returns the words for further checks.
+fn assert_roundtrip<T: Snapshot + ?Sized>(driven: &T, fresh: &mut T) -> Vec<u64> {
+    let words = driven.snapshot_words();
+    fresh
+        .restore_words(&words)
+        .expect("restore into a fresh instance");
+    let again = fresh.snapshot_words();
+    assert_eq!(again, words, "snapshot→restore→snapshot changed the words");
+    words
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Direction predictors: random train streams, then byte-identical
+    /// round-trips and lockstep agreement afterwards.
+    #[test]
+    fn direction_predictors_round_trip(
+        ops in proptest::collection::vec((0u64..64, 0u8..2), 1..200),
+    ) {
+        let mut bimodal = Bimodal::new(512);
+        let mut gshare = Gshare::new(512, 10);
+        let mut tage = Tage::default_config();
+        for &(slot, taken) in &ops {
+            let pc = 0x1000 + slot * 4;
+            let taken = taken == 1;
+            let p = bimodal.predict(pc);
+            bimodal.update(pc, taken, p);
+            let p = gshare.predict(pc);
+            gshare.update(pc, taken, p);
+            let p = tage.predict(pc);
+            tage.update(pc, taken, p);
+        }
+        assert_roundtrip(&bimodal, &mut Bimodal::new(512));
+        assert_roundtrip(&gshare, &mut Gshare::new(512, 10));
+        let mut tage2 = Tage::default_config();
+        assert_roundtrip(&tage, &mut tage2);
+        // The restored TAGE must predict identically from here on.
+        for &(slot, taken) in ops.iter().rev() {
+            let pc = 0x2000 + slot * 4;
+            let a = tage.predict(pc);
+            let b = tage2.predict(pc);
+            prop_assert_eq!(a, b);
+            tage.update(pc, taken == 1, a);
+            tage2.update(pc, taken == 1, b);
+        }
+        prop_assert_eq!(tage.snapshot_words(), tage2.snapshot_words());
+    }
+
+    /// Target predictors: BTB (with LRU churn), RAS (push/pop mixes,
+    /// including overflow/underflow) and the indirect predictor.
+    #[test]
+    fn target_predictors_round_trip(
+        ops in proptest::collection::vec((0u64..96, 0u8..5), 1..200),
+    ) {
+        let kinds = [
+            CtrlKind::CondBranch,
+            CtrlKind::Jump,
+            CtrlKind::IndirectJump,
+            CtrlKind::Call,
+            CtrlKind::Ret,
+        ];
+        let mut btb = Btb::new(32, 4);
+        let mut ras = Ras::new(8);
+        let mut ind = IndirectPredictor::new(64, 8);
+        for &(slot, k) in &ops {
+            let pc = 0x4000 + slot * 4;
+            btb.insert(pc, pc + 64, kinds[k as usize]);
+            btb.lookup(0x4000 + (slot / 2) * 4); // LRU churn + hit stats
+            match k {
+                0 => ras.push(pc),
+                1 => {
+                    ras.pop();
+                }
+                _ => ind.update(pc, pc + k as u64 * 8),
+            }
+        }
+        assert_roundtrip(&btb, &mut Btb::new(32, 4));
+        assert_roundtrip(&ras, &mut Ras::new(8));
+        assert_roundtrip(&ind, &mut IndirectPredictor::new(64, 8));
+    }
+
+    /// Caches and DRAM: random access/fill/invalidate streams and
+    /// timing-sensitive row-buffer state.
+    #[test]
+    fn cache_and_dram_round_trip(
+        ops in proptest::collection::vec((0u64..128, 0u8..3), 1..200),
+    ) {
+        let cfg = CacheConfig::new(8 * 1024, 4, 64);
+        let mut cache = Cache::new(cfg);
+        let mut dram = Dram::new(DramConfig::default());
+        let mut now = 0u64;
+        for &(line, op) in &ops {
+            match op {
+                0 => {
+                    cache.access(line);
+                }
+                1 => {
+                    cache.fill(line, line % 3 == 0);
+                }
+                _ => {
+                    cache.invalidate(line);
+                }
+            }
+            dram.request(line * 64, now);
+            now += 1 + line % 7;
+        }
+        assert_roundtrip(&cache, &mut Cache::new(cfg));
+        let mut dram2 = Dram::new(DramConfig::default());
+        assert_roundtrip(&dram, &mut dram2);
+        // Row-buffer and bank timing state must carry over: identical
+        // future requests must see identical latencies.
+        for &(line, _) in ops.iter().take(16) {
+            prop_assert_eq!(
+                dram.request(line * 256, now),
+                dram2.request(line * 256, now)
+            );
+            now += 3;
+        }
+    }
+
+    /// All four data prefetchers, driven through the common trait.
+    #[test]
+    fn prefetchers_round_trip(
+        ops in proptest::collection::vec((0u64..256, 0u64..8, 0u8..2), 1..200),
+    ) {
+        let mut stream = StreamPrefetcher::new(8, 4, 2);
+        let mut stride = StridePrefetcher::new(64, 2);
+        let mut bop = Bop::new();
+        let mut ghb = Ghb::new(64, 32, 4);
+        let mut out = Vec::new();
+        for &(line, pc_slot, hit) in &ops {
+            let pc = 0x7000 + pc_slot * 4;
+            let l1_hit = hit == 1;
+            for p in [
+                &mut stream as &mut dyn Prefetcher,
+                &mut stride,
+                &mut bop,
+                &mut ghb,
+            ] {
+                out.clear();
+                p.on_access(line, pc, l1_hit, &mut out);
+            }
+            if line % 5 == 0 {
+                bop.on_fill(line);
+            }
+        }
+        assert_roundtrip(&stream, &mut StreamPrefetcher::new(8, 4, 2));
+        assert_roundtrip(&stride, &mut StridePrefetcher::new(64, 2));
+        assert_roundtrip(&bop, &mut Bop::new());
+        assert_roundtrip(&ghb, &mut Ghb::new(64, 32, 4));
+    }
+
+    /// The full hierarchy: caches, MSHR-style inflight fills, prefetchers
+    /// and DRAM behind one facade, including in-flight state mid-stream.
+    #[test]
+    fn memory_hierarchy_round_trips(
+        ops in proptest::collection::vec((0u64..512, 0u8..3), 1..150),
+    ) {
+        let cfg = HierarchyConfig::skylake_like();
+        let mut mem = MemoryHierarchy::new(cfg);
+        let mut now = 0u64;
+        for &(slot, op) in &ops {
+            let addr = 0x10_0000 + slot * 64;
+            match op {
+                0 => {
+                    mem.load(addr, 0x100 + slot * 4, now);
+                }
+                1 => {
+                    mem.store(addr, 0x200 + slot * 4, now);
+                }
+                _ => {
+                    mem.fetch(addr, now);
+                }
+            }
+            now += 1 + slot % 13;
+        }
+        let mut fresh = MemoryHierarchy::new(cfg);
+        assert_roundtrip(&mem, &mut fresh);
+        // The restored hierarchy must keep timing identically.
+        for &(slot, _) in ops.iter().take(20) {
+            let addr = 0x20_0000 + slot * 64;
+            let a = mem.load(addr, 0x300, now);
+            let b = fresh.load(addr, 0x300, now);
+            prop_assert_eq!(a.ready_at(now), b.ready_at(now));
+            now += 2;
+        }
+        prop_assert_eq!(mem.snapshot_words(), fresh.snapshot_words());
+    }
+
+    /// Sparse memory plus full architectural state: pause a random
+    /// program mid-flight, restore into a fresh emulator, and require the
+    /// remainder of both executions to agree exactly.
+    #[test]
+    fn emulator_round_trips_mid_program(
+        ops in proptest::collection::vec((0u8..4, 1u8..28, 1u8..28, 0i64..64), 4..60),
+        pause in 1usize..40,
+    ) {
+        let mut b = ProgramBuilder::new();
+        for &(kind, dst, src, imm) in &ops {
+            let (d, s) = (Reg::new(dst), Reg::new(src));
+            match kind {
+                0 => {
+                    b.alu_ri(AluOp::Add, d, s, imm);
+                }
+                1 => {
+                    b.alu_rr(AluOp::Xor, d, s, d);
+                }
+                2 => {
+                    b.load(d, s, 0x1000 + imm * 8, 8);
+                }
+                _ => {
+                    b.store(s, 0x2000 + imm * 8, d, 8);
+                }
+            }
+        }
+        b.halt();
+        let p = b.build();
+
+        let mut emu = Emulator::new(&p, Memory::new());
+        for _ in 0..pause.min(ops.len() / 2) {
+            emu.step().expect("straight-line step");
+        }
+        let mut resumed = Emulator::new(&p, Memory::new());
+        assert_roundtrip(&emu, &mut resumed);
+        assert_roundtrip(emu.memory(), &mut Memory::new());
+
+        let rest_a = emu.run(10_000);
+        let rest_b = resumed.run(10_000);
+        prop_assert_eq!(rest_a.as_slice(), rest_b.as_slice());
+        prop_assert_eq!(emu.regs(), resumed.regs());
+        prop_assert_eq!(emu.retired(), resumed.retired());
+        prop_assert_eq!(
+            emu.memory().snapshot_words(),
+            resumed.memory().snapshot_words()
+        );
+    }
+
+    /// Scheduler bookkeeping: BitSet and the age matrix under random
+    /// insert/remove churn, checked via the trait object surface too.
+    #[test]
+    fn age_matrix_round_trips(
+        ops in proptest::collection::vec((0usize..48, 0u8..2), 1..200),
+    ) {
+        let mut bits = BitSet::new(48);
+        let mut age = AgeMatrix::new(48);
+        let mut live = [false; 48];
+        for &(slot, op) in &ops {
+            if op == 0 {
+                bits.set(slot);
+                if !live[slot] {
+                    age.insert(slot);
+                    live[slot] = true;
+                }
+            } else {
+                bits.clear(slot);
+                if live[slot] {
+                    age.remove(slot);
+                    live[slot] = false;
+                }
+            }
+        }
+        assert_roundtrip(&bits, &mut BitSet::new(48));
+        // Exercise the dyn-trait path the checkpoint writer uses.
+        let fresh: &mut dyn Snapshot = &mut AgeMatrix::new(48);
+        assert_roundtrip(&age as &dyn Snapshot, fresh);
+    }
+
+    /// End-to-end: a random program checkpointed mid-run must finish with
+    /// byte-identical statistics when resumed from any captured snapshot.
+    /// This drives every implementor at once — engine window state, BPU,
+    /// hierarchy and the stats block — through the real emission path.
+    #[test]
+    fn simulator_restore_is_deterministic_on_random_programs(
+        ops in proptest::collection::vec((0u8..5, 1u8..28, 1u8..28, 0i64..64), 5..40),
+        interval in 50u64..400,
+    ) {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::new(29), 12);
+        let top = b.label();
+        b.bind(top);
+        for &(kind, dst, src, imm) in &ops {
+            let (d, s) = (Reg::new(dst), Reg::new(src));
+            match kind {
+                0 => {
+                    b.alu_ri(AluOp::Add, d, s, imm);
+                }
+                1 => {
+                    b.alu_rr(AluOp::Xor, d, s, d);
+                }
+                2 => {
+                    b.load(d, s, 0x1000 + imm * 8, 8);
+                }
+                3 => {
+                    b.store(s, 0x2000 + imm * 8, d, 8);
+                }
+                _ => {
+                    b.mul(d, s, d);
+                }
+            }
+        }
+        b.alu_ri(AluOp::Sub, Reg::new(29), Reg::new(29), 1);
+        b.branch(Cond::Ne, Reg::new(29), Reg::ZERO, top);
+        b.halt();
+        let p = b.build();
+        let t = Emulator::new(&p, Memory::new()).run(100_000);
+
+        let captured: Arc<Mutex<Vec<SimSnapshot>>> = Arc::new(Mutex::new(Vec::new()));
+        let store = Arc::clone(&captured);
+        let mut cfg = SimConfig::skylake();
+        cfg.cancel_check_interval = 32;
+        cfg.checkpoint_interval = Some(interval);
+        cfg.checkpoint_sink = Some(CheckpointSink::new(move |s| {
+            store.lock().expect("sink lock").push(s.clone());
+        }));
+        let baseline = Simulator::new(cfg).run(&p, &t, None);
+        let reference = baseline.snapshot_words();
+
+        let snapshots = std::mem::take(&mut *captured.lock().expect("sink lock"));
+        for snapshot in snapshots {
+            let cycle = snapshot.cycle;
+            let mut cfg = SimConfig::skylake();
+            cfg.restore = Some(Arc::new(snapshot));
+            let resumed = Simulator::new(cfg).run(&p, &t, None);
+            prop_assert_eq!(
+                resumed.snapshot_words(),
+                reference.clone(),
+                "resume from cycle {} diverged",
+                cycle
+            );
+        }
+    }
+}

@@ -150,6 +150,7 @@ fn deadline_overrun_classifies_as_timeout() {
             class: FailureClass::Timeout,
             attempts: 1,
             error,
+            ..
         }) => assert!(error.contains("deadline exceeded"), "{error}"),
         other => panic!("unexpected outcome: {other:?}"),
     }
@@ -234,7 +235,11 @@ proptest! {
         let outcome = if ok {
             AttemptOutcome::Ok { payload }
         } else {
-            AttemptOutcome::Fail { class, error }
+            AttemptOutcome::Fail {
+                class,
+                error,
+                detail: None,
+            }
         };
         let rec = AttemptRecord { job, hash, attempt, outcome };
         let decoded = AttemptRecord::decode(&rec.encode());
