@@ -25,6 +25,14 @@
 //!   --audit-restore      Run the checkpoint determinism audit instead of
 //!                        the sweep: checkpoint, restore, and verify
 //!                        byte-identical results per workload
+//!   --telemetry DIR      Write one interval-telemetry JSONL stream (plus a
+//!                        top-K stall-attribution table) per simulated
+//!                        sub-run into DIR (cells that drive sims directly)
+//!   --pipe-trace DIR     Write one Kanata/Konata pipeline trace per
+//!                        simulated sub-run into DIR
+//!   --heartbeat MS       Journal each running cell's progress (cycles,
+//!                        instructions, wall-clock) every MS milliseconds;
+//!                        failures cite the last heartbeat
 //!   --inject-panic SUB   Chaos: panic on attempt 1 of jobs whose id
 //!                        contains SUB (repeatable)
 //!   --inject-stall SUB   Chaos: freeze the scheduler in jobs whose id
@@ -74,6 +82,7 @@ fn usage() {
         "usage: crisp-bench [--fast|--tiny] [--jobs N] [--deadline SECS] [--max-retries K]\n\
          \x20                  [--manifest PATH] [--resume PATH] [--workloads A,B,C]\n\
          \x20                  [--checkpoint-interval CYCLES] [--audit-restore]\n\
+         \x20                  [--telemetry DIR] [--pipe-trace DIR] [--heartbeat MS]\n\
          \x20                  [--inject-panic SUB] [--inject-stall SUB] [--quiet] [{}]",
         KNOWN_TARGETS.join("|")
     );
@@ -152,6 +161,17 @@ fn parse_args(args: &[String]) -> Result<SweepConfig, UsageError> {
                     })?);
             }
             "--audit-restore" => cfg.audit_restore = true,
+            "--telemetry" => cfg.telemetry = Some(PathBuf::from(value(&mut it, "--telemetry")?)),
+            "--pipe-trace" => cfg.pipe_trace = Some(PathBuf::from(value(&mut it, "--pipe-trace")?)),
+            "--heartbeat" => {
+                let v = value(&mut it, "--heartbeat")?;
+                let ms = v.parse::<u64>().ok().filter(|n| *n > 0).ok_or_else(|| {
+                    UsageError(format!(
+                        "--heartbeat expects positive milliseconds, got `{v}`"
+                    ))
+                })?;
+                cfg.heartbeat = Some(Duration::from_millis(ms));
+            }
             "--inject-panic" => cfg.chaos.panic_once.push(value(&mut it, "--inject-panic")?),
             "--inject-stall" => cfg.chaos.stall.push(value(&mut it, "--inject-stall")?),
             other if other.starts_with('-') => {

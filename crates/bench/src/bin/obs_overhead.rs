@@ -1,0 +1,180 @@
+//! `obs-overhead` — proves the flight recorder is zero-cost when off.
+//!
+//! The engine's record calls dispatch through the `Tracer` enum; with
+//! `Tracer::Off` the match arm is empty — one predicted branch. This
+//! binary measures that per-call cost directly (a tight retire-style loop
+//! with and without the call, interleaved, min-of-N so scheduler noise
+//! cancels) and the engine's real per-instruction cost (a full tiny
+//! simulation), then gates on two facts:
+//!
+//! 1. the disabled record call must cost under `--max-ns` (default
+//!    0.5 ns) per call — anything above means the off path is doing real
+//!    work (building events, touching the ring) before checking the
+//!    switch;
+//! 2. the implied retire-loop regression — per-call cost divided by the
+//!    engine's measured per-instruction time, the recorded in-process
+//!    baseline — must stay under `--threshold` percent (default 1%).
+//!
+//! It also reports, informationally, full-simulation throughput with
+//! observability off vs fully on (tracer + telemetry + stall
+//! attribution), so CI logs show what enabling everything actually costs.
+//!
+//! ```text
+//! usage: obs-overhead [--threshold PCT] [--max-ns NS] [--iters N]
+//! exit codes: 0 within bounds, 1 regression, 2 usage error
+//! ```
+
+use crisp_core::{build, Input, SimConfig};
+use crisp_emu::Emulator;
+use crisp_obs::{EventKind, Tracer};
+use crisp_sim::Simulator;
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const REPS: usize = 7;
+
+/// One retire slot's worth of representative bookkeeping, mirroring what
+/// the engine does per retired instruction besides the tracer hook:
+/// stat counters, a per-PC table update, and a data-dependent branch.
+#[inline]
+fn retire_slot(i: u64, counters: &mut [u64; 1024], acc: &mut u64) -> u64 {
+    let pc = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 54;
+    counters[(pc & 1023) as usize] += 1;
+    *acc = acc.wrapping_add(i ^ pc);
+    if *acc & 7 == 0 {
+        counters[(i & 1023) as usize] += 1;
+    }
+    pc
+}
+
+/// The baseline retire loop: bookkeeping only, no recorder call.
+fn spin_baseline(iters: u64, counters: &mut [u64; 1024]) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..iters {
+        let cycle = black_box(i);
+        retire_slot(cycle, counters, &mut acc);
+    }
+    acc
+}
+
+/// The same loop with a disabled-recorder call in the body.
+fn spin_with_off_tracer(iters: u64, counters: &mut [u64; 1024], t: &mut Tracer) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..iters {
+        let cycle = black_box(i);
+        let pc = retire_slot(cycle, counters, &mut acc);
+        t.record(cycle, i, pc, EventKind::Retire, None);
+    }
+    acc
+}
+
+fn time<F: FnMut() -> u64>(mut f: F) -> Duration {
+    let start = Instant::now();
+    black_box(f());
+    start.elapsed()
+}
+
+/// One full tiny simulation; returns retired instructions per second,
+/// best of 3.
+fn sim_throughput(obs_on: bool) -> f64 {
+    let w = build("pointer_chase", Input::Train).expect("workload");
+    let trace = Emulator::new(&w.program, w.memory.clone()).run(30_000);
+    let mut cfg = SimConfig::skylake();
+    if obs_on {
+        cfg.tracer_capacity = Some(1 << 16);
+        cfg.telemetry_interval = Some(4096);
+        cfg.stall_attribution = true;
+    }
+    let mut best = f64::MIN;
+    for _ in 0..3 {
+        let sim = Simulator::try_new(cfg.clone()).expect("config");
+        let start = Instant::now();
+        let res = sim.try_run(&w.program, &trace, None).expect("simulation");
+        let per_sec = res.retired as f64 / start.elapsed().as_secs_f64();
+        best = best.max(per_sec);
+    }
+    best
+}
+
+fn main() -> ExitCode {
+    let mut threshold_pct = 1.0f64;
+    let mut max_ns = 0.5f64;
+    let mut iters = 100_000_000u64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let parsed = match a.as_str() {
+            "--threshold" => it.next().and_then(|v| v.parse().ok()).map(|v| {
+                threshold_pct = v;
+            }),
+            "--max-ns" => it.next().and_then(|v| v.parse().ok()).map(|v| {
+                max_ns = v;
+            }),
+            "--iters" => it.next().and_then(|v| v.parse().ok()).map(|v| {
+                iters = v;
+            }),
+            _ => None,
+        };
+        if parsed.is_none() {
+            eprintln!("usage: obs-overhead [--threshold PCT] [--max-ns NS] [--iters N]");
+            return ExitCode::from(2);
+        }
+    }
+
+    // Interleave A/B and keep the minimum of each: the min over enough
+    // repetitions is the noise-free cost of the loop itself.
+    let mut tracer = Tracer::Off;
+    let mut counters = [0u64; 1024];
+    let mut base = Duration::MAX;
+    let mut off = Duration::MAX;
+    for _ in 0..REPS {
+        base = base.min(time(|| spin_baseline(iters, &mut counters)));
+        off = off.min(time(|| {
+            spin_with_off_tracer(iters, &mut counters, &mut tracer)
+        }));
+    }
+    black_box(&counters);
+    assert!(
+        tracer.events().is_empty(),
+        "Tracer::Off must record nothing"
+    );
+    let per_call_ns = (off.as_secs_f64() - base.as_secs_f64()).max(0.0) / iters as f64 * 1e9;
+    println!(
+        "record call: baseline loop {:>8.3?}  with Tracer::Off {:>8.3?}  => {per_call_ns:.3} \
+         ns/call disabled (ceiling {max_ns} ns, {iters} iters, min of {REPS})",
+        base, off
+    );
+
+    let sim_off = sim_throughput(false);
+    let sim_on = sim_throughput(true);
+    let per_instr_ns = 1e9 / sim_off;
+    let regression_pct = per_call_ns / per_instr_ns * 100.0;
+    println!(
+        "full sim:    obs-off {:.2} Minstr/s  obs-on {:.2} Minstr/s  ({:+.1}% when enabled)",
+        sim_off / 1e6,
+        sim_on / 1e6,
+        (sim_on - sim_off) / sim_off * 100.0
+    );
+    println!(
+        "retire-loop regression when disabled: {regression_pct:.4}% of {per_instr_ns:.0} \
+         ns/instr (threshold {threshold_pct}%)"
+    );
+
+    if per_call_ns > max_ns {
+        eprintln!(
+            "obs-overhead: FAIL — disabled record call costs {per_call_ns:.3} ns > {max_ns} ns: \
+             the off path is doing real work"
+        );
+        return ExitCode::FAILURE;
+    }
+    if regression_pct > threshold_pct {
+        eprintln!(
+            "obs-overhead: FAIL — disabled tracer imposes {regression_pct:.3}% > {threshold_pct}% \
+             on the retire loop"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("obs-overhead: PASS");
+    ExitCode::SUCCESS
+}

@@ -14,9 +14,11 @@ use crisp_core::{
     IbdaConfig, Input, PipelineConfig, SimConfig, SliceConfig, SliceMode,
 };
 use crisp_emu::Emulator;
+use crisp_harness::json::Value;
 use crisp_harness::{checkpoint_file_name, newest_valid_checkpoint, write_checkpoint};
 use crisp_harness::{JobSpec, RunContext};
-use crisp_sim::{CheckpointSink, Simulator};
+use crisp_obs::{render_kanata, TelemetrySample, TraceFilter, FIELD_NAMES};
+use crisp_sim::{CheckpointSink, SimResult, Simulator};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -71,15 +73,110 @@ pub fn split_id(id: &str) -> Option<(&str, &str)> {
     id.split_once('/')
 }
 
-/// Threads the attempt's cancellation token (and, under chaos injection,
-/// a scheduler freeze that forces a watchdog deadlock) into a simulator
-/// config. Every `SimConfig` a cell builds must pass through here, or the
-/// deadline would not reach that simulation.
+/// Threads the attempt's cancellation token and progress beacon (and,
+/// under chaos injection, a scheduler freeze that forces a watchdog
+/// deadlock) into a simulator config. Every `SimConfig` a cell builds must
+/// pass through here, or the deadline and the supervisor's heartbeat
+/// monitor would not reach that simulation.
 fn arm(sim: &mut SimConfig, ctx: &RunContext, stall: bool) {
     sim.cancel = Some(ctx.cancel.clone());
+    sim.progress = Some(ctx.progress.clone());
     if stall {
         sim.freeze_scheduler_after = Some(500);
         sim.watchdog_cycles = 20_000;
+    }
+}
+
+/// Observability outputs for a cell, derived from `--telemetry` and
+/// `--pipe-trace`. Like [`CheckpointPolicy`], it applies to the cells that
+/// drive their simulations directly (Figure 1): each sub-run gets one
+/// telemetry JSONL stream (plus a top-K stall-attribution table) and one
+/// Kanata pipeline trace, keyed by the cell id and sub-run label.
+#[derive(Clone, Debug)]
+pub struct ObsPolicy {
+    /// Directory receiving `<cell>-<label>.jsonl` telemetry streams and
+    /// `<cell>-<label>.stalls.txt` stall-attribution tables.
+    pub telemetry_dir: Option<PathBuf>,
+    /// Cycles between telemetry samples (rounded up to the engine's
+    /// cancellation-poll cadence).
+    pub telemetry_interval: u64,
+    /// Directory receiving `<cell>-<label>.kanata` pipeline traces.
+    pub pipe_trace_dir: Option<PathBuf>,
+    /// Flight-recorder ring capacity for traced runs.
+    pub tracer_capacity: usize,
+}
+
+impl ObsPolicy {
+    /// A policy with no outputs and the default sampling cadence and
+    /// recorder capacity.
+    pub fn new() -> ObsPolicy {
+        ObsPolicy {
+            telemetry_dir: None,
+            telemetry_interval: 4096,
+            pipe_trace_dir: None,
+            tracer_capacity: 1 << 16,
+        }
+    }
+}
+
+impl Default for ObsPolicy {
+    fn default() -> ObsPolicy {
+        ObsPolicy::new()
+    }
+}
+
+/// Arms one simulation with the policy's observability collection:
+/// interval telemetry and stall attribution under `--telemetry`, the
+/// flight recorder under `--pipe-trace`.
+fn arm_obs(sim: &mut SimConfig, obs: Option<&ObsPolicy>) {
+    let Some(obs) = obs else { return };
+    if obs.telemetry_dir.is_some() {
+        sim.telemetry_interval = Some(obs.telemetry_interval);
+        sim.stall_attribution = true;
+    }
+    if obs.pipe_trace_dir.is_some() {
+        sim.tracer_capacity = Some(obs.tracer_capacity);
+    }
+}
+
+/// One telemetry sample as a JSONL line, tagged with the cell id and
+/// sub-run label so merged streams stay attributable.
+fn telemetry_line(cell: &str, label: &str, s: &TelemetrySample) -> String {
+    let mut pairs = vec![
+        ("cell".to_string(), Value::Str(cell.to_string())),
+        ("label".to_string(), Value::Str(label.to_string())),
+    ];
+    for (name, v) in FIELD_NAMES.iter().zip(s.values()) {
+        pairs.push(((*name).to_string(), Value::Num(v as f64)));
+    }
+    Value::Obj(pairs).encode()
+}
+
+/// Writes one sub-run's observability artifacts. Best-effort, like
+/// checkpoint emission: a full disk must not kill a healthy simulation,
+/// so I/O failures are swallowed.
+fn write_obs(obs: Option<&ObsPolicy>, job: &JobSpec, label: &str, res: &SimResult) {
+    let Some(obs) = obs else { return };
+    let stem = format!("{}-{label}", job.id.replace('/', "-"));
+    if let Some(dir) = &obs.telemetry_dir {
+        let _ = std::fs::create_dir_all(dir);
+        let mut text = String::new();
+        for s in res.telemetry.samples() {
+            text.push_str(&telemetry_line(&job.id, label, s));
+            text.push('\n');
+        }
+        let _ = std::fs::write(dir.join(format!("{stem}.jsonl")), text);
+        let _ = std::fs::write(
+            dir.join(format!("{stem}.stalls.txt")),
+            res.stall_table.render_top_k(16),
+        );
+    }
+    if let Some(dir) = &obs.pipe_trace_dir {
+        let _ = std::fs::create_dir_all(dir);
+        let _ = std::fs::write(
+            dir.join(format!("{stem}.kanata")),
+            render_kanata(&res.tracer.events(), &TraceFilter::default()),
+        );
     }
 }
 
@@ -138,10 +235,11 @@ fn arm_checkpoints(
 ///
 /// `stall` is the chaos-injection hook (`--inject-stall`): it freezes the
 /// scheduler early so the watchdog fires, exercising the deadlock-retry
-/// path end to end. `ckpt` enables mid-run checkpoint/restore for the
-/// cells that drive their simulations directly (Figure 1); cells whose
-/// simulations run inside the shared pipeline stages resume at the cell
-/// boundary via the manifest instead.
+/// path end to end. `ckpt` enables mid-run checkpoint/restore and `obs`
+/// enables telemetry/trace collection for the cells that drive their
+/// simulations directly (Figure 1); cells whose simulations run inside
+/// the shared pipeline stages resume at the cell boundary via the
+/// manifest instead.
 ///
 /// # Errors
 ///
@@ -153,6 +251,7 @@ pub fn run_cell(
     scale: ExperimentScale,
     stall: bool,
     ckpt: Option<&CheckpointPolicy>,
+    obs: Option<&ObsPolicy>,
 ) -> Result<Vec<f64>, CrispError> {
     let (figure, workload) = split_id(&job.id).ok_or_else(|| {
         CrispError::Config(ConfigError::new(
@@ -163,7 +262,7 @@ pub fn run_cell(
     let mut cfg = scale.pipeline();
     arm(&mut cfg.sim, ctx, stall);
     match figure {
-        "fig1" => cell_fig1(job, workload, &cfg, ckpt),
+        "fig1" => cell_fig1(job, workload, &cfg, ckpt, obs),
         "fig4" => cell_fig4(workload, &cfg),
         "fig7" => cell_fig7(workload, &cfg),
         "fig8" => cell_fig8(workload, &cfg),
@@ -192,6 +291,7 @@ fn cell_fig1(
     name: &str,
     cfg: &PipelineConfig,
     ckpt: Option<&CheckpointPolicy>,
+    obs: Option<&ObsPolicy>,
 ) -> Result<Vec<f64>, CrispError> {
     let w = build(name, Input::Ref)?;
     let trace = Emulator::new(&w.program, w.memory.clone()).run(cfg.eval_instructions / 2);
@@ -206,11 +306,15 @@ fn cell_fig1(
         .clone()
         .with_scheduler(SchedulerKind::OldestReadyFirst);
     arm_checkpoints(&mut ooo_cfg, job, ckpt, "ooo")?;
+    arm_obs(&mut ooo_cfg, obs);
     let ooo = Simulator::try_new(ooo_cfg)?.try_run(&w.program, &trace, None)?;
+    write_obs(obs, job, "ooo", &ooo);
     let mut crisp_cfg = sim_cfg.with_scheduler(SchedulerKind::Crisp);
     arm_checkpoints(&mut crisp_cfg, job, ckpt, "crisp")?;
+    arm_obs(&mut crisp_cfg, obs);
     let crisp =
         Simulator::try_new(crisp_cfg)?.try_run(&w.program, &trace, Some(pres.map.as_slice()))?;
+    write_obs(obs, job, "crisp", &crisp);
 
     let buckets = 60;
     let ooo_series = ooo.upc.bucketed(buckets);
@@ -386,7 +490,15 @@ fn cell_ablations(name: &str, cfg: &PipelineConfig) -> Result<Vec<f64>, CrispErr
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crisp_sim::CancelToken;
+    use crisp_sim::{CancelToken, ProgressBeacon};
+
+    fn test_ctx() -> RunContext {
+        RunContext {
+            attempt: 1,
+            cancel: CancelToken::new(),
+            progress: ProgressBeacon::new(),
+        }
+    }
 
     #[test]
     fn catalog_covers_the_expected_grid() {
@@ -415,17 +527,14 @@ mod tests {
 
     #[test]
     fn malformed_ids_are_config_errors() {
-        let ctx = RunContext {
-            attempt: 1,
-            cancel: CancelToken::new(),
-        };
+        let ctx = test_ctx();
         let bad = JobSpec::new("no-slash", "no-slash spec");
-        match run_cell(&bad, &ctx, ExperimentScale::Tiny, false, None) {
+        match run_cell(&bad, &ctx, ExperimentScale::Tiny, false, None, None) {
             Err(CrispError::Config(_)) => {}
             other => panic!("unexpected: {other:?}"),
         }
         let unknown = JobSpec::new("fig99/mcf", "fig99/mcf spec");
-        match run_cell(&unknown, &ctx, ExperimentScale::Tiny, false, None) {
+        match run_cell(&unknown, &ctx, ExperimentScale::Tiny, false, None, None) {
             Err(CrispError::Config(_)) => {}
             other => panic!("unexpected: {other:?}"),
         }
@@ -433,12 +542,9 @@ mod tests {
 
     #[test]
     fn stalled_cell_reports_a_deadlock() {
-        let ctx = RunContext {
-            attempt: 1,
-            cancel: CancelToken::new(),
-        };
+        let ctx = test_ctx();
         let job = cell_spec("fig11", "mcf", ExperimentScale::Tiny);
-        match run_cell(&job, &ctx, ExperimentScale::Tiny, true, None) {
+        match run_cell(&job, &ctx, ExperimentScale::Tiny, true, None, None) {
             Err(CrispError::Simulation(crisp_sim::SimError::Deadlock(_))) => {}
             other => panic!("expected deadlock, got: {other:?}"),
         }
@@ -448,18 +554,22 @@ mod tests {
     fn fig1_checkpoints_and_resumes_to_identical_payloads() {
         let dir = std::env::temp_dir().join("crisp-bench-cells-ckpt");
         std::fs::remove_dir_all(&dir).ok();
-        let ctx = RunContext {
-            attempt: 1,
-            cancel: CancelToken::new(),
-        };
+        let ctx = test_ctx();
         let job = cell_spec("fig1", "pointer_chase", ExperimentScale::Tiny);
         let policy = CheckpointPolicy {
             dir: dir.clone(),
             interval: 1,
             resume: false,
         };
-        let reference =
-            run_cell(&job, &ctx, ExperimentScale::Tiny, false, Some(&policy)).expect("first run");
+        let reference = run_cell(
+            &job,
+            &ctx,
+            ExperimentScale::Tiny,
+            false,
+            Some(&policy),
+            None,
+        )
+        .expect("first run");
         let written: Vec<String> = std::fs::read_dir(&dir)
             .expect("checkpoint dir exists")
             .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
@@ -478,9 +588,56 @@ mod tests {
             resume: true,
             ..policy
         };
-        let resumed =
-            run_cell(&job, &ctx, ExperimentScale::Tiny, false, Some(&resume)).expect("resumed run");
+        let resumed = run_cell(
+            &job,
+            &ctx,
+            ExperimentScale::Tiny,
+            false,
+            Some(&resume),
+            None,
+        )
+        .expect("resumed run");
         assert_eq!(resumed, reference);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fig1_writes_telemetry_stalls_and_kanata_artifacts() {
+        let dir = std::env::temp_dir().join("crisp-bench-cells-obs");
+        std::fs::remove_dir_all(&dir).ok();
+        let ctx = test_ctx();
+        let job = cell_spec("fig1", "pointer_chase", ExperimentScale::Tiny);
+        let obs = ObsPolicy {
+            telemetry_dir: Some(dir.join("telemetry")),
+            telemetry_interval: 512,
+            pipe_trace_dir: Some(dir.join("traces")),
+            tracer_capacity: 1 << 14,
+        };
+        run_cell(&job, &ctx, ExperimentScale::Tiny, false, None, Some(&obs)).expect("cell run");
+
+        for label in ["ooo", "crisp"] {
+            let stem = format!("fig1-pointer_chase-{label}");
+            let jsonl =
+                std::fs::read_to_string(dir.join("telemetry").join(format!("{stem}.jsonl")))
+                    .expect("telemetry stream exists");
+            let samples = crisp_obs::parse_jsonl(&jsonl).expect("stream parses");
+            assert!(!samples.is_empty(), "{label} sampled at least once");
+            assert!(samples[0].interval_cycles >= 512);
+            assert!(jsonl.contains("\"cell\":\"fig1/pointer_chase\""));
+
+            let stalls =
+                std::fs::read_to_string(dir.join("telemetry").join(format!("{stem}.stalls.txt")))
+                    .expect("stall table exists");
+            assert!(stalls.contains("pc"), "{stalls}");
+
+            let kanata = std::fs::read_to_string(dir.join("traces").join(format!("{stem}.kanata")))
+                .expect("pipeline trace exists");
+            assert!(
+                kanata.starts_with(crisp_obs::KANATA_HEADER),
+                "Kanata header present"
+            );
+            assert!(kanata.contains("\nR\t"), "at least one retire command");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -77,8 +77,9 @@ fn figure_report(figure: &str, scale: ExperimentScale) -> Result<String, CrispEr
         let ctx = RunContext {
             attempt: 1,
             cancel: CancelToken::new(),
+            progress: crisp_sim::ProgressBeacon::new(),
         };
-        let payload = cells::run_cell(job, &ctx, scale, false, None)?;
+        let payload = cells::run_cell(job, &ctx, scale, false, None, None)?;
         outcomes.insert(
             job.id.clone(),
             JobOutcome::Completed {

@@ -1,7 +1,7 @@
 //! The supervised sweep: figures × workloads on the crisp-harness
 //! worker pool, with chaos injection for testing the robustness paths.
 
-use crate::cells::{self, CheckpointPolicy, CELL_FORMAT, FIGURES};
+use crate::cells::{self, CheckpointPolicy, ObsPolicy, CELL_FORMAT, FIGURES};
 use crate::experiments::{table1, ExperimentScale};
 use crate::render::render_figure;
 use crisp_harness::{
@@ -63,6 +63,16 @@ pub struct SweepConfig {
     pub audit_restore: bool,
     /// Test hook: simulate a SIGKILL after this many journal records.
     pub crash_after_records: Option<usize>,
+    /// `--telemetry DIR`: cells that drive simulations directly write one
+    /// interval-telemetry JSONL stream (plus a top-K stall-attribution
+    /// table) per sub-run into this directory.
+    pub telemetry: Option<PathBuf>,
+    /// `--pipe-trace DIR`: those cells also write one Kanata pipeline
+    /// trace per sub-run into this directory.
+    pub pipe_trace: Option<PathBuf>,
+    /// `--heartbeat MS`: the supervisor journals each running cell's
+    /// progress (cycles, instructions, wall-clock) at this cadence.
+    pub heartbeat: Option<Duration>,
 }
 
 impl Default for SweepConfig {
@@ -81,6 +91,9 @@ impl Default for SweepConfig {
             checkpoint_interval: None,
             audit_restore: false,
             crash_after_records: None,
+            telemetry: None,
+            pipe_trace: None,
+            heartbeat: None,
         }
     }
 }
@@ -168,6 +181,7 @@ pub fn run_supervised_sweep(cfg: &SweepConfig) -> Result<SweepOutput, HarnessErr
         sweep_spec: sweep_spec(cfg),
         crash_after_records: cfg.crash_after_records,
         progress: cfg.progress,
+        heartbeat: cfg.heartbeat,
     };
     let chaos = cfg.chaos.clone();
     let scale = cfg.scale;
@@ -178,12 +192,17 @@ pub fn run_supervised_sweep(cfg: &SweepConfig) -> Result<SweepOutput, HarnessErr
             resume: cfg.resume,
         })
     });
+    let obs = (cfg.telemetry.is_some() || cfg.pipe_trace.is_some()).then(|| ObsPolicy {
+        telemetry_dir: cfg.telemetry.clone(),
+        pipe_trace_dir: cfg.pipe_trace.clone(),
+        ..ObsPolicy::new()
+    });
     let runner = move |job: &JobSpec, ctx: &RunContext| {
         if ctx.attempt == 1 && chaos.panic_once.iter().any(|s| job.id.contains(s.as_str())) {
             panic!("injected fault: chaos panic for {}", job.id);
         }
         let stall = chaos.stall.iter().any(|s| job.id.contains(s.as_str()));
-        cells::run_cell(job, ctx, scale, stall, ckpt.as_ref())
+        cells::run_cell(job, ctx, scale, stall, ckpt.as_ref(), obs.as_ref())
     };
     let report = run_sweep(&jobs, &opts, &runner)?;
 

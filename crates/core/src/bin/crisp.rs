@@ -5,8 +5,11 @@
 //! crisp trace <workload> [--ref] [-n INSTRS] [-o FILE]
 //! crisp profile <workload> [-n INSTRS] [--check]
 //! crisp simulate <workload> [--ref] [--scheduler crisp|oldest|random] [-n INSTRS] [--check]
+//!                [--pipe-trace FILE] [--trace-from CYCLE] [--trace-to CYCLE] [--trace-pc PC]
+//!                [--stalls K]
 //! crisp pipeline <workload> [--fast] [--loads-only|--branches-only] [--check]
 //! crisp pipeview <workload> [--crisp] [-n INSTRS] [--from SEQ] [--len COUNT]
+//! crisp obs summarize <FILE...>
 //! ```
 //!
 //! Exit codes: `0` success, `2` usage/parse error, `3` unknown workload,
@@ -18,6 +21,7 @@ use crisp_core::{
     SimConfig, SimError, SliceMode, Table,
 };
 use crisp_emu::Emulator;
+use crisp_obs::{parse_jsonl, render_kanata, summarize, TraceFilter};
 use crisp_profile::{classify_branches, classify_loads, ProfileSummary};
 use crisp_sim::Simulator;
 use std::process::ExitCode;
@@ -75,8 +79,10 @@ fn usage_text() -> String {
         "usage:\n  crisp list\n  crisp trace <workload> [--ref] [-n INSTRS] [-o FILE]\n  \
          crisp profile <workload> [-n INSTRS] [--check]\n  \
          crisp simulate <workload> [--ref] [--scheduler crisp|oldest|random] [-n INSTRS] [--check]\n  \
+         \x20              [--pipe-trace FILE] [--trace-from CYCLE] [--trace-to CYCLE] [--trace-pc PC] [--stalls K]\n  \
          crisp pipeline <workload> [--fast] [--loads-only|--branches-only] [--check]\n  \
-         crisp pipeview <workload> [--crisp] [-n INSTRS] [--from SEQ] [--len COUNT]\n\
+         crisp pipeview <workload> [--crisp] [-n INSTRS] [--from SEQ] [--len COUNT]\n  \
+         crisp obs summarize <FILE...>\n\
          exit codes: 0 ok, 2 usage, 3 unknown workload, 4 bad config, 5 runtime failure\n{}",
         workload_listing()
     )
@@ -90,6 +96,11 @@ struct Args {
     len: Option<u64>,
     out: Option<String>,
     scheduler: SchedulerKind,
+    pipe_trace: Option<String>,
+    trace_from: Option<u64>,
+    trace_to: Option<u64>,
+    trace_pc: Option<u64>,
+    stalls: Option<usize>,
 }
 
 impl Args {
@@ -120,6 +131,11 @@ fn parse(args: &[String]) -> Result<Args, Failure> {
         len: None,
         out: None,
         scheduler: SchedulerKind::OldestReadyFirst,
+        pipe_trace: None,
+        trace_from: None,
+        trace_to: None,
+        trace_pc: None,
+        stalls: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -161,11 +177,47 @@ fn parse(args: &[String]) -> Result<Args, Failure> {
                     }
                 };
             }
+            "--pipe-trace" => out.pipe_trace = Some(value("--pipe-trace")?.clone()),
+            "--trace-from" => {
+                let v = value("--trace-from")?;
+                out.trace_from = Some(v.parse().map_err(|_| {
+                    Failure::usage(format!("--trace-from expects a cycle, got `{v}`"))
+                })?);
+            }
+            "--trace-to" => {
+                let v = value("--trace-to")?;
+                out.trace_to = Some(v.parse().map_err(|_| {
+                    Failure::usage(format!("--trace-to expects a cycle, got `{v}`"))
+                })?);
+            }
+            "--trace-pc" => {
+                let v = value("--trace-pc")?;
+                out.trace_pc = Some(parse_pc(v)?);
+            }
+            "--stalls" => {
+                let v = value("--stalls")?;
+                out.stalls = Some(v.parse::<usize>().ok().filter(|k| *k > 0).ok_or_else(|| {
+                    Failure::usage(format!("--stalls expects a positive count, got `{v}`"))
+                })?);
+            }
             f if f.starts_with('-') => out.flags.push(f.to_string()),
             p => out.positional.push(p.to_string()),
         }
     }
     Ok(out)
+}
+
+/// Parses a PC argument: hex with a `0x` prefix, decimal otherwise.
+fn parse_pc(v: &str) -> Result<u64, Failure> {
+    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    parsed.map_err(|_| {
+        Failure::usage(format!(
+            "--trace-pc expects a PC (hex or decimal), got `{v}`"
+        ))
+    })
 }
 
 fn input_of(args: &Args) -> Input {
@@ -269,10 +321,24 @@ fn run(cmd: &str, args: &Args) -> Result<(), Failure> {
         }
         "simulate" => {
             args.allow_flags(cmd, &["--ref", "--check"])?;
+            if args.pipe_trace.is_none()
+                && (args.trace_from.is_some() || args.trace_to.is_some() || args.trace_pc.is_some())
+            {
+                return Err(Failure::usage(
+                    "--trace-from/--trace-to/--trace-pc filter a --pipe-trace export; \
+                     pass --pipe-trace FILE",
+                ));
+            }
             let name = workload_arg(args, cmd)?;
             let w = build_workload(&name, input_of(args))?;
             let trace = Emulator::new(&w.program, w.memory.clone()).run(args.n);
-            let cfg = base_sim_config(args)?.with_scheduler(args.scheduler);
+            let mut cfg = base_sim_config(args)?.with_scheduler(args.scheduler);
+            if args.pipe_trace.is_some() {
+                // Enough ring for the tail of any CLI-scale run: the
+                // export keeps the newest events when the ring wraps.
+                cfg.tracer_capacity = Some(1 << 18);
+            }
+            cfg.stall_attribution = args.stalls.is_some();
             // A bare scheduler swap without annotation: criticality comes
             // from the pipeline; here everything-critical approximates it.
             let critical = vec![true; w.program.len()];
@@ -288,6 +354,61 @@ fn run(cmd: &str, args: &Args) -> Result<(), Failure> {
                 res.branch_mpki(),
                 res.llc_load_mpki()
             );
+            if let Some(path) = &args.pipe_trace {
+                let filter = TraceFilter {
+                    min_cycle: args.trace_from.unwrap_or(0),
+                    max_cycle: args.trace_to.unwrap_or(u64::MAX),
+                    pc: args.trace_pc,
+                };
+                let events = res.tracer.events();
+                let rendered = render_kanata(&events, &filter);
+                std::fs::write(path, &rendered).map_err(|e| Failure {
+                    code: EXIT_RUNTIME,
+                    message: format!("failed to write {path}: {e}"),
+                })?;
+                println!(
+                    "wrote {path} ({} recorded events, {} trace lines)",
+                    events.len(),
+                    rendered.lines().count().saturating_sub(1)
+                );
+            }
+            if let Some(k) = args.stalls {
+                println!("\nstall attribution (top {k} PCs):");
+                print!("{}", res.stall_table.render_top_k(k));
+            }
+            Ok(())
+        }
+        "obs" => {
+            args.allow_flags(cmd, &[])?;
+            let (sub, files) = args
+                .positional
+                .split_first()
+                .ok_or_else(|| Failure::usage("`crisp obs` needs a subcommand: summarize"))?;
+            if sub != "summarize" {
+                return Err(Failure::usage(format!(
+                    "unknown `crisp obs` subcommand: {sub} (expected: summarize)"
+                )));
+            }
+            if files.is_empty() {
+                return Err(Failure::usage(
+                    "`crisp obs summarize` needs at least one telemetry JSONL file",
+                ));
+            }
+            for (i, path) in files.iter().enumerate() {
+                let text = std::fs::read_to_string(path).map_err(|e| Failure {
+                    code: EXIT_RUNTIME,
+                    message: format!("failed to read {path}: {e}"),
+                })?;
+                let samples = parse_jsonl(&text).map_err(|e| Failure {
+                    code: EXIT_RUNTIME,
+                    message: format!("{path}: {e}"),
+                })?;
+                if i > 0 {
+                    println!();
+                }
+                println!("{path}:");
+                print!("{}", summarize(&samples));
+            }
             Ok(())
         }
         "pipeview" => {

@@ -145,6 +145,53 @@ impl AttemptRecord {
     }
 }
 
+/// A heartbeat line: the last observed progress of a running job, written
+/// by the supervisor's monitor thread between attempt records. Progress
+/// records are advisory — they never affect resume decisions — but they
+/// let a post-mortem reader see how far a cell got before it timed out,
+/// deadlocked or was SIGKILLed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgressRecord {
+    /// Job id, e.g. `fig7/mcf`.
+    pub job: String,
+    /// Simulated cycles elapsed at the last beacon publish.
+    pub cycles: u64,
+    /// Instructions retired at the last beacon publish.
+    pub instrs: u64,
+    /// Wall-clock milliseconds since the attempt started.
+    pub wall_ms: u64,
+}
+
+impl ProgressRecord {
+    /// Encodes the record as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        Value::Obj(vec![
+            ("v".into(), Value::Num(JOURNAL_VERSION as f64)),
+            ("kind".into(), Value::Str("progress".into())),
+            ("job".into(), Value::Str(self.job.clone())),
+            ("cycles".into(), Value::Num(self.cycles as f64)),
+            ("instrs".into(), Value::Num(self.instrs as f64)),
+            ("wall_ms".into(), Value::Num(self.wall_ms as f64)),
+        ])
+        .encode()
+    }
+
+    /// Decodes one JSON line; `None` for anything malformed or of a
+    /// different kind/version.
+    pub fn decode(line: &str) -> Option<ProgressRecord> {
+        let v = parse(line).ok()?;
+        if v.get("v")?.as_u64()? != JOURNAL_VERSION || v.get("kind")?.as_str()? != "progress" {
+            return None;
+        }
+        Some(ProgressRecord {
+            job: v.get("job")?.as_str()?.to_string(),
+            cycles: v.get("cycles")?.as_u64()?,
+            instrs: v.get("instrs")?.as_u64()?,
+            wall_ms: v.get("wall_ms")?.as_u64()?,
+        })
+    }
+}
+
 fn encode_header(h: &SweepHeader) -> String {
     Value::Obj(vec![
         ("v".into(), Value::Num(JOURNAL_VERSION as f64)),
@@ -271,6 +318,18 @@ impl Journal {
         Ok(AppendStatus::Written)
     }
 
+    /// Appends one heartbeat record, fsync'd before returning. Progress
+    /// lines do not count toward the attempt-record crash point (the
+    /// crash hook models "the n-th *attempt* tears"), but a journal that
+    /// has already crashed drops them like everything else.
+    pub fn append_progress(&mut self, rec: &ProgressRecord) -> Result<AppendStatus, JournalError> {
+        if self.crashed {
+            return Ok(AppendStatus::Crashed);
+        }
+        self.write_line(&rec.encode())?;
+        Ok(AppendStatus::Written)
+    }
+
     fn write_line(&mut self, line: &str) -> Result<(), JournalError> {
         let io = |e: std::io::Error, what: &str| JournalError {
             path: self.path.clone(),
@@ -295,6 +354,9 @@ pub struct ManifestSummary {
     /// Highest failed attempt seen per job id (jobs with a later `Ok` are
     /// removed). Failed jobs get a *fresh* retry budget on resume.
     pub failed_attempts: BTreeMap<String, u32>,
+    /// Last heartbeat per job id — how far each cell had gotten when the
+    /// manifest stopped growing. Advisory; never drives resume decisions.
+    pub progress: BTreeMap<String, ProgressRecord>,
     /// Attempt records parsed.
     pub records: usize,
     /// Malformed lines skipped (a crash leaves at most one torn tail).
@@ -341,7 +403,12 @@ pub fn load_manifest(path: &Path) -> Result<ManifestSummary, JournalError> {
                     }
                 }
             }
-            None => summary.skipped_lines += 1,
+            None => match ProgressRecord::decode(line) {
+                Some(p) => {
+                    summary.progress.insert(p.job.clone(), p);
+                }
+                None => summary.skipped_lines += 1,
+            },
         }
     }
     Ok(summary)
@@ -509,6 +576,79 @@ mod tests {
         let m = load_manifest(&path).unwrap();
         assert_eq!(m.completed.len(), 2);
         assert_eq!(m.header.unwrap().spec, "s");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn progress_records_round_trip_and_load_keeps_the_latest() {
+        let rec = ProgressRecord {
+            job: "fig7/mcf".into(),
+            cycles: 123_456,
+            instrs: 7_890,
+            wall_ms: 42,
+        };
+        assert_eq!(ProgressRecord::decode(&rec.encode()), Some(rec.clone()));
+
+        let dir = std::env::temp_dir().join("crisp-harness-journal-progress");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let header = SweepHeader {
+            spec: "s".into(),
+            jobs: 1,
+        };
+        let mut j = Journal::create(&path, &header).unwrap();
+        j.append_progress(&ProgressRecord {
+            cycles: 10,
+            instrs: 1,
+            wall_ms: 5,
+            ..rec.clone()
+        })
+        .unwrap();
+        j.append_progress(&rec).unwrap();
+        j.append(&ok_rec("fig7/mcf", 1, vec![1.0])).unwrap();
+        drop(j);
+
+        let m = load_manifest(&path).unwrap();
+        assert_eq!(
+            m.skipped_lines, 0,
+            "progress lines are recognized, not skipped"
+        );
+        assert_eq!(m.records, 1, "only attempt records count");
+        assert_eq!(m.progress.get("fig7/mcf"), Some(&rec), "latest wins");
+        assert!(m.completed.contains_key("fig7/mcf"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn progress_lines_do_not_advance_the_crash_point() {
+        let dir = std::env::temp_dir().join("crisp-harness-journal-progress-crash");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let header = SweepHeader {
+            spec: "s".into(),
+            jobs: 2,
+        };
+        let mut j = Journal::create(&path, &header).unwrap();
+        j.crash_after_records(1);
+        let beat = ProgressRecord {
+            job: "a".into(),
+            cycles: 1,
+            instrs: 1,
+            wall_ms: 1,
+        };
+        // Heartbeats before, between and after: none of them consume the
+        // attempt budget; the second *attempt* is the one that tears.
+        assert_eq!(j.append_progress(&beat).unwrap(), AppendStatus::Written);
+        assert_eq!(
+            j.append(&ok_rec("a", 1, vec![1.0])).unwrap(),
+            AppendStatus::Written
+        );
+        assert_eq!(j.append_progress(&beat).unwrap(), AppendStatus::Written);
+        assert_eq!(
+            j.append(&ok_rec("b", 1, vec![2.0])).unwrap(),
+            AppendStatus::Crashed
+        );
+        assert_eq!(j.append_progress(&beat).unwrap(), AppendStatus::Crashed);
         std::fs::remove_dir_all(&dir).ok();
     }
 

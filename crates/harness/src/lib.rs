@@ -52,7 +52,7 @@ pub use checkpoint::{
 pub use class::FailureClass;
 pub use journal::{
     fnv1a64, load_manifest, AttemptOutcome, AttemptRecord, JournalError, ManifestSummary,
-    SweepHeader,
+    ProgressRecord, SweepHeader,
 };
 pub use retry::RetryPolicy;
 pub use supervisor::{

@@ -21,12 +21,12 @@
 use crate::class::FailureClass;
 use crate::journal::{
     fnv1a64, load_manifest, AppendStatus, AttemptOutcome, AttemptRecord, Journal, JournalError,
-    SweepHeader,
+    ProgressRecord, SweepHeader,
 };
 use crate::json::Value;
 use crate::retry::RetryPolicy;
 use crisp_core::CrispError;
-use crisp_sim::CancelToken;
+use crisp_sim::{CancelToken, ProgressBeacon};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -68,6 +68,11 @@ pub struct RunContext {
     /// Cancellation token carrying this attempt's wall-clock deadline;
     /// thread it into every `SimConfig` the job builds.
     pub cancel: CancelToken,
+    /// Progress beacon the job publishes (cycles, instructions retired)
+    /// to; thread it into every `SimConfig` so the supervisor's heartbeat
+    /// monitor can journal how far the cell has gotten. Failures cite the
+    /// last published values in their structured detail.
+    pub progress: ProgressBeacon,
 }
 
 /// The function the supervisor runs per attempt. Returns the cell's
@@ -96,6 +101,11 @@ pub struct SupervisorOptions {
     pub crash_after_records: Option<usize>,
     /// Emit per-job progress lines on stderr.
     pub progress: bool,
+    /// Heartbeat cadence: every interval, a monitor thread samples each
+    /// running job's [`ProgressBeacon`] and appends a `progress` record to
+    /// the manifest (and, with `progress`, a stderr line). `None` disables
+    /// the monitor.
+    pub heartbeat: Option<Duration>,
 }
 
 impl Default for SupervisorOptions {
@@ -109,6 +119,7 @@ impl Default for SupervisorOptions {
             sweep_spec: String::new(),
             crash_after_records: None,
             progress: false,
+            heartbeat: None,
         }
     }
 }
@@ -271,6 +282,30 @@ pub fn failure_detail(e: &CrispError) -> Option<Value> {
                 pairs.push(("rob_head_pc".to_string(), Value::Num(f64::from(*pc))));
                 pairs.push(("rob_head_state".to_string(), Value::Str(state.to_string())));
             }
+            if !r.recent_events.is_empty() {
+                // The recorder tail, newest first and bounded so the
+                // manifest line stays readable — the full history is in the
+                // error string's flight-recorder section.
+                pairs.push((
+                    "recent_events".to_string(),
+                    Value::Arr(
+                        r.recent_events
+                            .iter()
+                            .rev()
+                            .take(8)
+                            .map(|e| {
+                                Value::Str(format!(
+                                    "c{} s{} pc{:#x} {}",
+                                    e.cycle,
+                                    e.seq,
+                                    e.pc,
+                                    e.kind.label()
+                                ))
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
             Some(Value::Obj(pairs))
         }
         CrispError::Simulation(crisp_sim::SimError::SnapshotRestore { section, message }) => {
@@ -286,6 +321,24 @@ pub fn failure_detail(e: &CrispError) -> Option<Value> {
         ])),
         _ => None,
     }
+}
+
+/// Folds the attempt's last-published progress into a failure's structured
+/// detail, so a DEGRADED table can say how far the cell got before it
+/// died. No-op when the job never published.
+fn with_progress(detail: Option<Value>, beacon: &ProgressBeacon) -> Option<Value> {
+    let (cycles, instrs) = beacon.read();
+    if cycles == 0 && instrs == 0 {
+        return detail;
+    }
+    let mut pairs = match detail {
+        Some(Value::Obj(pairs)) => pairs,
+        Some(other) => vec![("detail".to_string(), other)],
+        None => vec![("kind".to_string(), Value::Str("progress".into()))],
+    };
+    pairs.push(("progress_cycles".to_string(), Value::Num(cycles as f64)));
+    pairs.push(("progress_instrs".to_string(), Value::Num(instrs as f64)));
+    Some(Value::Obj(pairs))
 }
 
 /// Structured detail for a caught panic: the payload survives into the
@@ -411,16 +464,25 @@ pub fn run_sweep(
     let remaining = AtomicUsize::new(queue.lock().expect("fresh queue").len());
     let crashed = AtomicBool::new(false);
     let outcomes = Mutex::new(outcomes);
+    // Live attempts' beacons, keyed by job id; workers register on entry
+    // and deregister on exit, the heartbeat monitor samples in between.
+    let registry: Mutex<BTreeMap<String, (ProgressBeacon, Instant)>> = Mutex::new(BTreeMap::new());
 
     let workers = opts
         .workers
         .clamp(1, remaining.load(Ordering::SeqCst).max(1));
 
     std::thread::scope(|scope| {
+        if opts.heartbeat.is_some() {
+            scope.spawn(|| {
+                monitor_loop(opts, &registry, &remaining, &crashed, &journal);
+            });
+        }
         for _ in 0..workers {
             scope.spawn(|| {
                 worker_loop(
                     jobs, opts, runner, &queue, &remaining, &crashed, &journal, &outcomes,
+                    &registry,
                 );
             });
         }
@@ -435,6 +497,54 @@ pub fn run_sweep(
     })
 }
 
+/// Samples every running job's progress beacon at the heartbeat cadence
+/// and journals a `progress` record per job. Exits with the worker pool.
+fn monitor_loop(
+    opts: &SupervisorOptions,
+    registry: &Mutex<BTreeMap<String, (ProgressBeacon, Instant)>>,
+    remaining: &AtomicUsize,
+    crashed: &AtomicBool,
+    journal: &Option<Mutex<Journal>>,
+) {
+    let Some(every) = opts.heartbeat else { return };
+    let mut next = Instant::now() + every;
+    while remaining.load(Ordering::SeqCst) > 0 && !crashed.load(Ordering::SeqCst) {
+        // Short naps keep shutdown prompt even for long cadences.
+        std::thread::sleep(every.min(Duration::from_millis(2)));
+        if Instant::now() < next {
+            continue;
+        }
+        next = Instant::now() + every;
+        let beats: Vec<ProgressRecord> = {
+            let reg = registry.lock().expect("registry lock");
+            reg.iter()
+                .map(|(job, (beacon, started))| {
+                    let (cycles, instrs) = beacon.read();
+                    ProgressRecord {
+                        job: job.clone(),
+                        cycles,
+                        instrs,
+                        wall_ms: u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX),
+                    }
+                })
+                .collect()
+        };
+        for beat in beats {
+            if opts.progress {
+                eprintln!(
+                    "[supervisor] {}: heartbeat cycle {} instr {} ({} ms)",
+                    beat.job, beat.cycles, beat.instrs, beat.wall_ms
+                );
+            }
+            if let Some(j) = journal {
+                if let Err(e) = j.lock().expect("journal lock").append_progress(&beat) {
+                    eprintln!("[supervisor] heartbeat write failed: {e}");
+                }
+            }
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     jobs: &[JobSpec],
@@ -445,6 +555,7 @@ fn worker_loop(
     crashed: &AtomicBool,
     journal: &Option<Mutex<Journal>>,
     outcomes: &Mutex<BTreeMap<String, JobOutcome>>,
+    registry: &Mutex<BTreeMap<String, (ProgressBeacon, Instant)>>,
 ) {
     loop {
         if crashed.load(Ordering::SeqCst) {
@@ -481,20 +592,29 @@ fn worker_loop(
             Some(d) => CancelToken::with_deadline(d),
             None => CancelToken::new(),
         };
-        let ctx = RunContext { attempt, cancel };
+        let ctx = RunContext {
+            attempt,
+            cancel,
+            progress: ProgressBeacon::new(),
+        };
+        registry
+            .lock()
+            .expect("registry lock")
+            .insert(job.id.clone(), (ctx.progress.clone(), Instant::now()));
         let result = catch_unwind(AssertUnwindSafe(|| runner(job, &ctx)));
+        registry.lock().expect("registry lock").remove(&job.id);
         type Failure = (FailureClass, String, Option<Value>);
         let attempt_result: Result<Vec<f64>, Failure> = match result {
             Ok(Ok(payload)) => Ok(payload),
             Ok(Err(e)) => Err((
                 FailureClass::classify(&e),
                 e.to_string(),
-                failure_detail(&e),
+                with_progress(failure_detail(&e), &ctx.progress),
             )),
             Err(panic) => {
                 let msg = panic_message(panic);
-                let detail = panic_detail(&msg);
-                Err((FailureClass::Panic, msg, Some(detail)))
+                let detail = with_progress(Some(panic_detail(&msg)), &ctx.progress);
+                Err((FailureClass::Panic, msg, detail))
             }
         };
 
@@ -881,6 +1001,22 @@ mod tests {
             loads: (10, 64),
             stores: (0, 128),
             oldest_unissued: Some((1234, 42)),
+            recent_events: vec![
+                crisp_sim::TraceEvent {
+                    cycle: 4_999_998,
+                    seq: 1233,
+                    pc: 0xa0,
+                    kind: crisp_sim::EventKind::Issue,
+                    fill: None,
+                },
+                crisp_sim::TraceEvent {
+                    cycle: 4_999_999,
+                    seq: 1234,
+                    pc: 0xa8,
+                    kind: crisp_sim::EventKind::Dispatch,
+                    fill: None,
+                },
+            ],
         };
         let e = CrispError::Simulation(crisp_sim::SimError::Deadlock(Box::new(report)));
         let d = failure_detail(&e).expect("deadlocks carry detail");
@@ -890,6 +1026,13 @@ mod tests {
         assert_eq!(
             d.get("rob_head_state").unwrap().as_str(),
             Some("waiting to issue")
+        );
+        let events = d.get("recent_events").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0].as_str(),
+            Some("c4999999 s1234 pc0xa8 Ds"),
+            "newest event first"
         );
         // The detail survives a journal round-trip intact.
         let rec = AttemptRecord {
@@ -914,6 +1057,76 @@ mod tests {
             Some("checkpoint")
         );
         assert_eq!(failure_detail(&CrispError::Annotation("x".into())), None);
+    }
+
+    #[test]
+    fn heartbeats_journal_running_jobs_progress() {
+        let dir = std::env::temp_dir().join("crisp-harness-supervisor-heartbeat");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let js = jobs(&["beating"]);
+        let opts = SupervisorOptions {
+            manifest: Some(path.clone()),
+            sweep_spec: "hb".into(),
+            heartbeat: Some(Duration::from_millis(5)),
+            ..SupervisorOptions::default()
+        };
+        let report = run_sweep(&js, &opts, &|_job, ctx| {
+            // Stand-in for the engine's poll path: publish monotonically
+            // while "simulating" long enough for several heartbeats.
+            for i in 1..=40u64 {
+                ctx.progress.publish(i * 100, i * 10);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Ok(vec![1.0])
+        })
+        .unwrap();
+        assert_eq!(report.completed(), 1);
+
+        let m = crate::journal::load_manifest(&path).unwrap();
+        assert_eq!(m.skipped_lines, 0, "progress lines parse cleanly");
+        let beat = m.progress.get("beating").expect("at least one heartbeat");
+        assert!(
+            beat.cycles >= 100 && beat.cycles <= 4000,
+            "beat samples a published value: {beat:?}"
+        );
+        assert_eq!(
+            beat.instrs,
+            beat.cycles / 10,
+            "cycles/instrs sampled as a pair"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failures_cite_last_published_progress() {
+        let js = jobs(&["slow"]);
+        let opts = SupervisorOptions {
+            retry: fast_retry(0),
+            ..SupervisorOptions::default()
+        };
+        let report = run_sweep(&js, &opts, &|_job, ctx| {
+            ctx.progress.publish(4096, 512);
+            Err(CrispError::Simulation(
+                crisp_sim::SimError::DeadlineExceeded {
+                    cycle: 4096,
+                    retired: 512,
+                    total: 1000,
+                },
+            ))
+        })
+        .unwrap();
+        match report.outcomes.get("slow") {
+            Some(JobOutcome::Failed {
+                class: FailureClass::Timeout,
+                detail: Some(d),
+                ..
+            }) => {
+                assert_eq!(d.get("progress_cycles").unwrap().as_u64(), Some(4096));
+                assert_eq!(d.get("progress_instrs").unwrap().as_u64(), Some(512));
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
     }
 
     #[test]

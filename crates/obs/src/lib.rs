@@ -1,0 +1,46 @@
+//! # crisp-obs
+//!
+//! The observability layer of the CRISP reproduction: a pipeline *flight
+//! recorder* (fixed-capacity ring buffer of per-instruction lifecycle
+//! events, exportable as a Kanata/Konata pipeline-viewer trace), periodic
+//! *interval telemetry* (IPC, occupancies, MSHR pressure, MLP, MPKI, miss
+//! rates, critical-issue mix), and a per-PC *stall-attribution* table that
+//! charges every ROB-head stall cycle to the blocking instruction's PC and
+//! stall class.
+//!
+//! The crate sits *below* `crisp-sim` in the dependency graph and holds no
+//! dependencies of its own: the engine records into these types, and the
+//! harness/bench/CLI layers render or persist them. PCs are plain `u64`
+//! here so the crate stays free-standing.
+//!
+//! All persistent state (`Tracer`, `StallTable`, `TelemetryLog`) supports
+//! the workspace-wide word-vector snapshot protocol (`snapshot_words` /
+//! `restore_words`), so checkpoint/restore and the `--audit-restore`
+//! byte-identity proof cover observability state exactly like machine
+//! state.
+//!
+//! ## Example
+//!
+//! ```
+//! use crisp_obs::{EventKind, Tracer};
+//! let mut t = Tracer::ring(16);
+//! t.record(5, 0, 0x40, EventKind::Fetch, None);
+//! assert_eq!(t.events().len(), 1);
+//! assert!(Tracer::Off.events().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kanata;
+mod recorder;
+mod stall;
+mod summarize;
+mod telemetry;
+mod wcodec;
+
+pub use kanata::{render_kanata, TraceFilter, KANATA_HEADER};
+pub use recorder::{EventKind, FillLevel, FlightRecorder, TraceEvent, Tracer};
+pub use stall::{StallClass, StallRow, StallTable, STALL_CLASSES};
+pub use summarize::{parse_jsonl, render_sparkline, summarize};
+pub use telemetry::{TelemetryInputs, TelemetryLog, TelemetrySample, FIELD_NAMES, SAMPLE_FIELDS};

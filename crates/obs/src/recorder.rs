@@ -1,0 +1,447 @@
+//! The pipeline flight recorder: a fixed-capacity ring buffer of
+//! per-instruction lifecycle events behind a zero-cost-when-off enum.
+
+use crate::wcodec::{push_opt_u64, Reader};
+use std::collections::VecDeque;
+
+/// Cache level that served a load's fill (annotated on
+/// [`EventKind::Complete`] events and on ROB-head stall attribution).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FillLevel {
+    /// Served by the L1 data cache (or store-to-load forwarding).
+    L1,
+    /// Served by the last-level cache.
+    Llc,
+    /// Served by DRAM.
+    Dram,
+}
+
+impl FillLevel {
+    /// Stable numeric code used by the snapshot codec.
+    pub fn code(self) -> u64 {
+        match self {
+            FillLevel::L1 => 0,
+            FillLevel::Llc => 1,
+            FillLevel::Dram => 2,
+        }
+    }
+
+    /// Inverse of [`FillLevel::code`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the bad code.
+    pub fn from_code(code: u64) -> Result<FillLevel, String> {
+        match code {
+            0 => Ok(FillLevel::L1),
+            1 => Ok(FillLevel::Llc),
+            2 => Ok(FillLevel::Dram),
+            v => Err(format!("bad fill-level code {v}")),
+        }
+    }
+
+    /// Human-readable level name.
+    pub fn label(self) -> &'static str {
+        match self {
+            FillLevel::L1 => "L1",
+            FillLevel::Llc => "LLC",
+            FillLevel::Dram => "DRAM",
+        }
+    }
+}
+
+/// One pipeline lifecycle stage transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// The instruction entered the fetch buffer.
+    Fetch,
+    /// The instruction was renamed and inserted into the ROB/RS
+    /// (dispatch).
+    Dispatch,
+    /// The scheduler issued the instruction to a functional unit.
+    Issue,
+    /// Execution finished (for loads, annotated with the serving
+    /// [`FillLevel`]). Recorded at issue time with the *future* completion
+    /// cycle, so the event stream is not strictly cycle-sorted.
+    Complete,
+    /// The instruction retired from the ROB head.
+    Retire,
+    /// A mispredicted branch resolved and fetch was re-steered (the
+    /// trace-driven engine never fetches wrong-path instructions, so this
+    /// is the squash/flush annotation).
+    Redirect,
+}
+
+impl EventKind {
+    /// Stable numeric code used by the snapshot codec.
+    pub fn code(self) -> u64 {
+        match self {
+            EventKind::Fetch => 0,
+            EventKind::Dispatch => 1,
+            EventKind::Issue => 2,
+            EventKind::Complete => 3,
+            EventKind::Retire => 4,
+            EventKind::Redirect => 5,
+        }
+    }
+
+    /// Inverse of [`EventKind::code`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the bad code.
+    pub fn from_code(code: u64) -> Result<EventKind, String> {
+        match code {
+            0 => Ok(EventKind::Fetch),
+            1 => Ok(EventKind::Dispatch),
+            2 => Ok(EventKind::Issue),
+            3 => Ok(EventKind::Complete),
+            4 => Ok(EventKind::Retire),
+            5 => Ok(EventKind::Redirect),
+            v => Err(format!("bad event-kind code {v}")),
+        }
+    }
+
+    /// Short stage mnemonic (also the Kanata lane-0 stage name).
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Fetch => "F",
+            EventKind::Dispatch => "Ds",
+            EventKind::Issue => "Is",
+            EventKind::Complete => "Cm",
+            EventKind::Retire => "R",
+            EventKind::Redirect => "X",
+        }
+    }
+}
+
+/// One recorded pipeline event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Core cycle the transition happened (or, for
+    /// [`EventKind::Complete`], will happen).
+    pub cycle: u64,
+    /// Program-order sequence number (equals the trace index).
+    pub seq: u64,
+    /// Program counter of the instruction.
+    pub pc: u64,
+    /// Which transition this is.
+    pub kind: EventKind,
+    /// Serving cache level, for load completions.
+    pub fill: Option<FillLevel>,
+}
+
+impl TraceEvent {
+    fn words(&self, out: &mut Vec<u64>) {
+        out.push(self.cycle);
+        out.push(self.seq);
+        out.push(self.pc);
+        out.push(self.kind.code());
+        push_opt_u64(out, self.fill.map(FillLevel::code));
+    }
+
+    fn read(r: &mut Reader) -> Result<TraceEvent, String> {
+        Ok(TraceEvent {
+            cycle: r.u64()?,
+            seq: r.u64()?,
+            pc: r.u64()?,
+            kind: EventKind::from_code(r.u64()?)?,
+            fill: r.opt_u64()?.map(FillLevel::from_code).transpose()?,
+        })
+    }
+}
+
+/// Fixed-capacity ring buffer of [`TraceEvent`]s: once full, the oldest
+/// event is dropped for each new one, so the buffer always holds the most
+/// recent pipeline history.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FlightRecorder {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// Builds a recorder holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest once at capacity.
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.iter().copied().collect()
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<TraceEvent> {
+        let skip = self.events.len().saturating_sub(n);
+        self.events.iter().skip(skip).copied().collect()
+    }
+
+    /// Events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no event has been recorded (or all were evicted).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serialises the recorder for checkpointing.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        let mut w = vec![self.capacity as u64, self.dropped, self.events.len() as u64];
+        for e in &self.events {
+            e.words(&mut w);
+        }
+        w
+    }
+
+    /// Restores a snapshot produced by [`FlightRecorder::snapshot_words`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the words are malformed or the snapshot's
+    /// capacity disagrees with this recorder's (a snapshot from a
+    /// differently-configured run must be rejected, not silently
+    /// truncated).
+    pub fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+        let mut r = Reader::new(words, "flight-recorder");
+        let capacity = r.usize()?;
+        if capacity != self.capacity {
+            return Err(format!(
+                "flight-recorder snapshot: capacity {capacity}, expected {}",
+                self.capacity
+            ));
+        }
+        self.dropped = r.u64()?;
+        let n = r.count()?;
+        if n > self.capacity {
+            return Err(format!(
+                "flight-recorder snapshot: {n} events exceed capacity {}",
+                self.capacity
+            ));
+        }
+        self.events.clear();
+        for _ in 0..n {
+            self.events.push_back(TraceEvent::read(&mut r)?);
+        }
+        r.finish()
+    }
+}
+
+/// The tracer the engine records into: either disabled (the default — the
+/// record call is a single discriminant test the optimiser can hoist) or
+/// a live [`FlightRecorder`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum Tracer {
+    /// Tracing disabled; every record call is a no-op.
+    #[default]
+    Off,
+    /// Tracing into a ring buffer.
+    Ring(FlightRecorder),
+}
+
+impl Tracer {
+    /// A tracer recording into a fresh ring of `capacity` events.
+    pub fn ring(capacity: usize) -> Tracer {
+        Tracer::Ring(FlightRecorder::new(capacity))
+    }
+
+    /// Whether events are being kept.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        matches!(self, Tracer::Ring(_))
+    }
+
+    /// Records one event; a no-op when off.
+    #[inline]
+    pub fn record(
+        &mut self,
+        cycle: u64,
+        seq: u64,
+        pc: u64,
+        kind: EventKind,
+        fill: Option<FillLevel>,
+    ) {
+        if let Tracer::Ring(ring) = self {
+            ring.record(TraceEvent {
+                cycle,
+                seq,
+                pc,
+                kind,
+                fill,
+            });
+        }
+    }
+
+    /// Events currently held, oldest first (empty when off).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match self {
+            Tracer::Off => Vec::new(),
+            Tracer::Ring(r) => r.events(),
+        }
+    }
+
+    /// The most recent `n` events (empty when off).
+    pub fn tail(&self, n: usize) -> Vec<TraceEvent> {
+        match self {
+            Tracer::Off => Vec::new(),
+            Tracer::Ring(r) => r.tail(n),
+        }
+    }
+
+    /// Serialises the tracer for checkpointing.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        match self {
+            Tracer::Off => vec![0],
+            Tracer::Ring(r) => {
+                let mut w = vec![1];
+                w.extend(r.snapshot_words());
+                w
+            }
+        }
+    }
+
+    /// Restores a snapshot produced by [`Tracer::snapshot_words`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the words are malformed or the snapshot's
+    /// enablement disagrees with this tracer's configuration.
+    pub fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+        let Some((&flag, rest)) = words.split_first() else {
+            return Err("tracer snapshot: empty input".to_string());
+        };
+        match (flag, &mut *self) {
+            (0, Tracer::Off) => {
+                if rest.is_empty() {
+                    Ok(())
+                } else {
+                    Err(format!("tracer snapshot: {} trailing words", rest.len()))
+                }
+            }
+            (1, Tracer::Ring(r)) => r.restore_words(rest),
+            (0, Tracer::Ring(_)) => Err(
+                "tracer snapshot: taken with tracing disabled, engine has it enabled".to_string(),
+            ),
+            (1, Tracer::Off) => Err(
+                "tracer snapshot: taken with tracing enabled, engine has it disabled".to_string(),
+            ),
+            (v, _) => Err(format!("tracer snapshot: bad enable flag {v}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, seq: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            seq,
+            pc: seq * 4,
+            kind,
+            fill: (kind == EventKind::Complete).then_some(FillLevel::Dram),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut r = FlightRecorder::new(3);
+        for i in 0..5 {
+            r.record(ev(i, i, EventKind::Fetch));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let seqs: Vec<u64> = r.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [2, 3, 4]);
+        assert_eq!(r.tail(2).iter().map(|e| e.seq).collect::<Vec<_>>(), [3, 4]);
+    }
+
+    #[test]
+    fn recorder_snapshot_round_trips() {
+        let mut r = FlightRecorder::new(4);
+        for i in 0..6 {
+            r.record(ev(
+                i,
+                i,
+                if i % 2 == 0 {
+                    EventKind::Issue
+                } else {
+                    EventKind::Complete
+                },
+            ));
+        }
+        let w = r.snapshot_words();
+        let mut fresh = FlightRecorder::new(4);
+        fresh.restore_words(&w).unwrap();
+        assert_eq!(fresh, r);
+        // Mismatched capacity is rejected.
+        let mut other = FlightRecorder::new(8);
+        assert!(other.restore_words(&w).unwrap_err().contains("capacity"));
+        // Truncation is rejected.
+        let mut fresh = FlightRecorder::new(4);
+        assert!(fresh.restore_words(&w[..w.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn tracer_off_is_inert_and_round_trips() {
+        let mut t = Tracer::Off;
+        t.record(1, 2, 3, EventKind::Fetch, None);
+        assert!(t.events().is_empty());
+        let w = t.snapshot_words();
+        let mut fresh = Tracer::Off;
+        fresh.restore_words(&w).unwrap();
+        assert_eq!(fresh, t);
+        // Enablement mismatches are rejected both ways.
+        let mut on = Tracer::ring(4);
+        assert!(on.restore_words(&w).unwrap_err().contains("disabled"));
+        let w_on = Tracer::ring(4).snapshot_words();
+        let mut off = Tracer::Off;
+        assert!(off.restore_words(&w_on).unwrap_err().contains("enabled"));
+    }
+
+    #[test]
+    fn codes_round_trip() {
+        for k in [
+            EventKind::Fetch,
+            EventKind::Dispatch,
+            EventKind::Issue,
+            EventKind::Complete,
+            EventKind::Retire,
+            EventKind::Redirect,
+        ] {
+            assert_eq!(EventKind::from_code(k.code()).unwrap(), k);
+        }
+        for l in [FillLevel::L1, FillLevel::Llc, FillLevel::Dram] {
+            assert_eq!(FillLevel::from_code(l.code()).unwrap(), l);
+        }
+        assert!(EventKind::from_code(9).is_err());
+        assert!(FillLevel::from_code(9).is_err());
+    }
+}

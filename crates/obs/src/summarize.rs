@@ -1,0 +1,231 @@
+//! `crisp obs summarize`: parse a telemetry JSONL stream back into samples
+//! and render per-interval tables plus an ASCII IPC-over-time sparkline.
+//!
+//! The JSONL reader here is deliberately minimal (flat objects of numbers
+//! and strings, exactly what the bench harness emits) and duplicated from
+//! `crisp-harness`'s hand-rolled writer on purpose: this crate sits below
+//! the harness in the dependency graph, so it cannot import the writer.
+
+use crate::telemetry::{TelemetrySample, FIELD_NAMES, SAMPLE_FIELDS};
+use std::fmt::Write as _;
+
+/// Parses one flat JSON object line into `(key, number)` pairs. String
+/// values are tolerated and skipped; nested containers are rejected.
+fn parse_object_line(line: &str) -> Result<Vec<(String, f64)>, String> {
+    let s = line.trim();
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or_else(|| format!("not a JSON object: `{line}`"))?;
+    let mut out = Vec::new();
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        // Key.
+        rest = rest
+            .strip_prefix('"')
+            .ok_or_else(|| format!("expected key quote in `{line}`"))?;
+        let kend = rest
+            .find('"')
+            .ok_or_else(|| format!("unterminated key in `{line}`"))?;
+        let key = rest[..kend].to_string();
+        rest = rest[kend + 1..].trim_start();
+        rest = rest
+            .strip_prefix(':')
+            .ok_or_else(|| format!("expected `:` after key `{key}`"))?
+            .trim_start();
+        // Value: a string (skipped) or a number.
+        if let Some(t) = rest.strip_prefix('"') {
+            let vend = t
+                .find('"')
+                .ok_or_else(|| format!("unterminated string value for `{key}`"))?;
+            rest = t[vend + 1..].trim_start();
+        } else {
+            let vend = rest.find([',', '}']).unwrap_or(rest.len()).min(rest.len());
+            let raw = rest[..vend].trim();
+            let v: f64 = raw
+                .parse()
+                .map_err(|_| format!("bad numeric value `{raw}` for `{key}`"))?;
+            out.push((key, v));
+            rest = rest[vend..].trim_start();
+        }
+        match rest.strip_prefix(',') {
+            Some(t) => rest = t.trim_start(),
+            None if rest.is_empty() => break,
+            None => return Err(format!("expected `,` between fields in `{line}`")),
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a telemetry JSONL stream (one sample object per line, blank
+/// lines skipped) back into samples. Lines may carry extra fields (e.g. a
+/// `cell` tag); the [`FIELD_NAMES`] fields must all be present.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line (1-based).
+pub fn parse_jsonl(input: &str) -> Result<Vec<TelemetrySample>, String> {
+    let mut samples = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = parse_object_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let mut values = [0u64; SAMPLE_FIELDS];
+        for (j, name) in FIELD_NAMES.iter().enumerate() {
+            let v = fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|&(_, v)| v)
+                .ok_or_else(|| format!("line {}: missing field `{name}`", i + 1))?;
+            values[j] = v as u64;
+        }
+        samples.push(TelemetrySample::from_values(values));
+    }
+    Ok(samples)
+}
+
+/// Renders `values` as a one-line block-character sparkline (empty input
+/// renders empty).
+pub fn render_sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().fold(0.0f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 {
+                BARS[0]
+            } else {
+                let idx = ((v / max) * (BARS.len() - 1) as f64).round() as usize;
+                BARS[idx.min(BARS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Renders the per-interval table and IPC sparkline for one telemetry
+/// stream.
+pub fn summarize(samples: &[TelemetrySample]) -> String {
+    if samples.is_empty() {
+        return "no telemetry samples\n".to_string();
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>12} {:>6} {:>5} {:>5} {:>5} {:>5} {:>6} {:>7} {:>7} {:>6}",
+        "cycle", "ipc", "rob", "rs", "mshr", "mlp", "mpki", "l1d%", "llc%", "crit%"
+    );
+    for s in samples {
+        let _ = writeln!(
+            out,
+            "{:>12} {:>6.3} {:>5} {:>5} {:>5} {:>5} {:>6.1} {:>7.2} {:>7.2} {:>6.1}",
+            s.cycle,
+            s.ipc(),
+            s.rob,
+            s.rs,
+            s.mshr,
+            s.dram_outstanding,
+            s.mpki(),
+            100.0 * s.l1d_miss_ratio(),
+            100.0 * s.llc_miss_ratio(),
+            100.0 * s.critical_issue_share(),
+        );
+    }
+    let total_cycles: u64 = samples.iter().map(|s| s.interval_cycles).sum();
+    let total_retired: u64 = samples.iter().map(|s| s.retired).sum();
+    let _ = writeln!(
+        out,
+        "{} samples over {} cycles, mean IPC {:.3}",
+        samples.len(),
+        total_cycles,
+        total_retired as f64 / total_cycles.max(1) as f64
+    );
+    let ipcs: Vec<f64> = samples.iter().map(TelemetrySample::ipc).collect();
+    let _ = writeln!(out, "IPC over time: {}", render_sparkline(&ipcs));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::TelemetryInputs;
+    use crate::telemetry::TelemetryLog;
+
+    fn jsonl_line(s: &TelemetrySample, extra: &str) -> String {
+        let mut fields: Vec<String> = s
+            .values()
+            .iter()
+            .zip(FIELD_NAMES)
+            .map(|(v, k)| format!("\"{k}\": {v}"))
+            .collect();
+        if !extra.is_empty() {
+            fields.insert(0, extra.to_string());
+        }
+        format!("{{{}}}", fields.join(", "))
+    }
+
+    #[test]
+    fn jsonl_round_trips_and_tolerates_extra_fields() {
+        let mut log = TelemetryLog::default();
+        log.record(TelemetryInputs {
+            cycle: 8192,
+            retired: 4000,
+            l1d_accesses: 900,
+            l1d_misses: 90,
+            rob: 100,
+            ..TelemetryInputs::default()
+        });
+        log.record(TelemetryInputs {
+            cycle: 16384,
+            retired: 9000,
+            l1d_accesses: 2000,
+            l1d_misses: 100,
+            rob: 50,
+            ..TelemetryInputs::default()
+        });
+        let text: String = log
+            .samples()
+            .iter()
+            .map(|s| jsonl_line(s, "\"cell\": \"fig1/pointer_chase\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed, log.samples());
+    }
+
+    #[test]
+    fn malformed_lines_are_named() {
+        assert!(parse_jsonl("not json").unwrap_err().contains("line 1"));
+        let missing = "{\"cycle\": 5}";
+        assert!(parse_jsonl(missing).unwrap_err().contains("missing field"));
+        let bad_num = "{\"cycle\": xyz}";
+        assert!(parse_jsonl(bad_num).unwrap_err().contains("bad numeric"));
+    }
+
+    #[test]
+    fn summary_renders_table_and_sparkline() {
+        let mut log = TelemetryLog::default();
+        for i in 1..=4u64 {
+            log.record(TelemetryInputs {
+                cycle: i * 1000,
+                retired: i * i * 300,
+                ..TelemetryInputs::default()
+            });
+        }
+        let s = summarize(log.samples());
+        assert!(s.contains("cycle"), "{s}");
+        assert!(s.contains("IPC over time:"), "{s}");
+        assert!(s.contains("4 samples over 4000 cycles"), "{s}");
+        // The sparkline rises with the rising IPC.
+        let spark = s.lines().last().unwrap();
+        assert!(spark.contains('█'), "{s}");
+        assert_eq!(summarize(&[]), "no telemetry samples\n");
+    }
+
+    #[test]
+    fn sparkline_handles_flat_and_empty_input() {
+        assert_eq!(render_sparkline(&[]), "");
+        assert_eq!(render_sparkline(&[0.0, 0.0]), "▁▁");
+        assert_eq!(render_sparkline(&[1.0, 1.0]).chars().count(), 2);
+    }
+}

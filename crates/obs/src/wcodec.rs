@@ -1,0 +1,108 @@
+//! A tiny checked cursor over `&[u64]` snapshot words.
+//!
+//! The same pattern (deliberately duplicated to avoid a cross-crate
+//! dependency) appears in `crisp-sim`, `crisp-mem` and `crisp-uarch`.
+
+/// A bounds-checked reader over snapshot words with a context label for
+/// error messages.
+pub(crate) struct Reader<'a> {
+    words: &'a [u64],
+    pos: usize,
+    ctx: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(words: &'a [u64], ctx: &'static str) -> Reader<'a> {
+        Reader { words, pos: 0, ctx }
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
+        let w = self
+            .words
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| format!("{} snapshot: truncated at word {}", self.ctx, self.pos))?;
+        self.pos += 1;
+        Ok(w)
+    }
+
+    pub(crate) fn usize(&mut self) -> Result<usize, String> {
+        let w = self.u64()?;
+        usize::try_from(w).map_err(|_| format!("{} snapshot: {w} overflows usize", self.ctx))
+    }
+
+    pub(crate) fn bool(&mut self) -> Result<bool, String> {
+        match self.u64()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(format!("{} snapshot: bad flag {v}", self.ctx)),
+        }
+    }
+
+    /// A count that prefixes per-item payloads: bounding it by the words
+    /// remaining rejects forged lengths before any allocation.
+    pub(crate) fn count(&mut self) -> Result<usize, String> {
+        let n = self.usize()?;
+        if n > self.words.len() - self.pos {
+            return Err(format!(
+                "{} snapshot: count {n} exceeds remaining input",
+                self.ctx
+            ));
+        }
+        Ok(n)
+    }
+
+    pub(crate) fn opt_u64(&mut self) -> Result<Option<u64>, String> {
+        let present = self.bool()?;
+        let v = self.u64()?;
+        Ok(present.then_some(v))
+    }
+
+    pub(crate) fn finish(self) -> Result<(), String> {
+        if self.pos != self.words.len() {
+            return Err(format!(
+                "{} snapshot: {} trailing words",
+                self.ctx,
+                self.words.len() - self.pos
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Appends `(present, value)` (the dual of [`Reader::opt_u64`]).
+pub(crate) fn push_opt_u64(out: &mut Vec<u64>, v: Option<u64>) {
+    out.push(u64::from(v.is_some()));
+    out.push(v.unwrap_or(0));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_back_in_order() {
+        let mut w = vec![7u64, 3, 1];
+        push_opt_u64(&mut w, Some(9));
+        push_opt_u64(&mut w, None);
+        let mut r = Reader::new(&w, "test");
+        assert_eq!(r.u64().unwrap(), 7);
+        assert_eq!(r.usize().unwrap(), 3);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.opt_u64().unwrap(), Some(9));
+        assert_eq!(r.opt_u64().unwrap(), None);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_trailing_words_are_rejected() {
+        let mut r = Reader::new(&[], "test");
+        assert!(r.u64().unwrap_err().contains("truncated"));
+        let mut r = Reader::new(&[2], "test");
+        assert!(r.bool().unwrap_err().contains("bad flag"));
+        let mut r = Reader::new(&[100, 0], "test");
+        assert!(r.count().unwrap_err().contains("exceeds remaining"));
+        let r = Reader::new(&[1], "test");
+        assert!(r.finish().unwrap_err().contains("trailing"));
+    }
+}

@@ -13,7 +13,7 @@
 //!   [`crate::SimError::DeadlineExceeded`] — the per-job timeout of the
 //!   experiment supervisor.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -73,9 +73,50 @@ impl CancelToken {
     }
 }
 
+/// A shared progress beacon: the engine publishes (cycle, retired) on its
+/// cancellation-poll path, and an external supervisor samples it to
+/// journal heartbeat records. Like [`CancelToken`], cloning is an [`Arc`]
+/// bump and every clone observes the same values; the beacon never
+/// influences simulation state, so it is deliberately *not* part of the
+/// snapshot protocol.
+#[derive(Clone, Debug, Default)]
+pub struct ProgressBeacon {
+    inner: Arc<(AtomicU64, AtomicU64)>,
+}
+
+impl ProgressBeacon {
+    /// A fresh beacon reading `(0, 0)`.
+    pub fn new() -> ProgressBeacon {
+        ProgressBeacon::default()
+    }
+
+    /// Publishes the engine's current cycle and retired-instruction count.
+    pub fn publish(&self, cycle: u64, retired: u64) {
+        self.inner.0.store(cycle, Ordering::Relaxed);
+        self.inner.1.store(retired, Ordering::Relaxed);
+    }
+
+    /// The most recently published `(cycle, retired)` pair.
+    pub fn read(&self) -> (u64, u64) {
+        (
+            self.inner.0.load(Ordering::Relaxed),
+            self.inner.1.load(Ordering::Relaxed),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn beacon_is_shared_across_clones() {
+        let b = ProgressBeacon::new();
+        let clone = b.clone();
+        assert_eq!(clone.read(), (0, 0));
+        b.publish(8192, 4000);
+        assert_eq!(clone.read(), (8192, 4000));
+    }
 
     #[test]
     fn fresh_token_never_aborts() {

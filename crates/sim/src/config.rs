@@ -120,6 +120,29 @@ pub struct SimConfig {
     /// workload to completion; restoring into a mismatched machine fails
     /// with [`crate::SimError::SnapshotRestore`].
     pub restore: Option<std::sync::Arc<crate::snapshot::SimSnapshot>>,
+    /// Flight-recorder capacity in pipeline events: when set, the engine
+    /// records per-instruction lifecycle events into a ring buffer of this
+    /// many entries (exported via `SimResult::tracer`). `None` (the
+    /// default) keeps the zero-overhead disabled path; `Some(0)` is
+    /// rejected by validation.
+    pub tracer_capacity: Option<usize>,
+    /// Interval telemetry: when set, the engine samples IPC, occupancies,
+    /// MSHR pressure, MLP, MPKI, miss rates and the critical-issue mix
+    /// roughly every this many cycles. Sampling rides the cancellation
+    /// poll path, so the actual cadence is rounded up to the next multiple
+    /// of [`SimConfig::cancel_check_interval`]. Must be nonzero when set;
+    /// `None` (the default) never samples.
+    pub telemetry_interval: Option<u64>,
+    /// Charge every ROB-head stall cycle to the blocking instruction's PC
+    /// and stall class in `SimResult::stall_table` (and tally ROB-empty
+    /// cycles as frontend stalls). Off by default: the table costs a hash
+    /// update per stall cycle.
+    pub stall_attribution: bool,
+    /// Progress beacon: when set, the engine publishes (cycle, retired)
+    /// through this shared handle on every cancellation poll, so an
+    /// external supervisor can journal heartbeat records for a run it
+    /// cannot otherwise observe.
+    pub progress: Option<crate::cancel::ProgressBeacon>,
 }
 
 impl SimConfig {
@@ -161,6 +184,10 @@ impl SimConfig {
             checkpoint_interval: None,
             checkpoint_sink: None,
             restore: None,
+            tracer_capacity: None,
+            telemetry_interval: None,
+            stall_attribution: false,
+            progress: None,
         }
     }
 
@@ -277,6 +304,18 @@ impl SimConfig {
                 "must be nonzero when set: a zero interval checkpoints every poll",
             ));
         }
+        if self.tracer_capacity == Some(0) {
+            return Err(ConfigError::new(
+                "tracer_capacity",
+                "must be nonzero when set: a zero-entry ring records nothing",
+            ));
+        }
+        if self.telemetry_interval == Some(0) {
+            return Err(ConfigError::new(
+                "telemetry_interval",
+                "must be nonzero when set: a zero interval samples every poll",
+            ));
+        }
         self.memory
             .validate()
             .map_err(|m| ConfigError::new("memory", m))?;
@@ -334,7 +373,7 @@ mod tests {
     #[test]
     fn degenerate_machines_name_the_offending_field() {
         type Mutate = fn(&mut SimConfig);
-        let cases: [(&str, Mutate); 13] = [
+        let cases: [(&str, Mutate); 15] = [
             ("fetch_width", |c| c.fetch_width = 0),
             ("issue_width", |c| c.issue_width = 0),
             ("rob_entries", |c| c.rob_entries = 0),
@@ -348,6 +387,8 @@ mod tests {
             ("cancel_check_interval", |c| c.cancel_check_interval = 0),
             ("cycle_budget", |c| c.cycle_budget = Some(0)),
             ("checkpoint_interval", |c| c.checkpoint_interval = Some(0)),
+            ("tracer_capacity", |c| c.tracer_capacity = Some(0)),
+            ("telemetry_interval", |c| c.telemetry_interval = Some(0)),
         ];
         for (field, mutate) in cases {
             let mut c = SimConfig::skylake();

@@ -8,6 +8,7 @@ use crate::stats::{PipeRecord, SimResult, UpcTimeline};
 use crate::wcodec::{push_opt_u64, push_opt_usize, push_section, Reader};
 use crisp_isa::{FuClass, Layout, Pc, Program, Trace};
 use crisp_mem::{HitLevel, MemoryHierarchy};
+use crisp_obs::{EventKind, FillLevel, StallClass, TelemetryInputs, Tracer};
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
@@ -32,6 +33,9 @@ struct Entry {
     issued_at: Option<u64>,
     complete_at: Option<u64>,
     rs_slot: Option<usize>,
+    /// Cache level that served this load (set at issue; `None` until then
+    /// and for non-loads). Drives stall attribution and trace annotation.
+    fill: Option<FillLevel>,
 }
 
 /// A fetched instruction waiting in the decoupled fetch buffer.
@@ -290,6 +294,10 @@ impl<'a> Engine<'a> {
             outstanding_dram: Vec::new(),
             res: SimResult {
                 upc: UpcTimeline::default(),
+                tracer: match cfg.tracer_capacity {
+                    Some(cap) => Tracer::ring(cap),
+                    None => Tracer::Off,
+                },
                 ..SimResult::default()
             },
         }
@@ -331,6 +339,20 @@ impl<'a> Engine<'a> {
                         },
                     });
                 }
+                if let Some(beacon) = &self.cfg.progress {
+                    beacon.publish(self.now, self.res.retired);
+                }
+                // Telemetry rides the same poll: the sample threshold lives
+                // in snapshotted state (the log's delta baseline), so a
+                // restored run samples at the same cycles the
+                // straight-through run would. Sampling happens *before*
+                // checkpoint emission so the checkpoint carries the sample.
+                if let Some(k) = self.cfg.telemetry_interval {
+                    if self.now >= self.res.telemetry.last_cycle().saturating_add(k) {
+                        let inputs = self.telemetry_inputs();
+                        self.res.telemetry.record(inputs);
+                    }
+                }
                 // Checkpoints ride the same cooperative poll: emission is
                 // quantised to the poll cadence, and the state captured
                 // here is exactly the state a restored run resumes from.
@@ -350,10 +372,30 @@ impl<'a> Engine<'a> {
             if self.cfg.fdip {
                 self.fdip();
             }
-            // ROB-head stall accounting.
+            // ROB-head stall accounting. Attribution charges the blocking
+            // instruction's PC under exactly the same condition, so the
+            // table's backend total equals `rob_head_stall_cycles` to the
+            // cycle (the conservation invariant the tests assert).
             if let Some(head) = self.rob.front() {
                 if head.complete_at.is_none_or(|c| c > self.now) {
                     self.res.rob_head_stall_cycles += 1;
+                    if self.cfg.stall_attribution {
+                        let class = Engine::classify_head_stall(head);
+                        self.res.stall_table.charge(u64::from(head.pc), class);
+                    }
+                }
+            } else if self.cfg.stall_attribution {
+                // ROB empty: the frontend is starving the backend. Charge
+                // the instruction fetch is (or will be) working on; tallied
+                // separately from the backend classes.
+                let idx = self
+                    .fetch_buffer
+                    .front()
+                    .map_or(self.fetch_idx, |f| f.trace_idx);
+                if idx < self.trace.len() {
+                    self.res
+                        .stall_table
+                        .charge(u64::from(self.trace[idx].pc), StallClass::Frontend);
                 }
             }
             if self.cfg.record_upc_timeline {
@@ -382,6 +424,65 @@ impl<'a> Engine<'a> {
         self.res.indirect_mispredicts = im + rm;
         self.res.mem = self.mem.stats();
         Ok(self.res)
+    }
+
+    // ---- observability ---------------------------------------------------
+
+    /// Which stall class the blocking ROB-head instruction belongs to.
+    fn classify_head_stall(head: &Entry) -> StallClass {
+        if head.issued_at.is_none() {
+            // Not yet picked by the scheduler: either fetch is re-steering
+            // around it (mispredicted) or it is waiting on operands/ports.
+            if head.mispredicted {
+                StallClass::BranchMispredict
+            } else {
+                StallClass::Fu
+            }
+        } else if head.is_load {
+            match head.fill {
+                Some(FillLevel::Dram) => StallClass::LoadDram,
+                Some(FillLevel::Llc) => StallClass::LoadLlc,
+                // L1 hits and store-to-load forwards both count as L1.
+                _ => StallClass::LoadL1,
+            }
+        } else if head.is_store {
+            StallClass::Store
+        } else if head.mispredicted {
+            StallClass::BranchMispredict
+        } else {
+            StallClass::Fu
+        }
+    }
+
+    /// One cumulative-counter reading for the interval-telemetry log (the
+    /// log differences consecutive readings itself).
+    fn telemetry_inputs(&self) -> TelemetryInputs {
+        let (cb, cm, _, _) = self.bpu.stats();
+        let mem = self.mem.stats();
+        TelemetryInputs {
+            cycle: self.now,
+            retired: self.res.retired,
+            cond_branches: cb,
+            mispredicts: cm,
+            l1i_accesses: mem.l1i.accesses,
+            l1i_misses: mem.l1i.misses,
+            l1d_accesses: mem.l1d.accesses,
+            l1d_misses: mem.l1d.misses,
+            llc_accesses: mem.llc.accesses,
+            llc_misses: mem.llc.misses,
+            issued_critical: self.res.issued_critical,
+            issued_noncritical: self.res.issued_noncritical,
+            rob: self.rob.len() as u64,
+            rs: self.age.occupancy() as u64,
+            loads: self.loads_in_flight as u64,
+            stores: self.stores_in_flight as u64,
+            mshr: self.mem.inflight_fills() as u64,
+            dram_outstanding: self
+                .outstanding_dram
+                .iter()
+                .filter(|&&c| c > self.now)
+                .count() as u64,
+        }
     }
 
     // ---- checkpoint/restore ----------------------------------------------
@@ -475,12 +576,18 @@ impl<'a> Engine<'a> {
                 FuClass::Store => 2,
             });
             w.push(e.latency);
+            // Bits 0..=4: booleans; bit 5: fill present; bits 6..=7: fill
+            // level code.
             w.push(
                 u64::from(e.unpipelined)
                     | u64::from(e.critical) << 1
                     | u64::from(e.is_load) << 2
                     | u64::from(e.is_store) << 3
-                    | u64::from(e.mispredicted) << 4,
+                    | u64::from(e.mispredicted) << 4
+                    | match e.fill {
+                        Some(level) => 1 << 5 | level.code() << 6,
+                        None => 0,
+                    },
             );
             for d in e.deps {
                 push_opt_u64(&mut w, d);
@@ -588,9 +695,21 @@ impl<'a> Engine<'a> {
             };
             let latency = r.u64()?;
             let flags = r.u64()?;
-            if flags >> 5 != 0 {
+            if flags >> 8 != 0 {
                 return Err(format!("engine snapshot: bad entry flags {flags:#x}"));
             }
+            let fill = if flags >> 5 & 1 != 0 {
+                Some(
+                    FillLevel::from_code(flags >> 6 & 0b11)
+                        .map_err(|e| format!("engine snapshot: {e}"))?,
+                )
+            } else if flags >> 6 != 0 {
+                return Err(format!(
+                    "engine snapshot: fill level bits set without presence bit in {flags:#x}"
+                ));
+            } else {
+                None
+            };
             let mut deps = [None; 3];
             for d in &mut deps {
                 *d = r.opt_u64()?;
@@ -624,6 +743,7 @@ impl<'a> Engine<'a> {
                 issued_at,
                 complete_at,
                 rs_slot,
+                fill,
             });
         }
         for p in &mut self.reg_producer {
@@ -708,6 +828,7 @@ impl<'a> Engine<'a> {
             loads: (self.loads_in_flight, self.cfg.load_buffer),
             stores: (self.stores_in_flight, self.cfg.store_buffer),
             oldest_unissued,
+            recent_events: self.res.tracer.tail(256),
         }
     }
 
@@ -855,6 +976,13 @@ impl<'a> Engine<'a> {
                 _ => break,
             }
             let head = self.rob.pop_front().expect("head exists");
+            self.res.tracer.record(
+                self.now,
+                self.rob_base,
+                u64::from(head.pc),
+                EventKind::Retire,
+                None,
+            );
             if self.cfg.record_pipeview {
                 self.res.pipeview.push(PipeRecord {
                     seq: self.rob_base,
@@ -1026,9 +1154,18 @@ impl<'a> Engine<'a> {
         };
 
         let mut complete_at = complete_at;
+        let mut fill = None;
+        if is_load && forwarded {
+            fill = Some(FillLevel::L1); // store-to-load forward counts as L1
+        }
         if is_load && !forwarded {
             let res = self.mem.load(addr, u64::from(pc), now);
             complete_at = now + res.latency.max(1);
+            fill = Some(match res.level {
+                HitLevel::L1 => FillLevel::L1,
+                HitLevel::Llc => FillLevel::Llc,
+                HitLevel::Dram => FillLevel::Dram,
+            });
             if self.cfg.collect_pc_stats {
                 let s = self.res.load_pc_stats.entry(pc).or_default();
                 s.execs += 1;
@@ -1062,11 +1199,23 @@ impl<'a> Engine<'a> {
             e.issued_at = Some(now);
             e.complete_at = Some(complete_at);
             e.rs_slot = None;
+            e.fill = fill;
         }
-        let (is_store, unpipelined, latency) = {
+        let (is_store, unpipelined, latency, critical) = {
             let e = &self.rob[idx];
-            (e.is_store, e.unpipelined, e.latency)
+            (e.is_store, e.unpipelined, e.latency, e.critical)
         };
+        if critical {
+            self.res.issued_critical += 1;
+        } else {
+            self.res.issued_noncritical += 1;
+        }
+        self.res
+            .tracer
+            .record(now, seq, u64::from(pc), EventKind::Issue, None);
+        self.res
+            .tracer
+            .record(complete_at, seq, u64::from(pc), EventKind::Complete, fill);
         if is_store {
             // Stores access the hierarchy at execute (allocation + prefetch
             // training); latency is absorbed by the store buffer.
@@ -1080,6 +1229,9 @@ impl<'a> Engine<'a> {
         if mispredicted && self.fetch_blocked_by == Some(seq) {
             self.fetch_blocked_by = None;
             self.fetch_blocked_until = complete_at + self.cfg.redirect_penalty;
+            self.res
+                .tracer
+                .record(complete_at, seq, u64::from(pc), EventKind::Redirect, None);
         }
 
         // Free the RS slot.
@@ -1164,6 +1316,7 @@ impl<'a> Engine<'a> {
                 issued_at: None,
                 complete_at: None,
                 rs_slot: None,
+                fill: None,
             };
             // Allocate an RS slot (RAND policy: any free slot).
             let slot = self.rs_free.pop().expect("checked non-empty");
@@ -1172,6 +1325,9 @@ impl<'a> Engine<'a> {
             let mut entry = entry;
             entry.rs_slot = Some(slot);
             self.rob.push_back(entry);
+            self.res
+                .tracer
+                .record(self.now, seq, u64::from(rec.pc), EventKind::Dispatch, None);
         }
     }
 
@@ -1251,6 +1407,15 @@ impl<'a> Engine<'a> {
                 visible_at: self.now + self.cfg.frontend_depth,
                 mispredicted,
             });
+            // Dispatch consumes the trace in order, so the sequence number
+            // this instruction will get equals its trace index.
+            self.res.tracer.record(
+                self.now,
+                self.fetch_idx as u64,
+                u64::from(rec.pc),
+                EventKind::Fetch,
+                None,
+            );
             if mispredicted {
                 // Fetch must wait for resolution; remember by sequence
                 // number the instruction will get at dispatch.
@@ -1391,6 +1556,164 @@ mod tests {
         assert!(res.ipc() < 0.2, "pointer chase ipc = {}", res.ipc());
         assert!(res.rob_head_stall_cycles > res.cycles / 2);
         assert!(res.llc_load_mpki() > 100.0);
+    }
+
+    /// The pointer-chase workload of `cache_missing_loads_crater_ipc`,
+    /// shared with the observability tests below.
+    fn pointer_chase() -> (crisp_isa::Program, Trace, Pc) {
+        let n = 4096u64;
+        let base = 0x100_0000u64;
+        let mut mem = Memory::new();
+        for i in 0..n {
+            let next = (i * 65 + 1) % n;
+            mem.write_u64(base + i * 4096, base + next * 4096);
+        }
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), base as i64);
+        b.li(r(2), 3000);
+        let top = b.label();
+        b.bind(top);
+        let chase = b.load(r(1), r(1), 0, 8);
+        b.alu_ri(AluOp::Sub, r(2), r(2), 1);
+        b.branch(Cond::Ne, r(2), Reg::ZERO, top);
+        b.halt();
+        let p = b.build();
+        let t = Emulator::new(&p, mem).run(100_000);
+        (p, t, chase)
+    }
+
+    #[test]
+    fn flight_recorder_captures_full_lifecycle() {
+        let (p, t) = alu_loop();
+        let mut cfg = SimConfig::skylake();
+        cfg.tracer_capacity = Some(1 << 18);
+        let res = Simulator::new(cfg).run(&p, &t, None);
+        // Every lifecycle transition of the last instruction is in the
+        // ring, in recording order.
+        let last = t.len() as u64 - 1;
+        let kinds: Vec<EventKind> = res
+            .tracer
+            .events()
+            .iter()
+            .filter(|e| e.seq == last)
+            .map(|e| e.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            [
+                EventKind::Fetch,
+                EventKind::Dispatch,
+                EventKind::Issue,
+                EventKind::Complete,
+                EventKind::Retire,
+            ]
+        );
+        // Tracing is off by default and records nothing.
+        let off = Simulator::new(SimConfig::skylake()).run(&p, &t, None);
+        assert!(!off.tracer.is_on());
+        assert!(off.tracer.events().is_empty());
+    }
+
+    #[test]
+    fn load_completions_carry_the_serving_fill_level() {
+        let (p, t, chase) = pointer_chase();
+        let mut cfg = SimConfig::skylake();
+        cfg.tracer_capacity = Some(1 << 16);
+        let res = Simulator::new(cfg).run(&p, &t, None);
+        let dram_fills = res
+            .tracer
+            .events()
+            .iter()
+            .filter(|e| {
+                e.kind == EventKind::Complete
+                    && e.pc == u64::from(chase)
+                    && e.fill == Some(FillLevel::Dram)
+            })
+            .count();
+        assert!(dram_fills > 100, "only {dram_fills} DRAM-fill completions");
+    }
+
+    #[test]
+    fn stall_attribution_conserves_backend_cycles() {
+        let (p, t, chase) = pointer_chase();
+        let mut cfg = SimConfig::skylake();
+        cfg.stall_attribution = true;
+        let res = Simulator::new(cfg).run(&p, &t, None);
+        // Conservation: every ROB-head stall cycle is charged to exactly
+        // one (pc, class) cell.
+        assert_eq!(
+            res.stall_table.backend_cycles(),
+            res.rob_head_stall_cycles,
+            "stall attribution lost or double-counted cycles"
+        );
+        // The chasing load dominates, and its stalls are DRAM stalls.
+        let top = res.stall_table.top_k(1);
+        assert_eq!(top[0].pc, u64::from(chase));
+        assert!(
+            top[0].cycles[StallClass::LoadDram.index()] > top[0].backend / 2,
+            "expected DRAM-dominated stalls: {:?}",
+            top[0]
+        );
+        // Off by default: nothing charged.
+        let off = Simulator::new(SimConfig::skylake()).run(&p, &t, None);
+        assert_eq!(off.stall_table.backend_cycles(), 0);
+        assert_eq!(off.stall_table.frontend_cycles(), 0);
+    }
+
+    #[test]
+    fn telemetry_samples_ride_the_poll_path() {
+        let (p, t) = alu_loop();
+        let mut cfg = SimConfig::skylake();
+        cfg.cancel_check_interval = 256;
+        cfg.telemetry_interval = Some(512);
+        let res = Simulator::new(cfg).run(&p, &t, None);
+        let samples = res.telemetry.samples();
+        assert!(samples.len() >= 2, "only {} samples", samples.len());
+        for pair in samples.windows(2) {
+            assert!(pair[1].cycle > pair[0].cycle);
+        }
+        for s in samples {
+            // Sampling is quantised to the poll cadence and never more
+            // frequent than the configured interval.
+            assert!(s.interval_cycles >= 512);
+            assert_eq!(s.interval_cycles % 256, 0);
+            assert!(s.ipc() > 0.0);
+            assert!(s.rob <= 224);
+        }
+        let sampled_retired: u64 = samples.iter().map(|s| s.retired).sum();
+        assert!(sampled_retired <= res.retired);
+        // Off by default.
+        let off = Simulator::new(SimConfig::skylake()).run(&p, &t, None);
+        assert!(off.telemetry.samples().is_empty());
+    }
+
+    #[test]
+    fn progress_beacon_is_published_on_the_poll_path() {
+        let (p, t) = alu_loop();
+        let beacon = crate::cancel::ProgressBeacon::new();
+        let mut cfg = SimConfig::skylake();
+        cfg.cancel_check_interval = 128;
+        cfg.progress = Some(beacon.clone());
+        let res = Simulator::new(cfg).run(&p, &t, None);
+        let (cycle, retired) = beacon.read();
+        assert!(cycle > 0 && cycle <= res.cycles);
+        assert!(retired > 0 && retired <= res.retired);
+    }
+
+    #[test]
+    fn deadlock_report_carries_flight_recorder_tail() {
+        let (p, t) = alu_loop();
+        let mut cfg = SimConfig::skylake();
+        cfg.freeze_scheduler_after = Some(50);
+        cfg.watchdog_cycles = 20_000;
+        cfg.tracer_capacity = Some(512);
+        let err = Simulator::new(cfg).try_run(&p, &t, None).unwrap_err();
+        let SimError::Deadlock(report) = err else {
+            panic!("expected deadlock, got {err}");
+        };
+        assert!(!report.recent_events.is_empty());
+        assert!(report.recent_events.len() <= 256);
+        assert!(report.to_string().contains("flight recorder"));
     }
 
     #[test]

@@ -52,6 +52,10 @@ pub struct DeadlockReport {
     pub stores: (usize, usize),
     /// Sequence number and PC of the oldest instruction that never issued.
     pub oldest_unissued: Option<(u64, Pc)>,
+    /// The flight recorder's most recent pipeline events (empty unless the
+    /// run had `tracer_capacity` set): concrete pipeline history for the
+    /// cycles leading into the hang.
+    pub recent_events: Vec<crisp_obs::TraceEvent>,
 }
 
 impl fmt::Display for DeadlockReport {
@@ -78,9 +82,27 @@ impl fmt::Display for DeadlockReport {
             self.stores.1
         )?;
         match self.oldest_unissued {
-            Some((seq, pc)) => write!(f, "  oldest unissued: seq {seq}, pc {pc}"),
-            None => write!(f, "  oldest unissued: <none>"),
+            Some((seq, pc)) => write!(f, "  oldest unissued: seq {seq}, pc {pc}")?,
+            None => write!(f, "  oldest unissued: <none>")?,
         }
+        if !self.recent_events.is_empty() {
+            write!(
+                f,
+                "\n  flight recorder ({} events):",
+                self.recent_events.len()
+            )?;
+            for e in self.recent_events.iter().rev().take(8) {
+                write!(
+                    f,
+                    "\n    cycle {} seq {} pc {:#x} {}",
+                    e.cycle,
+                    e.seq,
+                    e.pc,
+                    e.kind.label()
+                )?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -230,12 +252,21 @@ mod tests {
             loads: (10, 64),
             stores: (0, 128),
             oldest_unissued: Some((1234, 42)),
+            recent_events: vec![crisp_obs::TraceEvent {
+                cycle: 4_999_999,
+                seq: 1234,
+                pc: 0xa8,
+                kind: crisp_obs::EventKind::Dispatch,
+                fill: None,
+            }],
         };
         let s = r.to_string();
         assert!(s.contains("cycle 5000000"));
         assert!(s.contains("pc 42, waiting to issue"));
         assert!(s.contains("ROB 224/224"));
         assert!(s.contains("oldest unissued: seq 1234"));
+        assert!(s.contains("flight recorder (1 events)"));
+        assert!(s.contains("cycle 4999999 seq 1234 pc 0xa8 Ds"));
     }
 
     #[test]

@@ -67,7 +67,7 @@ mod wcodec;
 
 pub use age_matrix::{AgeMatrix, BitSet};
 pub use bpu::{BpuConfig, BranchOutcome, BranchPredictionUnit};
-pub use cancel::{AbortReason, CancelToken};
+pub use cancel::{AbortReason, CancelToken, ProgressBeacon};
 pub use config::{SchedulerKind, SimConfig};
 pub use engine::Simulator;
 pub use error::{ConfigError, DeadlockReport, HeadState, SimError};
@@ -76,3 +76,10 @@ pub use stats::{BranchPcStats, LoadPcStats, PipeRecord, Pipeview, SimResult, Upc
 
 // Re-exported for convenience: the memory config lives in crisp-mem.
 pub use crisp_mem::{HierarchyConfig, PrefetcherKind};
+
+// Re-exported for convenience: the observability types carried by
+// [`SimResult`] (flight recorder, stall attribution, interval telemetry)
+// live in crisp-obs.
+pub use crisp_obs::{
+    EventKind, FillLevel, StallClass, StallTable, TelemetryLog, TraceEvent, Tracer,
+};

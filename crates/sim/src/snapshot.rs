@@ -74,6 +74,10 @@ delegate_snapshot!(
     crisp_mem::MemoryHierarchy,
     crisp_emu::Memory,
     crisp_emu::Emulator<'_>,
+    crisp_obs::Tracer,
+    crisp_obs::FlightRecorder,
+    crisp_obs::StallTable,
+    crisp_obs::TelemetryLog,
 );
 
 /// One full-machine checkpoint, taken at a cycle boundary on the engine's

@@ -295,6 +295,20 @@ pub struct SimResult {
     /// Per-instruction pipeline timestamps (empty unless
     /// `record_pipeview`).
     pub pipeview: Pipeview,
+    /// Critical instructions issued (the CRISP scheduler's priority
+    /// class); with [`SimResult::issued_noncritical`] this is the
+    /// telemetry issue-mix numerator.
+    pub issued_critical: u64,
+    /// Non-critical instructions issued.
+    pub issued_noncritical: u64,
+    /// The pipeline flight recorder ([`crisp_obs::Tracer::Off`] unless
+    /// `tracer_capacity` is set).
+    pub tracer: crisp_obs::Tracer,
+    /// Per-PC ROB-head stall attribution (empty unless
+    /// `stall_attribution`).
+    pub stall_table: crisp_obs::StallTable,
+    /// Interval telemetry samples (empty unless `telemetry_interval`).
+    pub telemetry: crisp_obs::TelemetryLog,
 }
 
 impl SimResult {
@@ -399,6 +413,11 @@ impl SimResult {
         }
         crate::wcodec::push_section(&mut w, self.upc.snapshot_words());
         crate::wcodec::push_section(&mut w, self.pipeview.snapshot_words());
+        w.push(self.issued_critical);
+        w.push(self.issued_noncritical);
+        crate::wcodec::push_section(&mut w, self.tracer.snapshot_words());
+        crate::wcodec::push_section(&mut w, self.stall_table.snapshot_words());
+        crate::wcodec::push_section(&mut w, self.telemetry.snapshot_words());
         w
     }
 
@@ -468,6 +487,11 @@ impl SimResult {
         }
         self.upc.restore_words(r.section()?)?;
         self.pipeview.restore_words(r.section()?)?;
+        self.issued_critical = r.u64()?;
+        self.issued_noncritical = r.u64()?;
+        self.tracer.restore_words(r.section()?)?;
+        self.stall_table.restore_words(r.section()?)?;
+        self.telemetry.restore_words(r.section()?)?;
         r.finish()
     }
 }
@@ -582,6 +606,16 @@ mod tests {
             complete: 5,
             retire: 6,
         });
+        r.issued_critical = 14;
+        r.issued_noncritical = 15;
+        r.stall_table.charge(42, crisp_obs::StallClass::LoadDram);
+        r.stall_table.charge(9, crisp_obs::StallClass::Fu);
+        r.telemetry.record(crisp_obs::TelemetryInputs {
+            cycle: 100,
+            retired: 80,
+            mshr: 3,
+            ..crisp_obs::TelemetryInputs::default()
+        });
         let words = r.snapshot_words();
         let mut s = SimResult::default();
         s.restore_words(&words).unwrap();
@@ -592,6 +626,10 @@ mod tests {
         assert_eq!(s.branch_pc_stats, r.branch_pc_stats);
         assert_eq!(s.upc, r.upc);
         assert_eq!(s.pipeview.records(), r.pipeview.records());
+        assert_eq!(s.issued_critical, 14);
+        assert_eq!(s.issued_noncritical, 15);
+        assert_eq!(s.stall_table, r.stall_table);
+        assert_eq!(s.telemetry, r.telemetry);
         // Truncated and trailing inputs are rejected.
         assert!(SimResult::default()
             .restore_words(&words[..words.len() - 1])
@@ -599,6 +637,34 @@ mod tests {
         let mut trailing = words.clone();
         trailing.push(0);
         assert!(SimResult::default().restore_words(&trailing).is_err());
+    }
+
+    #[test]
+    fn sim_result_snapshot_round_trips_a_live_tracer() {
+        let mut r = SimResult {
+            tracer: crisp_obs::Tracer::ring(8),
+            ..SimResult::default()
+        };
+        r.tracer
+            .record(5, 0, 0x40, crisp_obs::EventKind::Fetch, None);
+        r.tracer.record(
+            9,
+            0,
+            0x40,
+            crisp_obs::EventKind::Complete,
+            Some(crisp_obs::FillLevel::Llc),
+        );
+        let words = r.snapshot_words();
+        let mut s = SimResult {
+            tracer: crisp_obs::Tracer::ring(8),
+            ..SimResult::default()
+        };
+        s.restore_words(&words).unwrap();
+        assert_eq!(s.tracer, r.tracer);
+        // Restoring a traced snapshot into an untraced result is rejected:
+        // the configurations disagree.
+        let err = SimResult::default().restore_words(&words).unwrap_err();
+        assert!(err.contains("enabled"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Observability integration tests: the Kanata pipeline-trace export
+//! against a golden file, and the cross-check that the software profiler's
+//! delinquent loads are the PCs the stall-attribution table blames.
+//!
+//! Regenerate the golden file after an intentional format or timing
+//! change with:
+//!
+//! ```text
+//! CRISP_BLESS=1 cargo test --test observability
+//! ```
+
+use crisp_core::{build, ClassifierConfig, Input, SimConfig};
+use crisp_emu::Emulator;
+use crisp_obs::{render_kanata, StallClass, TraceFilter};
+use crisp_profile::classify_loads;
+use crisp_sim::{SimResult, Simulator};
+use std::path::PathBuf;
+
+/// One deterministic traced run: emulate `n` instructions of `workload`
+/// and simulate them on the Skylake model with the given obs switches.
+fn traced_run(workload: &str, n: u64, tracer: bool, stalls: bool) -> SimResult {
+    let w = build(workload, Input::Train).expect("workload");
+    let trace = Emulator::new(&w.program, w.memory.clone()).run(n);
+    let mut cfg = SimConfig::skylake();
+    if tracer {
+        cfg.tracer_capacity = Some(1 << 16);
+    }
+    if stalls {
+        cfg.stall_attribution = true;
+        cfg.collect_pc_stats = true;
+    }
+    Simulator::try_new(cfg)
+        .expect("config")
+        .try_run(&w.program, &trace, None)
+        .expect("simulation")
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+#[test]
+fn kanata_export_matches_the_golden_file() {
+    let res = traced_run("pointer_chase", 2_000, true, false);
+    // A mid-run cycle window keeps the golden file small while still
+    // covering every command kind (I/L/S/R, C=/C, fill labels).
+    let filter = TraceFilter {
+        min_cycle: 200,
+        max_cycle: 400,
+        pc: None,
+    };
+    let rendered = render_kanata(&res.tracer.events(), &filter);
+    assert!(rendered.starts_with(crisp_obs::KANATA_HEADER));
+    assert!(rendered.contains("\nR\t"), "window covers retires");
+
+    let path = golden_path("pointer_chase_window.kanata");
+    if std::env::var_os("CRISP_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+    }
+    let golden = std::fs::read_to_string(&path).expect(
+        "golden file missing: regenerate with CRISP_BLESS=1 cargo test --test observability",
+    );
+    assert!(
+        rendered == golden,
+        "Kanata export diverged from tests/golden/pointer_chase_window.kanata \
+         ({} vs {} lines). If the change is intentional, regenerate with \
+         CRISP_BLESS=1 cargo test --test observability",
+        rendered.lines().count(),
+        golden.lines().count()
+    );
+}
+
+#[test]
+fn pc_filter_restricts_the_export_to_one_instruction_stream() {
+    let res = traced_run("pointer_chase", 2_000, true, false);
+    let events = res.tracer.events();
+    let pc = events
+        .first()
+        .map(|e| e.pc)
+        .expect("tracer recorded events");
+    let filtered = render_kanata(
+        &events,
+        &TraceFilter {
+            pc: Some(pc),
+            ..TraceFilter::default()
+        },
+    );
+    let want = format!("pc={pc:#x}");
+    for line in filtered.lines().filter(|l| l.contains("seq=")) {
+        assert!(
+            line.contains(&want),
+            "foreign PC leaked into export: {line}"
+        );
+    }
+}
+
+/// The PCs the stall table blames for load stalls must be the PCs the
+/// Section 3.2 software classifier flags as delinquent: stall attribution
+/// is the simulated analogue of the profiling evidence CRISP consumes.
+fn assert_delinquents_cover_top_stall_pcs(workload: &str, n: u64) {
+    let res = traced_run(workload, n, false, true);
+    let delinquent: Vec<u64> = classify_loads(&res, &ClassifierConfig::default())
+        .iter()
+        .map(|d| u64::from(d.pc))
+        .collect();
+    assert!(
+        !delinquent.is_empty(),
+        "{workload}: classifier found no delinquent loads"
+    );
+    let backend_total = res.stall_table.backend_cycles().max(1);
+    let load_idx = [
+        StallClass::LoadL1.index(),
+        StallClass::LoadLlc.index(),
+        StallClass::LoadDram.index(),
+    ];
+    let mut checked = 0;
+    for row in res.stall_table.top_k(5) {
+        let load_cycles: u64 = load_idx.iter().map(|&i| row.cycles[i]).sum();
+        let share = row.backend as f64 / backend_total as f64;
+        // Only judge rows that are both load-dominated and material.
+        if load_cycles * 2 > row.backend && share > 0.10 {
+            checked += 1;
+            assert!(
+                delinquent.contains(&row.pc),
+                "{workload}: top stall PC {:#x} ({:.0}% of backend stalls, \
+                 {} load cycles) missing from delinquent set {:?}",
+                row.pc,
+                100.0 * share,
+                load_cycles,
+                delinquent
+                    .iter()
+                    .map(|p| format!("{p:#x}"))
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+    assert!(
+        checked > 0,
+        "{workload}: no load-dominated stall PC above 10% — workload too small?"
+    );
+}
+
+#[test]
+fn profiler_delinquents_cover_top_stall_pcs_on_pointer_chase() {
+    assert_delinquents_cover_top_stall_pcs("pointer_chase", 60_000);
+}
+
+/// Tier-2: the same cross-check on mcf, the paper's headline workload.
+/// Slow — run explicitly with `cargo test --test observability -- --ignored`.
+#[test]
+#[ignore = "tier-2: minutes-long full-window mcf run"]
+fn profiler_delinquents_cover_top_stall_pcs_on_mcf() {
+    assert_delinquents_cover_top_stall_pcs("mcf", 400_000);
+}

@@ -348,4 +348,101 @@ proptest! {
             );
         }
     }
+
+    /// Same end-to-end restore-determinism property, but with the full
+    /// observability surface enabled — flight recorder, interval telemetry
+    /// and stall attribution. Their state lives in the snapshot's `stats`
+    /// section, so a resumed run must reproduce the straight-through run's
+    /// event ring, sample log and stall table byte-for-byte.
+    #[test]
+    fn observability_state_survives_restore(
+        ops in proptest::collection::vec((0u8..5, 1u8..28, 1u8..28, 0i64..64), 5..40),
+        interval in 50u64..400,
+    ) {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::new(29), 12);
+        let top = b.label();
+        b.bind(top);
+        for &(kind, dst, src, imm) in &ops {
+            let (d, s) = (Reg::new(dst), Reg::new(src));
+            match kind {
+                0 => {
+                    b.alu_ri(AluOp::Add, d, s, imm);
+                }
+                1 => {
+                    b.alu_rr(AluOp::Xor, d, s, d);
+                }
+                2 => {
+                    b.load(d, s, 0x1000 + imm * 8, 8);
+                }
+                3 => {
+                    b.store(s, 0x2000 + imm * 8, d, 8);
+                }
+                _ => {
+                    b.mul(d, s, d);
+                }
+            }
+        }
+        b.alu_ri(AluOp::Sub, Reg::new(29), Reg::new(29), 1);
+        b.branch(Cond::Ne, Reg::new(29), Reg::ZERO, top);
+        b.halt();
+        let p = b.build();
+        let t = Emulator::new(&p, Memory::new()).run(100_000);
+
+        let obs_cfg = || {
+            let mut cfg = SimConfig::skylake();
+            cfg.cancel_check_interval = 32;
+            cfg.tracer_capacity = Some(256);
+            cfg.telemetry_interval = Some(64);
+            cfg.stall_attribution = true;
+            cfg
+        };
+        let captured: Arc<Mutex<Vec<SimSnapshot>>> = Arc::new(Mutex::new(Vec::new()));
+        let store = Arc::clone(&captured);
+        let mut cfg = obs_cfg();
+        cfg.checkpoint_interval = Some(interval);
+        cfg.checkpoint_sink = Some(CheckpointSink::new(move |s| {
+            store.lock().expect("sink lock").push(s.clone());
+        }));
+        let baseline = Simulator::new(cfg).run(&p, &t, None);
+        let reference = baseline.snapshot_words();
+
+        let snapshots = std::mem::take(&mut *captured.lock().expect("sink lock"));
+        for snapshot in snapshots {
+            let cycle = snapshot.cycle;
+            let mut cfg = obs_cfg();
+            cfg.restore = Some(Arc::new(snapshot));
+            let resumed = Simulator::new(cfg).run(&p, &t, None);
+            prop_assert_eq!(
+                resumed.tracer.events(),
+                baseline.tracer.events(),
+                "flight recorder diverged resuming from cycle {}",
+                cycle
+            );
+            prop_assert_eq!(
+                resumed.snapshot_words(),
+                reference.clone(),
+                "resume from cycle {} diverged",
+                cycle
+            );
+        }
+        // An obs-enabled snapshot must not restore into an obs-disabled
+        // machine (and vice versa): enablement is part of the contract.
+        let mut plain = SimConfig::skylake();
+        plain.cancel_check_interval = 32;
+        plain.checkpoint_interval = Some(interval);
+        let captured: Arc<Mutex<Vec<SimSnapshot>>> = Arc::new(Mutex::new(Vec::new()));
+        let store = Arc::clone(&captured);
+        plain.checkpoint_sink = Some(CheckpointSink::new(move |s| {
+            store.lock().expect("sink lock").push(s.clone());
+        }));
+        Simulator::new(plain).run(&p, &t, None);
+        let snapshots = std::mem::take(&mut *captured.lock().expect("sink lock"));
+        if let Some(snapshot) = snapshots.into_iter().next() {
+            let mut cfg = obs_cfg();
+            cfg.restore = Some(Arc::new(snapshot));
+            let err = Simulator::new(cfg).try_run(&p, &t, None).unwrap_err();
+            prop_assert!(err.to_string().contains("tracer"), "got: {}", err);
+        }
+    }
 }
