@@ -1,0 +1,147 @@
+//! `cache-bench` — seeds the result-store performance trajectory.
+//!
+//! Runs the fast-workload fig1 sweep twice against a fresh
+//! content-addressed store — cold (every cell simulated and published)
+//! then warm (every cell served from the store) — and records wall-clock
+//! for both plus the warm hit rate to a JSON baseline (`BENCH_6.json`),
+//! so later PRs can track cache effectiveness across the repo's history.
+//!
+//! ```text
+//! usage: cache-bench [--out PATH] [--store DIR] [--keep-store]
+//! exit codes: 0 ok, 1 warm sweep missed the cache, 2 usage error
+//! ```
+//!
+//! The warm sweep must re-simulate zero cells; a miss is a correctness
+//! failure of the store's keying or verification, not a perf blip, so it
+//! fails the run.
+
+use crisp_bench::sweep::{run_supervised_sweep, SweepConfig};
+use crisp_bench::ExperimentScale;
+use crisp_harness::json::Value;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cache-bench [--out PATH] [--store DIR] [--keep-store]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut out = PathBuf::from("BENCH_6.json");
+    let mut store: Option<PathBuf> = None;
+    let mut keep_store = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(v) => out = PathBuf::from(v),
+                None => return usage(),
+            },
+            "--store" => match args.next() {
+                Some(v) => store = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--keep-store" => keep_store = true,
+            _ => return usage(),
+        }
+    }
+    let store = store.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("crisp-cache-bench-{}", std::process::id()))
+    });
+    // The benchmark is cold-vs-warm; stale entries would corrupt it.
+    std::fs::remove_dir_all(&store).ok();
+
+    let cfg = SweepConfig {
+        scale: ExperimentScale::Fast,
+        targets: vec!["fig1".to_string()],
+        store: Some(store.clone()),
+        progress: false,
+        ..SweepConfig::default()
+    };
+
+    let started = Instant::now();
+    let cold = match run_supervised_sweep(&cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("cache-bench: cold sweep failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let cold_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let started = Instant::now();
+    let warm = match run_supervised_sweep(&cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("cache-bench: warm sweep failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let warm_ms = started.elapsed().as_secs_f64() * 1e3;
+    if !keep_store {
+        std::fs::remove_dir_all(&store).ok();
+    }
+
+    let cells = cold.report.outcomes.len();
+    let hit_rate = if cells == 0 {
+        0.0
+    } else {
+        warm.report.store_hits as f64 / cells as f64
+    };
+    let doc = Value::Obj(vec![
+        ("bench".into(), Value::Str("store-cold-vs-warm".into())),
+        ("target".into(), Value::Str("fig1".into())),
+        ("scale".into(), Value::Str("fast".into())),
+        ("cells".into(), Value::Num(cells as f64)),
+        ("cold_ms".into(), Value::Num(cold_ms)),
+        ("warm_ms".into(), Value::Num(warm_ms)),
+        (
+            "cold_computed".into(),
+            Value::Num(cold.report.store_computed as f64),
+        ),
+        (
+            "warm_hits".into(),
+            Value::Num(warm.report.store_hits as f64),
+        ),
+        (
+            "warm_computed".into(),
+            Value::Num(warm.report.store_computed as f64),
+        ),
+        ("warm_hit_rate".into(), Value::Num(hit_rate)),
+        (
+            "speedup".into(),
+            Value::Num(if warm_ms > 0.0 {
+                cold_ms / warm_ms
+            } else {
+                0.0
+            }),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&out, format!("{}\n", doc.encode())) {
+        eprintln!("cache-bench: writing {} failed: {e}", out.display());
+        return ExitCode::from(1);
+    }
+    eprintln!(
+        "[cache-bench] {} cell(s): cold {cold_ms:.0} ms, warm {warm_ms:.0} ms, \
+         warm hit rate {:.0}% -> {}",
+        cells,
+        hit_rate * 100.0,
+        out.display()
+    );
+
+    // Identical rendered tables and a full warm hit rate are part of the
+    // store's contract; enforce them here so CI catches regressions.
+    if warm.rendered != cold.rendered {
+        eprintln!("cache-bench: warm render differs from cold render");
+        return ExitCode::from(1);
+    }
+    if warm.report.store_hits != cells || warm.report.store_computed != 0 {
+        eprintln!(
+            "cache-bench: warm sweep missed the cache ({} hit(s), {} computed of {} cell(s))",
+            warm.report.store_hits, warm.report.store_computed, cells
+        );
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

@@ -33,6 +33,11 @@
 //!   --heartbeat MS       Journal each running cell's progress (cycles,
 //!                        instructions, wall-clock) every MS milliseconds;
 //!                        failures cite the last heartbeat
+//!   --store DIR          Content-addressed result store: completed cells
+//!                        are published to DIR and verified entries skip
+//!                        simulation on later sweeps (corrupt entries are
+//!                        quarantined and re-simulated; concurrent sweeps
+//!                        coordinate via per-cell locks)
 //!   --inject-panic SUB   Chaos: panic on attempt 1 of jobs whose id
 //!                        contains SUB (repeatable)
 //!   --inject-stall SUB   Chaos: freeze the scheduler in jobs whose id
@@ -83,7 +88,8 @@ fn usage() {
          \x20                  [--manifest PATH] [--resume PATH] [--workloads A,B,C]\n\
          \x20                  [--checkpoint-interval CYCLES] [--audit-restore]\n\
          \x20                  [--telemetry DIR] [--pipe-trace DIR] [--heartbeat MS]\n\
-         \x20                  [--inject-panic SUB] [--inject-stall SUB] [--quiet] [{}]",
+         \x20                  [--store DIR] [--inject-panic SUB] [--inject-stall SUB]\n\
+         \x20                  [--quiet] [{}]",
         KNOWN_TARGETS.join("|")
     );
 }
@@ -172,6 +178,7 @@ fn parse_args(args: &[String]) -> Result<SweepConfig, UsageError> {
                 })?;
                 cfg.heartbeat = Some(Duration::from_millis(ms));
             }
+            "--store" => cfg.store = Some(PathBuf::from(value(&mut it, "--store")?)),
             "--inject-panic" => cfg.chaos.panic_once.push(value(&mut it, "--inject-panic")?),
             "--inject-stall" => cfg.chaos.stall.push(value(&mut it, "--inject-stall")?),
             other if other.starts_with('-') => {
@@ -290,6 +297,12 @@ fn main() -> ExitCode {
         report.outcomes.len(),
         report.resumed
     );
+    if cfg.store.is_some() {
+        eprintln!(
+            "[crisp-bench] store: {} hit(s), {} computed, {} quarantined",
+            report.store_hits, report.store_computed, report.store_quarantined
+        );
+    }
     if out.degraded() {
         eprintln!(
             "[crisp-bench] DEGRADED: {} job(s) failed permanently:",

@@ -86,6 +86,7 @@ fn figure_report(figure: &str, scale: ExperimentScale) -> Result<String, CrispEr
                 payload,
                 attempts: 1,
                 resumed: false,
+                cached: false,
             },
         );
     }

@@ -433,6 +433,7 @@ mod tests {
             payload,
             attempts: 1,
             resumed: false,
+            cached: false,
         }
     }
 

@@ -73,6 +73,9 @@ pub struct SweepConfig {
     /// `--heartbeat MS`: the supervisor journals each running cell's
     /// progress (cycles, instructions, wall-clock) at this cadence.
     pub heartbeat: Option<Duration>,
+    /// `--store DIR`: content-addressed result store; verified entries
+    /// skip simulation, computed cells are published for later sweeps.
+    pub store: Option<PathBuf>,
 }
 
 impl Default for SweepConfig {
@@ -94,6 +97,7 @@ impl Default for SweepConfig {
             telemetry: None,
             pipe_trace: None,
             heartbeat: None,
+            store: None,
         }
     }
 }
@@ -182,6 +186,10 @@ pub fn run_supervised_sweep(cfg: &SweepConfig) -> Result<SweepOutput, HarnessErr
         crash_after_records: cfg.crash_after_records,
         progress: cfg.progress,
         heartbeat: cfg.heartbeat,
+        store: cfg
+            .store
+            .as_ref()
+            .map(crisp_harness::ResultStoreConfig::new),
     };
     let chaos = cfg.chaos.clone();
     let scale = cfg.scale;

@@ -10,11 +10,13 @@
 //! crisp pipeline <workload> [--fast] [--loads-only|--branches-only] [--check]
 //! crisp pipeview <workload> [--crisp] [-n INSTRS] [--from SEQ] [--len COUNT]
 //! crisp obs summarize <FILE...>
+//! crisp cache stats|verify|gc|evict <KEY> --store DIR [--max-age-days D] [--max-entries N]
 //! ```
 //!
 //! Exit codes: `0` success, `2` usage/parse error, `3` unknown workload,
 //! `4` rejected configuration, `5` runtime failure (emulation/simulation,
-//! including watchdog-detected deadlocks and `--check` violations).
+//! including watchdog-detected deadlocks, `--check` violations, and
+//! `crisp cache verify` finding corrupt entries).
 
 use crisp_core::{
     build, run_crisp_pipeline, ClassifierConfig, CrispError, Input, PipelineConfig, SchedulerKind,
@@ -82,7 +84,8 @@ fn usage_text() -> String {
          \x20              [--pipe-trace FILE] [--trace-from CYCLE] [--trace-to CYCLE] [--trace-pc PC] [--stalls K]\n  \
          crisp pipeline <workload> [--fast] [--loads-only|--branches-only] [--check]\n  \
          crisp pipeview <workload> [--crisp] [-n INSTRS] [--from SEQ] [--len COUNT]\n  \
-         crisp obs summarize <FILE...>\n\
+         crisp obs summarize <FILE...>\n  \
+         crisp cache stats|verify|gc|evict <KEY> --store DIR [--max-age-days D] [--max-entries N]\n\
          exit codes: 0 ok, 2 usage, 3 unknown workload, 4 bad config, 5 runtime failure\n{}",
         workload_listing()
     )
@@ -101,6 +104,9 @@ struct Args {
     trace_to: Option<u64>,
     trace_pc: Option<u64>,
     stalls: Option<usize>,
+    store: Option<String>,
+    max_age_days: Option<f64>,
+    max_entries: Option<usize>,
 }
 
 impl Args {
@@ -136,6 +142,9 @@ fn parse(args: &[String]) -> Result<Args, Failure> {
         trace_to: None,
         trace_pc: None,
         stalls: None,
+        store: None,
+        max_age_days: None,
+        max_entries: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -198,6 +207,24 @@ fn parse(args: &[String]) -> Result<Args, Failure> {
                 let v = value("--stalls")?;
                 out.stalls = Some(v.parse::<usize>().ok().filter(|k| *k > 0).ok_or_else(|| {
                     Failure::usage(format!("--stalls expects a positive count, got `{v}`"))
+                })?);
+            }
+            "--store" => out.store = Some(value("--store")?.clone()),
+            "--max-age-days" => {
+                let v = value("--max-age-days")?;
+                out.max_age_days = Some(
+                    v.parse::<f64>()
+                        .ok()
+                        .filter(|d| d.is_finite() && *d >= 0.0)
+                        .ok_or_else(|| {
+                            Failure::usage(format!("--max-age-days expects days, got `{v}`"))
+                        })?,
+                );
+            }
+            "--max-entries" => {
+                let v = value("--max-entries")?;
+                out.max_entries = Some(v.parse::<usize>().map_err(|_| {
+                    Failure::usage(format!("--max-entries expects a count, got `{v}`"))
                 })?);
             }
             f if f.starts_with('-') => out.flags.push(f.to_string()),
@@ -476,9 +503,111 @@ fn run(cmd: &str, args: &Args) -> Result<(), Failure> {
             );
             Ok(())
         }
+        "cache" => {
+            args.allow_flags(cmd, &[])?;
+            run_cache(args)
+        }
         other => Err(Failure::usage(format!(
             "unknown subcommand: {other}\n{}",
             usage_text()
+        ))),
+    }
+}
+
+/// `crisp cache stats|verify|gc|evict` — operate on a content-addressed
+/// result store created by `crisp-bench --store DIR`.
+fn run_cache(args: &Args) -> Result<(), Failure> {
+    let store_failure = |e: crisp_store::StoreError| Failure {
+        code: EXIT_RUNTIME,
+        message: format!("cache: {e}"),
+    };
+    let (sub, rest) = args.positional.split_first().ok_or_else(|| {
+        Failure::usage("`crisp cache` needs a subcommand: stats, verify, gc, evict")
+    })?;
+    let dir = args
+        .store
+        .as_ref()
+        .ok_or_else(|| Failure::usage(format!("`crisp cache {sub}` needs --store DIR")))?;
+    let store = crisp_store::Store::open(std::path::Path::new(dir)).map_err(store_failure)?;
+    match sub.as_str() {
+        "stats" => {
+            if !rest.is_empty() {
+                return Err(Failure::usage("`crisp cache stats` takes no arguments"));
+            }
+            let s = store.stats().map_err(store_failure)?;
+            let mut t = Table::new(vec!["metric", "value"]);
+            t.row(vec!["entries".into(), s.entries.to_string()]);
+            t.row(vec!["bytes".into(), s.bytes.to_string()]);
+            t.row(vec!["recorded hits".into(), s.hits.to_string()]);
+            t.row(vec!["quarantined".into(), s.quarantined.to_string()]);
+            t.row(vec!["tmp debris".into(), s.debris.to_string()]);
+            println!("{dir}:\n{t}");
+            Ok(())
+        }
+        "verify" => {
+            if !rest.is_empty() {
+                return Err(Failure::usage("`crisp cache verify` takes no arguments"));
+            }
+            let r = store.verify().map_err(store_failure)?;
+            println!(
+                "{dir}: {} entr{} checked, {} ok, {} quarantined",
+                r.checked,
+                if r.checked == 1 { "y" } else { "ies" },
+                r.ok,
+                r.quarantined.len()
+            );
+            if r.quarantined.is_empty() {
+                return Ok(());
+            }
+            // A dirty scrub is a runtime failure so CI can gate on it.
+            let mut message = String::new();
+            for (path, err) in &r.quarantined {
+                message.push_str(&format!("quarantined {}: {err}\n", path.display()));
+            }
+            message.push_str("cache verify: store had corrupt entries");
+            Err(Failure {
+                code: EXIT_RUNTIME,
+                message,
+            })
+        }
+        "gc" => {
+            if !rest.is_empty() {
+                return Err(Failure::usage("`crisp cache gc` takes no arguments"));
+            }
+            let policy = crisp_store::GcPolicy {
+                max_age: args
+                    .max_age_days
+                    .map(|d| std::time::Duration::from_secs_f64(d * 86_400.0)),
+                max_entries: args.max_entries,
+            };
+            if policy.max_age.is_none() && policy.max_entries.is_none() {
+                return Err(Failure::usage(
+                    "`crisp cache gc` needs --max-age-days and/or --max-entries",
+                ));
+            }
+            let r = store.gc(policy).map_err(store_failure)?;
+            println!(
+                "{dir}: {} scanned, {} evicted, {} bytes reclaimed",
+                r.scanned, r.evicted, r.reclaimed_bytes
+            );
+            Ok(())
+        }
+        "evict" => {
+            let [key] = rest else {
+                return Err(Failure::usage("`crisp cache evict` takes one KEY (hex)"));
+            };
+            let key = crisp_store::parse_key(key)
+                .ok_or_else(|| Failure::usage(format!("not a store key: `{key}`")))?;
+            // Evicting an absent key succeeds: the goal state is reached.
+            let removed = store.evict(key);
+            println!(
+                "{key:032x}: {}",
+                if removed { "evicted" } else { "not present" }
+            );
+            Ok(())
+        }
+        other => Err(Failure::usage(format!(
+            "unknown `crisp cache` subcommand: {other} (expected: stats, verify, gc, evict)"
         ))),
     }
 }

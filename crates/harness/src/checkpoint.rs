@@ -7,7 +7,8 @@
 //! ```text
 //! magic "CRSPCKPT"           8 bytes
 //! format version             u64 LE
-//! spec fingerprint           u64 LE   FNV-1a of the cell's spec string
+//! spec fingerprint (low)     u64 LE   FNV-1a 128 of the cell's spec string
+//! spec fingerprint (high)    u64 LE   (v1 files carry a single 64-bit word)
 //! snapshot cycle             u64 LE
 //! section count              u64 LE
 //! per section:
@@ -28,45 +29,26 @@
 
 use crate::journal::fnv1a64;
 use crisp_sim::SimSnapshot;
+use crisp_store::fnv1a128;
 use std::fs::{self, File};
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::OnceLock;
+
+pub use crisp_store::crc32;
 
 /// Checkpoint container format version, bumped on incompatible changes.
-pub const CHECKPOINT_VERSION: u64 = 1;
+///
+/// Version history:
+///
+/// - v1 — a single 64-bit FNV-1a spec fingerprint;
+/// - v2 — a 128-bit fingerprint stored as two u64 words (low, high).
+///
+/// v1 files remain readable: the reader verifies them against the 64-bit
+/// fingerprint of the same spec string.
+pub const CHECKPOINT_VERSION: u64 = 2;
 
 const MAGIC: &[u8; 8] = b"CRSPCKPT";
 const END_MARKER: &[u8; 8] = b"CRSPDONE";
-
-/// CRC-32 (IEEE 802.3, reflected) over `bytes`.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    let table = TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        let mut i = 0;
-        while i < 256 {
-            let mut c = i as u32;
-            let mut k = 0;
-            while k < 8 {
-                c = if c & 1 != 0 {
-                    0xEDB8_8320 ^ (c >> 1)
-                } else {
-                    c >> 1
-                };
-                k += 1;
-            }
-            t[i] = c;
-            i += 1;
-        }
-        t
-    });
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc = table[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
-    }
-    !crc
-}
 
 /// Why a checkpoint could not be written or read.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -105,10 +87,12 @@ pub enum CheckpointError {
     FingerprintMismatch {
         /// The checkpoint path.
         path: PathBuf,
-        /// Fingerprint found in the file.
-        found: u64,
-        /// Fingerprint of the spec attempting the restore.
-        expected: u64,
+        /// Fingerprint found in the file (v1 fingerprints occupy the low
+        /// 64 bits).
+        found: u128,
+        /// Fingerprint of the spec attempting the restore, at the width
+        /// the file's format version uses.
+        expected: u128,
     },
     /// A section's payload failed its CRC — bit rot or partial overwrite.
     SectionCrc {
@@ -148,8 +132,8 @@ impl std::fmt::Display for CheckpointError {
                 expected,
             } => write!(
                 f,
-                "checkpoint {}: spec fingerprint {found:016x} does not match the running \
-                 cell's {expected:016x} — it belongs to a different configuration",
+                "checkpoint {}: spec fingerprint {found:032x} does not match the running \
+                 cell's {expected:032x} — it belongs to a different configuration",
                 path.display()
             ),
             CheckpointError::SectionCrc { path, section } => write!(
@@ -170,11 +154,12 @@ fn io_err(path: &Path, what: &str, e: std::io::Error) -> CheckpointError {
     }
 }
 
-fn encode(spec_fingerprint: u64, snapshot: &SimSnapshot) -> Vec<u8> {
+fn encode(spec_fingerprint: u128, snapshot: &SimSnapshot) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
-    out.extend_from_slice(&spec_fingerprint.to_le_bytes());
+    out.extend_from_slice(&(spec_fingerprint as u64).to_le_bytes());
+    out.extend_from_slice(&((spec_fingerprint >> 64) as u64).to_le_bytes());
     out.extend_from_slice(&snapshot.cycle.to_le_bytes());
     out.extend_from_slice(&(snapshot.sections.len() as u64).to_le_bytes());
     for (name, words) in &snapshot.sections {
@@ -206,7 +191,7 @@ pub fn write_checkpoint(
     spec: &str,
     snapshot: &SimSnapshot,
 ) -> Result<(), CheckpointError> {
-    let bytes = encode(fnv1a64(spec), snapshot);
+    let bytes = encode(fnv1a128(spec.as_bytes()), snapshot);
     let tmp = tmp_path(path);
     let mut file = File::create(&tmp).map_err(|e| io_err(&tmp, "create", e))?;
     file.write_all(&bytes)
@@ -281,15 +266,27 @@ pub fn read_checkpoint(path: &Path, spec: &str) -> Result<SimSnapshot, Checkpoin
         });
     }
     let version = r.u64("version")?;
-    if version != CHECKPOINT_VERSION {
-        return Err(CheckpointError::VersionMismatch {
-            path: path.to_path_buf(),
-            found: version,
-            expected: CHECKPOINT_VERSION,
-        });
-    }
-    let fingerprint = r.u64("fingerprint")?;
-    let expected = fnv1a64(spec);
+    // v1 carried one 64-bit fingerprint word; v2 carries two. Verify at
+    // the width the file was written with, so v1 checkpoints stay
+    // restorable across the fingerprint upgrade.
+    let (fingerprint, expected) = match version {
+        1 => (u128::from(r.u64("fingerprint")?), u128::from(fnv1a64(spec))),
+        2 => {
+            let lo = r.u64("fingerprint (low)")?;
+            let hi = r.u64("fingerprint (high)")?;
+            (
+                (u128::from(hi) << 64) | u128::from(lo),
+                fnv1a128(spec.as_bytes()),
+            )
+        }
+        found => {
+            return Err(CheckpointError::VersionMismatch {
+                path: path.to_path_buf(),
+                found,
+                expected: CHECKPOINT_VERSION,
+            })
+        }
+    };
     if fingerprint != expected {
         return Err(CheckpointError::FingerprintMismatch {
             path: path.to_path_buf(),
@@ -514,8 +511,8 @@ mod tests {
         write_checkpoint(&path, "spec", &sample_snapshot()).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
         // Flip one bit inside the first section's payload (header is
-        // 5 u64s = 40 bytes; 'engine' name + pad = 8; len + crc = 16).
-        let payload_start = 40 + 8 + 16;
+        // 6 u64s = 48 bytes; 'engine' name + pad = 8; len + crc = 16).
+        let payload_start = 48 + 8 + 16;
         bytes[payload_start] ^= 0x01;
         std::fs::write(&path, &bytes).unwrap();
         let err = read_checkpoint(&path, "spec").unwrap_err();
@@ -525,6 +522,53 @@ mod tests {
                 path: path.clone(),
                 section: "engine".to_string()
             }
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Encodes a checkpoint exactly as PR-4 binaries did: version 1 with
+    /// a single 64-bit fingerprint word.
+    fn encode_v1(spec: &str, snapshot: &SimSnapshot) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&1u64.to_le_bytes());
+        out.extend_from_slice(&fnv1a64(spec).to_le_bytes());
+        out.extend_from_slice(&snapshot.cycle.to_le_bytes());
+        out.extend_from_slice(&(snapshot.sections.len() as u64).to_le_bytes());
+        for (name, words) in &snapshot.sections {
+            out.extend_from_slice(&(name.len() as u64).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            while out.len() % 8 != 0 {
+                out.push(0);
+            }
+            out.extend_from_slice(&(words.len() as u64).to_le_bytes());
+            let mut payload = Vec::with_capacity(words.len() * 8);
+            for w in words {
+                payload.extend_from_slice(&w.to_le_bytes());
+            }
+            out.extend_from_slice(&u64::from(crc32(&payload)).to_le_bytes());
+            out.extend_from_slice(&payload);
+        }
+        out.extend_from_slice(END_MARKER);
+        out
+    }
+
+    #[test]
+    fn v1_checkpoints_remain_restorable() {
+        let dir = temp_dir("v1-compat");
+        let path = dir.join("old.ckpt");
+        let snap = sample_snapshot();
+        std::fs::write(&path, encode_v1("fig7/mcf v1", &snap)).unwrap();
+        assert_eq!(read_checkpoint(&path, "fig7/mcf v1").unwrap(), snap);
+        // The v1 fingerprint is still verified, just at 64-bit width.
+        let err = read_checkpoint(&path, "fig7/mcf v2").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CheckpointError::FingerprintMismatch { found, .. }
+                    if found == u128::from(fnv1a64("fig7/mcf v1"))
+            ),
+            "{err}"
         );
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -15,11 +15,26 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// Journal format version, bumped on incompatible record changes.
-pub const JOURNAL_VERSION: u64 = 1;
+///
+/// Version history:
+///
+/// - v1 — 64-bit spec fingerprints (16 hex digits in `hash`);
+/// - v2 — 128-bit fingerprints (32 hex digits) and an optional `cached`
+///   field on `ok` records naming the store entry a payload came from.
+///
+/// Loading still accepts v1 lines: a 16-digit hash widens losslessly into
+/// the low half of a `u128`, and resume compares against both widths.
+pub const JOURNAL_VERSION: u64 = 2;
 
-/// FNV-1a 64-bit hash — the job-spec fingerprint stored with every record
-/// so a resume detects when a manifest was produced by a different sweep
-/// configuration.
+/// Oldest journal version the tolerant loader still decodes.
+pub const JOURNAL_VERSION_MIN: u64 = 1;
+
+fn known_version(v: u64) -> bool {
+    (JOURNAL_VERSION_MIN..=JOURNAL_VERSION).contains(&v)
+}
+
+/// FNV-1a 64-bit hash — the v1 job-spec fingerprint, kept for decoding
+/// old manifests and for seeding the retry-backoff jitter.
 pub fn fnv1a64(data: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in data.as_bytes() {
@@ -45,6 +60,10 @@ pub enum AttemptOutcome {
     Ok {
         /// Figure-specific result values (layout documented per cell).
         payload: Vec<f64>,
+        /// When the payload was served from the result store instead of
+        /// simulated, the store key it came from — provenance for audits
+        /// and the cache hit-rate accounting. `None` for computed cells.
+        cached: Option<u128>,
     },
     /// The attempt failed.
     Fail {
@@ -65,8 +84,9 @@ pub enum AttemptOutcome {
 pub struct AttemptRecord {
     /// Job id, e.g. `fig7/mcf`.
     pub job: String,
-    /// FNV-1a hash of the job's spec string.
-    pub hash: u64,
+    /// FNV-1a 128-bit hash of the job's spec string (v1 lines decode
+    /// their 64-bit hash into the low half).
+    pub hash: u128,
     /// 1-based attempt number.
     pub attempt: u32,
     /// What happened.
@@ -82,17 +102,20 @@ impl AttemptRecord {
             ("job".to_string(), Value::Str(self.job.clone())),
             (
                 "hash".to_string(),
-                Value::Str(format!("{:016x}", self.hash)),
+                Value::Str(format!("{:032x}", self.hash)),
             ),
             ("attempt".to_string(), Value::Num(f64::from(self.attempt))),
         ];
         match &self.outcome {
-            AttemptOutcome::Ok { payload } => {
+            AttemptOutcome::Ok { payload, cached } => {
                 pairs.push(("outcome".into(), Value::Str("ok".into())));
                 pairs.push((
                     "payload".into(),
                     Value::Arr(payload.iter().map(|&x| Value::Num(x)).collect()),
                 ));
+                if let Some(key) = cached {
+                    pairs.push(("cached".into(), Value::Str(format!("{key:032x}"))));
+                }
             }
             AttemptOutcome::Fail {
                 class,
@@ -114,11 +137,12 @@ impl AttemptRecord {
     /// different journal version (the tolerant-load contract).
     pub fn decode(line: &str) -> Option<AttemptRecord> {
         let v = parse(line).ok()?;
-        if v.get("v")?.as_u64()? != JOURNAL_VERSION || v.get("kind")?.as_str()? != "attempt" {
+        if !known_version(v.get("v")?.as_u64()?) || v.get("kind")?.as_str()? != "attempt" {
             return None;
         }
         let job = v.get("job")?.as_str()?.to_string();
-        let hash = u64::from_str_radix(v.get("hash")?.as_str()?, 16).ok()?;
+        // v1 hashes are 16 hex digits, v2 are 32; both widen into a u128.
+        let hash = u128::from_str_radix(v.get("hash")?.as_str()?, 16).ok()?;
         let attempt = u32::try_from(v.get("attempt")?.as_u64()?).ok()?;
         let outcome = match v.get("outcome")?.as_str()? {
             "ok" => AttemptOutcome::Ok {
@@ -128,6 +152,10 @@ impl AttemptRecord {
                     .iter()
                     .map(|x| x.as_f64())
                     .collect::<Option<Vec<f64>>>()?,
+                cached: match v.get("cached") {
+                    Some(key) => Some(u128::from_str_radix(key.as_str()?, 16).ok()?),
+                    None => None,
+                },
             },
             "fail" => AttemptOutcome::Fail {
                 class: FailureClass::from_name(v.get("class")?.as_str()?)?,
@@ -180,7 +208,7 @@ impl ProgressRecord {
     /// different kind/version.
     pub fn decode(line: &str) -> Option<ProgressRecord> {
         let v = parse(line).ok()?;
-        if v.get("v")?.as_u64()? != JOURNAL_VERSION || v.get("kind")?.as_str()? != "progress" {
+        if !known_version(v.get("v")?.as_u64()?) || v.get("kind")?.as_str()? != "progress" {
             return None;
         }
         Some(ProgressRecord {
@@ -204,7 +232,7 @@ fn encode_header(h: &SweepHeader) -> String {
 
 fn decode_header(line: &str) -> Option<SweepHeader> {
     let v = parse(line).ok()?;
-    if v.get("v")?.as_u64()? != JOURNAL_VERSION || v.get("kind")?.as_str()? != "sweep" {
+    if !known_version(v.get("v")?.as_u64()?) || v.get("kind")?.as_str()? != "sweep" {
         return None;
     }
     Some(SweepHeader {
@@ -349,8 +377,9 @@ pub struct ManifestSummary {
     /// The sweep header, if the first line parsed as one.
     pub header: Option<SweepHeader>,
     /// Final `Ok` record per job id: `(spec hash, payload, attempt)`.
-    /// Completed jobs are final — resume never re-runs them.
-    pub completed: BTreeMap<String, (u64, Vec<f64>, u32)>,
+    /// Completed jobs are final — resume never re-runs them. Hashes from
+    /// v1 manifests occupy the low 64 bits of the `u128`.
+    pub completed: BTreeMap<String, (u128, Vec<f64>, u32)>,
     /// Highest failed attempt seen per job id (jobs with a later `Ok` are
     /// removed). Failed jobs get a *fresh* retry budget on resume.
     pub failed_attempts: BTreeMap<String, u32>,
@@ -389,7 +418,7 @@ pub fn load_manifest(path: &Path) -> Result<ManifestSummary, JournalError> {
             Some(rec) => {
                 summary.records += 1;
                 match rec.outcome {
-                    AttemptOutcome::Ok { payload } => {
+                    AttemptOutcome::Ok { payload, .. } => {
                         summary.failed_attempts.remove(&rec.job);
                         summary
                             .completed
@@ -421,16 +450,19 @@ mod tests {
     fn ok_rec(job: &str, attempt: u32, payload: Vec<f64>) -> AttemptRecord {
         AttemptRecord {
             job: job.into(),
-            hash: fnv1a64(job),
+            hash: u128::from(fnv1a64(job)),
             attempt,
-            outcome: AttemptOutcome::Ok { payload },
+            outcome: AttemptOutcome::Ok {
+                payload,
+                cached: None,
+            },
         }
     }
 
     fn fail_rec(job: &str, attempt: u32, class: FailureClass) -> AttemptRecord {
         AttemptRecord {
             job: job.into(),
-            hash: fnv1a64(job),
+            hash: u128::from(fnv1a64(job)),
             attempt,
             outcome: AttemptOutcome::Fail {
                 class,
@@ -469,7 +501,7 @@ mod tests {
         ]);
         let rec = AttemptRecord {
             job: "fig7/lbm".into(),
-            hash: fnv1a64("fig7/lbm"),
+            hash: u128::from(fnv1a64("fig7/lbm")),
             attempt: 1,
             outcome: AttemptOutcome::Fail {
                 class: FailureClass::Deadlock,
@@ -517,7 +549,10 @@ mod tests {
         assert_eq!(m.header, Some(header));
         assert_eq!(m.records, 3);
         assert_eq!(m.skipped_lines, 0);
-        assert_eq!(m.completed.get("a"), Some(&(fnv1a64("a"), vec![1.5], 2)));
+        assert_eq!(
+            m.completed.get("a"),
+            Some(&(u128::from(fnv1a64("a")), vec![1.5], 2))
+        );
         assert_eq!(m.failed_attempts.get("b"), Some(&1));
         assert!(!m.failed_attempts.contains_key("a"));
         std::fs::remove_dir_all(&dir).ok();
@@ -663,5 +698,52 @@ mod tests {
             AttemptRecord::decode("{\"v\":1,\"kind\":\"sweep\",\"spec\":\"s\",\"jobs\":1}"),
             None
         );
+    }
+
+    #[test]
+    fn cached_provenance_round_trips() {
+        let rec = AttemptRecord {
+            job: "fig1/pointer_chase".into(),
+            hash: 0xfeed_face_cafe_beef_0123_4567_89ab_cdef,
+            attempt: 1,
+            outcome: AttemptOutcome::Ok {
+                payload: vec![2.5, 3.5],
+                cached: Some(0xfeed_face_cafe_beef_0123_4567_89ab_cdef),
+            },
+        };
+        let line = rec.encode();
+        assert!(line.contains("\"cached\""), "{line}");
+        assert_eq!(AttemptRecord::decode(&line), Some(rec));
+    }
+
+    #[test]
+    fn v1_manifest_lines_still_decode() {
+        // A literal line as PR-5 binaries wrote it: v1, 16-hex hash, no
+        // `cached` field.
+        let line = format!(
+            "{{\"v\":1,\"kind\":\"attempt\",\"job\":\"a\",\"hash\":\"{:016x}\",\
+             \"attempt\":2,\"outcome\":\"ok\",\"payload\":[1.5,-0.25]}}",
+            fnv1a64("a spec-v1")
+        );
+        let rec = AttemptRecord::decode(&line).expect("v1 lines stay readable");
+        assert_eq!(rec.hash, u128::from(fnv1a64("a spec-v1")));
+        assert_eq!(
+            rec.outcome,
+            AttemptOutcome::Ok {
+                payload: vec![1.5, -0.25],
+                cached: None,
+            }
+        );
+        let header = "{\"v\":1,\"kind\":\"sweep\",\"spec\":\"s\",\"jobs\":3}";
+        assert_eq!(
+            decode_header(header),
+            Some(SweepHeader {
+                spec: "s".into(),
+                jobs: 3
+            })
+        );
+        let beat = "{\"v\":1,\"kind\":\"progress\",\"job\":\"a\",\"cycles\":7,\
+                    \"instrs\":3,\"wall_ms\":1}";
+        assert!(ProgressRecord::decode(beat).is_some());
     }
 }

@@ -19,7 +19,10 @@
 //!   detection, config fingerprinting);
 //! - [`retry`] — the backoff schedule;
 //! - [`class`] — the failure taxonomy (retryable vs fatal);
-//! - [`json`] — the dependency-free JSON subset the journal uses.
+//! - [`json`] — the dependency-free JSON subset the journal uses;
+//! - [`store`] — the content-addressed result store surface: keying
+//!   policy plus re-exports of the `crisp-store` crate (verified cache
+//!   hits skip simulation; corrupt entries quarantine and re-simulate).
 //!
 //! ## Example
 //!
@@ -43,6 +46,7 @@ pub mod class;
 pub mod journal;
 pub mod json;
 pub mod retry;
+pub mod store;
 pub mod supervisor;
 
 pub use checkpoint::{
@@ -55,6 +59,7 @@ pub use journal::{
     ProgressRecord, SweepHeader,
 };
 pub use retry::RetryPolicy;
+pub use store::{cell_key, cell_key_material, ResultStoreConfig, RESULT_SCHEMA};
 pub use supervisor::{
     failure_detail, run_sweep, HarnessError, JobOutcome, JobRunner, JobSpec, RunContext,
     SupervisorOptions, SweepReport,

@@ -25,8 +25,10 @@ use crate::journal::{
 };
 use crate::json::Value;
 use crate::retry::RetryPolicy;
+use crate::store::{cell_key, cell_key_material, ResultStoreConfig};
 use crisp_core::CrispError;
 use crisp_sim::{CancelToken, ProgressBeacon};
+use crisp_store::{fnv1a128, CellLock, Lookup, Store};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -54,8 +56,15 @@ impl JobSpec {
         }
     }
 
-    /// FNV-1a fingerprint of the spec string.
-    pub fn fingerprint(&self) -> u64 {
+    /// FNV-1a 128-bit fingerprint of the spec string — what the journal
+    /// records and resume compares.
+    pub fn fingerprint(&self) -> u128 {
+        fnv1a128(self.spec.as_bytes())
+    }
+
+    /// The legacy 64-bit fingerprint, kept for matching v1 manifests on
+    /// resume and for seeding retry-backoff jitter.
+    pub fn fingerprint64(&self) -> u64 {
         fnv1a64(&self.spec)
     }
 }
@@ -106,6 +115,11 @@ pub struct SupervisorOptions {
     /// the manifest (and, with `progress`, a stderr line). `None` disables
     /// the monitor.
     pub heartbeat: Option<Duration>,
+    /// Content-addressed result store: completed cells are published to it
+    /// and verified hits skip simulation entirely (`None` = no store).
+    /// Store and lock failures never fail a sweep — they degrade to
+    /// stderr warnings and uncached computation.
+    pub store: Option<ResultStoreConfig>,
 }
 
 impl Default for SupervisorOptions {
@@ -120,6 +134,7 @@ impl Default for SupervisorOptions {
             crash_after_records: None,
             progress: false,
             heartbeat: None,
+            store: None,
         }
     }
 }
@@ -137,6 +152,9 @@ pub enum JobOutcome {
         /// Whether the payload was restored from the manifest rather than
         /// recomputed.
         resumed: bool,
+        /// Whether the payload was served from the result store instead of
+        /// simulated.
+        cached: bool,
     },
     /// The job failed permanently (fatal class, or retries exhausted).
     Failed {
@@ -165,6 +183,12 @@ pub struct SweepReport {
     pub resumed: usize,
     /// Malformed manifest lines skipped during resume (torn tail).
     pub skipped_manifest_lines: usize,
+    /// Cells served from the result store (verified entries).
+    pub store_hits: usize,
+    /// Cells simulated and published to the result store.
+    pub store_computed: usize,
+    /// Corrupt store entries quarantined (then re-simulated) this sweep.
+    pub store_quarantined: usize,
 }
 
 impl SweepReport {
@@ -406,13 +430,17 @@ pub fn run_sweep(
         }
         for job in jobs {
             if let Some((hash, payload, attempts)) = summary.completed.get(&job.id) {
-                if *hash == job.fingerprint() {
+                // v2 manifests record the 128-bit fingerprint; v1 lines
+                // decode with the legacy 64-bit one in the low half.
+                // Accept either — both hash the same spec string.
+                if *hash == job.fingerprint() || *hash == u128::from(job.fingerprint64()) {
                     outcomes.insert(
                         job.id.clone(),
                         JobOutcome::Completed {
                             payload: payload.clone(),
                             attempts: *attempts,
                             resumed: true,
+                            cached: false,
                         },
                     );
                     resumed += 1;
@@ -464,6 +492,7 @@ pub fn run_sweep(
     let remaining = AtomicUsize::new(queue.lock().expect("fresh queue").len());
     let crashed = AtomicBool::new(false);
     let outcomes = Mutex::new(outcomes);
+    let store_counters = StoreCounters::default();
     // Live attempts' beacons, keyed by job id; workers register on entry
     // and deregister on exit, the heartbeat monitor samples in between.
     let registry: Mutex<BTreeMap<String, (ProgressBeacon, Instant)>> = Mutex::new(BTreeMap::new());
@@ -481,8 +510,16 @@ pub fn run_sweep(
         for _ in 0..workers {
             scope.spawn(|| {
                 worker_loop(
-                    jobs, opts, runner, &queue, &remaining, &crashed, &journal, &outcomes,
+                    jobs,
+                    opts,
+                    runner,
+                    &queue,
+                    &remaining,
+                    &crashed,
+                    &journal,
+                    &outcomes,
                     &registry,
+                    &store_counters,
                 );
             });
         }
@@ -494,7 +531,73 @@ pub fn run_sweep(
         crashed: crashed.load(Ordering::SeqCst),
         resumed,
         skipped_manifest_lines,
+        store_hits: store_counters.hits.load(Ordering::SeqCst),
+        store_computed: store_counters.computed.load(Ordering::SeqCst),
+        store_quarantined: store_counters.quarantined.load(Ordering::SeqCst),
     })
+}
+
+/// Sweep-wide result-store accounting, shared across workers.
+#[derive(Default)]
+struct StoreCounters {
+    hits: AtomicUsize,
+    computed: AtomicUsize,
+    quarantined: AtomicUsize,
+}
+
+/// What the store fast path decided for one cell.
+enum StoreProbe {
+    /// A verified entry exists; serve its payload.
+    Hit(Vec<f64>),
+    /// No usable entry. If a lock is carried, this worker holds the
+    /// cell's lease and must publish (then release) after computing; a
+    /// `None` lock means lock acquisition failed and the cell computes
+    /// uncoordinated — safe, at worst duplicating identical work.
+    Compute(Option<CellLock>),
+}
+
+/// Probes the store for a cell, coordinating with concurrent sweeps: a
+/// miss acquires the cell's advisory lock and re-probes under it, so a
+/// cell being simulated by another process is awaited, then served from
+/// its published entry instead of duplicated. All store errors degrade to
+/// stderr warnings and uncached computation.
+fn probe_store(store: &Store, key: u128, job_id: &str, counters: &StoreCounters) -> StoreProbe {
+    let quarantined = |error: &crisp_store::StoreError| {
+        counters.quarantined.fetch_add(1, Ordering::SeqCst);
+        eprintln!(
+            "[supervisor] {job_id}: corrupt store entry quarantined ({error}), re-simulating"
+        );
+    };
+    match store.lookup(key) {
+        Ok(Lookup::Hit(entry)) => return StoreProbe::Hit(entry.payload),
+        Ok(Lookup::Miss) => {}
+        Ok(Lookup::Quarantined { error, .. }) => quarantined(&error),
+        Err(e) => {
+            eprintln!("[supervisor] {job_id}: store lookup failed ({e}), computing uncached");
+            return StoreProbe::Compute(None);
+        }
+    }
+    let lock = match store.lock(key) {
+        Ok(lock) => lock,
+        Err(e) => {
+            eprintln!("[supervisor] {job_id}: store lock failed ({e}), computing uncached");
+            return StoreProbe::Compute(None);
+        }
+    };
+    // Re-probe under the lock: the previous holder may have published the
+    // cell while this worker waited.
+    match store.lookup(key) {
+        Ok(Lookup::Hit(entry)) => StoreProbe::Hit(entry.payload),
+        Ok(Lookup::Miss) => StoreProbe::Compute(Some(lock)),
+        Ok(Lookup::Quarantined { error, .. }) => {
+            quarantined(&error);
+            StoreProbe::Compute(Some(lock))
+        }
+        Err(e) => {
+            eprintln!("[supervisor] {job_id}: store re-probe failed ({e})");
+            StoreProbe::Compute(Some(lock))
+        }
+    }
 }
 
 /// Samples every running job's progress beacon at the heartbeat cadence
@@ -556,7 +659,19 @@ fn worker_loop(
     journal: &Option<Mutex<Journal>>,
     outcomes: &Mutex<BTreeMap<String, JobOutcome>>,
     registry: &Mutex<BTreeMap<String, (ProgressBeacon, Instant)>>,
+    store_counters: &StoreCounters,
 ) {
+    // A store that cannot be opened disables caching for this worker but
+    // never fails the sweep.
+    let store: Option<Store> = opts.store.as_ref().and_then(|cfg| {
+        match Store::open_with(&cfg.dir, cfg.lock_options.clone()) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("[supervisor] result store disabled: {e}");
+                None
+            }
+        }
+    });
     loop {
         if crashed.load(Ordering::SeqCst) {
             return;
@@ -588,6 +703,59 @@ fn worker_loop(
 
         let job = &jobs[pending.idx];
         let attempt = pending.attempt;
+
+        // Store fast path: serve a verified entry without simulating, or
+        // take the cell's lease so concurrent sweeps compute it once.
+        let key = cell_key(&job.id, &job.spec);
+        let mut cell_lock: Option<CellLock> = None;
+        if let Some(st) = &store {
+            match probe_store(st, key, &job.id, store_counters) {
+                StoreProbe::Hit(payload) => {
+                    // A hit is journaled like a computed success, with the
+                    // store key as provenance, so `--resume` composes with
+                    // caching and post-mortems can audit where every
+                    // payload came from.
+                    let record = AttemptRecord {
+                        job: job.id.clone(),
+                        hash: job.fingerprint(),
+                        attempt,
+                        outcome: AttemptOutcome::Ok {
+                            payload: payload.clone(),
+                            cached: Some(key),
+                        },
+                    };
+                    if let Some(j) = journal {
+                        match j.lock().expect("journal lock").append(&record) {
+                            Ok(AppendStatus::Written) => {}
+                            Ok(AppendStatus::Crashed) => {
+                                crashed.store(true, Ordering::SeqCst);
+                                return;
+                            }
+                            Err(e) => {
+                                eprintln!("[supervisor] journal write failed: {e}");
+                            }
+                        }
+                    }
+                    if opts.progress {
+                        eprintln!("[supervisor] {}: cache hit ({key:032x})", job.id);
+                    }
+                    store_counters.hits.fetch_add(1, Ordering::SeqCst);
+                    outcomes.lock().expect("outcomes lock").insert(
+                        job.id.clone(),
+                        JobOutcome::Completed {
+                            payload,
+                            attempts: attempt,
+                            resumed: false,
+                            cached: true,
+                        },
+                    );
+                    remaining.fetch_sub(1, Ordering::SeqCst);
+                    continue;
+                }
+                StoreProbe::Compute(lock) => cell_lock = lock,
+            }
+        }
+
         let cancel = match opts.deadline {
             Some(d) => CancelToken::with_deadline(d),
             None => CancelToken::new(),
@@ -628,6 +796,7 @@ fn worker_loop(
             outcome: match &attempt_result {
                 Ok(payload) => AttemptOutcome::Ok {
                     payload: payload.clone(),
+                    cached: None,
                 },
                 Err((class, error, detail)) => AttemptOutcome::Fail {
                     class: *class,
@@ -655,6 +824,19 @@ fn worker_loop(
 
         match attempt_result {
             Ok(payload) => {
+                // Publish while still holding the cell's lease, then
+                // release it: waiting processes re-probe and hit.
+                if let Some(st) = &store {
+                    match st.publish(key, &cell_key_material(&job.id, &job.spec), &payload) {
+                        Ok(()) => {
+                            store_counters.computed.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(e) => {
+                            eprintln!("[supervisor] {}: store publish failed: {e}", job.id);
+                        }
+                    }
+                }
+                drop(cell_lock.take());
                 if opts.progress {
                     eprintln!(
                         "[supervisor] {}: ok (attempt {attempt}/{})",
@@ -668,13 +850,14 @@ fn worker_loop(
                         payload,
                         attempts: attempt,
                         resumed: false,
+                        cached: false,
                     },
                 );
                 remaining.fetch_sub(1, Ordering::SeqCst);
             }
             Err((class, error, detail)) => {
                 if class.retryable() && attempt < opts.retry.max_attempts() {
-                    let delay = opts.retry.delay(attempt, job.fingerprint());
+                    let delay = opts.retry.delay(attempt, job.fingerprint64());
                     if opts.progress {
                         eprintln!(
                             "[supervisor] {}: {class} on attempt {attempt}/{}, retrying in {} ms",
@@ -771,7 +954,8 @@ mod tests {
             Some(&JobOutcome::Completed {
                 payload: vec![1.0],
                 attempts: 3,
-                resumed: false
+                resumed: false,
+                cached: false
             })
         );
     }
@@ -981,7 +1165,8 @@ mod tests {
             Some(&JobOutcome::Completed {
                 payload: vec![3.5],
                 attempts: 1,
-                resumed: true
+                resumed: true,
+                cached: false
             })
         );
         assert_eq!(second.payload("broken"), Some(&[9.0][..]));
@@ -1155,6 +1340,87 @@ mod tests {
                 found: "sweep-v1".into(),
             })
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_warm_store_serves_cells_without_rerunning() {
+        let dir = std::env::temp_dir().join("crisp-harness-supervisor-store-warm");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let store_dir = dir.join("store");
+        let js = jobs(&["a", "bb"]);
+        let calls = AtomicU32::new(0);
+        let runner = |job: &JobSpec, _ctx: &RunContext| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Ok(vec![job.id.len() as f64, 0.5])
+        };
+        let mk_opts = |manifest: &str| SupervisorOptions {
+            store: Some(crate::store::ResultStoreConfig::new(&store_dir)),
+            manifest: Some(dir.join(manifest)),
+            sweep_spec: "store-sweep".into(),
+            ..SupervisorOptions::default()
+        };
+
+        let cold = run_sweep(&js, &mk_opts("cold.jsonl"), &runner).unwrap();
+        assert_eq!(cold.completed(), 2);
+        assert_eq!((cold.store_hits, cold.store_computed), (0, 2));
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+
+        let warm = run_sweep(&js, &mk_opts("warm.jsonl"), &runner).unwrap();
+        assert_eq!(warm.completed(), 2);
+        assert_eq!((warm.store_hits, warm.store_computed), (2, 0));
+        assert_eq!(calls.load(Ordering::SeqCst), 2, "no cell re-simulated");
+        for job in &js {
+            assert_eq!(warm.payload(&job.id), cold.payload(&job.id));
+            match warm.outcomes.get(&job.id) {
+                Some(JobOutcome::Completed { cached: true, .. }) => {}
+                other => panic!("expected a cached outcome, got {other:?}"),
+            }
+        }
+        // Hits carry provenance in the manifest, and resume accepts them.
+        let manifest = std::fs::read_to_string(dir.join("warm.jsonl")).unwrap();
+        assert!(manifest.contains("\"cached\""), "{manifest}");
+        let m = load_manifest(&dir.join("warm.jsonl")).unwrap();
+        assert_eq!(m.completed.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_store_entries_are_quarantined_and_recomputed() {
+        let dir = std::env::temp_dir().join("crisp-harness-supervisor-store-corrupt");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let store_dir = dir.join("store");
+        let js = jobs(&["cell"]);
+        let opts = SupervisorOptions {
+            store: Some(crate::store::ResultStoreConfig::new(&store_dir)),
+            ..SupervisorOptions::default()
+        };
+        let runner = |_job: &JobSpec, _ctx: &RunContext| Ok(vec![2.5, -0.75, 1.0 / 3.0]);
+        let cold = run_sweep(&js, &opts, &runner).unwrap();
+        assert_eq!(cold.store_computed, 1);
+
+        // Flip one payload bit in the published entry.
+        let store = crisp_store::Store::open(&store_dir).unwrap();
+        let path = store.entry_path(crate::store::cell_key(&js[0].id, &js[0].spec));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() - 20;
+        bytes[mid] ^= 0x08;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // The corrupt entry is never served: it is quarantined and the
+        // cell re-simulated to an identical payload.
+        let repaired = run_sweep(&js, &opts, &runner).unwrap();
+        assert_eq!(repaired.store_quarantined, 1);
+        assert_eq!((repaired.store_hits, repaired.store_computed), (0, 1));
+        assert_eq!(repaired.payload("cell"), cold.payload("cell"));
+        let corpses = std::fs::read_dir(store.quarantine_dir()).unwrap().count();
+        assert_eq!(corpses, 1, "the corrupt bytes are preserved");
+
+        // And the repair is durable: the next sweep hits.
+        let warm = run_sweep(&js, &opts, &runner).unwrap();
+        assert_eq!((warm.store_hits, warm.store_quarantined), (1, 0));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,73 @@
+//! FNV-1a 128-bit hashing and key formatting.
+//!
+//! The store's cache keys are 128-bit FNV-1a hashes of the canonical key
+//! material (cell spec, result-schema version, binary semver). FNV-1a is
+//! not a cryptographic hash — the store defends against *accidental*
+//! collisions and drift (the birthday bound at 128 bits is far beyond any
+//! realistic cell count), not against an adversary crafting collisions.
+
+/// FNV-1a 128-bit offset basis.
+const OFFSET_BASIS: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a 128-bit prime (2^88 + 2^8 + 0x3b).
+const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// FNV-1a 128-bit hash of `data`.
+pub fn fnv1a128(data: &[u8]) -> u128 {
+    let mut h = OFFSET_BASIS;
+    for &b in data {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Canonical 32-hex-digit rendering of a store key.
+pub fn key_hex(key: u128) -> String {
+    format!("{key:032x}")
+}
+
+/// Parses a 32-hex-digit store key (shorter strings are accepted and
+/// zero-extended, matching `u128::from_str_radix`).
+pub fn parse_key(s: &str) -> Option<u128> {
+    if s.is_empty() || s.len() > 32 {
+        return None;
+    }
+    u128::from_str_radix(s, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_hashes_to_the_offset_basis() {
+        assert_eq!(fnv1a128(b""), OFFSET_BASIS);
+    }
+
+    #[test]
+    fn single_byte_matches_a_hand_computed_step() {
+        let expected = (OFFSET_BASIS ^ u128::from(b'a')).wrapping_mul(PRIME);
+        assert_eq!(fnv1a128(b"a"), expected);
+    }
+
+    #[test]
+    fn one_bit_of_input_flips_many_bits_of_output() {
+        let a = fnv1a128(b"fig1/pointer_chase scale=Fast cells-v1");
+        let b = fnv1a128(b"fig1/pointer_chase scale=Fast cells-v2");
+        assert_ne!(a, b);
+        // Both halves of the key must carry entropy, or the content
+        // addressing degrades to 64 bits.
+        assert_ne!(a as u64, b as u64);
+        assert_ne!((a >> 64) as u64, (b >> 64) as u64);
+    }
+
+    #[test]
+    fn keys_round_trip_through_hex() {
+        for key in [0u128, 1, u128::MAX, fnv1a128(b"spec")] {
+            assert_eq!(parse_key(&key_hex(key)), Some(key));
+        }
+        assert_eq!(parse_key(""), None);
+        assert_eq!(parse_key("not hex"), None);
+        assert_eq!(parse_key(&"f".repeat(33)), None);
+    }
+}

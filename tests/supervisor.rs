@@ -225,15 +225,21 @@ proptest! {
     #[test]
     fn journal_records_round_trip(
         job in string_strategy(24),
-        hash in any::<u64>(),
+        hash_lo in any::<u64>(),
+        hash_hi in any::<u64>(),
         attempt in 1u32..100,
         ok in any::<bool>(),
+        with_provenance in any::<bool>(),
         payload in proptest::collection::vec(f64_strategy(), 0..12),
         class in class_strategy(),
         error in string_strategy(80),
     ) {
+        let hash = (u128::from(hash_hi) << 64) | u128::from(hash_lo);
         let outcome = if ok {
-            AttemptOutcome::Ok { payload }
+            AttemptOutcome::Ok {
+                payload,
+                cached: with_provenance.then_some(hash ^ 1),
+            }
         } else {
             AttemptOutcome::Fail {
                 class,
