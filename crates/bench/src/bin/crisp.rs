@@ -11,12 +11,23 @@
 //! crisp pipeview <workload> [--crisp] [-n INSTRS] [--from SEQ] [--len COUNT]
 //! crisp obs summarize <FILE...>
 //! crisp cache stats|verify|gc|evict <KEY> --store DIR [--max-age-days D] [--max-entries N]
+//! crisp submit <TARGET...> --addr HOST:PORT [--fast|--tiny] [--workloads A,B,C]
+//! crisp status <JOB> --addr HOST:PORT
+//! crisp result <JOB> --addr HOST:PORT
+//! crisp watch <JOB> --addr HOST:PORT [--interval-ms MS]
 //! ```
+//!
+//! The `submit`/`status`/`result`/`watch` subcommands talk to a
+//! `crisp-serve` daemon over its HTTP job API, with bounded jittered
+//! retries on transient failures (connect errors, 429 queue-full, 503
+//! draining). `submit` is idempotent: resubmitting the same sweep
+//! coalesces onto the existing job id.
 //!
 //! Exit codes: `0` success, `2` usage/parse error, `3` unknown workload,
 //! `4` rejected configuration, `5` runtime failure (emulation/simulation,
-//! including watchdog-detected deadlocks, `--check` violations, and
-//! `crisp cache verify` finding corrupt entries).
+//! including watchdog-detected deadlocks, `--check` violations,
+//! `crisp cache verify` finding corrupt entries, a job API call failing
+//! for good, or a watched/fetched job finishing `failed`).
 
 use crisp_core::{
     build, run_crisp_pipeline, ClassifierConfig, CrispError, Input, PipelineConfig, SchedulerKind,
@@ -85,7 +96,11 @@ fn usage_text() -> String {
          crisp pipeline <workload> [--fast] [--loads-only|--branches-only] [--check]\n  \
          crisp pipeview <workload> [--crisp] [-n INSTRS] [--from SEQ] [--len COUNT]\n  \
          crisp obs summarize <FILE...>\n  \
-         crisp cache stats|verify|gc|evict <KEY> --store DIR [--max-age-days D] [--max-entries N]\n\
+         crisp cache stats|verify|gc|evict <KEY> --store DIR [--max-age-days D] [--max-entries N]\n  \
+         crisp submit <TARGET...> --addr HOST:PORT [--fast|--tiny] [--workloads A,B,C]\n  \
+         crisp status <JOB> --addr HOST:PORT\n  \
+         crisp result <JOB> --addr HOST:PORT\n  \
+         crisp watch <JOB> --addr HOST:PORT [--interval-ms MS]\n\
          exit codes: 0 ok, 2 usage, 3 unknown workload, 4 bad config, 5 runtime failure\n{}",
         workload_listing()
     )
@@ -107,6 +122,9 @@ struct Args {
     store: Option<String>,
     max_age_days: Option<f64>,
     max_entries: Option<usize>,
+    addr: Option<String>,
+    workloads: Option<Vec<String>>,
+    interval_ms: u64,
 }
 
 impl Args {
@@ -145,6 +163,9 @@ fn parse(args: &[String]) -> Result<Args, Failure> {
         store: None,
         max_age_days: None,
         max_entries: None,
+        addr: None,
+        workloads: None,
+        interval_ms: 500,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -210,6 +231,24 @@ fn parse(args: &[String]) -> Result<Args, Failure> {
                 })?);
             }
             "--store" => out.store = Some(value("--store")?.clone()),
+            "--addr" => out.addr = Some(value("--addr")?.clone()),
+            "--workloads" => {
+                let v = value("--workloads")?;
+                out.workloads = Some(
+                    v.split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                );
+            }
+            "--interval-ms" => {
+                let v = value("--interval-ms")?;
+                out.interval_ms = v.parse::<u64>().ok().filter(|ms| *ms > 0).ok_or_else(|| {
+                    Failure::usage(format!(
+                        "--interval-ms expects positive milliseconds, got `{v}`"
+                    ))
+                })?;
+            }
             "--max-age-days" => {
                 let v = value("--max-age-days")?;
                 out.max_age_days = Some(
@@ -507,6 +546,7 @@ fn run(cmd: &str, args: &Args) -> Result<(), Failure> {
             args.allow_flags(cmd, &[])?;
             run_cache(args)
         }
+        "submit" | "status" | "result" | "watch" => run_serve(cmd, args),
         other => Err(Failure::usage(format!(
             "unknown subcommand: {other}\n{}",
             usage_text()
@@ -609,6 +649,147 @@ fn run_cache(args: &Args) -> Result<(), Failure> {
         other => Err(Failure::usage(format!(
             "unknown `crisp cache` subcommand: {other} (expected: stats, verify, gc, evict)"
         ))),
+    }
+}
+
+/// `crisp submit|status|result|watch` — the job-API client side of a
+/// `crisp-serve` daemon. Transient failures retry with bounded jittered
+/// backoff inside [`crisp_serve::Client`]; hard failures exit 5.
+fn run_serve(cmd: &str, args: &Args) -> Result<(), Failure> {
+    use crisp_harness::json::Value;
+    use crisp_serve::{Client, ClientConfig, SubmitRequest};
+
+    let addr = args
+        .addr
+        .as_ref()
+        .ok_or_else(|| Failure::usage(format!("`crisp {cmd}` needs --addr HOST:PORT")))?;
+    let client = Client::new(ClientConfig {
+        addr: addr.clone(),
+        ..ClientConfig::default()
+    });
+    let api_failure = |e: crisp_serve::ClientError| Failure {
+        code: EXIT_RUNTIME,
+        message: format!("{cmd}: {e}"),
+    };
+    let field = |v: &Value, name: &str| {
+        v.get(name)
+            .map(|f| match f {
+                Value::Str(s) => s.clone(),
+                other => other.encode(),
+            })
+            .unwrap_or_else(|| "?".to_string())
+    };
+    let job_arg = || -> Result<String, Failure> {
+        match args.positional.as_slice() {
+            [id] => Ok(id.clone()),
+            _ => Err(Failure::usage(format!(
+                "`crisp {cmd}` takes one job id (32 hex digits)"
+            ))),
+        }
+    };
+    // Prints a finished job's result document; failed jobs exit 5 so
+    // scripts and CI can gate on job health.
+    let print_result = |v: &Value| -> Result<(), Failure> {
+        let state = field(v, "state");
+        eprintln!(
+            "job {}: {state}, {} completed, {} failed, store {} hit(s) / {} computed",
+            field(v, "id"),
+            field(v, "completed"),
+            field(v, "failed"),
+            field(v, "store_hits"),
+            field(v, "store_computed"),
+        );
+        let rendered = field(v, "rendered");
+        if !rendered.is_empty() && rendered != "?" {
+            print!("{rendered}");
+        }
+        if state == "failed" {
+            return Err(Failure {
+                code: EXIT_RUNTIME,
+                message: format!("job finished failed: {}", field(v, "error")),
+            });
+        }
+        Ok(())
+    };
+
+    match cmd {
+        "submit" => {
+            args.allow_flags(cmd, &["--fast", "--tiny"])?;
+            if args.positional.is_empty() {
+                return Err(Failure::usage(
+                    "`crisp submit` needs at least one target (e.g. fig11, table1)",
+                ));
+            }
+            let scale = if args.has("--tiny") {
+                "tiny"
+            } else if args.has("--fast") {
+                "fast"
+            } else {
+                "full"
+            };
+            let ack = client
+                .submit(&SubmitRequest {
+                    targets: args.positional.clone(),
+                    workloads: args.workloads.clone(),
+                    scale: scale.to_string(),
+                })
+                .map_err(api_failure)?;
+            println!(
+                "job {} {} ({} cell(s), {} warm in store{})",
+                field(&ack, "id"),
+                field(&ack, "state"),
+                field(&ack, "cells"),
+                field(&ack, "warm_cells"),
+                if ack.get("coalesced") == Some(&Value::Bool(true)) {
+                    ", coalesced onto existing job"
+                } else {
+                    ""
+                }
+            );
+            Ok(())
+        }
+        "status" => {
+            args.allow_flags(cmd, &[])?;
+            let status = client.status(&job_arg()?).map_err(api_failure)?;
+            println!("{}", status.encode());
+            Ok(())
+        }
+        "result" => {
+            args.allow_flags(cmd, &[])?;
+            let id = job_arg()?;
+            match client.result(&id).map_err(api_failure)? {
+                Some(v) => print_result(&v),
+                None => {
+                    println!("job {id}: still pending (poll again or use `crisp watch`)");
+                    Ok(())
+                }
+            }
+        }
+        "watch" => {
+            args.allow_flags(cmd, &[])?;
+            let id = job_arg()?;
+            let mut last = String::new();
+            loop {
+                let status = client.status(&id).map_err(api_failure)?;
+                let state = field(&status, "state");
+                if state != last {
+                    eprintln!("job {id}: {state}");
+                    last = state.clone();
+                }
+                if state == "done" || state == "failed" {
+                    let v = client
+                        .result(&id)
+                        .map_err(api_failure)?
+                        .ok_or_else(|| Failure {
+                            code: EXIT_RUNTIME,
+                            message: format!("job {id} finished but its result is missing"),
+                        })?;
+                    return print_result(&v);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(args.interval_ms));
+            }
+        }
+        _ => unreachable!("run_serve called for {cmd}"),
     }
 }
 

@@ -42,19 +42,29 @@
 //!                        contains SUB (repeatable)
 //!   --inject-stall SUB   Chaos: freeze the scheduler in jobs whose id
 //!                        contains SUB so the watchdog fires (repeatable)
+//!   --cell-delay-ms MS   Test hook: idle this long (cancellably) at the
+//!                        start of every computed cell, widening the
+//!                        mid-cell window chaos tests need to hit
 //!   --quiet              Suppress per-job progress lines
 //! ```
+//!
+//! SIGTERM/SIGINT drain the sweep gracefully: queued cells stay
+//! unrecorded, in-flight cells abort cooperatively (checkpointing if
+//! enabled), the manifest is fsynced, and the run exits 6 with a
+//! `--resume` hint — resuming completes the sweep with byte-identical
+//! reports.
 //!
 //! Exit codes: 0 = every cell completed; 2 = usage error; 5 = supervisor
 //! failure (bad manifest, injected crash fired); 6 = completed **degraded**
 //! (some cells failed permanently; reports carry `[DEGRADED]` annotations
-//! and a failure taxonomy — partial results were salvaged); 7 = checkpoint
-//! integrity or determinism failure (torn/mismatched checkpoint state, or
-//! a restore-audit divergence — never retried, because re-reading the same
-//! bytes cannot succeed).
+//! and a failure taxonomy — partial results were salvaged) or
+//! **interrupted** by SIGTERM/SIGINT (resume with `--resume`); 7 =
+//! checkpoint integrity or determinism failure (torn/mismatched
+//! checkpoint state, or a restore-audit divergence — never retried,
+//! because re-reading the same bytes cannot succeed).
 
 use crisp_bench::audit::{render_audit, run_restore_audit, DEFAULT_AUDIT_WORKLOADS};
-use crisp_bench::sweep::{run_supervised_sweep, sweep_spec, SweepConfig};
+use crisp_bench::sweep::{build_jobs, run_supervised_sweep, sweep_spec, SweepConfig};
 use crisp_bench::{all_targets, ExperimentScale};
 use crisp_core::CrispError;
 use crisp_harness::RetryPolicy;
@@ -89,7 +99,7 @@ fn usage() {
          \x20                  [--checkpoint-interval CYCLES] [--audit-restore]\n\
          \x20                  [--telemetry DIR] [--pipe-trace DIR] [--heartbeat MS]\n\
          \x20                  [--store DIR] [--inject-panic SUB] [--inject-stall SUB]\n\
-         \x20                  [--quiet] [{}]",
+         \x20                  [--cell-delay-ms MS] [--quiet] [{}]",
         KNOWN_TARGETS.join("|")
     );
 }
@@ -181,6 +191,15 @@ fn parse_args(args: &[String]) -> Result<SweepConfig, UsageError> {
             "--store" => cfg.store = Some(PathBuf::from(value(&mut it, "--store")?)),
             "--inject-panic" => cfg.chaos.panic_once.push(value(&mut it, "--inject-panic")?),
             "--inject-stall" => cfg.chaos.stall.push(value(&mut it, "--inject-stall")?),
+            "--cell-delay-ms" => {
+                let v = value(&mut it, "--cell-delay-ms")?;
+                let ms = v.parse::<u64>().ok().filter(|n| *n > 0).ok_or_else(|| {
+                    UsageError(format!(
+                        "--cell-delay-ms expects positive milliseconds, got `{v}`"
+                    ))
+                })?;
+                cfg.cell_delay = Some(Duration::from_millis(ms));
+            }
             other if other.starts_with('-') => {
                 return Err(UsageError(format!("unknown flag: {other}")));
             }
@@ -254,7 +273,7 @@ fn run_audit_mode(cfg: &SweepConfig) -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cfg = match parse_args(&args) {
+    let mut cfg = match parse_args(&args) {
         Ok(cfg) => cfg,
         Err(UsageError(msg)) => {
             eprintln!("crisp-bench: {msg}");
@@ -266,6 +285,13 @@ fn main() -> ExitCode {
     if cfg.audit_restore {
         return run_audit_mode(&cfg);
     }
+
+    // Graceful shutdown: SIGTERM/SIGINT cancel the stop token; in-flight
+    // cells abort cooperatively and the manifest stays resumable.
+    crisp_serve::signal::install();
+    let stop = crisp_sim::CancelToken::new();
+    crisp_serve::signal::watch(stop.clone());
+    cfg.stop = Some(stop);
 
     if cfg.progress {
         eprintln!("[crisp-bench] sweep: {}", sweep_spec(&cfg));
@@ -286,6 +312,18 @@ fn main() -> ExitCode {
                 .map_or_else(|| "<manifest>".to_string(), |p| p.display().to_string())
         );
         return ExitCode::from(EXIT_SUPERVISOR);
+    }
+
+    if out.report.interrupted {
+        eprintln!(
+            "crisp-bench: interrupted by signal after {} of {} jobs; resume with --resume {}",
+            out.report.completed(),
+            build_jobs(&cfg).len(),
+            cfg.manifest
+                .as_ref()
+                .map_or_else(|| "<manifest>".to_string(), |p| p.display().to_string())
+        );
+        return ExitCode::from(EXIT_DEGRADED);
     }
 
     print!("{}", out.rendered);

@@ -1,0 +1,232 @@
+//! `serve-bench` — seeds the job-API latency trajectory (`BENCH_7.json`).
+//!
+//! Runs two in-process `crisp-serve` daemons sharing one result store
+//! and measures the full submit→result round trip through the HTTP job
+//! API — cold (every cell simulated and published) then warm (every
+//! cell served from the store, via a second daemon with a fresh job
+//! registry) — so later PRs can track both the service overhead and the
+//! warm-path speedup across the repo's history.
+//!
+//! ```text
+//! usage: serve-bench [--out PATH] [--scratch DIR]
+//! exit codes: 0 ok, 1 benchmark invariant broken, 2 usage error
+//! ```
+//!
+//! The warm job must re-simulate zero cells and render byte-identical
+//! tables; either miss is a correctness failure of the daemon's
+//! idempotent planning or the store's keying, so it fails the run.
+
+use crisp_bench::sweep::{build_jobs, run_supervised_sweep, sweep_spec, SweepConfig};
+use crisp_bench::ExperimentScale;
+use crisp_harness::cell_key;
+use crisp_harness::json::Value;
+use crisp_serve::{
+    run_daemon, Client, ClientConfig, DaemonConfig, ExecCtx, ExecResult, JobPlan, JobRecord,
+    SubmitRequest,
+};
+use crisp_sim::CancelToken;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn usage() -> std::process::ExitCode {
+    eprintln!("usage: serve-bench [--out PATH] [--scratch DIR]");
+    std::process::ExitCode::from(2)
+}
+
+const TARGET: &str = "fig1";
+const SCALE: ExperimentScale = ExperimentScale::Fast;
+
+fn bench_sweep_config(request: &SubmitRequest) -> SweepConfig {
+    SweepConfig {
+        scale: SCALE,
+        targets: request.targets.clone(),
+        workloads: request.workloads.clone(),
+        progress: false,
+        ..SweepConfig::default()
+    }
+}
+
+fn plan(request: &SubmitRequest) -> Result<JobPlan, String> {
+    let cfg = bench_sweep_config(request);
+    let jobs = build_jobs(&cfg);
+    Ok(JobPlan {
+        request: request.clone(),
+        spec: sweep_spec(&cfg),
+        cells: jobs.iter().map(|j| cell_key(&j.id, &j.spec)).collect(),
+    })
+}
+
+fn exec(record: &JobRecord, ctx: &ExecCtx) -> Result<ExecResult, String> {
+    let mut cfg = bench_sweep_config(&record.request);
+    cfg.manifest = Some(ctx.manifest.clone());
+    cfg.resume = ctx.resume;
+    cfg.store = Some(ctx.store.clone());
+    cfg.stop = Some(ctx.stop.clone());
+    let out = run_supervised_sweep(&cfg).map_err(|e| e.to_string())?;
+    Ok(ExecResult {
+        rendered: out.rendered,
+        completed: out.report.completed(),
+        failed: out.report.failed(),
+        interrupted: out.report.interrupted,
+        store_hits: out.report.store_hits,
+        store_computed: out.report.store_computed,
+    })
+}
+
+/// One daemon lifetime: submit the benchmark job, poll to the result,
+/// drain. Returns `(round_trip_ms, result_doc)`.
+fn one_round(data_dir: &Path, store_dir: &Path) -> Result<(f64, Value), String> {
+    let cfg = DaemonConfig {
+        data_dir: data_dir.to_path_buf(),
+        store_dir: Some(store_dir.to_path_buf()),
+        ..DaemonConfig::default()
+    };
+    let shutdown = CancelToken::new();
+    let daemon = {
+        let token = shutdown.clone();
+        std::thread::spawn(move || run_daemon(&cfg, &plan, &exec, &token))
+    };
+    let endpoint_file = data_dir.join("endpoint");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let addr = loop {
+        if let Ok(s) = std::fs::read_to_string(&endpoint_file) {
+            if !s.is_empty() {
+                break s;
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err("daemon never published its endpoint".to_string());
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    let client = Client::new(ClientConfig {
+        addr,
+        ..ClientConfig::default()
+    });
+    let request = SubmitRequest {
+        targets: vec![TARGET.to_string()],
+        workloads: None,
+        scale: "fast".to_string(),
+    };
+
+    let started = Instant::now();
+    let ack = client.submit(&request).map_err(|e| e.to_string())?;
+    let id = ack
+        .get("id")
+        .and_then(Value::as_str)
+        .ok_or("submit ack carried no id")?
+        .to_string();
+    let result = loop {
+        if let Some(doc) = client.result(&id).map_err(|e| e.to_string())? {
+            break doc;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let rtt_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    shutdown.cancel();
+    daemon
+        .join()
+        .map_err(|_| "daemon thread panicked".to_string())?
+        .map_err(|e| format!("daemon failed: {e}"))?;
+    Ok((rtt_ms, result))
+}
+
+fn num(v: &Value, name: &str) -> f64 {
+    v.get(name).and_then(Value::as_u64).unwrap_or(0) as f64
+}
+
+fn main() -> std::process::ExitCode {
+    let mut out = PathBuf::from("BENCH_7.json");
+    let mut scratch: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(v) => out = PathBuf::from(v),
+                None => return usage(),
+            },
+            "--scratch" => match args.next() {
+                Some(v) => scratch = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let scratch = scratch.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("crisp-serve-bench-{}", std::process::id()))
+    });
+    // Cold-vs-warm needs a pristine store and two fresh job registries.
+    std::fs::remove_dir_all(&scratch).ok();
+    let store = scratch.join("store");
+
+    let (cold_ms, cold) = match one_round(&scratch.join("cold"), &store) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve-bench: cold round failed: {e}");
+            return std::process::ExitCode::from(1);
+        }
+    };
+    let (warm_ms, warm) = match one_round(&scratch.join("warm"), &store) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve-bench: warm round failed: {e}");
+            return std::process::ExitCode::from(1);
+        }
+    };
+    std::fs::remove_dir_all(&scratch).ok();
+
+    let cells = num(&cold, "completed") + num(&cold, "failed");
+    let doc = Value::Obj(vec![
+        ("bench".into(), Value::Str("serve-cold-vs-warm-rtt".into())),
+        ("target".into(), Value::Str(TARGET.into())),
+        ("scale".into(), Value::Str("fast".into())),
+        ("cells".into(), Value::Num(cells)),
+        ("cold_rtt_ms".into(), Value::Num(cold_ms)),
+        ("warm_rtt_ms".into(), Value::Num(warm_ms)),
+        (
+            "cold_computed".into(),
+            Value::Num(num(&cold, "store_computed")),
+        ),
+        ("warm_hits".into(), Value::Num(num(&warm, "store_hits"))),
+        (
+            "warm_computed".into(),
+            Value::Num(num(&warm, "store_computed")),
+        ),
+        (
+            "speedup".into(),
+            Value::Num(if warm_ms > 0.0 {
+                cold_ms / warm_ms
+            } else {
+                0.0
+            }),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&out, format!("{}\n", doc.encode())) {
+        eprintln!("serve-bench: writing {} failed: {e}", out.display());
+        return std::process::ExitCode::from(1);
+    }
+    eprintln!(
+        "[serve-bench] {cells} cell(s): cold RTT {cold_ms:.0} ms, warm RTT {warm_ms:.0} ms -> {}",
+        out.display()
+    );
+
+    // Contract checks: warm must be pure store hits with identical tables.
+    let (cold_tables, warm_tables) = (
+        cold.get("rendered").and_then(Value::as_str).unwrap_or(""),
+        warm.get("rendered").and_then(Value::as_str).unwrap_or(""),
+    );
+    if cold_tables.is_empty() || warm_tables != cold_tables {
+        eprintln!("serve-bench: warm render differs from cold render");
+        return std::process::ExitCode::from(1);
+    }
+    if num(&warm, "store_hits") != cells || num(&warm, "store_computed") != 0.0 {
+        eprintln!(
+            "serve-bench: warm job missed the cache ({} hit(s), {} computed of {cells} cell(s))",
+            num(&warm, "store_hits"),
+            num(&warm, "store_computed"),
+        );
+        return std::process::ExitCode::from(1);
+    }
+    std::process::ExitCode::SUCCESS
+}

@@ -8,8 +8,9 @@ use crisp_harness::{
     run_sweep, FailureClass, HarnessError, JobSpec, RetryPolicy, RunContext, SupervisorOptions,
     SweepReport,
 };
+use crisp_sim::{AbortReason, CancelToken, SimError};
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Fault injection applied by the sweep runner (CI smoke + tests).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -76,6 +77,14 @@ pub struct SweepConfig {
     /// `--store DIR`: content-addressed result store; verified entries
     /// skip simulation, computed cells are published for later sweeps.
     pub store: Option<PathBuf>,
+    /// Sweep-wide stop token for graceful shutdown (SIGTERM/SIGINT):
+    /// when cancelled, in-flight cells abort cooperatively, queued cells
+    /// stay unrecorded, and `--resume` completes the sweep later.
+    pub stop: Option<CancelToken>,
+    /// Test hook (`--cell-delay-ms`): every computed cell first idles
+    /// this long while polling its cancel token, widening the mid-cell
+    /// window that chaos tests (SIGKILL, drain) need to hit reliably.
+    pub cell_delay: Option<Duration>,
 }
 
 impl Default for SweepConfig {
@@ -98,6 +107,8 @@ impl Default for SweepConfig {
             pipe_trace: None,
             heartbeat: None,
             store: None,
+            stop: None,
+            cell_delay: None,
         }
     }
 }
@@ -190,6 +201,8 @@ pub fn run_supervised_sweep(cfg: &SweepConfig) -> Result<SweepOutput, HarnessErr
             .store
             .as_ref()
             .map(crisp_harness::ResultStoreConfig::new),
+        stop: cfg.stop.clone(),
+        fail_journal_appends: 0,
     };
     let chaos = cfg.chaos.clone();
     let scale = cfg.scale;
@@ -205,7 +218,30 @@ pub fn run_supervised_sweep(cfg: &SweepConfig) -> Result<SweepOutput, HarnessErr
         pipe_trace_dir: cfg.pipe_trace.clone(),
         ..ObsPolicy::new()
     });
+    let cell_delay = cfg.cell_delay;
     let runner = move |job: &JobSpec, ctx: &RunContext| {
+        if let Some(delay) = cell_delay {
+            // Idle cooperatively before simulating, so chaos tests get a
+            // wide, interruptible mid-cell window.
+            let until = Instant::now() + delay;
+            while Instant::now() < until {
+                if let Some(reason) = ctx.cancel.should_abort() {
+                    return Err(crisp_core::CrispError::Simulation(match reason {
+                        AbortReason::Cancelled => SimError::Cancelled {
+                            cycle: 0,
+                            retired: 0,
+                            total: 0,
+                        },
+                        AbortReason::DeadlineExceeded => SimError::DeadlineExceeded {
+                            cycle: 0,
+                            retired: 0,
+                            total: 0,
+                        },
+                    }));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
         if ctx.attempt == 1 && chaos.panic_once.iter().any(|s| job.id.contains(s.as_str())) {
             panic!("injected fault: chaos panic for {}", job.id);
         }
@@ -215,7 +251,7 @@ pub fn run_supervised_sweep(cfg: &SweepConfig) -> Result<SweepOutput, HarnessErr
     let report = run_sweep(&jobs, &opts, &runner)?;
 
     let mut rendered = String::new();
-    if !report.crashed {
+    if !report.crashed && !report.interrupted {
         for target in &cfg.targets {
             let body = if target == "table1" {
                 table1()

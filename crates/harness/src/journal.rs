@@ -11,7 +11,7 @@ use crate::class::FailureClass;
 use crate::json::{parse, Value};
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
-use std::io::Write;
+use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// Journal format version, bumped on incompatible record changes.
@@ -270,6 +270,14 @@ pub enum AppendStatus {
 }
 
 /// Append-only, fsync-per-record journal writer.
+///
+/// Append I/O failures (disk full, short writes) are *contained*: the
+/// journal rolls the file back to the last durably-written record
+/// boundary and returns a typed [`JournalError`], so a later append can
+/// succeed and the manifest never accumulates torn interior lines. The
+/// supervisor treats such an error as degrading the affected cell, not
+/// as fatal to the sweep — mirroring the store's warn-and-continue
+/// policy.
 #[derive(Debug)]
 pub struct Journal {
     file: File,
@@ -277,6 +285,13 @@ pub struct Journal {
     records: usize,
     crash_after: Option<usize>,
     crashed: bool,
+    /// Byte offset of the end of the last cleanly written record; the
+    /// rollback target after a failed or injected-failure append.
+    clean_len: u64,
+    /// Remaining injected append failures (test hook).
+    fail_next: usize,
+    /// Appends that failed (injected or real) since the journal opened.
+    write_failures: usize,
 }
 
 impl Journal {
@@ -292,26 +307,53 @@ impl Journal {
             records: 0,
             crash_after: None,
             crashed: false,
+            clean_len: 0,
+            fail_next: 0,
+            write_failures: 0,
         };
         j.write_line(&encode_header(header))?;
         Ok(j)
     }
 
     /// Opens an existing manifest for appending (resume).
+    ///
+    /// If the file ends in a torn line (a crash mid-write leaves a
+    /// fragment with no trailing newline), a newline is appended first so
+    /// new records cannot glue onto the fragment and corrupt themselves;
+    /// the isolated fragment stays behind as one skipped line for the
+    /// tolerant loader.
     pub fn open_append(path: &Path) -> Result<Journal, JournalError> {
-        let file = OpenOptions::new()
+        let io = |e: std::io::Error, what: &str| JournalError {
+            path: path.to_path_buf(),
+            message: format!("{what} failed: {e}"),
+        };
+        let mut file = OpenOptions::new()
+            .read(true)
             .append(true)
             .open(path)
-            .map_err(|e| JournalError {
-                path: path.to_path_buf(),
-                message: format!("open for append failed: {e}"),
-            })?;
+            .map_err(|e| io(e, "open for append"))?;
+        let mut len = file.metadata().map_err(|e| io(e, "stat"))?.len();
+        if len > 0 {
+            let mut last = [0u8; 1];
+            file.seek(SeekFrom::Start(len - 1))
+                .and_then(|_| std::io::Read::read_exact(&mut file, &mut last))
+                .map_err(|e| io(e, "read tail"))?;
+            if last[0] != b'\n' {
+                file.write_all(b"\n")
+                    .and_then(|()| file.sync_data())
+                    .map_err(|e| io(e, "torn-tail repair"))?;
+                len += 1;
+            }
+        }
         Ok(Journal {
             file,
             path: path.to_path_buf(),
             records: 0,
             crash_after: None,
             crashed: false,
+            clean_len: len,
+            fail_next: 0,
+            write_failures: 0,
         })
     }
 
@@ -327,7 +369,28 @@ impl Journal {
         self.crashed
     }
 
+    /// Arms the injected-I/O-failure hook: the next `k` attempt-record
+    /// appends fail like a short write on a full disk (partial bytes hit
+    /// the file, then an error), after which the journal recovers. Unlike
+    /// [`Journal::crash_after_records`] the journal keeps accepting
+    /// records afterwards — this models a *transient* ENOSPC, not a dead
+    /// process.
+    pub fn fail_appends(&mut self, k: usize) {
+        self.fail_next = k;
+    }
+
+    /// How many appends have failed (injected or real) since opening.
+    pub fn write_failures(&self) -> usize {
+        self.write_failures
+    }
+
     /// Appends one attempt record, fsync'd before returning.
+    ///
+    /// # Errors
+    ///
+    /// On an I/O failure the file is rolled back to the previous record
+    /// boundary and a typed [`JournalError`] is returned; the journal
+    /// stays usable for later appends.
     pub fn append(&mut self, rec: &AttemptRecord) -> Result<AppendStatus, JournalError> {
         if self.crashed {
             return Ok(AppendStatus::Crashed);
@@ -341,6 +404,17 @@ impl Journal {
             let _ = self.file.sync_data();
             self.crashed = true;
             return Ok(AppendStatus::Crashed);
+        }
+        if self.fail_next > 0 {
+            self.fail_next -= 1;
+            // Model a short write: part of the line lands, then ENOSPC.
+            let _ = self.file.write_all(&line.as_bytes()[..line.len() / 2]);
+            self.write_failures += 1;
+            self.rollback();
+            return Err(JournalError {
+                path: self.path.clone(),
+                message: "write failed: injected ENOSPC (short write)".into(),
+            });
         }
         self.write_line(&line)?;
         Ok(AppendStatus::Written)
@@ -359,15 +433,35 @@ impl Journal {
     }
 
     fn write_line(&mut self, line: &str) -> Result<(), JournalError> {
-        let io = |e: std::io::Error, what: &str| JournalError {
-            path: self.path.clone(),
-            message: format!("{what} failed: {e}"),
-        };
-        self.file
+        let result = self
+            .file
             .write_all(line.as_bytes())
             .and_then(|()| self.file.write_all(b"\n"))
-            .map_err(|e| io(e, "write"))?;
-        self.file.sync_data().map_err(|e| io(e, "fsync"))
+            .and_then(|()| self.file.sync_data());
+        match result {
+            Ok(()) => {
+                self.clean_len += line.len() as u64 + 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.write_failures += 1;
+                self.rollback();
+                Err(JournalError {
+                    path: self.path.clone(),
+                    message: format!("write failed: {e}"),
+                })
+            }
+        }
+    }
+
+    /// Best-effort truncation back to the last record boundary after a
+    /// failed append, so a partial line never sits in the middle of the
+    /// manifest. For `O_APPEND` files the seek is a no-op on writes
+    /// (harmless); for created files it keeps the cursor off a hole.
+    fn rollback(&mut self) {
+        let _ = self.file.set_len(self.clean_len);
+        let _ = self.file.seek(SeekFrom::Start(self.clean_len));
+        let _ = self.file.sync_data();
     }
 }
 
@@ -684,6 +778,66 @@ mod tests {
             AppendStatus::Crashed
         );
         assert_eq!(j.append_progress(&beat).unwrap(), AppendStatus::Crashed);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_append_failure_rolls_back_and_recovers() {
+        let dir = std::env::temp_dir().join("crisp-harness-journal-enospc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let header = SweepHeader {
+            spec: "s".into(),
+            jobs: 2,
+        };
+        let mut j = Journal::create(&path, &header).unwrap();
+        j.append(&ok_rec("a", 1, vec![1.0])).unwrap();
+        j.fail_appends(2);
+        assert!(j.append(&ok_rec("b", 1, vec![2.0])).is_err());
+        assert!(j.append(&ok_rec("b", 2, vec![2.0])).is_err());
+        assert_eq!(j.write_failures(), 2);
+        // The disk "recovers": the next append lands cleanly.
+        assert_eq!(
+            j.append(&ok_rec("b", 3, vec![2.0])).unwrap(),
+            AppendStatus::Written
+        );
+        drop(j);
+
+        let m = load_manifest(&path).unwrap();
+        assert_eq!(m.skipped_lines, 0, "rollback leaves no torn interior lines");
+        assert_eq!(m.records, 2);
+        assert_eq!(m.completed.get("b").map(|c| c.2), Some(3));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_append_isolates_a_torn_tail() {
+        let dir = std::env::temp_dir().join("crisp-harness-journal-torn-open");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let header = SweepHeader {
+            spec: "s".into(),
+            jobs: 2,
+        };
+        let mut j = Journal::create(&path, &header).unwrap();
+        j.append(&ok_rec("a", 1, vec![1.0])).unwrap();
+        drop(j);
+        // Simulate a SIGKILL mid-write: a fragment with no newline.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"v\":2,\"kind\":\"att").unwrap();
+        }
+        let mut j = Journal::open_append(&path).unwrap();
+        j.append(&ok_rec("b", 1, vec![2.0])).unwrap();
+        drop(j);
+
+        let m = load_manifest(&path).unwrap();
+        assert_eq!(m.skipped_lines, 1, "the fragment is one isolated line");
+        assert!(m.completed.contains_key("a"));
+        assert!(
+            m.completed.contains_key("b"),
+            "the post-repair record did not glue onto the fragment"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

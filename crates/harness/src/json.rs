@@ -136,21 +136,112 @@ fn encode_str(s: &str, out: &mut String) {
     out.push('"');
 }
 
-/// Parses one JSON document (trailing whitespace allowed, nothing else).
+/// Default nesting-depth ceiling for [`parse`]: deep enough for any
+/// document this workspace writes, shallow enough that the recursive
+/// parser can never blow the stack on adversarial input.
+pub const DEFAULT_MAX_DEPTH: usize = 128;
+
+/// Input bounds for [`parse_with_limits`] — the knobs the network-facing
+/// service tightens for untrusted payloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum array/object nesting depth.
+    pub max_depth: usize,
+    /// Maximum input size in bytes (`None` = unbounded; trusted local
+    /// files only).
+    pub max_bytes: Option<usize>,
+}
+
+impl Default for ParseLimits {
+    fn default() -> ParseLimits {
+        ParseLimits {
+            max_depth: DEFAULT_MAX_DEPTH,
+            max_bytes: None,
+        }
+    }
+}
+
+/// Why a document was rejected. `TooDeep`/`TooLarge` are resource-bound
+/// violations (the document may be well-formed JSON); `Syntax` is not.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The input exceeds the configured byte limit (checked up front, so
+    /// oversized payloads cost nothing to reject).
+    TooLarge {
+        /// Input size.
+        bytes: usize,
+        /// The configured ceiling.
+        limit: usize,
+    },
+    /// Nesting exceeds the configured depth limit.
+    TooDeep {
+        /// The configured ceiling.
+        limit: usize,
+        /// Byte offset of the bracket that crossed it.
+        at: usize,
+    },
+    /// Malformed JSON.
+    Syntax {
+        /// Byte offset of the first error.
+        at: usize,
+        /// What was wrong there.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::TooLarge { bytes, limit } => {
+                write!(f, "document too large ({bytes} bytes, limit {limit})")
+            }
+            ParseError::TooDeep { limit, at } => {
+                write!(f, "nesting deeper than {limit} at byte {at}")
+            }
+            ParseError::Syntax { at, message } => write!(f, "{message} at byte {at}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else)
+/// under [`ParseLimits::default`] — bounded recursion, unbounded size.
 ///
 /// # Errors
 ///
-/// Returns a message naming the byte offset of the first syntax error.
-pub fn parse(input: &str) -> Result<Value, String> {
+/// A [`ParseError`] naming the byte offset of the first problem.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    parse_with_limits(input, ParseLimits::default())
+}
+
+/// Parses one JSON document under explicit resource limits — the entry
+/// point for untrusted network input.
+///
+/// # Errors
+///
+/// [`ParseError::TooLarge`]/[`ParseError::TooDeep`] when a limit is
+/// exceeded, [`ParseError::Syntax`] for malformed documents.
+pub fn parse_with_limits(input: &str, limits: ParseLimits) -> Result<Value, ParseError> {
+    if let Some(max) = limits.max_bytes {
+        if input.len() > max {
+            return Err(ParseError::TooLarge {
+                bytes: input.len(),
+                limit: max,
+            });
+        }
+    }
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
+        max_depth: limits.max_depth,
     };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(format!("trailing garbage at byte {}", p.pos));
+        return Err(p.fail("trailing garbage"));
     }
     Ok(v)
 }
@@ -158,9 +249,29 @@ pub fn parse(input: &str) -> Result<Value, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
+    max_depth: usize,
 }
 
 impl<'a> Parser<'a> {
+    fn fail(&self, message: impl Into<String>) -> ParseError {
+        ParseError::Syntax {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            return Err(ParseError::TooDeep {
+                limit: self.max_depth,
+                at: self.pos,
+            });
+        }
+        Ok(())
+    }
+
     fn skip_ws(&mut self) {
         while self
             .bytes
@@ -175,25 +286,25 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+            Err(self.fail(format!("expected `{}`", b as char)))
         }
     }
 
-    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, ParseError> {
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(v)
         } else {
-            Err(format!("bad literal at byte {}", self.pos))
+            Err(self.fail("bad literal"))
         }
     }
 
-    fn value(&mut self) -> Result<Value, String> {
+    fn value(&mut self) -> Result<Value, ParseError> {
         match self.peek() {
             Some(b'n') => self.literal("null", Value::Null),
             Some(b't') => self.literal("true", Value::Bool(true)),
@@ -202,11 +313,11 @@ impl<'a> Parser<'a> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => Err(format!("unexpected input at byte {}", self.pos)),
+            _ => Err(self.fail("unexpected input")),
         }
     }
 
-    fn number(&mut self) -> Result<Value, String> {
+    fn number(&mut self) -> Result<Value, ParseError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -220,15 +331,18 @@ impl<'a> Parser<'a> {
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
         text.parse::<f64>()
             .map(Value::Num)
-            .map_err(|_| format!("bad number `{text}` at byte {start}"))
+            .map_err(|_| ParseError::Syntax {
+                at: start,
+                message: format!("bad number `{text}`"),
+            })
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    fn string(&mut self) -> Result<String, ParseError> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
-                None => return Err("unterminated string".into()),
+                None => return Err(self.fail("unterminated string")),
                 Some(b'"') => {
                     self.pos += 1;
                     return Ok(out);
@@ -248,19 +362,20 @@ impl<'a> Parser<'a> {
                             let hex = self
                                 .bytes
                                 .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
+                                .ok_or_else(|| self.fail("truncated \\u escape"))?;
                             let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.fail("bad \\u escape"))?,
                                 16,
                             )
-                            .map_err(|_| "bad \\u escape")?;
+                            .map_err(|_| self.fail("bad \\u escape"))?;
                             // Surrogate pairs are not needed by the journal
                             // (encode_str never emits them); map lone
                             // surrogates to the replacement character.
                             out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                             self.pos += 4;
                         }
-                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                        _ => return Err(self.fail("bad escape")),
                     }
                     self.pos += 1;
                 }
@@ -276,12 +391,14 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn array(&mut self) -> Result<Value, String> {
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.enter()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Arr(items));
         }
         loop {
@@ -292,19 +409,22 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Arr(items));
                 }
-                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+                _ => return Err(self.fail("expected `,` or `]`")),
             }
         }
     }
 
-    fn object(&mut self) -> Result<Value, String> {
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.enter()?;
         self.expect(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Obj(pairs));
         }
         loop {
@@ -320,9 +440,10 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Obj(pairs));
                 }
-                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+                _ => return Err(self.fail("expected `,` or `}`")),
             }
         }
     }
@@ -418,6 +539,60 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "{bad:?} should not parse");
         }
+    }
+
+    #[test]
+    fn deeply_nested_input_is_rejected_not_overflowed() {
+        // 10k open brackets would blow the stack without the depth guard.
+        let hostile = "[".repeat(10_000);
+        match parse(&hostile) {
+            Err(ParseError::TooDeep { limit, .. }) => assert_eq!(limit, DEFAULT_MAX_DEPTH),
+            other => panic!("expected TooDeep, got {other:?}"),
+        }
+        let hostile_obj = "{\"k\":".repeat(10_000);
+        assert!(matches!(
+            parse(&hostile_obj),
+            Err(ParseError::TooDeep { .. })
+        ));
+    }
+
+    #[test]
+    fn depth_exactly_at_limit_parses() {
+        let n = 5;
+        let doc = format!("{}{}{}", "[".repeat(n), "1", "]".repeat(n));
+        let limits = ParseLimits {
+            max_depth: n,
+            max_bytes: None,
+        };
+        assert!(parse_with_limits(&doc, limits).is_ok());
+        let deeper = format!("{}{}{}", "[".repeat(n + 1), "1", "]".repeat(n + 1));
+        assert!(matches!(
+            parse_with_limits(&deeper, limits),
+            Err(ParseError::TooDeep { limit, .. }) if limit == n
+        ));
+    }
+
+    #[test]
+    fn oversized_input_is_rejected_before_parsing() {
+        let limits = ParseLimits {
+            max_depth: DEFAULT_MAX_DEPTH,
+            max_bytes: Some(8),
+        };
+        assert!(parse_with_limits("[1,2]", limits).is_ok());
+        match parse_with_limits("[1,2,3,4,5]", limits) {
+            Err(ParseError::TooLarge { bytes, limit }) => {
+                assert_eq!(bytes, 11);
+                assert_eq!(limit, 8);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_display_their_position() {
+        let err = parse("[1,]").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { .. }));
+        assert!(err.to_string().contains("at byte"), "{err}");
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub use journal::{
     fnv1a64, load_manifest, AttemptOutcome, AttemptRecord, JournalError, ManifestSummary,
     ProgressRecord, SweepHeader,
 };
+pub use json::{ParseError, ParseLimits};
 pub use retry::RetryPolicy;
 pub use store::{cell_key, cell_key_material, ResultStoreConfig, RESULT_SCHEMA};
 pub use supervisor::{

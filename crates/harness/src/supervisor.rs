@@ -120,6 +120,16 @@ pub struct SupervisorOptions {
     /// Store and lock failures never fail a sweep — they degrade to
     /// stderr warnings and uncached computation.
     pub store: Option<ResultStoreConfig>,
+    /// Sweep-wide stop token for graceful drain (SIGTERM/SIGINT): when
+    /// cancelled, workers stop dequeuing, every in-flight attempt's
+    /// cancel token trips (they share this token's flag via
+    /// [`CancelToken::linked`]), interrupted cells are left *unrecorded*
+    /// so `--resume` re-runs them, and the pool exits promptly. `None`
+    /// disables external stop.
+    pub stop: Option<CancelToken>,
+    /// Test hook: the first `n` attempt-record appends fail like a
+    /// transient ENOSPC (see [`Journal::fail_appends`]).
+    pub fail_journal_appends: usize,
 }
 
 impl Default for SupervisorOptions {
@@ -135,6 +145,8 @@ impl Default for SupervisorOptions {
             progress: false,
             heartbeat: None,
             store: None,
+            stop: None,
+            fail_journal_appends: 0,
         }
     }
 }
@@ -189,6 +201,14 @@ pub struct SweepReport {
     pub store_computed: usize,
     /// Corrupt store entries quarantined (then re-simulated) this sweep.
     pub store_quarantined: usize,
+    /// Whether a stop token drained the pool before every job reached a
+    /// final outcome (the sweep is incomplete and composes with
+    /// `--resume`, like a crash but with a clean manifest).
+    pub interrupted: bool,
+    /// Journal appends that failed with an I/O error and were rolled
+    /// back (the affected records are lost from the manifest but the
+    /// sweep continued — durability degraded, results intact).
+    pub journal_write_failures: usize,
 }
 
 impl SweepReport {
@@ -473,6 +493,9 @@ pub fn run_sweep(
             if let Some(n) = opts.crash_after_records {
                 j.crash_after_records(n);
             }
+            if opts.fail_journal_appends > 0 {
+                j.fail_appends(opts.fail_journal_appends);
+            }
             Some(Mutex::new(j))
         }
         None => None,
@@ -526,7 +549,12 @@ pub fn run_sweep(
     });
 
     let outcomes = outcomes.into_inner().expect("workers exited cleanly");
+    let journal_write_failures = journal
+        .as_ref()
+        .map_or(0, |j| j.lock().expect("journal lock").write_failures());
+    let stop_cancelled = opts.stop.as_ref().is_some_and(CancelToken::is_cancelled);
     Ok(SweepReport {
+        interrupted: stop_cancelled && outcomes.len() < jobs.len(),
         outcomes,
         crashed: crashed.load(Ordering::SeqCst),
         resumed,
@@ -534,6 +562,7 @@ pub fn run_sweep(
         store_hits: store_counters.hits.load(Ordering::SeqCst),
         store_computed: store_counters.computed.load(Ordering::SeqCst),
         store_quarantined: store_counters.quarantined.load(Ordering::SeqCst),
+        journal_write_failures,
     })
 }
 
@@ -611,7 +640,10 @@ fn monitor_loop(
 ) {
     let Some(every) = opts.heartbeat else { return };
     let mut next = Instant::now() + every;
-    while remaining.load(Ordering::SeqCst) > 0 && !crashed.load(Ordering::SeqCst) {
+    while remaining.load(Ordering::SeqCst) > 0
+        && !crashed.load(Ordering::SeqCst)
+        && !opts.stop.as_ref().is_some_and(CancelToken::is_cancelled)
+    {
         // Short naps keep shutdown prompt even for long cadences.
         std::thread::sleep(every.min(Duration::from_millis(2)));
         if Instant::now() < next {
@@ -674,6 +706,12 @@ fn worker_loop(
     });
     loop {
         if crashed.load(Ordering::SeqCst) {
+            return;
+        }
+        // Graceful drain: once the stop token trips, stop dequeuing and
+        // let the pool wind down; queued jobs stay un-final so a resume
+        // picks them up.
+        if opts.stop.as_ref().is_some_and(CancelToken::is_cancelled) {
             return;
         }
         // Pick the first pending job whose backoff delay has elapsed.
@@ -756,9 +794,13 @@ fn worker_loop(
             }
         }
 
-        let cancel = match opts.deadline {
-            Some(d) => CancelToken::with_deadline(d),
-            None => CancelToken::new(),
+        // Each attempt's token carries its own deadline but shares the
+        // sweep-wide stop flag, so SIGTERM reaches in-flight simulations
+        // at their next cooperative poll point.
+        let cancel = match (&opts.stop, opts.deadline) {
+            (Some(stop), d) => stop.linked(d),
+            (None, Some(d)) => CancelToken::with_deadline(d),
+            (None, None) => CancelToken::new(),
         };
         let ctx = RunContext {
             attempt,
@@ -856,6 +898,15 @@ fn worker_loop(
                 remaining.fetch_sub(1, Ordering::SeqCst);
             }
             Err((class, error, detail)) => {
+                if class == FailureClass::Cancelled
+                    && opts.stop.as_ref().is_some_and(CancelToken::is_cancelled)
+                {
+                    // Drained, not broken: record no final outcome (the
+                    // journaled fail line never outranks a later ok), so
+                    // a resume re-runs the cell with a fresh budget.
+                    drop(cell_lock.take());
+                    return;
+                }
                 if class.retryable() && attempt < opts.retry.max_attempts() {
                     let delay = opts.retry.delay(attempt, job.fingerprint64());
                     if opts.progress {
@@ -1421,6 +1472,94 @@ mod tests {
         // And the repair is durable: the next sweep hits.
         let warm = run_sweep(&js, &opts, &runner).unwrap();
         assert_eq!((warm.store_hits, warm.store_quarantined), (1, 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stop_token_drains_the_pool_and_resume_finishes() {
+        let dir = std::env::temp_dir().join("crisp-harness-supervisor-drain");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let js = jobs(&["slow", "trigger"]);
+        let stop = CancelToken::new();
+
+        let opts = SupervisorOptions {
+            workers: 2,
+            manifest: Some(path.clone()),
+            sweep_spec: "drain-sweep".into(),
+            stop: Some(stop.clone()),
+            ..SupervisorOptions::default()
+        };
+        let stop_for_runner = stop.clone();
+        let report = run_sweep(&js, &opts, &move |job, ctx| {
+            if job.id == "trigger" {
+                // Stand-in for SIGTERM arriving mid-sweep.
+                stop_for_runner.cancel();
+                return Ok(vec![7.0]);
+            }
+            // Cooperative poll loop, like the engine's cancel path.
+            loop {
+                if ctx.cancel.should_abort().is_some() {
+                    return Err(CrispError::Simulation(crisp_sim::SimError::Cancelled {
+                        cycle: 3,
+                        retired: 1,
+                        total: 10,
+                    }));
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        })
+        .unwrap();
+        assert!(report.interrupted, "drained before `slow` finished");
+        assert!(!report.crashed);
+        assert!(
+            !report.outcomes.contains_key("slow"),
+            "an interrupted cell gets no final outcome"
+        );
+        assert_eq!(report.payload("trigger"), Some(&[7.0][..]));
+
+        // Resume without a stop request: the survivor restores, the
+        // interrupted cell re-runs with a fresh budget.
+        let opts = SupervisorOptions {
+            manifest: Some(path.clone()),
+            sweep_spec: "drain-sweep".into(),
+            resume: true,
+            ..SupervisorOptions::default()
+        };
+        let resumed = run_sweep(&js, &opts, &|_job, _ctx| Ok(vec![3.0])).unwrap();
+        assert!(!resumed.interrupted);
+        assert_eq!(resumed.completed(), 2);
+        assert_eq!(resumed.resumed, 1);
+        assert_eq!(
+            resumed.skipped_manifest_lines, 0,
+            "a drain leaves a clean manifest, unlike a crash"
+        );
+        assert_eq!(resumed.payload("slow"), Some(&[3.0][..]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_append_failures_degrade_durability_not_the_sweep() {
+        let dir = std::env::temp_dir().join("crisp-harness-supervisor-enospc");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let js = jobs(&["a", "b", "c"]);
+        let opts = SupervisorOptions {
+            manifest: Some(path.clone()),
+            sweep_spec: "enospc-sweep".into(),
+            fail_journal_appends: 2,
+            ..SupervisorOptions::default()
+        };
+        let report = run_sweep(&js, &opts, &|job, _ctx| Ok(vec![job.id.len() as f64])).unwrap();
+        assert_eq!(report.completed(), 3, "I/O failures never fail a job");
+        assert!(!report.crashed);
+        assert_eq!(report.journal_write_failures, 2);
+
+        let m = load_manifest(&path).unwrap();
+        assert_eq!(m.skipped_lines, 0, "failed appends roll back cleanly");
+        assert_eq!(m.completed.len(), 1, "only the surviving record landed");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,1020 @@
+//! The sweep daemon: accept loop, bounded admission queue, serial job
+//! executor, graceful drain, crash recovery.
+//!
+//! ## Lifecycle state machine
+//!
+//! ```text
+//!            POST /jobs            executor picks it up
+//!  (client) ───────────► QUEUED ────────────────────► RUNNING
+//!                          ▲                            │
+//!        restart: recover()│          result.json       ├─► DONE / FAILED
+//!        re-queues every   │          (atomic write)    │
+//!        admitted job with │                            │ SIGTERM: cells
+//!        no result.json ───┘◄───────────────────────────┘ abort, job stays
+//!                                                         admitted → re-queued
+//!                                                         on next start
+//! ```
+//!
+//! Robustness invariants:
+//!
+//! - a job is *admitted* exactly when its `request.json` is durably on
+//!   disk — the 202 response is sent only after that write, so an
+//!   acknowledged job can never be lost by a crash;
+//! - the queue is bounded: overflow is refused with 429 + `Retry-After`
+//!   *before* any disk write, so backpressure costs nothing;
+//! - job ids are content-addressed (FNV-1a over the canonical cell
+//!   set), so duplicate submissions — including a client retrying an
+//!   acknowledged submit after a crash — coalesce instead of running
+//!   twice;
+//! - each job's sweep journals to its own `run.jsonl` and publishes
+//!   cells to the shared store, so after SIGKILL the resumed sweep
+//!   recomputes only what was in flight and re-serves the rest from
+//!   the store: each unique cell is simulated at most once.
+
+use crate::api::{error_body, JobState, SubmitRequest};
+use crate::http::{read_request, write_response, HttpLimits, Request};
+use crate::registry::{JobRecord, Registry};
+use crisp_harness::json::Value;
+use crisp_harness::load_manifest;
+use crisp_sim::CancelToken;
+use crisp_store::{fnv1a128, key_hex, LockOptions, Store};
+use std::collections::VecDeque;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Default bound on jobs admitted but not yet finished.
+pub const DEFAULT_QUEUE_CAP: usize = 16;
+
+/// A validated, canonicalized submission — what the planner returns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobPlan {
+    /// The submission with defaults filled in (what gets persisted).
+    pub request: SubmitRequest,
+    /// Sweep spec string (the manifest header's identity).
+    pub spec: String,
+    /// Store key of every cell in the job, in catalog order.
+    pub cells: Vec<u128>,
+}
+
+/// Turns a submission into a plan, or a one-line 400 reason.
+pub type PlanFn<'a> = dyn Fn(&SubmitRequest) -> Result<JobPlan, String> + Send + Sync + 'a;
+
+/// Everything an executor needs to run (or resume) one job's sweep.
+#[derive(Clone, Debug)]
+pub struct ExecCtx {
+    /// The job's manifest path inside its registry directory.
+    pub manifest: PathBuf,
+    /// Whether a previous attempt left a manifest to resume from.
+    pub resume: bool,
+    /// The shared result store directory.
+    pub store: PathBuf,
+    /// Drain token: executors must wire this into the supervisor so
+    /// SIGTERM reaches in-flight cells.
+    pub stop: CancelToken,
+}
+
+/// What one job's sweep produced.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExecResult {
+    /// Rendered report tables (byte-identical across resumes).
+    pub rendered: String,
+    /// Cells that completed.
+    pub completed: usize,
+    /// Cells that failed permanently.
+    pub failed: usize,
+    /// The sweep was drained before finishing — the job must stay
+    /// incomplete and be re-queued on the next start.
+    pub interrupted: bool,
+    /// Cells served from the store.
+    pub store_hits: usize,
+    /// Cells simulated and published.
+    pub store_computed: usize,
+}
+
+/// Runs one job's sweep, or returns a one-line executor failure.
+pub type ExecFn<'a> = dyn Fn(&JobRecord, &ExecCtx) -> Result<ExecResult, String> + Send + Sync + 'a;
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Bind address; port 0 picks a free port (the actual endpoint is
+    /// written to `<data>/endpoint`).
+    pub addr: String,
+    /// Data directory: job registry, endpoint file, exclusivity lock.
+    pub data_dir: PathBuf,
+    /// Result store directory (defaults to `<data>/store` when `None`).
+    pub store_dir: Option<PathBuf>,
+    /// Maximum admitted-but-unfinished jobs before 429.
+    pub queue_cap: usize,
+    /// Maximum concurrent connections before 503.
+    pub max_connections: usize,
+    /// Request head/body size limits.
+    pub limits: HttpLimits,
+    /// Per-connection read/write timeout.
+    pub io_timeout: Duration,
+    /// Value advertised in `Retry-After` on 429/503.
+    pub retry_after: Duration,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            addr: "127.0.0.1:0".to_string(),
+            data_dir: PathBuf::from("crisp-serve-data"),
+            store_dir: None,
+            queue_cap: DEFAULT_QUEUE_CAP,
+            max_connections: 32,
+            limits: HttpLimits::default(),
+            io_timeout: Duration::from_secs(5),
+            retry_after: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Job-id derivation: content-addressed over the canonical cell set, so
+/// two submissions describing the same work collide on purpose.
+pub fn job_id(spec: &str, cells: &[u128]) -> u128 {
+    let mut material = format!("crisp-serve-job-v1\nspec={spec}\ncells=");
+    for key in cells {
+        material.push_str(&key_hex(*key));
+        material.push(',');
+    }
+    fnv1a128(material.as_bytes())
+}
+
+/// Shared mutable daemon state.
+struct State {
+    registry: Registry,
+    queue: Mutex<VecDeque<u128>>,
+    running: Mutex<Option<u128>>,
+    admitted_total: AtomicUsize,
+    rejected_busy: AtomicUsize,
+    connections: AtomicUsize,
+    worker_parked: AtomicBool,
+    started: Instant,
+    store_dir: PathBuf,
+}
+
+impl State {
+    fn queue_depth(&self) -> usize {
+        self.queue.lock().expect("queue lock").len()
+            + usize::from(self.running.lock().expect("running lock").is_some())
+    }
+
+    fn job_state(&self, id: u128) -> Option<JobState> {
+        if self.registry.has_result(id) {
+            let failed = self
+                .registry
+                .load_result(id)
+                .and_then(|r| r.get("failed").and_then(Value::as_u64))
+                .unwrap_or(0);
+            return Some(if failed > 0 {
+                JobState::Failed
+            } else {
+                JobState::Done
+            });
+        }
+        if *self.running.lock().expect("running lock") == Some(id) {
+            return Some(JobState::Running);
+        }
+        if self.registry.is_admitted(id) {
+            // Queued in memory, or admitted pre-crash and awaiting
+            // recovery — either way: it will run.
+            return Some(JobState::Queued);
+        }
+        None
+    }
+}
+
+/// Runs the daemon until `shutdown` is cancelled (graceful drain) —
+/// normally wired to [`crate::signal::watch`].
+///
+/// # Errors
+///
+/// Startup failures only (bind, lock, registry). Per-connection and
+/// per-job failures are handled in-protocol.
+pub fn run_daemon(
+    cfg: &DaemonConfig,
+    plan: &PlanFn<'_>,
+    exec: &ExecFn<'_>,
+    shutdown: &CancelToken,
+) -> Result<(), String> {
+    std::fs::create_dir_all(&cfg.data_dir)
+        .map_err(|e| format!("create {}: {e}", cfg.data_dir.display()))?;
+    // One daemon per data directory: the registry and queue assume a
+    // single writer. Dead holders (SIGKILL) are stolen immediately.
+    let lock_path = cfg.data_dir.join("daemon.lock");
+    let _lock = crisp_store::acquire(
+        &lock_path,
+        &LockOptions {
+            stale_after: Duration::from_secs(600),
+            poll: Duration::from_millis(20),
+            wait_timeout: Some(Duration::from_secs(2)),
+        },
+    )
+    .map_err(|e| format!("another daemon owns {}: {e}", cfg.data_dir.display()))?;
+
+    let registry = Registry::open(&cfg.data_dir)?;
+    let store_dir = cfg
+        .store_dir
+        .clone()
+        .unwrap_or_else(|| cfg.data_dir.join("store"));
+    Store::open(&store_dir).map_err(|e| format!("open store: {e}"))?;
+
+    // Crash recovery: every admitted job without a result re-queues in
+    // admission order before the listener opens, so a client polling a
+    // pre-crash job id immediately sees it queued.
+    let recovered = registry.recover();
+    let mut queue = VecDeque::new();
+    for rec in &recovered {
+        eprintln!(
+            "[crisp-serve] recovered incomplete job {} (seq {})",
+            key_hex(rec.id),
+            rec.seq
+        );
+        queue.push_back(rec.id);
+    }
+
+    let listener = TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("set_nonblocking: {e}"))?;
+    let endpoint = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?
+        .to_string();
+    std::fs::write(cfg.data_dir.join("endpoint"), &endpoint)
+        .map_err(|e| format!("write endpoint file: {e}"))?;
+    eprintln!(
+        "[crisp-serve] listening on {endpoint} (data {})",
+        cfg.data_dir.display()
+    );
+
+    let state = State {
+        registry,
+        queue: Mutex::new(queue),
+        running: Mutex::new(None),
+        admitted_total: AtomicUsize::new(recovered.len()),
+        rejected_busy: AtomicUsize::new(0),
+        connections: AtomicUsize::new(0),
+        worker_parked: AtomicBool::new(false),
+        started: Instant::now(),
+        store_dir,
+    };
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| worker_loop(&state, exec, shutdown));
+        loop {
+            let draining = shutdown.is_cancelled();
+            if draining && state.worker_parked.load(Ordering::SeqCst) {
+                // Drain complete: admission stopped, the executor has
+                // parked (in-flight work finished or checkpointed).
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if state.connections.load(Ordering::SeqCst) >= cfg.max_connections {
+                        refuse_connection(stream, cfg);
+                        continue;
+                    }
+                    state.connections.fetch_add(1, Ordering::SeqCst);
+                    let state = &state;
+                    scope.spawn(move || {
+                        handle_connection(stream, cfg, state, plan, shutdown);
+                        state.connections.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    eprintln!("[crisp-serve] accept failed: {e}");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    });
+    eprintln!("[crisp-serve] drained cleanly");
+    Ok(())
+}
+
+/// Serial job executor: pops admitted jobs in order and runs their
+/// sweeps. One job at a time keeps the simulator's worker pool the only
+/// parallelism knob and makes per-job manifests race-free.
+fn worker_loop(state: &State, exec: &ExecFn<'_>, shutdown: &CancelToken) {
+    loop {
+        let next = state.queue.lock().expect("queue lock").pop_front();
+        let Some(id) = next else {
+            if shutdown.is_cancelled() {
+                state.worker_parked.store(true, Ordering::SeqCst);
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        };
+        let Some(record) = state.registry.load(id) else {
+            eprintln!("[crisp-serve] job {} vanished from registry", key_hex(id));
+            continue;
+        };
+        *state.running.lock().expect("running lock") = Some(id);
+        let manifest = state.registry.manifest_path(id);
+        let ctx = ExecCtx {
+            resume: manifest.is_file(),
+            manifest,
+            store: state.store_dir.clone(),
+            stop: shutdown.clone(),
+        };
+        let result = exec(&record, &ctx);
+        *state.running.lock().expect("running lock") = None;
+        match result {
+            Ok(res) if res.interrupted => {
+                // Drained mid-job: leave it admitted-without-result so
+                // the next start recovers and resumes it.
+                eprintln!(
+                    "[crisp-serve] job {} interrupted by drain; will resume on restart",
+                    key_hex(id)
+                );
+            }
+            Ok(res) => {
+                let state_name = if res.failed > 0 {
+                    JobState::Failed
+                } else {
+                    JobState::Done
+                };
+                let doc = Value::Obj(vec![
+                    ("id".to_string(), Value::Str(key_hex(id))),
+                    ("state".to_string(), Value::Str(state_name.name().into())),
+                    ("completed".to_string(), Value::Num(res.completed as f64)),
+                    ("failed".to_string(), Value::Num(res.failed as f64)),
+                    ("store_hits".to_string(), Value::Num(res.store_hits as f64)),
+                    (
+                        "store_computed".to_string(),
+                        Value::Num(res.store_computed as f64),
+                    ),
+                    ("rendered".to_string(), Value::Str(res.rendered)),
+                ]);
+                if let Err(e) = state.registry.write_result(id, &doc) {
+                    eprintln!(
+                        "[crisp-serve] job {}: result write failed: {e}",
+                        key_hex(id)
+                    );
+                }
+            }
+            Err(e) => {
+                // Executor-level failure (supervisor error): record it
+                // as a failed result so clients stop polling.
+                let doc = Value::Obj(vec![
+                    ("id".to_string(), Value::Str(key_hex(id))),
+                    (
+                        "state".to_string(),
+                        Value::Str(JobState::Failed.name().into()),
+                    ),
+                    ("completed".to_string(), Value::Num(0.0)),
+                    ("failed".to_string(), Value::Num(record.cells.len() as f64)),
+                    ("error".to_string(), Value::Str(e.clone())),
+                    ("rendered".to_string(), Value::Str(String::new())),
+                ]);
+                eprintln!("[crisp-serve] job {} failed: {e}", key_hex(id));
+                if let Err(we) = state.registry.write_result(id, &doc) {
+                    eprintln!(
+                        "[crisp-serve] job {}: result write failed: {we}",
+                        key_hex(id)
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Over the connection cap: refuse without reading the request (the
+/// cheapest possible rejection; the client's backoff handles it).
+fn refuse_connection(mut stream: TcpStream, cfg: &DaemonConfig) {
+    let _ = stream.set_write_timeout(Some(cfg.io_timeout));
+    let _ = write_response(
+        &mut stream,
+        503,
+        "Service Unavailable",
+        &[format!("Retry-After: {}", cfg.retry_after.as_secs().max(1))],
+        &error_body("too many connections", "retry after backoff"),
+    );
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    cfg: &DaemonConfig,
+    state: &State,
+    plan: &PlanFn<'_>,
+    shutdown: &CancelToken,
+) {
+    let _ = stream.set_read_timeout(Some(cfg.io_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.io_timeout));
+    let request = match read_request(&mut stream, &cfg.limits) {
+        Ok(req) => req,
+        Err(e) => {
+            let _ = write_response(
+                &mut stream,
+                e.status(),
+                reason(e.status()),
+                &[],
+                &error_body("bad request", &e.message()),
+            );
+            return;
+        }
+    };
+    let (status, headers, body) = route(&request, cfg, state, plan, shutdown);
+    let _ = write_response(&mut stream, status, reason(status), &headers, &body);
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// Dispatches one request to `(status, extra headers, body)`.
+fn route(
+    req: &Request,
+    cfg: &DaemonConfig,
+    state: &State,
+    plan: &PlanFn<'_>,
+    shutdown: &CancelToken,
+) -> (u16, Vec<String>, String) {
+    let draining = shutdown.is_cancelled();
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (
+            200,
+            vec![],
+            Value::Obj(vec![("ok".to_string(), Value::Bool(true))]).encode(),
+        ),
+        ("GET", "/readyz") => {
+            let full = state.queue_depth() >= cfg.queue_cap;
+            if draining || full {
+                let why = if draining { "draining" } else { "queue full" };
+                (
+                    503,
+                    vec![retry_after_header(cfg)],
+                    error_body("not ready", why),
+                )
+            } else {
+                (
+                    200,
+                    vec![],
+                    Value::Obj(vec![("ready".to_string(), Value::Bool(true))]).encode(),
+                )
+            }
+        }
+        ("GET", "/stats") => (200, vec![], stats_body(cfg, state, draining)),
+        ("POST", "/jobs") => submit(req, cfg, state, plan, draining),
+        ("GET", path) => job_routes(path, state),
+        _ => (405, vec![], error_body("method not allowed", &req.method)),
+    }
+}
+
+fn retry_after_header(cfg: &DaemonConfig) -> String {
+    format!("Retry-After: {}", cfg.retry_after.as_secs().max(1))
+}
+
+fn stats_body(cfg: &DaemonConfig, state: &State, draining: bool) -> String {
+    let (admitted, finished) = state.registry.counts();
+    let mut pairs = vec![
+        (
+            "queue_depth".to_string(),
+            Value::Num(state.queue_depth() as f64),
+        ),
+        ("queue_cap".to_string(), Value::Num(cfg.queue_cap as f64)),
+        ("jobs_admitted".to_string(), Value::Num(admitted as f64)),
+        ("jobs_finished".to_string(), Value::Num(finished as f64)),
+        (
+            "admitted_total".to_string(),
+            Value::Num(state.admitted_total.load(Ordering::SeqCst) as f64),
+        ),
+        (
+            "rejected_busy".to_string(),
+            Value::Num(state.rejected_busy.load(Ordering::SeqCst) as f64),
+        ),
+        (
+            "connections".to_string(),
+            Value::Num(state.connections.load(Ordering::SeqCst) as f64),
+        ),
+        ("draining".to_string(), Value::Bool(draining)),
+        (
+            "uptime_ms".to_string(),
+            Value::Num(state.started.elapsed().as_millis() as f64),
+        ),
+    ];
+    if let Ok(store) = Store::open(&state.store_dir) {
+        if let Ok(s) = store.stats() {
+            pairs.push(("store_entries".to_string(), Value::Num(s.entries as f64)));
+            pairs.push(("store_bytes".to_string(), Value::Num(s.bytes as f64)));
+            pairs.push(("store_hits".to_string(), Value::Num(s.hits as f64)));
+            pairs.push((
+                "store_quarantined".to_string(),
+                Value::Num(s.quarantined as f64),
+            ));
+        }
+    }
+    Value::Obj(pairs).encode()
+}
+
+/// `POST /jobs`: validate → coalesce → admit (bounded) → 202.
+fn submit(
+    req: &Request,
+    cfg: &DaemonConfig,
+    state: &State,
+    plan: &PlanFn<'_>,
+    draining: bool,
+) -> (u16, Vec<String>, String) {
+    if draining {
+        return (
+            503,
+            vec![retry_after_header(cfg)],
+            error_body(
+                "draining",
+                "daemon is shutting down; resubmit after restart",
+            ),
+        );
+    }
+    let submission = match SubmitRequest::parse(&req.body, cfg.limits.max_body_bytes) {
+        Ok(s) => s,
+        Err(e) => return (400, vec![], error_body("invalid submission", &e)),
+    };
+    let planned = match plan(&submission) {
+        Ok(p) => p,
+        Err(e) => return (400, vec![], error_body("invalid submission", &e)),
+    };
+    if planned.cells.is_empty() {
+        return (
+            400,
+            vec![],
+            error_body("invalid submission", "plan contains no cells"),
+        );
+    }
+    let id = job_id(&planned.spec, &planned.cells);
+
+    // Idempotent coalescing: an already-known id maps onto the existing
+    // job in whatever state it is, with no second execution.
+    if let Some(existing) = state.job_state(id) {
+        let status = match existing {
+            JobState::Done | JobState::Failed => 200,
+            _ => 202,
+        };
+        return (
+            status,
+            vec![],
+            submit_body(id, existing, &planned, state, true),
+        );
+    }
+
+    // Admission control: bounded queue, refuse before any disk write.
+    {
+        let queue = state.queue.lock().expect("queue lock");
+        let depth =
+            queue.len() + usize::from(state.running.lock().expect("running lock").is_some());
+        if depth >= cfg.queue_cap {
+            state.rejected_busy.fetch_add(1, Ordering::SeqCst);
+            return (
+                429,
+                vec![retry_after_header(cfg)],
+                error_body(
+                    "queue full",
+                    &format!("{depth} jobs pending (cap {}); retry later", cfg.queue_cap),
+                ),
+            );
+        }
+    }
+    let record = JobRecord {
+        id,
+        seq: state.registry.next_seq(),
+        request: planned.request.clone(),
+        spec: planned.spec.clone(),
+        cells: planned.cells.clone(),
+    };
+    // Durability before acknowledgement: persist, then enqueue, then 202.
+    if let Err(e) = state.registry.persist(&record) {
+        return (500, vec![], error_body("admission failed", &e));
+    }
+    state.queue.lock().expect("queue lock").push_back(id);
+    state.admitted_total.fetch_add(1, Ordering::SeqCst);
+    (
+        202,
+        vec![],
+        submit_body(id, JobState::Queued, &planned, state, false),
+    )
+}
+
+fn submit_body(
+    id: u128,
+    job_state: JobState,
+    planned: &JobPlan,
+    state: &State,
+    coalesced: bool,
+) -> String {
+    // Warm-cell count: a cheap existence probe per cell (lookup-grade
+    // verification happens when the sweep actually serves them).
+    let warm = Store::open(&state.store_dir)
+        .map(|store| planned.cells.iter().filter(|&&k| store.contains(k)).count())
+        .unwrap_or(0);
+    Value::Obj(vec![
+        ("id".to_string(), Value::Str(key_hex(id))),
+        ("state".to_string(), Value::Str(job_state.name().into())),
+        ("cells".to_string(), Value::Num(planned.cells.len() as f64)),
+        ("warm_cells".to_string(), Value::Num(warm as f64)),
+        ("coalesced".to_string(), Value::Bool(coalesced)),
+    ])
+    .encode()
+}
+
+/// `GET /jobs/<id>` and `GET /jobs/<id>/result`.
+fn job_routes(path: &str, state: &State) -> (u16, Vec<String>, String) {
+    let Some(rest) = path.strip_prefix("/jobs/") else {
+        return (404, vec![], error_body("not found", path));
+    };
+    let (id_hex, want_result) = match rest.strip_suffix("/result") {
+        Some(prefix) => (prefix, true),
+        None => (rest, false),
+    };
+    let Ok(id) = u128::from_str_radix(id_hex, 16) else {
+        return (400, vec![], error_body("bad job id", id_hex));
+    };
+    let Some(job_state) = state.job_state(id) else {
+        return (404, vec![], error_body("unknown job", id_hex));
+    };
+    if want_result {
+        return match job_state {
+            JobState::Done | JobState::Failed => {
+                let doc = state
+                    .registry
+                    .load_result(id)
+                    .unwrap_or_else(|| Value::Obj(vec![]));
+                (200, vec![], doc.encode())
+            }
+            _ => (
+                202,
+                vec![],
+                Value::Obj(vec![
+                    ("id".to_string(), Value::Str(key_hex(id))),
+                    ("state".to_string(), Value::Str(job_state.name().into())),
+                ])
+                .encode(),
+            ),
+        };
+    }
+    // Status: include manifest-derived progress while running.
+    let mut pairs = vec![
+        ("id".to_string(), Value::Str(key_hex(id))),
+        ("state".to_string(), Value::Str(job_state.name().into())),
+    ];
+    if let Some(record) = state.registry.load(id) {
+        pairs.push(("cells".to_string(), Value::Num(record.cells.len() as f64)));
+    }
+    if job_state == JobState::Running {
+        if let Ok(m) = load_manifest(&state.registry.manifest_path(id)) {
+            pairs.push((
+                "cells_completed".to_string(),
+                Value::Num(m.completed.len() as f64),
+            ));
+        }
+    }
+    (200, vec![], Value::Obj(pairs).encode())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::sync::atomic::AtomicU32;
+
+    /// A toy planner: each target is one cell keyed by its name.
+    fn toy_plan(req: &SubmitRequest) -> Result<JobPlan, String> {
+        if req.scale != "tiny" {
+            return Err(format!("unknown scale `{}`", req.scale));
+        }
+        if req.targets.iter().any(|t| t == "bogus") {
+            return Err("unknown target `bogus`".to_string());
+        }
+        let mut targets = req.targets.clone();
+        targets.sort();
+        targets.dedup();
+        Ok(JobPlan {
+            spec: format!("toy targets=[{}]", targets.join(",")),
+            cells: targets.iter().map(|t| fnv1a128(t.as_bytes())).collect(),
+            request: SubmitRequest {
+                targets,
+                workloads: None,
+                scale: req.scale.clone(),
+            },
+        })
+    }
+
+    struct Daemon {
+        addr: String,
+        shutdown: CancelToken,
+        handle: Option<std::thread::JoinHandle<Result<(), String>>>,
+    }
+
+    impl Daemon {
+        fn spawn(dir: &std::path::Path, queue_cap: usize, exec_delay: Duration) -> Daemon {
+            Daemon::spawn_with_drain_lag(dir, queue_cap, exec_delay, Duration::ZERO)
+        }
+
+        /// `drain_lag` models checkpoint-flush time: how long the toy
+        /// executor keeps running after noticing the stop token. Tests
+        /// that probe draining behaviour need a non-zero window.
+        fn spawn_with_drain_lag(
+            dir: &std::path::Path,
+            queue_cap: usize,
+            exec_delay: Duration,
+            drain_lag: Duration,
+        ) -> Daemon {
+            // A restart over the same data dir would otherwise race
+            // against the stale endpoint file of the previous daemon.
+            let endpoint_file = dir.join("endpoint");
+            std::fs::remove_file(&endpoint_file).ok();
+            let shutdown = CancelToken::new();
+            let cfg = DaemonConfig {
+                data_dir: dir.to_path_buf(),
+                queue_cap,
+                ..DaemonConfig::default()
+            };
+            let token = shutdown.clone();
+            let handle = std::thread::spawn(move || {
+                let exec_calls = AtomicU32::new(0);
+                run_daemon(
+                    &cfg,
+                    &toy_plan,
+                    &move |record: &JobRecord, ctx: &ExecCtx| {
+                        exec_calls.fetch_add(1, Ordering::SeqCst);
+                        let until = Instant::now() + exec_delay;
+                        while Instant::now() < until {
+                            if ctx.stop.is_cancelled() {
+                                std::thread::sleep(drain_lag);
+                                return Ok(ExecResult {
+                                    interrupted: true,
+                                    ..ExecResult::default()
+                                });
+                            }
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Ok(ExecResult {
+                            rendered: format!("table for {}", key_hex(record.id)),
+                            completed: record.cells.len(),
+                            ..ExecResult::default()
+                        })
+                    },
+                    &token,
+                )
+            });
+            let deadline = Instant::now() + Duration::from_secs(5);
+            let addr = loop {
+                if let Ok(s) = std::fs::read_to_string(&endpoint_file) {
+                    if !s.is_empty() {
+                        break s;
+                    }
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "daemon never published its endpoint"
+                );
+                std::thread::sleep(Duration::from_millis(5));
+            };
+            Daemon {
+                addr,
+                shutdown,
+                handle: Some(handle),
+            }
+        }
+
+        fn request(&self, raw: &str) -> (u16, String) {
+            let mut stream = TcpStream::connect(&self.addr).expect("connect");
+            stream.write_all(raw.as_bytes()).unwrap();
+            let mut response = Vec::new();
+            stream.read_to_end(&mut response).unwrap();
+            let (status, _retry, body) = crate::http::read_response(&mut &response[..]).unwrap();
+            (status, String::from_utf8_lossy(&body).into_owned())
+        }
+
+        fn post_jobs(&self, body: &str) -> (u16, String) {
+            self.request(&format!(
+                "POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ))
+        }
+
+        fn get(&self, path: &str) -> (u16, String) {
+            self.request(&format!("GET {path} HTTP/1.1\r\n\r\n"))
+        }
+
+        fn drain(mut self) {
+            self.shutdown.cancel();
+            let result = self.handle.take().unwrap().join().expect("daemon thread");
+            assert_eq!(result, Ok(()), "drain must exit cleanly");
+        }
+    }
+
+    impl Drop for Daemon {
+        fn drop(&mut self) {
+            self.shutdown.cancel();
+            if let Some(h) = self.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("crisp-serve-daemon-{tag}"));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn wait_for_state(d: &Daemon, id: &str, want: &str) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let (status, body) = d.get(&format!("/jobs/{id}"));
+            assert_eq!(status, 200, "{body}");
+            if body.contains(&format!("\"state\":\"{want}\"")) {
+                return;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "job {id} never reached {want}: {body}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    fn extract_id(body: &str) -> String {
+        let v = crisp_harness::json::parse(body).unwrap();
+        v.get("id").unwrap().as_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn submit_poll_result_happy_path() {
+        let dir = temp_dir("happy");
+        let d = Daemon::spawn(&dir, 4, Duration::ZERO);
+        let (status, body) = d.get("/healthz");
+        assert_eq!((status, body.contains("true")), (200, true), "{body}");
+        assert_eq!(d.get("/readyz").0, 200);
+
+        let (status, body) = d.post_jobs("{\"targets\":[\"fig1\"],\"scale\":\"tiny\"}");
+        assert_eq!(status, 202, "{body}");
+        assert!(body.contains("\"cells\":1"), "{body}");
+        let id = extract_id(&body);
+        wait_for_state(&d, &id, "done");
+
+        let (status, body) = d.get(&format!("/jobs/{id}/result"));
+        assert_eq!(status, 200);
+        assert!(body.contains("table for"), "{body}");
+
+        let (status, body) = d.get("/stats");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"jobs_finished\":1"), "{body}");
+        d.drain();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_get_4xx() {
+        let dir = temp_dir("errors");
+        let d = Daemon::spawn(&dir, 4, Duration::ZERO);
+        assert_eq!(d.post_jobs("not json").0, 400);
+        assert_eq!(d.post_jobs("{\"targets\":[],\"scale\":\"tiny\"}").0, 400);
+        assert_eq!(
+            d.post_jobs("{\"targets\":[\"bogus\"],\"scale\":\"tiny\"}")
+                .0,
+            400
+        );
+        assert_eq!(
+            d.post_jobs("{\"targets\":[\"fig1\"],\"scale\":\"galactic\"}")
+                .0,
+            400
+        );
+        assert_eq!(d.get("/jobs/zzzz").0, 400);
+        assert_eq!(d.get(&format!("/jobs/{}", key_hex(7))).0, 404);
+        assert_eq!(d.get("/nope").0, 404);
+        assert_eq!(d.request("DELETE /jobs HTTP/1.1\r\n\r\n").0, 405);
+        assert_eq!(d.request("garbage\r\n\r\n").0, 400);
+        d.drain();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_submissions_coalesce_onto_one_job() {
+        let dir = temp_dir("idempotent");
+        let d = Daemon::spawn(&dir, 4, Duration::from_millis(100));
+        let (s1, b1) = d.post_jobs("{\"targets\":[\"fig1\",\"fig2\"],\"scale\":\"tiny\"}");
+        assert_eq!(s1, 202, "{b1}");
+        // Same work, different order: same id, no second execution.
+        let (s2, b2) = d.post_jobs("{\"targets\":[\"fig2\",\"fig1\"],\"scale\":\"tiny\"}");
+        assert!(s2 == 200 || s2 == 202, "{s2} {b2}");
+        assert_eq!(extract_id(&b1), extract_id(&b2));
+        assert!(b2.contains("\"coalesced\":true"), "{b2}");
+        let id = extract_id(&b1);
+        wait_for_state(&d, &id, "done");
+        // Resubmitting a finished job returns 200 immediately.
+        let (s3, b3) = d.post_jobs("{\"targets\":[\"fig1\",\"fig2\"],\"scale\":\"tiny\"}");
+        assert_eq!(s3, 200, "{b3}");
+        let (_, stats) = d.get("/stats");
+        assert!(stats.contains("\"admitted_total\":1"), "{stats}");
+        d.drain();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn full_queue_returns_429_with_retry_after_and_loses_nothing() {
+        let dir = temp_dir("backpressure");
+        let d = Daemon::spawn(&dir, 2, Duration::from_millis(120));
+        let (s1, b1) = d.post_jobs("{\"targets\":[\"a\"],\"scale\":\"tiny\"}");
+        let (s2, b2) = d.post_jobs("{\"targets\":[\"b\"],\"scale\":\"tiny\"}");
+        assert_eq!((s1, s2), (202, 202), "{b1} {b2}");
+        // Queue (cap 2) holds a running + a queued job: the third unique
+        // submission must be refused with backpressure.
+        let mut stream = TcpStream::connect(&d.addr).unwrap();
+        let body = "{\"targets\":[\"c\"],\"scale\":\"tiny\"}";
+        write!(
+            stream,
+            "POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).unwrap();
+        let (status, retry_after, resp) = crate::http::read_response(&mut &raw[..]).unwrap();
+        assert_eq!(status, 429, "{}", String::from_utf8_lossy(&resp));
+        assert!(retry_after.unwrap_or(0) >= 1, "429 must carry Retry-After");
+        assert_eq!(d.get("/readyz").0, 503, "full queue is not ready");
+
+        // The refused job was never admitted; the two admitted jobs both
+        // finish (nothing lost, nothing duplicated).
+        let (ida, idb) = (extract_id(&b1), extract_id(&b2));
+        wait_for_state(&d, &ida, "done");
+        wait_for_state(&d, &idb, "done");
+        let (_, stats) = d.get("/stats");
+        assert!(stats.contains("\"rejected_busy\":1"), "{stats}");
+        assert!(stats.contains("\"jobs_finished\":2"), "{stats}");
+        d.drain();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drain_interrupts_the_running_job_and_restart_recovers_it() {
+        let dir = temp_dir("drain-recover");
+        let d = Daemon::spawn_with_drain_lag(
+            &dir,
+            4,
+            Duration::from_millis(400),
+            Duration::from_millis(300),
+        );
+        let (status, body) = d.post_jobs("{\"targets\":[\"slow\"],\"scale\":\"tiny\"}");
+        assert_eq!(status, 202, "{body}");
+        let id = extract_id(&body);
+        wait_for_state(&d, &id, "running");
+        // Drain while the job is mid-execution: POSTs are refused, the
+        // executor aborts cooperatively, and the daemon exits 0.
+        d.shutdown.cancel();
+        std::thread::sleep(Duration::from_millis(10));
+        let (status, _) = d.post_jobs("{\"targets\":[\"other\"],\"scale\":\"tiny\"}");
+        assert_eq!(status, 503, "draining daemon must refuse admissions");
+        d.drain();
+
+        // Restart over the same data dir: the interrupted job recovers,
+        // resumes, and finishes under the same id.
+        let d2 = Daemon::spawn(&dir, 4, Duration::ZERO);
+        wait_for_state(&d2, &id, "done");
+        d2.drain();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn two_daemons_cannot_share_a_data_dir() {
+        let dir = temp_dir("exclusive");
+        let d = Daemon::spawn(&dir, 4, Duration::ZERO);
+        let cfg = DaemonConfig {
+            data_dir: dir.clone(),
+            ..DaemonConfig::default()
+        };
+        let err = run_daemon(
+            &cfg,
+            &toy_plan,
+            &|_: &JobRecord, _: &ExecCtx| Ok(ExecResult::default()),
+            &CancelToken::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("another daemon"), "{err}");
+        d.drain();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,397 @@
+//! A deliberately tiny HTTP/1.1 subset for the job API.
+//!
+//! Untrusted input rules: the request head is capped, the body is
+//! capped, `Content-Length` must parse, and every malformed shape maps
+//! to a typed [`HttpError`] with a 4xx status — the parser must never
+//! panic on arbitrary byte soup (property-tested in
+//! `tests/http_props.rs`). Responses always carry `Content-Length` and
+//! `Connection: close`: one request per connection keeps the state
+//! machine trivial and leaks nothing across clients.
+
+use std::io::{Read, Write};
+
+/// Size limits applied while reading one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HttpLimits {
+    /// Maximum bytes of request head (request line + headers).
+    pub max_head_bytes: usize,
+    /// Maximum bytes of request body.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> HttpLimits {
+        HttpLimits {
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// The request line or headers are malformed.
+    BadRequest(String),
+    /// The head exceeded [`HttpLimits::max_head_bytes`].
+    HeadersTooLarge {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The declared or received body exceeded
+    /// [`HttpLimits::max_body_bytes`].
+    BodyTooLarge {
+        /// The declared `Content-Length`.
+        length: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The socket's read timeout expired mid-request (slow client).
+    Timeout,
+    /// Any other I/O failure.
+    Io(String),
+}
+
+impl HttpError {
+    /// The HTTP status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::HeadersTooLarge { .. } => 431,
+            HttpError::BodyTooLarge { .. } => 413,
+            HttpError::Timeout => 408,
+            HttpError::Io(_) => 400,
+        }
+    }
+
+    /// One-line human description for the error body.
+    pub fn message(&self) -> String {
+        match self {
+            HttpError::BadRequest(m) => format!("bad request: {m}"),
+            HttpError::HeadersTooLarge { limit } => {
+                format!("request head exceeds {limit} bytes")
+            }
+            HttpError::BodyTooLarge { length, limit } => {
+                format!("request body of {length} bytes exceeds {limit}")
+            }
+            HttpError::Timeout => "request timed out".to_string(),
+            HttpError::Io(m) => format!("i/o error: {m}"),
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message())
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+fn io_error(e: &std::io::Error) -> HttpError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::Timeout,
+        _ => HttpError::Io(e.to_string()),
+    }
+}
+
+/// One parsed request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method token, e.g. `GET`.
+    pub method: String,
+    /// Request target, e.g. `/jobs/0123…`.
+    pub path: String,
+    /// The body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Reads one request from `stream`, enforcing `limits`.
+///
+/// # Errors
+///
+/// Every malformed, oversized, or timed-out request becomes a typed
+/// [`HttpError`]; the caller maps it to a 4xx response.
+pub fn read_request(stream: &mut impl Read, limits: &HttpLimits) -> Result<Request, HttpError> {
+    // Read byte-wise chunks until the blank line; the cap bounds memory
+    // and wall-clock against drip-feeding clients (with the socket's
+    // read timeout bounding each chunk).
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            // The cap applies even when the whole head arrived in one
+            // chunk — a 200-byte path is over-limit whether or not it
+            // was drip-fed.
+            if pos + 4 > limits.max_head_bytes {
+                return Err(HttpError::HeadersTooLarge {
+                    limit: limits.max_head_bytes,
+                });
+            }
+            break pos;
+        }
+        if buf.len() >= limits.max_head_bytes {
+            return Err(HttpError::HeadersTooLarge {
+                limit: limits.max_head_bytes,
+            });
+        }
+        let mut chunk = [0u8; 512];
+        let n = stream.read(&mut chunk).map_err(|e| io_error(&e))?;
+        if n == 0 {
+            return Err(HttpError::BadRequest(
+                "connection closed before end of head".into(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::BadRequest("head is not UTF-8".into()))?;
+    let (method, path, content_length) = parse_head(head)?;
+
+    let body_len = content_length.unwrap_or(0);
+    if body_len > limits.max_body_bytes {
+        return Err(HttpError::BodyTooLarge {
+            length: body_len,
+            limit: limits.max_body_bytes,
+        });
+    }
+    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    if body.len() > body_len {
+        return Err(HttpError::BadRequest(
+            "body longer than Content-Length".into(),
+        ));
+    }
+    while body.len() < body_len {
+        let mut chunk = vec![0u8; (body_len - body.len()).min(4096)];
+        let n = stream.read(&mut chunk).map_err(|e| io_error(&e))?;
+        if n == 0 {
+            return Err(HttpError::BadRequest(
+                "connection closed before end of body".into(),
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    Ok(Request { method, path, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parses the head (request line + headers) into
+/// `(method, path, content_length)`.
+fn parse_head(head: &str) -> Result<(String, String, Option<usize>), HttpError> {
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty head".into()))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_uppercase()))
+        .ok_or_else(|| HttpError::BadRequest("bad method".into()))?;
+    let path = parts
+        .next()
+        .filter(|p| p.starts_with('/'))
+        .ok_or_else(|| HttpError::BadRequest("bad request target".into()))?;
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(HttpError::BadRequest("bad HTTP version".into())),
+    }
+    if parts.next().is_some() {
+        return Err(HttpError::BadRequest("bad request line".into()));
+    }
+
+    let mut content_length = None;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!("bad header line `{line}`")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            let n: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::BadRequest("bad Content-Length".into()))?;
+            if content_length.replace(n).is_some() {
+                return Err(HttpError::BadRequest("duplicate Content-Length".into()));
+            }
+        }
+    }
+    Ok((method.to_string(), path.to_string(), content_length))
+}
+
+/// Writes one JSON response with `Content-Length` and
+/// `Connection: close`, plus any `extra_headers` (already formatted as
+/// `Name: value`).
+///
+/// # Errors
+///
+/// [`HttpError::Io`] / [`HttpError::Timeout`] on socket failure.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    reason: &str,
+    extra_headers: &[String],
+    body: &str,
+) -> Result<(), HttpError> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for h in extra_headers {
+        head.push_str(h);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .and_then(|()| stream.flush())
+        .map_err(|e| io_error(&e))
+}
+
+/// Reads one response from `stream` (the client side):
+/// `(status, retry_after_seconds, body)`.
+///
+/// # Errors
+///
+/// [`HttpError`] for malformed or oversized responses (the client
+/// enforces a generous 1 MiB body cap against a misbehaving server).
+pub fn read_response(stream: &mut impl Read) -> Result<(u16, Option<u64>, Vec<u8>), HttpError> {
+    let mut raw = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        let n = stream.read(&mut chunk).map_err(|e| io_error(&e))?;
+        if n == 0 {
+            break;
+        }
+        raw.extend_from_slice(&chunk[..n]);
+        if raw.len() > 1024 * 1024 {
+            return Err(HttpError::BadRequest("response too large".into()));
+        }
+    }
+    let head_end = find_head_end(&raw)
+        .ok_or_else(|| HttpError::BadRequest("response head never ended".into()))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| HttpError::BadRequest("response head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty response".into()))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::BadRequest(format!("bad status line `{status_line}`")))?;
+    let mut retry_after = None;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("retry-after") {
+                retry_after = value.trim().parse().ok();
+            }
+        }
+    }
+    Ok((status, retry_after, raw[head_end + 4..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_bytes(bytes: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut &bytes[..], &HttpLimits::default())
+    }
+
+    #[test]
+    fn minimal_get_parses() {
+        let req = parse_bytes(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn post_with_body_parses() {
+        let req = parse_bytes(
+            b"POST /jobs HTTP/1.1\r\nContent-Length: 11\r\nContent-Type: application/json\r\n\r\n{\"a\":\"b\"}xy",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{\"a\":\"b\"}xy");
+    }
+
+    #[test]
+    fn header_names_are_case_insensitive() {
+        let req = parse_bytes(b"POST / HTTP/1.1\r\ncOnTeNt-LeNgTh: 2\r\n\r\nok").unwrap();
+        assert_eq!(req.body, b"ok");
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        for (bytes, expect_status) in [
+            (&b"garbage\r\n\r\n"[..], 400),
+            (b"get / HTTP/1.1\r\n\r\n", 400),
+            (b"GET noslash HTTP/1.1\r\n\r\n", 400),
+            (b"GET / SPDY/9\r\n\r\n", 400),
+            (b"GET / HTTP/1.1 extra\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nbroken header\r\n\r\n", 400),
+            (b"POST / HTTP/1.1\r\nContent-Length: x\r\n\r\n", 400),
+            (
+                b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n",
+                400,
+            ),
+            (b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nab", 400),
+        ] {
+            let err = parse_bytes(bytes).unwrap_err();
+            assert_eq!(err.status(), expect_status, "{bytes:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_head_and_body_map_to_431_and_413() {
+        let limits = HttpLimits {
+            max_head_bytes: 64,
+            max_body_bytes: 8,
+        };
+        let long_head = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(200));
+        let err = read_request(&mut long_head.as_bytes(), &limits).unwrap_err();
+        assert_eq!(err.status(), 431);
+
+        let big_body = b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789";
+        let err = read_request(&mut &big_body[..], &limits).unwrap_err();
+        assert_eq!(err.status(), 413);
+        assert!(err.message().contains("9 bytes exceeds 8"), "{err}");
+    }
+
+    #[test]
+    fn truncated_requests_do_not_hang_or_panic() {
+        for bytes in [
+            &b""[..],
+            b"GET",
+            b"GET / HTTP/1.1\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+        ] {
+            assert!(parse_bytes(bytes).is_err(), "{bytes:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_client_reader() {
+        let mut wire = Vec::new();
+        write_response(
+            &mut wire,
+            429,
+            "Too Many Requests",
+            &["Retry-After: 3".to_string()],
+            "{\"error\":\"queue full\"}",
+        )
+        .unwrap();
+        let (status, retry_after, body) = read_response(&mut &wire[..]).unwrap();
+        assert_eq!(status, 429);
+        assert_eq!(retry_after, Some(3));
+        assert_eq!(body, b"{\"error\":\"queue full\"}");
+    }
+}

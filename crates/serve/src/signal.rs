@@ -1,0 +1,98 @@
+//! SIGTERM/SIGINT latch without a libc dependency.
+//!
+//! The handler does the only thing that is async-signal-safe here:
+//! store a relaxed `true` into a process-wide [`AtomicBool`]. Nothing
+//! blocks on a signal — the daemon's accept loop and `crisp-bench`'s
+//! sweep path poll [`triggered`] (or hand a [`CancelToken`] to
+//! [`watch`]) and drain cooperatively. glibc's `signal()` installs the
+//! handler with `SA_RESTART`, so blocking syscalls are *not*
+//! interrupted; every loop that must notice shutdown promptly therefore
+//! uses non-blocking I/O plus short naps rather than relying on `EINTR`.
+
+use crisp_sim::CancelToken;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sys {
+    //! The one `unsafe` corner of the workspace: registering a signal
+    //! handler requires an FFI call. The handler body is a single atomic
+    //! store — async-signal-safe by construction.
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn handle(_sig: i32) {
+        super::TRIGGERED.store(true, Ordering::Relaxed);
+    }
+
+    pub(super) fn install() {
+        // SAFETY: `handle` only performs an atomic store, which is
+        // async-signal-safe; the handler address stays valid for the
+        // life of the process.
+        unsafe {
+            signal(SIGTERM, handle as *const () as usize);
+            signal(SIGINT, handle as *const () as usize);
+        }
+    }
+}
+
+/// Installs the SIGTERM/SIGINT latch. Idempotent; a no-op on non-Unix
+/// targets (where [`triggered`] simply never fires).
+pub fn install() {
+    #[cfg(unix)]
+    sys::install();
+}
+
+/// Whether SIGTERM or SIGINT has been received since [`install`].
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::Relaxed)
+}
+
+/// Test hook: trip the latch as if a signal had arrived.
+pub fn trigger_for_test() {
+    TRIGGERED.store(true, Ordering::Relaxed);
+}
+
+/// Spawns a watcher thread that cancels `token` once a signal arrives
+/// (10 ms poll). The thread also exits if the token is cancelled by
+/// someone else, so it never outlives the work it guards.
+pub fn watch(token: CancelToken) {
+    std::thread::spawn(move || loop {
+        if triggered() {
+            token.cancel();
+            return;
+        }
+        if token.is_cancelled() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watch_cancels_the_token_after_a_signal() {
+        install();
+        let token = CancelToken::new();
+        watch(token.clone());
+        assert!(!token.is_cancelled());
+        trigger_for_test();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while !token.is_cancelled() {
+            assert!(std::time::Instant::now() < deadline, "watcher never fired");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}

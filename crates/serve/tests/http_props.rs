@@ -1,0 +1,134 @@
+//! Property tests for the hand-rolled HTTP/1.1 request parser.
+//!
+//! The parser faces raw network bytes, so the property that matters is
+//! total robustness: for *any* input — random bytes, truncations,
+//! single-byte corruptions of valid requests, hostile repetition — it
+//! must return either a parsed request or a typed [`HttpError`] that
+//! maps to a 4xx status. It must never panic, hang, or allocate without
+//! bound.
+
+use crisp_serve::{read_request, HttpLimits};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::sample::subsequence;
+
+fn parse(bytes: &[u8]) -> Result<crisp_serve::Request, crisp_serve::HttpError> {
+    read_request(&mut &bytes[..], &HttpLimits::default())
+}
+
+/// A status code the daemon can actually send back for a parse failure.
+fn assert_client_error(bytes: &[u8], err: &crisp_serve::HttpError) {
+    let status = err.status();
+    assert!(
+        matches!(status, 400 | 408 | 413 | 431),
+        "{bytes:?} -> unexpected status {status} for {err:?}"
+    );
+    assert!(
+        !err.message().is_empty(),
+        "{bytes:?} -> empty error message"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    /// Pure fuzz: arbitrary bytes never panic, and every rejection is a
+    /// typed 4xx.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in vec(any::<u8>(), 0..1500)) {
+        if let Err(e) = parse(&bytes) {
+            assert_client_error(&bytes, &e);
+        }
+    }
+
+    /// Corruption: flip one byte of a well-formed POST anywhere in the
+    /// head or body. The parser accepts (if the flip landed somewhere
+    /// inert) or rejects with a typed error — never panics.
+    #[test]
+    fn corrupted_valid_requests_never_panic(pos in 0usize..64, val in any::<u8>()) {
+        let mut bytes =
+            b"POST /jobs HTTP/1.1\r\nContent-Length: 17\r\n\r\n{\"targets\":[\"a\"]}".to_vec();
+        let idx = pos % bytes.len();
+        bytes[idx] = val;
+        if let Err(e) = parse(&bytes) {
+            assert_client_error(&bytes, &e);
+        }
+    }
+
+    /// Truncation: any prefix of a valid request either parses (the
+    /// full input) or is rejected — typed, not hung.
+    #[test]
+    fn truncated_valid_requests_are_rejected(cut in 0usize..61) {
+        let full = b"POST /jobs HTTP/1.1\r\nContent-Length: 17\r\n\r\n{\"targets\":[\"a\"]}";
+        let bytes = &full[..cut.min(full.len() - 1)];
+        match parse(bytes) {
+            Ok(req) => panic!("truncated request parsed: {req:?}"),
+            Err(e) => assert_client_error(bytes, &e),
+        }
+    }
+
+    /// Structured fuzz: shuffled fragments of plausible HTTP tokens.
+    /// Closer to the parser's branch structure than raw bytes, and still
+    /// must never panic.
+    #[test]
+    fn shuffled_http_fragments_never_panic(
+        parts in subsequence(
+            vec![
+                &b"GET "[..], &b"POST "[..], &b"/jobs"[..], &b"/jobs/00ff"[..],
+                &b" HTTP/1.1"[..], &b" HTTP/9.9"[..], &b"\r\n"[..],
+                &b"Content-Length: 5"[..], &b"Content-Length: -1"[..],
+                &b"Content-Length: 99999999999999999999"[..], &b": value"[..],
+                &b"Host"[..], &b"\r\n\r\n"[..], &b"hello"[..],
+                &b"\x00\xff\xfe"[..], &b" "[..], &b"\r"[..], &b"\n"[..],
+            ],
+            1..12,
+        ),
+        repeat in 1usize..4,
+    ) {
+        let mut bytes = Vec::new();
+        for _ in 0..repeat {
+            for p in &parts {
+                bytes.extend_from_slice(p);
+            }
+        }
+        if let Err(e) = parse(&bytes) {
+            assert_client_error(&bytes, &e);
+        }
+    }
+}
+
+/// Anything the parser accepts satisfies the invariants the router
+/// depends on: non-empty uppercase method, slash-prefixed path, body no
+/// longer than the declared limit.
+#[test]
+fn accepted_requests_uphold_router_invariants() {
+    let mut rng_state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        rng_state
+    };
+    let limits = HttpLimits::default();
+    let mut accepted = 0;
+    for _ in 0..4096 {
+        let len = (next() % 96) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| (next() % 256) as u8).collect();
+        // Seed half the cases with a valid-ish skeleton so some parse.
+        let input = if next() & 1 == 0 {
+            let mut v = b"GET / HTTP/1.1\r\n\r\n".to_vec();
+            v.extend_from_slice(&bytes);
+            v
+        } else {
+            bytes
+        };
+        if let Ok(req) = read_request(&mut &input[..], &limits) {
+            accepted += 1;
+            assert!(!req.method.is_empty());
+            assert_eq!(req.method, req.method.to_ascii_uppercase());
+            assert!(req.path.starts_with('/'), "path {:?}", req.path);
+            assert!(req.body.len() <= limits.max_body_bytes);
+        }
+    }
+    assert!(accepted > 0, "seeded skeletons should sometimes parse");
+}

@@ -50,6 +50,18 @@ impl CancelToken {
         }
     }
 
+    /// A token *linked* to this one: both share the same cancellation
+    /// flag (cancelling either aborts both), while the linked token
+    /// carries its own wall-clock deadline. The experiment supervisor
+    /// uses this to give every attempt a fresh deadline that still
+    /// observes a sweep-wide stop request (graceful drain).
+    pub fn linked(&self, timeout: Option<Duration>) -> CancelToken {
+        CancelToken {
+            cancelled: Arc::clone(&self.cancelled),
+            deadline: timeout.map(|t| Instant::now() + t),
+        }
+    }
+
     /// Requests cancellation; every clone of this token observes it.
     pub fn cancel(&self) {
         self.cancelled.store(true, Ordering::Relaxed);
@@ -132,6 +144,22 @@ mod tests {
         t.cancel();
         assert!(clone.is_cancelled());
         assert_eq!(clone.should_abort(), Some(AbortReason::Cancelled));
+    }
+
+    #[test]
+    fn linked_tokens_share_the_flag_but_not_the_deadline() {
+        let stop = CancelToken::new();
+        let child = stop.linked(Some(Duration::from_secs(3600)));
+        assert_eq!(child.should_abort(), None);
+        stop.cancel();
+        assert_eq!(child.should_abort(), Some(AbortReason::Cancelled));
+
+        let stop = CancelToken::new();
+        let expired = stop.linked(Some(Duration::ZERO));
+        assert_eq!(expired.should_abort(), Some(AbortReason::DeadlineExceeded));
+        assert_eq!(stop.should_abort(), None, "deadline stays on the child");
+        expired.cancel();
+        assert!(stop.is_cancelled(), "the flag is shared both ways");
     }
 
     #[test]

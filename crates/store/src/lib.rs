@@ -302,6 +302,15 @@ impl Store {
         &self.root
     }
 
+    /// Cheap existence probe: whether an entry file for `key` is
+    /// present, *without* reading or verifying it. Admission planning
+    /// (e.g. counting warm cells for a submitted job) uses this; anything
+    /// that serves payloads must go through [`Store::lookup`], which
+    /// verifies integrity and quarantines corruption.
+    pub fn contains(&self, key: u128) -> bool {
+        self.entry_path(key).is_file()
+    }
+
     /// Where an entry for `key` lives (whether or not it exists).
     pub fn entry_path(&self, key: u128) -> PathBuf {
         let hex = key_hex(key);
@@ -617,6 +626,20 @@ mod tests {
             }
             other => panic!("expected a hit, got {other:?}"),
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn contains_probes_existence_without_verification() {
+        let (dir, store) = temp_store("contains");
+        let key = fnv1a128(b"cell-probe");
+        assert!(!store.contains(key));
+        store.publish(key, "cell-probe spec", &[1.0]).unwrap();
+        assert!(store.contains(key));
+        // contains() is a pure stat — even a corrupted entry still
+        // "exists"; only lookup() decides whether it is servable.
+        std::fs::write(store.entry_path(key), b"garbage").unwrap();
+        assert!(store.contains(key));
         std::fs::remove_dir_all(&dir).ok();
     }
 
