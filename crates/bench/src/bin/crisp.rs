@@ -14,14 +14,18 @@
 //! crisp submit <TARGET...> --addr HOST:PORT [--fast|--tiny] [--workloads A,B,C]
 //! crisp status <JOB> --addr HOST:PORT
 //! crisp result <JOB> --addr HOST:PORT
-//! crisp watch <JOB> --addr HOST:PORT [--interval-ms MS]
+//! crisp watch <JOB> --addr HOST:PORT [--interval-ms MS] [--follow]
 //! ```
 //!
 //! The `submit`/`status`/`result`/`watch` subcommands talk to a
 //! `crisp-serve` daemon over its HTTP job API, with bounded jittered
 //! retries on transient failures (connect errors, 429 queue-full, 503
 //! draining). `submit` is idempotent: resubmitting the same sweep
-//! coalesces onto the existing job id.
+//! coalesces onto the existing job id. `watch` survives daemon
+//! restarts: on connection reset/refused it reconnects with jittered
+//! backoff and resumes from the last seen state; with `--follow` it
+//! streams the job's live NDJSON events (`GET /jobs/ID/events`) to
+//! stdout, resuming the stream from its cursor after a reconnect.
 //!
 //! Exit codes: `0` success, `2` usage/parse error, `3` unknown workload,
 //! `4` rejected configuration, `5` runtime failure (emulation/simulation,
@@ -100,7 +104,7 @@ fn usage_text() -> String {
          crisp submit <TARGET...> --addr HOST:PORT [--fast|--tiny] [--workloads A,B,C]\n  \
          crisp status <JOB> --addr HOST:PORT\n  \
          crisp result <JOB> --addr HOST:PORT\n  \
-         crisp watch <JOB> --addr HOST:PORT [--interval-ms MS]\n\
+         crisp watch <JOB> --addr HOST:PORT [--interval-ms MS] [--follow]\n\
          exit codes: 0 ok, 2 usage, 3 unknown workload, 4 bad config, 5 runtime failure\n{}",
         workload_listing()
     )
@@ -766,27 +770,86 @@ fn run_serve(cmd: &str, args: &Args) -> Result<(), Failure> {
             }
         }
         "watch" => {
-            args.allow_flags(cmd, &[])?;
+            args.allow_flags(cmd, &["--follow"])?;
             let id = job_arg()?;
+            let follow = args.has("--follow");
+            // Daemon restarts are survivable: transient failures (reset,
+            // refused, drain) reconnect with jittered backoff and resume
+            // from the last seen state. Only a long unbroken run of
+            // failures — or a hard 4xx — exits nonzero.
+            let backoff = crisp_harness::RetryPolicy {
+                max_retries: 30,
+                base: std::time::Duration::from_millis(200),
+                cap: std::time::Duration::from_secs(5),
+            };
+            let seed = crisp_harness::fnv1a64(&id);
+            let finish = || -> Result<(), Failure> {
+                let v = client
+                    .result(&id)
+                    .map_err(api_failure)?
+                    .ok_or_else(|| Failure {
+                        code: EXIT_RUNTIME,
+                        message: format!("job {id} finished but its result is missing"),
+                    })?;
+                print_result(&v)
+            };
+            let mut consecutive: u32 = 0;
             let mut last = String::new();
+            let mut cursor = 0usize; // event lines already streamed
             loop {
-                let status = client.status(&id).map_err(api_failure)?;
-                let state = field(&status, "state");
-                if state != last {
-                    eprintln!("job {id}: {state}");
-                    last = state.clone();
-                }
-                if state == "done" || state == "failed" {
-                    let v = client
-                        .result(&id)
-                        .map_err(api_failure)?
-                        .ok_or_else(|| Failure {
+                let transient = if follow {
+                    match client.follow(&id, cursor, &mut |event: &Value| {
+                        println!("{}", event.encode());
+                    }) {
+                        Ok((delivered, ended)) => {
+                            cursor += delivered;
+                            consecutive = 0;
+                            if ended {
+                                return finish();
+                            }
+                            // Dropped mid-stream: reconnect from cursor.
+                            std::thread::sleep(std::time::Duration::from_millis(100));
+                            None
+                        }
+                        Err(e @ crisp_serve::ClientError::Rejected { .. }) => {
+                            return Err(api_failure(e))
+                        }
+                        Err(e) => Some(e.to_string()),
+                    }
+                } else {
+                    match client.status(&id) {
+                        Ok(status) => {
+                            consecutive = 0;
+                            let state = field(&status, "state");
+                            if state != last {
+                                eprintln!("job {id}: {state}");
+                                last = state.clone();
+                            }
+                            if state == "done" || state == "failed" {
+                                return finish();
+                            }
+                            std::thread::sleep(std::time::Duration::from_millis(args.interval_ms));
+                            None
+                        }
+                        Err(e @ crisp_serve::ClientError::Rejected { .. }) => {
+                            return Err(api_failure(e))
+                        }
+                        Err(e) => Some(e.to_string()),
+                    }
+                };
+                if let Some(why) = transient {
+                    consecutive += 1;
+                    if consecutive > backoff.max_retries {
+                        return Err(Failure {
                             code: EXIT_RUNTIME,
-                            message: format!("job {id} finished but its result is missing"),
-                        })?;
-                    return print_result(&v);
+                            message: format!(
+                                "watch: gave up after {consecutive} reconnect attempts: {why}"
+                            ),
+                        });
+                    }
+                    eprintln!("job {id}: daemon unreachable ({why}); reconnecting");
+                    std::thread::sleep(backoff.delay(consecutive, seed));
                 }
-                std::thread::sleep(std::time::Duration::from_millis(args.interval_ms));
             }
         }
         _ => unreachable!("run_serve called for {cmd}"),

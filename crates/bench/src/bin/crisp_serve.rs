@@ -22,6 +22,11 @@
 //!   --queue N            Admission cap: queued + running jobs (default 16)
 //!   --max-conns N        Concurrent connection cap (default 32)
 //!   --jobs N             Sweep worker threads per job (default 1)
+//!   --workers N          Multi-process pool: fork/exec N crisp-worker
+//!                        processes at startup and dispatch every
+//!                        computed cell to them (crash containment,
+//!                        heartbeat-renewed leases, poison quarantine).
+//!                        Default 0 = simulate in-process.
 //!   --deadline SECS      Per-attempt cell deadline
 //!   --heartbeat MS       Supervisor heartbeat cadence (default 250)
 //!   --checkpoint-interval CYCLES
@@ -38,13 +43,16 @@
 
 use crisp_bench::sweep::{build_jobs, run_supervised_sweep, sweep_spec, SweepConfig};
 use crisp_bench::{all_targets, ExperimentScale};
-use crisp_harness::cell_key;
+use crisp_harness::json::Value;
+use crisp_harness::{cell_key, EventSink, PoolOptions, WorkerPool};
 use crisp_serve::{
     run_daemon, signal, DaemonConfig, ExecCtx, ExecResult, JobPlan, JobRecord, SubmitRequest,
 };
 use crisp_sim::CancelToken;
+use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 const EXIT_USAGE: u8 = 2;
@@ -54,6 +62,7 @@ const EXIT_STARTUP: u8 = 5;
 #[derive(Clone)]
 struct ServeOptions {
     workers: usize,
+    pool_workers: usize,
     deadline: Option<Duration>,
     heartbeat: Duration,
     checkpoint_interval: Option<u64>,
@@ -66,7 +75,8 @@ struct UsageError(String);
 fn usage() {
     eprintln!(
         "usage: crisp-serve [--data DIR] [--addr HOST:PORT] [--store DIR] [--queue N]\n\
-         \x20                  [--max-conns N] [--jobs N] [--deadline SECS] [--heartbeat MS]\n\
+         \x20                  [--max-conns N] [--jobs N] [--workers N] [--deadline SECS]\n\
+         \x20                  [--heartbeat MS]\n\
          \x20                  [--checkpoint-interval CYCLES] [--retry-after-ms MS]\n\
          \x20                  [--cell-delay-ms MS] [--quiet]"
     );
@@ -76,6 +86,7 @@ fn parse_args(args: &[String]) -> Result<(DaemonConfig, ServeOptions), UsageErro
     let mut cfg = DaemonConfig::default();
     let mut opts = ServeOptions {
         workers: 1,
+        pool_workers: 0,
         deadline: None,
         heartbeat: Duration::from_millis(250),
         checkpoint_interval: None,
@@ -111,6 +122,13 @@ fn parse_args(args: &[String]) -> Result<(DaemonConfig, ServeOptions), UsageErro
                 opts.workers = v.parse::<usize>().ok().filter(|n| *n > 0).ok_or_else(|| {
                     UsageError(format!("--jobs expects a positive integer, got `{v}`"))
                 })?;
+            }
+            "--workers" => {
+                let v = value("--workers", &mut it)?;
+                opts.pool_workers =
+                    v.parse::<usize>().ok().filter(|n| *n > 0).ok_or_else(|| {
+                        UsageError(format!("--workers expects a positive integer, got `{v}`"))
+                    })?;
             }
             "--deadline" => {
                 let v = value("--deadline", &mut it)?;
@@ -222,7 +240,12 @@ fn plan(request: &SubmitRequest) -> Result<JobPlan, String> {
     })
 }
 
-fn exec(opts: &ServeOptions, record: &JobRecord, ctx: &ExecCtx) -> Result<ExecResult, String> {
+fn exec(
+    opts: &ServeOptions,
+    pool: Option<&Arc<WorkerPool>>,
+    record: &JobRecord,
+    ctx: &ExecCtx,
+) -> Result<ExecResult, String> {
     let mut cfg = sweep_config(&record.request)?;
     cfg.workers = opts.workers;
     cfg.deadline = opts.deadline;
@@ -234,6 +257,24 @@ fn exec(opts: &ServeOptions, record: &JobRecord, ctx: &ExecCtx) -> Result<ExecRe
     cfg.checkpoint_interval = opts.checkpoint_interval;
     cfg.cell_delay = opts.cell_delay;
     cfg.progress = opts.progress;
+    cfg.pool = pool.cloned();
+    // Live events land next to the job's manifest as append-only NDJSON
+    // — exactly what GET /jobs/<id>/events tails. No fsync: the stream
+    // is advisory telemetry, the manifest stays the durability record.
+    let events_path = ctx.manifest.with_file_name("events.jsonl");
+    cfg.events = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&events_path)
+        .ok()
+        .map(|file| {
+            let file = Mutex::new(file);
+            EventSink::new(move |event: &Value| {
+                if let Ok(mut f) = file.lock() {
+                    let _ = writeln!(f, "{}", event.encode());
+                }
+            })
+        });
     let out = run_supervised_sweep(&cfg).map_err(|e| e.to_string())?;
     let report = &out.report;
     if report.crashed {
@@ -251,15 +292,49 @@ fn exec(opts: &ServeOptions, record: &JobRecord, ctx: &ExecCtx) -> Result<ExecRe
     })
 }
 
+/// Spawns the `--workers N` pool: the `crisp-worker` binary is expected
+/// beside this one (same build), and must handshake with this binary's
+/// own version and schema — version skew is refused at startup.
+fn spawn_pool(workers: usize) -> Result<Arc<WorkerPool>, String> {
+    let worker_bin = std::env::current_exe()
+        .map_err(|e| format!("locate crisp-serve binary: {e}"))?
+        .with_file_name("crisp-worker");
+    let pool = WorkerPool::spawn(PoolOptions {
+        worker_bin,
+        workers,
+        ..PoolOptions::default()
+    })?;
+    Ok(Arc::new(pool))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (cfg, opts) = match parse_args(&args) {
+    let (mut cfg, opts) = match parse_args(&args) {
         Ok(parsed) => parsed,
         Err(UsageError(msg)) => {
             eprintln!("crisp-serve: {msg}");
             usage();
             return ExitCode::from(EXIT_USAGE);
         }
+    };
+
+    let pool = if opts.pool_workers > 0 {
+        match spawn_pool(opts.pool_workers) {
+            Ok(pool) => {
+                eprintln!(
+                    "[crisp-serve] worker pool ready: {} process(es)",
+                    opts.pool_workers
+                );
+                cfg.pool = Some(pool.status());
+                Some(pool)
+            }
+            Err(e) => {
+                eprintln!("crisp-serve: worker pool failed to start: {e}");
+                return ExitCode::from(EXIT_STARTUP);
+            }
+        }
+    } else {
+        None
     };
 
     // SIGTERM/SIGINT → cancel the shutdown token → the daemon stops
@@ -270,12 +345,17 @@ fn main() -> ExitCode {
     signal::watch(shutdown.clone());
 
     let exec_opts = opts.clone();
-    match run_daemon(
+    let exec_pool = pool.clone();
+    let outcome = run_daemon(
         &cfg,
         &plan,
-        &move |record: &JobRecord, ctx: &ExecCtx| exec(&exec_opts, record, ctx),
+        &move |record: &JobRecord, ctx: &ExecCtx| exec(&exec_opts, exec_pool.as_ref(), record, ctx),
         &shutdown,
-    ) {
+    );
+    if let Some(pool) = pool {
+        pool.shutdown();
+    }
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("crisp-serve: {e}");

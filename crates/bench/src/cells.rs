@@ -497,6 +497,7 @@ mod tests {
             attempt: 1,
             cancel: CancelToken::new(),
             progress: ProgressBeacon::new(),
+            lease: crisp_harness::LeaseGuard::default(),
         }
     }
 

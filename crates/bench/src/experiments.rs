@@ -78,6 +78,7 @@ fn figure_report(figure: &str, scale: ExperimentScale) -> Result<String, CrispEr
             attempt: 1,
             cancel: CancelToken::new(),
             progress: crisp_sim::ProgressBeacon::new(),
+            lease: crisp_harness::LeaseGuard::default(),
         };
         let payload = cells::run_cell(job, &ctx, scale, false, None, None)?;
         outcomes.insert(

@@ -4,12 +4,14 @@
 use crate::cells::{self, CheckpointPolicy, ObsPolicy, CELL_FORMAT, FIGURES};
 use crate::experiments::{table1, ExperimentScale};
 use crate::render::render_figure;
+use crisp_harness::json::Value;
 use crisp_harness::{
-    run_sweep, FailureClass, HarnessError, JobSpec, RetryPolicy, RunContext, SupervisorOptions,
-    SweepReport,
+    run_sweep, EventSink, FailureClass, HarnessError, JobSpec, RetryPolicy, RunContext, RunError,
+    SupervisorOptions, SweepReport, WorkerPool,
 };
 use crisp_sim::{AbortReason, CancelToken, SimError};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Fault injection applied by the sweep runner (CI smoke + tests).
@@ -85,6 +87,17 @@ pub struct SweepConfig {
     /// this long while polling its cancel token, widening the mid-cell
     /// window that chaos tests (SIGKILL, drain) need to hit reliably.
     pub cell_delay: Option<Duration>,
+    /// `--workers N` on `crisp-serve`: dispatch every computed cell to
+    /// this multi-process [`WorkerPool`] instead of simulating in-process.
+    /// Workers inherit `cell_delay` and the chaos stall flags; mid-cell
+    /// checkpoints and telemetry sinks are in-process features and are
+    /// skipped (the pool's unit of recovery is the whole cell). In pool
+    /// mode `chaos.panic_once` aborts the worker process on *every*
+    /// attempt, exercising the poison-quarantine path.
+    pub pool: Option<Arc<WorkerPool>>,
+    /// Live event sink threaded into the supervisor (cell started /
+    /// heartbeat / retry / degraded / done), feeding `GET /jobs/ID/events`.
+    pub events: Option<EventSink>,
 }
 
 impl Default for SweepConfig {
@@ -109,6 +122,8 @@ impl Default for SweepConfig {
             store: None,
             stop: None,
             cell_delay: None,
+            pool: None,
+            events: None,
         }
     }
 }
@@ -203,9 +218,16 @@ pub fn run_supervised_sweep(cfg: &SweepConfig) -> Result<SweepOutput, HarnessErr
             .map(crisp_harness::ResultStoreConfig::new),
         stop: cfg.stop.clone(),
         fail_journal_appends: 0,
+        events: cfg.events.clone(),
     };
     let chaos = cfg.chaos.clone();
     let scale = cfg.scale;
+    let scale_name = match scale {
+        ExperimentScale::Tiny => "tiny",
+        ExperimentScale::Fast => "fast",
+        ExperimentScale::Full => "full",
+    };
+    let pool = cfg.pool.clone();
     let ckpt = cfg.checkpoint_interval.and_then(|interval| {
         cfg.manifest.as_ref().map(|m| CheckpointPolicy {
             dir: checkpoint_dir(m),
@@ -219,7 +241,28 @@ pub fn run_supervised_sweep(cfg: &SweepConfig) -> Result<SweepOutput, HarnessErr
         ..ObsPolicy::new()
     });
     let cell_delay = cfg.cell_delay;
-    let runner = move |job: &JobSpec, ctx: &RunContext| {
+    let runner = move |job: &JobSpec, ctx: &RunContext| -> Result<Vec<f64>, RunError> {
+        let stall = chaos.stall.iter().any(|s| job.id.contains(s.as_str()));
+        if let Some(pool) = pool.as_deref() {
+            // Multi-process path: ship the cell to a pooled crisp-worker.
+            // panic_once cells abort the worker on every attempt — after
+            // enough consecutive crashes the pool quarantines the cell.
+            let abort = chaos.panic_once.iter().any(|s| job.id.contains(s.as_str()));
+            let mut extra = vec![("scale".to_string(), Value::Str(scale_name.to_string()))];
+            if stall {
+                extra.push(("stall".to_string(), Value::Bool(true)));
+            }
+            if abort {
+                extra.push(("abort".to_string(), Value::Bool(true)));
+            }
+            if let Some(delay) = cell_delay {
+                extra.push((
+                    "cell_delay_ms".to_string(),
+                    Value::Num(delay.as_millis() as f64),
+                ));
+            }
+            return pool.run_cell(&job.id, &job.spec, ctx, &Value::Obj(extra));
+        }
         if let Some(delay) = cell_delay {
             // Idle cooperatively before simulating, so chaos tests get a
             // wide, interruptible mid-cell window.
@@ -237,7 +280,8 @@ pub fn run_supervised_sweep(cfg: &SweepConfig) -> Result<SweepOutput, HarnessErr
                             retired: 0,
                             total: 0,
                         },
-                    }));
+                    })
+                    .into());
                 }
                 std::thread::sleep(Duration::from_millis(2));
             }
@@ -245,8 +289,7 @@ pub fn run_supervised_sweep(cfg: &SweepConfig) -> Result<SweepOutput, HarnessErr
         if ctx.attempt == 1 && chaos.panic_once.iter().any(|s| job.id.contains(s.as_str())) {
             panic!("injected fault: chaos panic for {}", job.id);
         }
-        let stall = chaos.stall.iter().any(|s| job.id.contains(s.as_str()));
-        cells::run_cell(job, ctx, scale, stall, ckpt.as_ref(), obs.as_ref())
+        cells::run_cell(job, ctx, scale, stall, ckpt.as_ref(), obs.as_ref()).map_err(RunError::from)
     };
     let report = run_sweep(&jobs, &opts, &runner)?;
 

@@ -35,6 +35,13 @@ pub enum FailureClass {
     /// fingerprint/version mismatch, restore rejection). Deterministic:
     /// retrying would re-read the same bytes, so it fails fast.
     Checkpoint,
+    /// A pool worker process died mid-cell (SIGKILL/SIGSEGV/OOM, frame
+    /// corruption, or a missed lease heartbeat). Transient from the
+    /// cell's point of view — the next attempt runs on a fresh worker.
+    WorkerCrash,
+    /// The cell killed enough consecutive workers to be quarantined.
+    /// Deterministic by declaration: retrying would burn another worker.
+    Poisoned,
     /// Any other pipeline error (emulation, annotation, invariant
     /// violation, map mismatch).
     Runtime,
@@ -46,7 +53,10 @@ impl FailureClass {
     pub fn retryable(&self) -> bool {
         matches!(
             self,
-            FailureClass::Panic | FailureClass::Timeout | FailureClass::Deadlock
+            FailureClass::Panic
+                | FailureClass::Timeout
+                | FailureClass::Deadlock
+                | FailureClass::WorkerCrash
         )
     }
 
@@ -61,6 +71,8 @@ impl FailureClass {
             FailureClass::Config => "config",
             FailureClass::UnknownWorkload => "unknown-workload",
             FailureClass::Checkpoint => "checkpoint",
+            FailureClass::WorkerCrash => "worker-crash",
+            FailureClass::Poisoned => "poisoned",
             FailureClass::Runtime => "runtime",
         }
     }
@@ -76,6 +88,8 @@ impl FailureClass {
             "config" => FailureClass::Config,
             "unknown-workload" => FailureClass::UnknownWorkload,
             "checkpoint" => FailureClass::Checkpoint,
+            "worker-crash" => FailureClass::WorkerCrash,
+            "poisoned" => FailureClass::Poisoned,
             "runtime" => FailureClass::Runtime,
             _ => return None,
         })
@@ -118,6 +132,7 @@ mod tests {
             FailureClass::Panic,
             FailureClass::Timeout,
             FailureClass::Deadlock,
+            FailureClass::WorkerCrash,
         ];
         let fatal = [
             FailureClass::Cancelled,
@@ -125,6 +140,7 @@ mod tests {
             FailureClass::Config,
             FailureClass::UnknownWorkload,
             FailureClass::Checkpoint,
+            FailureClass::Poisoned,
             FailureClass::Runtime,
         ];
         for c in retryable {
@@ -146,6 +162,8 @@ mod tests {
             FailureClass::Config,
             FailureClass::UnknownWorkload,
             FailureClass::Checkpoint,
+            FailureClass::WorkerCrash,
+            FailureClass::Poisoned,
             FailureClass::Runtime,
         ] {
             assert_eq!(FailureClass::from_name(c.name()), Some(c));

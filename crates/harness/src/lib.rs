@@ -13,6 +13,10 @@
 //! Module map:
 //!
 //! - [`supervisor`] — job specs, the worker pool, retry/resume logic;
+//! - [`pool`] — the multi-process executor: cell shards fork/exec'd
+//!   into `crisp-worker` processes over a length-prefixed JSON frame
+//!   protocol, with crash containment, heartbeat-renewed leases,
+//!   poison-cell quarantine and version-skew refusal;
 //! - [`journal`] — the JSONL manifest format and tolerant loader;
 //! - [`checkpoint`] — the versioned, CRC-checked binary container for
 //!   mid-run simulator snapshots (atomic write-rename, torn-file
@@ -45,6 +49,7 @@ pub mod checkpoint;
 pub mod class;
 pub mod journal;
 pub mod json;
+pub mod pool;
 pub mod retry;
 pub mod store;
 pub mod supervisor;
@@ -59,9 +64,12 @@ pub use journal::{
     ProgressRecord, SweepHeader,
 };
 pub use json::{ParseError, ParseLimits};
+pub use pool::{
+    read_frame, write_frame, Claim, LeaseTable, PoolOptions, PoolStatus, WorkerPool, MAX_FRAME,
+};
 pub use retry::RetryPolicy;
 pub use store::{cell_key, cell_key_material, ResultStoreConfig, RESULT_SCHEMA};
 pub use supervisor::{
-    failure_detail, run_sweep, HarnessError, JobOutcome, JobRunner, JobSpec, RunContext,
-    SupervisorOptions, SweepReport,
+    failure_detail, run_sweep, EventSink, HarnessError, JobOutcome, JobRunner, JobSpec, LeaseGuard,
+    RunContext, RunError, SupervisorOptions, SweepReport,
 };

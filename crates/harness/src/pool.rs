@@ -1,0 +1,1039 @@
+//! Multi-process worker pool: cell execution with real fault isolation.
+//!
+//! The supervisor's in-process runner keeps one wedged or pathological
+//! cell inside the daemon's own address space. This module moves cell
+//! execution into supervised *worker processes* — one `crisp-worker`
+//! per pool slot, spoken to over stdin/stdout with length-prefixed JSON
+//! frames — and enforces the robustness contract end to end:
+//!
+//! - **crash containment** — a worker SIGKILL/SIGSEGV/OOM or a corrupt
+//!   frame marks only that cell attempt failed (classified
+//!   [`FailureClass::WorkerCrash`], retryable), never the supervisor;
+//!   the slot respawns a fresh worker;
+//! - **lease-based assignment** — every dispatched cell claims a lease
+//!   in the pool's [`LeaseTable`] and renews it (plus the store's
+//!   on-disk advisory lock, via [`RunContext::lease`]) on each worker
+//!   heartbeat, so a dead worker's cell is stolen and reassigned within
+//!   one lease period;
+//! - **poison-cell quarantine** — a cell that kills
+//!   [`PoolOptions::poison_threshold`] consecutive workers is refused
+//!   further dispatch and fails as [`FailureClass::Poisoned`] with a
+//!   forensic record (argv, last heartbeat, exit status, stderr tail)
+//!   instead of burning retries forever;
+//! - **version-skew refusal** — workers handshake with their binary
+//!   semver and `RESULT_SCHEMA`; a mismatch is refused at startup so a
+//!   half-upgraded host can never publish wrong-keyed results.
+//!
+//! ## Frame protocol (v1)
+//!
+//! Every frame is a 4-byte big-endian length followed by that many
+//! bytes of JSON (one object), capped at [`MAX_FRAME`] bytes:
+//!
+//! ```text
+//! worker -> pool   {"type":"hello","version":SEMVER,"schema":N,"pid":P}
+//! pool -> worker   {"type":"accept"} | {"type":"refuse","reason":R}
+//! pool -> worker   {"type":"run","id":ID,"spec":SPEC,"attempt":A, ...extras}
+//! worker -> pool   {"type":"heartbeat","cycles":C,"instrs":I}   (repeated)
+//! worker -> pool   {"type":"ok","payload":[f64...]}
+//! worker -> pool   {"type":"fail","class":NAME,"error":MSG,"detail":{...}?}
+//! pool -> worker   {"type":"shutdown"}
+//! ```
+
+use crate::class::FailureClass;
+use crate::json::{parse, Value};
+use crate::supervisor::{RunContext, RunError};
+use crisp_sim::AbortReason;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Frame size cap: a cell payload is a few dozen floats, so anything
+/// near this bound is protocol corruption, not data.
+pub const MAX_FRAME: usize = 4 << 20;
+
+/// Writes one length-prefixed JSON frame.
+///
+/// # Errors
+///
+/// Any I/O failure on the underlying writer, or a frame over
+/// [`MAX_FRAME`] bytes (reported as `InvalidData`).
+pub fn write_frame(w: &mut impl Write, v: &Value) -> std::io::Result<()> {
+    let body = v.encode();
+    if body.len() > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds cap", body.len()),
+        ));
+    }
+    let len = body.len() as u32;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one length-prefixed JSON frame. `Ok(None)` is a clean EOF at a
+/// frame boundary; EOF mid-frame, an oversized length, or unparsable
+/// JSON are `InvalidData` errors (protocol corruption).
+///
+/// # Errors
+///
+/// Any I/O failure on the underlying reader, or `InvalidData` on a
+/// corrupt frame.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Value>> {
+    let mut head = [0u8; 4];
+    let mut filled = 0;
+    while filled < head.len() {
+        match r.read(&mut head[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "EOF inside frame header",
+                ));
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_be_bytes(head) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let text = std::str::from_utf8(&body)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("frame: {e}")))?;
+    parse(text)
+        .map(Some)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("frame: {e}")))
+}
+
+/// What [`LeaseTable::claim`] decided.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Claim {
+    /// The cell was free (or released); the claimant now holds it.
+    Granted,
+    /// A previous holder's lease had expired; the claimant stole it.
+    Stolen,
+    /// Someone else holds a live lease; the claim is refused.
+    Held,
+}
+
+/// An in-memory lease state machine over a logical clock.
+///
+/// The pool claims a lease per dispatched cell, renews it on worker
+/// heartbeats, and force-expires it when the worker dies, so the
+/// retry's re-dispatch observably *steals* the dead worker's claim.
+/// Invariants (property-tested in `crates/harness/tests`): a cell never
+/// has two concurrent live holders, and a claimed cell is never lost —
+/// it stays in the table, held or expired, until explicitly released.
+#[derive(Debug)]
+pub struct LeaseTable {
+    ttl: u64,
+    now: u64,
+    leases: BTreeMap<String, Lease>,
+}
+
+#[derive(Debug)]
+struct Lease {
+    holder: String,
+    expires: u64,
+}
+
+impl LeaseTable {
+    /// A table whose leases live `ttl` logical ticks past their last
+    /// claim or renewal (`ttl` is clamped to at least 1).
+    pub fn new(ttl: u64) -> LeaseTable {
+        LeaseTable {
+            ttl: ttl.max(1),
+            now: 0,
+            leases: BTreeMap::new(),
+        }
+    }
+
+    /// Advances the logical clock.
+    pub fn tick(&mut self, dt: u64) {
+        self.now = self.now.saturating_add(dt);
+    }
+
+    /// The current logical time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Claims `cell` for `holder`: granted when free or released, stolen
+    /// when the previous lease expired, refused while a live lease (by
+    /// anyone, including `holder` itself) exists.
+    pub fn claim(&mut self, cell: &str, holder: &str) -> Claim {
+        let expires = self.now.saturating_add(self.ttl);
+        match self.leases.get_mut(cell) {
+            None => {
+                self.leases.insert(
+                    cell.to_string(),
+                    Lease {
+                        holder: holder.to_string(),
+                        expires,
+                    },
+                );
+                Claim::Granted
+            }
+            Some(lease) if lease.expires <= self.now => {
+                lease.holder = holder.to_string();
+                lease.expires = expires;
+                Claim::Stolen
+            }
+            Some(_) => Claim::Held,
+        }
+    }
+
+    /// Renews `holder`'s live lease on `cell`. `false` when the lease is
+    /// gone, expired, or held by someone else — the holder must treat
+    /// its claim as lost.
+    pub fn renew(&mut self, cell: &str, holder: &str) -> bool {
+        let now = self.now;
+        let expires = now.saturating_add(self.ttl);
+        match self.leases.get_mut(cell) {
+            Some(lease) if lease.holder == holder && lease.expires > now => {
+                lease.expires = expires;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Releases `holder`'s lease on `cell` (live or expired), removing
+    /// the entry. `false` when the cell is not held by `holder`.
+    pub fn release(&mut self, cell: &str, holder: &str) -> bool {
+        match self.leases.get(cell) {
+            Some(lease) if lease.holder == holder => {
+                self.leases.remove(cell);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Force-expires `cell`'s lease (the pool observed its holder die),
+    /// making the next claim a steal.
+    pub fn expire(&mut self, cell: &str) {
+        if let Some(lease) = self.leases.get_mut(cell) {
+            lease.expires = self.now;
+        }
+    }
+
+    /// The live holder of `cell`, if any.
+    pub fn holder(&self, cell: &str) -> Option<&str> {
+        self.leases
+            .get(cell)
+            .filter(|l| l.expires > self.now)
+            .map(|l| l.holder.as_str())
+    }
+
+    /// Every cell present in the table (held or expired-awaiting-steal).
+    pub fn cells(&self) -> Vec<&str> {
+        self.leases.keys().map(String::as_str).collect()
+    }
+
+    /// Live leases (holder still within its ttl).
+    pub fn live(&self) -> usize {
+        self.leases
+            .values()
+            .filter(|l| l.expires > self.now)
+            .count()
+    }
+}
+
+/// Shared pool gauges, exported into the daemon's `/stats` and `/readyz`.
+#[derive(Debug, Default)]
+pub struct PoolStatus {
+    /// All workers handshook; the pool accepts dispatches.
+    pub ready: AtomicBool,
+    /// Live worker processes.
+    pub workers_alive: AtomicUsize,
+    /// Workers currently executing a cell.
+    pub workers_busy: AtomicUsize,
+    /// Live leases in the pool's table.
+    pub leases_held: AtomicUsize,
+    /// Leases stolen from dead or wedged workers.
+    pub steals: AtomicUsize,
+    /// Cells quarantined as poisonous.
+    pub poisoned: AtomicUsize,
+    pids: Mutex<Vec<u32>>,
+}
+
+impl PoolStatus {
+    /// PIDs of the live workers (chaos tests pick SIGKILL victims here).
+    pub fn pids(&self) -> Vec<u32> {
+        self.pids.lock().expect("pids lock").clone()
+    }
+
+    fn add_pid(&self, pid: u32) {
+        self.pids.lock().expect("pids lock").push(pid);
+    }
+
+    fn remove_pid(&self, pid: u32) {
+        self.pids.lock().expect("pids lock").retain(|p| *p != pid);
+    }
+}
+
+/// Pool configuration.
+#[derive(Clone, Debug)]
+pub struct PoolOptions {
+    /// Path to the worker binary (`crisp-worker`).
+    pub worker_bin: PathBuf,
+    /// Worker process count (clamped to at least 1).
+    pub workers: usize,
+    /// The binary semver workers must report in their hello frame.
+    pub expect_version: String,
+    /// The `RESULT_SCHEMA` workers must report.
+    pub expect_schema: u64,
+    /// Consecutive worker deaths after which a cell is quarantined as
+    /// poisonous. Aligns with the retry budget: with the default
+    /// [`crate::retry::RetryPolicy`] (3 retries, 4 attempts), a
+    /// threshold of 3 quarantines on the final attempt.
+    pub poison_threshold: u32,
+    /// Lease period: a worker that emits no frame for this long is
+    /// declared wedged, killed, and its cell's lease stolen.
+    pub lease: Duration,
+    /// Heartbeat cadence workers are asked to publish at.
+    pub heartbeat: Duration,
+    /// Handshake deadline per worker.
+    pub handshake_timeout: Duration,
+    /// Stderr lines retained per worker for crash forensics.
+    pub stderr_tail: usize,
+}
+
+impl Default for PoolOptions {
+    fn default() -> PoolOptions {
+        PoolOptions {
+            worker_bin: PathBuf::from("crisp-worker"),
+            workers: 1,
+            expect_version: env!("CARGO_PKG_VERSION").to_string(),
+            expect_schema: u64::from(crate::store::RESULT_SCHEMA),
+            poison_threshold: 3,
+            lease: Duration::from_secs(5),
+            heartbeat: Duration::from_millis(100),
+            handshake_timeout: Duration::from_secs(10),
+            stderr_tail: 16,
+        }
+    }
+}
+
+/// One worker process and its plumbing.
+struct Worker {
+    child: Child,
+    stdin: std::process::ChildStdin,
+    frames: mpsc::Receiver<std::io::Result<Value>>,
+    stderr_tail: Arc<Mutex<VecDeque<String>>>,
+    pid: u32,
+}
+
+impl Worker {
+    /// Last stderr lines, newest last.
+    fn tail(&self) -> Vec<String> {
+        self.stderr_tail
+            .lock()
+            .expect("stderr tail lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+/// Per-cell crash bookkeeping for poison quarantine.
+#[derive(Clone, Debug, Default)]
+struct CrashRecord {
+    consecutive: u32,
+    last_exit: String,
+    last_stderr: Vec<String>,
+    last_heartbeat: (u64, u64),
+}
+
+/// The multi-process executor. Construct once with [`WorkerPool::spawn`]
+/// (it handshakes every worker), then use it as the body of a supervisor
+/// [`crate::supervisor::JobRunner`] via [`WorkerPool::run_cell`]. The
+/// pool is `Sync`: each dispatch checks a worker out of the free list,
+/// so concurrent supervisor threads drive distinct workers.
+pub struct WorkerPool {
+    opts: PoolOptions,
+    free: Mutex<Vec<Worker>>,
+    available: Condvar,
+    crashes: Mutex<BTreeMap<String, CrashRecord>>,
+    leases: Mutex<LeaseTable>,
+    started: Instant,
+    status: Arc<PoolStatus>,
+    shutting_down: AtomicBool,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.opts.workers)
+            .field("worker_bin", &self.opts.worker_bin)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns and handshakes every worker. Fails if any worker cannot be
+    /// started or reports a mismatched version/schema (the whole pool is
+    /// refused — a half-upgraded host must not run at all).
+    ///
+    /// # Errors
+    ///
+    /// A one-line message naming the worker and the failure.
+    pub fn spawn(opts: PoolOptions) -> Result<WorkerPool, String> {
+        let status = Arc::new(PoolStatus::default());
+        let mut workers = Vec::new();
+        for i in 0..opts.workers.max(1) {
+            let w = spawn_worker(&opts, &status).map_err(|e| format!("worker {i}: {e}"))?;
+            workers.push(w);
+        }
+        status.workers_alive.store(workers.len(), Ordering::SeqCst);
+        status.ready.store(true, Ordering::SeqCst);
+        let lease_ms = u64::try_from(opts.lease.as_millis()).unwrap_or(u64::MAX);
+        Ok(WorkerPool {
+            free: Mutex::new(workers),
+            available: Condvar::new(),
+            crashes: Mutex::new(BTreeMap::new()),
+            leases: Mutex::new(LeaseTable::new(lease_ms.max(1))),
+            started: Instant::now(),
+            status,
+            shutting_down: AtomicBool::new(false),
+            opts,
+        })
+    }
+
+    /// The pool's live gauges (shared with the daemon's `/stats`).
+    pub fn status(&self) -> Arc<PoolStatus> {
+        Arc::clone(&self.status)
+    }
+
+    /// Advances the lease table's logical clock to wall-time-since-start
+    /// and returns the table lock.
+    fn leases_now(&self) -> std::sync::MutexGuard<'_, LeaseTable> {
+        let mut t = self.leases.lock().expect("lease table lock");
+        let now = u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX);
+        let behind = now.saturating_sub(t.now());
+        t.tick(behind);
+        t
+    }
+
+    fn sync_lease_gauge(&self) {
+        let live = self.leases_now().live();
+        self.status.leases_held.store(live, Ordering::SeqCst);
+    }
+
+    /// Runs one cell attempt on a pooled worker. This is the body of a
+    /// supervisor job runner: failures come back pre-classified
+    /// ([`RunError::Classified`]) through the retry taxonomy. `extra`
+    /// must be a JSON object; its fields are merged into the run frame
+    /// (scale, chaos flags — whatever the worker binary understands).
+    ///
+    /// # Errors
+    ///
+    /// Worker crashes map to [`FailureClass::WorkerCrash`] (retryable),
+    /// quarantined cells to [`FailureClass::Poisoned`] (fatal), abort
+    /// requests to `Cancelled`/`Timeout`, and worker-reported failures
+    /// to their self-declared class.
+    pub fn run_cell(
+        &self,
+        job_id: &str,
+        job_spec: &str,
+        ctx: &RunContext,
+        extra: &Value,
+    ) -> Result<Vec<f64>, RunError> {
+        // Poison gate: a cell that has killed `poison_threshold`
+        // consecutive workers is refused before it can take another.
+        if let Some(rec) = self.crashes.lock().expect("crash map lock").get(job_id) {
+            if rec.consecutive >= self.opts.poison_threshold {
+                self.status.poisoned.fetch_add(1, Ordering::SeqCst);
+                return Err(poison_error(job_id, rec, &self.opts));
+            }
+        }
+
+        let mut worker = self.checkout(ctx)?;
+        self.status.workers_busy.fetch_add(1, Ordering::SeqCst);
+        let holder = format!("worker-{}", worker.pid);
+        let claim = self.leases_now().claim(job_id, &holder);
+        if claim == Claim::Stolen {
+            self.status.steals.fetch_add(1, Ordering::SeqCst);
+        }
+        self.sync_lease_gauge();
+
+        let outcome = self.drive(&mut worker, job_id, job_spec, ctx, extra);
+
+        // Bookkeeping: release or expire the lease, then return the
+        // worker (or bury it and respawn a replacement).
+        let worker_died = matches!(outcome, DriveOutcome::Crashed { .. });
+        {
+            let mut leases = self.leases_now();
+            if worker_died {
+                leases.expire(job_id);
+            } else {
+                leases.release(job_id, &holder);
+            }
+        }
+        self.sync_lease_gauge();
+        self.status.workers_busy.fetch_sub(1, Ordering::SeqCst);
+
+        match outcome {
+            DriveOutcome::Ok(payload) => {
+                self.crashes.lock().expect("crash map lock").remove(job_id);
+                self.checkin(worker);
+                Ok(payload)
+            }
+            DriveOutcome::Fail {
+                class,
+                error,
+                detail,
+            } => {
+                self.crashes.lock().expect("crash map lock").remove(job_id);
+                self.checkin(worker);
+                Err(RunError::Classified {
+                    class,
+                    error,
+                    detail,
+                })
+            }
+            DriveOutcome::Aborted(reason) => {
+                // The attempt was cancelled from outside mid-cell; the
+                // worker is mid-simulation with no way to stop, so it is
+                // killed and replaced. Not the cell's fault: no crash
+                // count.
+                self.bury(worker, "aborted");
+                let (class, error) = match reason {
+                    AbortReason::Cancelled => {
+                        (FailureClass::Cancelled, "attempt cancelled".to_string())
+                    }
+                    AbortReason::DeadlineExceeded => (
+                        FailureClass::Timeout,
+                        "attempt deadline expired (worker killed)".to_string(),
+                    ),
+                };
+                Err(RunError::Classified {
+                    class,
+                    error,
+                    detail: None,
+                })
+            }
+            DriveOutcome::Crashed { reason } => {
+                let tail = worker.tail();
+                let exit = self.bury(worker, &reason);
+                let record = {
+                    let mut crashes = self.crashes.lock().expect("crash map lock");
+                    let rec = crashes.entry(job_id.to_string()).or_default();
+                    rec.consecutive += 1;
+                    rec.last_exit = exit.clone();
+                    rec.last_stderr = tail;
+                    rec.last_heartbeat = ctx.progress.read();
+                    rec.clone()
+                };
+                let detail = crash_detail(&record, &reason, &self.opts);
+                Err(RunError::Classified {
+                    class: FailureClass::WorkerCrash,
+                    error: format!(
+                        "worker died mid-cell ({reason}; {exit}; {} consecutive)",
+                        record.consecutive
+                    ),
+                    detail: Some(detail),
+                })
+            }
+        }
+    }
+
+    /// Takes a worker from the free list, waiting while all are busy.
+    fn checkout(&self, ctx: &RunContext) -> Result<Worker, RunError> {
+        let mut free = self.free.lock().expect("free list lock");
+        loop {
+            if let Some(w) = free.pop() {
+                return Ok(w);
+            }
+            if self.status.workers_alive.load(Ordering::SeqCst) == 0 {
+                return Err(RunError::Classified {
+                    class: FailureClass::Runtime,
+                    error: "worker pool has no live workers".to_string(),
+                    detail: None,
+                });
+            }
+            if let Some(reason) = ctx.cancel.should_abort() {
+                let class = match reason {
+                    AbortReason::Cancelled => FailureClass::Cancelled,
+                    AbortReason::DeadlineExceeded => FailureClass::Timeout,
+                };
+                return Err(RunError::Classified {
+                    class,
+                    error: "aborted while waiting for a pool worker".to_string(),
+                    detail: None,
+                });
+            }
+            let (guard, _) = self
+                .available
+                .wait_timeout(free, Duration::from_millis(25))
+                .expect("free list lock");
+            free = guard;
+        }
+    }
+
+    /// Returns a healthy worker to the free list.
+    fn checkin(&self, worker: Worker) {
+        self.free.lock().expect("free list lock").push(worker);
+        self.available.notify_one();
+    }
+
+    /// Kills and reaps a dead-or-condemned worker, returns its exit
+    /// status description, and (unless shutting down) spawns a
+    /// replacement into the free list.
+    fn bury(&self, mut worker: Worker, why: &str) -> String {
+        let _ = worker.child.kill();
+        let exit = match worker.child.wait() {
+            Ok(status) => describe_exit(&status),
+            Err(e) => format!("unreaped ({e})"),
+        };
+        self.status.remove_pid(worker.pid);
+        self.status.workers_alive.fetch_sub(1, Ordering::SeqCst);
+        if self.shutting_down.load(Ordering::SeqCst) {
+            return exit;
+        }
+        match spawn_worker(&self.opts, &self.status) {
+            Ok(fresh) => {
+                self.status.workers_alive.fetch_add(1, Ordering::SeqCst);
+                self.checkin(fresh);
+            }
+            Err(e) => {
+                eprintln!("[pool] respawn after {why} failed: {e}");
+            }
+        }
+        exit
+    }
+
+    /// Sends the run frame and pumps worker frames to completion.
+    fn drive(
+        &self,
+        worker: &mut Worker,
+        job_id: &str,
+        job_spec: &str,
+        ctx: &RunContext,
+        extra: &Value,
+    ) -> DriveOutcome {
+        let mut pairs = vec![
+            ("type".to_string(), Value::Str("run".to_string())),
+            ("id".to_string(), Value::Str(job_id.to_string())),
+            ("spec".to_string(), Value::Str(job_spec.to_string())),
+            ("attempt".to_string(), Value::Num(f64::from(ctx.attempt))),
+            (
+                "heartbeat_ms".to_string(),
+                Value::Num(self.opts.heartbeat.as_millis() as f64),
+            ),
+        ];
+        if let Value::Obj(extra_pairs) = extra {
+            pairs.extend(extra_pairs.clone());
+        }
+        if write_frame(&mut worker.stdin, &Value::Obj(pairs)).is_err() {
+            return DriveOutcome::Crashed {
+                reason: "run frame write failed".to_string(),
+            };
+        }
+        let mut last_frame = Instant::now();
+        loop {
+            if let Some(reason) = ctx.cancel.should_abort() {
+                return DriveOutcome::Aborted(reason);
+            }
+            match worker.frames.recv_timeout(Duration::from_millis(25)) {
+                Ok(Ok(frame)) => {
+                    last_frame = Instant::now();
+                    match frame.get("type").and_then(Value::as_str) {
+                        Some("heartbeat") => {
+                            let cycles = frame.get("cycles").and_then(Value::as_u64).unwrap_or(0);
+                            let instrs = frame.get("instrs").and_then(Value::as_u64).unwrap_or(0);
+                            ctx.progress.publish(cycles, instrs);
+                            // Renew both leases: the pool's table and the
+                            // store's on-disk advisory lock.
+                            let holder = format!("worker-{}", worker.pid);
+                            self.leases_now().renew(job_id, &holder);
+                            ctx.lease.renew();
+                        }
+                        Some("ok") => {
+                            let payload = frame
+                                .get("payload")
+                                .and_then(Value::as_arr)
+                                .map(|a| a.iter().filter_map(Value::as_f64).collect::<Vec<f64>>());
+                            match payload {
+                                Some(p) => return DriveOutcome::Ok(p),
+                                None => {
+                                    return DriveOutcome::Crashed {
+                                        reason: "ok frame without payload".to_string(),
+                                    };
+                                }
+                            }
+                        }
+                        Some("fail") => {
+                            let class = frame
+                                .get("class")
+                                .and_then(Value::as_str)
+                                .and_then(FailureClass::from_name)
+                                .unwrap_or(FailureClass::Runtime);
+                            let error = frame
+                                .get("error")
+                                .and_then(Value::as_str)
+                                .unwrap_or("worker-reported failure")
+                                .to_string();
+                            return DriveOutcome::Fail {
+                                class,
+                                error,
+                                detail: frame.get("detail").cloned(),
+                            };
+                        }
+                        other => {
+                            return DriveOutcome::Crashed {
+                                reason: format!("unexpected frame type {other:?}"),
+                            };
+                        }
+                    }
+                }
+                Ok(Err(e)) => {
+                    // Reader thread hit EOF mid-frame or corrupt bytes.
+                    return DriveOutcome::Crashed {
+                        reason: format!("frame protocol error: {e}"),
+                    };
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if last_frame.elapsed() > self.opts.lease {
+                        return DriveOutcome::Crashed {
+                            reason: format!(
+                                "lease expired: no frame for {} ms",
+                                last_frame.elapsed().as_millis()
+                            ),
+                        };
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return DriveOutcome::Crashed {
+                        reason: "worker exited mid-cell".to_string(),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Shuts the pool down: asks every idle worker to exit, kills the
+    /// rest. Safe to call more than once.
+    pub fn shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        self.status.ready.store(false, Ordering::SeqCst);
+        let mut free = self.free.lock().expect("free list lock");
+        for mut w in free.drain(..) {
+            let _ = write_frame(
+                &mut w.stdin,
+                &Value::Obj(vec![(
+                    "type".to_string(),
+                    Value::Str("shutdown".to_string()),
+                )]),
+            );
+            // Give it a beat to exit cleanly, then make sure.
+            let deadline = Instant::now() + Duration::from_millis(500);
+            loop {
+                match w.child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    _ => {
+                        let _ = w.child.kill();
+                        let _ = w.child.wait();
+                        break;
+                    }
+                }
+            }
+            self.status.remove_pid(w.pid);
+            self.status.workers_alive.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// What one dispatch produced, before pool bookkeeping.
+enum DriveOutcome {
+    Ok(Vec<f64>),
+    Fail {
+        class: FailureClass,
+        error: String,
+        detail: Option<Value>,
+    },
+    Aborted(AbortReason),
+    Crashed {
+        reason: String,
+    },
+}
+
+fn describe_exit(status: &std::process::ExitStatus) -> String {
+    match status.code() {
+        Some(code) => format!("exit code {code}"),
+        None => format!("killed by signal ({status})"),
+    }
+}
+
+/// The quarantine error for a poisoned cell, with full forensics.
+fn poison_error(job_id: &str, rec: &CrashRecord, opts: &PoolOptions) -> RunError {
+    RunError::Classified {
+        class: FailureClass::Poisoned,
+        error: format!(
+            "cell {job_id} quarantined: killed {} consecutive worker(s) (last: {})",
+            rec.consecutive, rec.last_exit
+        ),
+        detail: Some(crash_detail(rec, "poison quarantine", opts)),
+    }
+}
+
+/// Forensic record for a worker crash / poison quarantine: what the
+/// DEGRADED manifest line carries.
+fn crash_detail(rec: &CrashRecord, reason: &str, opts: &PoolOptions) -> Value {
+    Value::Obj(vec![
+        ("kind".to_string(), Value::Str("worker-crash".to_string())),
+        ("reason".to_string(), Value::Str(reason.to_string())),
+        (
+            "consecutive_crashes".to_string(),
+            Value::Num(f64::from(rec.consecutive)),
+        ),
+        (
+            "argv".to_string(),
+            Value::Str(opts.worker_bin.display().to_string()),
+        ),
+        ("exit".to_string(), Value::Str(rec.last_exit.clone())),
+        (
+            "stderr_tail".to_string(),
+            Value::Arr(
+                rec.last_stderr
+                    .iter()
+                    .map(|l| Value::Str(l.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "last_heartbeat_cycles".to_string(),
+            Value::Num(rec.last_heartbeat.0 as f64),
+        ),
+        (
+            "last_heartbeat_instrs".to_string(),
+            Value::Num(rec.last_heartbeat.1 as f64),
+        ),
+    ])
+}
+
+/// Spawns one worker process and runs the version handshake.
+fn spawn_worker(opts: &PoolOptions, status: &Arc<PoolStatus>) -> Result<Worker, String> {
+    let mut child = Command::new(&opts.worker_bin)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", opts.worker_bin.display()))?;
+    let pid = child.id();
+    let stdin = child.stdin.take().expect("piped stdin");
+    let mut stdout = child.stdout.take().expect("piped stdout");
+    let stderr = child.stderr.take().expect("piped stderr");
+
+    // Reader thread: frames land in a channel so the pool can recv with
+    // a timeout (lease enforcement) and observe EOF as a disconnect.
+    let (tx, frames) = mpsc::channel();
+    std::thread::spawn(move || loop {
+        match read_frame(&mut stdout) {
+            Ok(Some(frame)) => {
+                if tx.send(Ok(frame)).is_err() {
+                    return;
+                }
+            }
+            Ok(None) => return, // clean EOF: channel disconnects
+            Err(e) => {
+                let _ = tx.send(Err(e));
+                return;
+            }
+        }
+    });
+
+    // Stderr tail collector for crash forensics.
+    let tail: Arc<Mutex<VecDeque<String>>> = Arc::new(Mutex::new(VecDeque::new()));
+    let tail_writer = Arc::clone(&tail);
+    let keep = opts.stderr_tail.max(1);
+    std::thread::spawn(move || {
+        use std::io::BufRead;
+        let reader = std::io::BufReader::new(stderr);
+        for line in reader.lines() {
+            let Ok(line) = line else { return };
+            let mut t = tail_writer.lock().expect("stderr tail lock");
+            if t.len() >= keep {
+                t.pop_front();
+            }
+            t.push_back(line);
+        }
+    });
+
+    let mut worker = Worker {
+        child,
+        stdin,
+        frames,
+        stderr_tail: tail,
+        pid,
+    };
+
+    // Handshake: hello within the deadline, matching version + schema.
+    let hello = match worker.frames.recv_timeout(opts.handshake_timeout) {
+        Ok(Ok(frame)) => frame,
+        Ok(Err(e)) => {
+            let _ = worker.child.kill();
+            let _ = worker.child.wait();
+            return Err(format!("handshake frame error: {e}"));
+        }
+        Err(_) => {
+            let _ = worker.child.kill();
+            let _ = worker.child.wait();
+            return Err(format!(
+                "no hello within {} ms",
+                opts.handshake_timeout.as_millis()
+            ));
+        }
+    };
+    let version = hello.get("version").and_then(Value::as_str).unwrap_or("?");
+    let schema = hello.get("schema").and_then(Value::as_u64).unwrap_or(0);
+    let is_hello = hello.get("type").and_then(Value::as_str) == Some("hello");
+    if !is_hello || version != opts.expect_version || schema != opts.expect_schema {
+        let reason = format!(
+            "version skew: worker reports {version}/schema {schema}, \
+             pool expects {}/schema {} — refusing",
+            opts.expect_version, opts.expect_schema
+        );
+        let _ = write_frame(
+            &mut worker.stdin,
+            &Value::Obj(vec![
+                ("type".to_string(), Value::Str("refuse".to_string())),
+                ("reason".to_string(), Value::Str(reason.clone())),
+            ]),
+        );
+        let _ = worker.child.wait();
+        return Err(reason);
+    }
+    write_frame(
+        &mut worker.stdin,
+        &Value::Obj(vec![("type".to_string(), Value::Str("accept".to_string()))]),
+    )
+    .map_err(|e| format!("accept frame: {e}"))?;
+    status.add_pid(pid);
+    Ok(worker)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let v = Value::Obj(vec![
+            ("type".to_string(), Value::Str("ok".to_string())),
+            (
+                "payload".to_string(),
+                Value::Arr(vec![Value::Num(1.5), Value::Num(-2.0)]),
+            ),
+        ]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &v).unwrap();
+        write_frame(&mut buf, &v).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Some(v.clone()));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(v));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn torn_and_oversized_frames_are_protocol_errors() {
+        // EOF inside the header.
+        let mut r: &[u8] = &[0, 0];
+        assert!(read_frame(&mut r).is_err());
+        // EOF inside the body.
+        let mut r: &[u8] = &[0, 0, 0, 9, b'{', b'}'];
+        assert!(read_frame(&mut r).is_err());
+        // A length over the cap.
+        let huge = (MAX_FRAME as u32 + 1).to_be_bytes();
+        let mut r: &[u8] = &huge;
+        assert!(read_frame(&mut r).is_err());
+        // Unparsable JSON.
+        let mut buf = vec![0, 0, 0, 3];
+        buf.extend_from_slice(b"nop");
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn lease_claims_renewals_and_steals() {
+        let mut t = LeaseTable::new(10);
+        assert_eq!(t.claim("cell", "a"), Claim::Granted);
+        assert_eq!(t.claim("cell", "b"), Claim::Held, "live lease refuses");
+        assert_eq!(t.claim("cell", "a"), Claim::Held, "even to the holder");
+        assert!(t.renew("cell", "a"));
+        assert!(!t.renew("cell", "b"), "only the holder renews");
+        assert_eq!(t.holder("cell"), Some("a"));
+
+        // Renewal extends: 9 ticks in, a renews; 9 more and it's alive.
+        t.tick(9);
+        assert!(t.renew("cell", "a"));
+        t.tick(9);
+        assert_eq!(t.holder("cell"), Some("a"));
+        assert_eq!(t.claim("cell", "b"), Claim::Held);
+
+        // Expiry: 1 more tick and b steals.
+        t.tick(1);
+        assert_eq!(t.holder("cell"), None, "expired lease has no live holder");
+        assert_eq!(t.claim("cell", "b"), Claim::Stolen);
+        assert!(!t.renew("cell", "a"), "the old holder lost its claim");
+        assert!(t.renew("cell", "b"));
+
+        // Release frees the cell for a clean grant.
+        assert!(!t.release("cell", "a"));
+        assert!(t.release("cell", "b"));
+        assert_eq!(t.claim("cell", "a"), Claim::Granted);
+    }
+
+    #[test]
+    fn force_expiry_turns_the_next_claim_into_a_steal() {
+        let mut t = LeaseTable::new(1000);
+        assert_eq!(t.claim("cell", "dead-worker"), Claim::Granted);
+        t.expire("cell");
+        assert_eq!(t.live(), 0);
+        assert_eq!(t.cells(), vec!["cell"], "the cell is never lost");
+        assert_eq!(t.claim("cell", "successor"), Claim::Stolen);
+        assert_eq!(t.holder("cell"), Some("successor"));
+    }
+
+    #[test]
+    fn spawn_refuses_a_missing_worker_binary() {
+        let opts = PoolOptions {
+            worker_bin: PathBuf::from("/nonexistent/crisp-worker"),
+            ..PoolOptions::default()
+        };
+        let err = WorkerPool::spawn(opts).unwrap_err();
+        assert!(err.contains("spawn"), "{err}");
+    }
+
+    #[test]
+    fn spawn_refuses_a_silent_worker() {
+        // `cat` never sends a hello frame: the handshake must time out
+        // and the pool must refuse to come up.
+        let opts = PoolOptions {
+            worker_bin: PathBuf::from("/bin/cat"),
+            handshake_timeout: Duration::from_millis(100),
+            ..PoolOptions::default()
+        };
+        let err = WorkerPool::spawn(opts).unwrap_err();
+        assert!(err.contains("no hello"), "{err}");
+    }
+}

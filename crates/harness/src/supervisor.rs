@@ -34,8 +34,8 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant, SystemTime};
 
 /// One schedulable cell of a sweep.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -82,11 +82,125 @@ pub struct RunContext {
     /// monitor can journal how far the cell has gotten. Failures cite the
     /// last published values in their structured detail.
     pub progress: ProgressBeacon,
+    /// The cell's store lease (advisory lock), when this attempt holds
+    /// one. A pool executor renews it on every worker heartbeat so a
+    /// long cell outlives the store's staleness window.
+    pub lease: LeaseGuard,
+}
+
+/// A shared handle on the cell's store lease: the supervisor installs
+/// the attempt's [`CellLock`] (if any) and the runner — typically a
+/// multi-process pool executor — renews it while the cell computes.
+#[derive(Clone, Debug, Default)]
+pub struct LeaseGuard(Arc<Mutex<Option<CellLock>>>);
+
+impl LeaseGuard {
+    fn install(&self, lock: Option<CellLock>) {
+        *self.0.lock().expect("lease lock") = lock;
+    }
+
+    fn take(&self) -> Option<CellLock> {
+        self.0.lock().expect("lease lock").take()
+    }
+
+    /// Renews the held store lease (refreshing its staleness clock).
+    /// Returns `false` when no lease is held or the lease was stolen.
+    pub fn renew(&self) -> bool {
+        self.0
+            .lock()
+            .expect("lease lock")
+            .as_ref()
+            .is_some_and(CellLock::renew)
+    }
+}
+
+/// How a job attempt failed, as reported by the runner.
+///
+/// Most runners fail with a pipeline error, classified through
+/// [`FailureClass::classify`]. Executors that know better — the
+/// multi-process pool observing a worker SIGKILL, or quarantining a
+/// poison cell — report a pre-classified failure with its own forensic
+/// detail instead.
+#[derive(Debug)]
+pub enum RunError {
+    /// A pipeline error; the supervisor classifies it.
+    Pipeline(CrispError),
+    /// A failure the executor already classified (worker crash, poison
+    /// quarantine), carried verbatim into the manifest.
+    Classified {
+        /// The retry-taxonomy class.
+        class: FailureClass,
+        /// Human-readable error message.
+        error: String,
+        /// Structured forensic payload for DEGRADED tables.
+        detail: Option<Value>,
+    },
+}
+
+impl From<CrispError> for RunError {
+    fn from(e: CrispError) -> RunError {
+        RunError::Pipeline(e)
+    }
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Pipeline(e) => write!(f, "{e}"),
+            RunError::Classified { class, error, .. } => write!(f, "{class}: {error}"),
+        }
+    }
+}
+
+/// A live event listener: the supervisor calls it once per lifecycle
+/// event (cell started / heartbeat / retry / degraded / done) with a
+/// one-object JSON payload. Sinks must be cheap and non-blocking; the
+/// daemon's sink appends NDJSON lines that `GET /jobs/ID/events` streams.
+#[derive(Clone)]
+pub struct EventSink(Arc<dyn Fn(&Value) + Send + Sync>);
+
+impl EventSink {
+    /// Wraps a listener closure.
+    pub fn new(f: impl Fn(&Value) + Send + Sync + 'static) -> EventSink {
+        EventSink(Arc::new(f))
+    }
+
+    /// Delivers one event.
+    pub fn emit(&self, event: &Value) {
+        (self.0)(event);
+    }
+}
+
+impl fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("EventSink(..)")
+    }
+}
+
+fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// Emits one lifecycle event to the configured sink (no-op without one).
+fn emit_event(sink: &Option<EventSink>, event: &str, job: &str, extra: Vec<(String, Value)>) {
+    let Some(sink) = sink else { return };
+    let mut pairs = vec![
+        ("event".to_string(), Value::Str(event.to_string())),
+        ("job".to_string(), Value::Str(job.to_string())),
+        ("unix_ms".to_string(), Value::Num(unix_ms() as f64)),
+    ];
+    pairs.extend(extra);
+    sink.emit(&Value::Obj(pairs));
 }
 
 /// The function the supervisor runs per attempt. Returns the cell's
-/// payload vector; errors are classified via [`FailureClass::classify`].
-pub type JobRunner<'a> = dyn Fn(&JobSpec, &RunContext) -> Result<Vec<f64>, CrispError> + Sync + 'a;
+/// payload vector; [`RunError::Pipeline`] errors are classified via
+/// [`FailureClass::classify`], [`RunError::Classified`] ones pass
+/// through unchanged.
+pub type JobRunner<'a> = dyn Fn(&JobSpec, &RunContext) -> Result<Vec<f64>, RunError> + Sync + 'a;
 
 /// Supervisor configuration.
 #[derive(Clone, Debug)]
@@ -130,6 +244,10 @@ pub struct SupervisorOptions {
     /// Test hook: the first `n` attempt-record appends fail like a
     /// transient ENOSPC (see [`Journal::fail_appends`]).
     pub fail_journal_appends: usize,
+    /// Live event sink: cell started / heartbeat / retry / degraded /
+    /// done lifecycle events as one-object JSON payloads (`None` = no
+    /// event stream).
+    pub events: Option<EventSink>,
 }
 
 impl Default for SupervisorOptions {
@@ -147,6 +265,7 @@ impl Default for SupervisorOptions {
             store: None,
             stop: None,
             fail_journal_appends: 0,
+            events: None,
         }
     }
 }
@@ -671,6 +790,16 @@ fn monitor_loop(
                     beat.job, beat.cycles, beat.instrs, beat.wall_ms
                 );
             }
+            emit_event(
+                &opts.events,
+                "heartbeat",
+                &beat.job,
+                vec![
+                    ("cycles".to_string(), Value::Num(beat.cycles as f64)),
+                    ("instrs".to_string(), Value::Num(beat.instrs as f64)),
+                    ("wall_ms".to_string(), Value::Num(beat.wall_ms as f64)),
+                ],
+            );
             if let Some(j) = journal {
                 if let Err(e) = j.lock().expect("journal lock").append_progress(&beat) {
                     eprintln!("[supervisor] heartbeat write failed: {e}");
@@ -778,6 +907,15 @@ fn worker_loop(
                         eprintln!("[supervisor] {}: cache hit ({key:032x})", job.id);
                     }
                     store_counters.hits.fetch_add(1, Ordering::SeqCst);
+                    emit_event(
+                        &opts.events,
+                        "cell-done",
+                        &job.id,
+                        vec![
+                            ("attempt".to_string(), Value::Num(f64::from(attempt))),
+                            ("cached".to_string(), Value::Bool(true)),
+                        ],
+                    );
                     outcomes.lock().expect("outcomes lock").insert(
                         job.id.clone(),
                         JobOutcome::Completed {
@@ -806,7 +944,15 @@ fn worker_loop(
             attempt,
             cancel,
             progress: ProgressBeacon::new(),
+            lease: LeaseGuard::default(),
         };
+        ctx.lease.install(cell_lock.take());
+        emit_event(
+            &opts.events,
+            "cell-started",
+            &job.id,
+            vec![("attempt".to_string(), Value::Num(f64::from(attempt)))],
+        );
         registry
             .lock()
             .expect("registry lock")
@@ -816,11 +962,16 @@ fn worker_loop(
         type Failure = (FailureClass, String, Option<Value>);
         let attempt_result: Result<Vec<f64>, Failure> = match result {
             Ok(Ok(payload)) => Ok(payload),
-            Ok(Err(e)) => Err((
+            Ok(Err(RunError::Pipeline(e))) => Err((
                 FailureClass::classify(&e),
                 e.to_string(),
                 with_progress(failure_detail(&e), &ctx.progress),
             )),
+            Ok(Err(RunError::Classified {
+                class,
+                error,
+                detail,
+            })) => Err((class, error, with_progress(detail, &ctx.progress))),
             Err(panic) => {
                 let msg = panic_message(panic);
                 let detail = with_progress(Some(panic_detail(&msg)), &ctx.progress);
@@ -878,7 +1029,7 @@ fn worker_loop(
                         }
                     }
                 }
-                drop(cell_lock.take());
+                drop(ctx.lease.take());
                 if opts.progress {
                     eprintln!(
                         "[supervisor] {}: ok (attempt {attempt}/{})",
@@ -886,6 +1037,15 @@ fn worker_loop(
                         opts.retry.max_attempts()
                     );
                 }
+                emit_event(
+                    &opts.events,
+                    "cell-done",
+                    &job.id,
+                    vec![
+                        ("attempt".to_string(), Value::Num(f64::from(attempt))),
+                        ("cached".to_string(), Value::Bool(false)),
+                    ],
+                );
                 outcomes.lock().expect("outcomes lock").insert(
                     job.id.clone(),
                     JobOutcome::Completed {
@@ -904,9 +1064,10 @@ fn worker_loop(
                     // Drained, not broken: record no final outcome (the
                     // journaled fail line never outranks a later ok), so
                     // a resume re-runs the cell with a fresh budget.
-                    drop(cell_lock.take());
+                    drop(ctx.lease.take());
                     return;
                 }
+                drop(ctx.lease.take());
                 if class.retryable() && attempt < opts.retry.max_attempts() {
                     let delay = opts.retry.delay(attempt, job.fingerprint64());
                     if opts.progress {
@@ -917,6 +1078,16 @@ fn worker_loop(
                             delay.as_millis()
                         );
                     }
+                    emit_event(
+                        &opts.events,
+                        "cell-retry",
+                        &job.id,
+                        vec![
+                            ("attempt".to_string(), Value::Num(f64::from(attempt))),
+                            ("class".to_string(), Value::Str(class.name().to_string())),
+                            ("delay_ms".to_string(), Value::Num(delay.as_millis() as f64)),
+                        ],
+                    );
                     queue.lock().expect("queue lock").push_back(Pending {
                         idx: pending.idx,
                         attempt: attempt + 1,
@@ -930,6 +1101,19 @@ fn worker_loop(
                             first_line(&error)
                         );
                     }
+                    emit_event(
+                        &opts.events,
+                        "cell-degraded",
+                        &job.id,
+                        vec![
+                            ("attempt".to_string(), Value::Num(f64::from(attempt))),
+                            ("class".to_string(), Value::Str(class.name().to_string())),
+                            (
+                                "error".to_string(),
+                                Value::Str(first_line(&error).to_string()),
+                            ),
+                        ],
+                    );
                     outcomes.lock().expect("outcomes lock").insert(
                         job.id.clone(),
                         JobOutcome::Failed {
@@ -1021,10 +1205,7 @@ mod tests {
         let calls = AtomicU32::new(0);
         let report = run_sweep(&js, &opts, &|_job, _ctx| {
             calls.fetch_add(1, Ordering::SeqCst);
-            Err(CrispError::Config(ConfigError::new(
-                "rob",
-                "must be nonzero",
-            )))
+            Err(CrispError::Config(ConfigError::new("rob", "must be nonzero")).into())
         })
         .unwrap();
         assert_eq!(
@@ -1092,13 +1273,14 @@ mod tests {
             loop {
                 if let Some(reason) = ctx.cancel.should_abort() {
                     assert_eq!(reason, crisp_sim::AbortReason::DeadlineExceeded);
-                    return Err(CrispError::Simulation(
-                        crisp_sim::SimError::DeadlineExceeded {
+                    return Err(
+                        CrispError::Simulation(crisp_sim::SimError::DeadlineExceeded {
                             cycle: 7,
                             retired: 0,
                             total: 10,
-                        },
-                    ));
+                        })
+                        .into(),
+                    );
                 }
                 std::thread::sleep(Duration::from_micros(200));
             }
@@ -1343,13 +1525,14 @@ mod tests {
         };
         let report = run_sweep(&js, &opts, &|_job, ctx| {
             ctx.progress.publish(4096, 512);
-            Err(CrispError::Simulation(
-                crisp_sim::SimError::DeadlineExceeded {
+            Err(
+                CrispError::Simulation(crisp_sim::SimError::DeadlineExceeded {
                     cycle: 4096,
                     retired: 512,
                     total: 1000,
-                },
-            ))
+                })
+                .into(),
+            )
         })
         .unwrap();
         match report.outcomes.get("slow") {
@@ -1505,7 +1688,8 @@ mod tests {
                         cycle: 3,
                         retired: 1,
                         total: 10,
-                    }));
+                    })
+                    .into());
                 }
                 std::thread::sleep(Duration::from_micros(200));
             }

@@ -1,0 +1,213 @@
+//! Property tests for the pool's lease state machine.
+//!
+//! The pool relies on two invariants to keep "each unique cell computed
+//! exactly once" true under worker crashes and steals:
+//!
+//! - **no double grant** — arbitrary interleavings of
+//!   claim/renew/expire/steal never yield two concurrent live holders:
+//!   a claim only succeeds (granted or stolen) when no live lease
+//!   exists;
+//! - **no lost cells** — once claimed, a cell stays in the table (held
+//!   or expired-awaiting-steal) until its holder explicitly releases
+//!   it; crashes (modeled by `expire`) make the cell *stealable*, never
+//!   *gone*.
+//!
+//! Both are checked against an independent model: a naive map of
+//! `(holder, expiry)` driven by the same documented semantics, with the
+//! real [`LeaseTable`] compared after every operation.
+
+use crisp_harness::{Claim, LeaseTable};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const CELLS: [&str; 3] = ["fig1/mcf", "fig1/lbm", "fig4/gcc"];
+const HOLDERS: [&str; 3] = ["worker-0", "worker-1", "worker-2"];
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Tick(u64),
+    Claim(usize, usize),
+    Renew(usize, usize),
+    Release(usize, usize),
+    Expire(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (
+        0usize..5,
+        0usize..CELLS.len(),
+        0usize..HOLDERS.len(),
+        1u64..8,
+    )
+        .prop_map(|(kind, c, h, dt)| match kind {
+            0 => Op::Tick(dt),
+            1 => Op::Claim(c, h),
+            2 => Op::Renew(c, h),
+            3 => Op::Release(c, h),
+            _ => Op::Expire(c),
+        })
+}
+
+/// The naive reference implementation of the documented semantics.
+struct Model {
+    ttl: u64,
+    now: u64,
+    leases: BTreeMap<&'static str, (&'static str, u64)>,
+}
+
+impl Model {
+    fn new(ttl: u64) -> Model {
+        Model {
+            ttl: ttl.max(1),
+            now: 0,
+            leases: BTreeMap::new(),
+        }
+    }
+
+    fn live(&self, cell: &str) -> Option<&'static str> {
+        self.leases
+            .get(cell)
+            .filter(|(_, expires)| *expires > self.now)
+            .map(|(holder, _)| *holder)
+    }
+
+    fn claim(&mut self, cell: &'static str, holder: &'static str) -> Claim {
+        let expires = self.now + self.ttl;
+        match self.leases.get(cell) {
+            None => {
+                self.leases.insert(cell, (holder, expires));
+                Claim::Granted
+            }
+            Some((_, old_expires)) if *old_expires <= self.now => {
+                self.leases.insert(cell, (holder, expires));
+                Claim::Stolen
+            }
+            Some(_) => Claim::Held,
+        }
+    }
+
+    fn renew(&mut self, cell: &str, holder: &str) -> bool {
+        let now = self.now;
+        let ttl = self.ttl;
+        match self.leases.get_mut(cell) {
+            Some((h, expires)) if *h == holder && *expires > now => {
+                *expires = now + ttl;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn release(&mut self, cell: &str, holder: &str) -> bool {
+        match self.leases.get(cell) {
+            Some((h, _)) if *h == holder => {
+                self.leases.remove(cell);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn expire(&mut self, cell: &str) {
+        let now = self.now;
+        if let Some((_, expires)) = self.leases.get_mut(cell) {
+            *expires = now;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Model agreement plus the two safety invariants, checked after
+    /// every operation of an arbitrary interleaving.
+    #[test]
+    fn arbitrary_interleavings_never_double_grant_or_lose_a_cell(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        ttl in 1u64..10,
+    ) {
+        let mut table = LeaseTable::new(ttl);
+        let mut model = Model::new(ttl);
+        for op in &ops {
+            match *op {
+                Op::Tick(dt) => {
+                    table.tick(dt);
+                    model.now += dt;
+                    prop_assert_eq!(table.now(), model.now);
+                }
+                Op::Claim(c, h) => {
+                    let (cell, holder) = (CELLS[c], HOLDERS[h]);
+                    let prior_live = model.live(cell);
+                    let got = table.claim(cell, holder);
+                    let want = model.claim(cell, holder);
+                    prop_assert_eq!(got, want, "claim({}, {})", cell, holder);
+                    // No double grant: a successful claim can never
+                    // displace a live lease.
+                    if got != Claim::Held {
+                        prop_assert_eq!(
+                            prior_live, None,
+                            "{:?} displaced live holder of {}", got, cell
+                        );
+                    }
+                }
+                Op::Renew(c, h) => {
+                    let (cell, holder) = (CELLS[c], HOLDERS[h]);
+                    prop_assert_eq!(
+                        table.renew(cell, holder),
+                        model.renew(cell, holder),
+                        "renew({}, {})", cell, holder
+                    );
+                }
+                Op::Release(c, h) => {
+                    let (cell, holder) = (CELLS[c], HOLDERS[h]);
+                    prop_assert_eq!(
+                        table.release(cell, holder),
+                        model.release(cell, holder),
+                        "release({}, {})", cell, holder
+                    );
+                }
+                Op::Expire(c) => {
+                    table.expire(CELLS[c]);
+                    model.expire(CELLS[c]);
+                    // A crash-expired cell is stealable, never gone.
+                    prop_assert!(
+                        table.cells().contains(&CELLS[c]) == model.leases.contains_key(CELLS[c])
+                    );
+                }
+            }
+            // Per-cell holder agreement (also proves at most one live
+            // holder per cell: the table and model are keyed by cell).
+            for cell in CELLS {
+                prop_assert_eq!(table.holder(cell), model.live(cell), "holder({})", cell);
+            }
+            prop_assert_eq!(table.live(), model.leases.keys()
+                .filter(|c| model.live(c).is_some()).count());
+            // No lost cells: every unreleased claim is still present.
+            let mut got_cells = table.cells();
+            got_cells.sort_unstable();
+            let want_cells: Vec<&str> = model.leases.keys().copied().collect();
+            prop_assert_eq!(got_cells, want_cells);
+        }
+    }
+
+    /// Directed steal scenario under arbitrary timing: a holder that
+    /// goes silent past its ttl loses the cell to exactly one thief,
+    /// and its own late renew must fail afterwards.
+    #[test]
+    fn a_silent_holder_is_stolen_from_exactly_once(silence in 1u64..30, ttl in 1u64..10) {
+        let mut table = LeaseTable::new(ttl);
+        assert_eq!(table.claim("cell", "sleeper"), Claim::Granted);
+        table.tick(silence);
+        let expired = silence >= ttl.max(1);
+        if expired {
+            prop_assert_eq!(table.claim("cell", "thief-a"), Claim::Stolen);
+            // The second thief and the original holder both lose.
+            prop_assert_eq!(table.claim("cell", "thief-b"), Claim::Held);
+            prop_assert!(!table.renew("cell", "sleeper"));
+            prop_assert_eq!(table.holder("cell"), Some("thief-a"));
+        } else {
+            prop_assert_eq!(table.claim("cell", "thief-a"), Claim::Held);
+            prop_assert!(table.renew("cell", "sleeper"));
+        }
+    }
+}

@@ -153,6 +153,150 @@ impl Client {
         }
     }
 
+    /// Follows a job's live event stream (`GET /jobs/<id>/events?from=N`)
+    /// over one connection, invoking `on_event` for every NDJSON event
+    /// line. Server keepalive chunks are filtered out and not counted.
+    ///
+    /// Returns `(delivered, ended)`: how many event lines were delivered
+    /// (resume a dropped stream with `from + delivered`), and whether the
+    /// stream terminated cleanly (the job finished) rather than the
+    /// connection dropping mid-stream. A dropped connection is *not* an
+    /// error — the caller decides whether to reconnect.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] on a 4xx answer (unknown job),
+    /// [`ClientError::Exhausted`] when the connection could not even be
+    /// established (transient — back off and retry), and
+    /// [`ClientError::Protocol`] when the server's framing is not ours.
+    pub fn follow(
+        &self,
+        id_hex: &str,
+        from: usize,
+        on_event: &mut dyn FnMut(&Value),
+    ) -> Result<(usize, bool), ClientError> {
+        let transient = |last: String| ClientError::Exhausted { attempts: 1, last };
+        let mut stream = connect(&self.cfg.addr, self.cfg.timeout).map_err(transient)?;
+        stream
+            .set_read_timeout(Some(self.cfg.timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.cfg.timeout)))
+            .map_err(|e| transient(format!("set timeouts: {e}")))?;
+        let raw = format!(
+            "GET /jobs/{id_hex}/events?from={from} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+            self.cfg.addr
+        );
+        use std::io::Read;
+        stream
+            .write_all(raw.as_bytes())
+            .map_err(|e| transient(format!("send: {e}")))?;
+
+        // Read the response head; whatever follows it seeds the chunk
+        // decoder.
+        let mut buf: Vec<u8> = Vec::with_capacity(1024);
+        let head_end = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            if buf.len() > 64 * 1024 {
+                return Err(ClientError::Protocol("response head never ended".into()));
+            }
+            let mut chunk = [0u8; 4096];
+            let n = stream
+                .read(&mut chunk)
+                .map_err(|e| transient(format!("recv head: {e}")))?;
+            if n == 0 {
+                return Err(transient("connection closed before head".into()));
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("bad status line in `{head}`")))?;
+        let mut rest: Vec<u8> = buf[head_end + 4..].to_vec();
+        if status != 200 {
+            let mut tail = Vec::new();
+            let _ = stream.read_to_end(&mut tail);
+            rest.extend_from_slice(&tail);
+            let text = String::from_utf8_lossy(&rest);
+            let body = parse(&text).unwrap_or(Value::Obj(vec![]));
+            return Err(rejected(status, &body));
+        }
+        if !head
+            .to_ascii_lowercase()
+            .contains("transfer-encoding: chunked")
+        {
+            return Err(ClientError::Protocol(
+                "events response is not chunked".into(),
+            ));
+        }
+
+        // Incremental chunked-transfer decoding: chunk payloads are
+        // concatenated into `line_buf`, and every complete NDJSON line
+        // is delivered as it lands.
+        let mut delivered = 0usize;
+        let mut line_buf: Vec<u8> = Vec::new();
+        let mut deliver = |line_buf: &mut Vec<u8>, delivered: &mut usize| {
+            while let Some(nl) = line_buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = line_buf.drain(..=nl).collect();
+                let text = String::from_utf8_lossy(&line[..nl]);
+                if text.trim().is_empty() {
+                    continue;
+                }
+                let Ok(event) = parse(&text) else {
+                    continue; // tolerate torn/foreign lines
+                };
+                if event.get("event").and_then(Value::as_str) == Some("keepalive") {
+                    continue; // injected by the server, not a file line
+                }
+                *delivered += 1;
+                on_event(&event);
+            }
+        };
+        loop {
+            // A chunk head (`<hex size>\r\n`) must be in `rest`.
+            let Some(pos) = rest.windows(2).position(|w| w == b"\r\n") else {
+                if rest.len() > 1024 * 1024 {
+                    return Err(ClientError::Protocol("unterminated chunk size".into()));
+                }
+                let mut chunk = [0u8; 4096];
+                match stream.read(&mut chunk) {
+                    Ok(0) | Err(_) => return Ok((delivered, false)), // dropped
+                    Ok(n) => rest.extend_from_slice(&chunk[..n]),
+                }
+                continue;
+            };
+            let size_text = String::from_utf8_lossy(&rest[..pos]).into_owned();
+            let size_hex = size_text.split(';').next().unwrap_or("").trim();
+            let Ok(size) = usize::from_str_radix(size_hex, 16) else {
+                return Err(ClientError::Protocol(format!(
+                    "bad chunk size `{size_text}`"
+                )));
+            };
+            if size == 0 {
+                deliver(&mut line_buf, &mut delivered);
+                return Ok((delivered, true)); // clean terminator: job done
+            }
+            if size > 1024 * 1024 {
+                return Err(ClientError::Protocol(format!("chunk of {size} bytes")));
+            }
+            let frame_end = pos + 2 + size + 2; // size line + payload + CRLF
+            if rest.len() < frame_end {
+                let mut chunk = [0u8; 4096];
+                match stream.read(&mut chunk) {
+                    Ok(0) | Err(_) => return Ok((delivered, false)), // dropped
+                    Ok(n) => rest.extend_from_slice(&chunk[..n]),
+                }
+                continue;
+            }
+            line_buf.extend_from_slice(&rest[pos + 2..pos + 2 + size]);
+            rest.drain(..frame_end);
+            deliver(&mut line_buf, &mut delivered);
+        }
+    }
+
     /// One round trip with bounded retries on transient failures.
     /// Returns the first non-transient `(status, parsed body)`.
     ///

@@ -32,17 +32,21 @@
 //!   the store: each unique cell is simulated at most once.
 
 use crate::api::{error_body, JobState, SubmitRequest};
-use crate::http::{read_request, write_response, HttpLimits, Request};
+use crate::http::{
+    read_request, write_chunk, write_chunk_end, write_chunked_head, write_response, HttpLimits,
+    Request,
+};
 use crate::registry::{JobRecord, Registry};
 use crisp_harness::json::Value;
-use crisp_harness::load_manifest;
+use crisp_harness::{load_manifest, PoolStatus};
 use crisp_sim::CancelToken;
 use crisp_store::{fnv1a128, key_hex, LockOptions, Store};
 use std::collections::VecDeque;
+use std::io::{Read, Seek, SeekFrom};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Default bound on jobs admitted but not yet finished.
@@ -117,6 +121,10 @@ pub struct DaemonConfig {
     pub io_timeout: Duration,
     /// Value advertised in `Retry-After` on 429/503.
     pub retry_after: Duration,
+    /// Worker-pool gauges (`--workers N`): exported into `/stats`, and
+    /// `/readyz` answers 503 until the pool's handshake completes.
+    /// `None` means the in-process executor — no pool gating.
+    pub pool: Option<Arc<PoolStatus>>,
 }
 
 impl Default for DaemonConfig {
@@ -130,6 +138,7 @@ impl Default for DaemonConfig {
             limits: HttpLimits::default(),
             io_timeout: Duration::from_secs(5),
             retry_after: Duration::from_secs(2),
+            pool: None,
         }
     }
 }
@@ -424,8 +433,112 @@ fn handle_connection(
             return;
         }
     };
+    // The events stream is chunked and long-lived; it cannot go through
+    // the buffered (status, headers, body) route below.
+    if request.method == "GET" {
+        if let Some((id, from)) = parse_events_path(&request.path) {
+            stream_events(&mut stream, state, id, from, shutdown);
+            return;
+        }
+    }
     let (status, headers, body) = route(&request, cfg, state, plan, shutdown);
     let _ = write_response(&mut stream, status, reason(status), &headers, &body);
+}
+
+/// Matches `GET /jobs/<32-hex>/events[?from=N]` → `(id, line offset)`.
+fn parse_events_path(path: &str) -> Option<(u128, usize)> {
+    let rest = path.strip_prefix("/jobs/")?;
+    let (rest, query) = match rest.split_once('?') {
+        Some((r, q)) => (r, Some(q)),
+        None => (rest, None),
+    };
+    let id_hex = rest.strip_suffix("/events")?;
+    let id = u128::from_str_radix(id_hex, 16).ok()?;
+    let from = query
+        .and_then(|q| q.split('&').find_map(|kv| kv.strip_prefix("from=")))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    Some((id, from))
+}
+
+/// `GET /jobs/<id>/events?from=N`: chunked NDJSON of the job's live
+/// event file, starting at line `N` (the reconnect cursor). While the
+/// job is unfinished the stream idles on keepalive chunks
+/// (`{"event":"keepalive"}` — not part of the file, so clients must not
+/// count them toward `from`); it terminates once the job has a result
+/// and every event line has been sent.
+fn stream_events(
+    stream: &mut TcpStream,
+    state: &State,
+    id: u128,
+    from: usize,
+    shutdown: &CancelToken,
+) {
+    if state.job_state(id).is_none() {
+        let _ = write_response(
+            stream,
+            404,
+            reason(404),
+            &[],
+            &error_body("unknown job", &key_hex(id)),
+        );
+        return;
+    }
+    if write_chunked_head(stream, 200, reason(200), "application/x-ndjson").is_err() {
+        return;
+    }
+    let path = state.registry.events_path(id);
+    let mut offset: u64 = 0; // bytes of complete lines consumed
+    let mut skipped = 0usize; // lines dropped to honor ?from
+    let mut last_sent = Instant::now();
+    loop {
+        let mut sent_any = false;
+        if let Ok(mut file) = std::fs::File::open(&path) {
+            let mut buf = Vec::new();
+            if file.seek(SeekFrom::Start(offset)).is_ok()
+                && file.read_to_end(&mut buf).is_ok()
+                && !buf.is_empty()
+            {
+                // Consume only complete lines: a torn tail (the writer
+                // mid-append) stays for the next poll.
+                if let Some(last_nl) = buf.iter().rposition(|&b| b == b'\n') {
+                    let complete = &buf[..=last_nl];
+                    offset += complete.len() as u64;
+                    for line in complete.split(|&b| b == b'\n') {
+                        if line.is_empty() {
+                            continue;
+                        }
+                        if skipped < from {
+                            skipped += 1;
+                            continue;
+                        }
+                        let mut chunk = line.to_vec();
+                        chunk.push(b'\n');
+                        if write_chunk(stream, &chunk).is_err() {
+                            return; // client gone
+                        }
+                        sent_any = true;
+                    }
+                }
+            }
+        }
+        if sent_any {
+            last_sent = Instant::now();
+            continue;
+        }
+        // Quiescent: finished jobs end the stream, live ones keepalive.
+        if state.registry.has_result(id) || shutdown.is_cancelled() {
+            break;
+        }
+        if last_sent.elapsed() >= Duration::from_secs(2) {
+            if write_chunk(stream, b"{\"event\":\"keepalive\"}\n").is_err() {
+                return;
+            }
+            last_sent = Instant::now();
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let _ = write_chunk_end(stream);
 }
 
 fn reason(status: u16) -> &'static str {
@@ -462,8 +575,18 @@ fn route(
         ),
         ("GET", "/readyz") => {
             let full = state.queue_depth() >= cfg.queue_cap;
-            if draining || full {
-                let why = if draining { "draining" } else { "queue full" };
+            let warming = cfg
+                .pool
+                .as_ref()
+                .is_some_and(|p| !p.ready.load(Ordering::SeqCst));
+            if draining || full || warming {
+                let why = if draining {
+                    "draining"
+                } else if full {
+                    "queue full"
+                } else {
+                    "pool warming"
+                };
                 (
                     503,
                     vec![retry_after_header(cfg)],
@@ -516,6 +639,41 @@ fn stats_body(cfg: &DaemonConfig, state: &State, draining: bool) -> String {
             Value::Num(state.started.elapsed().as_millis() as f64),
         ),
     ];
+    if let Some(pool) = &cfg.pool {
+        pairs.push((
+            "pool_ready".to_string(),
+            Value::Bool(pool.ready.load(Ordering::SeqCst)),
+        ));
+        pairs.push((
+            "workers_alive".to_string(),
+            Value::Num(pool.workers_alive.load(Ordering::SeqCst) as f64),
+        ));
+        pairs.push((
+            "workers_busy".to_string(),
+            Value::Num(pool.workers_busy.load(Ordering::SeqCst) as f64),
+        ));
+        pairs.push((
+            "leases_held".to_string(),
+            Value::Num(pool.leases_held.load(Ordering::SeqCst) as f64),
+        ));
+        pairs.push((
+            "lease_steals".to_string(),
+            Value::Num(pool.steals.load(Ordering::SeqCst) as f64),
+        ));
+        pairs.push((
+            "poisoned_cells".to_string(),
+            Value::Num(pool.poisoned.load(Ordering::SeqCst) as f64),
+        ));
+        pairs.push((
+            "workers_pids".to_string(),
+            Value::Arr(
+                pool.pids()
+                    .into_iter()
+                    .map(|p| Value::Num(f64::from(p)))
+                    .collect(),
+            ),
+        ));
+    }
     if let Ok(store) = Store::open(&state.store_dir) {
         if let Ok(s) = store.stats() {
             pairs.push(("store_entries".to_string(), Value::Num(s.entries as f64)));

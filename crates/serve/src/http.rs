@@ -253,6 +253,59 @@ pub fn write_response(
         .map_err(|e| io_error(&e))
 }
 
+/// Starts a chunked (streaming) response: status line + headers with
+/// `Transfer-Encoding: chunked` instead of `Content-Length`. Follow with
+/// any number of [`write_chunk`] calls and one [`write_chunk_end`].
+///
+/// # Errors
+///
+/// [`HttpError::Io`] / [`HttpError::Timeout`] on socket failure.
+pub fn write_chunked_head(
+    stream: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+) -> Result<(), HttpError> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.flush())
+        .map_err(|e| io_error(&e))
+}
+
+/// Writes one chunk (hex size line + payload) and flushes, so live
+/// streams reach the client without buffering. Empty payloads are
+/// skipped — a zero-length chunk would terminate the stream.
+///
+/// # Errors
+///
+/// [`HttpError::Io`] / [`HttpError::Timeout`] on socket failure.
+pub fn write_chunk(stream: &mut impl Write, payload: &[u8]) -> Result<(), HttpError> {
+    if payload.is_empty() {
+        return Ok(());
+    }
+    stream
+        .write_all(format!("{:x}\r\n", payload.len()).as_bytes())
+        .and_then(|()| stream.write_all(payload))
+        .and_then(|()| stream.write_all(b"\r\n"))
+        .and_then(|()| stream.flush())
+        .map_err(|e| io_error(&e))
+}
+
+/// Terminates a chunked response (the zero-length chunk).
+///
+/// # Errors
+///
+/// [`HttpError::Io`] / [`HttpError::Timeout`] on socket failure.
+pub fn write_chunk_end(stream: &mut impl Write) -> Result<(), HttpError> {
+    stream
+        .write_all(b"0\r\n\r\n")
+        .and_then(|()| stream.flush())
+        .map_err(|e| io_error(&e))
+}
+
 /// Reads one response from `stream` (the client side):
 /// `(status, retry_after_seconds, body)`.
 ///
@@ -376,6 +429,24 @@ mod tests {
         ] {
             assert!(parse_bytes(bytes).is_err(), "{bytes:?}");
         }
+    }
+
+    #[test]
+    fn chunked_responses_frame_and_terminate_correctly() {
+        let mut wire = Vec::new();
+        write_chunked_head(&mut wire, 200, "OK", "application/x-ndjson").unwrap();
+        write_chunk(&mut wire, b"{\"event\":\"cell-started\"}\n").unwrap();
+        write_chunk(&mut wire, b"").unwrap(); // skipped, not a terminator
+        write_chunk(&mut wire, b"{\"event\":\"cell-done\"}\n").unwrap();
+        write_chunk_end(&mut wire).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked"), "{text}");
+        assert!(!text.contains("Content-Length"), "{text}");
+        assert!(
+            text.contains("19\r\n{\"event\":\"cell-started\"}\n\r\n"),
+            "{text}"
+        );
+        assert!(text.ends_with("0\r\n\r\n"), "{text}");
     }
 
     #[test]

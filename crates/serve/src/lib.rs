@@ -47,5 +47,8 @@ pub use client::{Client, ClientConfig, ClientError};
 pub use daemon::{
     run_daemon, DaemonConfig, ExecCtx, ExecFn, ExecResult, JobPlan, PlanFn, DEFAULT_QUEUE_CAP,
 };
-pub use http::{read_request, write_response, HttpError, HttpLimits, Request};
+pub use http::{
+    read_request, write_chunk, write_chunk_end, write_chunked_head, write_response, HttpError,
+    HttpLimits, Request,
+};
 pub use registry::{JobRecord, Registry};

@@ -101,6 +101,12 @@ impl Registry {
         self.job_dir(id).join("run.jsonl")
     }
 
+    /// Where a job's live event stream (NDJSON, append-only) lives —
+    /// what `GET /jobs/<id>/events` tails.
+    pub fn events_path(&self, id: u128) -> PathBuf {
+        self.job_dir(id).join("events.jsonl")
+    }
+
     fn request_path(&self, id: u128) -> PathBuf {
         self.job_dir(id).join("request.json")
     }
