@@ -10,6 +10,8 @@
 //! crisp pipeline <workload> [--fast] [--loads-only|--branches-only] [--check]
 //! crisp pipeview <workload> [--crisp] [-n INSTRS] [--from SEQ] [--len COUNT]
 //! crisp obs summarize <FILE...>
+//! crisp obs hotspots <BENCH.json...>
+//! crisp obs spans <spans.jsonl...>
 //! crisp cache stats|verify|gc|evict <KEY> --store DIR [--max-age-days D] [--max-entries N]
 //! crisp submit <TARGET...> --addr HOST:PORT [--fast|--tiny] [--workloads A,B,C]
 //! crisp status <JOB> --addr HOST:PORT
@@ -100,6 +102,8 @@ fn usage_text() -> String {
          crisp pipeline <workload> [--fast] [--loads-only|--branches-only] [--check]\n  \
          crisp pipeview <workload> [--crisp] [-n INSTRS] [--from SEQ] [--len COUNT]\n  \
          crisp obs summarize <FILE...>\n  \
+         crisp obs hotspots <BENCH.json...>\n  \
+         crisp obs spans <spans.jsonl...>\n  \
          crisp cache stats|verify|gc|evict <KEY> --store DIR [--max-age-days D] [--max-entries N]\n  \
          crisp submit <TARGET...> --addr HOST:PORT [--fast|--tiny] [--workloads A,B,C]\n  \
          crisp status <JOB> --addr HOST:PORT\n  \
@@ -450,36 +454,80 @@ fn run(cmd: &str, args: &Args) -> Result<(), Failure> {
         }
         "obs" => {
             args.allow_flags(cmd, &[])?;
-            let (sub, files) = args
-                .positional
-                .split_first()
-                .ok_or_else(|| Failure::usage("`crisp obs` needs a subcommand: summarize"))?;
-            if sub != "summarize" {
+            let (sub, files) = args.positional.split_first().ok_or_else(|| {
+                Failure::usage("`crisp obs` needs a subcommand: summarize | hotspots | spans")
+            })?;
+            if files.is_empty() {
                 return Err(Failure::usage(format!(
-                    "unknown `crisp obs` subcommand: {sub} (expected: summarize)"
+                    "`crisp obs {sub}` needs at least one input file"
                 )));
             }
-            if files.is_empty() {
-                return Err(Failure::usage(
-                    "`crisp obs summarize` needs at least one telemetry JSONL file",
-                ));
-            }
-            for (i, path) in files.iter().enumerate() {
-                let text = std::fs::read_to_string(path).map_err(|e| Failure {
+            let read = |path: &String| {
+                std::fs::read_to_string(path).map_err(|e| Failure {
                     code: EXIT_RUNTIME,
                     message: format!("failed to read {path}: {e}"),
-                })?;
-                let samples = parse_jsonl(&text).map_err(|e| Failure {
-                    code: EXIT_RUNTIME,
-                    message: format!("{path}: {e}"),
-                })?;
-                if i > 0 {
-                    println!();
+                })
+            };
+            match sub.as_str() {
+                "summarize" => {
+                    for (i, path) in files.iter().enumerate() {
+                        let samples = parse_jsonl(&read(path)?).map_err(|e| Failure {
+                            code: EXIT_RUNTIME,
+                            message: format!("{path}: {e}"),
+                        })?;
+                        if i > 0 {
+                            println!();
+                        }
+                        println!("{path}:");
+                        print!("{}", summarize(&samples));
+                    }
+                    Ok(())
                 }
-                println!("{path}:");
-                print!("{}", summarize(&samples));
+                "hotspots" => {
+                    // Host-time attribution from a sim-bench report
+                    // (BENCH_9.json) or any JSON file carrying a
+                    // `hostprof` object.
+                    for (i, path) in files.iter().enumerate() {
+                        let doc =
+                            crisp_harness::json::parse(&read(path)?).map_err(|e| Failure {
+                                code: EXIT_RUNTIME,
+                                message: format!("{path}: {e}"),
+                            })?;
+                        let report = hostprof_from_value(&doc).ok_or_else(|| Failure {
+                            code: EXIT_RUNTIME,
+                            message: format!("{path}: no hostprof object found"),
+                        })?;
+                        if i > 0 {
+                            println!();
+                        }
+                        println!("{path}:");
+                        print!("{}", report.render());
+                    }
+                    Ok(())
+                }
+                "spans" => {
+                    // Cross-process span tree from a job's spans.jsonl
+                    // (<data>/jobs/<id>/spans.jsonl under crisp-serve).
+                    for (i, path) in files.iter().enumerate() {
+                        let spans = crisp_harness::load_spans(&read(path)?);
+                        if spans.is_empty() {
+                            return Err(Failure {
+                                code: EXIT_RUNTIME,
+                                message: format!("{path}: no spans found"),
+                            });
+                        }
+                        if i > 0 {
+                            println!();
+                        }
+                        println!("{path}:");
+                        print!("{}", crisp_obs::render_spans(&spans));
+                    }
+                    Ok(())
+                }
+                other => Err(Failure::usage(format!(
+                    "unknown `crisp obs` subcommand: {other} (expected: summarize | hotspots | spans)"
+                ))),
             }
-            Ok(())
         }
         "pipeview" => {
             args.allow_flags(cmd, &["--crisp"])?;
@@ -556,6 +604,34 @@ fn run(cmd: &str, args: &Args) -> Result<(), Failure> {
             usage_text()
         ))),
     }
+}
+
+/// Rebuilds a [`crisp_obs::HostProfReport`] from a sim-bench JSON
+/// document: the `hostprof` member if present, else the document
+/// itself. Unknown phase names are ignored (forward compatibility).
+fn hostprof_from_value(doc: &crisp_harness::json::Value) -> Option<crisp_obs::HostProfReport> {
+    use crisp_harness::json::Value;
+    let node = doc.get("hostprof").unwrap_or(doc);
+    let Some(Value::Obj(phases)) = node.get("phase_ns") else {
+        return None;
+    };
+    let count = |k: &str| node.get(k).and_then(Value::as_u64).unwrap_or(0);
+    let mut report = crisp_obs::HostProfReport {
+        enabled: node.get("enabled") != Some(&Value::Bool(false)),
+        cycles: count("cycles"),
+        retired: count("retired"),
+        rs_slots_scanned: count("rs_slots_scanned"),
+        age_compares: count("age_compares"),
+        lsq_probes: count("lsq_probes"),
+        mshr_probes: count("mshr_probes"),
+        ..crisp_obs::HostProfReport::default()
+    };
+    for (name, ns) in phases {
+        if let Some(ns) = ns.as_u64() {
+            report.set_phase_ns(name, ns);
+        }
+    }
+    Some(report)
 }
 
 /// `crisp cache stats|verify|gc|evict` — operate on a content-addressed

@@ -258,6 +258,12 @@ fn exec(
     cfg.cell_delay = opts.cell_delay;
     cfg.progress = opts.progress;
     cfg.pool = pool.cloned();
+    // Supervisor and worker spans hang under the daemon's execute span.
+    cfg.spans = Some(crisp_harness::SpanScope {
+        path: ctx.spans.clone(),
+        trace: ctx.trace.clone(),
+        parent: ctx.span_parent,
+    });
     // Live events land next to the job's manifest as append-only NDJSON
     // — exactly what GET /jobs/<id>/events tails. No fsync: the stream
     // is advisory telemetry, the manifest stays the durability record.

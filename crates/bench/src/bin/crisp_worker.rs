@@ -98,6 +98,23 @@ fn handle_run(frame: &Value, out: &mut Stdout) -> Result<(), ExitCode> {
         );
     };
 
+    // Span plumbing: the supervisor hands down the trace, the span log
+    // path, and its cell span's id; this process hangs its `simulate`
+    // span (tagged with our pid) underneath it.
+    let span_scope = frame
+        .get("trace")
+        .and_then(Value::as_str)
+        .zip(frame.get("span_path").and_then(Value::as_str))
+        .map(|(trace, path)| crisp_harness::SpanScope {
+            path: path.into(),
+            trace: trace.to_string(),
+            parent: frame
+                .get("span_parent")
+                .and_then(Value::as_str)
+                .and_then(|h| u64::from_str_radix(h, 16).ok())
+                .unwrap_or(0),
+        });
+
     let job = JobSpec::new(id, spec);
     let ctx = RunContext {
         attempt,
@@ -108,6 +125,7 @@ fn handle_run(frame: &Value, out: &mut Stdout) -> Result<(), ExitCode> {
     let progress = ctx.progress.clone();
     let done = Arc::new(AtomicBool::new(false));
     let done_flag = Arc::clone(&done);
+    let simulate_started_ns = crisp_harness::unix_ns();
     // Compute on a side thread; the main thread owns stdout and streams
     // heartbeats, so the pool's lease clock keeps advancing even while
     // the simulator is head-down in a long cell.
@@ -140,7 +158,16 @@ fn handle_run(frame: &Value, out: &mut Stdout) -> Result<(), ExitCode> {
     }
     // The outer join only fails if the thread died *outside* the
     // catch_unwind (impossible today); fold it into the same panic arm.
-    let response = match compute.join().unwrap_or_else(Err) {
+    let joined = compute.join().unwrap_or_else(Err);
+    if let Some(scope) = &span_scope {
+        scope.emit(
+            &format!("simulate {id}#{attempt}"),
+            &format!("worker:{}", std::process::id()),
+            simulate_started_ns,
+            crisp_harness::unix_ns(),
+        );
+    }
+    let response = match joined {
         Ok(Ok(payload)) => obj(vec![
             ("type", Value::Str("ok".to_string())),
             (

@@ -5,15 +5,22 @@
 //! binary measures that per-call cost directly (a tight retire-style loop
 //! with and without the call, interleaved, min-of-N so scheduler noise
 //! cancels) and the engine's real per-instruction cost (a full tiny
-//! simulation), then gates on two facts:
+//! simulation), then gates on three hot-path facts, each under
+//! `--max-ns` (default 0.5 ns) per call:
 //!
-//! 1. the disabled record call must cost under `--max-ns` (default
-//!    0.5 ns) per call — anything above means the off path is doing real
-//!    work (building events, touching the ring) before checking the
-//!    switch;
-//! 2. the implied retire-loop regression — per-call cost divided by the
-//!    engine's measured per-instruction time, the recorded in-process
-//!    baseline — must stay under `--threshold` percent (default 1%).
+//! 1. the disabled `Tracer` record call — anything above means the off
+//!    path is doing real work (building events, touching the ring)
+//!    before checking the switch;
+//! 2. the disabled `HostProf::enter` phase mark — the self-profiler
+//!    rides the same engine loop and must vanish the same way when off;
+//! 3. the metrics `Counter::inc` — incremented on the daemon's request
+//!    path, and cheap enough that instrumenting a loop with one is
+//!    never a question;
+//!
+//! plus the implied retire-loop regression — disabled-record cost
+//! divided by the engine's measured per-instruction time, the recorded
+//! in-process baseline — must stay under `--threshold` percent
+//! (default 1%).
 //!
 //! It also reports, informationally, full-simulation throughput with
 //! observability off vs fully on (tracer + telemetry + stall
@@ -26,7 +33,8 @@
 
 use crisp_core::{build, Input, SimConfig};
 use crisp_emu::Emulator;
-use crisp_obs::{EventKind, Tracer};
+use crisp_obs::{EventKind, HostProf, Phase, Tracer};
+use crisp_serve::Counter;
 use crisp_sim::Simulator;
 use std::hint::black_box;
 use std::process::ExitCode;
@@ -65,6 +73,34 @@ fn spin_with_off_tracer(iters: u64, counters: &mut [u64; 1024], t: &mut Tracer) 
         let cycle = black_box(i);
         let pc = retire_slot(cycle, counters, &mut acc);
         t.record(cycle, i, pc, EventKind::Retire, None);
+    }
+    acc
+}
+
+/// The same loop with a disabled self-profiler phase mark in the body.
+/// The phase is a literal, exactly like the engine's call sites.
+fn spin_with_off_hostprof(iters: u64, counters: &mut [u64; 1024], p: &mut HostProf) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..iters {
+        let cycle = black_box(i);
+        retire_slot(cycle, counters, &mut acc);
+        p.enter(Phase::Wakeup);
+    }
+    acc
+}
+
+/// The same loop with a metrics counter increment in the body. Four
+/// counters round-robined so the measurement captures the increment's
+/// issue cost, not the store-to-load forwarding latency of hammering
+/// one address back-to-back — the daemon's request path touches
+/// different counters with real work in between, never the same one
+/// twice in a row.
+fn spin_with_counter(iters: u64, counters: &mut [u64; 1024], banks: &[Counter; 4]) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..iters {
+        let cycle = black_box(i);
+        retire_slot(cycle, counters, &mut acc);
+        banks[(i & 3) as usize].inc();
     }
     acc
 }
@@ -122,28 +158,57 @@ fn main() -> ExitCode {
         }
     }
 
-    // Interleave A/B and keep the minimum of each: the min over enough
-    // repetitions is the noise-free cost of the loop itself.
+    // Interleave the variants and keep the minimum of each: the min
+    // over enough repetitions is the noise-free cost of the loop itself.
     let mut tracer = Tracer::Off;
+    let mut hostprof = HostProf::new(false);
+    let banks: [Counter; 4] = Default::default();
     let mut counters = [0u64; 1024];
     let mut base = Duration::MAX;
     let mut off = Duration::MAX;
+    let mut prof = Duration::MAX;
+    let mut ctr = Duration::MAX;
     for _ in 0..REPS {
         base = base.min(time(|| spin_baseline(iters, &mut counters)));
         off = off.min(time(|| {
             spin_with_off_tracer(iters, &mut counters, &mut tracer)
         }));
+        prof = prof.min(time(|| {
+            spin_with_off_hostprof(iters, &mut counters, &mut hostprof)
+        }));
+        ctr = ctr.min(time(|| spin_with_counter(iters, &mut counters, &banks)));
     }
     black_box(&counters);
     assert!(
         tracer.events().is_empty(),
         "Tracer::Off must record nothing"
     );
-    let per_call_ns = (off.as_secs_f64() - base.as_secs_f64()).max(0.0) / iters as f64 * 1e9;
+    assert!(!hostprof.is_on(), "HostProf::new(false) must stay off");
+    assert_eq!(
+        banks.iter().map(Counter::get).sum::<u64>(),
+        iters * REPS as u64,
+        "Counter::inc must count every call from a single thread"
+    );
+    let per_call = |with: Duration| -> f64 {
+        (with.as_secs_f64() - base.as_secs_f64()).max(0.0) / iters as f64 * 1e9
+    };
+    let per_call_ns = per_call(off);
+    let hostprof_ns = per_call(prof);
+    let counter_ns = per_call(ctr);
     println!(
         "record call: baseline loop {:>8.3?}  with Tracer::Off {:>8.3?}  => {per_call_ns:.3} \
          ns/call disabled (ceiling {max_ns} ns, {iters} iters, min of {REPS})",
         base, off
+    );
+    println!(
+        "phase mark:  with HostProf off {:>8.3?}  => {hostprof_ns:.3} ns/call disabled \
+         (ceiling {max_ns} ns)",
+        prof
+    );
+    println!(
+        "counter inc: with Counter::inc {:>8.3?}  => {counter_ns:.3} ns/call \
+         (ceiling {max_ns} ns)",
+        ctr
     );
 
     let sim_off = sim_throughput(false);
@@ -165,6 +230,20 @@ fn main() -> ExitCode {
         eprintln!(
             "obs-overhead: FAIL — disabled record call costs {per_call_ns:.3} ns > {max_ns} ns: \
              the off path is doing real work"
+        );
+        return ExitCode::FAILURE;
+    }
+    if hostprof_ns > max_ns {
+        eprintln!(
+            "obs-overhead: FAIL — disabled HostProf::enter costs {hostprof_ns:.3} ns > {max_ns} \
+             ns: the off path is doing real work"
+        );
+        return ExitCode::FAILURE;
+    }
+    if counter_ns > max_ns {
+        eprintln!(
+            "obs-overhead: FAIL — Counter::inc costs {counter_ns:.3} ns > {max_ns} ns: the \
+             metrics hot path is too heavy to leave on request handling"
         );
         return ExitCode::FAILURE;
     }

@@ -1,0 +1,269 @@
+//! `sim-bench` — engine throughput benchmark in KIPS (`BENCH_9.json`).
+//!
+//! Measures how many thousand instructions per second the cycle engine
+//! retires on a fixed set of workloads, the host-side companion to the
+//! simulated-IPC figures: CRISP experiments are throughput-bound on the
+//! engine, so a KIPS regression here is wall-clock pain everywhere.
+//!
+//! Per workload: build + emulate once (off the clock), then `--warmup`
+//! untimed runs followed by `--trials` timed runs of the same trace on
+//! a fresh `Simulator` each, reporting every trial plus min and median
+//! KIPS. Timed runs keep observability off — this is the shipping
+//! configuration. One extra run per workload flips
+//! `SimConfig::hostprof` on and the summed self-profile is emitted as
+//! the artifact's `hostprof` object (readable by `crisp obs hotspots
+//! BENCH_9.json`), so the benchmark that detects a regression also
+//! says which engine phase ate it.
+//!
+//! ```text
+//! usage: sim-bench [--trials N] [--warmup N] [--instrs N] [--out PATH] [--quick]
+//! exit codes: 0 ok, 1 benchmark invariant broken, 2 usage error
+//! ```
+//!
+//! Invariants gated on: every trial retires the same instruction count
+//! (determinism), and the self-profile attributes >= 95% of engine host
+//! time to named phases (the `other` bucket stays honest).
+
+use crisp_core::{build, Input, SimConfig};
+use crisp_emu::Emulator;
+use crisp_harness::json::Value;
+use crisp_obs::HostProfReport;
+use crisp_sim::Simulator;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Workloads spanning the engine's behaviour space: pointer chasing
+/// (latency-bound, MLP=1), mcf (cache-hostile dependent loads), lbm
+/// (streaming stores, bandwidth-bound).
+const WORKLOADS: [&str; 3] = ["pointer_chase", "mcf", "lbm"];
+
+/// Named-phase attribution floor (percent) for the self-profile.
+const NAMED_FLOOR_PCT: f64 = 95.0;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: sim-bench [--trials N] [--warmup N] [--instrs N] [--out PATH] [--quick]");
+    ExitCode::from(2)
+}
+
+struct WorkloadResult {
+    name: &'static str,
+    retired: u64,
+    cycles: u64,
+    kips: Vec<f64>,
+    prof: HostProfReport,
+}
+
+/// Benchmarks one workload: warmup + trials with observability off,
+/// then one profiled run for phase attribution.
+fn bench_workload(
+    name: &'static str,
+    instrs: usize,
+    warmup: usize,
+    trials: usize,
+) -> Result<WorkloadResult, String> {
+    let w = build(name, Input::Train).map_err(|e| format!("{name}: build failed: {e}"))?;
+    let trace = Emulator::new(&w.program, w.memory.clone()).run(instrs as u64);
+    let cfg = SimConfig::skylake();
+    let run = |cfg: &SimConfig| {
+        let sim = Simulator::try_new(cfg.clone()).map_err(|e| format!("{name}: config: {e}"))?;
+        let started = Instant::now();
+        let res = sim
+            .try_run(&w.program, &trace, None)
+            .map_err(|e| format!("{name}: simulation failed: {e}"))?;
+        Ok::<_, String>((started.elapsed().as_secs_f64(), res))
+    };
+
+    for _ in 0..warmup {
+        run(&cfg)?;
+    }
+    let mut kips = Vec::with_capacity(trials);
+    let mut retired = 0u64;
+    let mut cycles = 0u64;
+    for t in 0..trials {
+        let (secs, res) = run(&cfg)?;
+        if t == 0 {
+            (retired, cycles) = (res.retired, res.cycles);
+        } else if res.retired != retired {
+            return Err(format!(
+                "{name}: trial {t} retired {} instrs, trial 0 retired {retired} — \
+                 the engine is nondeterministic",
+                res.retired
+            ));
+        }
+        kips.push(res.retired as f64 / 1e3 / secs.max(1e-9));
+    }
+
+    let mut prof_cfg = cfg;
+    prof_cfg.hostprof = true;
+    let (_, res) = run(&prof_cfg)?;
+    Ok(WorkloadResult {
+        name,
+        retired,
+        cycles,
+        kips,
+        prof: res.hostprof,
+    })
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// The aggregate self-profile: phase times and scan counters summed
+/// across every workload's profiled run.
+fn sum_profiles(results: &[WorkloadResult]) -> HostProfReport {
+    let mut total = HostProfReport {
+        enabled: true,
+        ..HostProfReport::default()
+    };
+    for r in results {
+        for (i, ns) in r.prof.phase_ns.iter().enumerate() {
+            total.phase_ns[i] += ns;
+        }
+        total.cycles += r.prof.cycles;
+        total.retired += r.prof.retired;
+        total.rs_slots_scanned += r.prof.rs_slots_scanned;
+        total.age_compares += r.prof.age_compares;
+        total.lsq_probes += r.prof.lsq_probes;
+        total.mshr_probes += r.prof.mshr_probes;
+    }
+    total
+}
+
+/// Encodes a report in the JSON shape `crisp obs hotspots` reads back:
+/// scalar counters plus a `phase_ns` name->ns object.
+fn profile_json(p: &HostProfReport) -> Value {
+    let phases = p
+        .phases()
+        .map(|(name, ns)| (name.to_string(), Value::Num(ns as f64)))
+        .collect();
+    Value::Obj(vec![
+        ("enabled".into(), Value::Bool(p.enabled)),
+        ("cycles".into(), Value::Num(p.cycles as f64)),
+        ("retired".into(), Value::Num(p.retired as f64)),
+        (
+            "rs_slots_scanned".into(),
+            Value::Num(p.rs_slots_scanned as f64),
+        ),
+        ("age_compares".into(), Value::Num(p.age_compares as f64)),
+        ("lsq_probes".into(), Value::Num(p.lsq_probes as f64)),
+        ("mshr_probes".into(), Value::Num(p.mshr_probes as f64)),
+        ("phase_ns".into(), Value::Obj(phases)),
+    ])
+}
+
+fn main() -> ExitCode {
+    let mut trials = 5usize;
+    let mut warmup = 1usize;
+    let mut instrs = 200_000usize;
+    let mut out = PathBuf::from("BENCH_9.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trials" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) if v >= 1 => trials = v,
+                _ => return usage(),
+            },
+            "--warmup" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) => warmup = v,
+                _ => return usage(),
+            },
+            "--instrs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) if v >= 1_000 => instrs = v,
+                _ => return usage(),
+            },
+            "--out" => match args.next() {
+                Some(v) => out = PathBuf::from(v),
+                None => return usage(),
+            },
+            // CI smoke setting: small trace, fewer trials, same shape.
+            "--quick" => {
+                trials = 2;
+                warmup = 1;
+                instrs = 30_000;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let mut results = Vec::new();
+    for name in WORKLOADS {
+        match bench_workload(name, instrs, warmup, trials) {
+            Ok(r) => {
+                let mut sorted = r.kips.clone();
+                sorted.sort_by(f64::total_cmp);
+                eprintln!(
+                    "[sim-bench] {name}: {} instrs, {} cycles, KIPS min {:.0} / median {:.0} \
+                     ({trials} trials)",
+                    r.retired,
+                    r.cycles,
+                    sorted[0],
+                    median(&sorted),
+                );
+                results.push(r);
+            }
+            Err(e) => {
+                eprintln!("sim-bench: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let profile = sum_profiles(&results);
+    let named_pct = profile.named_ns() as f64 * 100.0 / profile.total_ns().max(1) as f64;
+
+    let workloads_json = results
+        .iter()
+        .map(|r| {
+            let mut sorted = r.kips.clone();
+            sorted.sort_by(f64::total_cmp);
+            Value::Obj(vec![
+                ("name".into(), Value::Str(r.name.into())),
+                ("retired".into(), Value::Num(r.retired as f64)),
+                ("cycles".into(), Value::Num(r.cycles as f64)),
+                (
+                    "kips".into(),
+                    Value::Arr(r.kips.iter().map(|&k| Value::Num(k)).collect()),
+                ),
+                ("kips_min".into(), Value::Num(sorted[0])),
+                ("kips_median".into(), Value::Num(median(&sorted))),
+            ])
+        })
+        .collect();
+    let doc = Value::Obj(vec![
+        ("bench".into(), Value::Str("sim-kips".into())),
+        ("instrs".into(), Value::Num(instrs as f64)),
+        ("warmup".into(), Value::Num(warmup as f64)),
+        ("trials".into(), Value::Num(trials as f64)),
+        ("workloads".into(), Value::Arr(workloads_json)),
+        ("hostprof".into(), profile_json(&profile)),
+        ("hostprof_named_pct".into(), Value::Num(named_pct)),
+    ]);
+    if let Err(e) = std::fs::write(&out, format!("{}\n", doc.encode())) {
+        eprintln!("sim-bench: writing {} failed: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "[sim-bench] self-profile: {:.1}% of host time in named phases -> {}",
+        named_pct,
+        out.display()
+    );
+
+    if named_pct < NAMED_FLOOR_PCT {
+        eprintln!(
+            "sim-bench: FAIL — only {named_pct:.1}% of engine host time lands in named \
+             phases (floor {NAMED_FLOOR_PCT}%); instrument the gap before trusting hotspots"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

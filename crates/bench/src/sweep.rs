@@ -98,6 +98,10 @@ pub struct SweepConfig {
     /// Live event sink threaded into the supervisor (cell started /
     /// heartbeat / retry / degraded / done), feeding `GET /jobs/ID/events`.
     pub events: Option<EventSink>,
+    /// Cross-process span scope threaded into the supervisor and, in
+    /// pool mode, down to the worker processes (each cell's `simulate`
+    /// span carries the worker's pid), feeding `crisp obs spans`.
+    pub spans: Option<crisp_harness::SpanScope>,
 }
 
 impl Default for SweepConfig {
@@ -124,6 +128,7 @@ impl Default for SweepConfig {
             cell_delay: None,
             pool: None,
             events: None,
+            spans: None,
         }
     }
 }
@@ -219,6 +224,7 @@ pub fn run_supervised_sweep(cfg: &SweepConfig) -> Result<SweepOutput, HarnessErr
         stop: cfg.stop.clone(),
         fail_journal_appends: 0,
         events: cfg.events.clone(),
+        spans: cfg.spans.clone(),
     };
     let chaos = cfg.chaos.clone();
     let scale = cfg.scale;
@@ -241,6 +247,7 @@ pub fn run_supervised_sweep(cfg: &SweepConfig) -> Result<SweepOutput, HarnessErr
         ..ObsPolicy::new()
     });
     let cell_delay = cfg.cell_delay;
+    let spans = cfg.spans.clone();
     let runner = move |job: &JobSpec, ctx: &RunContext| -> Result<Vec<f64>, RunError> {
         let stall = chaos.stall.iter().any(|s| job.id.contains(s.as_str()));
         if let Some(pool) = pool.as_deref() {
@@ -259,6 +266,25 @@ pub fn run_supervised_sweep(cfg: &SweepConfig) -> Result<SweepOutput, HarnessErr
                 extra.push((
                     "cell_delay_ms".to_string(),
                     Value::Num(delay.as_millis() as f64),
+                ));
+            }
+            if let Some(scope) = &spans {
+                // The worker re-derives the supervisor's cell-span id
+                // from (trace, name) and parents its simulate span on
+                // it. Ids ride as hex strings — u64 overflows the JSON
+                // subset's f64 numbers.
+                let parent = crisp_harness::span_id(
+                    &scope.trace,
+                    &format!("cell {}#{}", job.id, ctx.attempt),
+                );
+                extra.push(("trace".to_string(), Value::Str(scope.trace.clone())));
+                extra.push((
+                    "span_path".to_string(),
+                    Value::Str(scope.path.display().to_string()),
+                ));
+                extra.push((
+                    "span_parent".to_string(),
+                    Value::Str(format!("{parent:016x}")),
                 ));
             }
             return pool.run_cell(&job.id, &job.spec, ctx, &Value::Obj(extra));

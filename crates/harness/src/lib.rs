@@ -24,6 +24,8 @@
 //! - [`retry`] — the backoff schedule;
 //! - [`class`] — the failure taxonomy (retryable vs fatal);
 //! - [`json`] — the dependency-free JSON subset the journal uses;
+//! - [`spanlog`] — the cross-process span log (`spans.jsonl`) every
+//!   layer of a job appends to, rendered by `crisp obs spans`;
 //! - [`store`] — the content-addressed result store surface: keying
 //!   policy plus re-exports of the `crisp-store` crate (verified cache
 //!   hits skip simulation; corrupt entries quarantine and re-simulate).
@@ -51,6 +53,7 @@ pub mod journal;
 pub mod json;
 pub mod pool;
 pub mod retry;
+pub mod spanlog;
 pub mod store;
 pub mod supervisor;
 
@@ -68,6 +71,7 @@ pub use pool::{
     read_frame, write_frame, Claim, LeaseTable, PoolOptions, PoolStatus, WorkerPool, MAX_FRAME,
 };
 pub use retry::RetryPolicy;
+pub use spanlog::{append_span, load_spans, span_id, unix_ns, SpanScope};
 pub use store::{cell_key, cell_key_material, ResultStoreConfig, RESULT_SCHEMA};
 pub use supervisor::{
     failure_detail, run_sweep, EventSink, HarnessError, JobOutcome, JobRunner, JobSpec, LeaseGuard,

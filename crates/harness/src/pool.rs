@@ -264,6 +264,9 @@ pub struct PoolStatus {
     pub steals: AtomicUsize,
     /// Cells quarantined as poisonous.
     pub poisoned: AtomicUsize,
+    /// Workers that died mid-cell (SIGKILL/SIGSEGV/OOM/protocol), each
+    /// replaced by a fresh spawn — the `/metrics` crash counter.
+    pub crashes: AtomicUsize,
     pids: Mutex<Vec<u32>>,
 }
 
@@ -524,6 +527,7 @@ impl WorkerPool {
                 })
             }
             DriveOutcome::Crashed { reason } => {
+                self.status.crashes.fetch_add(1, Ordering::SeqCst);
                 let tail = worker.tail();
                 let exit = self.bury(worker, &reason);
                 let record = {

@@ -248,6 +248,11 @@ pub struct SupervisorOptions {
     /// done lifecycle events as one-object JSON payloads (`None` = no
     /// event stream).
     pub events: Option<EventSink>,
+    /// Cross-process span log scope: every attempt appends a
+    /// `cell <id>#<attempt>` span (and a `store-publish` child when a
+    /// computed payload is published) under the scope's parent
+    /// (`None` = no tracing).
+    pub spans: Option<crate::spanlog::SpanScope>,
 }
 
 impl Default for SupervisorOptions {
@@ -266,6 +271,7 @@ impl Default for SupervisorOptions {
             stop: None,
             fail_journal_appends: 0,
             events: None,
+            spans: None,
         }
     }
 }
@@ -870,6 +876,20 @@ fn worker_loop(
 
         let job = &jobs[pending.idx];
         let attempt = pending.attempt;
+        // Span per attempt: probe → (run → publish), emitted at every
+        // exit below. Deterministic naming lets the worker process
+        // derive this span's id independently and parent on it.
+        let attempt_started_ns = crate::spanlog::unix_ns();
+        let emit_cell = |end_ns: u64| -> u64 {
+            opts.spans.as_ref().map_or(0, |scope| {
+                scope.emit(
+                    &format!("cell {}#{attempt}", job.id),
+                    "supervisor",
+                    attempt_started_ns,
+                    end_ns,
+                )
+            })
+        };
 
         // Store fast path: serve a verified entry without simulating, or
         // take the cell's lease so concurrent sweeps compute it once.
@@ -925,6 +945,7 @@ fn worker_loop(
                             cached: true,
                         },
                     );
+                    emit_cell(crate::spanlog::unix_ns());
                     remaining.fetch_sub(1, Ordering::SeqCst);
                     continue;
                 }
@@ -1019,10 +1040,13 @@ fn worker_loop(
             Ok(payload) => {
                 // Publish while still holding the cell's lease, then
                 // release it: waiting processes re-probe and hit.
+                let mut publish_window = None;
                 if let Some(st) = &store {
+                    let publish_started_ns = crate::spanlog::unix_ns();
                     match st.publish(key, &cell_key_material(&job.id, &job.spec), &payload) {
                         Ok(()) => {
                             store_counters.computed.fetch_add(1, Ordering::SeqCst);
+                            publish_window = Some((publish_started_ns, crate::spanlog::unix_ns()));
                         }
                         Err(e) => {
                             eprintln!("[supervisor] {}: store publish failed: {e}", job.id);
@@ -1030,6 +1054,19 @@ fn worker_loop(
                     }
                 }
                 drop(ctx.lease.take());
+                let cell_span = emit_cell(crate::spanlog::unix_ns());
+                if let (Some(scope), Some((start_ns, end_ns))) = (&opts.spans, publish_window) {
+                    crate::spanlog::SpanScope {
+                        parent: cell_span,
+                        ..scope.clone()
+                    }
+                    .emit(
+                        &format!("store-publish {}#{attempt}", job.id),
+                        "supervisor",
+                        start_ns,
+                        end_ns,
+                    );
+                }
                 if opts.progress {
                     eprintln!(
                         "[supervisor] {}: ok (attempt {attempt}/{})",
@@ -1065,9 +1102,11 @@ fn worker_loop(
                     // journaled fail line never outranks a later ok), so
                     // a resume re-runs the cell with a fresh budget.
                     drop(ctx.lease.take());
+                    emit_cell(crate::spanlog::unix_ns());
                     return;
                 }
                 drop(ctx.lease.take());
+                emit_cell(crate::spanlog::unix_ns());
                 if class.retryable() && attempt < opts.retry.max_attempts() {
                     let delay = opts.retry.delay(attempt, job.fingerprint64());
                     if opts.progress {

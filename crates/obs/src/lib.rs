@@ -32,15 +32,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod hostprof;
 mod kanata;
 mod recorder;
+mod spans;
 mod stall;
 mod summarize;
 mod telemetry;
 mod wcodec;
 
+pub use hostprof::{HostProf, HostProfReport, HostProfState, Phase, PHASE_COUNT, PHASE_NAMES};
 pub use kanata::{render_kanata, TraceFilter, KANATA_HEADER};
 pub use recorder::{EventKind, FillLevel, FlightRecorder, TraceEvent, Tracer};
+pub use spans::{render_spans, SpanRec};
 pub use stall::{StallClass, StallRow, StallTable, STALL_CLASSES};
 pub use summarize::{parse_jsonl, render_sparkline, summarize};
 pub use telemetry::{TelemetryInputs, TelemetryLog, TelemetrySample, FIELD_NAMES, SAMPLE_FIELDS};

@@ -9,8 +9,42 @@
 use crate::telemetry::{TelemetrySample, FIELD_NAMES, SAMPLE_FIELDS};
 use std::fmt::Write as _;
 
+/// Skips one nested container value (`[...]` or `{...}`) and returns
+/// the remainder. Quoted strings inside are honored so brackets in
+/// string values don't unbalance the scan.
+fn skip_container(rest: &str) -> Result<&str, String> {
+    let bytes = rest.as_bytes();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        if in_str {
+            match b {
+                _ if escaped => escaped = false,
+                b'\\' => escaped = true,
+                b'"' => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_str = true,
+            b'[' | b'{' => depth += 1,
+            b']' | b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(rest[i + 1..].trim_start());
+                }
+            }
+            _ => {}
+        }
+    }
+    Err(format!("unterminated container in `{rest}`"))
+}
+
 /// Parses one flat JSON object line into `(key, number)` pairs. String
-/// values are tolerated and skipped; nested containers are rejected.
+/// values and nested containers are tolerated and skipped, so samples
+/// from newer schemas (extra tags, structured fields) keep parsing.
 fn parse_object_line(line: &str) -> Result<Vec<(String, f64)>, String> {
     let s = line.trim();
     let inner = s
@@ -33,12 +67,14 @@ fn parse_object_line(line: &str) -> Result<Vec<(String, f64)>, String> {
             .strip_prefix(':')
             .ok_or_else(|| format!("expected `:` after key `{key}`"))?
             .trim_start();
-        // Value: a string (skipped) or a number.
+        // Value: a string or nested container (skipped) or a number.
         if let Some(t) = rest.strip_prefix('"') {
             let vend = t
                 .find('"')
                 .ok_or_else(|| format!("unterminated string value for `{key}`"))?;
             rest = t[vend + 1..].trim_start();
+        } else if rest.starts_with('[') || rest.starts_with('{') {
+            rest = skip_container(rest)?;
         } else {
             let vend = rest.find([',', '}']).unwrap_or(rest.len()).min(rest.len());
             let raw = rest[..vend].trim();
@@ -58,8 +94,11 @@ fn parse_object_line(line: &str) -> Result<Vec<(String, f64)>, String> {
 }
 
 /// Parses a telemetry JSONL stream (one sample object per line, blank
-/// lines skipped) back into samples. Lines may carry extra fields (e.g. a
-/// `cell` tag); the [`FIELD_NAMES`] fields must all be present.
+/// lines skipped) back into samples. The reader is forward- and
+/// backward-compatible by construction: unknown fields (including
+/// strings and nested containers) are skipped, and [`FIELD_NAMES`]
+/// fields absent from a line default to zero — so artifacts from both
+/// older and newer schemas keep parsing as the sample schema grows.
 ///
 /// # Errors
 ///
@@ -73,12 +112,10 @@ pub fn parse_jsonl(input: &str) -> Result<Vec<TelemetrySample>, String> {
         let fields = parse_object_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
         let mut values = [0u64; SAMPLE_FIELDS];
         for (j, name) in FIELD_NAMES.iter().enumerate() {
-            let v = fields
+            values[j] = fields
                 .iter()
                 .find(|(k, _)| k == name)
-                .map(|&(_, v)| v)
-                .ok_or_else(|| format!("line {}: missing field `{name}`", i + 1))?;
-            values[j] = v as u64;
+                .map_or(0, |&(_, v)| v as u64);
         }
         samples.push(TelemetrySample::from_values(values));
     }
@@ -196,10 +233,27 @@ mod tests {
     #[test]
     fn malformed_lines_are_named() {
         assert!(parse_jsonl("not json").unwrap_err().contains("line 1"));
-        let missing = "{\"cycle\": 5}";
-        assert!(parse_jsonl(missing).unwrap_err().contains("missing field"));
         let bad_num = "{\"cycle\": xyz}";
         assert!(parse_jsonl(bad_num).unwrap_err().contains("bad numeric"));
+        let torn = "{\"cycle\": 5, \"tags\": [1, 2";
+        assert!(parse_jsonl(torn).unwrap_err().contains("line 1"));
+    }
+
+    #[test]
+    fn parser_is_forward_compatible_with_schema_growth() {
+        // A line from a hypothetical future schema: unknown scalar and
+        // nested fields, a known field buried between them, and one
+        // known field (`retired`) absent entirely.
+        let future = "{\"schema\": 9, \"phases\": {\"fetch\": 10, \"tags\": \"[a]\"}, \
+                      \"cycle\": 4096, \"hist\": [1, 2, 3], \"note\": \"ok\"}";
+        let parsed = parse_jsonl(future).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].cycle, 4096);
+        assert_eq!(parsed[0].retired, 0);
+        // A line from an older schema missing newer fields still parses.
+        let old = "{\"cycle\": 100, \"retired\": 42}";
+        let parsed = parse_jsonl(old).unwrap();
+        assert_eq!((parsed[0].cycle, parsed[0].retired), (100, 42));
     }
 
     #[test]

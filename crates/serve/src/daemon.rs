@@ -36,12 +36,14 @@ use crate::http::{
     read_request, write_chunk, write_chunk_end, write_chunked_head, write_response, HttpLimits,
     Request,
 };
+use crate::metrics::{Counter, Gauge, Histogram, Metrics};
 use crate::registry::{JobRecord, Registry};
 use crisp_harness::json::Value;
-use crisp_harness::{load_manifest, PoolStatus};
+use crisp_harness::{load_manifest, spanlog, PoolStatus};
+use crisp_obs::SpanRec;
 use crisp_sim::CancelToken;
 use crisp_store::{fnv1a128, key_hex, LockOptions, Store};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Seek, SeekFrom};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -78,6 +80,14 @@ pub struct ExecCtx {
     /// Drain token: executors must wire this into the supervisor so
     /// SIGTERM reaches in-flight cells.
     pub stop: CancelToken,
+    /// Trace id for the job's cross-process span log (the job id, hex).
+    pub trace: String,
+    /// The per-job `spans.jsonl` every layer appends to (see
+    /// `crisp_harness::spanlog`).
+    pub spans: PathBuf,
+    /// Span id of the daemon's `execute` span — the parent under which
+    /// the executor's layers (supervisor, workers) hang their spans.
+    pub span_parent: u64,
 }
 
 /// What one job's sweep produced.
@@ -165,6 +175,178 @@ struct State {
     worker_parked: AtomicBool,
     started: Instant,
     store_dir: PathBuf,
+    /// Cells served warm from the store / simulated fresh, accumulated
+    /// across finished jobs — `/stats` and `/metrics` agree on these.
+    store_hits_total: AtomicUsize,
+    store_misses_total: AtomicUsize,
+    /// Admission wall-clock per queued job, so the executor can emit
+    /// the `queue` span and close the root `job` span.
+    submitted_ns: Mutex<HashMap<u128, u64>>,
+    metrics: DaemonMetrics,
+}
+
+/// The Prometheus families behind `GET /metrics`.
+///
+/// Counters with an authoritative source elsewhere (the daemon's
+/// sequentially-consistent atomics, the pool gauges, the store stats
+/// file) are synchronized at scrape time via [`sync_counter`], so
+/// `/metrics` and `/stats` always tell the same story. The histograms
+/// are observed inline (request latency, job duration) — they exist
+/// only here.
+struct DaemonMetrics {
+    registry: Metrics,
+    http_requests_total: Counter,
+    http_request_seconds: Histogram,
+    job_seconds: Histogram,
+    queue_depth: Gauge,
+    queue_cap: Gauge,
+    jobs_admitted: Gauge,
+    jobs_finished: Gauge,
+    jobs_admitted_total: Counter,
+    jobs_rejected_total: Counter,
+    connections: Gauge,
+    draining: Gauge,
+    uptime_seconds: Gauge,
+    store_entries: Gauge,
+    store_bytes: Gauge,
+    store_quarantined: Gauge,
+    store_hits_total: Counter,
+    store_misses_total: Counter,
+    pool_ready: Gauge,
+    workers_alive: Gauge,
+    workers_busy: Gauge,
+    leases_held: Gauge,
+    lease_steals_total: Counter,
+    poisoned_cells: Gauge,
+    worker_crashes_total: Counter,
+}
+
+/// Advances a scrape-synchronized counter to an externally-tracked
+/// monotonic value without ever going backwards.
+fn sync_counter(c: &Counter, v: u64) {
+    c.add(v.saturating_sub(c.get()));
+}
+
+impl DaemonMetrics {
+    fn new() -> DaemonMetrics {
+        let m = Metrics::new();
+        DaemonMetrics {
+            http_requests_total: m.counter(
+                "crisp_http_requests_total",
+                "HTTP requests accepted by the daemon (including event streams).",
+            ),
+            http_request_seconds: m.histogram(
+                "crisp_http_request_seconds",
+                "Latency of buffered (non-streaming) HTTP requests.",
+                &Histogram::LATENCY_BOUNDS,
+            ),
+            job_seconds: m.histogram(
+                "crisp_job_seconds",
+                "Wall-clock duration of one job execution (a sweep run or resume).",
+                &[0.01, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0, 1800.0],
+            ),
+            queue_depth: m.gauge("crisp_queue_depth", "Jobs admitted but not yet finished."),
+            queue_cap: m.gauge("crisp_queue_cap", "Admission bound before 429."),
+            jobs_admitted: m.gauge("crisp_jobs_admitted", "Jobs with a durable request.json."),
+            jobs_finished: m.gauge("crisp_jobs_finished", "Jobs with a final result.json."),
+            jobs_admitted_total: m.counter(
+                "crisp_jobs_admitted_total",
+                "Jobs admitted since daemon start (recovered jobs included).",
+            ),
+            jobs_rejected_total: m.counter(
+                "crisp_jobs_rejected_total",
+                "Submissions refused with 429 (queue full).",
+            ),
+            connections: m.gauge("crisp_connections", "Connections currently being served."),
+            draining: m.gauge("crisp_draining", "1 while a graceful drain is in progress."),
+            uptime_seconds: m.gauge("crisp_uptime_seconds", "Seconds since daemon start."),
+            store_entries: m.gauge("crisp_store_entries", "Cells in the result store."),
+            store_bytes: m.gauge("crisp_store_bytes", "Bytes in the result store."),
+            store_quarantined: m.gauge(
+                "crisp_store_quarantined",
+                "Store entries quarantined as corrupt.",
+            ),
+            store_hits_total: m.counter(
+                "crisp_store_hits_total",
+                "Cells served warm from the store across finished jobs.",
+            ),
+            store_misses_total: m.counter(
+                "crisp_store_misses_total",
+                "Cells simulated fresh (store misses) across finished jobs.",
+            ),
+            pool_ready: m.gauge("crisp_pool_ready", "1 once every pool worker handshook."),
+            workers_alive: m.gauge("crisp_workers_alive", "Live worker processes."),
+            workers_busy: m.gauge("crisp_workers_busy", "Workers currently executing a cell."),
+            leases_held: m.gauge("crisp_leases_held", "Live leases in the pool's table."),
+            lease_steals_total: m.counter(
+                "crisp_lease_steals_total",
+                "Leases stolen from dead or wedged workers.",
+            ),
+            poisoned_cells: m.gauge("crisp_poisoned_cells", "Cells quarantined as poisonous."),
+            worker_crashes_total: m.counter(
+                "crisp_worker_crashes_total",
+                "Workers that died mid-cell and were replaced.",
+            ),
+            registry: m,
+        }
+    }
+
+    /// Synchronizes every externally-sourced family and renders the
+    /// exposition text — the body of `GET /metrics`.
+    fn scrape(&self, cfg: &DaemonConfig, state: &State, draining: bool) -> String {
+        let (admitted, finished) = state.registry.counts();
+        self.queue_depth.set(state.queue_depth() as f64);
+        self.queue_cap.set(cfg.queue_cap as f64);
+        self.jobs_admitted.set(admitted as f64);
+        self.jobs_finished.set(finished as f64);
+        sync_counter(
+            &self.jobs_admitted_total,
+            state.admitted_total.load(Ordering::SeqCst) as u64,
+        );
+        sync_counter(
+            &self.jobs_rejected_total,
+            state.rejected_busy.load(Ordering::SeqCst) as u64,
+        );
+        self.connections
+            .set(state.connections.load(Ordering::SeqCst) as f64);
+        self.draining.set(f64::from(u8::from(draining)));
+        self.uptime_seconds
+            .set(state.started.elapsed().as_secs_f64());
+        if let Ok(Ok(s)) = Store::open(&state.store_dir).map(|s| s.stats()) {
+            self.store_entries.set(s.entries as f64);
+            self.store_bytes.set(s.bytes as f64);
+            self.store_quarantined.set(s.quarantined as f64);
+        }
+        sync_counter(
+            &self.store_hits_total,
+            state.store_hits_total.load(Ordering::SeqCst) as u64,
+        );
+        sync_counter(
+            &self.store_misses_total,
+            state.store_misses_total.load(Ordering::SeqCst) as u64,
+        );
+        if let Some(pool) = &cfg.pool {
+            self.pool_ready
+                .set(f64::from(u8::from(pool.ready.load(Ordering::SeqCst))));
+            self.workers_alive
+                .set(pool.workers_alive.load(Ordering::SeqCst) as f64);
+            self.workers_busy
+                .set(pool.workers_busy.load(Ordering::SeqCst) as f64);
+            self.leases_held
+                .set(pool.leases_held.load(Ordering::SeqCst) as f64);
+            sync_counter(
+                &self.lease_steals_total,
+                pool.steals.load(Ordering::SeqCst) as u64,
+            );
+            self.poisoned_cells
+                .set(pool.poisoned.load(Ordering::SeqCst) as f64);
+            sync_counter(
+                &self.worker_crashes_total,
+                pool.crashes.load(Ordering::SeqCst) as u64,
+            );
+        }
+        self.registry.render()
+    }
 }
 
 impl State {
@@ -272,6 +454,10 @@ pub fn run_daemon(
         worker_parked: AtomicBool::new(false),
         started: Instant::now(),
         store_dir,
+        store_hits_total: AtomicUsize::new(0),
+        store_misses_total: AtomicUsize::new(0),
+        submitted_ns: Mutex::new(HashMap::new()),
+        metrics: DaemonMetrics::new(),
     };
 
     std::thread::scope(|scope| {
@@ -330,14 +516,74 @@ fn worker_loop(state: &State, exec: &ExecFn<'_>, shutdown: &CancelToken) {
         };
         *state.running.lock().expect("running lock") = Some(id);
         let manifest = state.registry.manifest_path(id);
+        // Span bookkeeping: the root `job` span covers submit→result,
+        // `queue` covers submit→dequeue, `execute` covers this run of
+        // the executor. The execute span id is salted with the dequeue
+        // time so a resumed job gets a distinct second execute span.
+        let trace = key_hex(id);
+        let spans = state.registry.spans_path(id);
+        let submitted = state.submitted_ns.lock().expect("spans lock").remove(&id);
+        let dequeued_ns = spanlog::unix_ns();
+        let root_span = spanlog::span_id(&trace, "job");
+        if let Some(start_ns) = submitted {
+            let _ = spanlog::append_span(
+                &spans,
+                &trace,
+                &SpanRec {
+                    span: spanlog::span_id(&trace, "queue"),
+                    parent: root_span,
+                    name: "queue".to_string(),
+                    proc: "daemon".to_string(),
+                    start_ns,
+                    end_ns: dequeued_ns,
+                },
+            );
+        }
+        let exec_span = spanlog::span_id(&trace, &format!("execute@{dequeued_ns}"));
         let ctx = ExecCtx {
             resume: manifest.is_file(),
             manifest,
             store: state.store_dir.clone(),
             stop: shutdown.clone(),
+            trace: trace.clone(),
+            spans: spans.clone(),
+            span_parent: exec_span,
         };
+        let exec_started = Instant::now();
         let result = exec(&record, &ctx);
         *state.running.lock().expect("running lock") = None;
+        state
+            .metrics
+            .job_seconds
+            .observe(exec_started.elapsed().as_secs_f64());
+        let finished_ns = spanlog::unix_ns();
+        let _ = spanlog::append_span(
+            &spans,
+            &trace,
+            &SpanRec {
+                span: exec_span,
+                parent: root_span,
+                name: "execute".to_string(),
+                proc: "daemon".to_string(),
+                start_ns: dequeued_ns,
+                end_ns: finished_ns,
+            },
+        );
+        let job_done = !matches!(&result, Ok(res) if res.interrupted);
+        if job_done {
+            let _ = spanlog::append_span(
+                &spans,
+                &trace,
+                &SpanRec {
+                    span: root_span,
+                    parent: 0,
+                    name: "job".to_string(),
+                    proc: "daemon".to_string(),
+                    start_ns: submitted.unwrap_or(dequeued_ns),
+                    end_ns: finished_ns,
+                },
+            );
+        }
         match result {
             Ok(res) if res.interrupted => {
                 // Drained mid-job: leave it admitted-without-result so
@@ -348,6 +594,12 @@ fn worker_loop(state: &State, exec: &ExecFn<'_>, shutdown: &CancelToken) {
                 );
             }
             Ok(res) => {
+                state
+                    .store_hits_total
+                    .fetch_add(res.store_hits, Ordering::SeqCst);
+                state
+                    .store_misses_total
+                    .fetch_add(res.store_computed, Ordering::SeqCst);
                 let state_name = if res.failed > 0 {
                     JobState::Failed
                 } else {
@@ -433,16 +685,23 @@ fn handle_connection(
             return;
         }
     };
+    state.metrics.http_requests_total.inc();
     // The events stream is chunked and long-lived; it cannot go through
-    // the buffered (status, headers, body) route below.
+    // the buffered (status, headers, body) route below — and its
+    // lifetime is the job's, so it is counted but not latency-observed.
     if request.method == "GET" {
         if let Some((id, from)) = parse_events_path(&request.path) {
             stream_events(&mut stream, state, id, from, shutdown);
             return;
         }
     }
+    let served = Instant::now();
     let (status, headers, body) = route(&request, cfg, state, plan, shutdown);
     let _ = write_response(&mut stream, status, reason(status), &headers, &body);
+    state
+        .metrics
+        .http_request_seconds
+        .observe(served.elapsed().as_secs_f64());
 }
 
 /// Matches `GET /jobs/<32-hex>/events[?from=N]` → `(id, line offset)`.
@@ -601,6 +860,11 @@ fn route(
             }
         }
         ("GET", "/stats") => (200, vec![], stats_body(cfg, state, draining)),
+        ("GET", "/metrics") => (
+            200,
+            vec!["Content-Type: text/plain; version=0.0.4".to_string()],
+            state.metrics.scrape(cfg, state, draining),
+        ),
         ("POST", "/jobs") => submit(req, cfg, state, plan, draining),
         ("GET", path) => job_routes(path, state),
         _ => (405, vec![], error_body("method not allowed", &req.method)),
@@ -637,6 +901,18 @@ fn stats_body(cfg: &DaemonConfig, state: &State, draining: bool) -> String {
         (
             "uptime_ms".to_string(),
             Value::Num(state.started.elapsed().as_millis() as f64),
+        ),
+        (
+            "uptime_seconds".to_string(),
+            Value::Num(state.started.elapsed().as_secs() as f64),
+        ),
+        (
+            "store_hits_total".to_string(),
+            Value::Num(state.store_hits_total.load(Ordering::SeqCst) as f64),
+        ),
+        (
+            "store_misses_total".to_string(),
+            Value::Num(state.store_misses_total.load(Ordering::SeqCst) as f64),
         ),
     ];
     if let Some(pool) = &cfg.pool {
@@ -765,6 +1041,11 @@ fn submit(
     if let Err(e) = state.registry.persist(&record) {
         return (500, vec![], error_body("admission failed", &e));
     }
+    state
+        .submitted_ns
+        .lock()
+        .expect("submitted lock")
+        .insert(id, spanlog::unix_ns());
     state.queue.lock().expect("queue lock").push_back(id);
     state.admitted_total.fetch_add(1, Ordering::SeqCst);
     (
@@ -889,6 +1170,29 @@ mod tests {
             Daemon::spawn_with_drain_lag(dir, queue_cap, exec_delay, Duration::ZERO)
         }
 
+        /// Spawns a daemon with a caller-supplied executor closure, for
+        /// tests that need job side effects (event files, spans).
+        fn spawn_custom<F>(dir: &std::path::Path, queue_cap: usize, exec: F) -> Daemon
+        where
+            F: Fn(&JobRecord, &ExecCtx) -> Result<ExecResult, String> + Send + Sync + 'static,
+        {
+            let endpoint_file = dir.join("endpoint");
+            std::fs::remove_file(&endpoint_file).ok();
+            let shutdown = CancelToken::new();
+            let cfg = DaemonConfig {
+                data_dir: dir.to_path_buf(),
+                queue_cap,
+                ..DaemonConfig::default()
+            };
+            let token = shutdown.clone();
+            let handle = std::thread::spawn(move || run_daemon(&cfg, &toy_plan, &exec, &token));
+            Daemon {
+                addr: wait_endpoint(&endpoint_file),
+                shutdown,
+                handle: Some(handle),
+            }
+        }
+
         /// `drain_lag` models checkpoint-flush time: how long the toy
         /// executor keeps running after noticing the stop token. Tests
         /// that probe draining behaviour need a non-zero window.
@@ -936,21 +1240,8 @@ mod tests {
                     &token,
                 )
             });
-            let deadline = Instant::now() + Duration::from_secs(5);
-            let addr = loop {
-                if let Ok(s) = std::fs::read_to_string(&endpoint_file) {
-                    if !s.is_empty() {
-                        break s;
-                    }
-                }
-                assert!(
-                    Instant::now() < deadline,
-                    "daemon never published its endpoint"
-                );
-                std::thread::sleep(Duration::from_millis(5));
-            };
             Daemon {
-                addr,
+                addr: wait_endpoint(&endpoint_file),
                 shutdown,
                 handle: Some(handle),
             }
@@ -989,6 +1280,22 @@ mod tests {
             if let Some(h) = self.handle.take() {
                 let _ = h.join();
             }
+        }
+    }
+
+    fn wait_endpoint(endpoint_file: &std::path::Path) -> String {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Ok(s) = std::fs::read_to_string(endpoint_file) {
+                if !s.is_empty() {
+                    return s;
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "daemon never published its endpoint"
+            );
+            std::thread::sleep(Duration::from_millis(5));
         }
     }
 
@@ -1154,6 +1461,203 @@ mod tests {
         wait_for_state(&d2, &id, "done");
         d2.drain();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Extracts one sample value from exposition text by metric name.
+    fn metric_value(text: &str, name: &str) -> f64 {
+        text.lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .unwrap_or_else(|| panic!("no sample for {name} in:\n{text}"))
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn metrics_agree_with_stats_and_render_valid_exposition() {
+        let dir = temp_dir("metrics");
+        let d = Daemon::spawn_custom(&dir, 4, |record: &JobRecord, _ctx: &ExecCtx| {
+            Ok(ExecResult {
+                rendered: "t".into(),
+                completed: record.cells.len(),
+                store_hits: 2,
+                store_computed: 3,
+                ..ExecResult::default()
+            })
+        });
+        let (status, body) = d.post_jobs("{\"targets\":[\"fig1\"],\"scale\":\"tiny\"}");
+        assert_eq!(status, 202, "{body}");
+        let id = extract_id(&body);
+        wait_for_state(&d, &id, "done");
+
+        let (status, text) = d.get("/metrics");
+        assert_eq!(status, 200);
+        for line in text.lines() {
+            crate::metrics::check_exposition_line(line).unwrap_or_else(|e| panic!("{e}"));
+        }
+        let (_, stats) = d.get("/stats");
+        let stats = crisp_harness::json::parse(&stats).unwrap();
+        let stat = |k: &str| stats.get(k).and_then(Value::as_f64).unwrap();
+        // The exported families and /stats must tell the same story.
+        assert_eq!(metric_value(&text, "crisp_queue_cap"), stat("queue_cap"));
+        assert_eq!(
+            metric_value(&text, "crisp_jobs_admitted_total"),
+            stat("admitted_total")
+        );
+        assert_eq!(
+            metric_value(&text, "crisp_jobs_finished"),
+            stat("jobs_finished")
+        );
+        assert_eq!(
+            metric_value(&text, "crisp_store_hits_total"),
+            stat("store_hits_total")
+        );
+        assert_eq!(
+            metric_value(&text, "crisp_store_misses_total"),
+            stat("store_misses_total")
+        );
+        assert_eq!(metric_value(&text, "crisp_store_hits_total"), 2.0);
+        assert_eq!(metric_value(&text, "crisp_store_misses_total"), 3.0);
+        assert!(
+            stats.get("uptime_seconds").is_some(),
+            "/stats uptime_seconds"
+        );
+        assert!(metric_value(&text, "crisp_http_requests_total") >= 1.0);
+        assert!(metric_value(&text, "crisp_job_seconds_count") >= 1.0);
+        assert!(metric_value(&text, "crisp_uptime_seconds") >= 0.0);
+        d.drain();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spans_cover_submit_to_result_across_layers() {
+        let dir = temp_dir("spans");
+        let d = Daemon::spawn_custom(&dir, 4, |record: &JobRecord, ctx: &ExecCtx| {
+            // Stand-in for the supervisor layer: hang a cell span off
+            // the daemon's execute span.
+            let start = spanlog::unix_ns();
+            let rec = SpanRec {
+                span: spanlog::span_id(&ctx.trace, "cell toy#1"),
+                parent: ctx.span_parent,
+                name: "cell toy#1".to_string(),
+                proc: "supervisor".to_string(),
+                start_ns: start,
+                end_ns: start + 1000,
+            };
+            spanlog::append_span(&ctx.spans, &ctx.trace, &rec).map_err(|e| e.to_string())?;
+            Ok(ExecResult {
+                rendered: "t".into(),
+                completed: record.cells.len(),
+                ..ExecResult::default()
+            })
+        });
+        let (status, body) = d.post_jobs("{\"targets\":[\"fig1\"],\"scale\":\"tiny\"}");
+        assert_eq!(status, 202, "{body}");
+        let id = extract_id(&body);
+        wait_for_state(&d, &id, "done");
+        d.drain();
+
+        let registry = Registry::open(&dir).unwrap();
+        let text =
+            std::fs::read_to_string(registry.spans_path(u128::from_str_radix(&id, 16).unwrap()))
+                .expect("spans.jsonl written");
+        let spans = crisp_harness::load_spans(&text);
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        for want in ["job", "queue", "execute", "cell toy#1"] {
+            assert!(names.contains(&want), "missing span `{want}`: {names:?}");
+        }
+        let root = spans.iter().find(|s| s.name == "job").unwrap();
+        assert_eq!(root.parent, 0);
+        let queue = spans.iter().find(|s| s.name == "queue").unwrap();
+        let exec = spans.iter().find(|s| s.name == "execute").unwrap();
+        let cell = spans.iter().find(|s| s.name == "cell toy#1").unwrap();
+        assert_eq!(queue.parent, root.span);
+        assert_eq!(exec.parent, root.span);
+        assert_eq!(cell.parent, exec.span);
+        // The root covers submit → result.
+        assert!(root.start_ns <= queue.start_ns && root.end_ns >= exec.end_ns);
+        let rendered = crisp_obs::render_spans(&spans);
+        assert!(rendered.contains("job"), "{rendered}");
+        assert!(rendered.contains("cell toy#1"), "{rendered}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn event_stream_edge_cases_from_cursor_and_reconnect() {
+        use crate::client::{Client, ClientConfig};
+        let dir = temp_dir("events-edge");
+        let d = Daemon::spawn_custom(&dir, 4, |record: &JobRecord, ctx: &ExecCtx| {
+            let events = ctx.manifest.with_file_name("events.jsonl");
+            let lines: String = (0..3)
+                .map(|i| format!("{{\"event\":\"cell-done\",\"seq\":{i}}}\n"))
+                .collect();
+            std::fs::write(events, lines).map_err(|e| e.to_string())?;
+            Ok(ExecResult {
+                rendered: "t".into(),
+                completed: record.cells.len(),
+                ..ExecResult::default()
+            })
+        });
+        let (status, body) = d.post_jobs("{\"targets\":[\"fig1\"],\"scale\":\"tiny\"}");
+        assert_eq!(status, 202, "{body}");
+        let id = extract_id(&body);
+        wait_for_state(&d, &id, "done");
+        let client = Client::new(ClientConfig {
+            addr: d.addr.clone(),
+            timeout: Duration::from_secs(5),
+            ..ClientConfig::default()
+        });
+
+        // A cursor beyond the end of a finished job's stream delivers
+        // nothing and still terminates cleanly.
+        let (delivered, ended) = client.follow(&id, 999, &mut |_| {}).unwrap();
+        assert_eq!((delivered, ended), (0, true), "?from beyond end");
+
+        // A mid-stream disconnect (client drops after the response
+        // head) loses nothing: reconnecting with the line cursor
+        // resumes exactly after the last consumed line.
+        {
+            let mut stream = TcpStream::connect(&d.addr).unwrap();
+            write!(stream, "GET /jobs/{id}/events HTTP/1.1\r\n\r\n").unwrap();
+            let mut partial = [0u8; 64];
+            let _ = stream.read(&mut partial); // head + maybe a torn line
+            drop(stream); // disconnect mid-stream
+        }
+        let mut seqs = Vec::new();
+        let (delivered, ended) = client
+            .follow(&id, 1, &mut |e| {
+                seqs.push(e.get("seq").and_then(Value::as_u64).unwrap());
+            })
+            .unwrap();
+        assert_eq!((delivered, ended), (2, true));
+        assert_eq!(seqs, vec![1, 2], "no duplicates, no gaps after resume");
+        d.drain();
+
+        // An empty (created but never written) event file yields an
+        // empty, cleanly-terminated stream.
+        let dir2 = temp_dir("events-empty");
+        let d2 = Daemon::spawn_custom(&dir2, 4, |record: &JobRecord, ctx: &ExecCtx| {
+            std::fs::write(ctx.manifest.with_file_name("events.jsonl"), b"")
+                .map_err(|e| e.to_string())?;
+            Ok(ExecResult {
+                rendered: "t".into(),
+                completed: record.cells.len(),
+                ..ExecResult::default()
+            })
+        });
+        let (status, body) = d2.post_jobs("{\"targets\":[\"fig1\"],\"scale\":\"tiny\"}");
+        assert_eq!(status, 202, "{body}");
+        let id2 = extract_id(&body);
+        wait_for_state(&d2, &id2, "done");
+        let client2 = Client::new(ClientConfig {
+            addr: d2.addr.clone(),
+            timeout: Duration::from_secs(5),
+            ..ClientConfig::default()
+        });
+        let (delivered, ended) = client2.follow(&id2, 0, &mut |_| {}).unwrap();
+        assert_eq!((delivered, ended), (0, true), "empty event file");
+        d2.drain();
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&dir2).ok();
     }
 
     #[test]

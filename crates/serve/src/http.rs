@@ -223,9 +223,11 @@ fn parse_head(head: &str) -> Result<(String, String, Option<usize>), HttpError> 
     Ok((method.to_string(), path.to_string(), content_length))
 }
 
-/// Writes one JSON response with `Content-Length` and
-/// `Connection: close`, plus any `extra_headers` (already formatted as
-/// `Name: value`).
+/// Writes one response with `Content-Length` and `Connection: close`,
+/// plus any `extra_headers` (already formatted as `Name: value`). The
+/// body is JSON unless `extra_headers` carries its own `Content-Type`
+/// (the Prometheus `/metrics` endpoint serves
+/// `text/plain; version=0.0.4`).
 ///
 /// # Errors
 ///
@@ -238,9 +240,15 @@ pub fn write_response(
     body: &str,
 ) -> Result<(), HttpError> {
     let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
+    if !extra_headers
+        .iter()
+        .any(|h| h.to_ascii_lowercase().starts_with("content-type:"))
+    {
+        head.push_str("Content-Type: application/json\r\n");
+    }
     for h in extra_headers {
         head.push_str(h);
         head.push_str("\r\n");

@@ -39,6 +39,7 @@ pub mod api;
 pub mod client;
 pub mod daemon;
 pub mod http;
+pub mod metrics;
 pub mod registry;
 pub mod signal;
 
@@ -51,4 +52,5 @@ pub use http::{
     read_request, write_chunk, write_chunk_end, write_chunked_head, write_response, HttpError,
     HttpLimits, Request,
 };
+pub use metrics::{check_exposition_line, Counter, Gauge, Histogram, Metrics};
 pub use registry::{JobRecord, Registry};

@@ -6,6 +6,7 @@
 //! jobs/<32-hex job id>/request.json   admitted submission (atomic write)
 //! jobs/<32-hex job id>/run.jsonl      the sweep's crisp-harness manifest
 //! jobs/<32-hex job id>/result.json    final result (atomic write)
+//! jobs/<32-hex job id>/spans.jsonl    cross-process span log (append-only)
 //! ```
 //!
 //! A job directory with a `request.json` but no `result.json` is, by
@@ -105,6 +106,13 @@ impl Registry {
     /// what `GET /jobs/<id>/events` tails.
     pub fn events_path(&self, id: u128) -> PathBuf {
         self.job_dir(id).join("events.jsonl")
+    }
+
+    /// Where a job's cross-process span log lives — what
+    /// `crisp obs spans` renders. Every layer (daemon, supervisor,
+    /// worker) appends via `crisp_harness::spanlog`.
+    pub fn spans_path(&self, id: u128) -> PathBuf {
+        self.job_dir(id).join("spans.jsonl")
     }
 
     fn request_path(&self, id: u128) -> PathBuf {

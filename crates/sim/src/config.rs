@@ -143,6 +143,13 @@ pub struct SimConfig {
     /// external supervisor can journal heartbeat records for a run it
     /// cannot otherwise observe.
     pub progress: Option<crate::cancel::ProgressBeacon>,
+    /// Host-side self-profiling: attribute the simulator's *host* time
+    /// to engine phases (fetch/rename/dispatch/wakeup/select/execute/
+    /// lsq/mshr/dram/retire) and tally structure-scan counters, exported
+    /// via `SimResult::hostprof`. Off by default: enabled runs pay one
+    /// monotonic-clock read per phase transition, so absolute throughput
+    /// of a profiled run is not meaningful — the attribution is.
+    pub hostprof: bool,
 }
 
 impl SimConfig {
@@ -188,6 +195,7 @@ impl SimConfig {
             telemetry_interval: None,
             stall_attribution: false,
             progress: None,
+            hostprof: false,
         }
     }
 

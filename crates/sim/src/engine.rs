@@ -8,7 +8,9 @@ use crate::stats::{PipeRecord, SimResult, UpcTimeline};
 use crate::wcodec::{push_opt_u64, push_opt_usize, push_section, Reader};
 use crisp_isa::{FuClass, Layout, Pc, Program, Trace};
 use crisp_mem::{HitLevel, MemoryHierarchy};
-use crisp_obs::{EventKind, FillLevel, StallClass, TelemetryInputs, Tracer};
+use crisp_obs::{
+    EventKind, FillLevel, HostProf, Phase as HostPhase, StallClass, TelemetryInputs, Tracer,
+};
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
@@ -252,6 +254,9 @@ struct Engine<'a> {
 
     // Statistics.
     res: SimResult,
+
+    // Host-side self-profiler (`HostProf::Off` unless `cfg.hostprof`).
+    prof: HostProf,
 }
 
 impl<'a> Engine<'a> {
@@ -300,6 +305,7 @@ impl<'a> Engine<'a> {
                 },
                 ..SimResult::default()
             },
+            prof: HostProf::new(cfg.hostprof),
         }
     }
 
@@ -312,6 +318,11 @@ impl<'a> Engine<'a> {
             Some(interval) => self.now.saturating_add(interval),
             None => u64::MAX,
         };
+        // The profiler clock starts here so construction/restore time is
+        // excluded; each stage marks its own phase, and everything
+        // between `enter(Other)` below and the next stage mark (poll
+        // points, stall accounting, loop control) lands in `other`.
+        self.prof.start();
         while self.res.retired < total {
             // Cooperative abort points, checked before the cycle's work so
             // a cancelled run stops without touching machine state again.
@@ -372,6 +383,7 @@ impl<'a> Engine<'a> {
             if self.cfg.fdip {
                 self.fdip();
             }
+            self.prof.enter(HostPhase::Other);
             // ROB-head stall accounting. Attribution charges the blocking
             // instruction's PC under exactly the same condition, so the
             // table's backend total equals `rob_head_stall_cycles` to the
@@ -423,6 +435,7 @@ impl<'a> Engine<'a> {
         self.res.cond_mispredicts = cm;
         self.res.indirect_mispredicts = im + rm;
         self.res.mem = self.mem.stats();
+        self.res.hostprof = self.prof.finish(self.now, self.res.retired);
         Ok(self.res)
     }
 
@@ -968,6 +981,7 @@ impl<'a> Engine<'a> {
     // ---- commit ----------------------------------------------------------
 
     fn commit(&mut self) -> usize {
+        self.prof.enter(HostPhase::Retire);
         let mut retired = 0;
         while retired < self.cfg.retire_width {
             let Some(head) = self.rob.front() else { break };
@@ -1048,6 +1062,7 @@ impl<'a> Engine<'a> {
     }
 
     fn issue(&mut self) {
+        self.prof.enter(HostPhase::Wakeup);
         // Fault-injection hook: freeze the scheduler so watchdog tests can
         // manufacture a deadlock on demand.
         if let Some(after) = self.cfg.freeze_scheduler_after {
@@ -1074,6 +1089,8 @@ impl<'a> Engine<'a> {
                 prio.set(slot);
             }
         }
+        // The wakeup scan walks every RS slot, occupied or not.
+        self.prof.rs_scanned(cap as u64);
 
         let free_alu_ports: Vec<usize> = (0..self.cfg.alu_ports)
             .filter(|&p| self.alu_busy[p] <= self.now)
@@ -1083,6 +1100,12 @@ impl<'a> Engine<'a> {
         let mut stores_left = self.cfg.store_ports;
 
         for _ in 0..self.cfg.issue_width {
+            self.prof.enter(HostPhase::Select);
+            if self.prof.is_on() {
+                // Upper bound on candidates the age-matrix pick examines
+                // (the popcount itself is skipped on the disabled path).
+                self.prof.age_compared(ready.count() as u64);
+            }
             let pick = match self.cfg.scheduler {
                 SchedulerKind::OldestReadyFirst => self.age.pick_oldest(&ready),
                 SchedulerKind::Crisp => self.age.pick_crisp(&ready, &prio),
@@ -1128,6 +1151,7 @@ impl<'a> Engine<'a> {
     }
 
     fn execute_slot(&mut self, slot: usize, alu_port: Option<usize>) {
+        self.prof.enter(HostPhase::Execute);
         let seq = self.rs[slot].expect("occupied slot");
         let now = self.now;
         let idx = (seq - self.rob_base) as usize;
@@ -1159,7 +1183,10 @@ impl<'a> Engine<'a> {
             fill = Some(FillLevel::L1); // store-to-load forward counts as L1
         }
         if is_load && !forwarded {
+            self.prof.enter(HostPhase::Dram);
+            self.prof.mshr_probed(1);
             let res = self.mem.load(addr, u64::from(pc), now);
+            self.prof.enter(HostPhase::Execute);
             complete_at = now + res.latency.max(1);
             fill = Some(match res.level {
                 HitLevel::L1 => FillLevel::L1,
@@ -1219,7 +1246,10 @@ impl<'a> Engine<'a> {
         if is_store {
             // Stores access the hierarchy at execute (allocation + prefetch
             // training); latency is absorbed by the store buffer.
+            self.prof.enter(HostPhase::Dram);
+            self.prof.mshr_probed(1);
             let _ = self.mem.store(addr, u64::from(pc), now);
+            self.prof.enter(HostPhase::Execute);
         }
         if let Some(p) = alu_port {
             self.alu_busy[p] = if unpipelined { now + latency } else { now + 1 };
@@ -1243,6 +1273,7 @@ impl<'a> Engine<'a> {
     // ---- dispatch --------------------------------------------------------
 
     fn dispatch(&mut self) {
+        self.prof.enter(HostPhase::Dispatch);
         for _ in 0..self.cfg.fetch_width {
             let Some(&f) = self.fetch_buffer.front() else {
                 break;
@@ -1268,6 +1299,7 @@ impl<'a> Engine<'a> {
             debug_assert_eq!(seq, self.rob_base + self.rob.len() as u64);
 
             // Rename: map source registers to in-flight producers.
+            self.prof.enter(HostPhase::Rename);
             let mut deps = [None; 3];
             for (i, src) in inst.srcs.iter().enumerate() {
                 if let Some(r) = src {
@@ -1277,16 +1309,20 @@ impl<'a> Engine<'a> {
                 }
             }
             // Memory disambiguation: youngest older overlapping store.
+            self.prof.enter(HostPhase::Lsq);
             let mut mem_dep = None;
             if inst.is_load() {
                 let lo = rec.addr;
                 let hi = rec.addr + inst.width.bytes();
+                let mut probes = 0u64;
                 for &(sseq, saddr, swidth) in self.store_queue.iter().rev() {
+                    probes += 1;
                     if saddr < hi && lo < saddr + swidth {
                         mem_dep = Some(sseq);
                         break;
                     }
                 }
+                self.prof.lsq_probed(probes);
                 self.loads_in_flight += 1;
             }
             if inst.is_store() {
@@ -1294,6 +1330,7 @@ impl<'a> Engine<'a> {
                     .push_back((seq, rec.addr, inst.width.bytes()));
                 self.stores_in_flight += 1;
             }
+            self.prof.enter(HostPhase::Dispatch);
             if let Some(d) = inst.dep_dst() {
                 self.reg_producer[d.index()] = Some(seq);
             }
@@ -1334,6 +1371,7 @@ impl<'a> Engine<'a> {
     // ---- fetch -----------------------------------------------------------
 
     fn fetch(&mut self) {
+        self.prof.enter(HostPhase::Fetch);
         // Mispredict recovery.
         if self.fetch_blocked_by.is_some() {
             self.res.fetch_stall_mispredict_cycles += 1;
@@ -1363,7 +1401,10 @@ impl<'a> Engine<'a> {
                 self.icache_wait = None;
             }
             if self.current_line != Some(line) {
+                self.prof.enter(HostPhase::Mshr);
+                self.prof.mshr_probed(1);
                 let res = self.mem.fetch(pc_addr, self.now);
+                self.prof.enter(HostPhase::Fetch);
                 if res.latency > self.cfg.memory.l1i_latency {
                     self.icache_wait = Some((line, self.now + res.latency));
                     self.res.fetch_stall_icache_cycles += 1;
@@ -1444,6 +1485,7 @@ impl<'a> Engine<'a> {
     /// FDIP: prefetch instruction lines along the (predicted ≈ traced)
     /// path, up to `ftq_entries` instructions ahead of fetch.
     fn fdip(&mut self) {
+        self.prof.enter(HostPhase::Fetch);
         if self.fetch_blocked_by.is_some() {
             return;
         }
@@ -1457,7 +1499,10 @@ impl<'a> Engine<'a> {
             let addr = self.layout.addr(rec.pc);
             let line = addr / crisp_mem::LINE_BYTES;
             if self.last_prefetched_line != Some(line) {
+                self.prof.enter(HostPhase::Mshr);
+                self.prof.mshr_probed(1);
                 self.mem.prefetch_inst(addr, self.now);
+                self.prof.enter(HostPhase::Fetch);
                 self.last_prefetched_line = Some(line);
                 issued += 1;
             }
@@ -1580,6 +1625,34 @@ mod tests {
         let p = b.build();
         let t = Emulator::new(&p, mem).run(100_000);
         (p, t, chase)
+    }
+
+    #[test]
+    fn hostprof_attributes_host_time_to_named_phases() {
+        let (p, t, _) = pointer_chase();
+        let mut cfg = SimConfig::skylake();
+        cfg.hostprof = true;
+        let res = Simulator::new(cfg).run(&p, &t, None);
+        let prof = &res.hostprof;
+        assert!(prof.enabled);
+        assert_eq!(prof.cycles, res.cycles);
+        assert_eq!(prof.retired, res.retired);
+        // The acceptance bar: ≥95% of measured host time lands in named
+        // phases; only poll points and loop control may fall to `other`.
+        let named = prof.named_ns() as f64 / prof.total_ns().max(1) as f64;
+        assert!(named >= 0.95, "named share {named:.3}\n{}", prof.render());
+        // The wakeup scan walks the full 96-entry RS every cycle.
+        assert_eq!(prof.rs_slots_scanned, res.cycles * 96);
+        // A load-bound workload exercises the memory-side phases.
+        assert!(prof.mshr_probes > 0);
+        assert!(prof.phase_ns[crisp_obs::Phase::Dram as usize] > 0);
+        assert!(prof.phase_ns[crisp_obs::Phase::Retire as usize] > 0);
+        let rendered = prof.render();
+        assert!(rendered.contains("wakeup"), "{rendered}");
+
+        // Default config: the profiler stays off and reports zeros.
+        let off = Simulator::new(SimConfig::skylake()).run(&p, &t, None);
+        assert_eq!(off.hostprof, crisp_obs::HostProfReport::default());
     }
 
     #[test]

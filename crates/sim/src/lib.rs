@@ -78,8 +78,9 @@ pub use stats::{BranchPcStats, LoadPcStats, PipeRecord, Pipeview, SimResult, Upc
 pub use crisp_mem::{HierarchyConfig, PrefetcherKind};
 
 // Re-exported for convenience: the observability types carried by
-// [`SimResult`] (flight recorder, stall attribution, interval telemetry)
-// live in crisp-obs.
+// [`SimResult`] (flight recorder, stall attribution, interval telemetry,
+// host-side self-profile) live in crisp-obs.
 pub use crisp_obs::{
-    EventKind, FillLevel, StallClass, StallTable, TelemetryLog, TraceEvent, Tracer,
+    EventKind, FillLevel, HostProf, HostProfReport, StallClass, StallTable, TelemetryLog,
+    TraceEvent, Tracer,
 };

@@ -309,6 +309,11 @@ pub struct SimResult {
     pub stall_table: crisp_obs::StallTable,
     /// Interval telemetry samples (empty unless `telemetry_interval`).
     pub telemetry: crisp_obs::TelemetryLog,
+    /// Host-side self-profile (all-zero unless `SimConfig::hostprof`).
+    /// Deliberately *excluded* from [`SimResult::snapshot_words`]: host
+    /// nanoseconds are nondeterministic, and the snapshot encoding is
+    /// the byte-identity witness behind `--audit-restore`.
+    pub hostprof: crisp_obs::HostProfReport,
 }
 
 impl SimResult {
