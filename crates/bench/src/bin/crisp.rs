@@ -14,6 +14,7 @@
 //! crisp obs spans <spans.jsonl...>
 //! crisp cache stats|verify|gc|evict <KEY> --store DIR [--max-age-days D] [--max-entries N]
 //! crisp submit <TARGET...> --addr HOST:PORT [--fast|--tiny] [--workloads A,B,C]
+//!                          [--prefetcher SPEC]
 //! crisp status <JOB> --addr HOST:PORT
 //! crisp result <JOB> --addr HOST:PORT
 //! crisp watch <JOB> --addr HOST:PORT [--interval-ms MS] [--follow]
@@ -106,6 +107,7 @@ fn usage_text() -> String {
          crisp obs spans <spans.jsonl...>\n  \
          crisp cache stats|verify|gc|evict <KEY> --store DIR [--max-age-days D] [--max-entries N]\n  \
          crisp submit <TARGET...> --addr HOST:PORT [--fast|--tiny] [--workloads A,B,C]\n  \
+         \x20                 [--prefetcher SPEC]\n  \
          crisp status <JOB> --addr HOST:PORT\n  \
          crisp result <JOB> --addr HOST:PORT\n  \
          crisp watch <JOB> --addr HOST:PORT [--interval-ms MS] [--follow]\n\
@@ -132,6 +134,7 @@ struct Args {
     max_entries: Option<usize>,
     addr: Option<String>,
     workloads: Option<Vec<String>>,
+    prefetcher: Option<String>,
     interval_ms: u64,
 }
 
@@ -173,6 +176,7 @@ fn parse(args: &[String]) -> Result<Args, Failure> {
         max_entries: None,
         addr: None,
         workloads: None,
+        prefetcher: None,
         interval_ms: 500,
     };
     let mut it = args.iter();
@@ -248,6 +252,9 @@ fn parse(args: &[String]) -> Result<Args, Failure> {
                         .filter(|s| !s.is_empty())
                         .collect(),
                 );
+            }
+            "--prefetcher" => {
+                out.prefetcher = Some(value("--prefetcher")?.to_string());
             }
             "--interval-ms" => {
                 let v = value("--interval-ms")?;
@@ -812,6 +819,7 @@ fn run_serve(cmd: &str, args: &Args) -> Result<(), Failure> {
                     targets: args.positional.clone(),
                     workloads: args.workloads.clone(),
                     scale: scale.to_string(),
+                    prefetcher: args.prefetcher.clone(),
                 })
                 .map_err(api_failure)?;
             println!(

@@ -4,12 +4,16 @@
 //! ```text
 //! Usage: crisp-bench [OPTIONS] [TARGETS...]
 //!
-//! Targets: table1 fig1 fig4 fig7 fig8 fig9 fig10 fig11 fig12 ablations all
-//!          (default: all)
+//! Targets: table1 fig1 fig4 fig7 fig8 fig9 fig10 fig11 fig12 ablations
+//!          prefzoo all (default: all)
 //!
 //! Options:
 //!   --fast               Fast scale (smaller sim windows)
 //!   --tiny               Tiny scale (smoke runs only)
+//!   --prefetcher SPEC    Override the data-prefetcher zoo for every cell:
+//!                        NAME[:k=v,...] units joined with `+`, e.g.
+//!                        `spp:depth=4+stream` or `none` (default:
+//!                        bop+stream, the Table 1 baseline)
 //!   --jobs N             Worker threads (default 1)
 //!   --deadline SECS      Per-attempt wall-clock deadline (fractional ok)
 //!   --max-retries K      Retries per job for transient failures (default 3)
@@ -78,7 +82,7 @@ const EXIT_SUPERVISOR: u8 = 5;
 const EXIT_DEGRADED: u8 = 6;
 const EXIT_CHECKPOINT: u8 = 7;
 
-const KNOWN_TARGETS: [&str; 11] = [
+const KNOWN_TARGETS: [&str; 12] = [
     "table1",
     "fig1",
     "fig4",
@@ -89,6 +93,7 @@ const KNOWN_TARGETS: [&str; 11] = [
     "fig11",
     "fig12",
     "ablations",
+    "prefzoo",
     "all",
 ];
 
@@ -96,6 +101,7 @@ fn usage() {
     eprintln!(
         "usage: crisp-bench [--fast|--tiny] [--jobs N] [--deadline SECS] [--max-retries K]\n\
          \x20                  [--manifest PATH] [--resume PATH] [--workloads A,B,C]\n\
+         \x20                  [--prefetcher SPEC]\n\
          \x20                  [--checkpoint-interval CYCLES] [--audit-restore]\n\
          \x20                  [--telemetry DIR] [--pipe-trace DIR] [--heartbeat MS]\n\
          \x20                  [--store DIR] [--inject-panic SUB] [--inject-stall SUB]\n\
@@ -157,6 +163,19 @@ fn parse_args(args: &[String]) -> Result<SweepConfig, UsageError> {
             "--resume" => {
                 cfg.manifest = Some(PathBuf::from(value(&mut it, "--resume")?));
                 cfg.resume = true;
+            }
+            "--prefetcher" => {
+                let v = value(&mut it, "--prefetcher")?;
+                let spec = v
+                    .parse::<crisp_sim::PrefetcherSpec>()
+                    .map_err(|e| UsageError(format!("--prefetcher: {e}")))?;
+                // Resolve against the built-in registry now, so unknown
+                // units or bad options fail as usage errors instead of
+                // failing every cell mid-sweep.
+                crisp_sim::PrefetcherRegistry::builtin()
+                    .build(&spec)
+                    .map_err(|e| UsageError(format!("--prefetcher: {e}")))?;
+                cfg.prefetcher = Some(spec);
             }
             "--workloads" => {
                 let v = value(&mut it, "--workloads")?;

@@ -46,7 +46,8 @@ use crisp_bench::{all_targets, ExperimentScale};
 use crisp_harness::json::Value;
 use crisp_harness::{cell_key, EventSink, PoolOptions, WorkerPool};
 use crisp_serve::{
-    run_daemon, signal, DaemonConfig, ExecCtx, ExecResult, JobPlan, JobRecord, SubmitRequest,
+    run_daemon, signal, DaemonConfig, ExecCtx, ExecResult, JobPlan, JobRecord, PrefetchTotals,
+    SubmitRequest,
 };
 use crisp_sim::CancelToken;
 use std::io::Write;
@@ -218,10 +219,24 @@ fn sweep_config(request: &SubmitRequest) -> Result<SweepConfig, String> {
         w.dedup();
         w
     });
+    // Validate the optional prefetcher override up front (against the
+    // builtin registry), so a bad spec is a 400 — not a failed sweep.
+    let prefetcher = match &request.prefetcher {
+        Some(spec) => {
+            let parsed: crisp_sim::PrefetcherSpec =
+                spec.parse().map_err(|e| format!("bad `prefetcher`: {e}"))?;
+            crisp_sim::PrefetcherRegistry::builtin()
+                .build(&parsed)
+                .map_err(|e| format!("bad `prefetcher`: {e}"))?;
+            Some(parsed)
+        }
+        None => None,
+    };
     Ok(SweepConfig {
         scale,
         targets,
         workloads,
+        prefetcher,
         ..SweepConfig::default()
     })
 }
@@ -234,6 +249,9 @@ fn plan(request: &SubmitRequest) -> Result<JobPlan, String> {
             targets: cfg.targets.clone(),
             workloads: cfg.workloads.clone(),
             scale: request.scale.clone(),
+            // Canonical spec string, so spelling variants of the same
+            // zoo coalesce onto the same job id.
+            prefetcher: cfg.prefetcher.map(|p| p.to_string()),
         },
         spec: sweep_spec(&cfg),
         cells: jobs.iter().map(|j| cell_key(&j.id, &j.spec)).collect(),
@@ -295,7 +313,46 @@ fn exec(
         interrupted: report.interrupted,
         store_hits: report.store_hits,
         store_computed: report.store_computed,
+        prefetch: prefetch_totals(report),
     })
+}
+
+/// Folds the job's `prefzoo` cell payloads into per-mechanism
+/// issued/useful/late totals for the daemon's labeled Prometheus
+/// families. Jobs without the prefzoo target report nothing.
+fn prefetch_totals(report: &crisp_harness::SweepReport) -> Vec<PrefetchTotals> {
+    let mechs = crisp_bench::cells::ZOO_MECHS;
+    let mut totals: Vec<PrefetchTotals> = mechs
+        .iter()
+        .map(|m| PrefetchTotals {
+            name: (*m).to_string(),
+            ..PrefetchTotals::default()
+        })
+        .collect();
+    let mut seen = false;
+    for id in report.outcomes.keys() {
+        if !id.starts_with("prefzoo/") {
+            continue;
+        }
+        let Some(payload) = report.payload(id) else {
+            continue;
+        };
+        // Eight fields per mechanism block; issued/useful/late sit at
+        // offsets 5..=7 (see `cells::cell_prefzoo`).
+        if payload.len() != mechs.len() * 8 {
+            continue;
+        }
+        seen = true;
+        for (i, t) in totals.iter_mut().enumerate() {
+            t.issued += payload[i * 8 + 5] as u64;
+            t.useful += payload[i * 8 + 6] as u64;
+            t.late += payload[i * 8 + 7] as u64;
+        }
+    }
+    if !seen {
+        return Vec::new();
+    }
+    totals
 }
 
 /// Spawns the `--workers N` pool: the `crisp-worker` binary is expected

@@ -97,6 +97,23 @@ fn handle_run(frame: &Value, out: &mut Stdout) -> Result<(), ExitCode> {
             ]),
         );
     };
+    // The sweep's `--prefetcher` override rides the dispatch frame.
+    let prefetcher = match frame.get("prefetcher").and_then(Value::as_str) {
+        Some(spec) => match spec.parse::<crisp_sim::PrefetcherSpec>() {
+            Ok(p) => Some(p),
+            Err(e) => {
+                return send(
+                    out,
+                    &obj(vec![
+                        ("type", Value::Str("fail".to_string())),
+                        ("class", Value::Str(FailureClass::Config.name().to_string())),
+                        ("error", Value::Str(format!("bad prefetcher spec: {e}"))),
+                    ]),
+                );
+            }
+        },
+        None => None,
+    };
 
     // Span plumbing: the supervisor hands down the trace, the span log
     // path, and its cell span's id; this process hangs its `simulate`
@@ -139,7 +156,7 @@ fn handle_run(frame: &Value, out: &mut Stdout) -> Result<(), ExitCode> {
             // Mid-cell machine checkpoints and telemetry sinks stay
             // daemon-side concerns; the pool's unit of recovery is the
             // whole cell.
-            cells::run_cell(&job, &ctx, scale, stall, None, None)
+            cells::run_cell(&job, &ctx, scale, stall, None, None, prefetcher)
         }));
         done_flag.store(true, Ordering::SeqCst);
         result

@@ -70,6 +70,7 @@ fn exec(record: &JobRecord, ctx: &ExecCtx) -> Result<ExecResult, String> {
         interrupted: out.report.interrupted,
         store_hits: out.report.store_hits,
         store_computed: out.report.store_computed,
+        ..ExecResult::default()
     })
 }
 
@@ -107,6 +108,7 @@ fn one_round(data_dir: &Path, store_dir: &Path) -> Result<(f64, Value), String> 
         targets: vec![TARGET.to_string()],
         workloads: None,
         scale: "fast".to_string(),
+        prefetcher: None,
     };
 
     let started = Instant::now();

@@ -1,4 +1,5 @@
-//! `sim-bench` — engine throughput benchmark in KIPS (`BENCH_9.json`).
+//! `sim-bench` — engine throughput benchmark in KIPS (`BENCH_9.json`),
+//! plus a per-prefetcher KIPS dimension (`BENCH_10.json`).
 //!
 //! Measures how many thousand instructions per second the cycle engine
 //! retires on a fixed set of workloads, the host-side companion to the
@@ -15,8 +16,15 @@
 //! BENCH_9.json`), so the benchmark that detects a regression also
 //! says which engine phase ate it.
 //!
+//! After the baseline pass, the same trace is re-simulated once per
+//! hardware-prefetcher mechanism (`none`, the `bop+stream` default,
+//! `ghbw`, `sisb`, `spp`) and the per-mechanism KIPS — the host cost of
+//! each zoo member — lands in `BENCH_10.json` together with its
+//! issued/useful/late effectiveness counters.
+//!
 //! ```text
-//! usage: sim-bench [--trials N] [--warmup N] [--instrs N] [--out PATH] [--quick]
+//! usage: sim-bench [--trials N] [--warmup N] [--instrs N] [--out PATH]
+//!                  [--zoo-out PATH] [--quick]
 //! exit codes: 0 ok, 1 benchmark invariant broken, 2 usage error
 //! ```
 //!
@@ -41,8 +49,20 @@ const WORKLOADS: [&str; 3] = ["pointer_chase", "mcf", "lbm"];
 /// Named-phase attribution floor (percent) for the self-profile.
 const NAMED_FLOOR_PCT: f64 = 95.0;
 
+/// The BENCH_10 prefetcher dimension: label -> registry spec.
+const ZOO: [(&str, &str); 5] = [
+    ("none", "none"),
+    ("base", "bop+stream"),
+    ("ghbw", "ghbw"),
+    ("sisb", "sisb"),
+    ("spp", "spp"),
+];
+
 fn usage() -> ExitCode {
-    eprintln!("usage: sim-bench [--trials N] [--warmup N] [--instrs N] [--out PATH] [--quick]");
+    eprintln!(
+        "usage: sim-bench [--trials N] [--warmup N] [--instrs N] [--out PATH] \
+         [--zoo-out PATH] [--quick]"
+    );
     ExitCode::from(2)
 }
 
@@ -106,6 +126,76 @@ fn bench_workload(
     })
 }
 
+struct ZooResult {
+    mech: &'static str,
+    spec: &'static str,
+    retired: u64,
+    cycles: u64,
+    kips: Vec<f64>,
+    issued: u64,
+    useful: u64,
+    late: u64,
+}
+
+/// Re-simulates one workload's trace under each zoo mechanism,
+/// timing KIPS and capturing the effectiveness counters.
+fn bench_zoo(
+    name: &'static str,
+    instrs: usize,
+    warmup: usize,
+    trials: usize,
+) -> Result<Vec<ZooResult>, String> {
+    let w = build(name, Input::Train).map_err(|e| format!("{name}: build failed: {e}"))?;
+    let trace = Emulator::new(&w.program, w.memory.clone()).run(instrs as u64);
+    let mut out = Vec::with_capacity(ZOO.len());
+    for (mech, spec) in ZOO {
+        let mut cfg = SimConfig::skylake();
+        cfg.memory.prefetcher = spec
+            .parse()
+            .map_err(|e| format!("{name}/{mech}: bad zoo spec `{spec}`: {e}"))?;
+        let run = || {
+            let sim = Simulator::try_new(cfg.clone()).map_err(|e| format!("{name}/{mech}: {e}"))?;
+            let started = Instant::now();
+            let res = sim
+                .try_run(&w.program, &trace, None)
+                .map_err(|e| format!("{name}/{mech}: simulation failed: {e}"))?;
+            Ok::<_, String>((started.elapsed().as_secs_f64(), res))
+        };
+        for _ in 0..warmup {
+            run()?;
+        }
+        let mut kips = Vec::with_capacity(trials);
+        let mut zr = ZooResult {
+            mech,
+            spec,
+            retired: 0,
+            cycles: 0,
+            kips: Vec::new(),
+            issued: 0,
+            useful: 0,
+            late: 0,
+        };
+        for t in 0..trials {
+            let (secs, res) = run()?;
+            if t == 0 {
+                let pf = res.mem.prefetch_totals();
+                (zr.retired, zr.cycles) = (res.retired, res.cycles);
+                (zr.issued, zr.useful, zr.late) = (pf.issued, pf.useful, pf.late);
+            } else if res.retired != zr.retired || res.cycles != zr.cycles {
+                return Err(format!(
+                    "{name}/{mech}: trial {t} diverged ({} instrs / {} cycles vs {} / {}) — \
+                     the engine is nondeterministic",
+                    res.retired, res.cycles, zr.retired, zr.cycles
+                ));
+            }
+            kips.push(res.retired as f64 / 1e3 / secs.max(1e-9));
+        }
+        zr.kips = kips;
+        out.push(zr);
+    }
+    Ok(out)
+}
+
 fn median(sorted: &[f64]) -> f64 {
     let n = sorted.len();
     if n == 0 {
@@ -166,9 +256,14 @@ fn main() -> ExitCode {
     let mut warmup = 1usize;
     let mut instrs = 200_000usize;
     let mut out = PathBuf::from("BENCH_9.json");
+    let mut zoo_out = PathBuf::from("BENCH_10.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--zoo-out" => match args.next() {
+                Some(v) => zoo_out = PathBuf::from(v),
+                None => return usage(),
+            },
             "--trials" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(v) if v >= 1 => trials = v,
                 _ => return usage(),
@@ -265,5 +360,70 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+
+    // The prefetcher dimension: per-mechanism KIPS + effectiveness on
+    // the same workload set, gated on the conservation invariant.
+    let mut zoo_json = Vec::new();
+    for name in WORKLOADS {
+        let rows = match bench_zoo(name, instrs, warmup, trials) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("sim-bench: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut mech_json = Vec::new();
+        for zr in &rows {
+            if zr.useful > zr.issued {
+                eprintln!(
+                    "sim-bench: FAIL — {name}/{} credits {} useful prefetches out of only \
+                     {} issued",
+                    zr.mech, zr.useful, zr.issued
+                );
+                return ExitCode::FAILURE;
+            }
+            let mut sorted = zr.kips.clone();
+            sorted.sort_by(f64::total_cmp);
+            eprintln!(
+                "[sim-bench] {name}/{}: KIPS median {:.0}, issued {} useful {} late {}",
+                zr.mech,
+                median(&sorted),
+                zr.issued,
+                zr.useful,
+                zr.late,
+            );
+            mech_json.push(Value::Obj(vec![
+                ("prefetcher".into(), Value::Str(zr.mech.into())),
+                ("spec".into(), Value::Str(zr.spec.into())),
+                ("retired".into(), Value::Num(zr.retired as f64)),
+                ("cycles".into(), Value::Num(zr.cycles as f64)),
+                (
+                    "kips".into(),
+                    Value::Arr(zr.kips.iter().map(|&k| Value::Num(k)).collect()),
+                ),
+                ("kips_min".into(), Value::Num(sorted[0])),
+                ("kips_median".into(), Value::Num(median(&sorted))),
+                ("issued".into(), Value::Num(zr.issued as f64)),
+                ("useful".into(), Value::Num(zr.useful as f64)),
+                ("late".into(), Value::Num(zr.late as f64)),
+            ]));
+        }
+        zoo_json.push(Value::Obj(vec![
+            ("name".into(), Value::Str(name.into())),
+            ("mechanisms".into(), Value::Arr(mech_json)),
+        ]));
+    }
+    let zoo_doc = Value::Obj(vec![
+        ("bench".into(), Value::Str("sim-kips-prefetcher".into())),
+        ("instrs".into(), Value::Num(instrs as f64)),
+        ("warmup".into(), Value::Num(warmup as f64)),
+        ("trials".into(), Value::Num(trials as f64)),
+        ("workloads".into(), Value::Arr(zoo_json)),
+    ]);
+    if let Err(e) = std::fs::write(&zoo_out, format!("{}\n", zoo_doc.encode())) {
+        eprintln!("sim-bench: writing {} failed: {e}", zoo_out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[sim-bench] prefetcher dimension -> {}", zoo_out.display());
     ExitCode::SUCCESS
 }

@@ -18,15 +18,15 @@ use crisp_harness::json::Value;
 use crisp_harness::{checkpoint_file_name, newest_valid_checkpoint, write_checkpoint};
 use crisp_harness::{JobSpec, RunContext};
 use crisp_obs::{render_kanata, TelemetrySample, TraceFilter, FIELD_NAMES};
-use crisp_sim::{CheckpointSink, SimResult, Simulator};
+use crisp_sim::{CheckpointSink, PrefetcherSpec, SimResult, Simulator};
 use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Cell payload-format version, embedded in every job spec.
-pub const CELL_FORMAT: &str = "cells-v1";
+pub const CELL_FORMAT: &str = "cells-v2";
 
 /// Figure targets that decompose into cells, in report order.
-pub const FIGURES: [&str; 9] = [
+pub const FIGURES: [&str; 10] = [
     "fig1",
     "fig4",
     "fig7",
@@ -36,6 +36,24 @@ pub const FIGURES: [&str; 9] = [
     "fig11",
     "fig12",
     "ablations",
+    "prefzoo",
+];
+
+/// Mechanism columns of the `prefzoo` matrix, in payload (and render)
+/// order: a no-prefetch control, the Table 1 hardware baseline, the
+/// registry competitors, then the two software/criticality mechanisms.
+pub const ZOO_MECHS: [&str; 8] = [
+    "nopf", "base", "stride", "ghbw", "sisb", "spp", "ibda", "crisp",
+];
+
+/// Registry specs behind the pure-hardware `prefzoo` rows.
+const ZOO_SPECS: [(&str, &str); 6] = [
+    ("nopf", "none"),
+    ("base", "bop+stream"),
+    ("stride", "stride"),
+    ("ghbw", "ghbw"),
+    ("sisb", "sisb"),
+    ("spp", "spp"),
 ];
 
 /// The workload subset the ablation studies use (DESIGN.md).
@@ -47,24 +65,48 @@ pub fn cell_workloads(figure: &str) -> Vec<&'static str> {
     match figure {
         "fig1" => vec!["pointer_chase"],
         "ablations" => ABLATION_SUBSET.to_vec(),
+        // The cross-mechanism matrix covers the full workload set,
+        // including the figure-excluded irregular/frontend-bound apps —
+        // those are exactly where the mechanisms separate.
+        "prefzoo" => crisp_core::all_names().to_vec(),
         _ => figure_workloads(),
     }
 }
 
 /// Builds the job list for one figure, optionally filtered to a workload
-/// subset (unknown filter names simply match nothing).
-pub fn catalog(figure: &str, scale: ExperimentScale, workloads: Option<&[String]>) -> Vec<JobSpec> {
+/// subset (unknown filter names simply match nothing) and carrying the
+/// sweep's `--prefetcher` override, which is part of each cell's spec
+/// fingerprint: results computed under different zoos never collide in a
+/// manifest or the content-addressed store.
+pub fn catalog(
+    figure: &str,
+    scale: ExperimentScale,
+    workloads: Option<&[String]>,
+    prefetcher: Option<&PrefetcherSpec>,
+) -> Vec<JobSpec> {
     cell_workloads(figure)
         .into_iter()
         .filter(|w| workloads.is_none_or(|f| f.iter().any(|x| x == w)))
-        .map(|w| cell_spec(figure, w, scale))
+        .map(|w| cell_spec_pf(figure, w, scale, prefetcher))
         .collect()
 }
 
-/// The [`JobSpec`] for one cell.
+/// The [`JobSpec`] for one cell under the default prefetcher zoo.
 pub fn cell_spec(figure: &str, workload: &str, scale: ExperimentScale) -> JobSpec {
+    cell_spec_pf(figure, workload, scale, None)
+}
+
+/// The [`JobSpec`] for one cell, with an optional `--prefetcher` override
+/// folded into the spec fingerprint.
+pub fn cell_spec_pf(
+    figure: &str,
+    workload: &str,
+    scale: ExperimentScale,
+    prefetcher: Option<&PrefetcherSpec>,
+) -> JobSpec {
     let id = format!("{figure}/{workload}");
-    let spec = format!("{id} scale={scale:?} {CELL_FORMAT}");
+    let pf = prefetcher.map_or_else(String::new, |p| format!(" pf={p}"));
+    let spec = format!("{id} scale={scale:?}{pf} {CELL_FORMAT}");
     JobSpec::new(id, spec)
 }
 
@@ -252,6 +294,7 @@ pub fn run_cell(
     stall: bool,
     ckpt: Option<&CheckpointPolicy>,
     obs: Option<&ObsPolicy>,
+    prefetcher: Option<PrefetcherSpec>,
 ) -> Result<Vec<f64>, CrispError> {
     let (figure, workload) = split_id(&job.id).ok_or_else(|| {
         CrispError::Config(ConfigError::new(
@@ -261,6 +304,13 @@ pub fn run_cell(
     })?;
     let mut cfg = scale.pipeline();
     arm(&mut cfg.sim, ctx, stall);
+    if let Some(spec) = prefetcher {
+        // The `--prefetcher` axis: every simulation this cell runs —
+        // pipeline baselines included — uses the overridden zoo. In
+        // `prefzoo` only the `base` reference row tracks the override;
+        // the mechanism rows keep their fixed specs.
+        cfg.sim.memory.prefetcher = spec;
+    }
     match figure {
         "fig1" => cell_fig1(job, workload, &cfg, ckpt, obs),
         "fig4" => cell_fig4(workload, &cfg),
@@ -271,6 +321,7 @@ pub fn run_cell(
         "fig11" => cell_fig11(workload, &cfg),
         "fig12" => cell_fig12(workload, &cfg),
         "ablations" => cell_ablations(workload, &cfg),
+        "prefzoo" => cell_prefzoo(workload, &cfg),
         other => Err(CrispError::Config(ConfigError::new(
             "cell",
             format!("unknown figure `{other}` in job id `{}`", job.id),
@@ -487,6 +538,65 @@ fn cell_ablations(name: &str, cfg: &PipelineConfig) -> Result<Vec<f64>, CrispErr
     ])
 }
 
+/// Prefetcher-zoo payload: [`ZOO_MECHS`]`.len()` blocks of
+/// `[ipc, speedup_pct, accuracy, coverage, timeliness, issued, useful,
+/// late]`, one per mechanism in [`ZOO_MECHS`] order (64 values).
+///
+/// Speedup is IPC over the Table 1 `bop+stream` OOO baseline; coverage is
+/// the fraction of the `nopf` run's demand-load LLC misses the mechanism
+/// eliminated; accuracy and timeliness come from the hierarchy's per-unit
+/// issued/useful/late counters. The `ibda` and `crisp` rows run on top of
+/// the default hardware prefetchers, so their accuracy/coverage/timeliness
+/// describe that baseline zoo under criticality-driven scheduling.
+fn cell_prefzoo(name: &str, cfg: &PipelineConfig) -> Result<Vec<f64>, CrispError> {
+    // CRISP (and the shared OOO baseline the speedups are against) via the
+    // standard pipeline.
+    let r = run_crisp_pipeline(name, cfg)?;
+
+    // The pure-hardware rows share one eval trace — the same one the
+    // pipeline evaluates on, so the `base` row reproduces `r.baseline`.
+    let w = build(name, Input::Ref)?;
+    let trace = Emulator::new(&w.program, w.memory.clone()).run(cfg.eval_instructions);
+    let mut sim_cfg = cfg.sim.clone();
+    sim_cfg.collect_pc_stats = false;
+
+    let mut hw: Vec<SimResult> = Vec::with_capacity(ZOO_SPECS.len());
+    for (mech, spec) in ZOO_SPECS {
+        let mut c = sim_cfg.clone();
+        // `base` is whatever the sweep configured (default `bop+stream`),
+        // so it reproduces `r.baseline` and anchors the speedup column.
+        c.memory.prefetcher = if mech == "base" {
+            cfg.sim.memory.prefetcher
+        } else {
+            spec.parse().expect("builtin zoo spec")
+        };
+        hw.push(Simulator::try_new(c)?.try_run(&w.program, &trace, None)?);
+    }
+    let ibda = run_ibda_many(name, &[IbdaConfig::ist_8k()], cfg)?
+        .pop()
+        .expect("one IBDA config in, one result out")
+        .result;
+
+    let nopf = hw[0].clone();
+    let base = &r.baseline;
+    let rows: Vec<&SimResult> = hw.iter().chain([&ibda, &r.crisp]).collect();
+    let mut payload = Vec::with_capacity(rows.len() * 8);
+    for res in rows {
+        let t = res.mem.prefetch_totals();
+        payload.extend_from_slice(&[
+            res.ipc(),
+            res.speedup_over(base),
+            res.prefetch_accuracy(),
+            res.prefetch_coverage_vs(&nopf),
+            res.prefetch_timeliness(),
+            t.issued as f64,
+            t.useful as f64,
+            t.late as f64,
+        ]);
+    }
+    Ok(payload)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -503,13 +613,17 @@ mod tests {
 
     #[test]
     fn catalog_covers_the_expected_grid() {
-        assert_eq!(catalog("fig1", ExperimentScale::Fast, None).len(), 1);
-        assert_eq!(catalog("fig7", ExperimentScale::Fast, None).len(), 15);
-        assert_eq!(catalog("ablations", ExperimentScale::Fast, None).len(), 6);
+        assert_eq!(catalog("fig1", ExperimentScale::Fast, None, None).len(), 1);
+        assert_eq!(catalog("fig7", ExperimentScale::Fast, None, None).len(), 15);
+        assert_eq!(
+            catalog("ablations", ExperimentScale::Fast, None, None).len(),
+            6
+        );
         let filtered = catalog(
             "fig7",
             ExperimentScale::Fast,
             Some(&["mcf".to_string(), "lbm".to_string(), "nope".to_string()]),
+            None,
         );
         let ids: Vec<&str> = filtered.iter().map(|j| j.id.as_str()).collect();
         assert_eq!(ids.len(), 2, "unknown filter names match nothing: {ids:?}");
@@ -530,12 +644,20 @@ mod tests {
     fn malformed_ids_are_config_errors() {
         let ctx = test_ctx();
         let bad = JobSpec::new("no-slash", "no-slash spec");
-        match run_cell(&bad, &ctx, ExperimentScale::Tiny, false, None, None) {
+        match run_cell(&bad, &ctx, ExperimentScale::Tiny, false, None, None, None) {
             Err(CrispError::Config(_)) => {}
             other => panic!("unexpected: {other:?}"),
         }
         let unknown = JobSpec::new("fig99/mcf", "fig99/mcf spec");
-        match run_cell(&unknown, &ctx, ExperimentScale::Tiny, false, None, None) {
+        match run_cell(
+            &unknown,
+            &ctx,
+            ExperimentScale::Tiny,
+            false,
+            None,
+            None,
+            None,
+        ) {
             Err(CrispError::Config(_)) => {}
             other => panic!("unexpected: {other:?}"),
         }
@@ -545,7 +667,7 @@ mod tests {
     fn stalled_cell_reports_a_deadlock() {
         let ctx = test_ctx();
         let job = cell_spec("fig11", "mcf", ExperimentScale::Tiny);
-        match run_cell(&job, &ctx, ExperimentScale::Tiny, true, None, None) {
+        match run_cell(&job, &ctx, ExperimentScale::Tiny, true, None, None, None) {
             Err(CrispError::Simulation(crisp_sim::SimError::Deadlock(_))) => {}
             other => panic!("expected deadlock, got: {other:?}"),
         }
@@ -568,6 +690,7 @@ mod tests {
             ExperimentScale::Tiny,
             false,
             Some(&policy),
+            None,
             None,
         )
         .expect("first run");
@@ -596,6 +719,7 @@ mod tests {
             false,
             Some(&resume),
             None,
+            None,
         )
         .expect("resumed run");
         assert_eq!(resumed, reference);
@@ -614,7 +738,16 @@ mod tests {
             pipe_trace_dir: Some(dir.join("traces")),
             tracer_capacity: 1 << 14,
         };
-        run_cell(&job, &ctx, ExperimentScale::Tiny, false, None, Some(&obs)).expect("cell run");
+        run_cell(
+            &job,
+            &ctx,
+            ExperimentScale::Tiny,
+            false,
+            None,
+            Some(&obs),
+            None,
+        )
+        .expect("cell run");
 
         for label in ["ooo", "crisp"] {
             let stem = format!("fig1-pointer_chase-{label}");

@@ -71,7 +71,7 @@ pub(crate) fn figure_workloads() -> Vec<&'static str> {
 
 /// Runs one figure's cells serially (fail-fast) and renders the report.
 fn figure_report(figure: &str, scale: ExperimentScale) -> Result<String, CrispError> {
-    let cell_list = cells::catalog(figure, scale, None);
+    let cell_list = cells::catalog(figure, scale, None, None);
     let mut outcomes = BTreeMap::new();
     for job in &cell_list {
         let ctx = RunContext {
@@ -80,7 +80,7 @@ fn figure_report(figure: &str, scale: ExperimentScale) -> Result<String, CrispEr
             progress: crisp_sim::ProgressBeacon::new(),
             lease: crisp_harness::LeaseGuard::default(),
         };
-        let payload = cells::run_cell(job, &ctx, scale, false, None, None)?;
+        let payload = cells::run_cell(job, &ctx, scale, false, None, None, None)?;
         outcomes.insert(
             job.id.clone(),
             JobOutcome::Completed {

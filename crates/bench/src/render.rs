@@ -142,6 +142,7 @@ pub fn render_figure(
         "fig11" => render_fig11(&vs, cov, &fb),
         "fig12" => render_fig12(&vs, cov, &fb),
         "ablations" => render_ablations(&vs, cov, &fb),
+        "prefzoo" => render_prefzoo(&vs, cov, &fb),
         other => format!("unknown figure: {other}\n"),
     }
 }
@@ -418,6 +419,116 @@ fn render_ablations(vs: &[CellView<'_>], cov: Coverage, fb: &str) -> String {
         "Ablation D: perfect branch prediction (Section 5.3: load-slice \
          benefit grows when mispredicts vanish)\n\n{t}{fb}"
     ));
+    out
+}
+
+/// Renders the cross-mechanism prefetcher matrix: one metric table per
+/// figure dimension (speedup, accuracy, coverage, timeliness) with a
+/// mechanism per column, then the CRISP-vs-SPP headline on the
+/// irregular/pointer-chasing workloads — the gap the paper targets.
+fn render_prefzoo(vs: &[CellView<'_>], cov: Coverage, fb: &str) -> String {
+    use crate::cells::ZOO_MECHS;
+    const STRIDE: usize = 8;
+    // Per-mechanism offsets inside one block.
+    const SPEEDUP: usize = 1;
+    const ACCURACY: usize = 2;
+    const COVERAGE: usize = 3;
+    const TIMELINESS: usize = 4;
+
+    let cell = |p: &[f64], mech: usize, field: usize| p[mech * STRIDE + field];
+    let mut out = format!(
+        "Prefetcher zoo: cross-mechanism matrix{cov}\n\
+         (speedup % vs the bop+stream OOO baseline; accuracy/coverage/\n\
+         timeliness in [0,1], hardware mechanisms only)\n\n"
+    );
+
+    for (title, field, fmt) in [
+        ("speedup % over base", SPEEDUP, 1usize),
+        ("accuracy (useful / issued)", ACCURACY, 2),
+        (
+            "coverage (nopf demand-load LLC misses removed)",
+            COVERAGE,
+            2,
+        ),
+        (
+            "timeliness (fully-hidden fraction of useful)",
+            TIMELINESS,
+            2,
+        ),
+    ] {
+        let mut header = vec!["workload"];
+        header.extend_from_slice(&ZOO_MECHS);
+        let mut t = Table::new(header);
+        let mut per_mech: Vec<Vec<f64>> = vec![Vec::new(); ZOO_MECHS.len()];
+        for v in vs {
+            match v.payload {
+                Some(p) => {
+                    let mut row = vec![v.workload.to_string()];
+                    for (m, col) in per_mech.iter_mut().enumerate() {
+                        let x = cell(p, m, field);
+                        col.push(x);
+                        row.push(if field == SPEEDUP {
+                            format!("{x:+.1}")
+                        } else {
+                            format!("{x:.fmt$}")
+                        });
+                    }
+                    t.row(row);
+                }
+                None => t.row(dash_row(v.workload, ZOO_MECHS.len())),
+            }
+        }
+        let mut summary = vec!["geomean/mean".to_string()];
+        for col in &per_mech {
+            summary.push(if col.is_empty() {
+                "-".to_string()
+            } else if field == SPEEDUP {
+                format!("{:+.1}", geomean_speedup(col))
+            } else {
+                let mean = col.iter().sum::<f64>() / col.len() as f64;
+                format!("{mean:.fmt$}")
+            });
+        }
+        t.row(summary);
+        out.push_str(&format!("{title}:\n\n{t}\n"));
+    }
+
+    // Headline: CRISP against the strongest conventional hardware
+    // prefetcher on the irregular, pointer-chasing workloads.
+    let irregular = ["pointer_chase", "mcf", "omnetpp", "xalancbmk"];
+    let spp_col = ZOO_MECHS.iter().position(|m| *m == "spp").expect("spp");
+    let crisp_col = ZOO_MECHS.iter().position(|m| *m == "crisp").expect("crisp");
+    let mut t = Table::new(vec!["workload", "SPP %", "CRISP %", "CRISP - SPP"]);
+    let (mut spp_all, mut crisp_all) = (Vec::new(), Vec::new());
+    for v in vs.iter().filter(|v| irregular.contains(&v.workload)) {
+        match v.payload {
+            Some(p) => {
+                let s = cell(p, spp_col, SPEEDUP);
+                let c = cell(p, crisp_col, SPEEDUP);
+                spp_all.push(s);
+                crisp_all.push(c);
+                t.row(vec![
+                    v.workload.to_string(),
+                    format!("{s:+.1}"),
+                    format!("{c:+.1}"),
+                    format!("{:+.1}", c - s),
+                ]);
+            }
+            None => t.row(dash_row(v.workload, 3)),
+        }
+    }
+    out.push_str(&format!(
+        "headline: CRISP vs SPP on irregular/pointer-chasing workloads\n\
+         (the criticality gap conventional pattern prefetchers leave open)\n\n{t}\n"
+    ));
+    if !spp_all.is_empty() {
+        out.push_str(&format!(
+            "irregular geomean: SPP {:+.2}%, CRISP {:+.2}%\n",
+            geomean_speedup(&spp_all),
+            geomean_speedup(&crisp_all)
+        ));
+    }
+    out.push_str(fb);
     out
 }
 

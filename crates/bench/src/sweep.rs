@@ -9,7 +9,7 @@ use crisp_harness::{
     run_sweep, EventSink, FailureClass, HarnessError, JobSpec, RetryPolicy, RunContext, RunError,
     SupervisorOptions, SweepReport, WorkerPool,
 };
-use crisp_sim::{AbortReason, CancelToken, SimError};
+use crisp_sim::{AbortReason, CancelToken, PrefetcherSpec, SimError};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -42,6 +42,11 @@ pub struct SweepConfig {
     pub targets: Vec<String>,
     /// Optional workload filter applied to every figure.
     pub workloads: Option<Vec<String>>,
+    /// `--prefetcher NAME[:k=v,…][+…]`: override the data-prefetcher
+    /// selection for every cell's simulations. Part of the sweep spec and
+    /// of each cell's fingerprint, so manifests and the result store keep
+    /// per-zoo results separate.
+    pub prefetcher: Option<PrefetcherSpec>,
     /// Worker threads.
     pub workers: usize,
     /// Per-attempt wall-clock deadline.
@@ -110,6 +115,7 @@ impl Default for SweepConfig {
             scale: ExperimentScale::Full,
             targets: all_targets(),
             workloads: None,
+            prefetcher: None,
             workers: 1,
             deadline: None,
             retry: RetryPolicy::default(),
@@ -156,12 +162,15 @@ pub fn all_targets() -> Vec<String> {
 /// rejected instead of silently mixing sweeps.
 pub fn sweep_spec(cfg: &SweepConfig) -> String {
     format!(
-        "crisp-bench scale={:?} targets=[{}] workloads=[{}] {CELL_FORMAT}",
+        "crisp-bench scale={:?} targets=[{}] workloads=[{}] prefetcher={} {CELL_FORMAT}",
         cfg.scale,
         cfg.targets.join(","),
         cfg.workloads
             .as_ref()
             .map_or_else(|| "all".to_string(), |w| w.join(",")),
+        cfg.prefetcher
+            .as_ref()
+            .map_or_else(|| "default".to_string(), |p| p.to_string()),
     )
 }
 
@@ -195,7 +204,14 @@ pub fn build_jobs(cfg: &SweepConfig) -> Vec<JobSpec> {
     cfg.targets
         .iter()
         .filter(|t| t.as_str() != "table1")
-        .flat_map(|t| cells::catalog(t, cfg.scale, cfg.workloads.as_deref()))
+        .flat_map(|t| {
+            cells::catalog(
+                t,
+                cfg.scale,
+                cfg.workloads.as_deref(),
+                cfg.prefetcher.as_ref(),
+            )
+        })
         .collect()
 }
 
@@ -248,6 +264,7 @@ pub fn run_supervised_sweep(cfg: &SweepConfig) -> Result<SweepOutput, HarnessErr
     });
     let cell_delay = cfg.cell_delay;
     let spans = cfg.spans.clone();
+    let prefetcher = cfg.prefetcher;
     let runner = move |job: &JobSpec, ctx: &RunContext| -> Result<Vec<f64>, RunError> {
         let stall = chaos.stall.iter().any(|s| job.id.contains(s.as_str()));
         if let Some(pool) = pool.as_deref() {
@@ -256,6 +273,9 @@ pub fn run_supervised_sweep(cfg: &SweepConfig) -> Result<SweepOutput, HarnessErr
             // enough consecutive crashes the pool quarantines the cell.
             let abort = chaos.panic_once.iter().any(|s| job.id.contains(s.as_str()));
             let mut extra = vec![("scale".to_string(), Value::Str(scale_name.to_string()))];
+            if let Some(p) = &prefetcher {
+                extra.push(("prefetcher".to_string(), Value::Str(p.to_string())));
+            }
             if stall {
                 extra.push(("stall".to_string(), Value::Bool(true)));
             }
@@ -315,7 +335,16 @@ pub fn run_supervised_sweep(cfg: &SweepConfig) -> Result<SweepOutput, HarnessErr
         if ctx.attempt == 1 && chaos.panic_once.iter().any(|s| job.id.contains(s.as_str())) {
             panic!("injected fault: chaos panic for {}", job.id);
         }
-        cells::run_cell(job, ctx, scale, stall, ckpt.as_ref(), obs.as_ref()).map_err(RunError::from)
+        cells::run_cell(
+            job,
+            ctx,
+            scale,
+            stall,
+            ckpt.as_ref(),
+            obs.as_ref(),
+            prefetcher,
+        )
+        .map_err(RunError::from)
     };
     let report = run_sweep(&jobs, &opts, &runner)?;
 
@@ -325,7 +354,12 @@ pub fn run_supervised_sweep(cfg: &SweepConfig) -> Result<SweepOutput, HarnessErr
             let body = if target == "table1" {
                 table1()
             } else {
-                let cell_list = cells::catalog(target, cfg.scale, cfg.workloads.as_deref());
+                let cell_list = cells::catalog(
+                    target,
+                    cfg.scale,
+                    cfg.workloads.as_deref(),
+                    cfg.prefetcher.as_ref(),
+                );
                 render_figure(target, &cell_list, &report.outcomes)
             };
             // Matches the legacy binary's `println!("{report}\n")` spacing.

@@ -429,6 +429,7 @@ fn serve_with_workers_streams_events_through_to_result() {
             targets: vec!["fig11".to_string()],
             workloads: Some(vec!["mcf".to_string()]),
             scale: "tiny".to_string(),
+            prefetcher: None,
         })
         .expect("submit");
     let id = ack

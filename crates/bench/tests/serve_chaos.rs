@@ -84,6 +84,7 @@ impl Daemon {
                 targets: targets.iter().map(|s| s.to_string()).collect(),
                 workloads: Some(workloads.iter().map(|s| s.to_string()).collect()),
                 scale: "tiny".to_string(),
+                prefetcher: None,
             })
             .expect("submit")
     }
@@ -268,6 +269,7 @@ fn storm_gets_429_backpressure_and_loses_no_admitted_job() {
             targets: vec!["fig11".to_string()],
             workloads: Some(vec![workload.to_string()]),
             scale: "tiny".to_string(),
+            prefetcher: None,
         };
         no_retry.submit(&req)
     };

@@ -30,7 +30,7 @@ use std::path::PathBuf;
 /// Version of the cell result-vector layout. Bump when a figure's payload
 /// changes meaning, order or length — stale store entries (and manifest
 /// payloads) must never be reinterpreted under a new layout.
-pub const RESULT_SCHEMA: u32 = 1;
+pub const RESULT_SCHEMA: u32 = 2;
 
 /// Canonical key material for one sweep cell — the exact string whose
 /// 128-bit FNV-1a hash addresses the cell's store entry.

@@ -80,16 +80,26 @@ impl CacheConfig {
 }
 
 /// Hit/miss counters of one cache level.
+///
+/// `accesses`/`misses` count *demand* lookups only; lookups made on behalf
+/// of a prefetcher go to `prefetch_probes`/`prefetch_misses` so MPKI
+/// computed from the demand counters is not inflated by prefetch traffic.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookup count.
+    /// Demand lookup count.
     pub accesses: u64,
-    /// Misses (including prefetch misses if prefetches probe this level).
+    /// Demand misses.
     pub misses: u64,
     /// Lines filled by prefetches.
     pub prefetch_fills: u64,
     /// Demand hits on lines brought in by prefetch (prefetch usefulness).
     pub prefetch_hits: u64,
+    /// Lookups made on behalf of a prefetcher (FDIP probes, injected
+    /// prefetches) — kept out of the demand `accesses` count.
+    pub prefetch_probes: u64,
+    /// Prefetch lookups that missed — kept out of the demand `misses`
+    /// count so demand MPKI stays honest.
+    pub prefetch_misses: u64,
 }
 
 impl CacheStats {
@@ -103,12 +113,38 @@ impl CacheStats {
     }
 }
 
+/// Prefetch-source tag for a fill that was not triggered by a registry
+/// prefetcher (FDIP instruction prefetch, injected data prefetch).
+pub const PF_OTHER: u8 = u8::MAX;
+
+/// The outcome of a tagged demand lookup ([`Cache::access_pf`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// If the hit consumed a prefetched line: the fill's source tag
+    /// (`1..` = registry prefetcher index + 1, [`PF_OTHER`] = untracked).
+    pub prefetch_src: Option<u8>,
+}
+
+/// The outcome of a tagged fill ([`Cache::fill_pf`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FillOutcome {
+    /// The evicted line, if the set was full.
+    pub evicted: Option<u64>,
+    /// If the evicted line was a never-used prefetch: its source tag.
+    /// This is the cache-pollution signal per prefetcher.
+    pub evicted_unused_prefetch: Option<u8>,
+}
+
 #[derive(Clone, Copy, Debug)]
 struct Way {
     tag: u64,
     stamp: u64,
     valid: bool,
-    prefetched: bool,
+    /// 0 = demand fill; `k` = prefetch fill with source tag `k` (cleared
+    /// on the first demand hit).
+    pf: u8,
 }
 
 /// A set-associative cache with true-LRU replacement.
@@ -157,21 +193,70 @@ impl Cache {
     /// Looks up `line` (a *line* address, not a byte address), updating LRU
     /// and counters. Returns whether it hit.
     pub fn access(&mut self, line: u64) -> bool {
+        self.access_pf(line).hit
+    }
+
+    /// A demand lookup that also reports whether the hit consumed a
+    /// prefetched line, and from which source. The prefetch tag is cleared
+    /// on the first demand hit so usefulness is counted exactly once.
+    pub fn access_pf(&mut self, line: u64) -> AccessOutcome {
         self.stamp += 1;
         self.stats.accesses += 1;
         let set = self.set_index(line);
         for w in &mut self.sets[set] {
             if w.valid && w.tag == line {
                 w.stamp = self.stamp;
-                if w.prefetched {
-                    w.prefetched = false;
+                let mut src = None;
+                if w.pf != 0 {
+                    src = Some(w.pf);
+                    w.pf = 0;
                     self.stats.prefetch_hits += 1;
                 }
-                return true;
+                return AccessOutcome {
+                    hit: true,
+                    prefetch_src: src,
+                };
             }
         }
         self.stats.misses += 1;
+        AccessOutcome {
+            hit: false,
+            prefetch_src: None,
+        }
+    }
+
+    /// A lookup made on behalf of a prefetcher: updates LRU like a real
+    /// access but counts into the prefetch probe/miss counters, keeping the
+    /// demand miss stream (and MPKI derived from it) honest.
+    pub fn access_prefetch(&mut self, line: u64) -> bool {
+        self.stamp += 1;
+        self.stats.prefetch_probes += 1;
+        let set = self.set_index(line);
+        for w in &mut self.sets[set] {
+            if w.valid && w.tag == line {
+                w.stamp = self.stamp;
+                return true;
+            }
+        }
+        self.stats.prefetch_misses += 1;
         false
+    }
+
+    /// Clears the prefetch tag of `line` (if present and still tagged),
+    /// returning the old source tag. Used when a demand access merges into
+    /// an in-flight prefetch fill: the prefetch was useful (counted here,
+    /// once) but the line's tag must not be double-counted later.
+    pub fn claim_prefetch(&mut self, line: u64) -> Option<u8> {
+        let set = self.set_index(line);
+        for w in &mut self.sets[set] {
+            if w.valid && w.tag == line && w.pf != 0 {
+                let src = w.pf;
+                w.pf = 0;
+                self.stats.prefetch_hits += 1;
+                return Some(src);
+            }
+        }
+        None
     }
 
     /// Probes for `line` without updating LRU or counters.
@@ -181,10 +266,19 @@ impl Cache {
     }
 
     /// Fills `line`, evicting the LRU way if the set is full. Returns the
-    /// evicted line, if any. `prefetched` marks prefetch fills.
+    /// evicted line, if any. `prefetched` marks prefetch fills (with the
+    /// untracked [`PF_OTHER`] source tag).
     pub fn fill(&mut self, line: u64, prefetched: bool) -> Option<u64> {
+        self.fill_pf(line, if prefetched { PF_OTHER } else { 0 })
+            .evicted
+    }
+
+    /// Fills `line` with an explicit prefetch-source tag (`0` = demand
+    /// fill), reporting the evicted line and — when the victim was a
+    /// never-used prefetch — the victim's source tag (pollution signal).
+    pub fn fill_pf(&mut self, line: u64, pf: u8) -> FillOutcome {
         self.stamp += 1;
-        if prefetched {
+        if pf != 0 {
             self.stats.prefetch_fills += 1;
         }
         let stamp = self.stamp;
@@ -193,22 +287,32 @@ impl Cache {
         let set = &mut self.sets[set_idx];
         if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == line) {
             w.stamp = stamp;
-            return None;
+            return FillOutcome {
+                evicted: None,
+                evicted_unused_prefetch: None,
+            };
         }
         let new_way = Way {
             tag: line,
             stamp,
             valid: true,
-            prefetched,
+            pf,
         };
         if set.len() < ways {
             set.push(new_way);
-            None
+            FillOutcome {
+                evicted: None,
+                evicted_unused_prefetch: None,
+            }
         } else {
             let victim = set.iter_mut().min_by_key(|w| w.stamp).expect("full set");
             let evicted = victim.tag;
+            let unused_pf = (victim.valid && victim.pf != 0).then_some(victim.pf);
             *victim = new_way;
-            Some(evicted)
+            FillOutcome {
+                evicted: Some(evicted),
+                evicted_unused_prefetch: unused_pf,
+            }
         }
     }
 
@@ -238,6 +342,8 @@ impl Cache {
             self.stats.misses,
             self.stats.prefetch_fills,
             self.stats.prefetch_hits,
+            self.stats.prefetch_probes,
+            self.stats.prefetch_misses,
             self.sets.len() as u64,
         ];
         for set in &self.sets {
@@ -245,7 +351,7 @@ impl Cache {
             for way in set {
                 w.push(way.tag);
                 w.push(way.stamp);
-                w.push(u64::from(way.valid) | (u64::from(way.prefetched) << 1));
+                w.push(u64::from(way.valid) | (u64::from(way.pf) << 1));
             }
         }
         w
@@ -266,6 +372,8 @@ impl Cache {
             misses: r.u64()?,
             prefetch_fills: r.u64()?,
             prefetch_hits: r.u64()?,
+            prefetch_probes: r.u64()?,
+            prefetch_misses: r.u64()?,
         };
         let n_sets = r.usize()?;
         if n_sets != self.sets.len() {
@@ -289,14 +397,14 @@ impl Cache {
                 let tag = r.u64()?;
                 let stamp = r.u64()?;
                 let flags = r.u64()?;
-                if flags > 3 {
+                if flags >> 1 > u64::from(u8::MAX) {
                     return Err(format!("cache snapshot: bad way flags {flags}"));
                 }
                 set.push(Way {
                     tag,
                     stamp,
                     valid: flags & 1 != 0,
-                    prefetched: flags & 2 != 0,
+                    pf: (flags >> 1) as u8,
                 });
             }
         }
@@ -413,6 +521,71 @@ mod tests {
         assert_eq!(d.stats(), c.stats());
         // Replacement behaviour continues identically in both copies.
         assert_eq!(c.fill(8, false), d.fill(8, false));
+    }
+
+    #[test]
+    fn tagged_fill_reports_source_on_demand_hit() {
+        let mut c = small();
+        c.fill_pf(3, 2);
+        let out = c.access_pf(3);
+        assert!(out.hit);
+        assert_eq!(out.prefetch_src, Some(2));
+        // Tag cleared: a second hit is a plain demand hit.
+        assert_eq!(c.access_pf(3).prefetch_src, None);
+        assert_eq!(c.stats().prefetch_hits, 1);
+    }
+
+    #[test]
+    fn unused_prefetch_eviction_reports_pollution_source() {
+        let mut c = small();
+        c.fill_pf(0, 3); // prefetch from source 3, never demanded
+        c.fill_pf(4, 0);
+        let out = c.fill_pf(8, 0); // set 0 full: evicts LRU (line 0)
+        assert_eq!(out.evicted, Some(0));
+        assert_eq!(out.evicted_unused_prefetch, Some(3));
+        // A demanded prefetch is no longer pollution when evicted.
+        let mut c = small();
+        c.fill_pf(0, 3);
+        c.access(0);
+        c.fill_pf(4, 0);
+        c.access(4);
+        let out = c.fill_pf(8, 0);
+        assert_eq!(out.evicted_unused_prefetch, None);
+    }
+
+    #[test]
+    fn prefetch_probes_stay_out_of_demand_counters() {
+        let mut c = small();
+        assert!(!c.access_prefetch(9));
+        c.fill_pf(9, 1);
+        assert!(c.access_prefetch(9));
+        let s = c.stats();
+        assert_eq!((s.accesses, s.misses), (0, 0));
+        assert_eq!((s.prefetch_probes, s.prefetch_misses), (2, 1));
+    }
+
+    #[test]
+    fn claim_prefetch_consumes_the_tag_once() {
+        let mut c = small();
+        c.fill_pf(5, 2);
+        assert_eq!(c.claim_prefetch(5), Some(2));
+        assert_eq!(c.claim_prefetch(5), None);
+        assert_eq!(c.stats().prefetch_hits, 1);
+        assert_eq!(c.claim_prefetch(100), None, "absent line claims nothing");
+    }
+
+    #[test]
+    fn snapshot_preserves_source_tags() {
+        let mut c = small();
+        c.fill_pf(0, 2);
+        c.fill_pf(4, PF_OTHER);
+        c.access_prefetch(4);
+        let words = c.snapshot_words();
+        let mut d = small();
+        d.restore_words(&words).unwrap();
+        assert_eq!(d.snapshot_words(), words);
+        assert_eq!(d.access_pf(0).prefetch_src, Some(2));
+        assert_eq!(d.access_pf(4).prefetch_src, Some(PF_OTHER));
     }
 
     #[test]

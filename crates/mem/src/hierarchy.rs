@@ -1,6 +1,8 @@
+use crate::cache::FillOutcome;
+use crate::registry::MAX_PREFETCHERS;
 use crate::{
-    line_of, Bop, Cache, CacheConfig, CacheStats, Dram, DramConfig, DramStats, Ghb, Prefetcher,
-    StreamPrefetcher, StridePrefetcher, LINE_BYTES,
+    line_of, Cache, CacheConfig, CacheStats, Dram, DramConfig, DramStats, Prefetcher,
+    PrefetcherRegistry, PrefetcherSpec, LINE_BYTES, PF_OTHER,
 };
 use std::collections::HashMap;
 
@@ -33,24 +35,6 @@ impl AccessResult {
     }
 }
 
-/// Data-prefetcher selection (Table 1 uses BOP + Stream).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum PrefetcherKind {
-    /// No data prefetching.
-    None,
-    /// Stream prefetcher only.
-    Stream,
-    /// Best-offset prefetcher only.
-    Bop,
-    /// Both BOP and Stream (the paper's baseline).
-    #[default]
-    BopAndStream,
-    /// Per-PC stride prefetcher only.
-    Stride,
-    /// Global-history-buffer delta-correlation prefetcher only.
-    Ghb,
-}
-
 /// Full configuration of the memory hierarchy.
 #[derive(Clone, Copy, Debug)]
 pub struct HierarchyConfig {
@@ -68,8 +52,9 @@ pub struct HierarchyConfig {
     pub llc_latency: u64,
     /// DRAM model parameters.
     pub dram: DramConfig,
-    /// Data-prefetcher selection.
-    pub prefetcher: PrefetcherKind,
+    /// Data-prefetcher selection spec (resolved through the
+    /// [`PrefetcherRegistry`]); Table 1 uses `bop+stream`.
+    pub prefetcher: PrefetcherSpec,
     /// Maximum prefetches issued per demand access.
     pub max_prefetches_per_access: usize,
 }
@@ -88,16 +73,17 @@ impl HierarchyConfig {
             l1d_latency: 4,
             llc_latency: 36,
             dram: DramConfig::default(),
-            prefetcher: PrefetcherKind::BopAndStream,
+            prefetcher: PrefetcherSpec::default(),
             max_prefetches_per_access: 4,
         }
     }
 
-    /// Validates every cache geometry and the latency ordering.
+    /// Validates every cache geometry, the latency ordering and the
+    /// prefetcher spec (against the built-in registry).
     ///
     /// # Errors
     ///
-    /// Returns a message naming the offending level or latency.
+    /// Returns a message naming the offending level, latency or spec.
     pub fn validate(&self) -> Result<(), String> {
         self.l1i.validate().map_err(|e| format!("l1i: {e}"))?;
         self.l1d.validate().map_err(|e| format!("l1d: {e}"))?;
@@ -114,6 +100,9 @@ impl HierarchyConfig {
                 self.llc_latency, self.l1i_latency, self.l1d_latency
             ));
         }
+        PrefetcherRegistry::builtin()
+            .build(&self.prefetcher)
+            .map_err(|e| format!("prefetcher: {e}"))?;
         Ok(())
     }
 }
@@ -121,6 +110,32 @@ impl HierarchyConfig {
 impl Default for HierarchyConfig {
     fn default() -> HierarchyConfig {
         HierarchyConfig::skylake_like()
+    }
+}
+
+/// Effectiveness counters of one prefetcher unit: the raw inputs to
+/// accuracy (`useful / issued`), timeliness (`1 - late / useful`) and the
+/// pollution rate (`polluting / issued`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrefetchEffect {
+    /// Prefetch fills issued to DRAM by this unit.
+    pub issued: u64,
+    /// Issued prefetches later consumed by a demand access.
+    pub useful: u64,
+    /// Useful prefetches whose demand arrived before the fill completed
+    /// (the prefetch hid only part of the miss latency).
+    pub late: u64,
+    /// Prefetched lines evicted without ever being demanded.
+    pub polluting: u64,
+}
+
+impl PrefetchEffect {
+    /// Element-wise sum.
+    pub fn add(&mut self, other: &PrefetchEffect) {
+        self.issued += other.issued;
+        self.useful += other.useful;
+        self.late += other.late;
+        self.polluting += other.polluting;
     }
 }
 
@@ -139,6 +154,9 @@ pub struct MemStats {
     pub load_merges: u64,
     /// Prefetch fills issued to DRAM.
     pub prefetches_issued: u64,
+    /// Per-unit effectiveness counters, indexed by the prefetcher's
+    /// position in the spec (unused slots stay zero).
+    pub prefetch: [PrefetchEffect; MAX_PREFETCHERS],
     /// L1I stats snapshot.
     pub l1i: CacheStats,
     /// L1D stats snapshot.
@@ -149,24 +167,55 @@ pub struct MemStats {
     pub dram: DramStats,
 }
 
+impl MemStats {
+    /// Effectiveness counters summed across every configured unit.
+    pub fn prefetch_totals(&self) -> PrefetchEffect {
+        let mut t = PrefetchEffect::default();
+        for e in &self.prefetch {
+            t.add(e);
+        }
+        t
+    }
+}
+
+/// FNV-1a over a unit name, used as a snapshot consistency check so a
+/// checkpoint cannot silently restore into a differently-specced zoo.
+fn name_hash(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// An MSHR-style in-flight fill: completion cycle, the level the miss
+/// went to, and the prefetch source tag (0 = demand fill).
+type InflightFill = (u64, HitLevel, u8);
+
 /// The three-level memory hierarchy plus DRAM and prefetchers.
 ///
 /// See the crate-level example. All `now` arguments are core-cycle times;
 /// the hierarchy is a passive timing oracle — it never advances time
-/// itself, so it composes with any core model.
+/// itself, so it composes with any core model. Data prefetchers are
+/// resolved from [`HierarchyConfig::prefetcher`] through a
+/// [`PrefetcherRegistry`] and drive per-unit issued/useful/late/polluting
+/// counters exposed via [`MemStats::prefetch`].
 pub struct MemoryHierarchy {
     config: HierarchyConfig,
     l1i: Cache,
     l1d: Cache,
     llc: Cache,
     dram: Dram,
-    bop: Option<Bop>,
-    stream: Option<StreamPrefetcher>,
-    stride: Option<StridePrefetcher>,
-    ghb: Option<Ghb>,
-    /// MSHR-style in-flight fills: line -> (ready cycle, original level).
-    inflight: HashMap<u64, (u64, HitLevel)>,
-    scratch: Vec<u64>,
+    prefetchers: Vec<Box<dyn Prefetcher>>,
+    effects: [PrefetchEffect; MAX_PREFETCHERS],
+    /// MSHR-style in-flight fills: line -> (ready cycle, original level,
+    /// prefetch source).
+    inflight: HashMap<u64, InflightFill>,
+    /// Tagged prefetch candidates of the current access: (line, source).
+    scratch: Vec<(u64, u8)>,
+    /// Per-unit candidate buffer reused across accesses.
+    unit_out: Vec<u64>,
     loads: u64,
     stores: u64,
     fetches: u64,
@@ -176,32 +225,39 @@ pub struct MemoryHierarchy {
 }
 
 impl MemoryHierarchy {
-    /// Builds the hierarchy from a configuration.
+    /// Builds the hierarchy from a configuration, resolving the
+    /// prefetcher spec against the built-in registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec does not resolve; validate the configuration
+    /// first (or use [`MemoryHierarchy::try_new`]).
     pub fn new(config: HierarchyConfig) -> MemoryHierarchy {
-        let (bop, stream, stride, ghb) = match config.prefetcher {
-            PrefetcherKind::None => (None, None, None, None),
-            PrefetcherKind::Stream => (None, Some(StreamPrefetcher::new(16, 4, 2)), None, None),
-            PrefetcherKind::Bop => (Some(Bop::new()), None, None, None),
-            PrefetcherKind::BopAndStream => (
-                Some(Bop::new()),
-                Some(StreamPrefetcher::new(16, 4, 2)),
-                None,
-                None,
-            ),
-            PrefetcherKind::Stride => (None, None, Some(StridePrefetcher::new(256, 2)), None),
-            PrefetcherKind::Ghb => (None, None, None, Some(Ghb::new(512, 256, 4))),
-        };
-        MemoryHierarchy {
+        MemoryHierarchy::try_new(config, &PrefetcherRegistry::builtin())
+            .unwrap_or_else(|e| panic!("invalid hierarchy config: {e}"))
+    }
+
+    /// Builds the hierarchy, resolving the prefetcher spec against a
+    /// caller-supplied registry (which may carry plugin mechanisms).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the spec does not resolve in `registry`.
+    pub fn try_new(
+        config: HierarchyConfig,
+        registry: &PrefetcherRegistry,
+    ) -> Result<MemoryHierarchy, String> {
+        let prefetchers = registry.build(&config.prefetcher)?;
+        Ok(MemoryHierarchy {
             l1i: Cache::new(config.l1i),
             l1d: Cache::new(config.l1d),
             llc: Cache::new(config.llc),
             dram: Dram::new(config.dram),
-            bop,
-            stream,
-            stride,
-            ghb,
+            prefetchers,
+            effects: [PrefetchEffect::default(); MAX_PREFETCHERS],
             inflight: HashMap::new(),
             scratch: Vec::new(),
+            unit_out: Vec::new(),
             loads: 0,
             stores: 0,
             fetches: 0,
@@ -209,12 +265,46 @@ impl MemoryHierarchy {
             load_merges: 0,
             prefetches_issued: 0,
             config,
-        }
+        })
     }
 
     /// The hierarchy's configuration.
     pub fn config(&self) -> &HierarchyConfig {
         &self.config
+    }
+
+    /// The configured prefetcher unit names, in spec (and counter-slot)
+    /// order.
+    pub fn prefetcher_names(&self) -> Vec<&'static str> {
+        self.prefetchers.iter().map(|p| p.name()).collect()
+    }
+
+    /// The counter slot of a way/fill source tag, if it belongs to a
+    /// registry unit (FDIP and injected prefetches carry [`PF_OTHER`]).
+    fn effect_slot(pf: u8) -> Option<usize> {
+        (pf >= 1 && usize::from(pf) <= MAX_PREFETCHERS).then(|| usize::from(pf) - 1)
+    }
+
+    fn credit_useful(&mut self, pf: u8, late: bool) {
+        if let Some(slot) = Self::effect_slot(pf) {
+            self.effects[slot].useful += 1;
+            if late {
+                self.effects[slot].late += 1;
+            }
+        }
+    }
+
+    fn note_fill(&mut self, fill: FillOutcome) {
+        if let (Some(evicted), Some(pf)) = (fill.evicted, fill.evicted_unused_prefetch) {
+            if let Some(slot) = Self::effect_slot(pf) {
+                self.effects[slot].polluting += 1;
+            }
+            // The victim may still be in flight: clear its tag so the same
+            // prefetch cannot also be credited useful on a later merge.
+            if let Some(f) = self.inflight.get_mut(&evicted) {
+                f.2 = 0;
+            }
+        }
     }
 
     /// A demand load of the 64-byte line containing `addr` by the
@@ -274,20 +364,28 @@ impl MemoryHierarchy {
             };
         }
         if let Some(res) = self.check_inflight(line, now, self.config.l1i_latency) {
-            self.l1i.fill(line, false);
+            let fill = self.l1i.fill_pf(line, 0);
+            self.note_fill(fill);
             return res;
         }
-        if self.llc.access(line) {
-            self.l1i.fill(line, false);
+        let out = self.llc.access_pf(line);
+        if out.hit {
+            if let Some(pf) = out.prefetch_src {
+                self.credit_useful(pf, false);
+            }
+            let fill = self.l1i.fill_pf(line, 0);
+            self.note_fill(fill);
             return AccessResult {
                 latency: self.config.l1i_latency + self.config.llc_latency,
                 level: HitLevel::Llc,
             };
         }
         let done = self.dram.request(addr, now + self.config.llc_latency);
-        self.llc.fill(line, false);
-        self.l1i.fill(line, false);
-        self.inflight.insert(line, (done, HitLevel::Dram));
+        let fill = self.llc.fill_pf(line, 0);
+        self.note_fill(fill);
+        let fill = self.l1i.fill_pf(line, 0);
+        self.note_fill(fill);
+        self.inflight.insert(line, (done, HitLevel::Dram, 0));
         AccessResult {
             latency: done - now,
             level: HitLevel::Dram,
@@ -295,22 +393,26 @@ impl MemoryHierarchy {
     }
 
     /// Prefetches the instruction line containing `addr` into L1I (used by
-    /// the FDIP frontend). No demand counters are touched.
+    /// the FDIP frontend). No demand counters are touched: the LLC lookup
+    /// lands in the prefetch probe/miss counters.
     pub fn prefetch_inst(&mut self, addr: u64, now: u64) {
         let line = line_of(addr);
         if self.l1i.probe(line) || self.inflight.contains_key(&line) {
             return;
         }
-        if self.llc.access(line) {
-            self.l1i.fill(line, true);
+        if self.llc.access_prefetch(line) {
+            let fill = self.l1i.fill_pf(line, PF_OTHER);
+            self.note_fill(fill);
             let ready = now + self.config.l1i_latency + self.config.llc_latency;
-            self.inflight.insert(line, (ready, HitLevel::Llc));
+            self.inflight.insert(line, (ready, HitLevel::Llc, PF_OTHER));
             return;
         }
         let done = self.dram.request(addr, now + self.config.llc_latency);
-        self.llc.fill(line, true);
-        self.l1i.fill(line, true);
-        self.inflight.insert(line, (done, HitLevel::Dram));
+        let fill = self.llc.fill_pf(line, PF_OTHER);
+        self.note_fill(fill);
+        let fill = self.l1i.fill_pf(line, PF_OTHER);
+        self.note_fill(fill);
+        self.inflight.insert(line, (done, HitLevel::Dram, PF_OTHER));
         self.prefetches_issued += 1;
     }
 
@@ -322,15 +424,25 @@ impl MemoryHierarchy {
             return;
         }
         let done = self.dram.request(addr, now + self.config.llc_latency);
-        self.llc.fill(line, true);
-        self.inflight.insert(line, (done, HitLevel::Dram));
+        let fill = self.llc.fill_pf(line, PF_OTHER);
+        self.note_fill(fill);
+        self.inflight.insert(line, (done, HitLevel::Dram, PF_OTHER));
         self.prefetches_issued += 1;
     }
 
     fn check_inflight(&mut self, line: u64, now: u64, l1_lat: u64) -> Option<AccessResult> {
-        if let Some(&(ready, level)) = self.inflight.get(&line) {
+        if let Some(&(ready, level, pf)) = self.inflight.get(&line) {
             if ready > now {
                 self.load_merges += 1;
+                if pf != 0 {
+                    // A demand merged into an in-flight prefetch: the
+                    // prefetch was useful but late (it hid only part of
+                    // the miss latency). Claim the tag so neither the
+                    // cache hit nor the eviction recounts it.
+                    self.credit_useful(pf, true);
+                    self.inflight.insert(line, (ready, level, 0));
+                    self.llc.claim_prefetch(line);
+                }
                 return Some(AccessResult {
                     latency: (ready - now).max(l1_lat),
                     level,
@@ -343,11 +455,19 @@ impl MemoryHierarchy {
 
     fn miss_path(&mut self, line: u64, addr: u64, now: u64, is_load: bool) -> AccessResult {
         if let Some(res) = self.check_inflight(line, now, self.config.l1d_latency) {
-            self.l1d.fill(line, false);
+            let fill = self.l1d.fill_pf(line, 0);
+            self.note_fill(fill);
             return res;
         }
-        if self.llc.access(line) {
-            self.l1d.fill(line, false);
+        let out = self.llc.access_pf(line);
+        if out.hit {
+            if let Some(pf) = out.prefetch_src {
+                // Timely useful prefetch: the demand found the line
+                // resident in the LLC.
+                self.credit_useful(pf, false);
+            }
+            let fill = self.l1d.fill_pf(line, 0);
+            self.note_fill(fill);
             return AccessResult {
                 latency: self.config.l1d_latency + self.config.llc_latency,
                 level: HitLevel::Llc,
@@ -357,11 +477,13 @@ impl MemoryHierarchy {
             self.load_llc_misses += 1;
         }
         let done = self.dram.request(addr, now + self.config.llc_latency);
-        self.llc.fill(line, false);
-        self.l1d.fill(line, false);
-        self.inflight.insert(line, (done, HitLevel::Dram));
-        if let Some(bop) = &mut self.bop {
-            bop.on_fill(line);
+        let fill = self.llc.fill_pf(line, 0);
+        self.note_fill(fill);
+        let fill = self.l1d.fill_pf(line, 0);
+        self.note_fill(fill);
+        self.inflight.insert(line, (done, HitLevel::Dram, 0));
+        for p in &mut self.prefetchers {
+            p.on_fill(line);
         }
         AccessResult {
             latency: done - now,
@@ -371,17 +493,11 @@ impl MemoryHierarchy {
 
     fn train_prefetchers(&mut self, line: u64, pc: u64) {
         self.scratch.clear();
-        if let Some(p) = &mut self.bop {
-            p.on_access(line, pc, false, &mut self.scratch);
-        }
-        if let Some(p) = &mut self.stream {
-            p.on_access(line, pc, false, &mut self.scratch);
-        }
-        if let Some(p) = &mut self.stride {
-            p.on_access(line, pc, false, &mut self.scratch);
-        }
-        if let Some(p) = &mut self.ghb {
-            p.on_access(line, pc, false, &mut self.scratch);
+        for (i, p) in self.prefetchers.iter_mut().enumerate() {
+            self.unit_out.clear();
+            p.on_access(line, pc, false, &mut self.unit_out);
+            let src = i as u8 + 1;
+            self.scratch.extend(self.unit_out.iter().map(|&l| (l, src)));
         }
         self.scratch.truncate(self.config.max_prefetches_per_access);
     }
@@ -389,20 +505,24 @@ impl MemoryHierarchy {
     fn issue_prefetches(&mut self, now: u64) {
         // The candidates were collected by `train_prefetchers`.
         let candidates = std::mem::take(&mut self.scratch);
-        for &line in &candidates {
+        for &(line, src) in &candidates {
             if self.llc.probe(line) || self.inflight.contains_key(&line) {
                 continue;
             }
             let addr = line * LINE_BYTES;
             let done = self.dram.request(addr, now + self.config.llc_latency);
-            self.llc.fill(line, true);
-            self.inflight.insert(line, (done, HitLevel::Dram));
+            let fill = self.llc.fill_pf(line, src);
+            self.note_fill(fill);
+            self.inflight.insert(line, (done, HitLevel::Dram, src));
+            if let Some(slot) = Self::effect_slot(src) {
+                self.effects[slot].issued += 1;
+            }
             self.prefetches_issued += 1;
         }
         self.scratch = candidates;
         // Bound the MSHR map: drop long-completed fills occasionally.
         if self.inflight.len() > 4096 {
-            self.inflight.retain(|_, (ready, _)| *ready > now);
+            self.inflight.retain(|_, (ready, _, _)| *ready > now);
         }
     }
 
@@ -419,12 +539,13 @@ impl MemoryHierarchy {
     pub fn stale_inflight_fills(&self, now: u64) -> usize {
         self.inflight
             .values()
-            .filter(|&&(ready, _)| ready <= now)
+            .filter(|&&(ready, _, _)| ready <= now)
             .count()
     }
 
     /// Serialises the full dynamic state — every cache level, DRAM, the
-    /// configured prefetchers, the MSHR map and all counters — as a flat
+    /// configured prefetchers (with name checks), the per-unit
+    /// effectiveness counters, the MSHR map and all counters — as a flat
     /// word vector. The MSHR map is emitted sorted by line address so the
     /// encoding is deterministic regardless of hash-map iteration order.
     pub fn snapshot_words(&self) -> Vec<u64> {
@@ -441,31 +562,22 @@ impl MemoryHierarchy {
         push_section(&mut w, self.l1d.snapshot_words());
         push_section(&mut w, self.llc.snapshot_words());
         push_section(&mut w, self.dram.snapshot_words());
-        let opt = |w: &mut Vec<u64>, body: Option<Vec<u64>>| match body {
-            Some(body) => {
-                w.push(1);
-                push_section(w, body);
-            }
-            None => w.push(0),
-        };
-        opt(&mut w, self.bop.as_ref().map(Bop::snapshot_words));
-        opt(
-            &mut w,
-            self.stream.as_ref().map(StreamPrefetcher::snapshot_words),
-        );
-        opt(
-            &mut w,
-            self.stride.as_ref().map(StridePrefetcher::snapshot_words),
-        );
-        opt(&mut w, self.ghb.as_ref().map(Ghb::snapshot_words));
-        let mut fills: Vec<(u64, u64, HitLevel)> = self
+        w.push(self.prefetchers.len() as u64);
+        for p in &self.prefetchers {
+            w.push(name_hash(p.name()));
+            push_section(&mut w, p.snapshot_words());
+        }
+        for e in &self.effects {
+            w.extend_from_slice(&[e.issued, e.useful, e.late, e.polluting]);
+        }
+        let mut fills: Vec<(u64, InflightFill)> = self
             .inflight
             .iter()
-            .map(|(&line, &(ready, level))| (line, ready, level))
+            .map(|(&line, &fill)| (line, fill))
             .collect();
-        fills.sort_unstable_by_key(|&(line, _, _)| line);
+        fills.sort_unstable_by_key(|&(line, _)| line);
         w.push(fills.len() as u64);
-        for (line, ready, level) in fills {
+        for (line, (ready, level, pf)) in fills {
             w.push(line);
             w.push(ready);
             w.push(match level {
@@ -473,6 +585,7 @@ impl MemoryHierarchy {
                 HitLevel::Llc => 1,
                 HitLevel::Dram => 2,
             });
+            w.push(u64::from(pf));
         }
         w
     }
@@ -482,9 +595,9 @@ impl MemoryHierarchy {
     ///
     /// # Errors
     ///
-    /// Rejects geometry or prefetcher-configuration mismatches and
-    /// malformed input; the hierarchy should be discarded on error (state
-    /// may be partial).
+    /// Rejects geometry or prefetcher-selection mismatches and malformed
+    /// input; the hierarchy should be discarded on error (state may be
+    /// partial).
     pub fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
         let mut r = crate::wcodec::Reader::new(words, "hierarchy");
         self.loads = r.u64()?;
@@ -497,31 +610,33 @@ impl MemoryHierarchy {
         self.l1d.restore_words(r.section()?)?;
         self.llc.restore_words(r.section()?)?;
         self.dram.restore_words(r.section()?)?;
-        fn opt<'a>(
-            r: &mut crate::wcodec::Reader<'a>,
-            have: bool,
-            what: &str,
-        ) -> Result<Option<&'a [u64]>, String> {
-            let present = r.bool()?;
-            if present != have {
+        let n_pf = r.usize()?;
+        if n_pf != self.prefetchers.len() {
+            return Err(format!(
+                "hierarchy snapshot: {n_pf} prefetchers, config has {} ({})",
+                self.prefetchers.len(),
+                self.config.prefetcher
+            ));
+        }
+        for (i, p) in self.prefetchers.iter_mut().enumerate() {
+            let hash = r.u64()?;
+            if hash != name_hash(p.name()) {
                 return Err(format!(
-                    "hierarchy snapshot: {what} prefetcher presence mismatch \
-                     (snapshot {present}, config {have})"
+                    "hierarchy snapshot: prefetcher {i} is not `{}` \
+                     (selection mismatch with config `{}`)",
+                    p.name(),
+                    self.config.prefetcher
                 ));
             }
-            Ok(if present { Some(r.section()?) } else { None })
+            p.restore_words(r.section()?)?;
         }
-        if let Some(s) = opt(&mut r, self.bop.is_some(), "bop")? {
-            self.bop.as_mut().expect("checked").restore_words(s)?;
-        }
-        if let Some(s) = opt(&mut r, self.stream.is_some(), "stream")? {
-            self.stream.as_mut().expect("checked").restore_words(s)?;
-        }
-        if let Some(s) = opt(&mut r, self.stride.is_some(), "stride")? {
-            self.stride.as_mut().expect("checked").restore_words(s)?;
-        }
-        if let Some(s) = opt(&mut r, self.ghb.is_some(), "ghb")? {
-            self.ghb.as_mut().expect("checked").restore_words(s)?;
+        for e in &mut self.effects {
+            *e = PrefetchEffect {
+                issued: r.u64()?,
+                useful: r.u64()?,
+                late: r.u64()?,
+                polluting: r.u64()?,
+            };
         }
         let n_fills = r.usize()?;
         self.inflight.clear();
@@ -534,7 +649,9 @@ impl MemoryHierarchy {
                 2 => HitLevel::Dram,
                 v => return Err(format!("hierarchy snapshot: bad hit level {v}")),
             };
-            if self.inflight.insert(line, (ready, level)).is_some() {
+            let pf = u8::try_from(r.u64()?)
+                .map_err(|_| "hierarchy snapshot: fill source tag overflow".to_string())?;
+            if self.inflight.insert(line, (ready, level, pf)).is_some() {
                 return Err(format!("hierarchy snapshot: duplicate fill line {line:#x}"));
             }
         }
@@ -551,6 +668,7 @@ impl MemoryHierarchy {
             load_llc_misses: self.load_llc_misses,
             load_merges: self.load_merges,
             prefetches_issued: self.prefetches_issued,
+            prefetch: self.effects,
             l1i: self.l1i.stats(),
             l1d: self.l1d.stats(),
             llc: self.llc.stats(),
@@ -563,6 +681,7 @@ impl std::fmt::Debug for MemoryHierarchy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MemoryHierarchy")
             .field("config", &self.config)
+            .field("prefetchers", &self.prefetcher_names())
             .field("inflight", &self.inflight.len())
             .field("loads", &self.loads)
             .finish_non_exhaustive()
@@ -573,11 +692,15 @@ impl std::fmt::Debug for MemoryHierarchy {
 mod tests {
     use super::*;
 
-    fn no_prefetch() -> MemoryHierarchy {
+    fn with_spec(spec: &str) -> MemoryHierarchy {
         MemoryHierarchy::new(HierarchyConfig {
-            prefetcher: PrefetcherKind::None,
+            prefetcher: PrefetcherSpec::new(spec).unwrap(),
             ..HierarchyConfig::skylake_like()
         })
+    }
+
+    fn no_prefetch() -> MemoryHierarchy {
+        with_spec("none")
     }
 
     #[test]
@@ -658,20 +781,31 @@ mod tests {
     }
 
     #[test]
+    fn inst_prefetch_probes_stay_out_of_demand_misses() {
+        let mut m = no_prefetch();
+        m.prefetch_inst(0x2000, 0);
+        m.prefetch_inst(0x4000, 0);
+        let s = m.stats();
+        assert_eq!(s.llc.accesses, 0, "FDIP probes must not count as demand");
+        assert_eq!(s.llc.misses, 0);
+        assert_eq!(s.llc.prefetch_probes, 2);
+        assert_eq!(s.llc.prefetch_misses, 2);
+    }
+
+    #[test]
     fn data_prefetch_turns_miss_into_llc_hit() {
         let mut m = no_prefetch();
         m.prefetch_data(0x700000, 0);
         let r = m.load(0x700000, 4, 1000);
         assert_eq!(r.level, HitLevel::Llc);
         assert_eq!(m.stats().prefetches_issued, 1);
+        // Injected prefetches are not attributed to any registry unit.
+        assert_eq!(m.stats().prefetch_totals(), PrefetchEffect::default());
     }
 
     #[test]
     fn stream_prefetcher_covers_sequential_misses() {
-        let mut with_pf = MemoryHierarchy::new(HierarchyConfig {
-            prefetcher: PrefetcherKind::Stream,
-            ..HierarchyConfig::skylake_like()
-        });
+        let mut with_pf = with_spec("stream");
         let mut without = no_prefetch();
         let mut lat_pf = 0u64;
         let mut lat_no = 0u64;
@@ -685,6 +819,70 @@ mod tests {
         assert!(
             lat_pf < lat_no / 2,
             "stream prefetching should slash sequential miss latency: {lat_pf} vs {lat_no}"
+        );
+    }
+
+    #[test]
+    fn effectiveness_counters_track_a_covered_stream() {
+        let mut m = with_spec("stream");
+        let mut t = 0u64;
+        for i in 0..256u64 {
+            let _ = m.load(0x100_0000 + i * 64, 7, t).latency;
+            t += 400;
+        }
+        let e = m.stats().prefetch[0];
+        assert!(e.issued > 50, "stream should issue steadily: {e:?}");
+        assert!(e.useful > 50, "covered stream means useful fills: {e:?}");
+        assert!(e.useful <= e.issued, "conservation: {e:?}");
+        assert!(e.late <= e.useful, "conservation: {e:?}");
+        // Slot 1 is unconfigured and must stay silent.
+        assert_eq!(m.stats().prefetch[1], PrefetchEffect::default());
+    }
+
+    #[test]
+    fn late_prefetches_detected_on_fast_demand() {
+        let mut m = with_spec("stream");
+        // March with no time between accesses: prefetches cannot complete
+        // before the next demand arrives, so useful fills are late merges.
+        for i in 0..64u64 {
+            m.load(0x100_0000 + i * 64, 7, 0);
+        }
+        let e = m.stats().prefetch[0];
+        assert!(
+            e.late > 0,
+            "zero-latency marching must produce late merges: {e:?}"
+        );
+        assert!(
+            m.stats().load_merges >= e.late,
+            "late prefetches are a subset of merges"
+        );
+    }
+
+    #[test]
+    fn pollution_counted_when_unused_prefetches_evict() {
+        // A small LLC and an aggressive stride stream that turns right
+        // before consuming its prefetches.
+        let mut m = MemoryHierarchy::new(HierarchyConfig {
+            llc: CacheConfig::new(16 * 1024, 4, LINE_BYTES),
+            prefetcher: PrefetcherSpec::new("stride:degree=8").unwrap(),
+            max_prefetches_per_access: 8,
+            ..HierarchyConfig::skylake_like()
+        });
+        let mut t = 0u64;
+        // Phase 1: strided loads spraying prefetches.
+        for i in 0..64u64 {
+            m.load(0x10_0000 + i * 64 * 7, 0x40, t);
+            t += 500;
+        }
+        // Phase 2: a dense unrelated working set that thrashes the LLC.
+        for i in 0..2048u64 {
+            m.load(0x900_0000 + i * 64, 0x99, t);
+            t += 500;
+        }
+        let e = m.stats().prefetch[0];
+        assert!(
+            e.polluting > 0,
+            "thrashing must evict unused prefetches: {e:?}"
         );
     }
 
@@ -748,20 +946,54 @@ mod tests {
     }
 
     #[test]
+    fn zoo_hierarchies_snapshot_round_trip() {
+        for spec in ["ghbw", "sisb", "spp", "spp:depth=4+stride"] {
+            let mut m = with_spec(spec);
+            let mut t = 0u64;
+            for i in 0..96u64 {
+                let r = m.load(0x100_0000 + i * 192, 7, t);
+                t += r.latency / 2;
+            }
+            let words = m.snapshot_words();
+            let mut n = with_spec(spec);
+            n.restore_words(&words)
+                .unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(n.snapshot_words(), words, "{spec} must round-trip");
+            let a = m.load(0x100_0000, 7, t + 1);
+            let b = n.load(0x100_0000, 7, t + 1);
+            assert_eq!(a, b, "{spec}");
+        }
+    }
+
+    #[test]
     fn hierarchy_snapshot_rejects_prefetcher_mismatch() {
         let mut m = MemoryHierarchy::new(HierarchyConfig::skylake_like());
         m.load(0x1000, 1, 0);
         let words = m.snapshot_words();
         let mut other = no_prefetch();
-        assert!(other.restore_words(&words).is_err());
+        assert!(other.restore_words(&words).is_err(), "count mismatch");
+        // Same unit count, different selection: the name check fires.
+        let mut m = with_spec("sisb+spp");
+        m.load(0x1000, 1, 0);
+        let words = m.snapshot_words();
+        let mut other = with_spec("spp+sisb");
+        let err = other.restore_words(&words).unwrap_err();
+        assert!(err.contains("selection mismatch"), "{err}");
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_by_validate_and_try_new() {
+        let cfg = HierarchyConfig {
+            prefetcher: PrefetcherSpec::new("warpdrive").unwrap(),
+            ..HierarchyConfig::skylake_like()
+        };
+        assert!(cfg.validate().unwrap_err().contains("warpdrive"));
+        assert!(MemoryHierarchy::try_new(cfg, &PrefetcherRegistry::builtin()).is_err());
     }
 
     #[test]
     fn ghb_prefetcher_covers_strided_misses() {
-        let mut with_pf = MemoryHierarchy::new(HierarchyConfig {
-            prefetcher: PrefetcherKind::Ghb,
-            ..HierarchyConfig::skylake_like()
-        });
+        let mut with_pf = with_spec("ghb");
         let mut without = no_prefetch();
         let mut lat_pf = 0u64;
         let mut lat_no = 0u64;
@@ -778,5 +1010,52 @@ mod tests {
             lat_pf < lat_no * 3 / 4,
             "GHB should cover a strided miss stream: {lat_pf} vs {lat_no}"
         );
+    }
+
+    #[test]
+    fn zoo_prefetchers_cover_their_native_patterns() {
+        // ghbw and spp on a strided stream; sisb on a repeating pointer
+        // chain. Each must beat the no-prefetch hierarchy.
+        for (spec, addrs) in [
+            (
+                "ghbw",
+                (0..256u64)
+                    .map(|i| 0x300_0000 + i * 192)
+                    .collect::<Vec<_>>(),
+            ),
+            (
+                "spp",
+                (0..256u64)
+                    .map(|i| 0x400_0000 + (i / 32) * 4096 + (i % 32) * 128)
+                    .collect(),
+            ),
+            ("sisb:tu=4096,map=65536", {
+                // A pointer chain of 32 Ki distinct lines — twice the LLC —
+                // so revisits miss all the way to DRAM without prefetching.
+                // Multiplying by an odd constant mod 2^15 is a bijection,
+                // so every chain element is unique.
+                let chain: Vec<u64> = (0..32768u64)
+                    .map(|i| 0x500_0000 / 64 + ((i * 2654435761) % 32768))
+                    .map(|l| l * 64)
+                    .collect();
+                (0..3).flat_map(|_| chain.clone()).collect()
+            }),
+        ] {
+            let mut with_pf = with_spec(spec);
+            let mut without = no_prefetch();
+            let (mut lat_pf, mut lat_no, mut t) = (0u64, 0u64, 0u64);
+            for &addr in &addrs {
+                lat_pf += with_pf.load(addr, 9, t).latency;
+                lat_no += without.load(addr, 9, t).latency;
+                t += 400;
+            }
+            assert!(
+                lat_pf < lat_no,
+                "{spec} should beat no-prefetch on its native pattern: {lat_pf} vs {lat_no}"
+            );
+            let e = with_pf.stats().prefetch[0];
+            assert!(e.useful > 0, "{spec} should have useful prefetches: {e:?}");
+            assert!(e.useful <= e.issued, "{spec} conservation: {e:?}");
+        }
     }
 }

@@ -2,9 +2,13 @@
 //!
 //! Memory-hierarchy substrate for the CRISP reproduction: set-associative
 //! [`Cache`]s with MSHR-style miss tracking, a banked DDR4 [`Dram`] model
-//! (the role Ramulator plays in the paper), and the hardware prefetchers of
-//! Table 1 — the Best-Offset prefetcher ([`Bop`]), a [`StreamPrefetcher`]
-//! and a per-PC [`StridePrefetcher`].
+//! (the role Ramulator plays in the paper), and a zoo of hardware
+//! prefetchers behind a pluggable [`PrefetcherRegistry`] — the Table 1
+//! baseline ([`Bop`] + [`StreamPrefetcher`]), a per-PC
+//! [`StridePrefetcher`], global history buffers ([`Ghb`], [`GhbWidth`]),
+//! temporal streaming ([`Sisb`]) and signature-path prefetching ([`Spp`]).
+//! Mechanisms are selected by a [`PrefetcherSpec`] string such as
+//! `"spp:depth=4+stream"`, and plugins can be registered at runtime.
 //!
 //! The top-level [`MemoryHierarchy`] wires L1I/L1D/LLC/DRAM together and is
 //! the only interface the core simulator talks to: `load`, `store`, and
@@ -31,14 +35,20 @@ mod cache;
 mod dram;
 mod hierarchy;
 mod prefetch;
+mod registry;
 mod wcodec;
+mod zoo;
 
-pub use cache::{Cache, CacheConfig, CacheStats};
+pub use cache::{AccessOutcome, Cache, CacheConfig, CacheStats, FillOutcome, PF_OTHER};
 pub use dram::{Dram, DramConfig, DramStats};
 pub use hierarchy::{
-    AccessResult, HierarchyConfig, HitLevel, MemStats, MemoryHierarchy, PrefetcherKind,
+    AccessResult, HierarchyConfig, HitLevel, MemStats, MemoryHierarchy, PrefetchEffect,
 };
 pub use prefetch::{Bop, Ghb, Prefetcher, StreamPrefetcher, StridePrefetcher};
+pub use registry::{
+    PrefetcherFactory, PrefetcherRegistry, PrefetcherSpec, MAX_PREFETCHERS, SPEC_CAP,
+};
+pub use zoo::{GhbWidth, Sisb, Spp};
 
 /// Cache-line size in bytes (64 B everywhere, per Table 1's Skylake-like
 /// uncore).

@@ -2,7 +2,9 @@
 ///
 /// Implementations append candidate *line* addresses to `out`; the
 /// hierarchy issues them as prefetch fills into the LLC (and optionally
-/// L1).
+/// L1). Every implementor must also be checkpointable: the word-vector
+/// codec pair keeps `--audit-restore` byte-identity working for any
+/// prefetcher the registry can build.
 pub trait Prefetcher {
     /// Observes a demand access to `line` (a line address) by the load or
     /// store at `pc`. `l1_hit` tells whether L1 already had the line
@@ -11,6 +13,21 @@ pub trait Prefetcher {
 
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
+
+    /// Observes a completed demand fill of `line` (default no-op). BOP
+    /// trains its recent-requests table here; most prefetchers ignore it.
+    fn on_fill(&mut self, _line: u64) {}
+
+    /// Serialises the prefetcher's dynamic state as a word vector.
+    fn snapshot_words(&self) -> Vec<u64>;
+
+    /// Restores state captured by [`Prefetcher::snapshot_words`] into an
+    /// identically-parameterised instance.
+    ///
+    /// # Errors
+    ///
+    /// Rejects parameter mismatches and malformed input.
+    fn restore_words(&mut self, words: &[u64]) -> Result<(), String>;
 }
 
 /// A classic multi-stream sequential prefetcher.
@@ -141,6 +158,14 @@ impl Prefetcher for StreamPrefetcher {
     fn name(&self) -> &'static str {
         "stream"
     }
+
+    fn snapshot_words(&self) -> Vec<u64> {
+        StreamPrefetcher::snapshot_words(self)
+    }
+
+    fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+        StreamPrefetcher::restore_words(self, words)
+    }
 }
 
 /// A per-PC stride prefetcher (reference predictor table).
@@ -242,6 +267,14 @@ impl Prefetcher for StridePrefetcher {
 
     fn name(&self) -> &'static str {
         "stride"
+    }
+
+    fn snapshot_words(&self) -> Vec<u64> {
+        StridePrefetcher::snapshot_words(self)
+    }
+
+    fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+        StridePrefetcher::restore_words(self, words)
     }
 }
 
@@ -465,6 +498,18 @@ impl Prefetcher for Bop {
 
     fn name(&self) -> &'static str {
         "bop"
+    }
+
+    fn on_fill(&mut self, line: u64) {
+        Bop::on_fill(self, line);
+    }
+
+    fn snapshot_words(&self) -> Vec<u64> {
+        Bop::snapshot_words(self)
+    }
+
+    fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+        Bop::restore_words(self, words)
     }
 }
 
@@ -863,6 +908,14 @@ impl Prefetcher for Ghb {
 
     fn name(&self) -> &'static str {
         "ghb"
+    }
+
+    fn snapshot_words(&self) -> Vec<u64> {
+        Ghb::snapshot_words(self)
+    }
+
+    fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+        Ghb::restore_words(self, words)
     }
 }
 

@@ -6,7 +6,7 @@
 use crate::wcodec::Reader;
 
 /// The number of numeric fields in a [`TelemetrySample`].
-pub const SAMPLE_FIELDS: usize = 19;
+pub const SAMPLE_FIELDS: usize = 22;
 
 /// JSONL field names, in [`TelemetrySample::values`] order. The bench
 /// harness writes these names and `crisp obs summarize` reads them back.
@@ -30,6 +30,9 @@ pub const FIELD_NAMES: [&str; SAMPLE_FIELDS] = [
     "llc_misses",
     "issued_critical",
     "issued_noncritical",
+    "pf_issued",
+    "pf_useful",
+    "pf_late",
 ];
 
 /// The counter set the engine hands to [`TelemetryLog::record`] at each
@@ -61,6 +64,12 @@ pub struct TelemetryInputs {
     pub issued_critical: u64,
     /// Non-critical instructions issued so far (cumulative).
     pub issued_noncritical: u64,
+    /// Data prefetches issued so far, summed over units (cumulative).
+    pub pf_issued: u64,
+    /// Useful data prefetches so far, summed over units (cumulative).
+    pub pf_useful: u64,
+    /// Late data prefetches so far, summed over units (cumulative).
+    pub pf_late: u64,
     /// ROB occupancy right now.
     pub rob: u64,
     /// Reservation-station occupancy right now.
@@ -90,6 +99,9 @@ impl TelemetryInputs {
             self.llc_misses,
             self.issued_critical,
             self.issued_noncritical,
+            self.pf_issued,
+            self.pf_useful,
+            self.pf_late,
         ]);
     }
 
@@ -107,6 +119,9 @@ impl TelemetryInputs {
             llc_misses: r.u64()?,
             issued_critical: r.u64()?,
             issued_noncritical: r.u64()?,
+            pf_issued: r.u64()?,
+            pf_useful: r.u64()?,
+            pf_late: r.u64()?,
             ..TelemetryInputs::default()
         })
     }
@@ -154,6 +169,12 @@ pub struct TelemetrySample {
     pub issued_critical: u64,
     /// Non-critical instructions issued in the interval.
     pub issued_noncritical: u64,
+    /// Data prefetches issued in the interval (summed over units).
+    pub pf_issued: u64,
+    /// Useful data prefetches in the interval (summed over units).
+    pub pf_useful: u64,
+    /// Late data prefetches in the interval (summed over units).
+    pub pf_late: u64,
 }
 
 impl TelemetrySample {
@@ -179,6 +200,9 @@ impl TelemetrySample {
             self.llc_misses,
             self.issued_critical,
             self.issued_noncritical,
+            self.pf_issued,
+            self.pf_useful,
+            self.pf_late,
         ]
     }
 
@@ -204,6 +228,9 @@ impl TelemetrySample {
             llc_misses: v[16],
             issued_critical: v[17],
             issued_noncritical: v[18],
+            pf_issued: v[19],
+            pf_useful: v[20],
+            pf_late: v[21],
         }
     }
 
@@ -288,6 +315,9 @@ impl TelemetryLog {
             llc_misses: cum.llc_misses.saturating_sub(p.llc_misses),
             issued_critical: cum.issued_critical.saturating_sub(p.issued_critical),
             issued_noncritical: cum.issued_noncritical.saturating_sub(p.issued_noncritical),
+            pf_issued: cum.pf_issued.saturating_sub(p.pf_issued),
+            pf_useful: cum.pf_useful.saturating_sub(p.pf_useful),
+            pf_late: cum.pf_late.saturating_sub(p.pf_late),
         });
         // Occupancies are instantaneous, never differenced: zero them in
         // the stored baseline so it matches its snapshot encoding exactly.

@@ -19,6 +19,10 @@ pub struct SubmitRequest {
     pub workloads: Option<Vec<String>>,
     /// Simulation scale name (`tiny`, `fast`, `full`).
     pub scale: String,
+    /// Optional hardware-prefetcher override (`NAME[:k=v,…][+NAME…]`,
+    /// e.g. `spp:depth=4+stride`). Validated and canonicalized by the
+    /// planner; `None` keeps the Skylake default zoo.
+    pub prefetcher: Option<String>,
 }
 
 impl SubmitRequest {
@@ -41,6 +45,9 @@ impl SubmitRequest {
             ));
         }
         pairs.push(("scale".to_string(), Value::Str(self.scale.clone())));
+        if let Some(p) = &self.prefetcher {
+            pairs.push(("prefetcher".to_string(), Value::Str(p.clone())));
+        }
         Value::Obj(pairs)
     }
 
@@ -71,10 +78,19 @@ impl SubmitRequest {
             .and_then(Value::as_str)
             .ok_or("missing or non-string `scale`")?
             .to_string();
+        let prefetcher = match v.get("prefetcher") {
+            Some(p) => Some(
+                p.as_str()
+                    .ok_or("`prefetcher` must be a string")?
+                    .to_string(),
+            ),
+            None => None,
+        };
         Ok(SubmitRequest {
             targets,
             workloads,
             scale,
+            prefetcher,
         })
     }
 
@@ -137,6 +153,7 @@ mod tests {
             targets: vec!["fig1".into(), "table1".into()],
             workloads: Some(vec!["mcf".into()]),
             scale: "tiny".into(),
+            prefetcher: None,
         }
     }
 
@@ -152,6 +169,15 @@ mod tests {
             SubmitRequest::parse(no_filter.encode().as_bytes(), 4096),
             Ok(no_filter)
         );
+        let with_pf = SubmitRequest {
+            prefetcher: Some("spp:depth=4+stride".into()),
+            ..sample()
+        };
+        assert!(with_pf.encode().contains("\"prefetcher\""));
+        assert_eq!(
+            SubmitRequest::parse(with_pf.encode().as_bytes(), 4096),
+            Ok(with_pf)
+        );
     }
 
     #[test]
@@ -162,6 +188,10 @@ mod tests {
             (b"{\"targets\":[]}", "empty"),
             (b"{\"targets\":[1],\"scale\":\"tiny\"}", "array of strings"),
             (b"{\"targets\":[\"fig1\"]}", "scale"),
+            (
+                &b"{\"targets\":[\"fig1\"],\"scale\":\"tiny\",\"prefetcher\":1}"[..],
+                "prefetcher",
+            ),
             (b"\xff\xfe", "UTF-8"),
         ] {
             let err = SubmitRequest::parse(body, 4096).unwrap_err();

@@ -36,7 +36,7 @@ use crate::http::{
     read_request, write_chunk, write_chunk_end, write_chunked_head, write_response, HttpLimits,
     Request,
 };
-use crate::metrics::{Counter, Gauge, Histogram, Metrics};
+use crate::metrics::{Counter, Gauge, Histogram, LabeledCounter, Metrics};
 use crate::registry::{JobRecord, Registry};
 use crisp_harness::json::Value;
 use crisp_harness::{load_manifest, spanlog, PoolStatus};
@@ -106,6 +106,24 @@ pub struct ExecResult {
     pub store_hits: usize,
     /// Cells simulated and published.
     pub store_computed: usize,
+    /// Per-prefetcher effectiveness totals the job's cells observed
+    /// (mechanism name → issued/useful/late). Feeds the labeled
+    /// `crisp_prefetch_*_total` families; empty when the executor has
+    /// nothing to report.
+    pub prefetch: Vec<PrefetchTotals>,
+}
+
+/// Per-prefetcher issued/useful/late totals from one job.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PrefetchTotals {
+    /// Mechanism name (`spp`, `ghbw`, `crisp`, …) — the label value.
+    pub name: String,
+    /// Prefetches issued into the hierarchy.
+    pub issued: u64,
+    /// Issued prefetches a demand access later hit.
+    pub useful: u64,
+    /// Useful but still in flight when demand arrived.
+    pub late: u64,
 }
 
 /// Runs one job's sweep, or returns a one-line executor failure.
@@ -219,6 +237,9 @@ struct DaemonMetrics {
     lease_steals_total: Counter,
     poisoned_cells: Gauge,
     worker_crashes_total: Counter,
+    prefetch_issued_total: LabeledCounter,
+    prefetch_useful_total: LabeledCounter,
+    prefetch_late_total: LabeledCounter,
 }
 
 /// Advances a scrape-synchronized counter to an externally-tracked
@@ -286,6 +307,21 @@ impl DaemonMetrics {
             worker_crashes_total: m.counter(
                 "crisp_worker_crashes_total",
                 "Workers that died mid-cell and were replaced.",
+            ),
+            prefetch_issued_total: m.labeled_counter(
+                "crisp_prefetch_issued_total",
+                "Prefetches issued across finished jobs, by mechanism.",
+                "prefetcher",
+            ),
+            prefetch_useful_total: m.labeled_counter(
+                "crisp_prefetch_useful_total",
+                "Issued prefetches later hit by demand, by mechanism.",
+                "prefetcher",
+            ),
+            prefetch_late_total: m.labeled_counter(
+                "crisp_prefetch_late_total",
+                "Useful prefetches still in flight at demand time, by mechanism.",
+                "prefetcher",
             ),
             registry: m,
         }
@@ -594,6 +630,19 @@ fn worker_loop(state: &State, exec: &ExecFn<'_>, shutdown: &CancelToken) {
                 );
             }
             Ok(res) => {
+                for p in &res.prefetch {
+                    state
+                        .metrics
+                        .prefetch_issued_total
+                        .with(&p.name)
+                        .add(p.issued);
+                    state
+                        .metrics
+                        .prefetch_useful_total
+                        .with(&p.name)
+                        .add(p.useful);
+                    state.metrics.prefetch_late_total.with(&p.name).add(p.late);
+                }
                 state
                     .store_hits_total
                     .fetch_add(res.store_hits, Ordering::SeqCst);
@@ -1155,6 +1204,7 @@ mod tests {
                 targets,
                 workloads: None,
                 scale: req.scale.clone(),
+                prefetcher: None,
             },
         })
     }
@@ -1481,6 +1531,20 @@ mod tests {
                 completed: record.cells.len(),
                 store_hits: 2,
                 store_computed: 3,
+                prefetch: vec![
+                    PrefetchTotals {
+                        name: "spp".into(),
+                        issued: 100,
+                        useful: 40,
+                        late: 5,
+                    },
+                    PrefetchTotals {
+                        name: "ghbw".into(),
+                        issued: 10,
+                        useful: 1,
+                        late: 0,
+                    },
+                ],
                 ..ExecResult::default()
             })
         });
@@ -1520,6 +1584,23 @@ mod tests {
         assert!(
             stats.get("uptime_seconds").is_some(),
             "/stats uptime_seconds"
+        );
+        // Per-prefetcher families carry the executor's totals.
+        assert!(
+            text.contains("crisp_prefetch_issued_total{prefetcher=\"spp\"} 100"),
+            "{text}"
+        );
+        assert!(
+            text.contains("crisp_prefetch_useful_total{prefetcher=\"spp\"} 40"),
+            "{text}"
+        );
+        assert!(
+            text.contains("crisp_prefetch_late_total{prefetcher=\"spp\"} 5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("crisp_prefetch_issued_total{prefetcher=\"ghbw\"} 10"),
+            "{text}"
         );
         assert!(metric_value(&text, "crisp_http_requests_total") >= 1.0);
         assert!(metric_value(&text, "crisp_job_seconds_count") >= 1.0);

@@ -46,11 +46,12 @@ pub mod signal;
 pub use api::{JobState, SubmitRequest};
 pub use client::{Client, ClientConfig, ClientError};
 pub use daemon::{
-    run_daemon, DaemonConfig, ExecCtx, ExecFn, ExecResult, JobPlan, PlanFn, DEFAULT_QUEUE_CAP,
+    run_daemon, DaemonConfig, ExecCtx, ExecFn, ExecResult, JobPlan, PlanFn, PrefetchTotals,
+    DEFAULT_QUEUE_CAP,
 };
 pub use http::{
     read_request, write_chunk, write_chunk_end, write_chunked_head, write_response, HttpError,
     HttpLimits, Request,
 };
-pub use metrics::{check_exposition_line, Counter, Gauge, Histogram, Metrics};
+pub use metrics::{check_exposition_line, Counter, Gauge, Histogram, LabeledCounter, Metrics};
 pub use registry::{JobRecord, Registry};

@@ -16,6 +16,7 @@
 //! contract, and the daemon's authoritative numbers stay in `/stats`'
 //! sequentially-consistent atomics.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -40,6 +41,39 @@ impl Counter {
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A counter family with one fixed label key and lazily-created
+/// children — the shape behind `crisp_prefetch_issued_total{prefetcher=…}`.
+///
+/// Children are keyed by label *value* in a `BTreeMap`, so rendering is
+/// deterministic regardless of first-touch order.
+#[derive(Clone, Debug, Default)]
+pub struct LabeledCounter {
+    children: Arc<Mutex<BTreeMap<String, Counter>>>,
+}
+
+impl LabeledCounter {
+    /// The child counter for `value`, created on first use. Label
+    /// values are escaped at render time, so any string is safe here.
+    pub fn with(&self, value: &str) -> Counter {
+        self.children
+            .lock()
+            .expect("labeled counter lock")
+            .entry(value.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Snapshot of `(label value, count)` pairs in render order.
+    pub fn samples(&self) -> Vec<(String, u64)> {
+        self.children
+            .lock()
+            .expect("labeled counter lock")
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect()
     }
 }
 
@@ -113,6 +147,8 @@ impl Histogram {
 
 enum Family {
     Counter(Counter),
+    /// One label key, many children ([`LabeledCounter`]).
+    LabeledCounter(String, LabeledCounter),
     Gauge(Gauge),
     /// Computed at scrape time (queue depths, pool gauges, store sizes).
     GaugeFn(Box<dyn Fn() -> f64 + Send + Sync>),
@@ -170,6 +206,19 @@ impl Metrics {
         c
     }
 
+    /// Registers a single-label counter family and returns its handle.
+    /// `label` is the label *key* shared by every child sample.
+    pub fn labeled_counter(&self, name: &str, help: &str, label: &str) -> LabeledCounter {
+        assert!(valid_name(label), "invalid label name `{label}`");
+        let c = LabeledCounter::default();
+        self.push(
+            name,
+            help,
+            Family::LabeledCounter(label.to_string(), c.clone()),
+        );
+        c
+    }
+
     /// Registers a gauge and returns its handle.
     pub fn gauge(&self, name: &str, help: &str) -> Gauge {
         let g = Gauge::default();
@@ -200,6 +249,16 @@ impl Metrics {
                     out.push_str(&format!("# TYPE {} counter\n", r.name));
                     out.push_str(&format!("{} {}\n", r.name, c.get()));
                 }
+                Family::LabeledCounter(label, c) => {
+                    out.push_str(&format!("# TYPE {} counter\n", r.name));
+                    for (value, count) in c.samples() {
+                        out.push_str(&format!(
+                            "{}{{{label}=\"{}\"}} {count}\n",
+                            r.name,
+                            escape_label(&value)
+                        ));
+                    }
+                }
                 Family::Gauge(g) => {
                     out.push_str(&format!("# TYPE {} gauge\n", r.name));
                     out.push_str(&format!("{} {}\n", r.name, fmt_f64(g.get())));
@@ -229,6 +288,14 @@ impl Metrics {
         }
         out
     }
+}
+
+/// Label-value escaping per exposition format 0.0.4: backslash, double
+/// quote and newline.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 /// Prometheus-friendly float rendering: integers without a trailing
@@ -342,6 +409,32 @@ crisp_request_seconds_count 3
         g.set(-2.5);
         assert_eq!(g.get(), -2.5);
         assert!(m.render().contains("g -2.5"));
+    }
+
+    #[test]
+    fn labeled_counter_renders_sorted_escaped_children() {
+        let m = Metrics::new();
+        let c = m.labeled_counter(
+            "crisp_prefetch_issued_total",
+            "Prefetches issued, by mechanism.",
+            "prefetcher",
+        );
+        c.with("spp").add(7);
+        c.with("ghbw").inc();
+        c.with("we\"ird").inc();
+        let text = m.render();
+        // BTreeMap order: ghbw before spp, regardless of touch order.
+        let ghbw = text.find("crisp_prefetch_issued_total{prefetcher=\"ghbw\"} 1");
+        let spp = text.find("crisp_prefetch_issued_total{prefetcher=\"spp\"} 7");
+        assert!(ghbw.unwrap() < spp.unwrap(), "{text}");
+        assert!(
+            text.contains("crisp_prefetch_issued_total{prefetcher=\"we\\\"ird\"} 1"),
+            "{text}"
+        );
+        for line in text.lines() {
+            check_exposition_line(line).unwrap_or_else(|e| panic!("{e}"));
+        }
+        assert_eq!(c.samples().len(), 3);
     }
 
     #[test]

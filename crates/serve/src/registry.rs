@@ -267,6 +267,7 @@ mod tests {
                 targets: vec!["fig1".into()],
                 workloads: Some(vec!["mcf".into()]),
                 scale: "tiny".into(),
+                prefetcher: None,
             },
             spec: format!("spec-{seq}"),
             cells: vec![id ^ 1, id ^ 2],

@@ -472,6 +472,7 @@ impl<'a> Engine<'a> {
     fn telemetry_inputs(&self) -> TelemetryInputs {
         let (cb, cm, _, _) = self.bpu.stats();
         let mem = self.mem.stats();
+        let pf = mem.prefetch_totals();
         TelemetryInputs {
             cycle: self.now,
             retired: self.res.retired,
@@ -485,6 +486,9 @@ impl<'a> Engine<'a> {
             llc_misses: mem.llc.misses,
             issued_critical: self.res.issued_critical,
             issued_noncritical: self.res.issued_noncritical,
+            pf_issued: pf.issued,
+            pf_useful: pf.useful,
+            pf_late: pf.late,
             rob: self.rob.len() as u64,
             rs: self.age.occupancy() as u64,
             loads: self.loads_in_flight as u64,

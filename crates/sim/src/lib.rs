@@ -75,7 +75,9 @@ pub use snapshot::{CheckpointSink, RestoreAudit, SimSnapshot, Snapshot};
 pub use stats::{BranchPcStats, LoadPcStats, PipeRecord, Pipeview, SimResult, UpcTimeline};
 
 // Re-exported for convenience: the memory config lives in crisp-mem.
-pub use crisp_mem::{HierarchyConfig, PrefetcherKind};
+pub use crisp_mem::{
+    HierarchyConfig, PrefetchEffect, PrefetcherRegistry, PrefetcherSpec, MAX_PREFETCHERS,
+};
 
 // Re-exported for convenience: the observability types carried by
 // [`SimResult`] (flight recorder, stall attribution, interval telemetry,

@@ -71,6 +71,9 @@ delegate_snapshot!(
     crisp_mem::StridePrefetcher,
     crisp_mem::Bop,
     crisp_mem::Ghb,
+    crisp_mem::GhbWidth,
+    crisp_mem::Sisb,
+    crisp_mem::Spp,
     crisp_mem::MemoryHierarchy,
     crisp_emu::Memory,
     crisp_emu::Emulator<'_>,

@@ -354,6 +354,43 @@ impl SimResult {
         }
     }
 
+    /// Data-prefetch accuracy across every configured unit: the fraction
+    /// of issued prefetches a demand access later consumed. 0 when no
+    /// prefetches were issued.
+    pub fn prefetch_accuracy(&self) -> f64 {
+        let t = self.mem.prefetch_totals();
+        if t.issued == 0 {
+            0.0
+        } else {
+            t.useful as f64 / t.issued as f64
+        }
+    }
+
+    /// Data-prefetch timeliness: the fraction of *useful* prefetches that
+    /// fully hid the miss latency (the demand found the line resident
+    /// rather than merging into the in-flight fill). 0 when nothing was
+    /// useful.
+    pub fn prefetch_timeliness(&self) -> f64 {
+        let t = self.mem.prefetch_totals();
+        if t.useful == 0 {
+            0.0
+        } else {
+            (t.useful - t.late) as f64 / t.useful as f64
+        }
+    }
+
+    /// Data-prefetch coverage against a no-prefetch baseline run: the
+    /// fraction of the baseline's demand-load LLC misses this run
+    /// eliminated. Clamped at 0 (a polluting prefetcher can add misses).
+    pub fn prefetch_coverage_vs(&self, nopf: &SimResult) -> f64 {
+        if nopf.mem.load_llc_misses == 0 {
+            0.0
+        } else {
+            let base = nopf.mem.load_llc_misses as f64;
+            ((base - self.mem.load_llc_misses as f64) / base).max(0.0)
+        }
+    }
+
     /// Relative IPC speedup of `self` over `baseline`, in percent.
     pub fn speedup_over(&self, baseline: &SimResult) -> f64 {
         let base = baseline.ipc();
@@ -387,7 +424,17 @@ impl SimResult {
             self.mem.prefetches_issued,
         ]);
         for c in [&self.mem.l1i, &self.mem.l1d, &self.mem.llc] {
-            w.extend_from_slice(&[c.accesses, c.misses, c.prefetch_fills, c.prefetch_hits]);
+            w.extend_from_slice(&[
+                c.accesses,
+                c.misses,
+                c.prefetch_fills,
+                c.prefetch_hits,
+                c.prefetch_probes,
+                c.prefetch_misses,
+            ]);
+        }
+        for e in &self.mem.prefetch {
+            w.extend_from_slice(&[e.issued, e.useful, e.late, e.polluting]);
         }
         w.extend_from_slice(&[
             self.mem.dram.requests,
@@ -453,6 +500,14 @@ impl SimResult {
             c.misses = r.u64()?;
             c.prefetch_fills = r.u64()?;
             c.prefetch_hits = r.u64()?;
+            c.prefetch_probes = r.u64()?;
+            c.prefetch_misses = r.u64()?;
+        }
+        for e in &mut self.mem.prefetch {
+            e.issued = r.u64()?;
+            e.useful = r.u64()?;
+            e.late = r.u64()?;
+            e.polluting = r.u64()?;
         }
         self.mem.dram.requests = r.u64()?;
         self.mem.dram.row_hits = r.u64()?;

@@ -4,11 +4,14 @@
 //! two word vectors must be byte-identical, and (where the type is
 //! executable) the restored instance must behave identically afterwards.
 
+use crisp_bench::sweep::{run_supervised_sweep, SweepConfig};
+use crisp_bench::ExperimentScale;
 use crisp_emu::{Emulator, Memory};
+use crisp_harness::JobOutcome;
 use crisp_isa::{AluOp, Cond, CtrlKind, ProgramBuilder, Reg};
 use crisp_mem::{
-    Bop, Cache, CacheConfig, Dram, DramConfig, Ghb, HierarchyConfig, MemoryHierarchy, Prefetcher,
-    StreamPrefetcher, StridePrefetcher,
+    Bop, Cache, CacheConfig, Dram, DramConfig, Ghb, GhbWidth, HierarchyConfig, MemoryHierarchy,
+    Prefetcher, Sisb, Spp, StreamPrefetcher, StridePrefetcher,
 };
 use crisp_sim::{AgeMatrix, BitSet, CheckpointSink, SimConfig, SimSnapshot, Simulator, Snapshot};
 use crisp_uarch::{Bimodal, Btb, DirectionPredictor, Gshare, IndirectPredictor, Ras, Tage};
@@ -167,6 +170,96 @@ proptest! {
         assert_roundtrip(&stride, &mut StridePrefetcher::new(64, 2));
         assert_roundtrip(&bop, &mut Bop::new());
         assert_roundtrip(&ghb, &mut Ghb::new(64, 32, 4));
+    }
+
+    /// The zoo competitors (GHB width-depth, SISB temporal streaming,
+    /// SPP signature-path), driven through the common trait: random
+    /// access/fill streams, then byte-identical round-trips and lockstep
+    /// agreement afterwards.
+    #[test]
+    fn zoo_prefetchers_round_trip(
+        ops in proptest::collection::vec((0u64..512, 0u64..8, 0u8..2), 1..200),
+    ) {
+        let mut ghbw = GhbWidth::new(128, 32, 4, 4, 2);
+        let mut sisb = Sisb::new(64, 1024, 2);
+        let mut spp = Spp::new(64, 512, 256, 6, 250);
+        let mut out = Vec::new();
+        for &(line, pc_slot, hit) in &ops {
+            let pc = 0x9000 + pc_slot * 4;
+            for p in [
+                &mut ghbw as &mut dyn Prefetcher,
+                &mut sisb,
+                &mut spp,
+            ] {
+                out.clear();
+                p.on_access(line, pc, hit == 1, &mut out);
+            }
+            if line % 3 == 0 {
+                spp.on_fill(line);
+            }
+        }
+        let mut ghbw2 = GhbWidth::new(128, 32, 4, 4, 2);
+        let mut sisb2 = Sisb::new(64, 1024, 2);
+        let mut spp2 = Spp::new(64, 512, 256, 6, 250);
+        assert_roundtrip(&ghbw, &mut ghbw2);
+        assert_roundtrip(&sisb, &mut sisb2);
+        assert_roundtrip(&spp, &mut spp2);
+        // Restored instances must keep predicting identically.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for &(line, pc_slot, hit) in ops.iter().rev().take(32) {
+            let pc = 0xa000 + pc_slot * 4;
+            for (orig, fresh) in [
+                (&mut ghbw as &mut dyn Prefetcher, &mut ghbw2 as &mut dyn Prefetcher),
+                (&mut sisb, &mut sisb2),
+                (&mut spp, &mut spp2),
+            ] {
+                a.clear();
+                b.clear();
+                orig.on_access(line, pc, hit == 1, &mut a);
+                fresh.on_access(line, pc, hit == 1, &mut b);
+                prop_assert_eq!(&a, &b, "{} diverged after restore", orig.name());
+            }
+        }
+        prop_assert_eq!(spp.snapshot_words(), spp2.snapshot_words());
+    }
+
+    /// A hierarchy running a mixed zoo selection round-trips with all
+    /// per-unit state and effectiveness counters intact.
+    #[test]
+    fn zoo_hierarchy_round_trips(
+        ops in proptest::collection::vec((0u64..512, 0u8..3), 1..120),
+    ) {
+        let mut cfg = HierarchyConfig::skylake_like();
+        cfg.prefetcher = "ghbw+spp:depth=4".parse().expect("zoo spec");
+        let mut mem = MemoryHierarchy::new(cfg);
+        let mut now = 0u64;
+        for &(slot, op) in &ops {
+            let addr = 0x30_0000 + slot * 64;
+            match op {
+                0 => {
+                    mem.load(addr, 0x100 + slot * 4, now);
+                }
+                1 => {
+                    mem.store(addr, 0x200 + slot * 4, now);
+                }
+                _ => {
+                    mem.fetch(addr, now);
+                }
+            }
+            now += 1 + slot % 13;
+        }
+        let mut fresh = MemoryHierarchy::new(cfg);
+        assert_roundtrip(&mem, &mut fresh);
+        prop_assert_eq!(mem.stats().prefetch_totals(), fresh.stats().prefetch_totals());
+        for &(slot, _) in ops.iter().take(20) {
+            let addr = 0x40_0000 + slot * 64;
+            let a = mem.load(addr, 0x300, now);
+            let b = fresh.load(addr, 0x300, now);
+            prop_assert_eq!(a.ready_at(now), b.ready_at(now));
+            now += 2;
+        }
+        prop_assert_eq!(mem.snapshot_words(), fresh.snapshot_words());
     }
 
     /// The full hierarchy: caches, MSHR-style inflight fills, prefetchers
@@ -445,4 +538,52 @@ proptest! {
             prop_assert!(err.to_string().contains("tracer"), "got: {}", err);
         }
     }
+}
+
+/// The prefetcher-zoo figure is deterministic *through the store*: a
+/// cold sweep computes every `prefzoo` cell, a warm re-run serves them
+/// from the content-addressed store, and both the rendered matrix and
+/// every payload word are bit-identical — the SimResult-derived numbers
+/// survive the encode/decode round trip exactly.
+#[test]
+fn prefzoo_store_warm_rerun_is_byte_identical() {
+    let dir = std::env::temp_dir().join("crisp-snap-prefzoo-warm");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let store = dir.join("store");
+    let cfg_for = |manifest: &str| SweepConfig {
+        scale: ExperimentScale::Tiny,
+        targets: vec!["prefzoo".to_string()],
+        workloads: Some(vec!["pointer_chase".to_string()]),
+        manifest: Some(dir.join(manifest)),
+        store: Some(store.clone()),
+        ..SweepConfig::default()
+    };
+
+    let cold = run_supervised_sweep(&cfg_for("cold.jsonl")).expect("cold sweep");
+    assert_eq!(cold.report.store_computed, 1);
+    let warm = run_supervised_sweep(&cfg_for("warm.jsonl")).expect("warm sweep");
+    assert_eq!(warm.report.store_hits, 1);
+    assert_eq!(
+        warm.rendered, cold.rendered,
+        "matrix must render identically"
+    );
+
+    for (job, outcome) in &cold.report.outcomes {
+        let JobOutcome::Completed { payload: a, .. } = outcome else {
+            panic!("{job} did not complete: {outcome:?}");
+        };
+        let Some(JobOutcome::Completed { payload: b, .. }) = warm.report.outcomes.get(job) else {
+            panic!("{job} missing from warm run");
+        };
+        assert_eq!(a.len(), b.len(), "{job}: payload length changed");
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{job}: payload word {i} not bit-identical ({x} vs {y})"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
